@@ -1,0 +1,41 @@
+//! Benchmarks of end-to-end broadcast runs (one per theorem) and of the
+//! baselines, on a fixed cluster chain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sinr_core::{
+    run::{run_daum_broadcast, run_flood_broadcast, run_nos_broadcast, run_s_broadcast},
+    Constants,
+};
+use sinr_netgen::cluster;
+use sinr_phy::SinrParams;
+
+fn bench_broadcasts(c: &mut Criterion) {
+    let params = SinrParams::default_plane();
+    let consts = Constants::tuned();
+    let d = 4;
+    let pts = cluster::chain_for_diameter(d, 10, &params, 1);
+    let n = pts.len();
+    let mut group = c.benchmark_group("broadcast_chain_d4");
+    group.sample_size(10);
+    group.bench_function("s_broadcast", |b| {
+        b.iter(|| {
+            run_s_broadcast(pts.clone(), &params, consts, 0, 3, 2_000_000).expect("valid")
+        })
+    });
+    group.bench_function("nos_broadcast", |b| {
+        b.iter(|| {
+            let budget = consts.phase_rounds(n) * (d as u64 + 4) * 2;
+            run_nos_broadcast(pts.clone(), &params, consts, 0, 3, budget).expect("valid")
+        })
+    });
+    group.bench_function("daum", |b| {
+        b.iter(|| run_daum_broadcast(pts.clone(), &params, 0, None, 3, 2_000_000).expect("valid"))
+    });
+    group.bench_function("flood_p02", |b| {
+        b.iter(|| run_flood_broadcast(pts.clone(), &params, 0, 0.2, 3, 2_000_000).expect("valid"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcasts);
+criterion_main!(benches);

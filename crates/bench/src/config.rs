@@ -1,0 +1,55 @@
+//! Experiment configuration.
+
+/// Shared configuration for experiment runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Reduce sizes/trials for a fast smoke run (`--quick`).
+    pub quick: bool,
+    /// Master seed; every trial derives its own seed from this.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            quick: false,
+            seed: 20140714, // PODC 2014
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Picks `full` or `quick` depending on the mode.
+    pub fn pick<T: Copy>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// Seed for trial `t` of experiment `exp`.
+    pub fn trial_seed(&self, exp: u64, t: u64) -> u64 {
+        sinr_runtime::derive_seed(self.seed, exp, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_respects_mode() {
+        let full = ExpConfig { quick: false, seed: 1 };
+        let quick = ExpConfig { quick: true, seed: 1 };
+        assert_eq!(full.pick(10, 2), 10);
+        assert_eq!(quick.pick(10, 2), 2);
+    }
+
+    #[test]
+    fn trial_seeds_distinct() {
+        let cfg = ExpConfig::default();
+        assert_ne!(cfg.trial_seed(1, 0), cfg.trial_seed(1, 1));
+        assert_ne!(cfg.trial_seed(1, 0), cfg.trial_seed(2, 0));
+    }
+}

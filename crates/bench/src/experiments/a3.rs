@@ -1,0 +1,82 @@
+//! A3 — simulator-fidelity ablation: interference evaluation modes.
+//!
+//! The reproduction's default physics is the **exact** Equation (1) — every
+//! transmitter contributes to every receiver. The oracle also offers a
+//! cell-aggregated far field (a one-level multipole) and a hard truncation.
+//! This ablation runs identical seeds under all three and compares protocol
+//! outcomes, justifying the fast modes for large sweeps: the aggregate mode
+//! should track exact rounds closely (its tail is estimated, not dropped),
+//! while truncation is visibly optimistic (dropped tail ⇒ easier SINR).
+
+use sinr_core::{run::run_s_broadcast_in_mode, Constants};
+use sinr_netgen::{cluster, uniform};
+use sinr_phy::{InterferenceMode, SinrParams};
+use sinr_stats::{fmt_f64, Summary, Table};
+
+use crate::ExpConfig;
+
+/// Runs A3 and returns the rendered table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let params = SinrParams::default_plane();
+    let consts = Constants::tuned();
+    let trials = cfg.pick(5, 2);
+    let n = cfg.pick(200, 80);
+
+    let modes: [(&str, InterferenceMode); 3] = [
+        ("exact", InterferenceMode::Exact),
+        ("cell-aggregate", InterferenceMode::CellAggregate { near_radius: 4.0 }),
+        ("truncated r=4", InterferenceMode::Truncated { radius: 4.0 }),
+    ];
+
+    let mut table = Table::new(vec!["topology", "mode", "rounds(mean)", "vs exact", "ok"]);
+    for topo in ["uniform", "chain"] {
+        let mut exact_mean = None;
+        for (mode_name, mode) in modes {
+            let mut rounds = Vec::new();
+            let mut oks = 0;
+            for t in 0..trials {
+                let seed = cfg.trial_seed(33, t as u64);
+                let pts = match topo {
+                    "uniform" => uniform::connected_square(
+                        n,
+                        uniform::side_for_density(n, 30.0),
+                        &params,
+                        seed,
+                    )
+                    .expect("connected"),
+                    _ => cluster::chain_for_diameter(8, n / 9, &params, seed),
+                };
+                let rep = run_s_broadcast_in_mode(pts, &params, consts, 0, mode, seed, 2_000_000)
+                    .expect("valid");
+                if rep.completed {
+                    oks += 1;
+                    rounds.push(rep.rounds as f64);
+                }
+            }
+            let s = Summary::of(&rounds);
+            let mean = s.map(|s| s.mean);
+            if mode_name == "exact" {
+                exact_mean = mean;
+            }
+            let ratio = match (mean, exact_mean) {
+                (Some(m), Some(e)) if e > 0.0 => fmt_f64(m / e),
+                _ => "-".into(),
+            };
+            table.row(vec![
+                topo.to_string(),
+                mode_name.to_string(),
+                mean.map_or("-".into(), fmt_f64),
+                ratio,
+                format!("{oks}/{trials}"),
+            ]);
+        }
+    }
+    let mut out = String::from(
+        "A3: simulator-fidelity ablation - interference evaluation modes\n\
+         expect: cell-aggregate tracks exact closely (ratio ~1); truncation is\n\
+         mildly optimistic (ratio <= 1); all modes complete\n\n",
+    );
+    out.push_str(&table.render());
+    println!("{out}");
+    out
+}

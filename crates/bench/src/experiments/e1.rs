@@ -1,0 +1,67 @@
+//! E1 — Fact 7: `StabilizeProbability` completes in `O(log² n)` rounds.
+//!
+//! The schedule length is deterministic given `n`, so the experiment both
+//! reports the schedule (rounds and its ratio to `log² n`) and measures the
+//! *work* the procedure performs (mean transmissions per station), sweeping
+//! `n` on connected uniform squares of constant density.
+
+use sinr_core::{log2n, run_stabilize, Constants};
+use sinr_netgen::uniform;
+use sinr_phy::SinrParams;
+use sinr_stats::{fmt_f64, Summary, Table};
+
+use crate::ExpConfig;
+
+/// Runs E1 and returns the rendered table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let params = SinrParams::default_plane();
+    let consts = Constants::tuned();
+    let sizes: &[usize] = cfg.pick(&[256, 512, 1024, 2048], &[128, 256]);
+    let trials = cfg.pick(5, 2);
+    let density = 30.0;
+
+    let mut table = Table::new(vec![
+        "n",
+        "log2n",
+        "rounds",
+        "rounds/log^2",
+        "levels",
+        "tx/station(mean)",
+        "colors(mean)",
+    ]);
+    for &n in sizes {
+        let side = uniform::side_for_density(n, density);
+        let mut txs = Vec::new();
+        let mut colors = Vec::new();
+        let mut rounds = 0;
+        for t in 0..trials {
+            let seed = cfg.trial_seed(1, t as u64 * 1000 + n as u64);
+            let Some(pts) = uniform::connected_square(n, side, &params, seed) else {
+                continue;
+            };
+            let run = run_stabilize(pts, &params, consts, seed).expect("valid network");
+            rounds = run.rounds;
+            txs.push(run.total_transmissions as f64 / n as f64);
+            colors.push(run.coloring.num_colors() as f64);
+        }
+        let l = log2n(n);
+        let tx_summary = Summary::of(&txs).expect("at least one trial");
+        let color_summary = Summary::of(&colors).expect("at least one trial");
+        table.row(vec![
+            n.to_string(),
+            l.to_string(),
+            rounds.to_string(),
+            fmt_f64(rounds as f64 / (l * l) as f64),
+            consts.num_levels(n).to_string(),
+            fmt_f64(tx_summary.mean),
+            fmt_f64(color_summary.mean),
+        ]);
+    }
+    let mut out = String::from(
+        "E1: StabilizeProbability rounds vs n (Fact 7: O(log^2 n))\n\
+         expect: rounds/log^2 column bounded by a constant as n grows\n\n",
+    );
+    out.push_str(&table.render());
+    println!("{out}");
+    out
+}

@@ -1,0 +1,67 @@
+//! E10 — robustness to the population estimate ν.
+//!
+//! The paper (Section 1.1) only requires stations to share an estimate
+//! `ν ≥ n` with `ν = O(n^c)`; the bounds then read `O(D log ν + log² ν)` /
+//! `O(D log² ν)`. Inflating ν by powers of 4 should slow the broadcast by
+//! (poly)logarithmic factors only — and never break it.
+
+use sinr_core::{log2n, run::run_s_broadcast_with_estimate, Constants};
+use sinr_netgen::cluster;
+use sinr_phy::SinrParams;
+use sinr_stats::{fmt_f64, Summary, Table};
+
+use crate::ExpConfig;
+
+/// Runs E10 and returns the rendered table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let params = SinrParams::default_plane();
+    let consts = Constants::tuned();
+    let d = cfg.pick(6u32, 3);
+    let per = cfg.pick(10, 6);
+    let n = (d as usize + 1) * per;
+    let factors: &[usize] = cfg.pick(&[1, 4, 16, 64], &[1, 16]);
+    let trials = cfg.pick(5, 2);
+
+    let mut table = Table::new(vec![
+        "nu/n",
+        "nu",
+        "log2(nu)",
+        "rounds(mean)",
+        "rounds/log2(nu)",
+        "ok",
+    ]);
+    for &f in factors {
+        let nu = n * f;
+        let mut rounds = Vec::new();
+        let mut oks = 0;
+        for t in 0..trials {
+            let seed = cfg.trial_seed(10, t as u64 * 1000 + f as u64);
+            let pts = cluster::chain_for_diameter(d, per, &params, seed);
+            let budget = consts.coloring_rounds(nu) + consts.wakeup_window(nu, d) * 4;
+            let rep =
+                run_s_broadcast_with_estimate(pts, &params, consts, 0, nu, seed, budget)
+                    .expect("valid");
+            if rep.completed {
+                oks += 1;
+                rounds.push(rep.rounds as f64);
+            }
+        }
+        let s = Summary::of(&rounds);
+        let l = log2n(nu) as f64;
+        table.row(vec![
+            f.to_string(),
+            nu.to_string(),
+            fmt_f64(l),
+            s.map_or("-".into(), |s| fmt_f64(s.mean)),
+            s.map_or("-".into(), |s| fmt_f64(s.mean / l)),
+            format!("{oks}/{trials}"),
+        ]);
+    }
+    let mut out = format!(
+        "E10: robustness to the population estimate nu (true n = {n}, D = {d})\n\
+         expect: completion at every nu; rounds grow ~log(nu) (rounds/log2(nu) ~flat)\n\n"
+    );
+    out.push_str(&table.render());
+    println!("{out}");
+    out
+}

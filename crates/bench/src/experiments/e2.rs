@@ -1,0 +1,92 @@
+//! E2 — Lemma 1: after `StabilizeProbability`, the per-color probability
+//! mass in every unit ball stays below a constant `C₁`, independent of `n`
+//! and of the topology family.
+
+use std::collections::BTreeMap;
+
+use sinr_core::{invariant_report, run_stabilize, Constants};
+use sinr_geometry::Point2;
+use sinr_netgen::{cluster, line, uniform};
+use sinr_phy::SinrParams;
+use sinr_stats::{fmt_f64, Summary, Table};
+
+use crate::ExpConfig;
+
+/// Named topology families used by E2/E3/A1/A2.
+pub fn families(
+    n: usize,
+    params: &SinrParams,
+    seed: u64,
+) -> Vec<(&'static str, Vec<Point2>)> {
+    let mut out = Vec::new();
+    let side = uniform::side_for_density(n, 30.0);
+    if let Some(pts) = uniform::connected_square(n, side, params, seed) {
+        out.push(("uniform", pts));
+    }
+    let clusters = (n / 24).max(2);
+    out.push((
+        "clusters",
+        cluster::chain_for_diameter((clusters - 1) as u32, n / clusters, params, seed),
+    ));
+    out.push((
+        "geom-line",
+        line::granularity_line(n, params.comm_radius(), 1e6, 2e-9),
+    ));
+    out
+}
+
+/// Per-(family, n) Lemma 1 and Lemma 2 measurements over several trials.
+pub fn measure_invariants(
+    cfg: &ExpConfig,
+    exp_id: u64,
+    sizes: &[usize],
+    trials: usize,
+    consts: Constants,
+) -> BTreeMap<(String, usize), (Vec<f64>, Vec<f64>, usize)> {
+    let params = SinrParams::default_plane();
+    let mut acc: BTreeMap<(String, usize), (Vec<f64>, Vec<f64>, usize)> = BTreeMap::new();
+    for &n in sizes {
+        for t in 0..trials {
+            let seed = cfg.trial_seed(exp_id, t as u64 * 100_000 + n as u64);
+            for (family, pts) in families(n, &params, seed) {
+                let run = run_stabilize(pts.clone(), &params, consts, seed).expect("valid");
+                let rep = invariant_report(&pts, &run.coloring, params.eps());
+                let entry = acc
+                    .entry((family.to_string(), n))
+                    .or_insert_with(|| (Vec::new(), Vec::new(), 0));
+                entry.0.push(rep.max_unit_ball_mass);
+                entry.1.push(rep.min_close_mass);
+                entry.2 = entry.2.max(rep.num_colors);
+            }
+        }
+    }
+    acc
+}
+
+/// Runs E2 and returns the rendered table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let consts = Constants::tuned();
+    let sizes: &[usize] = cfg.pick(&[128, 256, 512, 1024], &[96, 192]);
+    let trials = cfg.pick(3, 1);
+    let acc = measure_invariants(cfg, 2, sizes, trials, consts);
+
+    let mut table = Table::new(vec!["family", "n", "lemma1 mean", "lemma1 worst", "colors(max)"]);
+    for ((family, n), (l1, _l2, colors)) in &acc {
+        let s = Summary::of(l1).expect("non-empty");
+        table.row(vec![
+            family.clone(),
+            n.to_string(),
+            fmt_f64(s.mean),
+            fmt_f64(s.max),
+            colors.to_string(),
+        ]);
+    }
+    let mut out = format!(
+        "E2: Lemma 1 - max per-color unit-ball mass (cap C1 = {})\n\
+         expect: 'lemma1 worst' bounded by a constant across n and families\n\n",
+        consts.c1_cap
+    );
+    out.push_str(&table.render());
+    println!("{out}");
+    out
+}

@@ -1,0 +1,37 @@
+//! E3 — Lemma 2: after `StabilizeProbability`, every station has some
+//! color whose probability mass inside `B(v, ε/2)` is at least a constant
+//! `C₂`, across sizes and topology families.
+
+use sinr_core::Constants;
+use sinr_stats::{fmt_f64, Summary, Table};
+
+use crate::experiments::e2::measure_invariants;
+use crate::ExpConfig;
+
+/// Runs E3 and returns the rendered table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let consts = Constants::tuned();
+    let sizes: &[usize] = cfg.pick(&[128, 256, 512, 1024], &[96, 192]);
+    let trials = cfg.pick(3, 1);
+    let acc = measure_invariants(cfg, 3, sizes, trials, consts);
+
+    let mut table = Table::new(vec!["family", "n", "lemma2 mean", "lemma2 worst"]);
+    for ((family, n), (_l1, l2, _)) in &acc {
+        let s = Summary::of(l2).expect("non-empty");
+        table.row(vec![
+            family.clone(),
+            n.to_string(),
+            fmt_f64(s.mean),
+            fmt_f64(s.min),
+        ]);
+    }
+    let mut out = format!(
+        "E3: Lemma 2 - min best-color mass in B(v, eps/2) (floor scale C2 = {}, p_max = {})\n\
+         expect: 'lemma2 worst' bounded BELOW by a constant (>= p_max/2) across n and families\n\n",
+        consts.c2_mass,
+        consts.p_max()
+    );
+    out.push_str(&table.render());
+    println!("{out}");
+    out
+}

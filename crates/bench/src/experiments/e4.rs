@@ -1,0 +1,77 @@
+//! E4 — Theorem 1: `NoSBroadcast` completes in `O(D log² n)` rounds whp.
+//!
+//! Chains of clusters give exact control of the diameter `D`; the fit of
+//! measured rounds against the feature `D·log² n` should be proportional
+//! (flat ratio, high R²).
+
+use sinr_core::{log2n, run::run_nos_broadcast, Constants};
+use sinr_netgen::cluster;
+use sinr_phy::SinrParams;
+use sinr_stats::{fit_proportional, fmt_f64, Summary, Table};
+
+use crate::ExpConfig;
+
+/// Runs E4 and returns the rendered table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let params = SinrParams::default_plane();
+    let consts = Constants::tuned();
+    let diameters: &[u32] = cfg.pick(&[2, 4, 8, 16], &[2, 4]);
+    let per_cluster = cfg.pick(12, 8);
+    let trials = cfg.pick(5, 2);
+
+    let mut table = Table::new(vec![
+        "D",
+        "n",
+        "rounds(mean)",
+        "rounds(max)",
+        "rounds/(D*log^2)",
+        "ok",
+    ]);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &d in diameters {
+        let mut rounds = Vec::new();
+        let mut oks = 0;
+        let n = (d as usize + 1) * per_cluster;
+        for t in 0..trials {
+            let seed = cfg.trial_seed(4, t as u64 * 1000 + d as u64);
+            let pts = cluster::chain_for_diameter(d, per_cluster, &params, seed);
+            let budget = consts.phase_rounds(n) * (d as u64 + 4) * 2;
+            let rep = run_nos_broadcast(pts, &params, consts, 0, seed, budget).expect("valid");
+            if rep.completed {
+                oks += 1;
+                rounds.push(rep.rounds as f64);
+            }
+        }
+        let l = log2n(n);
+        let feature = d as f64 * (l * l) as f64;
+        let s = Summary::of(&rounds);
+        if let Some(s) = &s {
+            xs.push(feature);
+            ys.push(s.mean);
+        }
+        table.row(vec![
+            d.to_string(),
+            n.to_string(),
+            s.map_or("-".into(), |s| fmt_f64(s.mean)),
+            s.map_or("-".into(), |s| fmt_f64(s.max)),
+            s.map_or("-".into(), |s| fmt_f64(s.mean / feature)),
+            format!("{oks}/{trials}"),
+        ]);
+    }
+    let fit = fit_proportional(&xs, &ys);
+    let mut out = String::from(
+        "E4: NoSBroadcast rounds on cluster chains (Theorem 1: O(D log^2 n))\n\
+         expect: rounds/(D*log^2 n) roughly flat in D; proportional fit with high R^2\n\n",
+    );
+    out.push_str(&table.render());
+    if let Some((a, r2)) = fit {
+        out.push_str(&format!(
+            "\nfit rounds ~ a * D*log^2(n): a = {}, R^2 = {}\n",
+            fmt_f64(a),
+            fmt_f64(r2)
+        ));
+    }
+    println!("{out}");
+    out
+}

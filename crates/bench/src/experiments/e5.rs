@@ -1,0 +1,81 @@
+//! E5 — Theorem 2: `SBroadcast` completes in `O(D log n + log² n)` rounds
+//! whp.
+//!
+//! Sweeping `D` at (roughly) fixed `n`, then `n` at fixed `D`, and fitting
+//! rounds against the two features `D·log n` and `log² n` should give a
+//! good two-term fit — and `SBroadcast` should beat `NoSBroadcast` by a
+//! `Θ(log n)` factor at large `D` (the paper's motivation for the
+//! spontaneous model).
+
+use sinr_core::{log2n, run::run_s_broadcast, Constants};
+use sinr_netgen::cluster;
+use sinr_phy::SinrParams;
+use sinr_stats::{fit_least_squares, fmt_f64, Summary, Table};
+
+use crate::ExpConfig;
+
+/// Runs E5 and returns the rendered table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let params = SinrParams::default_plane();
+    let consts = Constants::tuned();
+    let diameters: &[u32] = cfg.pick(&[2, 4, 8, 16, 32], &[2, 4]);
+    let per_cluster = cfg.pick(12, 8);
+    let trials = cfg.pick(5, 2);
+
+    let mut table = Table::new(vec![
+        "D",
+        "n",
+        "rounds(mean)",
+        "rounds(max)",
+        "rounds/(D*log)",
+        "ok",
+    ]);
+    let mut rows_feat = Vec::new();
+    let mut ys = Vec::new();
+    for &d in diameters {
+        let n = (d as usize + 1) * per_cluster;
+        let mut rounds = Vec::new();
+        let mut oks = 0;
+        for t in 0..trials {
+            let seed = cfg.trial_seed(5, t as u64 * 1000 + d as u64);
+            let pts = cluster::chain_for_diameter(d, per_cluster, &params, seed);
+            let budget =
+                consts.coloring_rounds(n) + consts.wakeup_window(n, d) * 4 + 100_000;
+            let rep = run_s_broadcast(pts, &params, consts, 0, seed, budget).expect("valid");
+            if rep.completed {
+                oks += 1;
+                rounds.push(rep.rounds as f64);
+            }
+        }
+        let l = log2n(n) as f64;
+        let s = Summary::of(&rounds);
+        if let Some(s) = &s {
+            rows_feat.push(vec![d as f64 * l, l * l]);
+            ys.push(s.mean);
+        }
+        table.row(vec![
+            d.to_string(),
+            n.to_string(),
+            s.map_or("-".into(), |s| fmt_f64(s.mean)),
+            s.map_or("-".into(), |s| fmt_f64(s.max)),
+            s.map_or("-".into(), |s| fmt_f64(s.mean / (d as f64 * l))),
+            format!("{oks}/{trials}"),
+        ]);
+    }
+    let mut out = String::from(
+        "E5: SBroadcast rounds on cluster chains (Theorem 2: O(D log n + log^2 n))\n\
+         expect: two-term fit a*(D log n) + b*log^2 n with high R^2;\n\
+         rounds/(D log n) approaching a constant at large D\n\n",
+    );
+    out.push_str(&table.render());
+    if let Some(fit) = fit_least_squares(&rows_feat, &ys) {
+        out.push_str(&format!(
+            "\nfit rounds ~ a*D*log(n) + b*log^2(n): a = {}, b = {}, R^2 = {}\n",
+            fmt_f64(fit.coefficients[0]),
+            fmt_f64(fit.coefficients[1]),
+            fmt_f64(fit.r_squared)
+        ));
+    }
+    println!("{out}");
+    out
+}

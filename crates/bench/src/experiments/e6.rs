@@ -1,0 +1,94 @@
+//! E6 — The headline claim: our broadcast's running time is independent of
+//! the granularity `R_s`, while the Daum et al. baseline degrades
+//! polylogarithmically in `R_s`.
+//!
+//! Line networks with geometrically interpolated gaps realise any target
+//! `R_s` at fixed `n` and (almost) fixed `D`; we sweep `R_s` over orders of
+//! magnitude and compare `SBroadcast` with the decay-class baseline, which
+//! must cycle `Θ(α·log R_s)` probability classes.
+
+use sinr_core::{
+    run::{run_daum_broadcast, run_s_broadcast},
+    Constants,
+};
+use sinr_netgen::{line, validate};
+use sinr_phy::SinrParams;
+use sinr_stats::{fmt_f64, Summary, Table};
+
+use crate::ExpConfig;
+
+/// Runs E6 and returns the rendered table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let params = SinrParams::default_plane();
+    let consts = Constants::tuned();
+    let n = cfg.pick(64, 32);
+    let d_hops = cfg.pick(12, 6);
+    let rs_targets: &[f64] = cfg.pick(
+        &[4.0, 64.0, 1024.0, 16_384.0, 262_144.0, 16_777_216.0],
+        &[4.0, 1024.0],
+    );
+    let trials = cfg.pick(5, 2);
+
+    let mut table = Table::new(vec![
+        "Rs(target)",
+        "Rs(actual)",
+        "D",
+        "ours(mean)",
+        "ours/D",
+        "ours ok",
+        "daum(mean)",
+        "daum/D",
+        "daum ok",
+    ]);
+    for &rs in rs_targets {
+        let pts = line::granularity_line_fixed_d(n, params.comm_radius(), rs, d_hops, 2e-9);
+        let report = validate::report(&pts, &params);
+        assert!(report.connected, "line must be connected");
+        let d = report.diameter.unwrap_or(0);
+        let actual_rs = report.granularity.unwrap_or(1.0);
+
+        let mut ours = Vec::new();
+        let mut ours_ok = 0;
+        let mut daum = Vec::new();
+        let mut daum_ok = 0;
+        for t in 0..trials {
+            let seed = cfg.trial_seed(6, t as u64 * 1000 + rs as u64);
+            let budget = consts.coloring_rounds(n) + consts.wakeup_window(n, d) * 4 + 200_000;
+            let rep =
+                run_s_broadcast(pts.clone(), &params, consts, 0, seed, budget).expect("valid");
+            if rep.completed {
+                ours_ok += 1;
+                ours.push(rep.rounds as f64);
+            }
+            let rep = run_daum_broadcast(pts.clone(), &params, 0, Some(actual_rs), seed, budget)
+                .expect("valid");
+            if rep.completed {
+                daum_ok += 1;
+                daum.push(rep.rounds as f64);
+            }
+        }
+        let so = Summary::of(&ours);
+        let sd = Summary::of(&daum);
+        table.row(vec![
+            fmt_f64(rs),
+            fmt_f64(actual_rs),
+            d.to_string(),
+            so.map_or("-".into(), |s| fmt_f64(s.mean)),
+            so.map_or("-".into(), |s| fmt_f64(s.mean / d.max(1) as f64)),
+            format!("{ours_ok}/{trials}"),
+            sd.map_or("-".into(), |s| fmt_f64(s.mean)),
+            sd.map_or("-".into(), |s| fmt_f64(s.mean / d.max(1) as f64)),
+            format!("{daum_ok}/{trials}"),
+        ]);
+    }
+    let mut out = String::from(
+        "E6: granularity independence on geometric-gap lines (n fixed)\n\
+         expect: per-hop cost 'ours/D' flat in Rs; 'daum/D' grows with log(Rs)\n\
+         (the paper's asymptotic claim; our tuned constants give ours a large\n\
+         constant factor, so the crossover sits beyond the sweep - the shapes\n\
+         are the reproduction target)\n\n",
+    );
+    out.push_str(&table.render());
+    println!("{out}");
+    out
+}

@@ -1,0 +1,113 @@
+//! E7 — Section 5 applications: ad hoc wake-up (`O(D log² n)`), consensus
+//! (`O(D log n·log x + log² n·log x)`), and leader election
+//! (`O(D log² n + log³ n)`).
+
+use sinr_core::{
+    consensus::domain_bits,
+    run::{run_adhoc_wakeup, run_consensus, run_leader_election},
+    Constants,
+};
+use sinr_netgen::cluster;
+use sinr_phy::SinrParams;
+use sinr_runtime::WakeSchedule;
+use sinr_stats::{fmt_f64, Summary, Table};
+
+use crate::ExpConfig;
+
+/// Runs E7 and returns the rendered tables.
+pub fn run(cfg: &ExpConfig) -> String {
+    let params = SinrParams::default_plane();
+    let consts = Constants::tuned();
+    let trials = cfg.pick(3, 1);
+    let d = cfg.pick(6u32, 3);
+    let per_cluster = cfg.pick(8, 6);
+    let n = (d as usize + 1) * per_cluster;
+
+    let mut out = String::new();
+
+    // --- wake-up under three adversarial schedules ---
+    let mut wt = Table::new(vec!["schedule", "rounds-from-first-wake(mean)", "ok"]);
+    let schedules: Vec<(&str, WakeSchedule)> = vec![
+        ("single@0", WakeSchedule::single(0, 0)),
+        ("all@0", WakeSchedule::AllAt(0)),
+        ("staggered", WakeSchedule::Staggered { start: 0, gap: 50 }),
+    ];
+    for (name, schedule) in &schedules {
+        let mut rounds = Vec::new();
+        let mut oks = 0;
+        for t in 0..trials {
+            let seed = cfg.trial_seed(7, t as u64);
+            let pts = cluster::chain_for_diameter(d, per_cluster, &params, seed);
+            let budget = consts.phase_rounds(n) * (d as u64 + 6) * 3
+                + schedule.first_wake(n).unwrap_or(0)
+                + n as u64 * 60; // staggered wakes spread over n*gap rounds
+            let rep = run_adhoc_wakeup(pts, &params, consts, schedule, seed, budget)
+                .expect("valid");
+            if rep.completed {
+                oks += 1;
+                rounds.push(rep.rounds_from_first_wake as f64);
+            }
+        }
+        let s = Summary::of(&rounds);
+        wt.row(vec![
+            name.to_string(),
+            s.map_or("-".into(), |s| fmt_f64(s.mean)),
+            format!("{oks}/{trials}"),
+        ]);
+    }
+    out.push_str(&format!(
+        "E7a: ad hoc wake-up on a D={d} cluster chain (n={n}); expect O(D log^2 n)\n\n{}",
+        wt.render()
+    ));
+
+    // --- consensus: domain sweep ---
+    let mut ct = Table::new(vec!["x(domain)", "bits", "rounds", "agreement", "valid"]);
+    let domains: &[u64] = cfg.pick(&[3, 15, 255], &[3]);
+    for &x in domains {
+        let bits = domain_bits(x);
+        let mut agree_all = true;
+        let mut valid_all = true;
+        let mut rounds = 0;
+        for t in 0..trials {
+            let seed = cfg.trial_seed(17, t as u64 * 10 + x);
+            let pts = cluster::chain_for_diameter(d, per_cluster, &params, seed);
+            let m = pts.len();
+            let values: Vec<u64> = (0..m as u64).map(|i| (i * 7 + 3) % (x + 1)).collect();
+            let rep = run_consensus(pts, &params, consts, &values, bits, d, seed).expect("valid");
+            agree_all &= rep.agreement;
+            valid_all &= rep.valid;
+            rounds = rep.rounds;
+        }
+        ct.row(vec![
+            x.to_string(),
+            bits.to_string(),
+            rounds.to_string(),
+            agree_all.to_string(),
+            valid_all.to_string(),
+        ]);
+    }
+    out.push_str(&format!(
+        "\nE7b: consensus on a D={d} chain; expect rounds ~ log(x)*(D log n + log^2 n)\n\n{}",
+        ct.render()
+    ));
+
+    // --- leader election ---
+    let mut lt = Table::new(vec!["trial", "rounds", "unique leader"]);
+    for t in 0..trials {
+        let seed = cfg.trial_seed(27, t as u64);
+        let pts = cluster::chain_for_diameter(d, per_cluster, &params, seed);
+        let rep = run_leader_election(pts, &params, consts, d, seed).expect("valid");
+        lt.row(vec![
+            t.to_string(),
+            rep.rounds.to_string(),
+            rep.unique.to_string(),
+        ]);
+    }
+    out.push_str(&format!(
+        "\nE7c: leader election on a D={d} chain; expect O(D log^2 n + log^3 n), unique leader whp\n\n{}",
+        lt.render()
+    ));
+
+    println!("{out}");
+    out
+}

@@ -1,0 +1,48 @@
+//! One module per experiment; each exposes `run(&ExpConfig) -> String`
+//! printing and returning its table.
+
+pub mod a1;
+pub mod a2;
+pub mod a3;
+pub mod e1;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+
+use crate::ExpConfig;
+
+/// Runs an experiment by id; `None` for unknown ids.
+pub fn run_by_id(id: &str, cfg: &ExpConfig) -> Option<String> {
+    let out = match id {
+        "e1" => e1::run(cfg),
+        "e2" => e2::run(cfg),
+        "e3" => e3::run(cfg),
+        "e4" => e4::run(cfg),
+        "e5" => e5::run(cfg),
+        "e6" => e6::run(cfg),
+        "e7" => e7::run(cfg),
+        "e8" => e8::run(cfg),
+        "e9" => e9::run(cfg),
+        "e10" => e10::run(cfg),
+        "e11" => e11::run(cfg),
+        "e12" => e12::run(cfg),
+        "a1" => a1::run(cfg),
+        "a2" => a2::run(cfg),
+        "a3" => a3::run(cfg),
+        _ => return None,
+    };
+    Some(out)
+}
+
+/// All experiment ids in canonical order.
+pub const ALL_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3",
+];

@@ -1,0 +1,29 @@
+//! Experiment harness reproducing the paper's stated bounds.
+//!
+//! The paper (PODC 2014) is pure theory — no tables or figures — so the
+//! "evaluation" to reproduce is the set of stated complexity bounds and
+//! invariants. Each experiment module regenerates one table of
+//! `EXPERIMENTS.md`; the `experiments` binary runs them by id:
+//!
+//! | id | claim |
+//! |----|-------|
+//! | e1 | Fact 7: `StabilizeProbability` runs in `O(log² n)` rounds |
+//! | e2 | Lemma 1: per-color unit-ball mass bounded by a constant |
+//! | e3 | Lemma 2: every station has a constant-mass color nearby |
+//! | e4 | Theorem 1: `NoSBroadcast` in `O(D log² n)` |
+//! | e5 | Theorem 2: `SBroadcast` in `O(D log n + log² n)` |
+//! | e6 | granularity independence vs the Daum et al. baseline |
+//! | e7 | Section 5 applications: wake-up, consensus, leader election |
+//! | e8 | whp success rates |
+//! | e9 | baseline comparison across density regimes |
+//! | e10 | robustness to the population estimate ν |
+//! | e11 | hard instances: bridge, ring, two-tier density |
+//! | e12 | geometry-blind vs GPS-oracle TDMA (the title question) |
+//! | a1 | ablation: the `c_ε` Playoff scale-up |
+//! | a2 | ablation: removing Playoff breaks Lemma 2 |
+//! | a3 | ablation: interference-evaluation fidelity (exact / aggregate / truncated) |
+
+pub mod config;
+pub mod experiments;
+
+pub use config::ExpConfig;

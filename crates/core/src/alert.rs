@@ -1,0 +1,175 @@
+//! The alert protocol (Section 1.3 lists it among the applications of the
+//! coloring backbone).
+//!
+//! Standard formulation: an adversary *alerts* an arbitrary subset of
+//! stations at arbitrary rounds; every station must learn **whether any
+//! alert has occurred** within `O(D log n + log² n)` rounds of the first
+//! alert. With an established coloring this is a repeating sequence of
+//! wake-up-with-coloring windows aligned to the global clock: an alerted
+//! station raises the signal in the next window; the signal floods with the
+//! Fact 11 probabilities; a window with no alert stays silent (perfect
+//! quiescence — no false positives and no idle energy).
+
+use sinr_runtime::{bernoulli, NodeCtx, Protocol};
+
+use crate::constants::Constants;
+
+/// Per-node alert-protocol state machine over an established coloring.
+#[derive(Debug)]
+pub struct AlertNode {
+    color: f64,
+    n: usize,
+    consts: Constants,
+    window: u64,
+    /// Round at which the adversary alerts this node, if ever.
+    alert_at: Option<u64>,
+    /// Whether this node currently carries the alarm signal.
+    signalled: bool,
+    /// Round at which this node first learned of an alert.
+    learned_at: Option<u64>,
+}
+
+impl AlertNode {
+    /// Creates the node with its backbone `color` and per-window length
+    /// `window` (use [`Constants::wakeup_window`] with a diameter bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(
+        color: f64,
+        alert_at: Option<u64>,
+        n: usize,
+        consts: Constants,
+        window: u64,
+    ) -> Self {
+        assert!(window > 0, "window must be positive");
+        AlertNode {
+            color,
+            n,
+            consts,
+            window,
+            alert_at,
+            signalled: false,
+            learned_at: None,
+        }
+    }
+
+    /// Whether this node knows an alert occurred.
+    pub fn alarmed(&self) -> bool {
+        self.learned_at.is_some()
+    }
+
+    /// Round at which this node learned of the alert.
+    pub fn learned_at(&self) -> Option<u64> {
+        self.learned_at
+    }
+}
+
+impl Protocol for AlertNode {
+    type Msg = ();
+
+    fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<()> {
+        // The adversary's alert fires between rounds; an alerted station
+        // joins the flood at its next poll.
+        if let Some(a) = self.alert_at {
+            if a <= ctx.round && self.learned_at.is_none() {
+                self.signalled = true;
+                self.learned_at = Some(ctx.round.max(a));
+            }
+        }
+        if !self.signalled {
+            return None;
+        }
+        // Window-aligned flood: carriers transmit through every window.
+        let p = self.consts.dissemination_prob(self.color, self.n);
+        bernoulli(ctx.rng, p).then_some(())
+    }
+
+    fn on_round_end(&mut self, ctx: &mut NodeCtx<'_>, _tx: bool, rx: Option<&()>) {
+        let _ = self.window; // windows only matter for the time accounting
+        if rx.is_some() {
+            self.signalled = true;
+            if self.learned_at.is_none() {
+                self.learned_at = Some(ctx.round);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.alarmed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point2;
+    use sinr_phy::{Network, SinrParams};
+    use sinr_runtime::Engine;
+
+    fn fast() -> Constants {
+        Constants {
+            c0: 4.0,
+            c2: 4.0,
+            c_prime: 1,
+            ..Constants::tuned()
+        }
+    }
+
+    fn path(n: usize) -> Network<Point2> {
+        let pts: Vec<Point2> = (0..n).map(|i| Point2::new(i as f64 * 0.45, 0.0)).collect();
+        Network::new(pts, SinrParams::default_plane()).unwrap()
+    }
+
+    #[test]
+    fn quiescent_without_alerts() {
+        let n = 5;
+        let consts = fast();
+        let mut eng = Engine::new(path(n), 1, |_| {
+            AlertNode::new(consts.p_max(), None, n, consts, 100)
+        });
+        eng.run_rounds(500);
+        assert_eq!(eng.trace().total_transmissions(), 0, "alert protocol must idle silently");
+        assert!(eng.nodes().iter().all(|nd| !nd.alarmed()));
+    }
+
+    #[test]
+    fn single_alert_reaches_everyone() {
+        let n = 6;
+        let consts = fast();
+        let window = consts.wakeup_window(n, n as u32);
+        let mut eng = Engine::new(path(n), 2, |id| {
+            AlertNode::new(consts.p_max(), (id == 3).then_some(7), n, consts, window)
+        });
+        let res = eng.run_until(window * 4, |e| e.nodes().iter().all(AlertNode::alarmed));
+        assert!(res.completed, "alarm did not spread");
+        assert_eq!(eng.nodes()[3].learned_at(), Some(7));
+        for nd in eng.nodes() {
+            assert!(nd.learned_at().unwrap() >= 7);
+        }
+    }
+
+    #[test]
+    fn multiple_alerts_merge() {
+        let n = 6;
+        let consts = fast();
+        let window = consts.wakeup_window(n, n as u32);
+        let mut eng = Engine::new(path(n), 3, |id| {
+            let alert = match id {
+                0 => Some(4u64),
+                5 => Some(9),
+                _ => None,
+            };
+            AlertNode::new(consts.p_max(), alert, n, consts, window)
+        });
+        let res = eng.run_until(window * 4, |e| e.nodes().iter().all(AlertNode::alarmed));
+        assert!(res.completed);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_rejected() {
+        let _ = AlertNode::new(0.01, None, 4, fast(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixed-probability flooding — the naive baseline.
+//!
+//! Every informed station transmits the message with the same fixed
+//! probability `p` each round. On networks of homogeneous density there is
+//! a good `p` (≈ 1/(local density)), but no single `p` works across a
+//! network whose density varies — experiment E9 demonstrates the failure
+//! mode that motivates the paper's density-adaptive coloring.
+
+use sinr_runtime::{bernoulli, NodeCtx, Protocol};
+
+/// Per-node state machine of fixed-probability flooding.
+#[derive(Debug)]
+pub struct FloodNode {
+    payload: Option<u64>,
+    informed_at: Option<u64>,
+    p: f64,
+}
+
+impl FloodNode {
+    /// Creates the node; every informed station transmits with probability
+    /// `p` per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p <= 1`.
+    pub fn new(id: usize, source: usize, payload: u64, p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "flood probability must be in (0,1], got {p}");
+        FloodNode {
+            payload: (id == source).then_some(payload),
+            informed_at: (id == source).then_some(0),
+            p,
+        }
+    }
+
+    /// Whether the node holds the message.
+    pub fn informed(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    /// Round at which the node became informed.
+    pub fn informed_at(&self) -> Option<u64> {
+        self.informed_at
+    }
+}
+
+impl Protocol for FloodNode {
+    type Msg = u64;
+
+    fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<u64> {
+        let payload = self.payload?;
+        bernoulli(ctx.rng, self.p).then_some(payload)
+    }
+
+    fn on_round_end(&mut self, ctx: &mut NodeCtx<'_>, _tx: bool, rx: Option<&u64>) {
+        if let Some(&msg) = rx {
+            if self.payload.is_none() {
+                self.payload = Some(msg);
+                self.informed_at = Some(ctx.round);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.informed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point2;
+    use sinr_phy::{Network, SinrParams};
+    use sinr_runtime::Engine;
+
+    #[test]
+    fn floods_sparse_path_quickly() {
+        let n = 5;
+        let pts: Vec<Point2> = (0..n).map(|i| Point2::new(i as f64 * 0.45, 0.0)).collect();
+        let net = Network::new(pts, SinrParams::default_plane()).unwrap();
+        let mut eng = Engine::new(net, 1, |id| FloodNode::new(id, 0, 3, 0.3));
+        let res = eng.run_until_all_done(10_000);
+        assert!(res.completed);
+    }
+
+    #[test]
+    fn dense_clique_with_high_p_struggles() {
+        // A 30-station clique plus one outlier within range. After round 1
+        // the whole clique is informed; with p = 0.9 the 30 transmitters
+        // jam each other and essentially never deliver to the outlier,
+        // while p = 0.05 gives a constant per-round success probability.
+        let n = 30;
+        let mut pts: Vec<Point2> = (0..n)
+            .map(|i| {
+                let ang = i as f64 * 0.21;
+                Point2::new(0.05 * ang.cos(), 0.05 * ang.sin())
+            })
+            .collect();
+        pts.push(Point2::new(0.4, 0.0)); // outlier, inside comm range
+        let run = |p: f64| {
+            let net = Network::new(pts.clone(), SinrParams::default_plane()).unwrap();
+            // Whole clique informed from the start (source = own id);
+            // only the outlier needs the message.
+            let mut eng = Engine::new(net, 7, |id| {
+                FloodNode::new(id, if id < n { id } else { usize::MAX }, 3, p)
+            });
+            eng.run_until_all_done(5_000)
+        };
+        let high = run(0.9);
+        let low = run(0.05);
+        assert!(low.completed, "low-p flooding should finish: {low:?}");
+        assert!(
+            !high.completed || high.rounds > low.rounds,
+            "high-p flooding should be slower: {high:?} vs {low:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_probability() {
+        let _ = FloodNode::new(0, 0, 1, 0.0);
+    }
+}

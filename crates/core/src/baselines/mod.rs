@@ -1,0 +1,19 @@
+//! Baseline broadcast algorithms the paper is compared against.
+//!
+//! * [`daum`] — granularity-dependent decay-class broadcast in the style of
+//!   Daum et al. (DISC 2013), the paper's reference [5];
+//! * [`flood`] — naive fixed-probability flooding;
+//! * [`local`] — adaptive local-broadcast-style flooding after
+//!   Halldórsson & Mitra (FOMC 2012), the paper's reference [11];
+//! * [`gps`] — the GPS-oracle grid TDMA, full geometry knowledge in its
+//!   strongest form (the yardstick for the paper's title question).
+
+pub mod daum;
+pub mod gps;
+pub mod flood;
+pub mod local;
+
+pub use daum::DaumBroadcastNode;
+pub use gps::run_gps_oracle_broadcast;
+pub use flood::FloodNode;
+pub use local::LocalBroadcastNode;

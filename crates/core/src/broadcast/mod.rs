@@ -1,0 +1,12 @@
+//! The paper's two broadcast algorithms.
+//!
+//! * [`nonspontaneous`] — `NoSBroadcast`, Theorem 1: `O(D log² n)` without
+//!   spontaneous wake-up;
+//! * [`spontaneous`] — `SBroadcast`, Theorem 2: `O(D log n + log² n)` with
+//!   spontaneous wake-up.
+
+pub mod nonspontaneous;
+pub mod spontaneous;
+
+pub use nonspontaneous::{NMsg, NoSBroadcastNode};
+pub use spontaneous::{SBroadcastNode, SMsg};

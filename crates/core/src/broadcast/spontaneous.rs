@@ -1,0 +1,168 @@
+//! `SBroadcast` — broadcast with spontaneous wake-up (Theorem 2):
+//! `O(D log n + log² n)` rounds whp.
+//!
+//! All stations wake together, so the network first runs one global
+//! `StabilizeProbability` (the `O(log² n)` term — a communication backbone
+//! in the form of a coloring), after which the source transmits its message
+//! deterministically once, and every informed station relays it with
+//! probability `p_v·c_ε/(c_b·log n)` per round. Each hop of the shortest
+//! path is crossed with probability `Θ(1/log n)` per round, giving the
+//! `O(D log n)` pipeline term.
+
+use sinr_runtime::{bernoulli, NodeCtx, Protocol};
+
+use crate::coloring::ColoringMachine;
+use crate::constants::Constants;
+
+/// Message carried during an `SBroadcast` run. Coloring-phase traffic has
+/// no payload; dissemination traffic carries the source message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SMsg {
+    /// The broadcast payload, present once the sender is informed.
+    pub payload: Option<u64>,
+}
+
+/// Per-node state machine of `SBroadcast`.
+#[derive(Debug)]
+pub struct SBroadcastNode {
+    id: usize,
+    source: usize,
+    payload: Option<u64>,
+    consts: Constants,
+    n: usize,
+    machine: ColoringMachine,
+    coloring_len: u64,
+}
+
+impl SBroadcastNode {
+    /// Creates the state machine; the `source` node holds `payload`.
+    pub fn new(id: usize, source: usize, payload: u64, n: usize, consts: Constants) -> Self {
+        SBroadcastNode {
+            id,
+            source,
+            payload: (id == source).then_some(payload),
+            consts,
+            n,
+            machine: ColoringMachine::new(n, consts),
+            coloring_len: ColoringMachine::total_rounds(n, &consts),
+        }
+    }
+
+    /// Whether this node knows the broadcast message.
+    pub fn informed(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    /// The node's assigned color once the preprocessing finished.
+    pub fn color(&self) -> Option<f64> {
+        self.machine.color()
+    }
+}
+
+impl Protocol for SBroadcastNode {
+    type Msg = SMsg;
+
+    fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<SMsg> {
+        if ctx.round < self.coloring_len {
+            // Preprocessing: everyone runs StabilizeProbability. The source
+            // attaches its payload so early receptions already inform.
+            return self
+                .machine
+                .poll_transmit(ctx.rng)
+                .then(|| SMsg { payload: self.payload });
+        }
+        if ctx.round == self.coloring_len {
+            // The source announces deterministically (paper: "the source
+            // node transmits the message deterministically").
+            return (self.id == self.source).then(|| SMsg { payload: self.payload });
+        }
+        // Relay: informed stations transmit with the Fact 11 probability.
+        if self.payload.is_some() {
+            let color = self.machine.color().unwrap_or(0.0);
+            let p = self.consts.dissemination_prob(color, self.n);
+            return bernoulli(ctx.rng, p).then(|| SMsg { payload: self.payload });
+        }
+        None
+    }
+
+    fn on_round_end(&mut self, ctx: &mut NodeCtx<'_>, _tx: bool, rx: Option<&SMsg>) {
+        if let Some(msg) = rx {
+            if self.payload.is_none() {
+                self.payload = msg.payload;
+            }
+        }
+        if ctx.round < self.coloring_len {
+            self.machine.on_round_end(rx.is_some());
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.informed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point2;
+    use sinr_phy::{Network, SinrParams};
+    use sinr_runtime::Engine;
+
+    fn fast_consts() -> Constants {
+        Constants {
+            c0: 4.0,
+            c2: 4.0,
+            c_prime: 1,
+            ..Constants::tuned()
+        }
+    }
+
+    #[test]
+    fn informs_a_short_path() {
+        let params = SinrParams::default_plane();
+        let pts: Vec<Point2> = (0..6).map(|i| Point2::new(i as f64 * 0.45, 0.0)).collect();
+        let n = pts.len();
+        let net = Network::new(pts, params).unwrap();
+        let consts = fast_consts();
+        let mut eng = Engine::new(net, 5, |id| SBroadcastNode::new(id, 0, 99, n, consts));
+        let res = eng.run_until_all_done(200_000);
+        assert!(res.completed, "broadcast did not finish");
+        assert!(eng.nodes().iter().all(|nd| nd.informed()));
+    }
+
+    #[test]
+    fn payload_propagates_unchanged() {
+        let params = SinrParams::default_plane();
+        let pts: Vec<Point2> = (0..4).map(|i| Point2::new(i as f64 * 0.4, 0.0)).collect();
+        let n = pts.len();
+        let net = Network::new(pts, params).unwrap();
+        let consts = fast_consts();
+        let mut eng = Engine::new(net, 9, |id| SBroadcastNode::new(id, 2, 1234, n, consts));
+        let res = eng.run_until_all_done(200_000);
+        assert!(res.completed);
+        for nd in eng.nodes() {
+            assert_eq!(nd.payload, Some(1234));
+        }
+    }
+
+    #[test]
+    fn source_is_done_immediately() {
+        let consts = fast_consts();
+        let node = SBroadcastNode::new(3, 3, 7, 10, consts);
+        assert!(node.is_done());
+        let other = SBroadcastNode::new(2, 3, 7, 10, consts);
+        assert!(!other.is_done());
+    }
+
+    #[test]
+    fn colors_assigned_after_preprocessing() {
+        let params = SinrParams::default_plane();
+        let pts: Vec<Point2> = (0..5).map(|i| Point2::new(i as f64 * 0.4, 0.0)).collect();
+        let n = pts.len();
+        let net = Network::new(pts, params).unwrap();
+        let consts = fast_consts();
+        let mut eng = Engine::new(net, 2, |id| SBroadcastNode::new(id, 0, 1, n, consts));
+        eng.run_rounds(ColoringMachine::total_rounds(n, &consts));
+        assert!(eng.nodes().iter().all(|nd| nd.color().is_some()));
+    }
+}

@@ -1,0 +1,256 @@
+//! Consensus in the ad hoc setting (Section 5): agreement on the
+//! lexicographically smallest input value in
+//! `O(D log n · log x + log² n · log x)` rounds.
+//!
+//! All stations start simultaneously (global clock). The protocol first
+//! establishes a backbone coloring with one `StabilizeProbability`
+//! execution, then reveals the minimum value bit by bit, most significant
+//! first: in iteration `i`, the stations whose value extends the
+//! already-agreed prefix with a `0` bit initiate a wake-up-with-established-
+//! coloring inside a window of [`Constants::wakeup_window`] rounds. The
+//! window's signal reaches everyone whp iff some station had that `0`
+//! extension, so at the window's end every station appends the same bit.
+#![allow(clippy::needless_range_loop)]
+
+use sinr_runtime::{bernoulli, NodeCtx, Protocol};
+
+use crate::coloring::ColoringMachine;
+use crate::constants::Constants;
+
+/// Message of the consensus protocol: the bit-iteration the signal belongs
+/// to (windows are globally aligned, so this is a consistency tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsensusMsg {
+    /// Bit iteration index.
+    pub iter: u32,
+}
+
+/// Per-node consensus state machine.
+#[derive(Debug)]
+pub struct ConsensusNode {
+    value: u64,
+    bits: u32,
+    n: usize,
+    consts: Constants,
+    window: u64,
+    machine: ColoringMachine,
+    coloring_len: u64,
+    /// Bits agreed so far (prefix, MSB first).
+    agreed: u64,
+    iters_done: u32,
+    signalled: bool,
+}
+
+impl ConsensusNode {
+    /// Creates a node with input `value` from the domain `[0, 2^bits)`;
+    /// `window` is the per-bit wake-up window
+    /// (use [`Constants::wakeup_window`] with a diameter bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= 2^bits` or `bits` is 0 or exceeds 63.
+    pub fn new(value: u64, bits: u32, n: usize, consts: Constants, window: u64) -> Self {
+        assert!(bits > 0 && bits < 64, "bits must be in 1..=63, got {bits}");
+        assert!(
+            value < (1u64 << bits),
+            "value {value} outside the {bits}-bit domain"
+        );
+        assert!(window > 0, "window must be positive");
+        ConsensusNode {
+            value,
+            bits,
+            n,
+            consts,
+            window,
+            machine: ColoringMachine::new(n, consts),
+            coloring_len: ColoringMachine::total_rounds(n, &consts),
+            agreed: 0,
+            iters_done: 0,
+            signalled: false,
+        }
+    }
+
+    /// The decided value, once all bit iterations completed.
+    pub fn decided(&self) -> Option<u64> {
+        (self.iters_done == self.bits).then_some(self.agreed)
+    }
+
+    /// This node's input value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Total schedule length: coloring plus `bits` windows.
+    pub fn total_rounds(&self) -> u64 {
+        self.coloring_len + self.bits as u64 * self.window
+    }
+
+    /// Whether this node initiates the wake-up of iteration `iter`: its
+    /// value extends the agreed prefix with bit 0.
+    fn initiates(&self, iter: u32) -> bool {
+        debug_assert!(iter < self.bits);
+        let shift = self.bits - 1 - iter;
+        (self.value >> shift) == (self.agreed << 1)
+    }
+}
+
+impl Protocol for ConsensusNode {
+    type Msg = ConsensusMsg;
+
+    fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<ConsensusMsg> {
+        if ctx.round < self.coloring_len {
+            return self
+                .machine
+                .poll_transmit(ctx.rng)
+                .then_some(ConsensusMsg { iter: u32::MAX });
+        }
+        let t = ctx.round - self.coloring_len;
+        let iter = (t / self.window) as u32;
+        let pos = t % self.window;
+        if iter >= self.bits {
+            return None; // protocol over
+        }
+        if pos == 0 {
+            // Window start: initiators raise the signal.
+            self.signalled = self.initiates(iter);
+        }
+        if !self.signalled {
+            return None;
+        }
+        let color = self.machine.color().expect("backbone established");
+        let p = self.consts.dissemination_prob(color, self.n);
+        bernoulli(ctx.rng, p).then_some(ConsensusMsg { iter })
+    }
+
+    fn on_round_end(&mut self, ctx: &mut NodeCtx<'_>, _tx: bool, rx: Option<&ConsensusMsg>) {
+        if ctx.round < self.coloring_len {
+            self.machine.on_round_end(rx.is_some());
+            return;
+        }
+        let t = ctx.round - self.coloring_len;
+        let iter = (t / self.window) as u32;
+        let pos = t % self.window;
+        if iter >= self.bits {
+            return;
+        }
+        if let Some(msg) = rx {
+            debug_assert_eq!(msg.iter, iter, "signal crossed a window boundary");
+            self.signalled = true;
+        }
+        if pos == self.window - 1 {
+            // Window end: a heard (or initiated) signal pins the bit to 0.
+            let bit = u64::from(!self.signalled);
+            self.agreed = (self.agreed << 1) | bit;
+            self.iters_done = iter + 1;
+            self.signalled = false;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.iters_done == self.bits
+    }
+}
+
+/// Number of bits needed for the consensus domain `{0, …, x}`.
+pub fn domain_bits(x: u64) -> u32 {
+    64 - x.max(1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point2;
+    use sinr_phy::{Network, SinrParams};
+    use sinr_runtime::Engine;
+
+    fn fast_consts() -> Constants {
+        Constants {
+            c0: 4.0,
+            c2: 4.0,
+            c_prime: 1,
+            ..Constants::tuned()
+        }
+    }
+
+    fn run_consensus_on_path(values: &[u64], bits: u32, seed: u64) -> Vec<Option<u64>> {
+        let n = values.len();
+        let pts: Vec<Point2> = (0..n).map(|i| Point2::new(i as f64 * 0.45, 0.0)).collect();
+        let net = Network::new(pts, SinrParams::default_plane()).unwrap();
+        let consts = fast_consts();
+        let window = consts.wakeup_window(n, n as u32);
+        let mut eng = Engine::new(net, seed, |id| {
+            ConsensusNode::new(values[id], bits, n, consts, window)
+        });
+        let total = eng.nodes()[0].total_rounds();
+        let res = eng.run_until_all_done(total + 10);
+        assert!(res.completed, "consensus did not finish in its schedule");
+        eng.nodes().iter().map(ConsensusNode::decided).collect()
+    }
+
+    #[test]
+    fn agrees_on_minimum() {
+        let decided = run_consensus_on_path(&[5, 3, 7, 6], 3, 1);
+        for d in &decided {
+            assert_eq!(*d, Some(3));
+        }
+    }
+
+    #[test]
+    fn all_equal_values() {
+        let decided = run_consensus_on_path(&[4, 4, 4], 3, 2);
+        assert!(decided.iter().all(|d| *d == Some(4)));
+    }
+
+    #[test]
+    fn minimum_zero() {
+        let decided = run_consensus_on_path(&[2, 0, 3], 2, 3);
+        assert!(decided.iter().all(|d| *d == Some(0)));
+    }
+
+    #[test]
+    fn single_node_decides_own_value() {
+        let decided = run_consensus_on_path(&[6], 3, 4);
+        assert_eq!(decided[0], Some(6));
+    }
+
+    #[test]
+    fn initiates_logic() {
+        let consts = fast_consts();
+        // value 0b101, bits 3.
+        let mut node = ConsensusNode::new(0b101, 3, 4, consts, 10);
+        // Iter 0: prefix agreed = 0; initiates iff top bit == 0. Top bit is 1.
+        assert!(!node.initiates(0));
+        // Suppose bit 0 agreed as 1.
+        node.agreed = 0b1;
+        // Iter 1: initiates iff value >> 1 == agreed<<1 = 0b10. value>>1 = 0b10. Yes.
+        assert!(node.initiates(1));
+        node.agreed = 0b10;
+        // Iter 2: initiates iff value >> 0 == 0b100; value = 0b101. No.
+        assert!(!node.initiates(2));
+    }
+
+    #[test]
+    fn domain_bits_values() {
+        assert_eq!(domain_bits(0), 1);
+        assert_eq!(domain_bits(1), 1);
+        assert_eq!(domain_bits(2), 2);
+        assert_eq!(domain_bits(7), 3);
+        assert_eq!(domain_bits(8), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn value_outside_domain_panics() {
+        let _ = ConsensusNode::new(8, 3, 4, fast_consts(), 10);
+    }
+
+    #[test]
+    fn schedule_length_formula() {
+        let consts = fast_consts();
+        let node = ConsensusNode::new(1, 4, 16, consts, 100);
+        assert_eq!(
+            node.total_rounds(),
+            consts.coloring_rounds(16) + 4 * 100
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Ad hoc broadcast under the SINR model without geolocation — the
+//! algorithms of Jurdzinski, Kowalski, Rozanski & Stachowiak, *On the
+//! Impact of Geometry on Ad Hoc Communication in Wireless Networks*
+//! (PODC 2014), implemented as round-driven state machines over the
+//! [`sinr_runtime`] engine.
+//!
+//! # What's here
+//!
+//! * [`coloring::ColoringMachine`] — `StabilizeProbability` (Section 3),
+//!   the distributed coloring that assigns each station a transmission
+//!   probability such that per-color unit-ball mass is bounded (Lemma 1)
+//!   and every station has a constant-mass color nearby (Lemma 2);
+//! * [`broadcast::NoSBroadcastNode`] — Theorem 1, `O(D log² n)` broadcast
+//!   without spontaneous wake-up;
+//! * [`broadcast::SBroadcastNode`] — Theorem 2, `O(D log n + log² n)`
+//!   broadcast with spontaneous wake-up;
+//! * [`wakeup`], [`consensus`], [`leader`], [`alert`] — the Section 5
+//!   applications;
+//! * [`baselines`] — Daum et al.-style decay broadcast, fixed-probability
+//!   flooding, and adaptive local-broadcast flooding;
+//! * [`verify`] — measurement of the Lemma 1/Lemma 2 invariants;
+//! * [`run`] — one-call runners returning experiment-ready reports.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sinr_core::{run::run_s_broadcast, Constants};
+//! use sinr_geometry::Point2;
+//! use sinr_phy::SinrParams;
+//!
+//! let params = SinrParams::default_plane();
+//! let consts = Constants::tuned();
+//! let points: Vec<Point2> = (0..6).map(|i| Point2::new(i as f64 * 0.45, 0.0)).collect();
+//! let report = run_s_broadcast(points, &params, consts, 0, 42, 1_000_000)?;
+//! assert!(report.completed);
+//! # Ok::<(), sinr_phy::NetworkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alert;
+pub mod baselines;
+pub mod broadcast;
+pub mod coloring;
+pub mod consensus;
+pub mod constants;
+pub mod leader;
+pub mod localcast;
+pub mod run;
+pub mod stabilize;
+pub mod verify;
+pub mod wakeup;
+
+pub use coloring::ColoringMachine;
+pub use constants::{log2n, Constants};
+pub use stabilize::{run_stabilize, run_stabilize_on, ColoringRun, StabilizeProtocol};
+pub use verify::{invariant_report, lemma1_max_ball_mass, lemma2_min_close_mass, Coloring, InvariantReport};

@@ -1,0 +1,578 @@
+//! High-level runners: build a network, drive a protocol, return a report.
+//!
+//! These are the entry points used by examples, integration tests and the
+//! experiment harness. All runners are deterministic in `seed`.
+
+use sinr_geometry::MetricPoint;
+use sinr_phy::{Network, NetworkError, SinrParams};
+use sinr_runtime::{Engine, Protocol, WakeSchedule};
+
+use crate::baselines::{DaumBroadcastNode, FloodNode, LocalBroadcastNode};
+use crate::broadcast::{NoSBroadcastNode, SBroadcastNode};
+use crate::consensus::ConsensusNode;
+use crate::constants::Constants;
+use crate::leader::LeaderNode;
+use crate::wakeup::AdhocWakeupNode;
+
+/// Outcome of a broadcast-style run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BroadcastReport {
+    /// Stations in the network.
+    pub n: usize,
+    /// Rounds until every station was informed (or the budget, if not).
+    pub rounds: u64,
+    /// Whether every station was informed within the budget.
+    pub completed: bool,
+    /// Stations informed at the end.
+    pub informed: usize,
+    /// Total transmissions across the run (energy proxy).
+    pub total_transmissions: u64,
+}
+
+fn drive_broadcast<P, Pr>(
+    net: Network<P>,
+    seed: u64,
+    max_rounds: u64,
+    make: impl FnMut(usize) -> Pr,
+    informed: impl Fn(&Pr) -> bool,
+) -> BroadcastReport
+where
+    P: MetricPoint,
+    Pr: Protocol,
+{
+    let n = net.len();
+    let mut eng = Engine::new(net, seed, make);
+    let res = eng.run_until(max_rounds, |e| e.nodes().iter().all(&informed));
+    let count = eng.nodes().iter().filter(|p| informed(p)).count();
+    BroadcastReport {
+        n,
+        rounds: res.rounds,
+        completed: res.completed,
+        informed: count,
+        total_transmissions: eng.trace().total_transmissions(),
+    }
+}
+
+/// Runs `NoSBroadcast` (Theorem 1) from `source`.
+///
+/// # Errors
+///
+/// Propagates network-construction failures.
+pub fn run_nos_broadcast<P: MetricPoint>(
+    points: Vec<P>,
+    params: &SinrParams,
+    consts: Constants,
+    source: usize,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<BroadcastReport, NetworkError> {
+    let net = Network::new(points, *params)?;
+    let n = net.len();
+    Ok(drive_broadcast(
+        net,
+        seed,
+        max_rounds,
+        |id| NoSBroadcastNode::new(id, source, 1, n, consts),
+        NoSBroadcastNode::informed,
+    ))
+}
+
+/// Runs `SBroadcast` (Theorem 2) from `source`.
+///
+/// # Errors
+///
+/// Propagates network-construction failures.
+pub fn run_s_broadcast<P: MetricPoint>(
+    points: Vec<P>,
+    params: &SinrParams,
+    consts: Constants,
+    source: usize,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<BroadcastReport, NetworkError> {
+    let net = Network::new(points, *params)?;
+    let n = net.len();
+    Ok(drive_broadcast(
+        net,
+        seed,
+        max_rounds,
+        |id| SBroadcastNode::new(id, source, 1, n, consts),
+        SBroadcastNode::informed,
+    ))
+}
+
+/// Runs the Daum-style decay baseline; `granularity` defaults to the
+/// network's measured `R_s` when `None` (the baseline assumes it known).
+///
+/// # Errors
+///
+/// Propagates network-construction failures.
+pub fn run_daum_broadcast<P: MetricPoint>(
+    points: Vec<P>,
+    params: &SinrParams,
+    source: usize,
+    granularity: Option<f64>,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<BroadcastReport, NetworkError> {
+    let net = Network::new(points, *params)?;
+    let n = net.len();
+    let rs = granularity.or_else(|| net.granularity()).unwrap_or(1.0);
+    let alpha = params.alpha();
+    Ok(drive_broadcast(
+        net,
+        seed,
+        max_rounds,
+        |id| DaumBroadcastNode::new(id, source, 1, n, rs, alpha),
+        DaumBroadcastNode::informed,
+    ))
+}
+
+/// Runs fixed-probability flooding with probability `p`.
+///
+/// # Errors
+///
+/// Propagates network-construction failures.
+pub fn run_flood_broadcast<P: MetricPoint>(
+    points: Vec<P>,
+    params: &SinrParams,
+    source: usize,
+    p: f64,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<BroadcastReport, NetworkError> {
+    let net = Network::new(points, *params)?;
+    Ok(drive_broadcast(
+        net,
+        seed,
+        max_rounds,
+        |id| FloodNode::new(id, source, 1, p),
+        FloodNode::informed,
+    ))
+}
+
+/// Runs the adaptive local-broadcast-style baseline.
+///
+/// # Errors
+///
+/// Propagates network-construction failures.
+pub fn run_local_broadcast<P: MetricPoint>(
+    points: Vec<P>,
+    params: &SinrParams,
+    source: usize,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<BroadcastReport, NetworkError> {
+    let net = Network::new(points, *params)?;
+    let n = net.len();
+    Ok(drive_broadcast(
+        net,
+        seed,
+        max_rounds,
+        |id| LocalBroadcastNode::new(id, source, 1, n, 0.5),
+        LocalBroadcastNode::informed,
+    ))
+}
+
+/// As [`run_s_broadcast`], with an explicit interference-evaluation mode
+/// (used by the A3 simulator-fidelity ablation: exact vs. cell-aggregated
+/// vs. truncated physics on identical seeds).
+///
+/// # Errors
+///
+/// Propagates network-construction failures.
+pub fn run_s_broadcast_in_mode<P: MetricPoint>(
+    points: Vec<P>,
+    params: &SinrParams,
+    consts: Constants,
+    source: usize,
+    mode: sinr_phy::InterferenceMode,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<BroadcastReport, NetworkError> {
+    let net = Network::new(points, *params)?.with_interference_mode(mode);
+    let n = net.len();
+    Ok(drive_broadcast(
+        net,
+        seed,
+        max_rounds,
+        |id| SBroadcastNode::new(id, source, 1, n, consts),
+        SBroadcastNode::informed,
+    ))
+}
+
+/// As [`run_s_broadcast`], but the stations are told the population
+/// **estimate** `nu` instead of the true `n` (the paper only requires
+/// `ν ≥ n` with `ν = O(n^c)`; running time becomes
+/// `O(D log ν + log² ν)`).
+///
+/// # Errors
+///
+/// Propagates network-construction failures.
+///
+/// # Panics
+///
+/// Panics if `nu` is below the actual station count.
+pub fn run_s_broadcast_with_estimate<P: MetricPoint>(
+    points: Vec<P>,
+    params: &SinrParams,
+    consts: Constants,
+    source: usize,
+    nu: usize,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<BroadcastReport, NetworkError> {
+    let net = Network::new(points, *params)?;
+    assert!(nu >= net.len(), "estimate nu = {nu} below n = {}", net.len());
+    Ok(drive_broadcast(
+        net,
+        seed,
+        max_rounds,
+        |id| SBroadcastNode::new(id, source, 1, nu, consts),
+        SBroadcastNode::informed,
+    ))
+}
+
+/// As [`run_nos_broadcast`], with a population estimate `nu ≥ n`
+/// (running time `O(D log² ν)`).
+///
+/// # Errors
+///
+/// Propagates network-construction failures.
+///
+/// # Panics
+///
+/// Panics if `nu` is below the actual station count.
+pub fn run_nos_broadcast_with_estimate<P: MetricPoint>(
+    points: Vec<P>,
+    params: &SinrParams,
+    consts: Constants,
+    source: usize,
+    nu: usize,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<BroadcastReport, NetworkError> {
+    let net = Network::new(points, *params)?;
+    assert!(nu >= net.len(), "estimate nu = {nu} below n = {}", net.len());
+    Ok(drive_broadcast(
+        net,
+        seed,
+        max_rounds,
+        |id| NoSBroadcastNode::new(id, source, 1, nu, consts),
+        NoSBroadcastNode::informed,
+    ))
+}
+
+/// Outcome of an ad hoc wake-up run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WakeupReport {
+    /// Stations in the network.
+    pub n: usize,
+    /// Round of the first spontaneous wake-up.
+    pub first_wake: u64,
+    /// Rounds from the first spontaneous wake-up until all awake
+    /// (the paper's running-time accounting), or the budget if incomplete.
+    pub rounds_from_first_wake: u64,
+    /// Whether every station woke within the budget.
+    pub completed: bool,
+}
+
+/// Runs the ad hoc wake-up protocol under an adversarial schedule.
+///
+/// # Errors
+///
+/// Propagates network-construction failures.
+///
+/// # Panics
+///
+/// Panics if the schedule wakes nobody (running time would be undefined).
+pub fn run_adhoc_wakeup<P: MetricPoint>(
+    points: Vec<P>,
+    params: &SinrParams,
+    consts: Constants,
+    schedule: &WakeSchedule,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<WakeupReport, NetworkError> {
+    let net = Network::new(points, *params)?;
+    let n = net.len();
+    let first_wake = schedule
+        .first_wake(n)
+        .expect("wake schedule must wake at least one station");
+    let mut eng = Engine::new(net, seed, |id| AdhocWakeupNode::new(id, schedule, n, consts));
+    let res = eng.run_until(max_rounds, |e| e.nodes().iter().all(AdhocWakeupNode::awake));
+    Ok(WakeupReport {
+        n,
+        first_wake,
+        rounds_from_first_wake: res.rounds.saturating_sub(first_wake),
+        completed: res.completed,
+    })
+}
+
+/// Runs wake-up over an **established coloring**: `coloring` gives each
+/// station's backbone color, `initiators` the spontaneously-woken set.
+/// Completes in `O(D log n + log² n)` rounds whp
+/// (use [`Constants::wakeup_window`] as the budget).
+///
+/// # Errors
+///
+/// Propagates network-construction failures.
+///
+/// # Panics
+///
+/// Panics if the vector lengths disagree with the network size.
+pub fn run_established_wakeup<P: MetricPoint>(
+    points: Vec<P>,
+    params: &SinrParams,
+    consts: Constants,
+    coloring: &crate::verify::Coloring,
+    initiators: &[bool],
+    seed: u64,
+    max_rounds: u64,
+) -> Result<BroadcastReport, NetworkError> {
+    let net = Network::new(points, *params)?;
+    let n = net.len();
+    assert_eq!(coloring.len(), n, "coloring size mismatch");
+    assert_eq!(initiators.len(), n, "initiator flags size mismatch");
+    Ok(drive_broadcast(
+        net,
+        seed,
+        max_rounds,
+        |id| {
+            crate::wakeup::EstablishedWakeupNode::new(
+                coloring.colors[id],
+                initiators[id],
+                n,
+                consts,
+            )
+        },
+        |nd| nd.signalled,
+    ))
+}
+
+/// Outcome of a consensus run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsensusReport {
+    /// Per-station decisions.
+    pub decided: Vec<Option<u64>>,
+    /// Whether all stations decided the same value.
+    pub agreement: bool,
+    /// Whether the common decision equals the minimum input (validity).
+    pub valid: bool,
+    /// Rounds executed.
+    pub rounds: u64,
+}
+
+/// Runs bitwise consensus on `values` (domain `[0, 2^bits)`); `d_bound`
+/// bounds the communication-graph diameter for the per-bit window.
+///
+/// # Errors
+///
+/// Propagates network-construction failures.
+pub fn run_consensus<P: MetricPoint>(
+    points: Vec<P>,
+    params: &SinrParams,
+    consts: Constants,
+    values: &[u64],
+    bits: u32,
+    d_bound: u32,
+    seed: u64,
+) -> Result<ConsensusReport, NetworkError> {
+    assert_eq!(points.len(), values.len(), "one value per station");
+    let net = Network::new(points, *params)?;
+    let n = net.len();
+    let window = consts.wakeup_window(n, d_bound);
+    let mut eng = Engine::new(net, seed, |id| {
+        ConsensusNode::new(values[id], bits, n, consts, window)
+    });
+    let total = consts.coloring_rounds(n) + bits as u64 * window;
+    eng.run_rounds(total);
+    let decided: Vec<Option<u64>> = eng.nodes().iter().map(ConsensusNode::decided).collect();
+    let agreement = decided.windows(2).all(|w| w[0] == w[1]) && decided[0].is_some();
+    let min = values.iter().copied().min().unwrap_or(0);
+    let valid = agreement && decided[0] == Some(min);
+    Ok(ConsensusReport {
+        decided,
+        agreement,
+        valid,
+        rounds: total,
+    })
+}
+
+/// Outcome of a leader election.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaderReport {
+    /// Indices of stations that declared themselves leader.
+    pub leaders: Vec<usize>,
+    /// Whether exactly one leader emerged.
+    pub unique: bool,
+    /// Rounds executed.
+    pub rounds: u64,
+}
+
+/// Runs leader election: random IDs from `{1..n³}` then consensus on IDs.
+///
+/// # Errors
+///
+/// Propagates network-construction failures.
+pub fn run_leader_election<P: MetricPoint>(
+    points: Vec<P>,
+    params: &SinrParams,
+    consts: Constants,
+    d_bound: u32,
+    seed: u64,
+) -> Result<LeaderReport, NetworkError> {
+    use rand::Rng;
+    let net = Network::new(points, *params)?;
+    let n = net.len();
+    let bits = LeaderNode::id_bits(n);
+    let window = consts.wakeup_window(n, d_bound);
+    let mut eng = Engine::new(net, seed, |id| {
+        // Stream 1 draws IDs; stream 0 drives the protocol inside Engine.
+        let mut rng = sinr_runtime::node_rng(seed, id as u64, 1);
+        let id_value = rng.gen_range(1..(1u64 << bits));
+        LeaderNode::new(id_value, n, consts, window)
+    });
+    let total = consts.coloring_rounds(n) + bits as u64 * window;
+    eng.run_rounds(total);
+    let leaders: Vec<usize> = eng
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, nd)| nd.is_leader() == Some(true))
+        .map(|(i, _)| i)
+        .collect();
+    Ok(LeaderReport {
+        unique: leaders.len() == 1,
+        leaders,
+        rounds: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point2;
+
+    fn fast_consts() -> Constants {
+        Constants {
+            c0: 4.0,
+            c2: 4.0,
+            c_prime: 1,
+            dissem_factor: 4.0,
+            ..Constants::tuned()
+        }
+    }
+
+    fn path(n: usize) -> Vec<Point2> {
+        (0..n).map(|i| Point2::new(i as f64 * 0.45, 0.0)).collect()
+    }
+
+    #[test]
+    fn nos_runner_completes() {
+        let params = SinrParams::default_plane();
+        let consts = fast_consts();
+        let r = run_nos_broadcast(path(5), &params, consts, 0, 1, consts.phase_rounds(5) * 40)
+            .unwrap();
+        assert!(r.completed);
+        assert_eq!(r.informed, 5);
+        assert!(r.total_transmissions > 0);
+    }
+
+    #[test]
+    fn s_runner_completes() {
+        let params = SinrParams::default_plane();
+        let consts = fast_consts();
+        let r = run_s_broadcast(path(5), &params, consts, 0, 2, 200_000).unwrap();
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn baseline_runners_complete() {
+        let params = SinrParams::default_plane();
+        assert!(run_daum_broadcast(path(4), &params, 0, None, 3, 100_000)
+            .unwrap()
+            .completed);
+        assert!(run_flood_broadcast(path(4), &params, 0, 0.3, 3, 100_000)
+            .unwrap()
+            .completed);
+        assert!(run_local_broadcast(path(4), &params, 0, 3, 100_000)
+            .unwrap()
+            .completed);
+    }
+
+    #[test]
+    fn incomplete_run_reports_partial_informed() {
+        let params = SinrParams::default_plane();
+        let consts = fast_consts();
+        // Budget 0: only the source is informed.
+        let r = run_nos_broadcast(path(4), &params, consts, 0, 1, 0).unwrap();
+        assert!(!r.completed);
+        assert_eq!(r.informed, 1);
+        assert_eq!(r.rounds, 0);
+    }
+
+    #[test]
+    fn estimate_runner_completes_with_inflated_nu() {
+        let params = SinrParams::default_plane();
+        let consts = fast_consts();
+        let r = run_s_broadcast_with_estimate(path(5), &params, consts, 0, 40, 2, 2_000_000)
+            .unwrap();
+        assert!(r.completed);
+        let r = run_nos_broadcast_with_estimate(
+            path(5),
+            &params,
+            consts,
+            0,
+            40,
+            2,
+            consts.phase_rounds(40) * 60,
+        )
+        .unwrap();
+        assert!(r.completed);
+    }
+
+    #[test]
+    #[should_panic]
+    fn estimate_below_n_panics() {
+        let params = SinrParams::default_plane();
+        let _ = run_s_broadcast_with_estimate(path(5), &params, fast_consts(), 0, 3, 2, 100);
+    }
+
+    #[test]
+    fn consensus_runner_agrees_and_validates() {
+        let params = SinrParams::default_plane();
+        let consts = fast_consts();
+        let r = run_consensus(path(4), &params, consts, &[6, 2, 5, 7], 3, 4, 5).unwrap();
+        assert!(r.agreement, "{:?}", r.decided);
+        assert!(r.valid);
+        assert_eq!(r.decided[0], Some(2));
+    }
+
+    #[test]
+    fn leader_runner_unique() {
+        let params = SinrParams::default_plane();
+        let consts = fast_consts();
+        let r = run_leader_election(path(4), &params, consts, 4, 6).unwrap();
+        assert!(r.unique, "leaders: {:?}", r.leaders);
+    }
+
+    #[test]
+    fn wakeup_runner_accounts_from_first_wake() {
+        let params = SinrParams::default_plane();
+        let consts = fast_consts();
+        let schedule = WakeSchedule::single(0, 13);
+        let r = run_adhoc_wakeup(
+            path(4),
+            &params,
+            consts,
+            &schedule,
+            7,
+            consts.phase_rounds(4) * 40,
+        )
+        .unwrap();
+        assert!(r.completed);
+        assert_eq!(r.first_wake, 13);
+        assert!(r.rounds_from_first_wake > 0);
+    }
+}

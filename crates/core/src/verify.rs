@@ -1,0 +1,259 @@
+//! Coloring-invariant verifiers for Lemma 1 and Lemma 2.
+//!
+//! Given a finished coloring (one probability per station), these functions
+//! measure exactly the quantities the two lemmas bound:
+//!
+//! * **Lemma 1**: for every color `p` and every unit ball `B`,
+//!   `Σ_{w ∈ B, p_w = p} p_w < C₁`;
+//! * **Lemma 2**: for every station `v` there is a color `p` with
+//!   `Σ_{w ∈ B(v, ε/2), p_w = p} p_w ≥ C₂`.
+//!
+//! Balls are checked centred at every station — the standard discretisation
+//! (an adversarial ball centre can beat a station-centred one by at most the
+//! mass of a slightly larger station-centred ball, so station-centred checks
+//! certify the lemmas up to a constant).
+
+use std::collections::HashMap;
+
+use sinr_geometry::{GridIndex, MetricPoint};
+
+/// A finished coloring: `colors[v]` is station `v`'s assigned probability.
+/// Stations that did not participate carry `0.0` and are skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coloring {
+    /// Per-station color (transmission probability), 0 for non-participants.
+    pub colors: Vec<f64>,
+}
+
+impl Coloring {
+    /// Wraps per-station colors.
+    pub fn new(colors: Vec<f64>) -> Self {
+        Coloring { colors }
+    }
+
+    /// Number of stations (participants and not).
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Whether there are no stations.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// The distinct nonzero color values, ascending.
+    pub fn palette(&self) -> Vec<f64> {
+        let mut seen: Vec<f64> = Vec::new();
+        for &c in &self.colors {
+            if c > 0.0 && !seen.iter().any(|&s| s == c) {
+                seen.push(c);
+            }
+        }
+        seen.sort_by(f64::total_cmp);
+        seen
+    }
+
+    /// Number of distinct nonzero colors (the paper bounds this by
+    /// `O(log n)`).
+    pub fn num_colors(&self) -> usize {
+        self.palette().len()
+    }
+}
+
+/// Lemma 1 measurement: the maximum, over stations `v` and colors `p`, of
+/// the mass `Σ_{w ∈ B(v, radius), p_w = p} p_w`. The lemma asserts this
+/// stays below a constant `C₁` independent of `n`; pass `radius = 1.0` for
+/// unit balls.
+///
+/// Returns 0 for an empty or all-zero coloring.
+pub fn lemma1_max_ball_mass<P: MetricPoint>(
+    points: &[P],
+    coloring: &Coloring,
+    radius: f64,
+) -> f64 {
+    assert_eq!(points.len(), coloring.len(), "points/coloring size mismatch");
+    if points.is_empty() {
+        return 0.0;
+    }
+    let grid = GridIndex::build(points, radius.max(0.05));
+    let mut max_mass = 0.0f64;
+    let mut local: HashMap<u64, f64> = HashMap::new();
+    for (v, pv) in points.iter().enumerate() {
+        local.clear();
+        for w in grid.ball(points, *pv, radius) {
+            let c = coloring.colors[w];
+            if c > 0.0 {
+                *local.entry(c.to_bits()).or_insert(0.0) += c;
+            }
+        }
+        let _ = v;
+        for &mass in local.values() {
+            max_mass = max_mass.max(mass);
+        }
+    }
+    max_mass
+}
+
+/// Lemma 2 measurement: the minimum, over participating stations `v`, of
+/// the *best single-color* mass inside `B(v, close_radius)`
+/// (`close_radius = ε/2` for the paper's statement). The lemma asserts this
+/// stays above a constant `C₂`.
+///
+/// Stations with color 0 (non-participants) are not quantified over.
+/// Returns `f64::INFINITY` when no station participates.
+pub fn lemma2_min_close_mass<P: MetricPoint>(
+    points: &[P],
+    coloring: &Coloring,
+    close_radius: f64,
+) -> f64 {
+    assert_eq!(points.len(), coloring.len(), "points/coloring size mismatch");
+    let grid = GridIndex::build(points, close_radius.max(0.05));
+    let mut min_best = f64::INFINITY;
+    let mut local: HashMap<u64, f64> = HashMap::new();
+    for (v, pv) in points.iter().enumerate() {
+        if coloring.colors[v] == 0.0 {
+            continue;
+        }
+        local.clear();
+        for w in grid.ball(points, *pv, close_radius) {
+            let c = coloring.colors[w];
+            if c > 0.0 {
+                *local.entry(c.to_bits()).or_insert(0.0) += c;
+            }
+        }
+        let best = local.values().copied().fold(0.0f64, f64::max);
+        min_best = min_best.min(best);
+    }
+    min_best
+}
+
+/// Combined invariant report for a coloring, as printed by experiments
+/// E2/E3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvariantReport {
+    /// Lemma 1 quantity (want: bounded by `C₁`-scale constant).
+    pub max_unit_ball_mass: f64,
+    /// Lemma 2 quantity (want: at least `C₂`-scale constant).
+    pub min_close_mass: f64,
+    /// Number of distinct colors (want: `O(log n)`).
+    pub num_colors: usize,
+}
+
+/// Computes the [`InvariantReport`] with unit balls and close radius
+/// `eps/2`.
+pub fn invariant_report<P: MetricPoint>(
+    points: &[P],
+    coloring: &Coloring,
+    eps: f64,
+) -> InvariantReport {
+    InvariantReport {
+        max_unit_ball_mass: lemma1_max_ball_mass(points, coloring, 1.0),
+        min_close_mass: lemma2_min_close_mass(points, coloring, eps / 2.0),
+        num_colors: coloring.num_colors(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point2;
+
+    #[test]
+    fn palette_dedup_and_order() {
+        let c = Coloring::new(vec![0.5, 0.25, 0.5, 0.0, 1.0]);
+        assert_eq!(c.palette(), vec![0.25, 0.5, 1.0]);
+        assert_eq!(c.num_colors(), 3);
+    }
+
+    #[test]
+    fn lemma1_single_color_cluster() {
+        // Four stations in one spot, color 0.1: ball mass 0.4.
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.1, 0.0),
+            Point2::new(0.0, 0.1),
+            Point2::new(0.1, 0.1),
+        ];
+        let col = Coloring::new(vec![0.1; 4]);
+        let m = lemma1_max_ball_mass(&pts, &col, 1.0);
+        assert!((m - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma1_takes_max_per_color_not_total() {
+        // Two colors, 0.3 and 0.2, in the same ball: per-color max is 0.6
+        // (two stations of color 0.3), not 1.0.
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.1, 0.0),
+            Point2::new(0.2, 0.0),
+            Point2::new(0.3, 0.0),
+        ];
+        let col = Coloring::new(vec![0.3, 0.3, 0.2, 0.2]);
+        let m = lemma1_max_ball_mass(&pts, &col, 1.0);
+        assert!((m - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma1_separated_clusters_dont_sum() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)];
+        let col = Coloring::new(vec![0.5, 0.5]);
+        let m = lemma1_max_ball_mass(&pts, &col, 1.0);
+        assert!((m - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma2_min_over_participants_only() {
+        // Station 2 has color 0 => not quantified over.
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.01, 0.0),
+            Point2::new(5.0, 0.0),
+        ];
+        let col = Coloring::new(vec![0.2, 0.2, 0.0]);
+        let m = lemma2_min_close_mass(&pts, &col, 0.25);
+        assert!((m - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma2_isolated_station_counts_itself() {
+        let pts = vec![Point2::new(0.0, 0.0)];
+        let col = Coloring::new(vec![0.05]);
+        let m = lemma2_min_close_mass(&pts, &col, 0.25);
+        assert!((m - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma2_infinite_when_no_participants() {
+        let pts = vec![Point2::new(0.0, 0.0)];
+        let col = Coloring::new(vec![0.0]);
+        assert_eq!(lemma2_min_close_mass(&pts, &col, 0.25), f64::INFINITY);
+    }
+
+    #[test]
+    fn report_bundles_all_three() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.1, 0.0)];
+        let col = Coloring::new(vec![0.25, 0.5]);
+        let r = invariant_report(&pts, &col, 0.5);
+        assert_eq!(r.num_colors, 2);
+        assert!((r.max_unit_ball_mass - 0.5).abs() < 1e-12);
+        assert!(r.min_close_mass > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn size_mismatch_panics() {
+        let pts = vec![Point2::new(0.0, 0.0)];
+        let col = Coloring::new(vec![0.1, 0.2]);
+        let _ = lemma1_max_ball_mass(&pts, &col, 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let pts: Vec<Point2> = vec![];
+        let col = Coloring::new(vec![]);
+        assert_eq!(lemma1_max_ball_mass(&pts, &col, 1.0), 0.0);
+        assert_eq!(lemma2_min_close_mass(&pts, &col, 0.25), f64::INFINITY);
+        assert!(col.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! The wake-up problem (Section 5): ad hoc wake-up and wake-up with an
+//! established coloring.
+//!
+//! Each node either wakes spontaneously at an adversary-chosen round or is
+//! activated by receiving a wake-up signal; the goal is to activate all
+//! nodes, measured from the first spontaneous wake-up. All stations share a
+//! global clock (the Section 5 assumption).
+//!
+//! * [`AdhocWakeupNode`] runs the `NoSBroadcast` machinery with every
+//!   spontaneously-awake station acting as a source. The paper aligns
+//!   protocol starts to round numbers divisible by the full broadcast time
+//!   `T`; since all wake-up messages are identical, executions compose, and
+//!   aligning to *phase* boundaries (a finer grid) gives the same guarantee
+//!   — a simplification documented in DESIGN.md. Running time stays
+//!   `O(D log² n)` from the first wake-up.
+//! * [`EstablishedWakeupNode`] assumes every station already holds a color
+//!   from a network-wide `StabilizeProbability` (the backbone) and floods
+//!   the signal with the Fact 11 probabilities in `O(D log n + log² n)`
+//!   rounds — this is the engine of the consensus protocol.
+
+use sinr_runtime::{bernoulli, NodeCtx, Protocol, WakeSchedule};
+
+use crate::coloring::ColoringMachine;
+use crate::constants::Constants;
+
+/// Message of the ad hoc wake-up protocol (identical for every sender; the
+/// round counter keeps late joiners synchronised, as in `NoSBroadcast`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WMsg {
+    /// Rounds elapsed on the global clock.
+    pub round: u64,
+}
+
+/// Per-node state machine for ad hoc wake-up.
+#[derive(Debug)]
+pub struct AdhocWakeupNode {
+    n: usize,
+    consts: Constants,
+    /// Spontaneous wake round, if the adversary wakes this node.
+    wake_round: Option<u64>,
+    /// Round the node became active (spontaneously, aligned, or by signal).
+    awake_at: Option<u64>,
+    active: bool,
+    machine: ColoringMachine,
+    coloring_len: u64,
+    phase_len: u64,
+}
+
+impl AdhocWakeupNode {
+    /// Creates the node with its adversarial schedule entry.
+    pub fn new(id: usize, schedule: &WakeSchedule, n: usize, consts: Constants) -> Self {
+        AdhocWakeupNode {
+            n,
+            consts,
+            wake_round: schedule.wake_round(id),
+            awake_at: None,
+            active: false,
+            machine: ColoringMachine::new(n, consts),
+            coloring_len: ColoringMachine::total_rounds(n, &consts),
+            phase_len: consts.phase_rounds(n),
+        }
+    }
+
+    /// Whether the node is awake (spontaneously or via signal).
+    pub fn awake(&self) -> bool {
+        self.awake_at.is_some()
+    }
+
+    /// Round the node became awake.
+    pub fn awake_at(&self) -> Option<u64> {
+        self.awake_at
+    }
+
+    fn spontaneous_by(&self, round: u64) -> bool {
+        self.wake_round.is_some_and(|w| w <= round)
+    }
+}
+
+impl Protocol for AdhocWakeupNode {
+    type Msg = WMsg;
+
+    fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<WMsg> {
+        if self.awake_at.is_none() && self.spontaneous_by(ctx.round) {
+            self.awake_at = Some(self.wake_round.expect("spontaneous"));
+        }
+        self.awake_at?;
+        let pos = ctx.round % self.phase_len;
+        if pos == 0 {
+            self.active = true;
+            self.machine = ColoringMachine::new(self.n, self.consts);
+        }
+        if !self.active {
+            return None;
+        }
+        let msg = WMsg { round: ctx.round };
+        if pos < self.coloring_len {
+            return self.machine.poll_transmit(ctx.rng).then_some(msg);
+        }
+        let color = self.machine.color().expect("schedule complete");
+        let p = self.consts.dissemination_prob(color, self.n);
+        bernoulli(ctx.rng, p).then_some(msg)
+    }
+
+    fn on_round_end(&mut self, ctx: &mut NodeCtx<'_>, _tx: bool, rx: Option<&WMsg>) {
+        if rx.is_some() && self.awake_at.is_none() {
+            self.awake_at = Some(ctx.round);
+        }
+        if self.active && ctx.round % self.phase_len < self.coloring_len {
+            self.machine.on_round_end(rx.is_some());
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.awake()
+    }
+}
+
+/// Per-node state machine for wake-up over an **established coloring**.
+///
+/// `initiator` nodes start flooding at round 0; every node that decodes the
+/// signal relays it with its backbone probability. One execution is budgeted
+/// by [`Constants::wakeup_window`].
+#[derive(Debug)]
+pub struct EstablishedWakeupNode {
+    color: f64,
+    n: usize,
+    consts: Constants,
+    /// Whether this node has the signal (initiators start with it).
+    pub signalled: bool,
+}
+
+impl EstablishedWakeupNode {
+    /// Creates the node with its backbone `color`; `initiator` marks the
+    /// spontaneously-woken set.
+    pub fn new(color: f64, initiator: bool, n: usize, consts: Constants) -> Self {
+        EstablishedWakeupNode {
+            color,
+            n,
+            consts,
+            signalled: initiator,
+        }
+    }
+}
+
+impl Protocol for EstablishedWakeupNode {
+    type Msg = ();
+
+    fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<()> {
+        if !self.signalled {
+            return None;
+        }
+        let p = self.consts.dissemination_prob(self.color, self.n);
+        bernoulli(ctx.rng, p).then_some(())
+    }
+
+    fn on_round_end(&mut self, _ctx: &mut NodeCtx<'_>, _tx: bool, rx: Option<&()>) {
+        if rx.is_some() {
+            self.signalled = true;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.signalled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point2;
+    use sinr_phy::{Network, SinrParams};
+    use sinr_runtime::Engine;
+
+    fn fast_consts() -> Constants {
+        Constants {
+            c0: 4.0,
+            c2: 4.0,
+            c_prime: 1,
+            dissem_factor: 4.0,
+            ..Constants::tuned()
+        }
+    }
+
+    fn path(n: usize) -> Network<Point2> {
+        let pts: Vec<Point2> = (0..n).map(|i| Point2::new(i as f64 * 0.45, 0.0)).collect();
+        Network::new(pts, SinrParams::default_plane()).unwrap()
+    }
+
+    #[test]
+    fn adhoc_wakeup_single_waker() {
+        let n = 5;
+        let consts = fast_consts();
+        let schedule = WakeSchedule::single(2, 0);
+        let mut eng = Engine::new(path(n), 3, |id| {
+            AdhocWakeupNode::new(id, &schedule, n, consts)
+        });
+        let res = eng.run_until_all_done(consts.phase_rounds(n) * 40);
+        assert!(res.completed, "wake-up incomplete");
+        assert!(eng.nodes().iter().all(AdhocWakeupNode::awake));
+    }
+
+    #[test]
+    fn adhoc_wakeup_staggered_wakers() {
+        let n = 5;
+        let consts = fast_consts();
+        let schedule = WakeSchedule::Staggered { start: 0, gap: 7 };
+        let mut eng = Engine::new(path(n), 8, |id| {
+            AdhocWakeupNode::new(id, &schedule, n, consts)
+        });
+        let res = eng.run_until_all_done(consts.phase_rounds(n) * 40);
+        assert!(res.completed);
+    }
+
+    #[test]
+    fn nobody_wakes_without_schedule_or_signal() {
+        let n = 4;
+        let consts = fast_consts();
+        let schedule = WakeSchedule::Selected(vec![]);
+        let mut eng = Engine::new(path(n), 1, |id| {
+            AdhocWakeupNode::new(id, &schedule, n, consts)
+        });
+        eng.run_rounds(500);
+        assert!(eng.nodes().iter().all(|nd| !nd.awake()));
+        assert_eq!(eng.trace().total_transmissions(), 0);
+    }
+
+    #[test]
+    fn late_waker_counts_from_its_round() {
+        let n = 3;
+        let consts = fast_consts();
+        let schedule = WakeSchedule::single(0, 25);
+        let mut eng = Engine::new(path(n), 5, |id| {
+            AdhocWakeupNode::new(id, &schedule, n, consts)
+        });
+        eng.run_rounds(24);
+        assert!(!eng.nodes()[0].awake());
+        eng.run_rounds(2);
+        assert!(eng.nodes()[0].awake());
+        assert_eq!(eng.nodes()[0].awake_at(), Some(25));
+    }
+
+    #[test]
+    fn established_wakeup_floods_path() {
+        let n = 6;
+        let consts = fast_consts();
+        // A pre-established uniform backbone coloring.
+        let color = consts.p_max();
+        let mut eng = Engine::new(path(n), 4, |id| {
+            EstablishedWakeupNode::new(color, id == 0, n, consts)
+        });
+        let window = consts.wakeup_window(n, (n - 1) as u32);
+        let res = eng.run_until_all_done(window);
+        assert!(res.completed, "window {window} too short");
+    }
+
+    #[test]
+    fn established_wakeup_no_initiators_is_silent() {
+        let n = 4;
+        let consts = fast_consts();
+        let mut eng = Engine::new(path(n), 2, |_| {
+            EstablishedWakeupNode::new(consts.p_max(), false, n, consts)
+        });
+        eng.run_rounds(200);
+        assert_eq!(eng.trace().total_transmissions(), 0);
+        assert!(eng.nodes().iter().all(|nd| !nd.signalled));
+    }
+}

@@ -1,0 +1,138 @@
+//! Ball utilities: covering numbers and weighted ball masses.
+//!
+//! The paper's analysis is phrased in terms of balls `B(v, r)` and the
+//! covering number χ(a, b) — the number of radius-`b` balls sufficient to
+//! cover a radius-`a` ball. These helpers give the simulator and the
+//! invariant verifiers (Lemmas 1 and 2) a shared vocabulary.
+
+use crate::point::MetricPoint;
+
+/// Upper estimate of the covering number χ(a, b) in a growth-dimension-γ
+/// space: the number of radius-`b` balls sufficient to cover a radius-`a`
+/// ball, `O((a/b)^γ)`.
+///
+/// For Euclidean spaces the standard volume bound `(1 + 2a/b)^γ` is used,
+/// matching the paper's convention that the hidden constant is 1 up to the
+/// asymptotics (Section 2).
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is non-positive or non-finite.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geometry::covering_number;
+/// // Covering a unit ball by unit balls needs one ball... bounded by (1+2)^2 in the plane.
+/// assert!(covering_number(1.0, 1.0, 2.0) >= 1);
+/// assert!(covering_number(4.0, 1.0, 2.0) > covering_number(2.0, 1.0, 2.0));
+/// ```
+pub fn covering_number(a: f64, b: f64, gamma: f64) -> usize {
+    assert!(a.is_finite() && a > 0.0, "radius a must be positive, got {a}");
+    assert!(b.is_finite() && b > 0.0, "radius b must be positive, got {b}");
+    assert!(gamma.is_finite() && gamma > 0.0, "gamma must be positive, got {gamma}");
+    (1.0 + 2.0 * a / b).powf(gamma).ceil() as usize
+}
+
+/// Indices of all points of `points` within distance `radius` of `center`
+/// (linear scan; use [`crate::GridIndex`] for repeated queries).
+pub fn ball_indices<P: MetricPoint>(points: &[P], center: P, radius: f64) -> Vec<usize> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.distance(&center) <= radius)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Number of points of `points` within distance `radius` of `center`.
+pub fn count_in_ball<P: MetricPoint>(points: &[P], center: P, radius: f64) -> usize {
+    points.iter().filter(|p| p.distance(&center) <= radius).count()
+}
+
+/// Sum of `weights[i]` over all points within distance `radius` of `center`.
+///
+/// This is the "probability mass of a ball" that Lemmas 1 and 2 of the paper
+/// bound: with `weights[i] = p_i` (station transmission probabilities) it
+/// computes `Σ_{w ∈ B(center, radius)} p_w`.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != points.len()`.
+pub fn ball_mass<P: MetricPoint>(points: &[P], weights: &[f64], center: P, radius: f64) -> f64 {
+    assert_eq!(
+        points.len(),
+        weights.len(),
+        "weights length {} must match points length {}",
+        weights.len(),
+        points.len()
+    );
+    points
+        .iter()
+        .zip(weights)
+        .filter(|(p, _)| p.distance(&center) <= radius)
+        .map(|(_, w)| *w)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point2;
+
+    #[test]
+    fn covering_number_monotone_in_a() {
+        let mut prev = 0;
+        for a in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            let chi = covering_number(a, 1.0, 2.0);
+            assert!(chi >= prev);
+            prev = chi;
+        }
+    }
+
+    #[test]
+    fn covering_number_gamma_one_linear() {
+        // On a line, covering [−a, a] by length-2b intervals is ~a/b.
+        let chi = covering_number(10.0, 1.0, 1.0);
+        assert!(chi >= 10 && chi <= 30);
+    }
+
+    #[test]
+    #[should_panic]
+    fn covering_number_rejects_zero_radius() {
+        let _ = covering_number(0.0, 1.0, 2.0);
+    }
+
+    #[test]
+    fn ball_mass_counts_weights() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.5, 0.0), Point2::new(2.0, 0.0)];
+        let w = vec![0.25, 0.5, 4.0];
+        assert_eq!(ball_mass(&pts, &w, Point2::origin(), 1.0), 0.75);
+        assert_eq!(ball_mass(&pts, &w, Point2::origin(), 3.0), 4.75);
+        assert_eq!(ball_mass(&pts, &w, Point2::origin(), 0.1), 0.25);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ball_mass_length_mismatch_panics() {
+        let pts = vec![Point2::origin()];
+        let _ = ball_mass(&pts, &[], Point2::origin(), 1.0);
+    }
+
+    #[test]
+    fn ball_indices_and_count_agree() {
+        let pts: Vec<Point2> = (0..40).map(|i| Point2::new(i as f64 * 0.3, 0.0)).collect();
+        for r in [0.0, 0.5, 1.0, 5.0, 100.0] {
+            assert_eq!(
+                ball_indices(&pts, Point2::origin(), r).len(),
+                count_in_ball(&pts, Point2::origin(), r)
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_inclusive() {
+        let pts = vec![Point2::new(1.0, 0.0)];
+        assert_eq!(count_in_ball(&pts, Point2::origin(), 1.0), 1);
+    }
+}

@@ -1,0 +1,379 @@
+//! Uniform-grid spatial index for exact ball and nearest-neighbour queries.
+//!
+//! The physical layer evaluates interference sums and builds communication
+//! graphs with many "all points within distance r of v" queries; a uniform
+//! grid with cell side chosen close to the query radius answers each query in
+//! time proportional to the output size for bounded-growth inputs.
+
+use std::collections::HashMap;
+
+use crate::point::MetricPoint;
+
+/// Key of a grid cell: integer coordinates along up to three axes.
+type CellKey = [i64; 3];
+
+/// A uniform-grid spatial index over a fixed slice of points.
+///
+/// The index stores point *indices*; queries take the backing slice again so
+/// the index never borrows the points and can be kept alongside them.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geometry::{GridIndex, Point2};
+/// let pts = vec![Point2::new(0.0, 0.0), Point2::new(2.0, 0.0)];
+/// let idx = GridIndex::build(&pts, 1.0);
+/// assert_eq!(idx.ball(&pts, Point2::new(0.1, 0.0), 0.5).collect::<Vec<_>>(), vec![0]);
+/// assert_eq!(idx.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cells: HashMap<CellKey, Vec<usize>>,
+    cell_side: f64,
+    axes: usize,
+    len: usize,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with the given grid cell side.
+    ///
+    /// `cell_side` should be of the same order as the typical query radius;
+    /// the communication range 1 is a good default for SINR networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_side` is not strictly positive and finite.
+    pub fn build<P: MetricPoint>(points: &[P], cell_side: f64) -> Self {
+        assert!(
+            cell_side.is_finite() && cell_side > 0.0,
+            "grid cell side must be positive and finite, got {cell_side}"
+        );
+        let mut cells: HashMap<CellKey, Vec<usize>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            cells.entry(Self::key_of(p, cell_side)).or_default().push(i);
+        }
+        GridIndex {
+            cells,
+            cell_side,
+            axes: P::AXES,
+            len: points.len(),
+        }
+    }
+
+    fn key_of<P: MetricPoint>(p: &P, cell_side: f64) -> CellKey {
+        let mut key = [0i64; 3];
+        for (axis, slot) in key.iter_mut().enumerate().take(P::AXES) {
+            *slot = (p.coord(axis) / cell_side).floor() as i64;
+        }
+        key
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Cell side used at construction.
+    pub fn cell_side(&self) -> f64 {
+        self.cell_side
+    }
+
+    /// Indices of all points at distance `<= radius` from `center`,
+    /// in ascending index order.
+    ///
+    /// `points` must be the same slice the index was built from.
+    pub fn ball<'a, P: MetricPoint>(
+        &'a self,
+        points: &'a [P],
+        center: P,
+        radius: f64,
+    ) -> impl Iterator<Item = usize> + 'a {
+        debug_assert_eq!(points.len(), self.len, "index/point-slice mismatch");
+        let mut out = self.candidate_cells(&center, radius);
+        out.retain(|&i| points[i].distance(&center) <= radius);
+        out.sort_unstable();
+        out.into_iter()
+    }
+
+    /// Indices of all points at distance `<= radius` from `center`, collected.
+    pub fn ball_vec<P: MetricPoint>(&self, points: &[P], center: P, radius: f64) -> Vec<usize> {
+        self.ball(points, center, radius).collect()
+    }
+
+    /// Number of points at distance `<= radius` from `center`.
+    pub fn ball_count<P: MetricPoint>(&self, points: &[P], center: P, radius: f64) -> usize {
+        self.candidate_cells(&center, radius)
+            .iter()
+            .filter(|&&i| points[i].distance(&center) <= radius)
+            .count()
+    }
+
+    /// Nearest indexed point to `center` other than `exclude` (pass
+    /// `usize::MAX` to exclude nothing). Returns `None` for an empty index or
+    /// when the only point is excluded.
+    ///
+    /// Runs expanding ring searches over the grid, so it is efficient when a
+    /// neighbour exists within a few cells, and falls back to a linear scan
+    /// otherwise.
+    pub fn nearest<P: MetricPoint>(
+        &self,
+        points: &[P],
+        center: P,
+        exclude: usize,
+    ) -> Option<(usize, f64)> {
+        if self.len == 0 || (self.len == 1 && exclude == 0) {
+            return None;
+        }
+        // Expanding search: radius doubles until a hit is confirmed closer
+        // than the next un-searched shell could be.
+        let mut radius = self.cell_side;
+        for _ in 0..64 {
+            let mut best: Option<(usize, f64)> = None;
+            for i in self.candidate_cells(&center, radius) {
+                if i == exclude {
+                    continue;
+                }
+                let d = points[i].distance(&center);
+                if best.map_or(true, |(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            }
+            if let Some((i, d)) = best {
+                if d <= radius {
+                    return Some((i, d));
+                }
+            }
+            radius *= 2.0;
+        }
+        // Fallback: exhaustive scan (pathological coordinate spread).
+        points
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != exclude)
+            .map(|(i, p)| (i, p.distance(&center)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Collects candidate point indices from all cells intersecting the
+    /// bounding box of the query ball.
+    fn candidate_cells<P: MetricPoint>(&self, center: &P, radius: f64) -> Vec<usize> {
+        debug_assert_eq!(P::AXES, self.axes, "point dimensionality mismatch");
+        let mut lo = [0i64; 3];
+        let mut hi = [0i64; 3];
+        for axis in 0..self.axes {
+            lo[axis] = ((center.coord(axis) - radius) / self.cell_side).floor() as i64;
+            hi[axis] = ((center.coord(axis) + radius) / self.cell_side).floor() as i64;
+        }
+        // Guard against enormous radii relative to cell side: cap the cell
+        // walk at the total number of populated cells by scanning the map.
+        let box_cells: i128 = (0..self.axes)
+            .map(|a| (hi[a] - lo[a] + 1) as i128)
+            .product();
+        let mut out = Vec::new();
+        if box_cells > self.cells.len() as i128 {
+            for (key, ids) in &self.cells {
+                if (0..self.axes).all(|a| key[a] >= lo[a] && key[a] <= hi[a]) {
+                    out.extend_from_slice(ids);
+                }
+            }
+            return out;
+        }
+        let mut key = [0i64; 3];
+        self.walk_cells(&mut key, 0, &lo, &hi, &mut out);
+        out
+    }
+
+    fn walk_cells(
+        &self,
+        key: &mut CellKey,
+        axis: usize,
+        lo: &CellKey,
+        hi: &CellKey,
+        out: &mut Vec<usize>,
+    ) {
+        if axis == self.axes {
+            if let Some(ids) = self.cells.get(key) {
+                out.extend_from_slice(ids);
+            }
+            return;
+        }
+        for v in lo[axis]..=hi[axis] {
+            key[axis] = v;
+            self.walk_cells(key, axis + 1, lo, hi, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{Point1, Point2, Point3};
+    use proptest::prelude::*;
+
+    fn brute_ball<P: MetricPoint>(points: &[P], center: P, radius: f64) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(&center) <= radius)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn empty_index() {
+        let pts: Vec<Point2> = vec![];
+        let idx = GridIndex::build(&pts, 1.0);
+        assert!(idx.is_empty());
+        assert_eq!(idx.ball_vec(&pts, Point2::origin(), 10.0), Vec::<usize>::new());
+        assert_eq!(idx.nearest(&pts, Point2::origin(), usize::MAX), None);
+    }
+
+    #[test]
+    fn single_point() {
+        let pts = vec![Point2::new(0.5, 0.5)];
+        let idx = GridIndex::build(&pts, 1.0);
+        assert_eq!(idx.ball_vec(&pts, Point2::origin(), 1.0), vec![0]);
+        assert_eq!(idx.ball_vec(&pts, Point2::origin(), 0.1), Vec::<usize>::new());
+        assert_eq!(idx.nearest(&pts, Point2::origin(), 0), None);
+    }
+
+    #[test]
+    fn boundary_point_included() {
+        // Distance exactly equal to the radius must be included (<=).
+        let pts = vec![Point2::new(1.0, 0.0)];
+        let idx = GridIndex::build(&pts, 1.0);
+        assert_eq!(idx.ball_vec(&pts, Point2::origin(), 1.0), vec![0]);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let pts = vec![Point2::new(-3.7, -2.2), Point2::new(-3.6, -2.2), Point2::new(4.0, 4.0)];
+        let idx = GridIndex::build(&pts, 1.0);
+        assert_eq!(idx.ball_vec(&pts, Point2::new(-3.65, -2.2), 0.2), vec![0, 1]);
+    }
+
+    #[test]
+    fn nearest_simple() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(5.0, 5.0)];
+        let idx = GridIndex::build(&pts, 1.0);
+        let (i, d) = idx.nearest(&pts, Point2::new(0.9, 0.0), usize::MAX).unwrap();
+        assert_eq!(i, 1);
+        assert!((d - 0.1).abs() < 1e-12);
+        // excluding the nearest returns the next one
+        let (i2, _) = idx.nearest(&pts, Point2::new(0.9, 0.0), 1).unwrap();
+        assert_eq!(i2, 0);
+    }
+
+    #[test]
+    fn nearest_far_point() {
+        // Point much farther than one cell: expanding search must find it.
+        let pts = vec![Point2::new(100.0, 100.0)];
+        let idx = GridIndex::build(&pts, 1.0);
+        let (i, d) = idx.nearest(&pts, Point2::origin(), usize::MAX).unwrap();
+        assert_eq!(i, 0);
+        assert!((d - (2.0f64).sqrt() * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cell_side_panics() {
+        let pts = vec![Point2::origin()];
+        let _ = GridIndex::build(&pts, 0.0);
+    }
+
+    #[test]
+    fn works_in_1d_and_3d() {
+        let pts1 = vec![Point1::new(0.0), Point1::new(0.9), Point1::new(2.0)];
+        let idx1 = GridIndex::build(&pts1, 1.0);
+        assert_eq!(idx1.ball_vec(&pts1, Point1::new(0.0), 1.0), vec![0, 1]);
+
+        let pts3 = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(0.5, 0.5, 0.5)];
+        let idx3 = GridIndex::build(&pts3, 1.0);
+        assert_eq!(idx3.ball_vec(&pts3, Point3::origin(), 1.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn huge_radius_uses_map_scan() {
+        let pts: Vec<Point2> = (0..50)
+            .map(|i| Point2::new(i as f64 * 0.1, (i % 7) as f64 * 0.1))
+            .collect();
+        let idx = GridIndex::build(&pts, 0.01); // tiny cells => bounding box huge
+        let got = idx.ball_vec(&pts, Point2::origin(), 1e6);
+        assert_eq!(got.len(), 50);
+    }
+
+    #[test]
+    fn ball_count_matches_ball_len() {
+        let pts: Vec<Point2> = (0..100)
+            .map(|i| Point2::new((i as f64 * 0.37).sin() * 5.0, (i as f64 * 0.73).cos() * 5.0))
+            .collect();
+        let idx = GridIndex::build(&pts, 1.0);
+        for r in [0.1, 0.5, 1.0, 3.0] {
+            assert_eq!(
+                idx.ball_count(&pts, Point2::origin(), r),
+                idx.ball_vec(&pts, Point2::origin(), r).len()
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn grid_matches_brute_force_2d(
+            coords in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..120),
+            cx in -50.0f64..50.0,
+            cy in -50.0f64..50.0,
+            radius in 0.01f64..20.0,
+            cell in 0.1f64..5.0,
+        ) {
+            let pts: Vec<Point2> = coords.into_iter().map(Point2::from).collect();
+            let idx = GridIndex::build(&pts, cell);
+            let center = Point2::new(cx, cy);
+            let got = idx.ball_vec(&pts, center, radius);
+            let want = brute_ball(&pts, center, radius);
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn grid_matches_brute_force_1d(
+            coords in prop::collection::vec(-100.0f64..100.0, 0..80),
+            c in -100.0f64..100.0,
+            radius in 0.01f64..30.0,
+        ) {
+            let pts: Vec<Point1> = coords.into_iter().map(Point1::from).collect();
+            let idx = GridIndex::build(&pts, 1.0);
+            let got = idx.ball_vec(&pts, Point1::new(c), radius);
+            let want = brute_ball(&pts, Point1::new(c), radius);
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn nearest_matches_brute_force(
+            coords in prop::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 1..60),
+            cx in -20.0f64..20.0,
+            cy in -20.0f64..20.0,
+        ) {
+            let pts: Vec<Point2> = coords.into_iter().map(Point2::from).collect();
+            let idx = GridIndex::build(&pts, 1.0);
+            let center = Point2::new(cx, cy);
+            let (_, got_d) = idx.nearest(&pts, center, usize::MAX).unwrap();
+            let want_d = pts.iter().map(|p| p.distance(&center)).fold(f64::INFINITY, f64::min);
+            prop_assert!((got_d - want_d).abs() < 1e-9);
+        }
+
+        #[test]
+        fn triangle_inequality(
+            a in (-1e3f64..1e3, -1e3f64..1e3),
+            b in (-1e3f64..1e3, -1e3f64..1e3),
+            c in (-1e3f64..1e3, -1e3f64..1e3),
+        ) {
+            let (a, b, c) = (Point2::from(a), Point2::from(b), Point2::from(c));
+            prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+            prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        }
+    }
+}

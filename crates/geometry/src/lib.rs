@@ -1,0 +1,41 @@
+//! Bounded-growth metric spaces for SINR wireless-network simulation.
+//!
+//! The paper *On the Impact of Geometry on Ad Hoc Communication in Wireless
+//! Networks* (Jurdzinski, Kowalski, Rozanski, Stachowiak; PODC 2014) deploys
+//! stations into a metric space with the *bounded growth property* of degree
+//! γ: every ball `B(v, c·d)` can be covered by `O(c^γ)` balls of radius `d`.
+//! Euclidean `R^γ` is the canonical such space, and this crate provides the
+//! concrete embeddings used throughout the reproduction:
+//!
+//! * [`Point1`], [`Point2`], [`Point3`] — points in ℝ¹/ℝ²/ℝ³ implementing the
+//!   [`MetricPoint`] trait (growth dimensions γ = 1, 2, 3);
+//! * [`GridIndex`] — a uniform-grid spatial index supporting exact ball
+//!   (range) queries and nearest-neighbour queries in near-linear time, used
+//!   by the physical layer to accelerate interference evaluation;
+//! * [`covering_number`] — the χ(a, b) covering-number estimate from the
+//!   paper's preliminaries;
+//! * ball mass / counting helpers in [`ball`].
+//!
+//! # Example
+//!
+//! ```
+//! use sinr_geometry::{GridIndex, MetricPoint, Point2};
+//!
+//! let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.5, 0.0), Point2::new(3.0, 4.0)];
+//! let index = GridIndex::build(&pts, 1.0);
+//! // All points within distance 1 of the origin:
+//! let near: Vec<usize> = index.ball(&pts, Point2::new(0.0, 0.0), 1.0).collect();
+//! assert_eq!(near, vec![0, 1]);
+//! assert_eq!(pts[0].distance(&pts[2]), 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ball;
+pub mod grid;
+pub mod point;
+
+pub use ball::{ball_indices, ball_mass, count_in_ball, covering_number};
+pub use grid::GridIndex;
+pub use point::{MetricPoint, Point1, Point2, Point3};

@@ -1,0 +1,247 @@
+//! Clustered deployments: Gaussian blobs and chains of clusters.
+//!
+//! Chains of clusters are the main diameter-control tool of the experiment
+//! suite: `k` dense clusters are strung along a line with inter-cluster
+//! spacing just below the communication radius, so the communication-graph
+//! diameter is `Θ(k)` while each cluster is a dense clique — exactly the
+//! dense–sparse contrast the coloring procedure must handle.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sinr_geometry::Point2;
+use sinr_phy::SinrParams;
+
+use crate::perturb::enforce_min_separation;
+
+/// Samples a standard-normal value via Box–Muller.
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `k` Gaussian clusters of `per_cluster` points each; centres uniform in
+/// `[0, side]²`, points N(centre, sigma²·I).
+///
+/// # Panics
+///
+/// Panics if `side` or `sigma` is not positive and finite.
+pub fn gaussian_clusters(
+    k: usize,
+    per_cluster: usize,
+    side: f64,
+    sigma: f64,
+    seed: u64,
+) -> Vec<Point2> {
+    assert!(side.is_finite() && side > 0.0, "side must be positive");
+    assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(k * per_cluster);
+    for _ in 0..k {
+        let c = Point2::new(rng.gen_range(0.0..=side), rng.gen_range(0.0..=side));
+        for _ in 0..per_cluster {
+            pts.push(Point2::new(
+                c.x + sigma * gaussian(&mut rng),
+                c.y + sigma * gaussian(&mut rng),
+            ));
+        }
+    }
+    enforce_min_separation(&mut pts, SinrParams::MIN_DISTANCE * 2.0);
+    pts
+}
+
+/// A chain of `k` clusters along the x-axis: cluster `i` is `per_cluster`
+/// points uniform in a disk of radius `cluster_radius` centred at
+/// `(i · hop, 0)`.
+///
+/// With `hop + 2·cluster_radius ≤ comm_radius` adjacent clusters are fully
+/// joined while clusters two hops apart are out of range, so the
+/// communication-graph diameter is `k − 1` (for `k ≥ 2`).
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `per_cluster == 0`, or the geometry parameters are
+/// not positive finite.
+pub fn chain_of_clusters(
+    k: usize,
+    per_cluster: usize,
+    hop: f64,
+    cluster_radius: f64,
+    seed: u64,
+) -> Vec<Point2> {
+    assert!(k > 0 && per_cluster > 0, "need at least one cluster and point");
+    assert!(hop.is_finite() && hop > 0.0, "hop must be positive");
+    assert!(
+        cluster_radius.is_finite() && cluster_radius > 0.0,
+        "cluster_radius must be positive"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(k * per_cluster);
+    for i in 0..k {
+        let cx = i as f64 * hop;
+        for _ in 0..per_cluster {
+            let r = cluster_radius * rng.gen_range(0.0f64..=1.0).sqrt();
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            pts.push(Point2::new(cx + r * theta.cos(), r * theta.sin()));
+        }
+    }
+    enforce_min_separation(&mut pts, SinrParams::MIN_DISTANCE * 2.0);
+    pts
+}
+
+/// A chain of clusters sized for a target communication-graph diameter
+/// under `params`: `diameter + 1` clusters with hop `0.85·(1−ε)` and
+/// cluster radius `0.05·(1−ε)`.
+///
+/// For `diameter >= 1` the resulting exact diameter equals `diameter`
+/// (verified in tests and by [`crate::validate::report`] in the experiment
+/// harness); `diameter == 0` yields a single clique-cluster whose diameter
+/// is 1 when it has more than one station.
+pub fn chain_for_diameter(
+    diameter: u32,
+    per_cluster: usize,
+    params: &SinrParams,
+    seed: u64,
+) -> Vec<Point2> {
+    let rc = params.comm_radius();
+    chain_of_clusters(diameter as usize + 1, per_cluster, 0.85 * rc, 0.05 * rc, seed)
+}
+
+/// The paper's footnote-4 adversary: a dense **core** of `core_n` stations
+/// packed in a disk of radius `core_radius`, surrounded by `sat_n` isolated
+/// **satellites** on a circle of radius `sat_distance`, pairwise farther
+/// than ε/2 apart.
+///
+/// Every satellite sees the whole core inside its unit ball (so a unit-ball
+/// density test fires early) while its own ε/2-ball is empty — exactly the
+/// configuration where `DensityTest` alone would assign satellites
+/// near-zero colors and only the `Playoff` scale-up saves Lemma 2. Used by
+/// the A1/A2 ablations.
+///
+/// # Panics
+///
+/// Panics if geometry parameters are not positive finite, or if
+/// `sat_distance ≤ core_radius` (satellites would sit inside the core).
+pub fn core_and_satellites(
+    core_n: usize,
+    sat_n: usize,
+    core_radius: f64,
+    sat_distance: f64,
+    seed: u64,
+) -> Vec<Point2> {
+    assert!(
+        core_radius.is_finite() && core_radius > 0.0,
+        "core_radius must be positive"
+    );
+    assert!(
+        sat_distance.is_finite() && sat_distance > core_radius,
+        "sat_distance must exceed core_radius"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(core_n + sat_n);
+    for _ in 0..core_n {
+        let r = core_radius * rng.gen_range(0.0f64..=1.0).sqrt();
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        pts.push(Point2::new(r * theta.cos(), r * theta.sin()));
+    }
+    for i in 0..sat_n {
+        let theta = i as f64 / sat_n as f64 * std::f64::consts::TAU;
+        pts.push(Point2::new(
+            sat_distance * theta.cos(),
+            sat_distance * theta.sin(),
+        ));
+    }
+    enforce_min_separation(&mut pts, SinrParams::MIN_DISTANCE * 2.0);
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_phy::CommGraph;
+
+    #[test]
+    fn gaussian_clusters_count() {
+        let pts = gaussian_clusters(4, 25, 10.0, 0.1, 3);
+        assert_eq!(pts.len(), 100);
+    }
+
+    #[test]
+    fn gaussian_clusters_deterministic() {
+        assert_eq!(
+            gaussian_clusters(2, 10, 5.0, 0.2, 8),
+            gaussian_clusters(2, 10, 5.0, 0.2, 8)
+        );
+    }
+
+    #[test]
+    fn chain_structure() {
+        let params = SinrParams::default_plane();
+        let pts = chain_of_clusters(5, 8, 0.85 * 0.5, 0.05 * 0.5, 1);
+        assert_eq!(pts.len(), 40);
+        let g = CommGraph::build(&pts, params.comm_radius());
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn chain_for_diameter_is_exact() {
+        let params = SinrParams::default_plane();
+        for d in [1u32, 3, 7] {
+            let pts = chain_for_diameter(d, 6, &params, 42);
+            let g = CommGraph::build(&pts, params.comm_radius());
+            assert!(g.is_connected(), "d={d}");
+            assert_eq!(g.diameter_exact(), Some(d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn single_cluster_is_a_clique() {
+        let params = SinrParams::default_plane();
+        let pts = chain_for_diameter(0, 10, &params, 5);
+        let g = CommGraph::build(&pts, params.comm_radius());
+        assert!(g.is_connected());
+        assert_eq!(g.diameter_exact(), Some(1));
+    }
+
+    #[test]
+    fn core_and_satellites_geometry() {
+        use sinr_geometry::MetricPoint;
+        let pts = core_and_satellites(100, 8, 0.2, 0.6, 3);
+        assert_eq!(pts.len(), 108);
+        // Core within radius, satellites on the circle.
+        for p in &pts[..100] {
+            assert!(p.norm() <= 0.2 + 1e-9);
+        }
+        for p in &pts[100..] {
+            assert!((p.norm() - 0.6).abs() < 1e-9);
+        }
+        // Satellites pairwise farther than eps/2 = 0.25 (8 on a 0.6 circle:
+        // chord = 2*0.6*sin(pi/8) = 0.459).
+        for i in 100..108 {
+            for j in (i + 1)..108 {
+                assert!(pts[i].distance(&pts[j]) > 0.25);
+            }
+        }
+        // Each satellite sees the core inside its unit ball.
+        assert!(pts[100].distance(&pts[0]) <= 0.8 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn satellites_inside_core_rejected() {
+        let _ = core_and_satellites(10, 4, 0.5, 0.4, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn chain_rejects_zero_clusters() {
+        let _ = chain_of_clusters(0, 5, 0.4, 0.02, 1);
+    }
+
+    #[test]
+    fn clusters_respect_min_separation() {
+        use crate::perturb::min_separation_ok;
+        let pts = gaussian_clusters(3, 50, 1.0, 1e-12, 9); // pathological sigma
+        assert!(min_separation_ok(&pts));
+    }
+}

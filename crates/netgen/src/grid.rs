@@ -1,0 +1,75 @@
+//! Regular lattice deployments.
+
+use sinr_geometry::Point2;
+
+/// A `rows × cols` lattice with the given spacing, row-major order.
+///
+/// With spacing `<= comm_radius` the communication graph contains the
+/// 4-neighbour grid and its diameter is the Manhattan corner distance
+/// (possibly smaller if diagonals fit within range).
+///
+/// # Panics
+///
+/// Panics if `spacing` is not positive and finite.
+pub fn lattice(rows: usize, cols: usize, spacing: f64) -> Vec<Point2> {
+    assert!(
+        spacing.is_finite() && spacing > 0.0,
+        "spacing must be positive, got {spacing}"
+    );
+    let mut pts = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            pts.push(Point2::new(c as f64 * spacing, r as f64 * spacing));
+        }
+    }
+    pts
+}
+
+/// A lattice jittered by up to `amplitude` per coordinate (a "noisy grid").
+pub fn jittered_lattice(
+    rows: usize,
+    cols: usize,
+    spacing: f64,
+    amplitude: f64,
+    seed: u64,
+) -> Vec<Point2> {
+    crate::perturb::jitter(&lattice(rows, cols, spacing), amplitude, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_phy::{CommGraph, SinrParams};
+
+    #[test]
+    fn lattice_count_and_layout() {
+        let pts = lattice(3, 4, 0.4);
+        assert_eq!(pts.len(), 12);
+        assert_eq!(pts[0], Point2::new(0.0, 0.0));
+        // row 2, col 3 (allow for floating-point accumulation)
+        assert!(pts[11].x - 1.2 < 1e-12 && pts[11].y - 0.8 < 1e-12);
+    }
+
+    #[test]
+    fn lattice_connectivity() {
+        let params = SinrParams::default_plane();
+        let pts = lattice(5, 5, 0.45);
+        let g = CommGraph::build(&pts, params.comm_radius());
+        assert!(g.is_connected());
+        assert_eq!(g.diameter_exact(), Some(8)); // Manhattan 4+4
+    }
+
+    #[test]
+    fn jittered_lattice_deterministic() {
+        assert_eq!(
+            jittered_lattice(3, 3, 0.4, 0.05, 7),
+            jittered_lattice(3, 3, 0.4, 0.05, 7)
+        );
+    }
+
+    #[test]
+    fn empty_lattice() {
+        assert!(lattice(0, 5, 1.0).is_empty());
+        assert!(lattice(5, 0, 1.0).is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Topology generators for SINR wireless-network experiments.
+//!
+//! Each generator produces station positions ([`sinr_geometry::Point2`] or
+//! [`sinr_geometry::Point1`]) realising a network family used by the
+//! reproduction experiments:
+//!
+//! * [`uniform`] — uniform random deployments in squares and disks (the
+//!   "average case");
+//! * [`line`] — line networks, including the paper's footnote-2 adversarial
+//!   construction with geometrically shrinking gaps and therefore
+//!   **exponential granularity** `R_s`;
+//! * [`cluster`] — Gaussian clusters and *chains of clusters*, which give
+//!   precise control over the communication-graph diameter `D` while
+//!   keeping density high inside clusters (the dense–sparse hybrids the
+//!   coloring must survive);
+//! * [`grid`] — regular lattices;
+//! * [`shapes`] — rings, bridge corridors and two-tier density contrasts;
+//! * [`perturb`] — jitter and minimum-separation repair;
+//! * [`validate`] — topology reports (connectivity, diameter, Δ, `R_s`).
+//!
+//! All generators are deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use sinr_netgen::{uniform, validate};
+//! use sinr_phy::SinrParams;
+//!
+//! let params = SinrParams::default_plane();
+//! let pts = uniform::connected_square(120, 3.0, &params, 42).expect("dense enough");
+//! let report = validate::report(&pts, &params);
+//! assert!(report.connected);
+//! assert_eq!(report.n, 120);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod grid;
+pub mod line;
+pub mod perturb;
+pub mod shapes;
+pub mod uniform;
+pub mod validate;
+
+pub use validate::{report, TopologyReport};

@@ -1,0 +1,244 @@
+//! Line networks, including the paper's adversarial footnote-2 construction.
+//!
+//! The paper (footnote 2, Section 1.3 and Section 3.1) uses stations on a
+//! line with geometrically shrinking gaps — `dist(x_i, x_{i+1}) = 1/2^i` —
+//! as the canonical network whose granularity `R_s` is **exponential in n**
+//! while the communication graph stays a simple path-like structure. Such
+//! networks separate the paper's algorithm (round complexity independent of
+//! `R_s`) from Daum et al.'s baseline (polylog in `R_s`).
+
+use sinr_geometry::{Point1, Point2};
+
+/// `n` stations on a line with constant gap (embedded in the plane, y = 0).
+///
+/// # Panics
+///
+/// Panics if `gap` is not positive and finite.
+pub fn uniform_line(n: usize, gap: f64) -> Vec<Point2> {
+    assert!(gap.is_finite() && gap > 0.0, "gap must be positive, got {gap}");
+    (0..n).map(|i| Point2::new(i as f64 * gap, 0.0)).collect()
+}
+
+/// `n` stations on a line with gaps shrinking geometrically from
+/// `first_gap` by `ratio` per hop, floored at `min_gap`
+/// (the footnote-2 construction `dist(x_i, x_{i+1}) = 1/2^i` corresponds to
+/// `ratio = 0.5`).
+///
+/// Granularity grows like `ratio^{-(n-2)}` until the floor engages.
+///
+/// # Panics
+///
+/// Panics unless `0 < ratio <= 1`, `0 < min_gap <= first_gap`, both finite.
+pub fn halving_line(n: usize, first_gap: f64, ratio: f64, min_gap: f64) -> Vec<Point2> {
+    assert!(
+        first_gap.is_finite() && first_gap > 0.0,
+        "first_gap must be positive, got {first_gap}"
+    );
+    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1], got {ratio}");
+    assert!(
+        min_gap > 0.0 && min_gap <= first_gap,
+        "min_gap must be in (0, first_gap], got {min_gap}"
+    );
+    let mut pts = Vec::with_capacity(n);
+    let mut x = 0.0;
+    let mut gap = first_gap;
+    for _ in 0..n {
+        pts.push(Point2::new(x, 0.0));
+        x += gap;
+        gap = (gap * ratio).max(min_gap);
+    }
+    pts
+}
+
+/// `n` stations on a line whose consecutive gaps interpolate geometrically
+/// from `max_gap` down to `max_gap / rs_target`, so the resulting network
+/// has granularity at least `rs_target` (longer chords among the packed tail
+/// can only increase it). Gaps below `min_gap` are clamped, which caps the
+/// achievable granularity near `max_gap / min_gap`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, or `rs_target < 1`, or `max_gap`/`min_gap` are not
+/// positive finite with `min_gap <= max_gap`.
+pub fn granularity_line(n: usize, max_gap: f64, rs_target: f64, min_gap: f64) -> Vec<Point2> {
+    assert!(n >= 2, "need at least two stations, got {n}");
+    assert!(rs_target >= 1.0, "rs_target must be >= 1, got {rs_target}");
+    assert!(
+        max_gap.is_finite() && max_gap > 0.0 && min_gap > 0.0 && min_gap <= max_gap,
+        "gaps must satisfy 0 < min_gap <= max_gap"
+    );
+    let gaps = n - 1;
+    let mut pts = Vec::with_capacity(n);
+    let mut x = 0.0;
+    pts.push(Point2::new(0.0, 0.0));
+    for i in 0..gaps {
+        // Exponent runs 0 -> 1 across the gaps.
+        let t = if gaps == 1 { 1.0 } else { i as f64 / (gaps - 1) as f64 };
+        let gap = (max_gap * rs_target.powf(-t)).max(min_gap);
+        x += gap;
+        pts.push(Point2::new(x, 0.0));
+    }
+    pts
+}
+
+/// A line with **decoupled diameter and granularity**: `d_hops` leading
+/// gaps of exactly `max_gap` (a sparse spine that fixes the hop count)
+/// followed by a geometric tail of `n − 1 − d_hops` gaps interpolating from
+/// `max_gap/2` down to `max_gap/(2·rs_target)` (a packed cluster that fixes
+/// the granularity). Sweeping `rs_target` at fixed `d_hops` and `n` isolates
+/// the granularity dependence of an algorithm — the E6 experiment.
+///
+/// # Panics
+///
+/// Panics if `n < d_hops + 2`, or parameters are out of range as in
+/// [`granularity_line`].
+pub fn granularity_line_fixed_d(
+    n: usize,
+    max_gap: f64,
+    rs_target: f64,
+    d_hops: usize,
+    min_gap: f64,
+) -> Vec<Point2> {
+    assert!(n >= d_hops + 2, "need n >= d_hops + 2 (n = {n}, d_hops = {d_hops})");
+    assert!(rs_target >= 1.0, "rs_target must be >= 1, got {rs_target}");
+    assert!(
+        max_gap.is_finite() && max_gap > 0.0 && min_gap > 0.0 && min_gap <= max_gap,
+        "gaps must satisfy 0 < min_gap <= max_gap"
+    );
+    let mut pts = Vec::with_capacity(n);
+    let mut x = 0.0;
+    pts.push(Point2::new(0.0, 0.0));
+    for _ in 0..d_hops {
+        x += max_gap;
+        pts.push(Point2::new(x, 0.0));
+    }
+    let tail_gaps = n - 1 - d_hops;
+    for i in 0..tail_gaps {
+        let t = if tail_gaps == 1 { 1.0 } else { i as f64 / (tail_gaps - 1) as f64 };
+        let gap = (0.5 * max_gap * rs_target.powf(-t)).max(min_gap);
+        x += gap;
+        pts.push(Point2::new(x, 0.0));
+    }
+    pts
+}
+
+/// One-dimensional (γ = 1) variant of [`halving_line`] for experiments in
+/// true line metrics.
+pub fn halving_line_1d(n: usize, first_gap: f64, ratio: f64, min_gap: f64) -> Vec<Point1> {
+    halving_line(n, first_gap, ratio, min_gap)
+        .into_iter()
+        .map(|p| Point1::new(p.x))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::MetricPoint;
+    use sinr_phy::{CommGraph, SinrParams};
+
+    #[test]
+    fn uniform_line_gaps() {
+        let pts = uniform_line(5, 0.4);
+        for w in pts.windows(2) {
+            assert!((w[0].distance(&w[1]) - 0.4).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn halving_line_matches_footnote_two() {
+        let pts = halving_line(5, 0.5, 0.5, 1e-9);
+        let gaps: Vec<f64> = pts.windows(2).map(|w| w[0].distance(&w[1])).collect();
+        assert!((gaps[0] - 0.5).abs() < 1e-12);
+        assert!((gaps[1] - 0.25).abs() < 1e-12);
+        assert!((gaps[3] - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halving_line_floors_at_min_gap() {
+        let pts = halving_line(40, 0.5, 0.5, 1e-4);
+        let gaps: Vec<f64> = pts.windows(2).map(|w| w[0].distance(&w[1])).collect();
+        assert!(gaps.iter().all(|&g| g >= 1e-4 - 1e-15));
+        assert!((gaps.last().unwrap() - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn granularity_line_hits_target() {
+        let params = SinrParams::default_plane();
+        let max_gap = params.comm_radius(); // 0.5
+        for rs in [4.0, 64.0, 1024.0] {
+            let pts = granularity_line(32, max_gap, rs, 1e-8);
+            let g = CommGraph::build(&pts, params.comm_radius());
+            assert!(g.is_connected(), "rs={rs}");
+            let got = g.granularity(&pts).unwrap();
+            assert!(got >= rs * 0.99, "target {rs}, got {got}");
+        }
+    }
+
+    #[test]
+    fn granularity_line_connected_path() {
+        // All gaps <= max_gap = comm radius, so the path exists.
+        let params = SinrParams::default_plane();
+        let pts = granularity_line(64, params.comm_radius(), 1e6, 1e-8);
+        let g = CommGraph::build(&pts, params.comm_radius());
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn exponential_granularity_of_halving_line() {
+        let params = SinrParams::default_plane();
+        let pts = halving_line(20, 0.5, 0.5, 1e-9);
+        let g = CommGraph::build(&pts, params.comm_radius());
+        let rs = g.granularity(&pts).unwrap();
+        // 19 halvings: granularity ~ 2^18 or more.
+        assert!(rs > 1e5, "rs = {rs}");
+    }
+
+    #[test]
+    fn fixed_d_line_decouples_diameter_from_granularity() {
+        let params = SinrParams::default_plane();
+        let max_gap = params.comm_radius();
+        let mut diameters = Vec::new();
+        for rs in [4.0, 1024.0, 1e6] {
+            let pts = granularity_line_fixed_d(48, max_gap, rs, 12, 2e-9);
+            let g = CommGraph::build(&pts, params.comm_radius());
+            assert!(g.is_connected(), "rs={rs}");
+            assert!(g.granularity(&pts).unwrap() >= rs * 0.9, "rs={rs}");
+            diameters.push(g.diameter_exact().unwrap());
+        }
+        // The diameter may drift a little (a low-granularity tail cannot
+        // pack into one ball), but across six orders of magnitude of R_s it
+        // must stay within a small factor — E6 additionally normalises
+        // per hop.
+        let min = *diameters.iter().min().unwrap() as f64;
+        let max = *diameters.iter().max().unwrap() as f64;
+        assert!(max / min <= 2.5, "diameters varied too much: {diameters:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn fixed_d_line_rejects_short_n() {
+        let _ = granularity_line_fixed_d(5, 0.5, 4.0, 12, 1e-9);
+    }
+
+    #[test]
+    fn one_dimensional_variant_matches() {
+        let p2 = halving_line(6, 0.5, 0.5, 1e-9);
+        let p1 = halving_line_1d(6, 0.5, 0.5, 1e-9);
+        for (a, b) in p2.iter().zip(&p1) {
+            assert_eq!(a.x, b.x);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn granularity_line_rejects_tiny_n() {
+        let _ = granularity_line(1, 0.5, 4.0, 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn halving_rejects_ratio_above_one() {
+        let _ = halving_line(4, 0.5, 1.5, 1e-9);
+    }
+}

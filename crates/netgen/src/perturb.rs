@@ -1,0 +1,128 @@
+//! Jitter and separation utilities.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sinr_geometry::{GridIndex, MetricPoint, Point2};
+use sinr_phy::SinrParams;
+
+/// Whether all pairwise distances respect [`SinrParams::MIN_DISTANCE`].
+pub fn min_separation_ok(points: &[Point2]) -> bool {
+    if points.len() < 2 {
+        return true;
+    }
+    let grid = GridIndex::build(points, 1.0);
+    points.iter().enumerate().all(|(i, p)| {
+        grid.nearest(points, *p, i)
+            .map_or(true, |(_, d)| d >= SinrParams::MIN_DISTANCE)
+    })
+}
+
+/// Adds independent uniform jitter from `[-amplitude, amplitude]²` to every
+/// point.
+///
+/// # Panics
+///
+/// Panics if `amplitude` is negative or non-finite.
+pub fn jitter(points: &[Point2], amplitude: f64, seed: u64) -> Vec<Point2> {
+    assert!(
+        amplitude.is_finite() && amplitude >= 0.0,
+        "amplitude must be non-negative, got {amplitude}"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    points
+        .iter()
+        .map(|p| {
+            p.translate(
+                rng.gen_range(-amplitude..=amplitude),
+                rng.gen_range(-amplitude..=amplitude),
+            )
+        })
+        .collect()
+}
+
+/// Repairs near-coincident points by nudging the later of each too-close
+/// pair in a deterministic direction until all pairs are separated by at
+/// least `min_gap`. Returns the number of nudges applied.
+///
+/// Intended for synthetic generators that may (very rarely) sample
+/// duplicates; the nudge magnitude is `min_gap`, negligible at deployment
+/// scale.
+pub fn enforce_min_separation(points: &mut [Point2], min_gap: f64) -> usize {
+    assert!(min_gap > 0.0, "min_gap must be positive");
+    let mut nudges = 0;
+    // O(n²) pass is acceptable: generators call this once per instance and
+    // violations are rare; loop until a clean pass (bounded retries).
+    for _ in 0..16 {
+        let mut dirty = false;
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                if points[i].distance(&points[j]) < min_gap {
+                    // Golden-angle spiral with growing radius: successive
+                    // nudges of coincident points land pairwise-separated.
+                    let angle = (nudges as f64) * 2.399_963_229_728_653;
+                    let dist = min_gap * (1.0 + nudges as f64);
+                    points[j] = points[j].polar_offset(angle, dist);
+                    nudges += 1;
+                    dirty = true;
+                }
+            }
+        }
+        if !dirty {
+            return nudges;
+        }
+    }
+    nudges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separation_detects_duplicates() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.0, 0.0)];
+        assert!(!min_separation_ok(&pts));
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.5, 0.0)];
+        assert!(min_separation_ok(&pts));
+        assert!(min_separation_ok(&[]));
+        assert!(min_separation_ok(&[Point2::origin()]));
+    }
+
+    #[test]
+    fn jitter_moves_points_within_amplitude() {
+        let pts = vec![Point2::new(1.0, 1.0); 50];
+        let moved = jitter(&pts, 0.1, 3);
+        for (a, b) in pts.iter().zip(&moved) {
+            assert!((a.x - b.x).abs() <= 0.1 + 1e-12);
+            assert!((a.y - b.y).abs() <= 0.1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn jitter_zero_amplitude_identity() {
+        let pts = vec![Point2::new(1.0, 2.0), Point2::new(3.0, 4.0)];
+        assert_eq!(jitter(&pts, 0.0, 1), pts);
+    }
+
+    #[test]
+    fn enforce_separation_fixes_duplicates() {
+        let mut pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.0, 0.0),
+            Point2::new(0.0, 0.0),
+        ];
+        let nudges = enforce_min_separation(&mut pts, 1e-6);
+        assert!(nudges > 0);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!(pts[i].distance(&pts[j]) >= 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn enforce_separation_noop_when_clean() {
+        let mut pts = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)];
+        assert_eq!(enforce_min_separation(&mut pts, 1e-6), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Additional deployment shapes: rings, bridges and two-tier densities.
+//!
+//! These stress specific aspects of the algorithms: rings double every
+//! shortest path (robustness), bridges funnel all traffic through a thin
+//! corridor (the hardest hop), and two-tier deployments put two uniform
+//! densities side by side (no single flooding probability fits both).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sinr_geometry::Point2;
+use sinr_phy::SinrParams;
+
+use crate::perturb::enforce_min_separation;
+
+/// `n` stations evenly spaced on a circle of the given radius (plus
+/// deterministic micro-jitter to avoid exact symmetries).
+///
+/// With spacing `2πr/n ≤ comm_radius` the communication graph is a cycle
+/// (or denser), so the diameter is ~`n/2` · (spacing/comm reach) and every
+/// pair of stations has two disjoint routes.
+///
+/// # Panics
+///
+/// Panics if `radius` is not positive finite or `n == 0`.
+pub fn ring(n: usize, radius: f64, seed: u64) -> Vec<Point2> {
+    assert!(n > 0, "ring needs at least one station");
+    assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pts: Vec<Point2> = (0..n)
+        .map(|i| {
+            let theta = i as f64 / n as f64 * std::f64::consts::TAU;
+            let r = radius * (1.0 + rng.gen_range(-1e-3..1e-3));
+            Point2::new(r * theta.cos(), r * theta.sin())
+        })
+        .collect();
+    enforce_min_separation(&mut pts, SinrParams::MIN_DISTANCE * 2.0);
+    pts
+}
+
+/// Two dense square blobs joined by a thin single-file corridor: the
+/// "bridge" topology. All traffic between the blobs crosses the corridor,
+/// whose stations see heavy interference from both sides.
+///
+/// * each blob: `blob_n` stations uniform in a `blob_side`-square;
+/// * corridor: `corridor_n + 2` stations in single file (two of them are
+///   edge anchors guaranteeing blob attachment) with gap
+///   `0.9·comm_radius` under `params`.
+///
+/// # Panics
+///
+/// Panics if any count is zero or `blob_side` is not positive finite.
+pub fn bridge(
+    blob_n: usize,
+    corridor_n: usize,
+    blob_side: f64,
+    params: &SinrParams,
+    seed: u64,
+) -> Vec<Point2> {
+    assert!(blob_n > 0 && corridor_n > 0, "counts must be positive");
+    assert!(
+        blob_side.is_finite() && blob_side > 0.0,
+        "blob_side must be positive"
+    );
+    let gap = 0.9 * params.comm_radius();
+    let corridor_len = (corridor_n + 1) as f64 * gap;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(2 * blob_n + corridor_n);
+    // Left blob, right edge at x = 0.
+    for _ in 0..blob_n {
+        pts.push(Point2::new(
+            rng.gen_range(-blob_side..=0.0),
+            rng.gen_range(0.0..=blob_side),
+        ));
+    }
+    // Corridor along y = blob_side/2, with anchor stations at both blob
+    // edges (x = 0 and x = corridor_len) so the blobs always connect to it.
+    let y = blob_side / 2.0;
+    for i in 0..=(corridor_n + 1) {
+        pts.push(Point2::new(i as f64 * gap, y));
+    }
+    // Right blob, left edge at the corridor's end.
+    for _ in 0..blob_n {
+        pts.push(Point2::new(
+            corridor_len + rng.gen_range(0.0..=blob_side),
+            rng.gen_range(0.0..=blob_side),
+        ));
+    }
+    enforce_min_separation(&mut pts, SinrParams::MIN_DISTANCE * 2.0);
+    pts
+}
+
+/// Two adjacent uniform tiles with a density contrast of `ratio : 1` —
+/// `dense_n` stations in the left `side`-square, `dense_n / ratio`
+/// (at least 2) in the right one. The paper's point that no fixed
+/// transmission probability suits both regimes, in one instance.
+///
+/// # Panics
+///
+/// Panics if `ratio == 0` or inputs are degenerate.
+pub fn two_tier(dense_n: usize, ratio: usize, side: f64, seed: u64) -> Vec<Point2> {
+    assert!(ratio > 0, "ratio must be positive");
+    assert!(dense_n > 0 && side.is_finite() && side > 0.0, "degenerate inputs");
+    let sparse_n = (dense_n / ratio).max(2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(dense_n + sparse_n);
+    for _ in 0..dense_n {
+        pts.push(Point2::new(
+            rng.gen_range(0.0..=side),
+            rng.gen_range(0.0..=side),
+        ));
+    }
+    for _ in 0..sparse_n {
+        pts.push(Point2::new(
+            rng.gen_range(side..=2.0 * side),
+            rng.gen_range(0.0..=side),
+        ));
+    }
+    enforce_min_separation(&mut pts, SinrParams::MIN_DISTANCE * 2.0);
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::MetricPoint;
+    use sinr_phy::CommGraph;
+
+    #[test]
+    fn ring_is_a_cycle() {
+        let params = SinrParams::default_plane();
+        // 40 stations, circumference chosen so spacing ~ 0.4 < 0.5.
+        let radius = 40.0 * 0.4 / std::f64::consts::TAU;
+        let pts = ring(40, radius, 1);
+        let g = CommGraph::build(&pts, params.comm_radius());
+        assert!(g.is_connected());
+        // Cycle diameter ~ n/2 hops (possibly less with chord edges).
+        let d = g.diameter_exact().unwrap();
+        assert!(d >= 10 && d <= 20, "d = {d}");
+        assert!(pts.iter().all(|p| (p.norm() - radius).abs() < radius * 0.01));
+    }
+
+    #[test]
+    fn bridge_connects_blobs_through_corridor() {
+        let params = SinrParams::default_plane();
+        let pts = bridge(40, 6, 1.2, &params, 3);
+        assert_eq!(pts.len(), 88);
+        let g = CommGraph::build(&pts, params.comm_radius());
+        assert!(g.is_connected());
+        // A left-blob to right-blob path must traverse >= corridor_n hops.
+        let path = g.shortest_path(0, 87).unwrap();
+        assert!(path.len() >= 6, "path too short: {}", path.len());
+    }
+
+    #[test]
+    fn two_tier_density_contrast() {
+        let pts = two_tier(120, 10, 2.0, 5);
+        assert_eq!(pts.len(), 132);
+        let left = pts.iter().filter(|p| p.x <= 2.0).count();
+        let right = pts.len() - left;
+        assert!(left >= 10 * right - 20, "contrast lost: {left} vs {right}");
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let params = SinrParams::default_plane();
+        assert_eq!(ring(10, 2.0, 7), ring(10, 2.0, 7));
+        assert_eq!(bridge(5, 3, 1.0, &params, 7), bridge(5, 3, 1.0, &params, 7));
+        assert_eq!(two_tier(20, 4, 1.0, 7), two_tier(20, 4, 1.0, 7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ring_rejects_empty() {
+        let _ = ring(0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn two_tier_rejects_zero_ratio() {
+        let _ = two_tier(10, 0, 1.0, 0);
+    }
+}

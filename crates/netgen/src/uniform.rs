@@ -1,0 +1,157 @@
+//! Uniform random deployments.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sinr_geometry::Point2;
+use sinr_phy::{CommGraph, SinrParams};
+
+use crate::perturb::min_separation_ok;
+
+/// `n` points uniform in the axis-aligned square `[0, side]²`.
+///
+/// # Panics
+///
+/// Panics if `side` is not positive and finite.
+pub fn square(n: usize, side: f64, seed: u64) -> Vec<Point2> {
+    assert!(side.is_finite() && side > 0.0, "side must be positive, got {side}");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point2::new(rng.gen_range(0.0..=side), rng.gen_range(0.0..=side)))
+        .collect()
+}
+
+/// `n` points uniform in the disk of the given radius centred at the origin
+/// (area-uniform via the √U radial transform).
+///
+/// # Panics
+///
+/// Panics if `radius` is not positive and finite.
+pub fn disk(n: usize, radius: f64, seed: u64) -> Vec<Point2> {
+    assert!(
+        radius.is_finite() && radius > 0.0,
+        "radius must be positive, got {radius}"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let r = radius * rng.gen_range(0.0f64..=1.0).sqrt();
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            Point2::new(r * theta.cos(), r * theta.sin())
+        })
+        .collect()
+}
+
+/// Uniform square deployment, resampled (up to `MAX_ATTEMPTS` = 64 seeds)
+/// until the communication graph under `params` is connected and stations
+/// respect the minimum separation. Returns `None` when the density is too
+/// low for connectivity to be plausible.
+///
+/// This is the workhorse generator of the experiment suite: experiments need
+/// *connected* instances, and rejection sampling preserves uniformity
+/// conditioned on connectivity.
+pub fn connected_square(n: usize, side: f64, params: &SinrParams, seed: u64) -> Option<Vec<Point2>> {
+    const MAX_ATTEMPTS: u64 = 64;
+    for attempt in 0..MAX_ATTEMPTS {
+        let pts = square(n, side, seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)));
+        if !min_separation_ok(&pts) {
+            continue;
+        }
+        let g = CommGraph::build(&pts, params.comm_radius());
+        if g.is_connected() {
+            return Some(pts);
+        }
+    }
+    None
+}
+
+/// Uniform disk deployment resampled until connected, as
+/// [`connected_square`].
+pub fn connected_disk(n: usize, radius: f64, params: &SinrParams, seed: u64) -> Option<Vec<Point2>> {
+    const MAX_ATTEMPTS: u64 = 64;
+    for attempt in 0..MAX_ATTEMPTS {
+        let pts = disk(n, radius, seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)));
+        if !min_separation_ok(&pts) {
+            continue;
+        }
+        let g = CommGraph::build(&pts, params.comm_radius());
+        if g.is_connected() {
+            return Some(pts);
+        }
+    }
+    None
+}
+
+/// Side length giving expected density `density` stations per unit area for
+/// `n` stations: `sqrt(n / density)`.
+pub fn side_for_density(n: usize, density: f64) -> f64 {
+    assert!(density > 0.0, "density must be positive");
+    (n as f64 / density).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::MetricPoint;
+
+    #[test]
+    fn square_bounds_and_count() {
+        let pts = square(200, 5.0, 1);
+        assert_eq!(pts.len(), 200);
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..=5.0).contains(&p.x) && (0.0..=5.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn square_deterministic_per_seed() {
+        assert_eq!(square(50, 2.0, 9), square(50, 2.0, 9));
+        assert_ne!(square(50, 2.0, 9), square(50, 2.0, 10));
+    }
+
+    #[test]
+    fn disk_within_radius() {
+        let pts = disk(300, 2.5, 3);
+        assert!(pts.iter().all(|p| p.norm() <= 2.5 + 1e-12));
+    }
+
+    #[test]
+    fn disk_roughly_area_uniform() {
+        // Half the radius encloses a quarter of the area.
+        let pts = disk(4000, 1.0, 7);
+        let inner = pts.iter().filter(|p| p.norm() <= 0.5).count();
+        let frac = inner as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.04, "frac = {frac}");
+    }
+
+    #[test]
+    fn connected_square_is_connected() {
+        let params = SinrParams::default_plane();
+        let pts = connected_square(150, 2.0, &params, 11).expect("dense instance");
+        let g = CommGraph::build(&pts, params.comm_radius());
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn connected_square_gives_up_when_hopeless() {
+        // 3 stations in a 1000-unit square will essentially never connect.
+        let params = SinrParams::default_plane();
+        assert!(connected_square(3, 1000.0, &params, 1).is_none());
+    }
+
+    #[test]
+    fn side_for_density_math() {
+        assert_eq!(side_for_density(100, 4.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn square_rejects_bad_side() {
+        let _ = square(5, -1.0, 0);
+    }
+
+    #[test]
+    fn zero_points_ok() {
+        assert!(square(0, 1.0, 0).is_empty());
+        assert!(disk(0, 1.0, 0).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Topology validation and reporting.
+
+use sinr_geometry::Point2;
+use sinr_phy::{CommGraph, SinrParams};
+
+/// Structural summary of a deployed topology under given SINR parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyReport {
+    /// Number of stations.
+    pub n: usize,
+    /// Whether the communication graph is connected.
+    pub connected: bool,
+    /// Exact diameter `D` (hops), `None` when disconnected.
+    pub diameter: Option<u32>,
+    /// Maximum communication-graph degree Δ.
+    pub max_degree: usize,
+    /// Number of communication-graph edges.
+    pub num_edges: usize,
+    /// Granularity `R_s`, `None` when the graph has no edges.
+    pub granularity: Option<f64>,
+}
+
+/// Computes a [`TopologyReport`] for `points` under `params`.
+///
+/// Uses the exact all-sources-BFS diameter for n ≤ 2048 and the double-sweep
+/// estimate beyond (exact on chains/paths, a lower bound in general — the
+/// report notes which via [`TopologyReport::diameter`] being estimate-based
+/// only at large n; experiment harnesses that need exactness keep n small or
+/// use chain topologies where double-sweep is exact).
+pub fn report(points: &[Point2], params: &SinrParams) -> TopologyReport {
+    let g = CommGraph::build(points, params.comm_radius());
+    let connected = g.is_connected();
+    let diameter = if !connected {
+        None
+    } else if g.len() <= 2048 {
+        g.diameter_exact()
+    } else {
+        g.diameter_double_sweep(0)
+    };
+    TopologyReport {
+        n: g.len(),
+        connected,
+        diameter,
+        max_degree: g.max_degree(),
+        num_edges: g.num_edges(),
+        granularity: g.granularity(points),
+    }
+}
+
+/// Panics with a descriptive message unless the topology is connected.
+/// Convenience guard for experiment harnesses.
+///
+/// # Panics
+///
+/// Panics when the communication graph of `points` under `params` is
+/// disconnected.
+pub fn require_connected(points: &[Point2], params: &SinrParams) {
+    let g = CommGraph::build(points, params.comm_radius());
+    assert!(
+        g.is_connected(),
+        "topology with {} stations is disconnected under {params}",
+        points.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::uniform_line;
+
+    #[test]
+    fn report_on_path() {
+        let params = SinrParams::default_plane();
+        let pts = uniform_line(6, 0.45);
+        let r = report(&pts, &params);
+        assert_eq!(r.n, 6);
+        assert!(r.connected);
+        assert_eq!(r.diameter, Some(5));
+        assert_eq!(r.max_degree, 2);
+        assert_eq!(r.num_edges, 5);
+        assert!((r.granularity.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_disconnected() {
+        let params = SinrParams::default_plane();
+        let mut pts = uniform_line(3, 0.45);
+        pts.push(Point2::new(100.0, 0.0));
+        let r = report(&pts, &params);
+        assert!(!r.connected);
+        assert_eq!(r.diameter, None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn require_connected_panics() {
+        let params = SinrParams::default_plane();
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)];
+        require_connected(&pts, &params);
+    }
+
+    #[test]
+    fn large_network_uses_double_sweep() {
+        let params = SinrParams::default_plane();
+        let pts = uniform_line(3000, 0.45);
+        let r = report(&pts, &params);
+        assert!(r.connected);
+        assert_eq!(r.diameter, Some(2999)); // double-sweep exact on paths
+    }
+}

@@ -1,0 +1,228 @@
+//! Parameter uncertainty: stations know only **bounds** on the SINR
+//! parameters.
+//!
+//! The paper (Section 1.1, "Knowledge of stations") does not assume stations
+//! know α, β, N exactly — only ranges `[α_min, α_max]`, `[β_min, β_max]`,
+//! `[N_min, N_max]`; "it is sufficient to choose their maximal/minimal
+//! values depending on the fact whether upper or lower estimates are
+//! provided". [`ParamBounds`] captures the ranges and derives the
+//! conservative values each algorithm-side quantity needs:
+//!
+//! * interference-margin constants (the `q` of Lemma 6) must assume the
+//!   *worst* interference accumulation → `α_min` (slowest decay far-field),
+//!   `β_max`, `N_max`;
+//! * the Playoff jamming scale `c_ε = Θ(1/ε^α)` must assume the *weakest*
+//!   signals at distance ε → `α_max`;
+//! * any signal-strength lower bound at distance < 1 uses `α_max`, any
+//!   upper bound uses `α_min`.
+//!
+//! The physical channel itself is simulated with the *true* parameters; the
+//! uncertainty only affects what protocols assume (see the
+//! `param_uncertainty` integration test).
+
+use crate::params::{ParamError, SinrParams};
+
+/// Known ranges for the SINR parameters.
+///
+/// # Example
+///
+/// ```
+/// use sinr_phy::{ParamBounds, SinrParams};
+/// let truth = SinrParams::default_plane();
+/// let bounds = ParamBounds::around(&truth, 0.2)?;
+/// assert!(bounds.contains(&truth));
+/// // The conservative parameter set is valid and at least as pessimistic:
+/// let safe = bounds.conservative(truth.eps(), truth.gamma())?;
+/// assert!(safe.noise() >= truth.noise());
+/// # Ok::<(), sinr_phy::ParamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamBounds {
+    alpha_min: f64,
+    alpha_max: f64,
+    beta_min: f64,
+    beta_max: f64,
+    noise_min: f64,
+    noise_max: f64,
+}
+
+impl ParamBounds {
+    /// Creates bounds from explicit ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when a range is inverted, non-finite, or
+    /// violates the model constraints at its extremes (`β_min < 1`,
+    /// `N_min ≤ 0`, `α_min ≤ 0`).
+    pub fn new(
+        alpha: (f64, f64),
+        beta: (f64, f64),
+        noise: (f64, f64),
+    ) -> Result<Self, ParamError> {
+        for (name, (lo, hi)) in [("alpha", alpha), ("beta", beta), ("noise", noise)] {
+            if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+                return Err(param_error(format!(
+                    "{name} range [{lo}, {hi}] must be finite and ordered"
+                )));
+            }
+        }
+        if alpha.0 <= 0.0 {
+            return Err(param_error(format!("alpha_min must be positive, got {}", alpha.0)));
+        }
+        if beta.0 < 1.0 {
+            return Err(param_error(format!("beta_min must be >= 1, got {}", beta.0)));
+        }
+        if noise.0 <= 0.0 {
+            return Err(param_error(format!("noise_min must be positive, got {}", noise.0)));
+        }
+        Ok(ParamBounds {
+            alpha_min: alpha.0,
+            alpha_max: alpha.1,
+            beta_min: beta.0,
+            beta_max: beta.1,
+            noise_min: noise.0,
+            noise_max: noise.1,
+        })
+    }
+
+    /// Symmetric relative bounds of width `rel` around the true parameters
+    /// (e.g. `rel = 0.2` gives ±20%), floored so the extremes stay valid.
+    ///
+    /// # Errors
+    ///
+    /// As [`ParamBounds::new`]; also rejects `rel` outside `[0, 1)`.
+    pub fn around(truth: &SinrParams, rel: f64) -> Result<Self, ParamError> {
+        if !(0.0..1.0).contains(&rel) {
+            return Err(param_error(format!("rel must be in [0, 1), got {rel}")));
+        }
+        let lo = 1.0 - rel;
+        let hi = 1.0 + rel;
+        ParamBounds::new(
+            (truth.alpha() * lo, truth.alpha() * hi),
+            ((truth.beta() * lo).max(1.0), truth.beta() * hi),
+            (truth.noise() * lo, truth.noise() * hi),
+        )
+    }
+
+    /// Whether the true parameters lie within the bounds.
+    pub fn contains(&self, p: &SinrParams) -> bool {
+        (self.alpha_min..=self.alpha_max).contains(&p.alpha())
+            && (self.beta_min..=self.beta_max).contains(&p.beta())
+            && (self.noise_min..=self.noise_max).contains(&p.noise())
+    }
+
+    /// Minimum path-loss exponent (worst-case far-field accumulation).
+    pub fn alpha_min(&self) -> f64 {
+        self.alpha_min
+    }
+
+    /// Maximum path-loss exponent (worst-case signal decay).
+    pub fn alpha_max(&self) -> f64 {
+        self.alpha_max
+    }
+
+    /// Maximum decoding threshold.
+    pub fn beta_max(&self) -> f64 {
+        self.beta_max
+    }
+
+    /// Maximum ambient noise.
+    pub fn noise_max(&self) -> f64 {
+        self.noise_max
+    }
+
+    /// The **conservative parameter set** an algorithm should plan with:
+    /// the hardest decoding (`β_max`, `N_max`) and the weakest useful signal
+    /// (`α_max`), validated against the deployment dimension `gamma`.
+    ///
+    /// Quantities that need the *opposite* extreme (interference sums, which
+    /// accumulate worst under slow decay) should read
+    /// [`ParamBounds::alpha_min`] directly — `sinr_core`'s paper-constant
+    /// derivation does exactly that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if the conservative extremes violate the
+    /// model (e.g. `α_max ≤ γ` — uncertainty too wide for the dimension).
+    pub fn conservative(&self, eps: f64, gamma: f64) -> Result<SinrParams, ParamError> {
+        SinrParams::builder()
+            .alpha(self.alpha_max)
+            .beta(self.beta_max)
+            .noise(self.noise_max)
+            .eps(eps)
+            .build(gamma)
+    }
+}
+
+fn param_error(what: String) -> ParamError {
+    ParamError::new(what)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn around_contains_truth() {
+        let truth = SinrParams::default_plane();
+        let b = ParamBounds::around(&truth, 0.15).unwrap();
+        assert!(b.contains(&truth));
+        assert!(b.alpha_min() < truth.alpha());
+        assert!(b.alpha_max() > truth.alpha());
+    }
+
+    #[test]
+    fn conservative_is_pessimistic() {
+        let truth = SinrParams::default_plane();
+        let b = ParamBounds::around(&truth, 0.1).unwrap();
+        let safe = b.conservative(truth.eps(), truth.gamma()).unwrap();
+        assert!(safe.beta() >= truth.beta());
+        assert!(safe.noise() >= truth.noise());
+        assert!(safe.alpha() >= truth.alpha());
+        // Weakest signal at distance < 1... conservative range is shorter
+        // or equal: signal at 0.9 under alpha_max <= under truth... equal
+        // at d >= 1 boundary; the decodable radius can only shrink.
+        assert!(safe.power() >= truth.power());
+    }
+
+    #[test]
+    fn zero_width_bounds_reproduce_truth() {
+        let truth = SinrParams::default_plane();
+        let b = ParamBounds::new(
+            (truth.alpha(), truth.alpha()),
+            (truth.beta(), truth.beta()),
+            (truth.noise(), truth.noise()),
+        )
+        .unwrap();
+        let safe = b.conservative(truth.eps(), truth.gamma()).unwrap();
+        assert_eq!(safe, truth);
+    }
+
+    #[test]
+    fn rejects_inverted_range() {
+        assert!(ParamBounds::new((3.0, 2.0), (1.0, 1.5), (0.5, 2.0)).is_err());
+    }
+
+    #[test]
+    fn rejects_beta_below_one() {
+        assert!(ParamBounds::new((2.5, 3.5), (0.8, 1.5), (0.5, 2.0)).is_err());
+    }
+
+    #[test]
+    fn too_wide_alpha_fails_at_conservative_when_below_gamma() {
+        // alpha range dipping to 1.5 is fine for bounds, and conservative
+        // uses alpha_max so it still validates against gamma = 2.
+        let b = ParamBounds::new((1.5, 3.0), (1.0, 1.2), (1.0, 1.0)).unwrap();
+        assert!(b.conservative(0.5, 2.0).is_ok());
+        // But a conservative alpha_max <= gamma must fail.
+        let b = ParamBounds::new((1.2, 1.8), (1.0, 1.2), (1.0, 1.0)).unwrap();
+        assert!(b.conservative(0.5, 2.0).is_err());
+    }
+
+    #[test]
+    fn around_rejects_bad_rel() {
+        let truth = SinrParams::default_plane();
+        assert!(ParamBounds::around(&truth, 1.0).is_err());
+        assert!(ParamBounds::around(&truth, -0.1).is_err());
+    }
+}

@@ -1,0 +1,365 @@
+//! The communication graph `G(V, E)`: edges between stations at distance
+//! ≤ 1 − ε (paper Section 1.1, "Communication graph and graph notation").
+//!
+//! All complexity bounds of the paper are expressed in terms of this graph's
+//! parameters: the number of stations `n`, the diameter `D`, and (for
+//! baselines) the maximum degree Δ and the granularity `R_s`.
+
+use std::collections::VecDeque;
+
+use sinr_geometry::{GridIndex, MetricPoint};
+
+/// Distance value meaning "unreachable" in BFS results.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// An undirected communication graph over station indices.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geometry::Point2;
+/// use sinr_phy::CommGraph;
+/// // Three stations on a line, comm radius 0.5: a path graph.
+/// let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.4, 0.0), Point2::new(0.8, 0.0)];
+/// let g = CommGraph::build(&pts, 0.5);
+/// assert!(g.is_connected());
+/// assert_eq!(g.diameter_exact(), Some(2));
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommGraph {
+    adj: Vec<Vec<usize>>,
+    radius: f64,
+    num_edges: usize,
+}
+
+impl CommGraph {
+    /// Builds the communication graph with edges between stations at
+    /// distance `<= radius` (use `params.comm_radius()` for the paper's
+    /// `1 − ε` graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not positive and finite.
+    pub fn build<P: MetricPoint>(points: &[P], radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "communication radius must be positive, got {radius}"
+        );
+        let grid = GridIndex::build(points, radius.max(1e-6));
+        let mut adj = vec![Vec::new(); points.len()];
+        let mut num_edges = 0;
+        for (v, p) in points.iter().enumerate() {
+            for u in grid.ball(points, *p, radius) {
+                if u != v {
+                    adj[v].push(u);
+                    if u > v {
+                        num_edges += 1;
+                    }
+                }
+            }
+        }
+        CommGraph { adj, radius, num_edges }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// The edge radius used at construction.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Neighbours of vertex `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree Δ.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// BFS distances (in hops) from `src`; [`UNREACHABLE`] marks vertices in
+    /// other components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn bfs(&self, src: usize) -> Vec<u32> {
+        assert!(src < self.len(), "source {src} out of range");
+        let mut dist = vec![UNREACHABLE; self.len()];
+        let mut queue = VecDeque::new();
+        dist[src] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            for &u in &self.adj[v] {
+                if dist[u] == UNREACHABLE {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether all vertices are mutually reachable. The empty graph counts
+    /// as connected.
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        self.bfs(0).iter().all(|&d| d != UNREACHABLE)
+    }
+
+    /// Eccentricity of `src` (max BFS distance), or `None` if the graph is
+    /// disconnected from `src`.
+    pub fn eccentricity(&self, src: usize) -> Option<u32> {
+        let dist = self.bfs(src);
+        let max = *dist.iter().max().expect("non-empty");
+        if max == UNREACHABLE {
+            None
+        } else {
+            Some(max)
+        }
+    }
+
+    /// Exact diameter via all-sources BFS (`O(n·m)`), or `None` if
+    /// disconnected. Quadratic — fine for experiment sizes; use
+    /// [`CommGraph::diameter_double_sweep`] for a fast lower bound.
+    pub fn diameter_exact(&self) -> Option<u32> {
+        if self.is_empty() {
+            return Some(0);
+        }
+        let mut diam = 0;
+        for v in 0..self.len() {
+            diam = diam.max(self.eccentricity(v)?);
+        }
+        Some(diam)
+    }
+
+    /// Double-sweep diameter lower bound: BFS from `start`, then BFS from
+    /// the farthest vertex found. Exact on trees; a good estimate on
+    /// geometric graphs. Returns `None` if disconnected.
+    pub fn diameter_double_sweep(&self, start: usize) -> Option<u32> {
+        if self.is_empty() {
+            return Some(0);
+        }
+        let d1 = self.bfs(start);
+        if d1.contains(&UNREACHABLE) {
+            return None;
+        }
+        let far = d1
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, d)| *d)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        self.eccentricity(far)
+    }
+
+    /// A shortest path from `src` to `dst` (inclusive), or `None` if
+    /// unreachable.
+    pub fn shortest_path(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
+        assert!(src < self.len() && dst < self.len(), "vertex out of range");
+        let mut parent = vec![usize::MAX; self.len()];
+        let mut dist = vec![UNREACHABLE; self.len()];
+        let mut queue = VecDeque::new();
+        dist[src] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            if v == dst {
+                break;
+            }
+            for &u in &self.adj[v] {
+                if dist[u] == UNREACHABLE {
+                    dist[u] = dist[v] + 1;
+                    parent[u] = v;
+                    queue.push_back(u);
+                }
+            }
+        }
+        if dist[dst] == UNREACHABLE {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut v = dst;
+        while v != src {
+            v = parent[v];
+            path.push(v);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Granularity `R_s`: the maximum ratio between distances of stations
+    /// connected by an edge (paper Section 1.3). Returns `None` when the
+    /// graph has no edges.
+    pub fn granularity<P: MetricPoint>(&self, points: &[P]) -> Option<f64> {
+        assert_eq!(points.len(), self.len(), "points/graph size mismatch");
+        let mut min_d = f64::INFINITY;
+        let mut max_d: f64 = 0.0;
+        for (v, nbrs) in self.adj.iter().enumerate() {
+            for &u in nbrs {
+                if u > v {
+                    let d = points[v].distance(&points[u]).max(1e-300);
+                    min_d = min_d.min(d);
+                    max_d = max_d.max(d);
+                }
+            }
+        }
+        if max_d == 0.0 {
+            None
+        } else {
+            Some(max_d / min_d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point2;
+
+    fn line(n: usize, gap: f64) -> Vec<Point2> {
+        (0..n).map(|i| Point2::new(i as f64 * gap, 0.0)).collect()
+    }
+
+    #[test]
+    fn path_graph_structure() {
+        let pts = line(5, 0.4);
+        let g = CommGraph::build(&pts, 0.5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter_exact(), Some(4));
+        assert_eq!(g.diameter_double_sweep(2), Some(4));
+    }
+
+    #[test]
+    fn disconnected_components_detected() {
+        let mut pts = line(3, 0.4);
+        pts.push(Point2::new(100.0, 0.0));
+        let g = CommGraph::build(&pts, 0.5);
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter_exact(), None);
+        assert_eq!(g.diameter_double_sweep(0), None);
+        assert_eq!(g.eccentricity(0), None);
+        let d = g.bfs(0);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let pts = line(4, 0.4);
+        let g = CommGraph::build(&pts, 0.5);
+        assert_eq!(g.bfs(0), vec![0, 1, 2, 3]);
+        assert_eq!(g.bfs(2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn edge_at_exact_radius_included() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.5, 0.0)];
+        let g = CommGraph::build(&pts, 0.5);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let pts = line(6, 0.45);
+        let g = CommGraph::build(&pts, 0.5);
+        let path = g.shortest_path(0, 5).unwrap();
+        assert_eq!(path.first(), Some(&0));
+        assert_eq!(path.last(), Some(&5));
+        assert_eq!(path.len(), 6);
+        // consecutive path vertices are adjacent
+        for w in path.windows(2) {
+            assert!(g.neighbors(w[0]).contains(&w[1]));
+        }
+        assert_eq!(g.shortest_path(2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn shortest_path_unreachable_is_none() {
+        let mut pts = line(2, 0.4);
+        pts.push(Point2::new(50.0, 0.0));
+        let g = CommGraph::build(&pts, 0.5);
+        assert_eq!(g.shortest_path(0, 2), None);
+    }
+
+    #[test]
+    fn granularity_of_uniform_line_is_one() {
+        let pts = line(5, 0.4);
+        let g = CommGraph::build(&pts, 0.5);
+        let rs = g.granularity(&pts).unwrap();
+        assert!((rs - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn granularity_of_geometric_line() {
+        // Gaps 0.4, 0.2, 0.1: Rs = 4.
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.4, 0.0),
+            Point2::new(0.6, 0.0),
+            Point2::new(0.7, 0.0),
+        ];
+        let g = CommGraph::build(&pts, 0.5);
+        // Edges include (0,1)=0.4 ... and also longer chords <= 0.5 like (1,3)=0.3, (0,2)... 0.6>0.5 no.
+        let rs = g.granularity(&pts).unwrap();
+        assert!(rs >= 4.0, "Rs = {rs}");
+    }
+
+    #[test]
+    fn granularity_none_without_edges() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)];
+        let g = CommGraph::build(&pts, 0.5);
+        assert_eq!(g.granularity(&pts), None);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let pts: Vec<Point2> = vec![];
+        let g = CommGraph::build(&pts, 0.5);
+        assert!(g.is_empty());
+        assert!(g.is_connected());
+        assert_eq!(g.diameter_exact(), Some(0));
+
+        let pts = vec![Point2::origin()];
+        let g = CommGraph::build(&pts, 0.5);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter_exact(), Some(0));
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn grid_graph_diameter() {
+        // 4x4 grid with spacing 0.45, radius 0.5: only axis-aligned edges.
+        let pts: Vec<Point2> = (0..16)
+            .map(|i| Point2::new((i % 4) as f64 * 0.45, (i / 4) as f64 * 0.45))
+            .collect();
+        let g = CommGraph::build(&pts, 0.5);
+        assert_eq!(g.diameter_exact(), Some(6)); // Manhattan distance corner-to-corner
+        assert_eq!(g.max_degree(), 4);
+    }
+}

@@ -1,0 +1,122 @@
+//! Facts 1–3 of the paper as checkable predicates.
+//!
+//! These are the elementary reception guarantees the paper's analysis builds
+//! on; implementing them as functions lets the test suite verify that the
+//! reception oracle ([`crate::resolve_round`]) satisfies them on arbitrary
+//! inputs, and gives the algorithm crates a shared vocabulary for thresholds.
+
+use crate::params::SinrParams;
+
+/// Fact 2 interference threshold: if the interference at a receiver is at
+/// most `N / (2 x^α)` (and `x ≤ (1/2)^{1/α}`), the receiver can decode a
+/// transmitter at distance `x`.
+///
+/// # Panics
+///
+/// Panics if `x` is not in `(0, (1/2)^{1/α}]`.
+pub fn fact2_interference_bound(params: &SinrParams, x: f64) -> f64 {
+    let xmax = fact2_max_distance(params);
+    assert!(
+        x > 0.0 && x <= xmax + 1e-12,
+        "Fact 2 requires 0 < x <= (1/2)^(1/alpha) = {xmax}, got {x}"
+    );
+    params.noise() / (2.0 * x.powf(params.alpha()))
+}
+
+/// The largest distance `x = (1/2)^{1/α}` to which Fact 2 applies.
+pub fn fact2_max_distance(params: &SinrParams) -> f64 {
+    0.5f64.powf(1.0 / params.alpha())
+}
+
+/// Fact 3 interference threshold: if the interference at a receiver is at
+/// most `N·α·x`, the receiver can decode a transmitter at distance `1 − x`.
+///
+/// # Panics
+///
+/// Panics if `x` is not in `(0, 1)`.
+pub fn fact3_interference_bound(params: &SinrParams, x: f64) -> f64 {
+    assert!(x > 0.0 && x < 1.0, "Fact 3 requires 0 < x < 1, got {x}");
+    params.noise() * params.alpha() * x
+}
+
+/// Fact 1 as geometry: if a transmission from `v` is received everywhere
+/// within distance `1 − ε/2` of `v`, then it is received by all
+/// communication-graph neighbours of every station in `B(v, ε/2)` — because
+/// `(ε/2) + (1 − ε) = 1 − ε/2`. This helper returns that reach radius.
+pub fn fact1_reach_radius(params: &SinrParams) -> f64 {
+    1.0 - params.eps() / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reception::{resolve_round, InterferenceMode};
+    use sinr_geometry::Point2;
+
+    fn params() -> SinrParams {
+        SinrParams::default_plane()
+    }
+
+    #[test]
+    fn fact2_reception_guaranteed() {
+        // Receiver at distance x from transmitter; an interferer placed so
+        // the interference is just below the Fact 2 bound must not break
+        // the reception.
+        let p = params();
+        let x = fact2_max_distance(&p) * 0.9;
+        let bound = fact2_interference_bound(&p, x);
+        // Place a single interferer at distance d so that signal(d) <= bound.
+        let d = (p.power() / bound).powf(1.0 / p.alpha()) + 1e-6;
+        let pts = vec![
+            Point2::new(0.0, 0.0),     // transmitter v
+            Point2::new(x, 0.0),       // receiver u
+            Point2::new(x + d, 0.0),   // interferer w at distance d from u
+        ];
+        let out = resolve_round(&pts, &p, &[0, 2], InterferenceMode::Exact, None);
+        assert_eq!(out.decoded_from[1], Some(0), "Fact 2 violated by oracle");
+    }
+
+    #[test]
+    fn fact3_reception_guaranteed() {
+        let p = params();
+        let x = 0.2;
+        let bound = fact3_interference_bound(&p, x);
+        let d = (p.power() / bound).powf(1.0 / p.alpha()) + 1e-6;
+        let rx = 1.0 - x;
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(rx, 0.0),
+            Point2::new(rx + d, 0.0),
+        ];
+        let out = resolve_round(&pts, &p, &[0, 2], InterferenceMode::Exact, None);
+        assert_eq!(out.decoded_from[1], Some(0), "Fact 3 violated by oracle");
+    }
+
+    #[test]
+    fn fact1_radius_value() {
+        let p = params(); // eps = 0.5
+        assert!((fact1_reach_radius(&p) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fact2_rejects_large_x() {
+        let p = params();
+        let _ = fact2_interference_bound(&p, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fact3_rejects_x_out_of_range() {
+        let _ = fact3_interference_bound(&params(), 1.5);
+    }
+
+    #[test]
+    fn fact2_bound_decreases_with_distance() {
+        let p = params();
+        let xm = fact2_max_distance(&p);
+        assert!(
+            fact2_interference_bound(&p, 0.3) > fact2_interference_bound(&p, xm)
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! SINR physical layer for ad hoc wireless-network simulation.
+//!
+//! Implements the Signal-to-Interference-and-Noise-Ratio model of
+//! Jurdzinski, Kowalski, Rozanski & Stachowiak, *On the Impact of Geometry
+//! on Ad Hoc Communication in Wireless Networks* (PODC 2014), Section 1.1:
+//!
+//! * [`SinrParams`] — validated model parameters (α, β, N, ε) with the
+//!   paper's uniform-power normalisation `P = N·β` (communication range 1);
+//! * [`resolve_round`] / [`Network::resolve`] — the exact reception oracle
+//!   for Equation (1), plus an optional truncated-interference fast path;
+//! * [`CommGraph`] — the communication graph over edges of length ≤ 1 − ε,
+//!   with BFS, diameter, connectivity and granularity `R_s`;
+//! * [`facts`] — Facts 1–3 of the paper as checkable predicates.
+//!
+//! # Example
+//!
+//! ```
+//! use sinr_geometry::Point2;
+//! use sinr_phy::{Network, SinrParams};
+//!
+//! // Two stations half a range apart: an isolated transmission is decoded.
+//! let net = Network::new(
+//!     vec![Point2::new(0.0, 0.0), Point2::new(0.5, 0.0)],
+//!     SinrParams::default_plane(),
+//! )?;
+//! let outcome = net.resolve(&[0]);
+//! assert_eq!(outcome.decoded_from[1], Some(0));
+//! # Ok::<(), sinr_phy::NetworkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod commgraph;
+pub mod facts;
+pub mod network;
+pub mod params;
+pub mod reception;
+
+pub use bounds::ParamBounds;
+pub use commgraph::{CommGraph, UNREACHABLE};
+pub use network::{Network, NetworkError};
+pub use params::{ParamError, SinrParams, SinrParamsBuilder};
+pub use reception::{
+    interference_at, resolve_round, total_signal_at, InterferenceMode, RoundOutcome,
+};

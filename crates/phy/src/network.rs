@@ -1,0 +1,278 @@
+//! A deployed network: station positions bundled with SINR parameters and a
+//! spatial index, plus cached derived structure (communication graph).
+
+use sinr_geometry::{GridIndex, MetricPoint};
+
+use crate::commgraph::CommGraph;
+use crate::params::{ParamError, SinrParams};
+use crate::reception::{resolve_round, InterferenceMode, RoundOutcome};
+
+/// A wireless network instance: positions + model parameters.
+///
+/// This is the object every layer above the physical model works with. It
+/// owns the spatial index and lazily exposes the communication graph.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geometry::Point2;
+/// use sinr_phy::{Network, SinrParams};
+///
+/// let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.4, 0.0), Point2::new(0.8, 0.0)];
+/// let net = Network::new(pts, SinrParams::default_plane())?;
+/// assert_eq!(net.len(), 3);
+/// assert!(net.comm_graph().is_connected());
+/// let out = net.resolve(&[0]);
+/// assert_eq!(out.decoded_from[1], Some(0));
+/// # Ok::<(), sinr_phy::NetworkError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network<P: MetricPoint> {
+    points: Vec<P>,
+    params: SinrParams,
+    grid: GridIndex,
+    comm_graph: CommGraph,
+    mode: InterferenceMode,
+}
+
+/// Error constructing a [`Network`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// The SINR parameters are invalid for the deployment dimension.
+    Params(ParamError),
+    /// Two stations are closer than [`SinrParams::MIN_DISTANCE`].
+    StationsTooClose {
+        /// First station index.
+        a: usize,
+        /// Second station index.
+        b: usize,
+    },
+    /// The parameter dimension γ does not match the point type's growth
+    /// dimension.
+    DimensionMismatch {
+        /// γ from the parameters.
+        params_gamma: f64,
+        /// γ of the point type.
+        point_gamma: f64,
+    },
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::Params(e) => write!(f, "{e}"),
+            NetworkError::StationsTooClose { a, b } => {
+                write!(f, "stations {a} and {b} are closer than the minimum separation")
+            }
+            NetworkError::DimensionMismatch { params_gamma, point_gamma } => write!(
+                f,
+                "parameter gamma {params_gamma} does not match point growth dimension {point_gamma}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+impl From<ParamError> for NetworkError {
+    fn from(e: ParamError) -> Self {
+        NetworkError::Params(e)
+    }
+}
+
+impl<P: MetricPoint> Network<P> {
+    /// Creates a network, validating parameters and station separation.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetworkError::DimensionMismatch`] when `params.gamma()` differs
+    ///   from `P::GROWTH_DIMENSION`;
+    /// * [`NetworkError::StationsTooClose`] when two stations are within
+    ///   [`SinrParams::MIN_DISTANCE`] (co-located stations make signal
+    ///   strengths unbounded).
+    pub fn new(points: Vec<P>, params: SinrParams) -> Result<Self, NetworkError> {
+        if (params.gamma() - P::GROWTH_DIMENSION).abs() > 1e-9 {
+            return Err(NetworkError::DimensionMismatch {
+                params_gamma: params.gamma(),
+                point_gamma: P::GROWTH_DIMENSION,
+            });
+        }
+        let grid = GridIndex::build(&points, 1.0);
+        // Separation check via the grid: only same/neighbouring cells matter.
+        for (i, p) in points.iter().enumerate() {
+            if let Some((j, d)) = grid.nearest(&points, *p, i) {
+                if d < SinrParams::MIN_DISTANCE {
+                    let (a, b) = if i < j { (i, j) } else { (j, i) };
+                    return Err(NetworkError::StationsTooClose { a, b });
+                }
+            }
+        }
+        let comm_graph = CommGraph::build(&points, params.comm_radius());
+        Ok(Network {
+            points,
+            params,
+            grid,
+            comm_graph,
+            mode: InterferenceMode::Exact,
+        })
+    }
+
+    /// Switches the interference evaluation mode (default: exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a truncated mode's radius is below the communication range.
+    pub fn with_interference_mode(mut self, mode: InterferenceMode) -> Self {
+        match mode {
+            InterferenceMode::Truncated { radius } => assert!(
+                radius >= self.params.range(),
+                "truncation radius must cover the communication range"
+            ),
+            InterferenceMode::CellAggregate { near_radius } => assert!(
+                near_radius >= 2.0,
+                "cell-aggregate near radius must be at least 2"
+            ),
+            InterferenceMode::Exact => {}
+        }
+        self.mode = mode;
+        self
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the network has no stations.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Station positions.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// Position of station `v`.
+    pub fn position(&self, v: usize) -> P {
+        self.points[v]
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &SinrParams {
+        &self.params
+    }
+
+    /// The spatial index over station positions (cell side 1).
+    pub fn grid(&self) -> &GridIndex {
+        &self.grid
+    }
+
+    /// The communication graph (edges at distance ≤ 1 − ε).
+    pub fn comm_graph(&self) -> &CommGraph {
+        &self.comm_graph
+    }
+
+    /// Interference evaluation mode in use.
+    pub fn interference_mode(&self) -> InterferenceMode {
+        self.mode
+    }
+
+    /// Resolves one round with transmitter set `transmitters`.
+    pub fn resolve(&self, transmitters: &[usize]) -> RoundOutcome {
+        resolve_round(&self.points, &self.params, transmitters, self.mode, Some(&self.grid))
+    }
+
+    /// Indices of stations within distance `radius` of station `v`
+    /// (including `v` itself).
+    pub fn ball_of(&self, v: usize, radius: f64) -> Vec<usize> {
+        self.grid.ball_vec(&self.points, self.points[v], radius)
+    }
+
+    /// Distance between stations `a` and `b`.
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        self.points[a].distance(&self.points[b])
+    }
+
+    /// Granularity `R_s` of the network (max/min communication-graph edge
+    /// length), or `None` if there are no edges.
+    pub fn granularity(&self) -> Option<f64> {
+        self.comm_graph.granularity(&self.points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::{Point1, Point2};
+
+    #[test]
+    fn constructs_and_exposes_structure() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.3, 0.0)];
+        let net = Network::new(pts, SinrParams::default_plane()).unwrap();
+        assert_eq!(net.len(), 2);
+        assert!(!net.is_empty());
+        assert_eq!(net.comm_graph().num_edges(), 1);
+        assert_eq!(net.distance(0, 1), 0.3);
+        assert_eq!(net.ball_of(0, 0.5), vec![0, 1]);
+        assert_eq!(net.position(1), Point2::new(0.3, 0.0));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let pts = vec![Point1::new(0.0)];
+        let err = Network::new(pts, SinrParams::default_plane()).unwrap_err();
+        assert!(matches!(err, NetworkError::DimensionMismatch { .. }));
+        assert!(err.to_string().contains("gamma"));
+    }
+
+    #[test]
+    fn rejects_colocated_stations() {
+        let pts = vec![Point2::new(1.0, 1.0), Point2::new(1.0, 1.0)];
+        let err = Network::new(pts, SinrParams::default_plane()).unwrap_err();
+        assert_eq!(err, NetworkError::StationsTooClose { a: 0, b: 1 });
+    }
+
+    #[test]
+    fn resolve_round_through_network() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.5, 0.0)];
+        let net = Network::new(pts, SinrParams::default_plane()).unwrap();
+        let out = net.resolve(&[0]);
+        assert_eq!(out.decoded_from[1], Some(0));
+    }
+
+    #[test]
+    fn truncated_mode_roundtrip() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.5, 0.0)];
+        let net = Network::new(pts, SinrParams::default_plane())
+            .unwrap()
+            .with_interference_mode(InterferenceMode::Truncated { radius: 3.0 });
+        assert_eq!(
+            net.interference_mode(),
+            InterferenceMode::Truncated { radius: 3.0 }
+        );
+        let out = net.resolve(&[0]);
+        assert_eq!(out.decoded_from[1], Some(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncation_radius_below_range_panics() {
+        let pts = vec![Point2::origin()];
+        let _ = Network::new(pts, SinrParams::default_plane())
+            .unwrap()
+            .with_interference_mode(InterferenceMode::Truncated { radius: 0.5 });
+    }
+
+    #[test]
+    fn granularity_passthrough() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.4, 0.0),
+            Point2::new(0.5, 0.0),
+        ];
+        // Edges: (0,1) = 0.4, (1,2) = 0.1, (0,2) = 0.5 -> Rs = 0.5/0.1 = 5.
+        let net = Network::new(pts, SinrParams::default_plane()).unwrap();
+        assert!((net.granularity().unwrap() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,550 @@
+//! The SINR reception oracle: who hears whom in one synchronous round.
+//!
+//! Given the set `T` of transmitting stations, station `u ∉ T` receives the
+//! message of `v ∈ T` iff `SINR(v, u, T) ≥ β` (Equation 1 of the paper).
+//! Since `β ≥ 1`, at most one transmitter can be decoded at any receiver —
+//! necessarily the one with the strongest received signal — so the oracle
+//! computes, per receiver, the total received power and the strongest
+//! transmitter, then applies the threshold test.
+
+use sinr_geometry::{GridIndex, MetricPoint};
+
+use crate::params::SinrParams;
+
+/// How interference sums are evaluated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InterferenceMode {
+    /// Exact evaluation of Equation (1): every transmitter contributes to
+    /// every receiver. Cost `O(|T|·n)` per round.
+    Exact,
+    /// Transmitters farther than `radius` from a receiver are ignored.
+    ///
+    /// For bounded-density inputs the neglected far-field interference is
+    /// `O(density · radius^{γ−α})`, vanishing as `radius` grows because
+    /// α > γ. Reception decisions are slightly *optimistic* compared to
+    /// [`InterferenceMode::Exact`]; use only for large-scale sweeps after
+    /// checking agreement (see the `truncation` tests and the criterion
+    /// bench `interference`).
+    Truncated {
+        /// Interference cut-off radius (must exceed the communication range 1).
+        radius: f64,
+    },
+    /// Far-field interference is aggregated per grid cell (a one-level
+    /// multipole approximation): transmitters within `near_radius` of a
+    /// receiver contribute exactly; farther transmitters contribute
+    /// `P·d(u, cell centre)^{−α}` through their cell's aggregate.
+    ///
+    /// The strongest (decodable) transmitter is always within the
+    /// communication range 1 < `near_radius`, so decode *candidates* are
+    /// exact and only the interference tail is approximated. With cell side
+    /// `g` and `d ≥ near_radius`, each far contribution carries a relative
+    /// error ≤ `(1 − g·√2/(2d))^{−α} − 1 ≈ α·g·√2/(2·near_radius)` — a few
+    /// percent at the defaults (`g = 1`, `near_radius = 4`). Unlike
+    /// [`InterferenceMode::Truncated`] the tail is *estimated*, not
+    /// dropped, so errors do not systematically favour reception.
+    ///
+    /// Cost: `O(|T| + n·#cells + near pairs)` instead of `O(|T|·n)`.
+    CellAggregate {
+        /// Exact-evaluation radius (must be at least 2: range 1 plus one
+        /// cell diagonal of slack).
+        near_radius: f64,
+    },
+}
+
+/// Outcome of resolving one round of transmissions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// `decoded_from[u] = Some(v)` iff station `u` successfully received the
+    /// message transmitted by station `v` this round. Transmitters never
+    /// decode (half-duplex): `decoded_from[u] = None` for `u ∈ T`.
+    pub decoded_from: Vec<Option<usize>>,
+    /// Number of transmitters this round.
+    pub num_transmitters: usize,
+}
+
+impl RoundOutcome {
+    /// Number of stations that decoded a message this round.
+    pub fn num_receivers(&self) -> usize {
+        self.decoded_from.iter().filter(|d| d.is_some()).count()
+    }
+}
+
+/// Resolves one round: which stations decode which transmitter.
+///
+/// `transmitters` is the set `T` (indices into `points`, duplicates not
+/// allowed). `grid` is required for [`InterferenceMode::Truncated`] and
+/// ignored for exact evaluation.
+///
+/// # Panics
+///
+/// Panics if a transmitter index is out of range, if `Truncated` mode is
+/// requested without a grid, or if the truncation radius is below the
+/// communication range 1 (which would corrupt even interference-free
+/// receptions).
+pub fn resolve_round<P: MetricPoint>(
+    points: &[P],
+    params: &SinrParams,
+    transmitters: &[usize],
+    mode: InterferenceMode,
+    grid: Option<&GridIndex>,
+) -> RoundOutcome {
+    let n = points.len();
+    let mut is_tx = vec![false; n];
+    for &t in transmitters {
+        assert!(t < n, "transmitter index {t} out of range (n = {n})");
+        is_tx[t] = true;
+    }
+
+    // Accumulate, per station, the total received power and the strongest
+    // transmitter (ties broken towards the lower index, deterministically).
+    let mut total = vec![0.0f64; n];
+    let mut best_pow = vec![0.0f64; n];
+    let mut best_idx = vec![usize::MAX; n];
+
+    match mode {
+        InterferenceMode::Exact => {
+            for &t in transmitters {
+                let tp = points[t];
+                for (u, pu) in points.iter().enumerate() {
+                    if u == t {
+                        continue;
+                    }
+                    let s = params.signal_at(tp.distance(pu));
+                    total[u] += s;
+                    if s > best_pow[u] {
+                        best_pow[u] = s;
+                        best_idx[u] = t;
+                    }
+                }
+            }
+        }
+        InterferenceMode::Truncated { radius } => {
+            assert!(
+                radius >= params.range(),
+                "truncation radius {radius} must be at least the communication range 1"
+            );
+            let grid = grid.expect("Truncated interference mode requires a grid index");
+            for &t in transmitters {
+                let tp = points[t];
+                for u in grid.ball(points, tp, radius) {
+                    if u == t {
+                        continue;
+                    }
+                    let s = params.signal_at(tp.distance(&points[u]));
+                    total[u] += s;
+                    if s > best_pow[u] {
+                        best_pow[u] = s;
+                        best_idx[u] = t;
+                    }
+                }
+            }
+        }
+        InterferenceMode::CellAggregate { near_radius } => {
+            assert!(
+                near_radius >= 2.0,
+                "near_radius {near_radius} must be at least 2 (range 1 plus cell slack)"
+            );
+            let grid = grid.expect("CellAggregate interference mode requires a grid index");
+            let cell = grid.cell_side();
+            // Every cell member lies within one cell diagonal of the
+            // transmitter centroid.
+            let diag = cell * (P::AXES as f64).sqrt();
+
+            // Bucket transmitters by cell; keep members and centroid.
+            struct TxCell {
+                centroid: [f64; 3],
+                members: Vec<usize>,
+            }
+            let mut cells: std::collections::HashMap<[i64; 3], TxCell> =
+                std::collections::HashMap::new();
+            for &t in transmitters {
+                let tp = &points[t];
+                let mut key = [0i64; 3];
+                for (axis, slot) in key.iter_mut().enumerate().take(P::AXES) {
+                    *slot = (tp.coord(axis) / cell).floor() as i64;
+                }
+                let e = cells.entry(key).or_insert(TxCell {
+                    centroid: [0.0; 3],
+                    members: Vec::new(),
+                });
+                for axis in 0..P::AXES {
+                    e.centroid[axis] += tp.coord(axis);
+                }
+                e.members.push(t);
+            }
+            let cells: Vec<TxCell> = cells
+                .into_values()
+                .map(|mut c| {
+                    let k = c.members.len() as f64;
+                    for v in &mut c.centroid {
+                        *v /= k;
+                    }
+                    c
+                })
+                .collect();
+
+            // Per receiver: near cells exactly (any decodable transmitter
+            // sits at distance <= 1 < near_radius, so decode candidates are
+            // always in the exact branch), far cells as one aggregate.
+            for (u, pu) in points.iter().enumerate() {
+                for c in &cells {
+                    let mut d2 = 0.0;
+                    for axis in 0..P::AXES {
+                        let dd = pu.coord(axis) - c.centroid[axis];
+                        d2 += dd * dd;
+                    }
+                    let dc = d2.sqrt();
+                    if dc > near_radius + diag {
+                        // All members are farther than near_radius from u.
+                        total[u] += c.members.len() as f64 * params.signal_at(dc);
+                    } else {
+                        for &t in &c.members {
+                            if t == u {
+                                continue;
+                            }
+                            let s = params.signal_at(points[t].distance(pu));
+                            total[u] += s;
+                            if s > best_pow[u] {
+                                best_pow[u] = s;
+                                best_idx[u] = t;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let decoded_from = (0..n)
+        .map(|u| {
+            if is_tx[u] || best_idx[u] == usize::MAX {
+                return None;
+            }
+            let interference = total[u] - best_pow[u];
+            if params.decodable(best_pow[u], interference) {
+                Some(best_idx[u])
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    RoundOutcome {
+        decoded_from,
+        num_transmitters: transmitters.len(),
+    }
+}
+
+/// Interference at station `u` from transmitter set `T`, excluding the
+/// station nearest to `u` among `T` (the paper's definition of `I_u`,
+/// Section 2). Exact evaluation.
+pub fn interference_at<P: MetricPoint>(
+    points: &[P],
+    params: &SinrParams,
+    transmitters: &[usize],
+    u: usize,
+) -> f64 {
+    let nearest = transmitters
+        .iter()
+        .copied()
+        .filter(|&t| t != u)
+        .min_by(|&a, &b| {
+            points[a]
+                .distance(&points[u])
+                .total_cmp(&points[b].distance(&points[u]))
+        });
+    let Some(nearest) = nearest else { return 0.0 };
+    transmitters
+        .iter()
+        .copied()
+        .filter(|&t| t != u && t != nearest)
+        .map(|t| params.signal_at(points[t].distance(&points[u])))
+        .sum()
+}
+
+/// Total received signal power at station `u` from all of `transmitters`
+/// (the quantity `S_v` of Section 3.4, used by Facts 9–10).
+pub fn total_signal_at<P: MetricPoint>(
+    points: &[P],
+    params: &SinrParams,
+    transmitters: &[usize],
+    u: usize,
+) -> f64 {
+    transmitters
+        .iter()
+        .copied()
+        .filter(|&t| t != u)
+        .map(|t| params.signal_at(points[t].distance(&points[u])))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point2;
+
+    fn params() -> SinrParams {
+        SinrParams::default_plane()
+    }
+
+    #[test]
+    fn lone_transmitter_reaches_range_one() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),   // exactly at range
+            Point2::new(1.001, 0.0), // just beyond
+        ];
+        let out = resolve_round(&pts, &params(), &[0], InterferenceMode::Exact, None);
+        assert_eq!(out.decoded_from[1], Some(0));
+        assert_eq!(out.decoded_from[2], None);
+        assert_eq!(out.decoded_from[0], None, "transmitter is half-duplex");
+        assert_eq!(out.num_transmitters, 1);
+        assert_eq!(out.num_receivers(), 1);
+    }
+
+    #[test]
+    fn two_transmitters_jam_midpoint() {
+        // Symmetric transmitters: the receiver in the middle sees SINR =
+        // S/(N+S) < 1 <= beta, so it decodes nothing.
+        let pts = vec![
+            Point2::new(-0.5, 0.0),
+            Point2::new(0.0, 0.0),
+            Point2::new(0.5, 0.0),
+        ];
+        let out = resolve_round(&pts, &params(), &[0, 2], InterferenceMode::Exact, None);
+        assert_eq!(out.decoded_from[1], None);
+    }
+
+    #[test]
+    fn near_transmitter_beats_far_interference() {
+        // One transmitter very close, another far: the close one decodes.
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.1, 0.0),
+            Point2::new(10.0, 0.0),
+        ];
+        let out = resolve_round(&pts, &params(), &[0, 2], InterferenceMode::Exact, None);
+        assert_eq!(out.decoded_from[1], Some(0));
+    }
+
+    #[test]
+    fn no_transmitters_no_receptions() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.5, 0.0)];
+        let out = resolve_round(&pts, &params(), &[], InterferenceMode::Exact, None);
+        assert!(out.decoded_from.iter().all(Option::is_none));
+        assert_eq!(out.num_transmitters, 0);
+    }
+
+    #[test]
+    fn all_transmit_nobody_receives() {
+        let pts: Vec<Point2> = (0..5).map(|i| Point2::new(i as f64 * 0.3, 0.0)).collect();
+        let tx: Vec<usize> = (0..5).collect();
+        let out = resolve_round(&pts, &params(), &tx, InterferenceMode::Exact, None);
+        assert!(out.decoded_from.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn interference_at_excludes_nearest() {
+        let pts = vec![
+            Point2::new(0.0, 0.0), // u
+            Point2::new(0.5, 0.0), // nearest transmitter
+            Point2::new(2.0, 0.0), // other transmitter
+        ];
+        let p = params();
+        let i = interference_at(&pts, &p, &[1, 2], 0);
+        assert!((i - p.signal_at(2.0)).abs() < 1e-12);
+        assert_eq!(interference_at(&pts, &p, &[], 0), 0.0);
+        assert_eq!(interference_at(&pts, &p, &[0], 0), 0.0, "self excluded");
+    }
+
+    #[test]
+    fn total_signal_sums_everything() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.5, 0.0),
+            Point2::new(2.0, 0.0),
+        ];
+        let p = params();
+        let s = total_signal_at(&pts, &p, &[1, 2], 0);
+        assert!((s - (p.signal_at(0.5) + p.signal_at(2.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_matches_exact_when_radius_covers_all() {
+        let pts: Vec<Point2> = (0..30)
+            .map(|i| Point2::new((i % 6) as f64 * 0.4, (i / 6) as f64 * 0.4))
+            .collect();
+        let grid = GridIndex::build(&pts, 1.0);
+        let p = params();
+        let tx = vec![0, 7, 13, 22];
+        let exact = resolve_round(&pts, &p, &tx, InterferenceMode::Exact, None);
+        let trunc = resolve_round(
+            &pts,
+            &p,
+            &tx,
+            InterferenceMode::Truncated { radius: 100.0 },
+            Some(&grid),
+        );
+        assert_eq!(exact, trunc);
+    }
+
+    #[test]
+    fn truncated_is_optimistic() {
+        // A far jammer is ignored by the truncated model, so a marginal
+        // reception succeeds there but fails exactly.
+        let p = SinrParams::builder().beta(1.0).eps(0.5).build(2.0).unwrap();
+        let pts = vec![
+            Point2::new(0.0, 0.0),  // tx
+            Point2::new(0.999, 0.0), // marginal receiver
+            Point2::new(3.0, 0.0),  // jammer outside truncation radius 1.5
+        ];
+        let grid = GridIndex::build(&pts, 1.0);
+        let exact = resolve_round(&pts, &p, &[0, 2], InterferenceMode::Exact, None);
+        let trunc = resolve_round(
+            &pts,
+            &p,
+            &[0, 2],
+            InterferenceMode::Truncated { radius: 1.5 },
+            Some(&grid),
+        );
+        assert_eq!(exact.decoded_from[1], None);
+        assert_eq!(trunc.decoded_from[1], Some(0));
+    }
+
+    #[test]
+    fn cell_aggregate_matches_exact_decisions_on_spread_network() {
+        // Random-ish spread-out network; decode decisions must match the
+        // exact oracle (the far-field approximation only perturbs the
+        // interference tail, a few percent at most).
+        let pts: Vec<Point2> = (0..200)
+            .map(|i| {
+                let x = (i % 20) as f64 * 0.9 + ((i * 7) % 5) as f64 * 0.11;
+                let y = (i / 20) as f64 * 0.9 + ((i * 13) % 7) as f64 * 0.07;
+                Point2::new(x, y)
+            })
+            .collect();
+        let grid = GridIndex::build(&pts, 1.0);
+        let p = params();
+        let tx: Vec<usize> = (0..200).step_by(9).collect();
+        let exact = resolve_round(&pts, &p, &tx, InterferenceMode::Exact, None);
+        let agg = resolve_round(
+            &pts,
+            &p,
+            &tx,
+            InterferenceMode::CellAggregate { near_radius: 4.0 },
+            Some(&grid),
+        );
+        let disagreements = exact
+            .decoded_from
+            .iter()
+            .zip(&agg.decoded_from)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(
+            disagreements, 0,
+            "cell aggregation flipped {disagreements} decode decisions"
+        );
+    }
+
+    #[test]
+    fn cell_aggregate_interference_error_is_small() {
+        // Compare total received power (signal sums) between exact and
+        // aggregated far fields at a probe receiver.
+        let pts: Vec<Point2> = (0..300)
+            .map(|i| Point2::new((i % 30) as f64 * 0.7, (i / 30) as f64 * 0.7))
+            .collect();
+        let p = params();
+        let tx: Vec<usize> = (0..300).step_by(4).collect();
+        // Replicate the oracle's partition: near cells (centroid within
+        // near_radius + diag) exact, far cells one aggregate at the
+        // centroid — and compare the resulting TOTAL received power at a
+        // probe receiver against the fully exact total.
+        let u = 0usize;
+        let near_radius = 4.0;
+        let cell = 1.0f64;
+        let diag = cell * 2.0f64.sqrt();
+        let exact_total: f64 = tx
+            .iter()
+            .filter(|&&t| t != u)
+            .map(|&t| p.signal_at(pts[t].distance(&pts[u])))
+            .sum();
+        let mut cells: std::collections::HashMap<(i64, i64), (f64, f64, Vec<usize>)> =
+            Default::default();
+        for &t in &tx {
+            let key = ((pts[t].x / cell).floor() as i64, (pts[t].y / cell).floor() as i64);
+            let e = cells.entry(key).or_insert((0.0, 0.0, Vec::new()));
+            e.0 += pts[t].x;
+            e.1 += pts[t].y;
+            e.2.push(t);
+        }
+        let approx_total: f64 = cells
+            .values()
+            .map(|(x, y, members)| {
+                let k = members.len() as f64;
+                let c = Point2::new(x / k, y / k);
+                let dc = c.distance(&pts[u]);
+                if dc > near_radius + diag {
+                    k * p.signal_at(dc)
+                } else {
+                    members
+                        .iter()
+                        .filter(|&&t| t != u)
+                        .map(|&t| p.signal_at(pts[t].distance(&pts[u])))
+                        .sum()
+                }
+            })
+            .sum();
+        let rel = (approx_total - exact_total).abs() / exact_total.max(1e-12);
+        assert!(rel < 0.05, "total received power relative error {rel}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn cell_aggregate_rejects_small_near_radius() {
+        let pts = vec![Point2::origin()];
+        let grid = GridIndex::build(&pts, 1.0);
+        let _ = resolve_round(
+            &pts,
+            &params(),
+            &[0],
+            InterferenceMode::CellAggregate { near_radius: 1.0 },
+            Some(&grid),
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncated_requires_grid() {
+        let pts = vec![Point2::origin()];
+        let _ = resolve_round(
+            &pts,
+            &params(),
+            &[0],
+            InterferenceMode::Truncated { radius: 2.0 },
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_transmitter_panics() {
+        let pts = vec![Point2::origin()];
+        let _ = resolve_round(&pts, &params(), &[3], InterferenceMode::Exact, None);
+    }
+
+    #[test]
+    fn deterministic_tie_break_lowest_index() {
+        // Two transmitters at identical distance from the receiver: the
+        // receiver fails (beta >= 1 means equal signals jam each other), but
+        // best_idx must still be deterministic; check via a beta=1 boundary
+        // where one signal slightly dominates after perturbation.
+        let pts = vec![
+            Point2::new(-0.4, 0.0),
+            Point2::new(0.0, 0.0),
+            Point2::new(0.4, 0.0),
+        ];
+        let out1 = resolve_round(&pts, &params(), &[0, 2], InterferenceMode::Exact, None);
+        let out2 = resolve_round(&pts, &params(), &[2, 0], InterferenceMode::Exact, None);
+        assert_eq!(out1, out2, "outcome independent of transmitter order");
+    }
+}

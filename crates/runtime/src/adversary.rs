@@ -1,0 +1,93 @@
+//! Adversarial wake-up schedules (paper Section 5, "Adhoc wake-up").
+//!
+//! In the wake-up problem each node either wakes up spontaneously at an
+//! adversary-chosen round or is activated by receiving a message. A
+//! [`WakeSchedule`] describes the adversary's choices; running time is
+//! counted from the first spontaneous wake-up.
+
+/// An adversary's assignment of spontaneous wake-up rounds to nodes.
+///
+/// `None` means the node never wakes spontaneously (it can still be woken by
+/// receiving a message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WakeSchedule {
+    /// All nodes wake at the given round (the spontaneous-wake-up model).
+    AllAt(u64),
+    /// Only the listed nodes wake, each at its own round.
+    Selected(Vec<(usize, u64)>),
+    /// Node `i` wakes at round `start + i * gap` (a rolling front).
+    Staggered {
+        /// Round at which node 0 wakes.
+        start: u64,
+        /// Gap between consecutive node wake-ups.
+        gap: u64,
+    },
+}
+
+impl WakeSchedule {
+    /// A single spontaneous waker (the broadcast source pattern).
+    pub fn single(node: usize, round: u64) -> Self {
+        WakeSchedule::Selected(vec![(node, round)])
+    }
+
+    /// The spontaneous wake-up round of `node`, if any.
+    pub fn wake_round(&self, node: usize) -> Option<u64> {
+        match self {
+            WakeSchedule::AllAt(r) => Some(*r),
+            WakeSchedule::Selected(list) => {
+                list.iter().find(|(n, _)| *n == node).map(|(_, r)| *r)
+            }
+            WakeSchedule::Staggered { start, gap } => Some(start + node as u64 * gap),
+        }
+    }
+
+    /// Round of the earliest spontaneous wake-up among `n` nodes, if any
+    /// node ever wakes. Running-time accounting starts here.
+    pub fn first_wake(&self, n: usize) -> Option<u64> {
+        (0..n).filter_map(|v| self.wake_round(v)).min()
+    }
+
+    /// Whether `node` is spontaneously awake at `round`.
+    pub fn awake(&self, node: usize, round: u64) -> bool {
+        self.wake_round(node).is_some_and(|w| w <= round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_at() {
+        let s = WakeSchedule::AllAt(5);
+        assert_eq!(s.wake_round(3), Some(5));
+        assert!(!s.awake(3, 4));
+        assert!(s.awake(3, 5));
+        assert_eq!(s.first_wake(10), Some(5));
+    }
+
+    #[test]
+    fn selected() {
+        let s = WakeSchedule::Selected(vec![(2, 7), (5, 3)]);
+        assert_eq!(s.wake_round(2), Some(7));
+        assert_eq!(s.wake_round(5), Some(3));
+        assert_eq!(s.wake_round(0), None);
+        assert_eq!(s.first_wake(6), Some(3));
+        assert_eq!(s.first_wake(2), None, "no selected node below index 2");
+    }
+
+    #[test]
+    fn staggered() {
+        let s = WakeSchedule::Staggered { start: 10, gap: 4 };
+        assert_eq!(s.wake_round(0), Some(10));
+        assert_eq!(s.wake_round(3), Some(22));
+        assert_eq!(s.first_wake(4), Some(10));
+    }
+
+    #[test]
+    fn single_source() {
+        let s = WakeSchedule::single(4, 0);
+        assert_eq!(s.wake_round(4), Some(0));
+        assert_eq!(s.wake_round(0), None);
+    }
+}

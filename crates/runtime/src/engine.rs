@@ -1,0 +1,365 @@
+//! The synchronous round engine.
+
+use rand::rngs::SmallRng;
+use sinr_geometry::MetricPoint;
+use sinr_phy::Network;
+
+use crate::protocol::{NodeCtx, Protocol};
+use crate::rng::node_rng;
+use crate::trace::{RoundStats, Trace};
+
+/// Result of driving an engine until a predicate or a round budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Rounds executed by this call.
+    pub rounds: u64,
+    /// Whether the predicate was satisfied (vs. the budget exhausting).
+    pub completed: bool,
+}
+
+/// Drives a set of per-node [`Protocol`] state machines over a
+/// [`Network`], resolving each round through the SINR oracle.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geometry::Point2;
+/// use sinr_phy::{Network, SinrParams};
+/// use sinr_runtime::{Engine, NodeCtx, Protocol};
+///
+/// /// Station 0 transmits once; everyone else listens.
+/// struct OneShot { id: usize, heard: bool }
+/// impl Protocol for OneShot {
+///     type Msg = u8;
+///     fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<u8> {
+///         (self.id == 0 && ctx.round == 0).then_some(7)
+///     }
+///     fn on_round_end(&mut self, _: &mut NodeCtx<'_>, _tx: bool, rx: Option<&u8>) {
+///         if rx == Some(&7) { self.heard = true; }
+///     }
+///     fn is_done(&self) -> bool { self.heard || self.id == 0 }
+/// }
+///
+/// let net = Network::new(
+///     vec![Point2::new(0.0, 0.0), Point2::new(0.5, 0.0)],
+///     SinrParams::default_plane(),
+/// ).unwrap();
+/// let mut eng = Engine::new(net, 42, |id| OneShot { id, heard: false });
+/// let result = eng.run_until_all_done(10);
+/// assert!(result.completed);
+/// assert_eq!(result.rounds, 1);
+/// ```
+pub struct Engine<P: MetricPoint, Pr: Protocol> {
+    net: Network<P>,
+    nodes: Vec<Pr>,
+    rngs: Vec<SmallRng>,
+    round: u64,
+    trace: Trace,
+    /// Per-node transmission counts (energy accounting).
+    tx_counts: Vec<u64>,
+    /// Per-node reception counts.
+    rx_counts: Vec<u64>,
+    // Reused per-round buffers.
+    tx_ids: Vec<usize>,
+    tx_msgs: Vec<Option<Pr::Msg>>,
+}
+
+impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
+    /// Creates an engine; `make_node(id)` builds the state machine of each
+    /// station, and per-node RNGs are derived from `seed`.
+    pub fn new(net: Network<P>, seed: u64, mut make_node: impl FnMut(usize) -> Pr) -> Self {
+        let n = net.len();
+        let nodes = (0..n).map(&mut make_node).collect();
+        let rngs = (0..n).map(|i| node_rng(seed, i as u64, 0)).collect();
+        Engine {
+            net,
+            nodes,
+            rngs,
+            round: 0,
+            trace: Trace::aggregate_only(),
+            tx_counts: vec![0; n],
+            rx_counts: vec![0; n],
+            tx_ids: Vec::with_capacity(n),
+            tx_msgs: Vec::new(),
+        }
+    }
+
+    /// Per-node transmission counts so far — the standard energy proxy for
+    /// duty-cycled radios (transmitting dominates the energy budget).
+    pub fn tx_counts(&self) -> &[u64] {
+        &self.tx_counts
+    }
+
+    /// Per-node reception counts so far.
+    pub fn rx_counts(&self) -> &[u64] {
+        &self.rx_counts
+    }
+
+    /// Enables per-round trace recording (see [`Trace::recording`]).
+    pub fn record_rounds(&mut self) {
+        self.trace = Trace::recording();
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network<P> {
+        &self.net
+    }
+
+    /// The node state machines.
+    pub fn nodes(&self) -> &[Pr] {
+        &self.nodes
+    }
+
+    /// Mutable access to a node (for injecting external events such as
+    /// adversarial wake-ups).
+    pub fn node_mut(&mut self, id: usize) -> &mut Pr {
+        &mut self.nodes[id]
+    }
+
+    /// Current round number (= rounds executed so far).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Accumulated trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Executes one synchronous round; returns its statistics.
+    pub fn step(&mut self) -> RoundStats {
+        let n = self.net.len();
+        self.tx_ids.clear();
+        self.tx_msgs.clear();
+        self.tx_msgs.resize_with(n, || None);
+
+        for id in 0..n {
+            let mut ctx = NodeCtx {
+                id,
+                round: self.round,
+                n,
+                rng: &mut self.rngs[id],
+            };
+            if let Some(msg) = self.nodes[id].poll_transmit(&mut ctx) {
+                self.tx_ids.push(id);
+                self.tx_msgs[id] = Some(msg);
+            }
+        }
+
+        let outcome = self.net.resolve(&self.tx_ids);
+        let receptions = outcome.num_receivers();
+
+        for &t in &self.tx_ids {
+            self.tx_counts[t] += 1;
+        }
+        for id in 0..n {
+            let transmitted = self.tx_msgs[id].is_some();
+            let received = outcome.decoded_from[id].and_then(|from| self.tx_msgs[from].as_ref());
+            if received.is_some() {
+                self.rx_counts[id] += 1;
+            }
+            let mut ctx = NodeCtx {
+                id,
+                round: self.round,
+                n,
+                rng: &mut self.rngs[id],
+            };
+            self.nodes[id].on_round_end(&mut ctx, transmitted, received);
+        }
+
+        let stats = RoundStats {
+            round: self.round,
+            transmitters: self.tx_ids.len(),
+            receptions,
+        };
+        self.trace.record(stats);
+        self.round += 1;
+        stats
+    }
+
+    /// Runs until `pred` holds (checked *before* each round, so a
+    /// pre-satisfied predicate costs zero rounds) or `max_rounds` elapse.
+    pub fn run_until(
+        &mut self,
+        max_rounds: u64,
+        mut pred: impl FnMut(&Self) -> bool,
+    ) -> RunResult {
+        let start = self.round;
+        loop {
+            if pred(self) {
+                return RunResult {
+                    rounds: self.round - start,
+                    completed: true,
+                };
+            }
+            if self.round - start >= max_rounds {
+                return RunResult {
+                    rounds: self.round - start,
+                    completed: false,
+                };
+            }
+            self.step();
+        }
+    }
+
+    /// Runs until every node reports [`Protocol::is_done`], up to
+    /// `max_rounds`.
+    pub fn run_until_all_done(&mut self, max_rounds: u64) -> RunResult {
+        self.run_until(max_rounds, |eng| eng.nodes.iter().all(Pr::is_done))
+    }
+
+    /// Runs exactly `rounds` rounds.
+    pub fn run_rounds(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Consumes the engine, returning the node state machines (for
+    /// post-run inspection of colors, decisions, …).
+    pub fn into_nodes(self) -> Vec<Pr> {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point2;
+    use sinr_phy::SinrParams;
+
+    /// Node 0 transmits every round; others count receptions.
+    struct Beacon {
+        id: usize,
+        heard: u32,
+    }
+
+    impl Protocol for Beacon {
+        type Msg = u64;
+
+        fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<u64> {
+            (self.id == 0).then_some(ctx.round)
+        }
+
+        fn on_round_end(&mut self, _ctx: &mut NodeCtx<'_>, _tx: bool, rx: Option<&u64>) {
+            if rx.is_some() {
+                self.heard += 1;
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.id == 0 || self.heard >= 3
+        }
+    }
+
+    fn net2() -> Network<Point2> {
+        Network::new(
+            vec![Point2::new(0.0, 0.0), Point2::new(0.5, 0.0)],
+            SinrParams::default_plane(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn beacon_heard_every_round() {
+        let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
+        let res = eng.run_until_all_done(100);
+        assert!(res.completed);
+        assert_eq!(res.rounds, 3);
+        assert_eq!(eng.trace().total_transmissions(), 3);
+        assert_eq!(eng.trace().total_receptions(), 3);
+    }
+
+    #[test]
+    fn run_until_budget_exhausts() {
+        let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
+        let res = eng.run_until(2, |_| false);
+        assert!(!res.completed);
+        assert_eq!(res.rounds, 2);
+        assert_eq!(eng.round(), 2);
+    }
+
+    #[test]
+    fn pre_satisfied_predicate_costs_nothing() {
+        let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
+        let res = eng.run_until(10, |_| true);
+        assert!(res.completed);
+        assert_eq!(res.rounds, 0);
+    }
+
+    #[test]
+    fn message_payload_carries_round() {
+        struct Check {
+            id: usize,
+            ok: bool,
+        }
+        impl Protocol for Check {
+            type Msg = u64;
+            fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<u64> {
+                (self.id == 0).then_some(ctx.round * 10)
+            }
+            fn on_round_end(&mut self, ctx: &mut NodeCtx<'_>, _tx: bool, rx: Option<&u64>) {
+                if let Some(&m) = rx {
+                    assert_eq!(m, ctx.round * 10);
+                    self.ok = true;
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.ok || self.id == 0
+            }
+        }
+        let mut eng = Engine::new(net2(), 1, |id| Check { id, ok: false });
+        assert!(eng.run_until_all_done(5).completed);
+    }
+
+    #[test]
+    fn deterministic_across_reruns() {
+        use crate::protocol::bernoulli;
+        struct Rnd {
+            sent: u32,
+        }
+        impl Protocol for Rnd {
+            type Msg = ();
+            fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<()> {
+                if bernoulli(ctx.rng, 0.5) {
+                    self.sent += 1;
+                    Some(())
+                } else {
+                    None
+                }
+            }
+            fn on_round_end(&mut self, _: &mut NodeCtx<'_>, _: bool, _: Option<&()>) {}
+        }
+        let run = |seed| {
+            let mut eng = Engine::new(net2(), seed, |_| Rnd { sent: 0 });
+            eng.run_rounds(50);
+            eng.into_nodes().iter().map(|n| n.sent).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn per_node_energy_accounting() {
+        let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
+        eng.run_rounds(5);
+        assert_eq!(eng.tx_counts(), &[5, 0], "only node 0 transmits");
+        assert_eq!(eng.rx_counts(), &[0, 5], "only node 1 receives");
+        assert_eq!(
+            eng.tx_counts().iter().sum::<u64>(),
+            eng.trace().total_transmissions()
+        );
+        assert_eq!(
+            eng.rx_counts().iter().sum::<u64>(),
+            eng.trace().total_receptions()
+        );
+    }
+
+    #[test]
+    fn trace_recording_via_engine() {
+        let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
+        eng.record_rounds();
+        eng.run_rounds(4);
+        assert_eq!(eng.trace().per_round().unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,101 @@
+//! The protocol state-machine abstraction.
+//!
+//! Algorithms are expressed as per-node state machines driven by the round
+//! [`crate::Engine`]. Each synchronous round the engine:
+//!
+//! 1. calls [`Protocol::poll_transmit`] on every node to collect the
+//!    transmitter set `T` and outgoing payloads;
+//! 2. resolves SINR reception via the physical layer;
+//! 3. calls [`Protocol::on_round_end`] on every node with what (if
+//!    anything) it decoded and whether it transmitted.
+//!
+//! Nodes have no carrier sensing: the *only* channel feedback a node gets is
+//! a decoded message or silence, exactly as in the paper's model.
+
+use rand::rngs::SmallRng;
+
+/// Per-node, per-round context handed to protocol callbacks.
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    /// This node's index.
+    pub id: usize,
+    /// Global round number (0-based), i.e. the global clock. Protocols for
+    /// the non-spontaneous model must not rely on it except through message
+    /// contents (see the paper's synchronisation discussion); protocols for
+    /// the spontaneous model may use it freely.
+    pub round: u64,
+    /// Number of stations `n` (or the shared estimate ν).
+    pub n: usize,
+    /// This node's private RNG stream.
+    pub rng: &'a mut SmallRng,
+}
+
+/// A per-node protocol state machine.
+///
+/// `Msg` is the message type placed on the channel. A transmission carries
+/// one `Msg`; the model allows the broadcast message plus `O(log n)` extra
+/// bits, which all implemented protocols respect (their `Msg` types hold a
+/// constant number of words).
+pub trait Protocol: Send {
+    /// Channel message type.
+    type Msg: Clone + Send;
+
+    /// Decide whether to transmit this round, and with what payload.
+    fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<Self::Msg>;
+
+    /// Round completion: `transmitted` tells the node whether it was a
+    /// sender this round (it then cannot have received anything);
+    /// `received` is the decoded message, if any.
+    fn on_round_end(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        transmitted: bool,
+        received: Option<&Self::Msg>,
+    );
+
+    /// Whether this node has locally completed its task. The engine's
+    /// [`crate::Engine::run_until_all_done`] uses this as the global
+    /// termination predicate.
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+/// Blanket helper: transmit with probability `p` (clamped to `[0, 1]`).
+///
+/// This is the single primitive all the paper's randomized protocols use.
+pub fn bernoulli(rng: &mut SmallRng, p: f64) -> bool {
+    use rand::Rng;
+    let p = p.clamp(0.0, 1.0);
+    if p <= 0.0 {
+        false
+    } else if p >= 1.0 {
+        true
+    } else {
+        rng.gen_bool(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::node_rng;
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = node_rng(1, 2, 3);
+        assert!(!bernoulli(&mut rng, 0.0));
+        assert!(bernoulli(&mut rng, 1.0));
+        assert!(!bernoulli(&mut rng, -0.5));
+        assert!(bernoulli(&mut rng, 2.0));
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = node_rng(9, 9, 9);
+        let trials = 20_000;
+        let hits = (0..trials).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.3).abs() < 0.02, "freq = {freq}");
+    }
+}

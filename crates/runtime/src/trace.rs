@@ -1,0 +1,126 @@
+//! Round-by-round statistics collection.
+
+/// Statistics of a single simulated round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// Round number.
+    pub round: u64,
+    /// Number of transmitting stations.
+    pub transmitters: usize,
+    /// Number of stations that decoded a message.
+    pub receptions: usize,
+}
+
+/// Aggregated trace of a simulation run.
+///
+/// Per-round records are kept only when enabled (they can dominate memory on
+/// long runs); totals are always maintained.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    total_transmissions: u64,
+    total_receptions: u64,
+    rounds: u64,
+    busiest_round: Option<RoundStats>,
+    per_round: Option<Vec<RoundStats>>,
+}
+
+impl Trace {
+    /// A trace keeping only aggregate counters.
+    pub fn aggregate_only() -> Self {
+        Trace::default()
+    }
+
+    /// A trace additionally recording every round.
+    pub fn recording() -> Self {
+        Trace {
+            per_round: Some(Vec::new()),
+            ..Trace::default()
+        }
+    }
+
+    /// Records one round's statistics.
+    pub fn record(&mut self, stats: RoundStats) {
+        self.rounds += 1;
+        self.total_transmissions += stats.transmitters as u64;
+        self.total_receptions += stats.receptions as u64;
+        if self
+            .busiest_round
+            .map_or(true, |b| stats.transmitters > b.transmitters)
+        {
+            self.busiest_round = Some(stats);
+        }
+        if let Some(v) = &mut self.per_round {
+            v.push(stats);
+        }
+    }
+
+    /// Number of recorded rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total station-transmissions across the run (energy proxy).
+    pub fn total_transmissions(&self) -> u64 {
+        self.total_transmissions
+    }
+
+    /// Total successful receptions across the run.
+    pub fn total_receptions(&self) -> u64 {
+        self.total_receptions
+    }
+
+    /// The round with the most transmitters, if any round was recorded.
+    pub fn busiest_round(&self) -> Option<RoundStats> {
+        self.busiest_round
+    }
+
+    /// Per-round records, when recording was enabled.
+    pub fn per_round(&self) -> Option<&[RoundStats]> {
+        self.per_round.as_deref()
+    }
+
+    /// Mean transmitters per round (0 for an empty trace).
+    pub fn mean_transmitters(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_transmissions as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let mut t = Trace::aggregate_only();
+        t.record(RoundStats { round: 0, transmitters: 3, receptions: 1 });
+        t.record(RoundStats { round: 1, transmitters: 5, receptions: 2 });
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.total_transmissions(), 8);
+        assert_eq!(t.total_receptions(), 3);
+        assert_eq!(t.busiest_round().unwrap().transmitters, 5);
+        assert_eq!(t.mean_transmitters(), 4.0);
+        assert!(t.per_round().is_none());
+    }
+
+    #[test]
+    fn recording_keeps_rounds() {
+        let mut t = Trace::recording();
+        for r in 0..4 {
+            t.record(RoundStats { round: r, transmitters: 1, receptions: 0 });
+        }
+        assert_eq!(t.per_round().unwrap().len(), 4);
+        assert_eq!(t.per_round().unwrap()[2].round, 2);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert_eq!(t.rounds(), 0);
+        assert_eq!(t.mean_transmitters(), 0.0);
+        assert!(t.busiest_round().is_none());
+    }
+}

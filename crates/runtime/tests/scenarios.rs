@@ -1,0 +1,125 @@
+//! Engine scenario tests: channel semantics observed through protocols.
+
+use sinr_geometry::Point2;
+use sinr_phy::{Network, SinrParams};
+use sinr_runtime::{Engine, NodeCtx, Protocol, RoundStats};
+
+/// Every station transmits every round; nobody should ever receive.
+struct Shouter;
+
+impl Protocol for Shouter {
+    type Msg = u8;
+    fn poll_transmit(&mut self, _ctx: &mut NodeCtx<'_>) -> Option<u8> {
+        Some(1)
+    }
+    fn on_round_end(&mut self, _ctx: &mut NodeCtx<'_>, _tx: bool, rx: Option<&u8>) {
+        assert!(rx.is_none(), "a transmitter decoded a message (half-duplex violated)");
+    }
+}
+
+#[test]
+fn all_transmitters_hear_nothing() {
+    let pts: Vec<Point2> = (0..6).map(|i| Point2::new(i as f64 * 0.3, 0.0)).collect();
+    let net = Network::new(pts, SinrParams::default_plane()).unwrap();
+    let mut eng = Engine::new(net, 1, |_| Shouter);
+    eng.run_rounds(20);
+    assert_eq!(eng.trace().total_receptions(), 0);
+    assert_eq!(eng.trace().total_transmissions(), 120);
+}
+
+/// Stations 0 and 2 transmit together; station 1 between them never
+/// decodes (symmetric jam), station 3 far on the side decodes the closer
+/// one.
+struct Fixed {
+    id: usize,
+    decoded: Vec<u8>,
+}
+
+impl Protocol for Fixed {
+    type Msg = u8;
+    fn poll_transmit(&mut self, _ctx: &mut NodeCtx<'_>) -> Option<u8> {
+        match self.id {
+            0 => Some(10),
+            2 => Some(20),
+            _ => None,
+        }
+    }
+    fn on_round_end(&mut self, _ctx: &mut NodeCtx<'_>, _tx: bool, rx: Option<&u8>) {
+        if let Some(&m) = rx {
+            self.decoded.push(m);
+        }
+    }
+}
+
+#[test]
+fn symmetric_jam_and_side_capture() {
+    let pts = vec![
+        Point2::new(0.0, 0.0),  // 0: tx "10"
+        Point2::new(0.5, 0.0),  // 1: jammed midpoint
+        Point2::new(1.0, 0.0),  // 2: tx "20"
+        Point2::new(1.3, 0.0),  // 3: near 2, far from 0
+    ];
+    let net = Network::new(pts, SinrParams::default_plane()).unwrap();
+    let mut eng = Engine::new(net, 3, |id| Fixed { id, decoded: vec![] });
+    eng.run_rounds(5);
+    let nodes = eng.into_nodes();
+    assert!(nodes[1].decoded.is_empty(), "midpoint decoded despite symmetric jam");
+    assert_eq!(nodes[3].decoded, vec![20, 20, 20, 20, 20]);
+}
+
+/// A listener that flips to transmitter once it hears something: check the
+/// relay pattern emerges and RoundStats counts match.
+struct Relay {
+    informed: bool,
+}
+
+impl Protocol for Relay {
+    type Msg = u8;
+    fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<u8> {
+        // Node 0 seeds the message in round 0; informed nodes always shout.
+        if ctx.id == 0 && ctx.round == 0 {
+            return Some(7);
+        }
+        self.informed.then_some(7)
+    }
+    fn on_round_end(&mut self, _ctx: &mut NodeCtx<'_>, _tx: bool, rx: Option<&u8>) {
+        if rx.is_some() {
+            self.informed = true;
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.informed
+    }
+}
+
+#[test]
+fn deterministic_relay_chain() {
+    // Chain spaced 0.9: each hop reaches exactly the next station (distance
+    // 0.9 <= 1) but not the one after (1.8 > 1).
+    let pts: Vec<Point2> = (0..5).map(|i| Point2::new(i as f64 * 0.9, 0.0)).collect();
+    let net = Network::new(pts, SinrParams::default_plane()).unwrap();
+    let mut eng = Engine::new(net, 9, |_| Relay { informed: false });
+    // Round 0: 0 -> 1. Round 1: 1 -> 2 (0 silent: not informed by itself!).
+    // Actually node 0 only transmits in round 0; node 1 relays onward.
+    eng.record_rounds();
+    let res = eng.run_until(32, |e| e.nodes().iter().skip(1).all(|n| n.informed));
+    assert!(res.completed, "relay stalled");
+    // One hop per round once the wave starts; the two-neighbour interference
+    // pattern may add rounds, but the wave needs at least 4 rounds.
+    assert!(res.rounds >= 4);
+    let per_round: &[RoundStats] = eng.trace().per_round().unwrap();
+    assert_eq!(per_round[0].transmitters, 1);
+    assert_eq!(per_round[0].receptions, 1);
+}
+
+/// `node_mut` supports external event injection mid-run.
+#[test]
+fn node_mut_injection() {
+    let pts: Vec<Point2> = (0..3).map(|i| Point2::new(i as f64 * 0.9, 0.0)).collect();
+    let net = Network::new(pts, SinrParams::default_plane()).unwrap();
+    let mut eng = Engine::new(net, 2, |_| Relay { informed: false });
+    eng.node_mut(2).informed = true; // adversary wakes node 2 directly
+    assert!(eng.nodes()[2].informed);
+    let res = eng.run_until(32, |e| e.nodes().iter().all(|n| n.is_done()));
+    assert!(res.completed);
+}

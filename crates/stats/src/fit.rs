@@ -1,0 +1,218 @@
+//! Least-squares model fitting for scaling-law validation.
+//!
+//! The experiment harness checks bounds like `T = O(D log² n)` by fitting
+//! measured round counts against the predicted feature (e.g. `D·log²n`) and
+//! reporting the coefficient and the coefficient of determination `R²`. A
+//! near-constant ratio and high `R²` across a sweep is the empirical
+//! signature of the asymptotic bound.
+
+/// Result of a least-squares fit `y ≈ Σ_j coef[j] · feature_j(x)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitResult {
+    /// Fitted coefficients, one per feature.
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination `R²` against the mean-only model.
+    pub r_squared: f64,
+    /// Residual sum of squares.
+    pub rss: f64,
+}
+
+/// Solves the normal equations for the design matrix `rows` (each row is
+/// the feature vector of one observation) against `ys`.
+///
+/// Returns `None` when the system is degenerate (collinear features or
+/// fewer observations than features).
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent lengths or `rows.len() != ys.len()`.
+///
+/// # Example
+///
+/// ```
+/// use sinr_stats::fit_least_squares;
+/// // y = 3·x exactly.
+/// let rows = vec![vec![1.0], vec![2.0], vec![3.0]];
+/// let fit = fit_least_squares(&rows, &[3.0, 6.0, 9.0]).unwrap();
+/// assert!((fit.coefficients[0] - 3.0).abs() < 1e-9);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+pub fn fit_least_squares(rows: &[Vec<f64>], ys: &[f64]) -> Option<FitResult> {
+    assert_eq!(rows.len(), ys.len(), "observations/targets length mismatch");
+    let m = rows.first().map_or(0, Vec::len);
+    if m == 0 || rows.len() < m {
+        return None;
+    }
+    for r in rows {
+        assert_eq!(r.len(), m, "ragged design matrix");
+    }
+
+    // Normal equations: (XᵀX) c = Xᵀy.
+    let mut xtx = vec![vec![0.0; m]; m];
+    let mut xty = vec![0.0; m];
+    for (row, &y) in rows.iter().zip(ys) {
+        for i in 0..m {
+            xty[i] += row[i] * y;
+            for j in 0..m {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    let coefficients = solve_gaussian(xtx, xty)?;
+
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let tss: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let rss: f64 = rows
+        .iter()
+        .zip(ys)
+        .map(|(row, &y)| {
+            let pred: f64 = row.iter().zip(&coefficients).map(|(x, c)| x * c).sum();
+            (y - pred).powi(2)
+        })
+        .sum();
+    let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
+    Some(FitResult {
+        coefficients,
+        r_squared,
+        rss,
+    })
+}
+
+/// Fits the one-parameter through-origin model `y ≈ a·x` and returns
+/// `(a, r_squared)`; `None` for empty or degenerate input.
+pub fn fit_proportional(xs: &[f64], ys: &[f64]) -> Option<(f64, f64)> {
+    let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+    let fit = fit_least_squares(&rows, ys)?;
+    Some((fit.coefficients[0], fit.r_squared))
+}
+
+/// Fits `y ≈ a·x + b` and returns `(a, b, r_squared)`.
+pub fn fit_affine(xs: &[f64], ys: &[f64]) -> Option<(f64, f64, f64)> {
+    let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
+    let fit = fit_least_squares(&rows, ys)?;
+    Some((fit.coefficients[0], fit.coefficients[1], fit.r_squared))
+}
+
+/// Fits a power law `y ≈ c·x^k` by linear regression in log–log space,
+/// returning `(k, c, r_squared_loglog)`. All inputs must be positive.
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> Option<(f64, f64, f64)> {
+    if xs.iter().chain(ys).any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let (k, lnc, r2) = fit_affine(&lx, &ly)?;
+    Some((k, lnc.exp(), r2))
+}
+
+/// Gaussian elimination with partial pivoting; `None` if singular.
+fn solve_gaussian(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_proportional() {
+        let (a, r2) = fit_proportional(&[1.0, 2.0, 4.0], &[2.5, 5.0, 10.0]).unwrap();
+        assert!((a - 2.5).abs() < 1e-9);
+        assert!(r2 > 0.9999);
+    }
+
+    #[test]
+    fn affine_recovers_slope_and_intercept() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0]; // y = 2x + 1
+        let (a, b, r2) = fit_affine(&xs, &ys).unwrap();
+        assert!((a - 2.0).abs() < 1e-9);
+        assert!((b - 1.0).abs() < 1e-9);
+        assert!(r2 > 0.9999);
+    }
+
+    #[test]
+    fn noisy_fit_reasonable() {
+        let xs: Vec<f64> = (1..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 4.0 * x + ((x * 7.7).sin())).collect();
+        let (a, r2) = fit_proportional(&xs, &ys).unwrap();
+        assert!((a - 4.0).abs() < 0.05, "a = {a}");
+        assert!(r2 > 0.99);
+    }
+
+    #[test]
+    fn power_law_exponent() {
+        let xs: Vec<f64> = (1..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(1.7)).collect();
+        let (k, c, r2) = fit_power_law(&xs, &ys).unwrap();
+        assert!((k - 1.7).abs() < 1e-6);
+        assert!((c - 3.0).abs() < 1e-6);
+        assert!(r2 > 0.9999);
+    }
+
+    #[test]
+    fn power_law_rejects_nonpositive() {
+        assert!(fit_power_law(&[1.0, -2.0], &[1.0, 2.0]).is_none());
+        assert!(fit_power_law(&[1.0, 2.0], &[0.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn two_feature_model() {
+        // y = 2·u + 5·v
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 3.0],
+        ];
+        let ys = [2.0, 5.0, 7.0, 19.0];
+        let fit = fit_least_squares(&rows, &ys).unwrap();
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        // Fewer observations than features.
+        assert!(fit_least_squares(&[vec![1.0, 2.0]], &[1.0]).is_none());
+        // Collinear features.
+        let rows = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
+        assert!(fit_least_squares(&rows, &[1.0, 2.0, 3.0]).is_none());
+        // Empty.
+        assert!(fit_proportional(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn constant_target_r2_defined() {
+        let (a, _b, r2) = fit_affine(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert!(a.abs() < 1e-9);
+        assert_eq!(r2, 1.0);
+    }
+}

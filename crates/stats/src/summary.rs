@@ -1,0 +1,220 @@
+//! Summary statistics over samples of simulation measurements.
+
+/// Summary of a sample of f64 measurements (round counts, ratios, …).
+///
+/// # Example
+///
+/// ```
+/// use sinr_stats::Summary;
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.median, 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for singleton).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (midpoint of the two central order statistics for even n).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarises `samples`; `None` when empty or any value is non-finite.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() || samples.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        })
+    }
+
+    /// Summarises integer samples (round counts).
+    pub fn of_counts(samples: &[u64]) -> Option<Summary> {
+        let as_f: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+        Summary::of(&as_f)
+    }
+
+    /// Normal-approximation 95% confidence half-width of the mean:
+    /// `1.96 · s / √n`.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.n as f64).sqrt()
+    }
+}
+
+/// The `p`-quantile (0 ≤ p ≤ 1) of `samples` by the nearest-rank method;
+/// `None` when empty.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn quantile(samples: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&p), "quantile p must be in [0,1], got {p}");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Equal-width histogram of `samples` over `[min, max]` with `bins`
+/// buckets; returns bucket counts. Values equal to `max` land in the last
+/// bucket. `None` for empty input.
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+///
+/// # Example
+///
+/// ```
+/// use sinr_stats::histogram;
+/// let h = histogram(&[0.0, 0.1, 0.5, 0.9, 1.0], 2).unwrap();
+/// assert_eq!(h, vec![2, 3]); // 0.5 falls into the upper half-open bucket
+/// ```
+pub fn histogram(samples: &[f64], bins: usize) -> Option<Vec<usize>> {
+    assert!(bins > 0, "need at least one bin");
+    if samples.is_empty() || samples.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut counts = vec![0usize; bins];
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    for &v in samples {
+        let i = (((v - min) / span) * bins as f64) as usize;
+        counts[i.min(bins - 1)] += 1;
+    }
+    Some(counts)
+}
+
+/// Fraction of `samples` satisfying `pred` (0 for empty input).
+pub fn fraction<T>(samples: &[T], pred: impl Fn(&T) -> bool) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|s| pred(s)).count() as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.median, 4.5);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn empty_and_nan_rejected() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::of(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn singleton() {
+        let s = Summary::of(&[3.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn odd_median() {
+        let s = Summary::of(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn counts_variant() {
+        let s = Summary::of_counts(&[10, 20, 30]).unwrap();
+        assert_eq!(s.mean, 20.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(quantile(&xs, 0.5), Some(5.0));
+        assert_eq!(quantile(&xs, 0.9), Some(9.0));
+        assert_eq!(quantile(&xs, 1.0), Some(10.0));
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_rejects_bad_p() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn fraction_counts() {
+        assert_eq!(fraction(&[1, 2, 3, 4], |&x| x % 2 == 0), 0.5);
+        assert_eq!(fraction::<u32>(&[], |_| true), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = histogram(&[1.0, 2.0, 3.0, 4.0], 4).unwrap();
+        assert_eq!(h, vec![1, 1, 1, 1]);
+        let h = histogram(&[5.0, 5.0, 5.0], 3).unwrap();
+        assert_eq!(h.iter().sum::<usize>(), 3, "degenerate span keeps all samples");
+        assert_eq!(histogram(&[], 2), None);
+        assert_eq!(histogram(&[f64::NAN], 2), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_zero_bins_panics() {
+        let _ = histogram(&[1.0], 0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        let big_data: Vec<f64> = (0..300).map(|i| 1.0 + (i % 3) as f64).collect();
+        let big = Summary::of(&big_data).unwrap();
+        assert!(big.ci95_half_width() < small.ci95_half_width());
+    }
+}

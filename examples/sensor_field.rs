@@ -1,0 +1,77 @@
+//! Sensor field alarm: non-spontaneous broadcast through sleeping nodes.
+//!
+//! ```text
+//! cargo run --release --example sensor_field
+//! ```
+//!
+//! The scenario the paper's non-spontaneous model captures: a field of
+//! battery-powered sensors sleeps until it hears an alarm. One clustered
+//! corridor of sensors connects a sensor that detects an event (the source)
+//! to a distant base-station cluster; `NoSBroadcast` (Theorem 1) carries the
+//! alarm with no pre-established structure — each phase, the already-woken
+//! sensors rebuild the coloring among themselves, then push the alarm one
+//! hop further.
+
+use sinr_broadcast::core::{broadcast::NoSBroadcastNode, Constants};
+use sinr_broadcast::netgen::{cluster, validate};
+use sinr_broadcast::phy::{Network, SinrParams};
+use sinr_broadcast::runtime::Engine;
+
+fn main() {
+    let params = SinrParams::default_plane();
+    let consts = Constants::tuned();
+    let seed = 7;
+
+    // A corridor of 9 sensor clusters (diameter 8), 14 sensors each.
+    let diameter = 8;
+    let points = cluster::chain_for_diameter(diameter, 14, &params, seed);
+    let n = points.len();
+    let report = validate::report(&points, &params);
+    println!(
+        "sensor corridor: n = {n}, D = {:?} (clusters of 14)",
+        report.diameter
+    );
+
+    let net = Network::new(points, params).expect("valid deployment");
+    let mut engine = Engine::new(net, seed, |id| {
+        NoSBroadcastNode::new(id, 0, 0xA1A2, n, consts)
+    });
+
+    // Drive phase by phase, reporting the alarm front as it advances.
+    let phase_len = consts.phase_rounds(n);
+    let mut phase = 0;
+    loop {
+        engine.run_rounds(phase_len);
+        phase += 1;
+        let awake = engine.nodes().iter().filter(|s| s.informed()).count();
+        println!("after phase {phase:2} ({} rounds): {awake}/{n} sensors alarmed", engine.round());
+        if awake == n {
+            break;
+        }
+        assert!(
+            phase <= 3 * (diameter as usize + 2),
+            "alarm stalled — raise the budget"
+        );
+    }
+    println!(
+        "alarm delivered in {} rounds; theory: O(D log^2 n) = {} phases of {} rounds",
+        engine.round(),
+        diameter + 1,
+        phase_len
+    );
+    println!(
+        "energy proxy: {} transmissions total across {n} sensors",
+        engine.trace().total_transmissions()
+    );
+
+    // Duty-cycle distribution: the coloring keeps per-node energy flat even
+    // though cluster cores are 14x denser than the corridor spacing.
+    let mut tx: Vec<u64> = engine.tx_counts().to_vec();
+    tx.sort_unstable();
+    println!(
+        "per-sensor transmissions: min {} / median {} / max {}",
+        tx[0],
+        tx[n / 2],
+        tx[n - 1]
+    );
+}

@@ -1,0 +1,59 @@
+//! # sinr-broadcast
+//!
+//! A faithful, from-scratch reproduction of **Jurdzinski, Kowalski,
+//! Rozanski & Stachowiak, *On the Impact of Geometry on Ad Hoc
+//! Communication in Wireless Networks* (PODC 2014)**: randomized broadcast
+//! in the SINR physical model with *no* geolocation, carrier sensing or
+//! power control, whose running time depends only on communication-graph
+//! parameters (`D`, `n`) and not on the geometric granularity of the
+//! deployment.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`geometry`] | points, bounded-growth metrics, spatial index |
+//! | [`phy`] | SINR parameters, exact reception oracle, communication graphs |
+//! | [`runtime`] | synchronous round engine, protocol trait, wake schedules |
+//! | [`netgen`] | topology generators (uniform, clusters, geometric lines) |
+//! | [`stats`] | summaries, scaling-law fits, tables |
+//! | [`core`] | `StabilizeProbability` coloring, `NoSBroadcast`, `SBroadcast`, wake-up, consensus, leader election, baselines |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sinr_broadcast::core::{run::run_s_broadcast, Constants};
+//! use sinr_broadcast::netgen::uniform;
+//! use sinr_broadcast::phy::SinrParams;
+//!
+//! let params = SinrParams::default_plane();
+//! let points = uniform::connected_square(100, 1.8, &params, 7).expect("connected");
+//! let report = run_s_broadcast(points, &params, Constants::tuned(), 0, 42, 2_000_000)?;
+//! assert!(report.completed);
+//! println!("broadcast reached {} stations in {} rounds", report.informed, report.rounds);
+//! # Ok::<(), sinr_broadcast::phy::NetworkError>(())
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `DESIGN.md` / `EXPERIMENTS.md`
+//! for the reproduction methodology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sinr_core as core;
+pub use sinr_geometry as geometry;
+pub use sinr_netgen as netgen;
+pub use sinr_phy as phy;
+pub use sinr_runtime as runtime;
+pub use sinr_stats as stats;
+
+/// Workspace version, for diagnostics.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

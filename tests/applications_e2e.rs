@@ -1,0 +1,139 @@
+//! End-to-end tests for the Section 5 applications.
+
+use sinr_broadcast::core::{
+    consensus::domain_bits,
+    run::{run_adhoc_wakeup, run_consensus, run_leader_election},
+    Constants,
+};
+use sinr_broadcast::netgen::{cluster, line};
+use sinr_broadcast::phy::SinrParams;
+use sinr_broadcast::runtime::WakeSchedule;
+
+fn fast() -> Constants {
+    Constants {
+        c0: 4.0,
+        c2: 4.0,
+        c_prime: 1,
+        dissem_factor: 8.0,
+        ..Constants::tuned()
+    }
+}
+
+#[test]
+fn wakeup_under_three_schedules() {
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    let pts = cluster::chain_for_diameter(3, 8, &params, 1);
+    let n = pts.len();
+    let schedules = [
+        WakeSchedule::single(0, 0),
+        WakeSchedule::AllAt(5),
+        WakeSchedule::Staggered { start: 0, gap: 11 },
+    ];
+    for (i, schedule) in schedules.iter().enumerate() {
+        let budget = consts.phase_rounds(n) * 60 + n as u64 * 20;
+        let rep = run_adhoc_wakeup(pts.clone(), &params, consts, schedule, i as u64, budget)
+            .expect("valid");
+        assert!(rep.completed, "schedule {i} incomplete: {rep:?}");
+    }
+}
+
+#[test]
+fn wakeup_accounting_starts_at_first_wake() {
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    let pts = line::uniform_line(6, 0.45);
+    let schedule = WakeSchedule::single(3, 40);
+    let rep = run_adhoc_wakeup(
+        pts,
+        &params,
+        consts,
+        &schedule,
+        2,
+        consts.phase_rounds(6) * 60,
+    )
+    .unwrap();
+    assert!(rep.completed);
+    assert_eq!(rep.first_wake, 40);
+}
+
+#[test]
+fn consensus_decides_minimum_on_chain() {
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    let pts = cluster::chain_for_diameter(3, 8, &params, 2);
+    let n = pts.len();
+    let values: Vec<u64> = (0..n as u64).map(|i| 20 + (i * 13) % 40).collect();
+    let bits = domain_bits(63);
+    let rep = run_consensus(pts, &params, consts, &values, bits, 3, 5).expect("valid");
+    assert!(rep.agreement, "{:?}", rep.decided);
+    assert!(rep.valid);
+    assert_eq!(rep.decided[0], values.iter().copied().min());
+}
+
+#[test]
+fn consensus_with_duplicate_minimum() {
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    let pts = line::uniform_line(6, 0.45);
+    let values = [9, 2, 7, 2, 8, 2];
+    let rep = run_consensus(pts, &params, consts, &values, 4, 6, 6).expect("valid");
+    assert!(rep.valid);
+    assert_eq!(rep.decided[0], Some(2));
+}
+
+#[test]
+fn established_wakeup_over_real_backbone() {
+    use sinr_broadcast::core::{run::run_established_wakeup, run_stabilize};
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    let pts = cluster::chain_for_diameter(3, 8, &params, 9);
+    let n = pts.len();
+    // Build the backbone with one StabilizeProbability execution, then use
+    // its colors for the wake-up flood (the Section 5 composition).
+    let backbone = run_stabilize(pts.clone(), &params, consts, 4).expect("valid");
+    let mut initiators = vec![false; n];
+    initiators[0] = true;
+    let budget = consts.wakeup_window(n, 3) * 3;
+    let rep = run_established_wakeup(
+        pts,
+        &params,
+        consts,
+        &backbone.coloring,
+        &initiators,
+        5,
+        budget,
+    )
+    .expect("valid");
+    assert!(rep.completed, "{rep:?}");
+    assert_eq!(rep.informed, n);
+}
+
+#[test]
+fn alert_protocol_end_to_end() {
+    use sinr_broadcast::core::alert::AlertNode;
+    use sinr_broadcast::phy::Network;
+    use sinr_broadcast::runtime::Engine;
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    let pts = cluster::chain_for_diameter(3, 6, &params, 2);
+    let n = pts.len();
+    let net = Network::new(pts, params).unwrap();
+    let window = consts.wakeup_window(n, 3);
+    let mut eng = Engine::new(net, 6, |id| {
+        AlertNode::new(consts.p_max(), (id == n - 1).then_some(12), n, consts, window)
+    });
+    let res = eng.run_until(window * 4, |e| e.nodes().iter().all(AlertNode::alarmed));
+    assert!(res.completed);
+}
+
+#[test]
+fn leader_election_unique_across_seeds() {
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    for seed in 0..3u64 {
+        let pts = line::uniform_line(8, 0.45);
+        let rep = run_leader_election(pts, &params, consts, 8, seed).expect("valid");
+        assert!(rep.unique, "seed {seed}: leaders {:?}", rep.leaders);
+    }
+}

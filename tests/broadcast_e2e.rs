@@ -1,0 +1,114 @@
+//! End-to-end broadcast tests across topology families, via the facade.
+
+use sinr_broadcast::core::{
+    run::{run_nos_broadcast, run_s_broadcast},
+    Constants,
+};
+use sinr_broadcast::geometry::Point2;
+use sinr_broadcast::netgen::{cluster, line, uniform};
+use sinr_broadcast::phy::SinrParams;
+
+fn fast() -> Constants {
+    Constants {
+        c0: 4.0,
+        c2: 4.0,
+        c_prime: 1,
+        dissem_factor: 8.0,
+        ..Constants::tuned()
+    }
+}
+
+fn topologies(seed: u64) -> Vec<(&'static str, Vec<Point2>)> {
+    let params = SinrParams::default_plane();
+    vec![
+        (
+            "uniform",
+            uniform::connected_square(60, uniform::side_for_density(60, 30.0), &params, seed)
+                .expect("connected"),
+        ),
+        ("chain", cluster::chain_for_diameter(4, 10, &params, seed)),
+        ("line", line::uniform_line(12, 0.45)),
+        ("geom-line", line::halving_line(24, 0.5, 0.5, 2e-9)),
+    ]
+}
+
+#[test]
+fn s_broadcast_completes_on_all_families() {
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    for (name, pts) in topologies(1) {
+        let n = pts.len();
+        let rep = run_s_broadcast(pts, &params, consts, 0, 7, 3_000_000).expect("valid");
+        assert!(rep.completed, "[{name}] incomplete: {rep:?}");
+        assert_eq!(rep.informed, n, "[{name}]");
+    }
+}
+
+#[test]
+fn nos_broadcast_completes_on_all_families() {
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    for (name, pts) in topologies(2) {
+        let n = pts.len();
+        let budget = consts.phase_rounds(n) * 80;
+        let rep = run_nos_broadcast(pts, &params, consts, 0, 8, budget).expect("valid");
+        assert!(rep.completed, "[{name}] incomplete: {rep:?}");
+        assert_eq!(rep.informed, n, "[{name}]");
+    }
+}
+
+#[test]
+fn broadcast_deterministic_in_seed() {
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    let pts = cluster::chain_for_diameter(3, 8, &params, 5);
+    let a = run_s_broadcast(pts.clone(), &params, consts, 0, 42, 2_000_000).unwrap();
+    let b = run_s_broadcast(pts, &params, consts, 0, 42, 2_000_000).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn source_choice_is_arbitrary() {
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    for source in [0, 5, 11] {
+        let pts = line::uniform_line(12, 0.45);
+        let rep = run_s_broadcast(pts, &params, consts, source, 9, 2_000_000).unwrap();
+        assert!(rep.completed, "source {source}");
+    }
+}
+
+#[test]
+fn zero_budget_informs_only_source() {
+    let params = SinrParams::default_plane();
+    let rep = run_nos_broadcast(
+        line::uniform_line(5, 0.45),
+        &params,
+        fast(),
+        2,
+        1,
+        0,
+    )
+    .unwrap();
+    assert!(!rep.completed);
+    assert_eq!(rep.informed, 1);
+}
+
+#[test]
+fn single_station_network_trivially_done() {
+    let params = SinrParams::default_plane();
+    let rep = run_s_broadcast(vec![Point2::new(0.0, 0.0)], &params, fast(), 0, 3, 1000).unwrap();
+    assert!(rep.completed);
+    assert_eq!(rep.rounds, 0, "source already informed at round 0");
+}
+
+#[test]
+fn disconnected_network_never_completes() {
+    let params = SinrParams::default_plane();
+    let mut pts = line::uniform_line(4, 0.45);
+    pts.push(Point2::new(50.0, 0.0));
+    let consts = fast();
+    let rep = run_s_broadcast(pts, &params, consts, 0, 5, 50_000).unwrap();
+    assert!(!rep.completed);
+    assert_eq!(rep.informed, 4, "only the connected component is informed");
+}

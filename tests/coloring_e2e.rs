@@ -1,0 +1,87 @@
+//! End-to-end coloring properties via the facade, including property-based
+//! tests over random deployments.
+
+use proptest::prelude::*;
+use sinr_broadcast::core::{invariant_report, run_stabilize, Constants};
+use sinr_broadcast::geometry::Point2;
+use sinr_broadcast::netgen::{cluster, perturb};
+use sinr_broadcast::phy::SinrParams;
+
+fn fast() -> Constants {
+    Constants {
+        c0: 4.0,
+        c2: 4.0,
+        c_prime: 1,
+        ..Constants::tuned()
+    }
+}
+
+#[test]
+fn colors_form_doubling_lattice() {
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    let pts = cluster::chain_for_diameter(4, 12, &params, 3);
+    let n = pts.len();
+    let run = run_stabilize(pts, &params, consts, 9).unwrap();
+    let p_start = consts.p_start(n);
+    let terminal = 2.0 * consts.p_max();
+    for &c in &run.coloring.colors {
+        if (c - terminal).abs() < 1e-15 {
+            continue;
+        }
+        let log = (c / p_start).log2();
+        assert!(
+            (log - log.round()).abs() < 1e-9,
+            "color {c} not on the doubling lattice"
+        );
+    }
+}
+
+#[test]
+fn palette_size_at_most_levels_plus_one() {
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    let pts = cluster::chain_for_diameter(4, 12, &params, 4);
+    let n = pts.len();
+    let run = run_stabilize(pts, &params, consts, 11).unwrap();
+    assert!(run.coloring.num_colors() <= consts.num_levels(n) as usize + 1);
+}
+
+#[test]
+fn rerunning_coloring_is_deterministic() {
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    let pts = cluster::chain_for_diameter(3, 10, &params, 5);
+    let a = run_stabilize(pts.clone(), &params, consts, 21).unwrap();
+    let b = run_stabilize(pts, &params, consts, 21).unwrap();
+    assert_eq!(a.coloring, b.coloring);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On any random (min-separated) deployment, the coloring terminates
+    /// with every station colored, all colors positive and lattice-bounded,
+    /// and the Lemma 1 mass below a loose constant.
+    #[test]
+    fn coloring_invariants_on_random_deployments(
+        coords in prop::collection::vec((0.0f64..4.0, 0.0f64..4.0), 10..80),
+        seed in 0u64..1000,
+    ) {
+        let params = SinrParams::default_plane();
+        let consts = fast();
+        let mut pts: Vec<Point2> = coords.into_iter().map(Point2::from).collect();
+        perturb::enforce_min_separation(&mut pts, 1e-6);
+        let n = pts.len();
+        let run = run_stabilize(pts.clone(), &params, consts, seed).unwrap();
+        prop_assert_eq!(run.coloring.len(), n);
+        let terminal = 2.0 * consts.p_max();
+        for &c in &run.coloring.colors {
+            prop_assert!(c > 0.0 && c <= terminal + 1e-15);
+        }
+        let rep = invariant_report(&pts, &run.coloring, params.eps());
+        prop_assert!(rep.max_unit_ball_mass <= consts.c1_cap * 8.0,
+            "lemma1 mass {} too large", rep.max_unit_ball_mass);
+        prop_assert!(rep.min_close_mass > 0.0);
+    }
+}
