@@ -1,41 +1,74 @@
 //! Benchmarks of end-to-end broadcast runs (one per theorem) and of the
-//! baselines, on a fixed cluster chain.
+//! baselines, on a fixed cluster chain, through the `Scenario` API.
+//!
+//! ```text
+//! cargo bench -p sinr-bench --bench broadcast
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use sinr_core::{
-    run::{run_daum_broadcast, run_flood_broadcast, run_nos_broadcast, run_s_broadcast},
-    Constants,
-};
-use sinr_netgen::cluster;
-use sinr_phy::SinrParams;
+use sinr_bench::microbench::{bench, black_box};
+use sinr_core::Constants;
+use sinr_sim::{ProtocolSpec, Scenario, TopologySpec};
 
-fn bench_broadcasts(c: &mut Criterion) {
-    let params = SinrParams::default_plane();
+fn main() {
     let consts = Constants::tuned();
-    let d = 4;
-    let pts = cluster::chain_for_diameter(d, 10, &params, 1);
-    let n = pts.len();
-    let mut group = c.benchmark_group("broadcast_chain_d4");
-    group.sample_size(10);
-    group.bench_function("s_broadcast", |b| {
-        b.iter(|| {
-            run_s_broadcast(pts.clone(), &params, consts, 0, 3, 2_000_000).expect("valid")
-        })
-    });
-    group.bench_function("nos_broadcast", |b| {
-        b.iter(|| {
-            let budget = consts.phase_rounds(n) * (d as u64 + 4) * 2;
-            run_nos_broadcast(pts.clone(), &params, consts, 0, 3, budget).expect("valid")
-        })
-    });
-    group.bench_function("daum", |b| {
-        b.iter(|| run_daum_broadcast(pts.clone(), &params, 0, None, 3, 2_000_000).expect("valid"))
-    });
-    group.bench_function("flood_p02", |b| {
-        b.iter(|| run_flood_broadcast(pts.clone(), &params, 0, 0.2, 3, 2_000_000).expect("valid"))
-    });
-    group.finish();
-}
+    let d = 4u32;
+    let per_cluster = 10;
+    let n = (d as usize + 1) * per_cluster;
+    let topology = TopologySpec::ClusterChain {
+        diameter: d,
+        per_cluster,
+    };
+    let seed = 3;
 
-criterion_group!(benches, bench_broadcasts);
-criterion_main!(benches);
+    let cases: Vec<(&str, ProtocolSpec, u64)> = vec![
+        (
+            "s_broadcast",
+            ProtocolSpec::SBroadcast { source: 0 },
+            2_000_000,
+        ),
+        (
+            "nos_broadcast",
+            ProtocolSpec::NoSBroadcast { source: 0 },
+            consts.phase_rounds(n) * (u64::from(d) + 4) * 2,
+        ),
+        (
+            "daum",
+            ProtocolSpec::DaumBroadcast {
+                source: 0,
+                granularity: None,
+            },
+            2_000_000,
+        ),
+        (
+            "flood_p02",
+            ProtocolSpec::FloodBroadcast { source: 0, p: 0.2 },
+            2_000_000,
+        ),
+    ];
+    for (name, spec, budget) in cases {
+        let sim = Scenario::new(topology.clone())
+            .constants(consts)
+            .protocol(spec)
+            .budget(budget)
+            .build()
+            .expect("valid scenario");
+        bench(&format!("broadcast_chain_d4/{name}"), || {
+            black_box(sim.run(seed).expect("valid"));
+        });
+    }
+
+    // The sweep path itself: 8 seeds in parallel vs serially.
+    let sim = Scenario::new(topology)
+        .constants(consts)
+        .protocol(ProtocolSpec::SBroadcast { source: 0 })
+        .budget(2_000_000)
+        .build()
+        .expect("valid scenario");
+    let seeds: Vec<u64> = (0..8).collect();
+    bench("broadcast_chain_d4/sweep8_serial", || {
+        black_box(sim.sweep_with_threads(&seeds, 1).expect("valid"));
+    });
+    bench("broadcast_chain_d4/sweep8_parallel", || {
+        black_box(sim.sweep(&seeds).expect("valid"));
+    });
+}

@@ -1,37 +1,31 @@
 //! Benchmarks of the full `StabilizeProbability` execution and of the
 //! invariant verifiers.
+//!
+//! ```text
+//! cargo bench -p sinr-bench --bench coloring
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_bench::microbench::{bench, black_box};
 use sinr_core::{invariant_report, run_stabilize, Constants};
 use sinr_netgen::uniform;
 use sinr_phy::SinrParams;
 
-fn bench_stabilize(c: &mut Criterion) {
+fn main() {
     let params = SinrParams::default_plane();
     let consts = Constants::tuned();
-    let mut group = c.benchmark_group("stabilize_probability");
-    group.sample_size(10);
     for &n in &[128usize, 256, 512] {
         let side = uniform::side_for_density(n, 30.0);
         let pts = uniform::connected_square(n, side, &params, 3).expect("connected");
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| run_stabilize(pts.clone(), &params, consts, 5).expect("valid"))
+        bench(&format!("stabilize_probability/{n}"), || {
+            black_box(run_stabilize(pts.clone(), &params, consts, 5).expect("valid"));
         });
     }
-    group.finish();
-}
 
-fn bench_verifiers(c: &mut Criterion) {
-    let params = SinrParams::default_plane();
-    let consts = Constants::tuned();
     let n = 512;
     let side = uniform::side_for_density(n, 30.0);
     let pts = uniform::connected_square(n, side, &params, 3).expect("connected");
     let run = run_stabilize(pts.clone(), &params, consts, 5).expect("valid");
-    c.bench_function("invariant_report_512", |b| {
-        b.iter(|| invariant_report(&pts, &run.coloring, params.eps()))
+    bench("invariant_report_512", || {
+        black_box(invariant_report(&pts, &run.coloring, params.eps()));
     });
 }
-
-criterion_group!(benches, bench_stabilize, bench_verifiers);
-criterion_main!(benches);

@@ -1,65 +1,65 @@
 //! Micro-benchmarks of the SINR reception oracle: exact vs truncated
 //! interference evaluation across network sizes and transmitter densities.
+//!
+//! ```text
+//! cargo bench -p sinr-bench --bench interference
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_bench::microbench::{bench, black_box};
 use sinr_geometry::GridIndex;
 use sinr_netgen::uniform;
 use sinr_phy::{resolve_round, InterferenceMode, SinrParams};
 
-fn bench_resolve_round(c: &mut Criterion) {
+fn main() {
     let params = SinrParams::default_plane();
-    let mut group = c.benchmark_group("resolve_round");
     for &n in &[256usize, 1024, 4096] {
         let side = uniform::side_for_density(n, 30.0);
         let pts = uniform::square(n, side, 7);
         let grid = GridIndex::build(&pts, 1.0);
         // ~2% of stations transmit (typical dissemination load).
         let tx: Vec<usize> = (0..n).step_by(50).collect();
-        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
-            b.iter(|| resolve_round(&pts, &params, &tx, InterferenceMode::Exact, None))
+        bench(&format!("resolve_round/exact/{n}"), || {
+            black_box(resolve_round(
+                &pts,
+                &params,
+                &tx,
+                InterferenceMode::Exact,
+                None,
+            ));
         });
-        group.bench_with_input(BenchmarkId::new("truncated_r4", n), &n, |b, _| {
-            b.iter(|| {
-                resolve_round(
-                    &pts,
-                    &params,
-                    &tx,
-                    InterferenceMode::Truncated { radius: 4.0 },
-                    Some(&grid),
-                )
-            })
+        bench(&format!("resolve_round/truncated_r4/{n}"), || {
+            black_box(resolve_round(
+                &pts,
+                &params,
+                &tx,
+                InterferenceMode::Truncated { radius: 4.0 },
+                Some(&grid),
+            ));
         });
-        group.bench_with_input(BenchmarkId::new("cell_aggregate_r4", n), &n, |b, _| {
-            b.iter(|| {
-                resolve_round(
-                    &pts,
-                    &params,
-                    &tx,
-                    InterferenceMode::CellAggregate { near_radius: 4.0 },
-                    Some(&grid),
-                )
-            })
+        bench(&format!("resolve_round/cell_aggregate_r4/{n}"), || {
+            black_box(resolve_round(
+                &pts,
+                &params,
+                &tx,
+                InterferenceMode::CellAggregate { near_radius: 4.0 },
+                Some(&grid),
+            ));
         });
     }
-    group.finish();
-}
 
-fn bench_dense_transmitters(c: &mut Criterion) {
-    let params = SinrParams::default_plane();
-    let mut group = c.benchmark_group("resolve_round_dense");
     let n = 1024;
     let side = uniform::side_for_density(n, 30.0);
     let pts = uniform::square(n, side, 11);
     for &fraction in &[2usize, 10, 25] {
         let tx: Vec<usize> = (0..n).step_by(100 / fraction).collect();
-        group.bench_with_input(
-            BenchmarkId::new("exact_pct", fraction),
-            &fraction,
-            |b, _| b.iter(|| resolve_round(&pts, &params, &tx, InterferenceMode::Exact, None)),
-        );
+        bench(&format!("resolve_round_dense/exact_pct/{fraction}"), || {
+            black_box(resolve_round(
+                &pts,
+                &params,
+                &tx,
+                InterferenceMode::Exact,
+                None,
+            ));
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_resolve_round, bench_dense_transmitters);
-criterion_main!(benches);

@@ -1,60 +1,52 @@
 //! Benchmarks of the substrates: communication-graph construction, BFS
 //! diameter, grid-index queries and topology generation.
+//!
+//! ```text
+//! cargo bench -p sinr-bench --bench substrate
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_bench::microbench::{bench, black_box};
 use sinr_geometry::{GridIndex, Point2};
 use sinr_netgen::{cluster, line, uniform};
 use sinr_phy::{CommGraph, SinrParams};
 
-fn bench_commgraph(c: &mut Criterion) {
+fn main() {
     let params = SinrParams::default_plane();
-    let mut group = c.benchmark_group("comm_graph");
     for &n in &[1024usize, 4096] {
         let side = uniform::side_for_density(n, 30.0);
         let pts = uniform::square(n, side, 5);
-        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
-            b.iter(|| CommGraph::build(&pts, params.comm_radius()))
+        bench(&format!("comm_graph/build/{n}"), || {
+            black_box(CommGraph::build(&pts, params.comm_radius()));
         });
         let g = CommGraph::build(&pts, params.comm_radius());
-        group.bench_with_input(BenchmarkId::new("bfs", n), &n, |b, _| {
-            b.iter(|| g.bfs(0))
+        bench(&format!("comm_graph/bfs/{n}"), || {
+            black_box(g.bfs(0));
         });
-        group.bench_with_input(BenchmarkId::new("double_sweep", n), &n, |b, _| {
-            b.iter(|| g.diameter_double_sweep(0))
+        bench(&format!("comm_graph/double_sweep/{n}"), || {
+            black_box(g.diameter_double_sweep(0));
         });
     }
-    group.finish();
-}
 
-fn bench_grid_queries(c: &mut Criterion) {
     let n = 4096;
     let side = uniform::side_for_density(n, 30.0);
     let pts = uniform::square(n, side, 9);
     let grid = GridIndex::build(&pts, 1.0);
-    c.bench_function("grid_ball_r1_4096", |b| {
-        let center = Point2::new(side / 2.0, side / 2.0);
-        b.iter(|| grid.ball_vec(&pts, center, 1.0))
+    let center = Point2::new(side / 2.0, side / 2.0);
+    bench("grid_ball_r1_4096", || {
+        black_box(grid.ball_vec(&pts, center, 1.0));
     });
-    c.bench_function("grid_build_4096", |b| {
-        b.iter(|| GridIndex::build(&pts, 1.0))
+    bench("grid_build_4096", || {
+        black_box(GridIndex::build(&pts, 1.0));
+    });
+
+    let side_1024 = uniform::side_for_density(1024, 30.0);
+    bench("netgen/uniform_1024", || {
+        black_box(uniform::square(1024, side_1024, 3));
+    });
+    bench("netgen/chain_d16", || {
+        black_box(cluster::chain_for_diameter(16, 12, &params, 3));
+    });
+    bench("netgen/granularity_line_256", || {
+        black_box(line::granularity_line(256, params.comm_radius(), 1e6, 2e-9));
     });
 }
-
-fn bench_generators(c: &mut Criterion) {
-    let params = SinrParams::default_plane();
-    let mut group = c.benchmark_group("netgen");
-    group.bench_function("uniform_1024", |b| {
-        let side = uniform::side_for_density(1024, 30.0);
-        b.iter(|| uniform::square(1024, side, 3))
-    });
-    group.bench_function("chain_d16", |b| {
-        b.iter(|| cluster::chain_for_diameter(16, 12, &params, 3))
-    });
-    group.bench_function("granularity_line_256", |b| {
-        b.iter(|| line::granularity_line(256, params.comm_radius(), 1e6, 2e-9))
-    });
-    group.finish();
-}
-
-criterion_group!(benches, bench_commgraph, bench_grid_queries, bench_generators);
-criterion_main!(benches);

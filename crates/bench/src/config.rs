@@ -40,8 +40,14 @@ mod tests {
 
     #[test]
     fn pick_respects_mode() {
-        let full = ExpConfig { quick: false, seed: 1 };
-        let quick = ExpConfig { quick: true, seed: 1 };
+        let full = ExpConfig {
+            quick: false,
+            seed: 1,
+        };
+        let quick = ExpConfig {
+            quick: true,
+            seed: 1,
+        };
         assert_eq!(full.pick(10, 2), 10);
         assert_eq!(quick.pick(10, 2), 2);
     }

@@ -8,16 +8,14 @@
 //! scales the core's transmissions into a jam that only ε/2-local traffic
 //! survives, so the satellites keep doubling and finish at `2·p_max`.
 
-use sinr_core::{invariant_report, run_stabilize, Constants};
-use sinr_phy::SinrParams;
-use sinr_stats::{fmt_f64, Table};
+use sinr_core::Constants;
+use sinr_stats::Table;
 
-use crate::experiments::a2::adversarial_families;
+use crate::experiments::a2::invariant_rows;
 use crate::ExpConfig;
 
 /// Runs A1 and returns the rendered table.
 pub fn run(cfg: &ExpConfig) -> String {
-    let params = SinrParams::default_plane();
     let n = cfg.pick(512, 128);
     let sweeps: &[f64] = cfg.pick(&[1.0, 5.0, 10.0, 20.0, 40.0, 80.0], &[5.0, 40.0]);
     let trials = cfg.pick(2, 1);
@@ -36,21 +34,17 @@ pub fn run(cfg: &ExpConfig) -> String {
             ..Constants::tuned()
         };
         let floor = consts.p_max() / 4.0;
-        for t in 0..trials {
-            let seed = cfg.trial_seed(31, t as u64 * 1000 + c_eps as u64);
-            for (family, pts) in adversarial_families(n, seed) {
-                let run = run_stabilize(pts.clone(), &params, consts, seed).expect("valid");
-                let rep = invariant_report(&pts, &run.coloring, params.eps());
-                table.row(vec![
-                    fmt_f64(c_eps),
-                    family.to_string(),
-                    fmt_f64(rep.max_unit_ball_mass),
-                    format!("{:.5}", rep.min_close_mass),
-                    format!("{floor:.5}"),
-                    (rep.min_close_mass >= floor).to_string(),
-                ]);
-            }
-        }
+        invariant_rows(
+            cfg,
+            31,
+            c_eps as u64,
+            n,
+            trials,
+            consts,
+            &sinr_stats::fmt_f64(c_eps),
+            floor,
+            &mut table,
+        );
     }
     let mut out = String::from(
         "A1: ablation of the Playoff scale-up c_eps on footnote-4 adversaries\n\

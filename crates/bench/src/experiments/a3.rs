@@ -8,53 +8,53 @@
 //! should track exact rounds closely (its tail is estimated, not dropped),
 //! while truncation is visibly optimistic (dropped tail ⇒ easier SINR).
 
-use sinr_core::{run::run_s_broadcast_in_mode, Constants};
-use sinr_netgen::{cluster, uniform};
-use sinr_phy::{InterferenceMode, SinrParams};
-use sinr_stats::{fmt_f64, Summary, Table};
+use sinr_phy::InterferenceMode;
+use sinr_sim::{ProtocolSpec, Scenario, TopologySpec};
+use sinr_stats::{fmt_f64, Table};
 
-use crate::ExpConfig;
+use crate::{sweep_cell, ExpConfig};
 
 /// Runs A3 and returns the rendered table.
 pub fn run(cfg: &ExpConfig) -> String {
-    let params = SinrParams::default_plane();
-    let consts = Constants::tuned();
     let trials = cfg.pick(5, 2);
     let n = cfg.pick(200, 80);
 
     let modes: [(&str, InterferenceMode); 3] = [
         ("exact", InterferenceMode::Exact),
-        ("cell-aggregate", InterferenceMode::CellAggregate { near_radius: 4.0 }),
+        (
+            "cell-aggregate",
+            InterferenceMode::CellAggregate { near_radius: 4.0 },
+        ),
         ("truncated r=4", InterferenceMode::Truncated { radius: 4.0 }),
+    ];
+    let topologies: [(&str, TopologySpec); 2] = [
+        (
+            "uniform",
+            TopologySpec::ConnectedSquareDensity { n, density: 30.0 },
+        ),
+        (
+            "chain",
+            TopologySpec::ClusterChain {
+                diameter: 8,
+                per_cluster: n / 9,
+            },
+        ),
     ];
 
     let mut table = Table::new(vec!["topology", "mode", "rounds(mean)", "vs exact", "ok"]);
-    for topo in ["uniform", "chain"] {
+    for (topo_name, topology) in &topologies {
         let mut exact_mean = None;
         for (mode_name, mode) in modes {
-            let mut rounds = Vec::new();
-            let mut oks = 0;
-            for t in 0..trials {
-                let seed = cfg.trial_seed(33, t as u64);
-                let pts = match topo {
-                    "uniform" => uniform::connected_square(
-                        n,
-                        uniform::side_for_density(n, 30.0),
-                        &params,
-                        seed,
-                    )
-                    .expect("connected"),
-                    _ => cluster::chain_for_diameter(8, n / 9, &params, seed),
-                };
-                let rep = run_s_broadcast_in_mode(pts, &params, consts, 0, mode, seed, 2_000_000)
-                    .expect("valid");
-                if rep.completed {
-                    oks += 1;
-                    rounds.push(rep.rounds as f64);
-                }
-            }
-            let s = Summary::of(&rounds);
-            let mean = s.map(|s| s.mean);
+            let sim = Scenario::new(topology.clone())
+                .protocol(ProtocolSpec::SBroadcast { source: 0 })
+                .interference_mode(mode)
+                .budget(2_000_000)
+                .build()
+                .expect("valid scenario");
+            // Same tag across modes: identical seeds, identical
+            // deployments — only the physics fidelity differs.
+            let sweep = sweep_cell(cfg, 33, 0, trials, &sim);
+            let mean = sweep.rounds_summary().map(|s| s.mean);
             if mode_name == "exact" {
                 exact_mean = mean;
             }
@@ -63,11 +63,11 @@ pub fn run(cfg: &ExpConfig) -> String {
                 _ => "-".into(),
             };
             table.row(vec![
-                topo.to_string(),
+                topo_name.to_string(),
                 mode_name.to_string(),
-                mean.map_or("-".into(), fmt_f64),
+                mean.map_or_else(|| "-".into(), fmt_f64),
                 ratio,
-                format!("{oks}/{trials}"),
+                sweep.ok_string(),
             ]);
         }
     }

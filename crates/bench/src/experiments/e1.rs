@@ -5,20 +5,17 @@
 //! *work* the procedure performs (mean transmissions per station), sweeping
 //! `n` on connected uniform squares of constant density.
 
-use sinr_core::{log2n, run_stabilize, Constants};
-use sinr_netgen::uniform;
-use sinr_phy::SinrParams;
+use sinr_core::{log2n, Constants};
+use sinr_sim::{Outcome, ProtocolSpec, Scenario, TopologySpec};
 use sinr_stats::{fmt_f64, Summary, Table};
 
-use crate::ExpConfig;
+use crate::{sweep_cell, ExpConfig};
 
 /// Runs E1 and returns the rendered table.
 pub fn run(cfg: &ExpConfig) -> String {
-    let params = SinrParams::default_plane();
     let consts = Constants::tuned();
     let sizes: &[usize] = cfg.pick(&[256, 512, 1024, 2048], &[128, 256]);
     let trials = cfg.pick(5, 2);
-    let density = 30.0;
 
     let mut table = Table::new(vec![
         "n",
@@ -30,20 +27,26 @@ pub fn run(cfg: &ExpConfig) -> String {
         "colors(mean)",
     ]);
     for &n in sizes {
-        let side = uniform::side_for_density(n, density);
-        let mut txs = Vec::new();
-        let mut colors = Vec::new();
-        let mut rounds = 0;
-        for t in 0..trials {
-            let seed = cfg.trial_seed(1, t as u64 * 1000 + n as u64);
-            let Some(pts) = uniform::connected_square(n, side, &params, seed) else {
-                continue;
-            };
-            let run = run_stabilize(pts, &params, consts, seed).expect("valid network");
-            rounds = run.rounds;
-            txs.push(run.total_transmissions as f64 / n as f64);
-            colors.push(run.coloring.num_colors() as f64);
-        }
+        let sim = Scenario::new(TopologySpec::ConnectedSquareDensity { n, density: 30.0 })
+            .constants(consts)
+            .protocol(ProtocolSpec::Coloring)
+            .build()
+            .expect("fixed-schedule protocol");
+        let sweep = sweep_cell(cfg, 1, n as u64, trials, &sim);
+        let txs: Vec<f64> = sweep
+            .runs
+            .iter()
+            .map(|r| r.total_transmissions as f64 / n as f64)
+            .collect();
+        let colors: Vec<f64> = sweep
+            .runs
+            .iter()
+            .map(|r| match &r.outcome {
+                Outcome::Coloring { coloring } => coloring.num_colors() as f64,
+                other => unreachable!("coloring outcome expected, got {other:?}"),
+            })
+            .collect();
+        let rounds = sweep.runs.last().map_or(0, |r| r.rounds);
         let l = log2n(n);
         let tx_summary = Summary::of(&txs).expect("at least one trial");
         let color_summary = Summary::of(&colors).expect("at least one trial");

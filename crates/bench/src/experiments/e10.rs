@@ -5,16 +5,14 @@
 //! `O(D log² ν)`. Inflating ν by powers of 4 should slow the broadcast by
 //! (poly)logarithmic factors only — and never break it.
 
-use sinr_core::{log2n, run::run_s_broadcast_with_estimate, Constants};
-use sinr_netgen::cluster;
-use sinr_phy::SinrParams;
-use sinr_stats::{fmt_f64, Summary, Table};
+use sinr_core::{log2n, Constants};
+use sinr_sim::{ProtocolSpec, Scenario, TopologySpec};
+use sinr_stats::fmt_f64;
 
-use crate::ExpConfig;
+use crate::{sweep_table, ExpConfig, SweepRow};
 
 /// Runs E10 and returns the rendered table.
 pub fn run(cfg: &ExpConfig) -> String {
-    let params = SinrParams::default_plane();
     let consts = Constants::tuned();
     let d = cfg.pick(6u32, 3);
     let per = cfg.pick(10, 6);
@@ -22,41 +20,46 @@ pub fn run(cfg: &ExpConfig) -> String {
     let factors: &[usize] = cfg.pick(&[1, 4, 16, 64], &[1, 16]);
     let trials = cfg.pick(5, 2);
 
-    let mut table = Table::new(vec![
-        "nu/n",
-        "nu",
-        "log2(nu)",
-        "rounds(mean)",
-        "rounds/log2(nu)",
-        "ok",
-    ]);
+    let mut rows = Vec::new();
     for &f in factors {
         let nu = n * f;
-        let mut rounds = Vec::new();
-        let mut oks = 0;
-        for t in 0..trials {
-            let seed = cfg.trial_seed(10, t as u64 * 1000 + f as u64);
-            let pts = cluster::chain_for_diameter(d, per, &params, seed);
-            let budget = consts.coloring_rounds(nu) + consts.wakeup_window(nu, d) * 4;
-            let rep =
-                run_s_broadcast_with_estimate(pts, &params, consts, 0, nu, seed, budget)
-                    .expect("valid");
-            if rep.completed {
-                oks += 1;
-                rounds.push(rep.rounds as f64);
-            }
-        }
-        let s = Summary::of(&rounds);
+        let sim = Scenario::new(TopologySpec::ClusterChain {
+            diameter: d,
+            per_cluster: per,
+        })
+        .constants(consts)
+        .protocol(ProtocolSpec::SBroadcastWithEstimate { source: 0, nu })
+        .budget(consts.coloring_rounds(nu) + consts.wakeup_window(nu, d) * 4)
+        .build()
+        .expect("valid scenario");
         let l = log2n(nu) as f64;
-        table.row(vec![
-            f.to_string(),
-            nu.to_string(),
-            fmt_f64(l),
-            s.map_or("-".into(), |s| fmt_f64(s.mean)),
-            s.map_or("-".into(), |s| fmt_f64(s.mean / l)),
-            format!("{oks}/{trials}"),
-        ]);
+        rows.push(
+            SweepRow::new(
+                vec![f.to_string(), nu.to_string(), fmt_f64(l)],
+                f as u64,
+                sim,
+            )
+            .with_extra(move |sweep| {
+                vec![sweep
+                    .rounds_summary()
+                    .map_or("-".into(), |s| fmt_f64(s.mean / l))]
+            }),
+        );
     }
+    let table = sweep_table(
+        cfg,
+        10,
+        trials,
+        vec![
+            "nu/n",
+            "nu",
+            "log2(nu)",
+            "rounds(mean)",
+            "ok",
+            "rounds/log2(nu)",
+        ],
+        rows,
+    );
     let mut out = format!(
         "E10: robustness to the population estimate nu (true n = {n}, D = {d})\n\
          expect: completion at every nu; rounds grow ~log(nu) (rounds/log2(nu) ~flat)\n\n"

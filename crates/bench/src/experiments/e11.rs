@@ -7,90 +7,75 @@
 //! half its own level. The bridge funnels all traffic through a thin
 //! corridor bathed in blob interference.
 
-use sinr_core::{
-    run::{run_flood_broadcast, run_s_broadcast},
-    Constants,
-};
-use sinr_geometry::Point2;
-use sinr_netgen::shapes;
-use sinr_phy::SinrParams;
-use sinr_stats::{fmt_f64, Summary, Table};
+use sinr_sim::{ProtocolSpec, Scenario, TopologySpec};
 
-use crate::ExpConfig;
+use crate::{sweep_table, ExpConfig, SweepRow};
 
 /// Runs E11 and returns the rendered table.
 pub fn run(cfg: &ExpConfig) -> String {
-    let params = SinrParams::default_plane();
-    let consts = Constants::tuned();
     let trials = cfg.pick(3, 2);
     let budget = 120_000;
 
-    let topologies: Vec<(&str, Box<dyn Fn(u64) -> Vec<Point2>>)> = vec![
+    let ring_n = cfg.pick(48, 24);
+    let topologies: Vec<(&str, TopologySpec)> = vec![
         (
             "bridge",
-            Box::new(move |seed| shapes::bridge(cfg.pick(40, 16), 8, 1.0, &params, seed)),
+            TopologySpec::Bridge {
+                blob_n: cfg.pick(40, 16),
+                corridor_n: 8,
+                blob_side: 1.0,
+            },
         ),
         (
             "ring",
-            Box::new(move |seed| {
-                let n = cfg.pick(48, 24);
-                shapes::ring(n, n as f64 * 0.4 / std::f64::consts::TAU, seed)
-            }),
+            TopologySpec::Ring {
+                n: ring_n,
+                radius: ring_n as f64 * 0.4 / std::f64::consts::TAU,
+            },
         ),
         (
             "two-tier",
-            Box::new(move |seed| shapes::two_tier(cfg.pick(90, 45), 15, 1.2, seed)),
+            TopologySpec::TwoTier {
+                dense_n: cfg.pick(90, 45),
+                ratio: 15,
+                side: 1.2,
+            },
+        ),
+    ];
+    let algos: Vec<(&str, ProtocolSpec)> = vec![
+        ("SBroadcast", ProtocolSpec::SBroadcast { source: 0 }),
+        (
+            "flood p=0.5",
+            ProtocolSpec::FloodBroadcast { source: 0, p: 0.5 },
+        ),
+        (
+            "flood p=0.05",
+            ProtocolSpec::FloodBroadcast { source: 0, p: 0.05 },
         ),
     ];
 
-    let mut table = Table::new(vec!["topology", "algorithm", "rounds(mean)", "ok"]);
-    for (name, gen) in &topologies {
-        type Algo<'a> = (&'a str, Box<dyn Fn(Vec<Point2>, u64) -> (bool, u64)>);
-        let algos: Vec<Algo> = vec![
-            (
-                "SBroadcast",
-                Box::new(move |pts, seed| {
-                    let r = run_s_broadcast(pts, &params, consts, 0, seed, budget).expect("valid");
-                    (r.completed, r.rounds)
-                }),
-            ),
-            (
-                "flood p=0.5",
-                Box::new(move |pts, seed| {
-                    let r = run_flood_broadcast(pts, &params, 0, 0.5, seed, budget).expect("valid");
-                    (r.completed, r.rounds)
-                }),
-            ),
-            (
-                "flood p=0.05",
-                Box::new(move |pts, seed| {
-                    let r =
-                        run_flood_broadcast(pts, &params, 0, 0.05, seed, budget).expect("valid");
-                    (r.completed, r.rounds)
-                }),
-            ),
-        ];
-        for (algo_name, algo) in &algos {
-            let mut rounds = Vec::new();
-            let mut oks = 0;
-            for t in 0..trials {
-                let seed = cfg.trial_seed(11, t as u64);
-                let pts = gen(seed);
-                let (ok, r) = algo(pts, seed);
-                if ok {
-                    oks += 1;
-                    rounds.push(r as f64);
-                }
-            }
-            let s = Summary::of(&rounds);
-            table.row(vec![
-                name.to_string(),
-                algo_name.to_string(),
-                s.map_or("-".into(), |s| fmt_f64(s.mean)),
-                format!("{oks}/{trials}"),
-            ]);
+    let mut rows = Vec::new();
+    for (name, topology) in &topologies {
+        for (algo_name, spec) in &algos {
+            let sim = Scenario::new(topology.clone())
+                .protocol(spec.clone())
+                .budget(budget)
+                .build()
+                .expect("valid scenario");
+            rows.push(SweepRow::new(
+                vec![name.to_string(), algo_name.to_string()],
+                0,
+                sim,
+            ));
         }
     }
+    let table = sweep_table(
+        cfg,
+        11,
+        trials,
+        vec!["topology", "algorithm", "rounds(mean)", "ok"],
+        rows,
+    );
     let mut out = String::from(
         "E11: hard instances (bridge / ring / two-tier density)\n\
          expect: SBroadcast completes everywhere; aggressive flooding (p=0.5)\n\

@@ -6,45 +6,48 @@
 //! across the topology families. The paper's thesis: the gap is at most
 //! polylogarithmic — geometry knowledge changes constants, not the shape.
 
-use sinr_core::{
-    baselines::run_gps_oracle_broadcast,
-    run::run_s_broadcast,
-    Constants,
-};
-use sinr_geometry::Point2;
-use sinr_netgen::{cluster, line, uniform};
 use sinr_phy::SinrParams;
-use sinr_stats::{fmt_f64, Summary, Table};
+use sinr_sim::{ProtocolSpec, Scenario, TopologySpec};
+use sinr_stats::{fmt_f64, Table};
 
-use crate::ExpConfig;
+use crate::{sweep_cell, ExpConfig};
 
 /// Runs E12 and returns the rendered table.
 pub fn run(cfg: &ExpConfig) -> String {
     let params = SinrParams::default_plane();
-    let consts = Constants::tuned();
     let trials = cfg.pick(5, 2);
     let n = cfg.pick(96, 48);
     let budget = 2_000_000;
 
-    let topologies: Vec<(&str, Box<dyn Fn(u64) -> Vec<Point2>>)> = vec![
+    let topologies: Vec<(&str, TopologySpec)> = vec![
         (
             "uniform",
-            Box::new(move |seed| {
-                uniform::connected_square(n, uniform::side_for_density(n, 30.0), &params, seed)
-                    .expect("connected")
-            }),
+            TopologySpec::ConnectedSquareDensity { n, density: 30.0 },
         ),
         (
             "clusters",
-            Box::new(move |seed| cluster::chain_for_diameter(5, n / 6, &params, seed)),
+            TopologySpec::ClusterChain {
+                diameter: 5,
+                per_cluster: n / 6,
+            },
         ),
         (
             "geom-line",
-            Box::new(move |_| line::granularity_line(n, params.comm_radius(), 1e6, 2e-9)),
+            TopologySpec::GranularityLine {
+                n,
+                max_gap: params.comm_radius(),
+                rs_target: 1e6,
+                min_gap: 2e-9,
+            },
         ),
         (
             "core-sats",
-            Box::new(move |seed| cluster::core_and_satellites(n - 12, 12, 0.2, 0.6, seed)),
+            TopologySpec::CoreAndSatellites {
+                core_n: n - 12,
+                sat_n: 12,
+                core_radius: 0.2,
+                sat_distance: 0.6,
+            },
         ),
     ];
 
@@ -56,28 +59,22 @@ pub fn run(cfg: &ExpConfig) -> String {
         "ok",
         "price of blindness",
     ]);
-    for (name, gen) in &topologies {
-        let mut ours = Vec::new();
-        let mut ours_ok = 0;
-        let mut gps = Vec::new();
-        let mut gps_ok = 0;
-        for t in 0..trials {
-            let seed = cfg.trial_seed(12, t as u64);
-            let pts = gen(seed);
-            let rep =
-                run_s_broadcast(pts.clone(), &params, consts, 0, seed, budget).expect("valid");
-            if rep.completed {
-                ours_ok += 1;
-                ours.push(rep.rounds as f64);
-            }
-            let rep = run_gps_oracle_broadcast(pts, &params, 0, seed, budget).expect("valid");
-            if rep.completed {
-                gps_ok += 1;
-                gps.push(rep.rounds as f64);
-            }
-        }
-        let so = Summary::of(&ours);
-        let sg = Summary::of(&gps);
+    for (name, topology) in &topologies {
+        let ours_sim = Scenario::new(topology.clone())
+            .protocol(ProtocolSpec::SBroadcast { source: 0 })
+            .budget(budget)
+            .build()
+            .expect("valid scenario");
+        let gps_sim = Scenario::new(topology.clone())
+            .protocol(ProtocolSpec::GpsOracleBroadcast { source: 0 })
+            .budget(budget)
+            .build()
+            .expect("valid scenario");
+        // Same tag: both contenders race on identical per-seed deployments.
+        let ours = sweep_cell(cfg, 12, 0, trials, &ours_sim);
+        let gps = sweep_cell(cfg, 12, 0, trials, &gps_sim);
+        let so = ours.rounds_summary();
+        let sg = gps.rounds_summary();
         let ratio = match (&so, &sg) {
             (Some(a), Some(b)) if b.mean > 0.0 => fmt_f64(a.mean / b.mean),
             _ => "-".into(),
@@ -85,9 +82,9 @@ pub fn run(cfg: &ExpConfig) -> String {
         table.row(vec![
             name.to_string(),
             so.map_or("-".into(), |s| fmt_f64(s.mean)),
-            format!("{ours_ok}/{trials}"),
+            ours.ok_string(),
             sg.map_or("-".into(), |s| fmt_f64(s.mean)),
-            format!("{gps_ok}/{trials}"),
+            gps.ok_string(),
             ratio,
         ]);
     }

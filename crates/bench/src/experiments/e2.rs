@@ -4,53 +4,72 @@
 
 use std::collections::BTreeMap;
 
-use sinr_core::{invariant_report, run_stabilize, Constants};
-use sinr_geometry::Point2;
-use sinr_netgen::{cluster, line, uniform};
+use sinr_core::{invariant_report, Constants};
 use sinr_phy::SinrParams;
+use sinr_sim::{Outcome, ProtocolSpec, Scenario, TopologySpec};
 use sinr_stats::{fmt_f64, Summary, Table};
 
-use crate::ExpConfig;
+use crate::{sweep_cell, ExpConfig};
 
-/// Named topology families used by E2/E3/A1/A2.
-pub fn families(
-    n: usize,
-    params: &SinrParams,
-    seed: u64,
-) -> Vec<(&'static str, Vec<Point2>)> {
-    let mut out = Vec::new();
-    let side = uniform::side_for_density(n, 30.0);
-    if let Some(pts) = uniform::connected_square(n, side, params, seed) {
-        out.push(("uniform", pts));
-    }
+/// Named topology families used by E2/E3/A1/A2, as declarative specs.
+pub fn families(n: usize, params: &SinrParams) -> Vec<(&'static str, TopologySpec)> {
     let clusters = (n / 24).max(2);
-    out.push((
-        "clusters",
-        cluster::chain_for_diameter((clusters - 1) as u32, n / clusters, params, seed),
-    ));
-    out.push((
-        "geom-line",
-        line::granularity_line(n, params.comm_radius(), 1e6, 2e-9),
-    ));
-    out
+    vec![
+        (
+            "uniform",
+            TopologySpec::ConnectedSquareDensity { n, density: 30.0 },
+        ),
+        (
+            "clusters",
+            TopologySpec::ClusterChain {
+                diameter: (clusters - 1) as u32,
+                per_cluster: n / clusters,
+            },
+        ),
+        (
+            "geom-line",
+            TopologySpec::GranularityLine {
+                n,
+                max_gap: params.comm_radius(),
+                rs_target: 1e6,
+                min_gap: 2e-9,
+            },
+        ),
+    ]
 }
 
-/// Per-(family, n) Lemma 1 and Lemma 2 measurements over several trials.
+/// Lemma 1 masses, Lemma 2 masses and max color count per (family, n).
+pub type InvariantSamples = BTreeMap<(String, usize), (Vec<f64>, Vec<f64>, usize)>;
+
+/// Per-(family, n) Lemma 1 and Lemma 2 measurements over several trials:
+/// a coloring `Scenario` per family, materialized points paired with each
+/// run's coloring outcome.
 pub fn measure_invariants(
     cfg: &ExpConfig,
     exp_id: u64,
     sizes: &[usize],
     trials: usize,
     consts: Constants,
-) -> BTreeMap<(String, usize), (Vec<f64>, Vec<f64>, usize)> {
+) -> InvariantSamples {
     let params = SinrParams::default_plane();
-    let mut acc: BTreeMap<(String, usize), (Vec<f64>, Vec<f64>, usize)> = BTreeMap::new();
+    let mut acc: InvariantSamples = BTreeMap::new();
     for &n in sizes {
-        for t in 0..trials {
-            let seed = cfg.trial_seed(exp_id, t as u64 * 100_000 + n as u64);
-            for (family, pts) in families(n, &params, seed) {
-                let run = run_stabilize(pts.clone(), &params, consts, seed).expect("valid");
-                let rep = invariant_report(&pts, &run.coloring, params.eps());
+        for (fi, (family, spec)) in families(n, &params).into_iter().enumerate() {
+            let sim = Scenario::new(spec)
+                .params(params)
+                .constants(consts)
+                .protocol(ProtocolSpec::Coloring)
+                .build()
+                .expect("fixed-schedule protocol");
+            let tag = n as u64 * 10 + fi as u64;
+            let sweep = sweep_cell(cfg, exp_id, tag, trials, &sim);
+            for run in &sweep.runs {
+                let pts = sim.materialize(run.seed).expect("same stream as the run");
+                let coloring = match &run.outcome {
+                    Outcome::Coloring { coloring } => coloring,
+                    other => unreachable!("coloring outcome expected, got {other:?}"),
+                };
+                let rep = invariant_report(&pts, coloring, params.eps());
                 let entry = acc
                     .entry((family.to_string(), n))
                     .or_insert_with(|| (Vec::new(), Vec::new(), 0));
@@ -70,7 +89,13 @@ pub fn run(cfg: &ExpConfig) -> String {
     let trials = cfg.pick(3, 1);
     let acc = measure_invariants(cfg, 2, sizes, trials, consts);
 
-    let mut table = Table::new(vec!["family", "n", "lemma1 mean", "lemma1 worst", "colors(max)"]);
+    let mut table = Table::new(vec![
+        "family",
+        "n",
+        "lemma1 mean",
+        "lemma1 worst",
+        "colors(max)",
+    ]);
     for ((family, n), (l1, _l2, colors)) in &acc {
         let s = Summary::of(l1).expect("non-empty");
         table.row(vec![

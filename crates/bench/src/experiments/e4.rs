@@ -4,16 +4,14 @@
 //! measured rounds against the feature `D·log² n` should be proportional
 //! (flat ratio, high R²).
 
-use sinr_core::{log2n, run::run_nos_broadcast, Constants};
-use sinr_netgen::cluster;
-use sinr_phy::SinrParams;
-use sinr_stats::{fit_proportional, fmt_f64, Summary, Table};
+use sinr_core::{log2n, Constants};
+use sinr_sim::{ProtocolSpec, Scenario, TopologySpec};
+use sinr_stats::{fit_proportional, fmt_f64, Table};
 
-use crate::ExpConfig;
+use crate::{sweep_cell, ExpConfig};
 
 /// Runs E4 and returns the rendered table.
 pub fn run(cfg: &ExpConfig) -> String {
-    let params = SinrParams::default_plane();
     let consts = Constants::tuned();
     let diameters: &[u32] = cfg.pick(&[2, 4, 8, 16], &[2, 4]);
     let per_cluster = cfg.pick(12, 8);
@@ -30,22 +28,20 @@ pub fn run(cfg: &ExpConfig) -> String {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for &d in diameters {
-        let mut rounds = Vec::new();
-        let mut oks = 0;
         let n = (d as usize + 1) * per_cluster;
-        for t in 0..trials {
-            let seed = cfg.trial_seed(4, t as u64 * 1000 + d as u64);
-            let pts = cluster::chain_for_diameter(d, per_cluster, &params, seed);
-            let budget = consts.phase_rounds(n) * (d as u64 + 4) * 2;
-            let rep = run_nos_broadcast(pts, &params, consts, 0, seed, budget).expect("valid");
-            if rep.completed {
-                oks += 1;
-                rounds.push(rep.rounds as f64);
-            }
-        }
+        let sim = Scenario::new(TopologySpec::ClusterChain {
+            diameter: d,
+            per_cluster,
+        })
+        .constants(consts)
+        .protocol(ProtocolSpec::NoSBroadcast { source: 0 })
+        .budget(consts.phase_rounds(n) * (u64::from(d) + 4) * 2)
+        .build()
+        .expect("valid scenario");
+        let sweep = sweep_cell(cfg, 4, u64::from(d), trials, &sim);
         let l = log2n(n);
-        let feature = d as f64 * (l * l) as f64;
-        let s = Summary::of(&rounds);
+        let feature = f64::from(d) * (l * l) as f64;
+        let s = sweep.rounds_summary();
         if let Some(s) = &s {
             xs.push(feature);
             ys.push(s.mean);
@@ -56,7 +52,7 @@ pub fn run(cfg: &ExpConfig) -> String {
             s.map_or("-".into(), |s| fmt_f64(s.mean)),
             s.map_or("-".into(), |s| fmt_f64(s.max)),
             s.map_or("-".into(), |s| fmt_f64(s.mean / feature)),
-            format!("{oks}/{trials}"),
+            sweep.ok_string(),
         ]);
     }
     let fit = fit_proportional(&xs, &ys);

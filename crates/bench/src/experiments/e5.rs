@@ -7,16 +7,14 @@
 //! `Θ(log n)` factor at large `D` (the paper's motivation for the
 //! spontaneous model).
 
-use sinr_core::{log2n, run::run_s_broadcast, Constants};
-use sinr_netgen::cluster;
-use sinr_phy::SinrParams;
-use sinr_stats::{fit_least_squares, fmt_f64, Summary, Table};
+use sinr_core::{log2n, Constants};
+use sinr_sim::{ProtocolSpec, Scenario, TopologySpec};
+use sinr_stats::{fit_least_squares, fmt_f64, Table};
 
-use crate::ExpConfig;
+use crate::{sweep_cell, ExpConfig};
 
 /// Runs E5 and returns the rendered table.
 pub fn run(cfg: &ExpConfig) -> String {
-    let params = SinrParams::default_plane();
     let consts = Constants::tuned();
     let diameters: &[u32] = cfg.pick(&[2, 4, 8, 16, 32], &[2, 4]);
     let per_cluster = cfg.pick(12, 8);
@@ -34,23 +32,20 @@ pub fn run(cfg: &ExpConfig) -> String {
     let mut ys = Vec::new();
     for &d in diameters {
         let n = (d as usize + 1) * per_cluster;
-        let mut rounds = Vec::new();
-        let mut oks = 0;
-        for t in 0..trials {
-            let seed = cfg.trial_seed(5, t as u64 * 1000 + d as u64);
-            let pts = cluster::chain_for_diameter(d, per_cluster, &params, seed);
-            let budget =
-                consts.coloring_rounds(n) + consts.wakeup_window(n, d) * 4 + 100_000;
-            let rep = run_s_broadcast(pts, &params, consts, 0, seed, budget).expect("valid");
-            if rep.completed {
-                oks += 1;
-                rounds.push(rep.rounds as f64);
-            }
-        }
+        let sim = Scenario::new(TopologySpec::ClusterChain {
+            diameter: d,
+            per_cluster,
+        })
+        .constants(consts)
+        .protocol(ProtocolSpec::SBroadcast { source: 0 })
+        .budget(consts.coloring_rounds(n) + consts.wakeup_window(n, d) * 4 + 100_000)
+        .build()
+        .expect("valid scenario");
+        let sweep = sweep_cell(cfg, 5, u64::from(d), trials, &sim);
         let l = log2n(n) as f64;
-        let s = Summary::of(&rounds);
+        let s = sweep.rounds_summary();
         if let Some(s) = &s {
-            rows_feat.push(vec![d as f64 * l, l * l]);
+            rows_feat.push(vec![f64::from(d) * l, l * l]);
             ys.push(s.mean);
         }
         table.row(vec![
@@ -58,8 +53,8 @@ pub fn run(cfg: &ExpConfig) -> String {
             n.to_string(),
             s.map_or("-".into(), |s| fmt_f64(s.mean)),
             s.map_or("-".into(), |s| fmt_f64(s.max)),
-            s.map_or("-".into(), |s| fmt_f64(s.mean / (d as f64 * l))),
-            format!("{oks}/{trials}"),
+            s.map_or("-".into(), |s| fmt_f64(s.mean / (f64::from(d) * l))),
+            sweep.ok_string(),
         ]);
     }
     let mut out = String::from(

@@ -7,15 +7,13 @@
 //! magnitude and compare `SBroadcast` with the decay-class baseline, which
 //! must cycle `Θ(α·log R_s)` probability classes.
 
-use sinr_core::{
-    run::{run_daum_broadcast, run_s_broadcast},
-    Constants,
-};
-use sinr_netgen::{line, validate};
+use sinr_core::Constants;
+use sinr_netgen::validate;
 use sinr_phy::SinrParams;
-use sinr_stats::{fmt_f64, Summary, Table};
+use sinr_sim::{ProtocolSpec, Scenario, TopologySpec};
+use sinr_stats::{fmt_f64, Table};
 
-use crate::ExpConfig;
+use crate::{sweep_cell, ExpConfig};
 
 /// Runs E6 and returns the rendered table.
 pub fn run(cfg: &ExpConfig) -> String {
@@ -41,44 +39,56 @@ pub fn run(cfg: &ExpConfig) -> String {
         "daum ok",
     ]);
     for &rs in rs_targets {
-        let pts = line::granularity_line_fixed_d(n, params.comm_radius(), rs, d_hops, 2e-9);
+        let topology = TopologySpec::GranularityLineFixedD {
+            n,
+            max_gap: params.comm_radius(),
+            rs_target: rs,
+            d_hops,
+            min_gap: 2e-9,
+        };
+        let budget_probe = Scenario::new(topology.clone())
+            .protocol(ProtocolSpec::SBroadcast { source: 0 })
+            .budget(1)
+            .build()
+            .expect("valid scenario");
+        // The line family is deterministic (seed-independent), so one
+        // materialization gives the exact deployment every trial uses.
+        let pts = budget_probe.materialize(0).expect("generated");
         let report = validate::report(&pts, &params);
         assert!(report.connected, "line must be connected");
         let d = report.diameter.unwrap_or(0);
         let actual_rs = report.granularity.unwrap_or(1.0);
+        let budget = consts.coloring_rounds(n) + consts.wakeup_window(n, d) * 4 + 200_000;
 
-        let mut ours = Vec::new();
-        let mut ours_ok = 0;
-        let mut daum = Vec::new();
-        let mut daum_ok = 0;
-        for t in 0..trials {
-            let seed = cfg.trial_seed(6, t as u64 * 1000 + rs as u64);
-            let budget = consts.coloring_rounds(n) + consts.wakeup_window(n, d) * 4 + 200_000;
-            let rep =
-                run_s_broadcast(pts.clone(), &params, consts, 0, seed, budget).expect("valid");
-            if rep.completed {
-                ours_ok += 1;
-                ours.push(rep.rounds as f64);
-            }
-            let rep = run_daum_broadcast(pts.clone(), &params, 0, Some(actual_rs), seed, budget)
-                .expect("valid");
-            if rep.completed {
-                daum_ok += 1;
-                daum.push(rep.rounds as f64);
-            }
-        }
-        let so = Summary::of(&ours);
-        let sd = Summary::of(&daum);
+        let ours_sim = Scenario::new(topology.clone())
+            .constants(consts)
+            .protocol(ProtocolSpec::SBroadcast { source: 0 })
+            .budget(budget)
+            .build()
+            .expect("valid scenario");
+        let daum_sim = Scenario::new(topology)
+            .protocol(ProtocolSpec::DaumBroadcast {
+                source: 0,
+                granularity: Some(actual_rs),
+            })
+            .budget(budget)
+            .build()
+            .expect("valid scenario");
+        let ours = sweep_cell(cfg, 6, rs as u64, trials, &ours_sim);
+        let daum = sweep_cell(cfg, 6, rs as u64, trials, &daum_sim);
+
+        let so = ours.rounds_summary();
+        let sd = daum.rounds_summary();
         table.row(vec![
             fmt_f64(rs),
             fmt_f64(actual_rs),
             d.to_string(),
             so.map_or("-".into(), |s| fmt_f64(s.mean)),
             so.map_or("-".into(), |s| fmt_f64(s.mean / d.max(1) as f64)),
-            format!("{ours_ok}/{trials}"),
+            ours.ok_string(),
             sd.map_or("-".into(), |s| fmt_f64(s.mean)),
             sd.map_or("-".into(), |s| fmt_f64(s.mean / d.max(1) as f64)),
-            format!("{daum_ok}/{trials}"),
+            daum.ok_string(),
         ]);
     }
     let mut out = String::from(

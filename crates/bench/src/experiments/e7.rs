@@ -2,26 +2,24 @@
 //! (`O(D log n·log x + log² n·log x)`), and leader election
 //! (`O(D log² n + log³ n)`).
 
-use sinr_core::{
-    consensus::domain_bits,
-    run::{run_adhoc_wakeup, run_consensus, run_leader_election},
-    Constants,
-};
-use sinr_netgen::cluster;
-use sinr_phy::SinrParams;
+use sinr_core::{consensus::domain_bits, Constants};
 use sinr_runtime::WakeSchedule;
+use sinr_sim::{Outcome, ProtocolSpec, Scenario, TopologySpec};
 use sinr_stats::{fmt_f64, Summary, Table};
 
-use crate::ExpConfig;
+use crate::{sweep_cell, trial_seeds, ExpConfig};
 
 /// Runs E7 and returns the rendered tables.
 pub fn run(cfg: &ExpConfig) -> String {
-    let params = SinrParams::default_plane();
     let consts = Constants::tuned();
     let trials = cfg.pick(3, 1);
     let d = cfg.pick(6u32, 3);
     let per_cluster = cfg.pick(8, 6);
     let n = (d as usize + 1) * per_cluster;
+    let topology = TopologySpec::ClusterChain {
+        diameter: d,
+        per_cluster,
+    };
 
     let mut out = String::new();
 
@@ -32,27 +30,36 @@ pub fn run(cfg: &ExpConfig) -> String {
         ("all@0", WakeSchedule::AllAt(0)),
         ("staggered", WakeSchedule::Staggered { start: 0, gap: 50 }),
     ];
-    for (name, schedule) in &schedules {
-        let mut rounds = Vec::new();
-        let mut oks = 0;
-        for t in 0..trials {
-            let seed = cfg.trial_seed(7, t as u64);
-            let pts = cluster::chain_for_diameter(d, per_cluster, &params, seed);
-            let budget = consts.phase_rounds(n) * (d as u64 + 6) * 3
-                + schedule.first_wake(n).unwrap_or(0)
-                + n as u64 * 60; // staggered wakes spread over n*gap rounds
-            let rep = run_adhoc_wakeup(pts, &params, consts, schedule, seed, budget)
-                .expect("valid");
-            if rep.completed {
-                oks += 1;
-                rounds.push(rep.rounds_from_first_wake as f64);
-            }
-        }
+    for (si, (name, schedule)) in schedules.iter().enumerate() {
+        let budget = consts.phase_rounds(n) * (u64::from(d) + 6) * 3
+            + schedule.first_wake(n).unwrap_or(0)
+            + n as u64 * 60; // staggered wakes spread over n*gap rounds
+        let sim = Scenario::new(topology.clone())
+            .constants(consts)
+            .protocol(ProtocolSpec::AdhocWakeup {
+                schedule: schedule.clone(),
+            })
+            .budget(budget)
+            .build()
+            .expect("valid scenario");
+        let sweep = sweep_cell(cfg, 7, si as u64, trials, &sim);
+        let rounds: Vec<f64> = sweep
+            .runs
+            .iter()
+            .filter(|r| r.completed)
+            .map(|r| match r.outcome {
+                Outcome::Wakeup {
+                    rounds_from_first_wake,
+                    ..
+                } => rounds_from_first_wake as f64,
+                ref other => unreachable!("wakeup outcome expected, got {other:?}"),
+            })
+            .collect();
         let s = Summary::of(&rounds);
         wt.row(vec![
             name.to_string(),
             s.map_or("-".into(), |s| fmt_f64(s.mean)),
-            format!("{oks}/{trials}"),
+            sweep.ok_string(),
         ]);
     }
     out.push_str(&format!(
@@ -65,18 +72,33 @@ pub fn run(cfg: &ExpConfig) -> String {
     let domains: &[u64] = cfg.pick(&[3, 15, 255], &[3]);
     for &x in domains {
         let bits = domain_bits(x);
+        let values: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % (x + 1)).collect();
+        let sim = Scenario::new(topology.clone())
+            .constants(consts)
+            .protocol(ProtocolSpec::Consensus {
+                values,
+                bits,
+                d_bound: d,
+            })
+            .build()
+            .expect("fixed-schedule protocol");
+        let sweep = sim
+            .sweep(&trial_seeds(cfg, 17, x, trials))
+            .expect("valid scenario");
         let mut agree_all = true;
         let mut valid_all = true;
         let mut rounds = 0;
-        for t in 0..trials {
-            let seed = cfg.trial_seed(17, t as u64 * 10 + x);
-            let pts = cluster::chain_for_diameter(d, per_cluster, &params, seed);
-            let m = pts.len();
-            let values: Vec<u64> = (0..m as u64).map(|i| (i * 7 + 3) % (x + 1)).collect();
-            let rep = run_consensus(pts, &params, consts, &values, bits, d, seed).expect("valid");
-            agree_all &= rep.agreement;
-            valid_all &= rep.valid;
-            rounds = rep.rounds;
+        for run in &sweep.runs {
+            match run.outcome {
+                Outcome::Consensus {
+                    agreement, valid, ..
+                } => {
+                    agree_all &= agreement;
+                    valid_all &= valid;
+                }
+                ref other => unreachable!("consensus outcome expected, got {other:?}"),
+            }
+            rounds = run.rounds;
         }
         ct.row(vec![
             x.to_string(),
@@ -93,14 +115,23 @@ pub fn run(cfg: &ExpConfig) -> String {
 
     // --- leader election ---
     let mut lt = Table::new(vec!["trial", "rounds", "unique leader"]);
-    for t in 0..trials {
-        let seed = cfg.trial_seed(27, t as u64);
-        let pts = cluster::chain_for_diameter(d, per_cluster, &params, seed);
-        let rep = run_leader_election(pts, &params, consts, d, seed).expect("valid");
+    let sim = Scenario::new(topology)
+        .constants(consts)
+        .protocol(ProtocolSpec::LeaderElection { d_bound: d })
+        .build()
+        .expect("fixed-schedule protocol");
+    let sweep = sim
+        .sweep(&trial_seeds(cfg, 27, 0, trials))
+        .expect("valid scenario");
+    for (t, run) in sweep.runs.iter().enumerate() {
+        let unique = match run.outcome {
+            Outcome::Leader { unique, .. } => unique,
+            ref other => unreachable!("leader outcome expected, got {other:?}"),
+        };
         lt.row(vec![
             t.to_string(),
-            rep.rounds.to_string(),
-            rep.unique.to_string(),
+            run.rounds.to_string(),
+            unique.to_string(),
         ]);
     }
     out.push_str(&format!(

@@ -2,55 +2,55 @@
 //! algorithms succeed within their asymptotic budgets in (nearly) all
 //! trials, and the failure rate does not grow with `n`.
 
-use sinr_core::{
-    run::{run_nos_broadcast, run_s_broadcast},
-    Constants,
-};
-use sinr_netgen::cluster;
-use sinr_phy::SinrParams;
-use sinr_stats::Table;
+use sinr_core::Constants;
+use sinr_sim::{ProtocolSpec, Scenario, TopologySpec};
 
-use crate::ExpConfig;
+use crate::{sweep_table, ExpConfig, SweepRow};
 
 /// Runs E8 and returns the rendered table.
 pub fn run(cfg: &ExpConfig) -> String {
-    let params = SinrParams::default_plane();
     let consts = Constants::tuned();
     let trials = cfg.pick(20, 4);
     let d = 4u32;
     let sizes_per_cluster: &[usize] = cfg.pick(&[8, 16, 32], &[8]);
 
-    let mut table = Table::new(vec!["n", "D", "S ok", "NoS ok"]);
-    for &per in sizes_per_cluster {
+    let mut rows = Vec::new();
+    for (pi, &per) in sizes_per_cluster.iter().enumerate() {
         let n = (d as usize + 1) * per;
-        let mut s_ok = 0;
-        let mut nos_ok = 0;
-        for t in 0..trials {
-            let seed = cfg.trial_seed(8, t as u64 * 100 + per as u64);
-            let pts = cluster::chain_for_diameter(d, per, &params, seed);
-            let s_budget =
-                consts.coloring_rounds(n) + consts.wakeup_window(n, d) * 3;
-            if run_s_broadcast(pts.clone(), &params, consts, 0, seed, s_budget)
-                .expect("valid")
-                .completed
-            {
-                s_ok += 1;
-            }
-            let nos_budget = consts.phase_rounds(n) * (d as u64 + 3);
-            if run_nos_broadcast(pts, &params, consts, 0, seed, nos_budget)
-                .expect("valid")
-                .completed
-            {
-                nos_ok += 1;
-            }
-        }
-        table.row(vec![
-            n.to_string(),
-            d.to_string(),
-            format!("{s_ok}/{trials}"),
-            format!("{nos_ok}/{trials}"),
-        ]);
+        let topology = TopologySpec::ClusterChain {
+            diameter: d,
+            per_cluster: per,
+        };
+        let s_sim = Scenario::new(topology.clone())
+            .constants(consts)
+            .protocol(ProtocolSpec::SBroadcast { source: 0 })
+            .budget(consts.coloring_rounds(n) + consts.wakeup_window(n, d) * 3)
+            .build()
+            .expect("valid scenario");
+        rows.push(SweepRow::new(
+            vec![n.to_string(), d.to_string(), "S".into()],
+            pi as u64 * 2,
+            s_sim,
+        ));
+        let nos_sim = Scenario::new(topology)
+            .constants(consts)
+            .protocol(ProtocolSpec::NoSBroadcast { source: 0 })
+            .budget(consts.phase_rounds(n) * (u64::from(d) + 3))
+            .build()
+            .expect("valid scenario");
+        rows.push(SweepRow::new(
+            vec![n.to_string(), d.to_string(), "NoS".into()],
+            pi as u64 * 2 + 1,
+            nos_sim,
+        ));
     }
+    let table = sweep_table(
+        cfg,
+        8,
+        trials,
+        vec!["n", "D", "algorithm", "rounds(mean)", "ok"],
+        rows,
+    );
     let mut out = String::from(
         "E8: success rates within the asymptotic budgets (whp claim)\n\
          expect: ~all trials succeed at every n (failure rate not growing with n)\n\n",

@@ -7,109 +7,87 @@
 //! all regimes, and granularity-aware baselines pay for it — the coloring
 //! adapts.
 
-use sinr_core::{
-    run::{run_daum_broadcast, run_flood_broadcast, run_local_broadcast, run_s_broadcast},
-    Constants,
-};
-use sinr_netgen::{cluster, line, uniform};
 use sinr_phy::SinrParams;
-use sinr_stats::{fmt_f64, Summary, Table};
+use sinr_sim::{ProtocolSpec, Scenario, TopologySpec};
 
-use crate::ExpConfig;
+use crate::{sweep_table, ExpConfig, SweepRow};
 
 /// Runs E9 and returns the rendered table.
 pub fn run(cfg: &ExpConfig) -> String {
     let params = SinrParams::default_plane();
-    let consts = Constants::tuned();
     let trials = cfg.pick(5, 2);
     let n = cfg.pick(96, 48);
     let budget = 2_000_000;
 
-    let topologies: Vec<(&str, Box<dyn Fn(u64) -> Vec<sinr_geometry::Point2>>)> = vec![
+    let topologies: Vec<(&str, TopologySpec)> = vec![
         (
             "uniform",
-            Box::new(move |seed| {
-                uniform::connected_square(n, uniform::side_for_density(n, 30.0), &params, seed)
-                    .expect("connected")
-            }),
+            TopologySpec::ConnectedSquareDensity { n, density: 30.0 },
         ),
         (
             "clusters",
-            Box::new(move |seed| cluster::chain_for_diameter(5, n / 6, &params, seed)),
+            TopologySpec::ClusterChain {
+                diameter: 5,
+                per_cluster: n / 6,
+            },
         ),
         (
             "geom-line",
-            Box::new(move |_| line::granularity_line(n, params.comm_radius(), 1e6, 2e-9)),
+            TopologySpec::GranularityLine {
+                n,
+                max_gap: params.comm_radius(),
+                rs_target: 1e6,
+                min_gap: 2e-9,
+            },
+        ),
+    ];
+    let algos: Vec<(&str, ProtocolSpec)> = vec![
+        ("SBroadcast", ProtocolSpec::SBroadcast { source: 0 }),
+        (
+            "flood p=0.2",
+            ProtocolSpec::FloodBroadcast { source: 0, p: 0.2 },
+        ),
+        (
+            "flood p=1/n",
+            ProtocolSpec::FloodBroadcast {
+                source: 0,
+                p: 1.0 / n as f64,
+            },
+        ),
+        ("local-bcast", ProtocolSpec::LocalBroadcast { source: 0 }),
+        (
+            "daum",
+            ProtocolSpec::DaumBroadcast {
+                source: 0,
+                granularity: None,
+            },
         ),
     ];
 
-    let mut table = Table::new(vec![
-        "topology",
-        "algorithm",
-        "rounds(mean)",
-        "ok",
-    ]);
-    for (name, gen) in &topologies {
-        type Algo<'a> = (&'a str, Box<dyn Fn(Vec<sinr_geometry::Point2>, u64) -> (bool, u64)>);
-        let algos: Vec<Algo> = vec![
-            (
-                "SBroadcast",
-                Box::new(move |pts, seed| {
-                    let r = run_s_broadcast(pts, &params, consts, 0, seed, budget).expect("valid");
-                    (r.completed, r.rounds)
-                }),
-            ),
-            (
-                "flood p=0.2",
-                Box::new(move |pts, seed| {
-                    let r = run_flood_broadcast(pts, &params, 0, 0.2, seed, budget).expect("valid");
-                    (r.completed, r.rounds)
-                }),
-            ),
-            (
-                "flood p=1/n",
-                Box::new(move |pts, seed| {
-                    let p = 1.0 / pts.len() as f64;
-                    let r = run_flood_broadcast(pts, &params, 0, p, seed, budget).expect("valid");
-                    (r.completed, r.rounds)
-                }),
-            ),
-            (
-                "local-bcast",
-                Box::new(move |pts, seed| {
-                    let r = run_local_broadcast(pts, &params, 0, seed, budget).expect("valid");
-                    (r.completed, r.rounds)
-                }),
-            ),
-            (
-                "daum",
-                Box::new(move |pts, seed| {
-                    let r = run_daum_broadcast(pts, &params, 0, None, seed, budget).expect("valid");
-                    (r.completed, r.rounds)
-                }),
-            ),
-        ];
-        for (algo_name, algo) in &algos {
-            let mut rounds = Vec::new();
-            let mut oks = 0;
-            for t in 0..trials {
-                let seed = cfg.trial_seed(9, t as u64);
-                let pts = gen(seed);
-                let (ok, r) = algo(pts, seed);
-                if ok {
-                    oks += 1;
-                    rounds.push(r as f64);
-                }
-            }
-            let s = Summary::of(&rounds);
-            table.row(vec![
-                name.to_string(),
-                algo_name.to_string(),
-                s.map_or("-".into(), |s| fmt_f64(s.mean)),
-                format!("{oks}/{trials}"),
-            ]);
+    let mut rows = Vec::new();
+    for (name, topology) in &topologies {
+        for (algo_name, spec) in &algos {
+            let sim = Scenario::new(topology.clone())
+                .protocol(spec.clone())
+                .budget(budget)
+                .build()
+                .expect("valid scenario");
+            // Same tag for every algorithm on a topology: identical seeds,
+            // so contenders race on identical deployments.
+            rows.push(SweepRow::new(
+                vec![name.to_string(), algo_name.to_string()],
+                0,
+                sim,
+            ));
         }
     }
+    let table = sweep_table(
+        cfg,
+        9,
+        trials,
+        vec!["topology", "algorithm", "rounds(mean)", "ok"],
+        rows,
+    );
     let mut out = String::from(
         "E9: algorithm comparison across density regimes\n\
          expect: no single flood p wins everywhere; daum suffers on geom-line;\n\

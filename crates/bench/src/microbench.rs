@@ -1,0 +1,49 @@
+//! A minimal timing harness for the `benches/` targets.
+//!
+//! The offline build environment cannot fetch criterion, so the bench
+//! binaries use this instead: warm up, run a fixed number of timed
+//! iterations, and print min/mean/max wall-clock per iteration. Benches
+//! are declared `harness = false` and excluded from `cargo test`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the criterion-familiar
+/// name.
+pub use std::hint::black_box;
+
+/// Runs `f` for `iters` timed iterations (after `warmup` untimed ones)
+/// and prints one line of statistics.
+pub fn bench_n(name: &str, warmup: usize, iters: usize, mut f: impl FnMut()) {
+    assert!(iters > 0, "need at least one timed iteration");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed());
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / iters as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!("{name:<40} iters {iters:>3}  min {min:>10.2?}  mean {mean:>10.2?}  max {max:>10.2?}");
+}
+
+/// [`bench_n`] with the default 2 warmup + 10 timed iterations.
+pub fn bench(name: &str, f: impl FnMut()) {
+    bench_n(name, 2, 10, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_expected_iteration_count() {
+        let mut count = 0u32;
+        bench_n("noop", 1, 3, || count += 1);
+        assert_eq!(count, 4, "1 warmup + 3 timed");
+    }
+}

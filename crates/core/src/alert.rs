@@ -130,7 +130,11 @@ mod tests {
             AlertNode::new(consts.p_max(), None, n, consts, 100)
         });
         eng.run_rounds(500);
-        assert_eq!(eng.trace().total_transmissions(), 0, "alert protocol must idle silently");
+        assert_eq!(
+            eng.trace().total_transmissions(),
+            0,
+            "alert protocol must idle silently"
+        );
         assert!(eng.nodes().iter().all(|nd| !nd.alarmed()));
     }
 

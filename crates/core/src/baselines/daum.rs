@@ -51,7 +51,10 @@ impl DaumBroadcastNode {
         granularity: f64,
         alpha: f64,
     ) -> Self {
-        assert!(granularity >= 1.0, "granularity must be >= 1, got {granularity}");
+        assert!(
+            granularity >= 1.0,
+            "granularity must be >= 1, got {granularity}"
+        );
         assert!(alpha.is_finite() && alpha > 0.0, "bad alpha {alpha}");
         let from_rs = (2.0 * granularity.powf(alpha)).log2().ceil().max(1.0) as u32;
         let from_n = crate::constants::log2n(n) as u32;
@@ -131,9 +134,7 @@ mod tests {
         let pts: Vec<Point2> = (0..n).map(|i| Point2::new(i as f64 * 0.45, 0.0)).collect();
         let net = Network::new(pts, SinrParams::default_plane()).unwrap();
         let rs = net.granularity().unwrap();
-        let mut eng = Engine::new(net, 3, |id| {
-            DaumBroadcastNode::new(id, 0, 9, n, rs, 3.0)
-        });
+        let mut eng = Engine::new(net, 3, |id| DaumBroadcastNode::new(id, 0, 9, n, rs, 3.0));
         let res = eng.run_until_all_done(100_000);
         assert!(res.completed);
         assert!(eng.nodes().iter().all(DaumBroadcastNode::informed));

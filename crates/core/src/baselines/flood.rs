@@ -24,7 +24,10 @@ impl FloodNode {
     ///
     /// Panics unless `0 < p <= 1`.
     pub fn new(id: usize, source: usize, payload: u64, p: f64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "flood probability must be in (0,1], got {p}");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "flood probability must be in (0,1], got {p}"
+        );
         FloodNode {
             payload: (id == source).then_some(payload),
             informed_at: (id == source).then_some(0),

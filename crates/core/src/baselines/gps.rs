@@ -66,6 +66,18 @@ pub fn run_gps_oracle_broadcast<P: MetricPoint>(
     max_rounds: u64,
 ) -> Result<BroadcastReport, NetworkError> {
     let net = Network::new(points, *params)?;
+    Ok(run_gps_oracle_on(&net, source, seed, max_rounds))
+}
+
+/// The oracle TDMA loop over an already-constructed network (shared by the
+/// public runner and the `sim` dispatch).
+pub(crate) fn run_gps_oracle_on<P: MetricPoint>(
+    net: &Network<P>,
+    source: usize,
+    seed: u64,
+    max_rounds: u64,
+) -> BroadcastReport {
+    let params = net.params();
     let n = net.len();
     let side = cell_side(params);
     let k = class_period(params) as i64;
@@ -104,21 +116,21 @@ pub fn run_gps_oracle_broadcast<P: MetricPoint>(
         }
         total_tx += tx_buf.len() as u64;
         let outcome = net.resolve(&tx_buf);
-        for v in 0..n {
-            if !informed[v] && outcome.decoded_from[v].is_some() {
-                informed[v] = true;
+        for (inf, decoded) in informed.iter_mut().zip(&outcome.decoded_from) {
+            if !*inf && decoded.is_some() {
+                *inf = true;
                 informed_count += 1;
             }
         }
         rounds += 1;
     }
-    Ok(BroadcastReport {
+    BroadcastReport {
         n,
         rounds,
         completed: informed_count == n,
         informed: informed_count,
         total_transmissions: total_tx,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -34,7 +34,10 @@ pub struct LocalBroadcastNode {
 impl LocalBroadcastNode {
     /// Creates the node; probabilities adapt within `[1/(2n), p_cap]`.
     pub fn new(id: usize, source: usize, payload: u64, n: usize, p_cap: f64) -> Self {
-        assert!(p_cap > 0.0 && p_cap <= 1.0, "p_cap must be in (0,1], got {p_cap}");
+        assert!(
+            p_cap > 0.0 && p_cap <= 1.0,
+            "p_cap must be in (0,1], got {p_cap}"
+        );
         let p_floor = 1.0 / (2.0 * n.max(1) as f64);
         LocalBroadcastNode {
             payload: (id == source).then_some(payload),
@@ -129,11 +132,20 @@ mod tests {
         let p0 = node.current_p();
         let mut rng = sinr_runtime::node_rng(0, 0, 0);
         for r in 0..200 {
-            let mut ctx = NodeCtx { id: 0, round: r, n, rng: &mut rng };
+            let mut ctx = NodeCtx {
+                id: 0,
+                round: r,
+                n,
+                rng: &mut rng,
+            };
             let _ = node.poll_transmit(&mut ctx);
             node.on_round_end(&mut ctx, false, None);
         }
-        assert!(node.current_p() > p0 * 8.0, "p did not grow: {}", node.current_p());
+        assert!(
+            node.current_p() > p0 * 8.0,
+            "p did not grow: {}",
+            node.current_p()
+        );
     }
 
     #[test]
@@ -143,7 +155,12 @@ mod tests {
         let p0 = node.current_p();
         let mut rng = sinr_runtime::node_rng(0, 1, 0);
         for r in 0..100 {
-            let mut ctx = NodeCtx { id: 1, round: r, n, rng: &mut rng };
+            let mut ctx = NodeCtx {
+                id: 1,
+                round: r,
+                n,
+                rng: &mut rng,
+            };
             assert!(node.poll_transmit(&mut ctx).is_none());
             node.on_round_end(&mut ctx, false, None);
         }

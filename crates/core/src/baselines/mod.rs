@@ -9,11 +9,11 @@
 //!   strongest form (the yardstick for the paper's title question).
 
 pub mod daum;
-pub mod gps;
 pub mod flood;
+pub mod gps;
 pub mod local;
 
 pub use daum::DaumBroadcastNode;
-pub use gps::run_gps_oracle_broadcast;
 pub use flood::FloodNode;
+pub use gps::run_gps_oracle_broadcast;
 pub use local::LocalBroadcastNode;

@@ -216,16 +216,38 @@ mod tests {
         assert!(!node.informed());
         // Inject a reception mid-phase (round 10, not a boundary).
         let mut rng = sinr_runtime::node_rng(0, 1, 0);
-        let mut ctx = NodeCtx { id: 1, round: 10, n, rng: &mut rng };
-        node.on_round_end(&mut ctx, false, Some(&NMsg { payload: 5, round: 10 }));
+        let mut ctx = NodeCtx {
+            id: 1,
+            round: 10,
+            n,
+            rng: &mut rng,
+        };
+        node.on_round_end(
+            &mut ctx,
+            false,
+            Some(&NMsg {
+                payload: 5,
+                round: 10,
+            }),
+        );
         assert!(node.informed());
         // Next round (11): still not at a boundary, must stay silent.
-        let mut ctx = NodeCtx { id: 1, round: 11, n, rng: &mut rng };
+        let mut ctx = NodeCtx {
+            id: 1,
+            round: 11,
+            n,
+            rng: &mut rng,
+        };
         assert!(node.poll_transmit(&mut ctx).is_none());
         assert!(!node.active);
         // At the next phase boundary it activates.
         let boundary = consts.phase_rounds(n);
-        let mut ctx = NodeCtx { id: 1, round: boundary, n, rng: &mut rng };
+        let mut ctx = NodeCtx {
+            id: 1,
+            round: boundary,
+            n,
+            rng: &mut rng,
+        };
         let _ = node.poll_transmit(&mut ctx);
         assert!(node.active);
     }

@@ -66,21 +66,24 @@ impl Protocol for SBroadcastNode {
         if ctx.round < self.coloring_len {
             // Preprocessing: everyone runs StabilizeProbability. The source
             // attaches its payload so early receptions already inform.
-            return self
-                .machine
-                .poll_transmit(ctx.rng)
-                .then(|| SMsg { payload: self.payload });
+            return self.machine.poll_transmit(ctx.rng).then_some(SMsg {
+                payload: self.payload,
+            });
         }
         if ctx.round == self.coloring_len {
             // The source announces deterministically (paper: "the source
             // node transmits the message deterministically").
-            return (self.id == self.source).then(|| SMsg { payload: self.payload });
+            return (self.id == self.source).then_some(SMsg {
+                payload: self.payload,
+            });
         }
         // Relay: informed stations transmit with the Fact 11 probability.
         if self.payload.is_some() {
             let color = self.machine.color().unwrap_or(0.0);
             let p = self.consts.dissemination_prob(color, self.n);
-            return bernoulli(ctx.rng, p).then(|| SMsg { payload: self.payload });
+            return bernoulli(ctx.rng, p).then_some(SMsg {
+                payload: self.payload,
+            });
         }
         None
     }

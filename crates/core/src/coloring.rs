@@ -342,7 +342,10 @@ mod tests {
                 // must be p_start · 2^i for integer i
                 let ratio = color / c.p_start(n);
                 let log = ratio.log2();
-                assert!((log - log.round()).abs() < 1e-9, "color {color} off-lattice");
+                assert!(
+                    (log - log.round()).abs() < 1e-9,
+                    "color {color} off-lattice"
+                );
             }
         }
     }

@@ -248,9 +248,6 @@ mod tests {
     fn schedule_length_formula() {
         let consts = fast_consts();
         let node = ConsensusNode::new(1, 4, 16, consts, 100);
-        assert_eq!(
-            node.total_rounds(),
-            consts.coloring_rounds(16) + 4 * 100
-        );
+        assert_eq!(node.total_rounds(), consts.coloring_rounds(16) + 4 * 100);
     }
 }

@@ -120,12 +120,7 @@ impl Constants {
     /// * `C₂ = min(c₃/(8c₂), C₁·c_d/2) / c_ε` *scaled by* `c_ε` is what the
     ///   lemma tracks; we store the unscaled `C₂`.
     pub fn paper(params: &SinrParams) -> Self {
-        Self::paper_inner(
-            params.alpha(),
-            params.beta(),
-            params.gamma(),
-            params.eps(),
-        )
+        Self::paper_inner(params.alpha(), params.beta(), params.gamma(), params.eps())
     }
 
     /// The paper's constants under **parameter uncertainty** (Section 1.1):
@@ -157,7 +152,9 @@ impl Constants {
         let z: f64 = 6.0;
         let a: f64 = 2.0;
         // ζ(α−γ+1) partial sum; converges since α > γ.
-        let zeta: f64 = (1..10_000).map(|i| (i as f64).powf(gamma - alpha - 1.0)).sum();
+        let zeta: f64 = (1..10_000)
+            .map(|i| (i as f64).powf(gamma - alpha - 1.0))
+            .sum();
         let q = 1.0 / (z.powf(gamma) * 2f64.powf(alpha + 4.0) * beta * zeta);
         let chi_16_1 = sinr_geometry::covering_number(1.0, 1.0 / 6.0, gamma) as f64;
         let c1_cap = 1.0; // any C₁ with the bounded-density property; take 1.
@@ -321,7 +318,10 @@ mod tests {
         let r = |n: usize| c.coloring_rounds(n) as f64 / (log2n(n) * log2n(n)) as f64;
         let r256 = r(256);
         let r4096 = r(4096);
-        assert!(r4096 / r256 < 4.0, "rounds/log²n grew too fast: {r256} -> {r4096}");
+        assert!(
+            r4096 / r256 < 4.0,
+            "rounds/log²n grew too fast: {r256} -> {r4096}"
+        );
     }
 
     #[test]
@@ -358,7 +358,10 @@ mod tests {
         let safe = Constants::paper_from_bounds(&bounds, params.eps(), params.gamma());
         assert!(safe.c_eps >= exact.c_eps, "scale-up must not weaken");
         assert!(safe.c_prime >= exact.c_prime);
-        assert!(safe.c2_mass <= exact.c2_mass, "mass floor must not strengthen");
+        assert!(
+            safe.c2_mass <= exact.c2_mass,
+            "mass floor must not strengthen"
+        );
         assert!(safe.p_max <= exact.p_max);
     }
 

@@ -77,10 +77,10 @@ impl Protocol for LeaderNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::Rng;
     use sinr_geometry::Point2;
     use sinr_phy::{Network, SinrParams};
     use sinr_runtime::{node_rng, Engine};
-    use rand::Rng;
 
     fn fast_consts() -> Constants {
         Constants {
@@ -122,7 +122,11 @@ mod tests {
         assert_eq!(leaders.iter().filter(|&&l| l).count(), 1, "{leaders:?}");
         // The leader's ID is the minimum.
         let min_id = eng.nodes().iter().map(LeaderNode::id_value).min().unwrap();
-        let winner = eng.nodes().iter().position(|nd| nd.is_leader() == Some(true)).unwrap();
+        let winner = eng
+            .nodes()
+            .iter()
+            .position(|nd| nd.is_leader() == Some(true))
+            .unwrap();
         assert_eq!(eng.nodes()[winner].id_value(), min_id);
     }
 

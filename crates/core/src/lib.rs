@@ -19,21 +19,34 @@
 //! * [`baselines`] — Daum et al.-style decay broadcast, fixed-probability
 //!   flooding, and adaptive local-broadcast flooding;
 //! * [`verify`] — measurement of the Lemma 1/Lemma 2 invariants;
-//! * [`run`] — one-call runners returning experiment-ready reports.
+//! * [`sim`] — the [`sim::Scenario`] builder: declarative topologies,
+//!   the protocol registry, unified [`sim::RunReport`]s and parallel
+//!   seed sweeps;
+//! * [`run`] — the legacy one-call runners, now deprecated thin wrappers
+//!   over [`sim`].
 //!
 //! # Quickstart
 //!
-//! ```
-//! use sinr_core::{run::run_s_broadcast, Constants};
-//! use sinr_geometry::Point2;
-//! use sinr_phy::SinrParams;
+//! Build a [`sim::Scenario`] from a topology and a protocol, then run one
+//! seed or sweep many in parallel — every run is a pure function of its
+//! seed:
 //!
-//! let params = SinrParams::default_plane();
-//! let consts = Constants::tuned();
+//! ```
+//! use sinr_core::sim::{ProtocolSpec, Scenario};
+//! use sinr_geometry::Point2;
+//!
 //! let points: Vec<Point2> = (0..6).map(|i| Point2::new(i as f64 * 0.45, 0.0)).collect();
-//! let report = run_s_broadcast(points, &params, consts, 0, 42, 1_000_000)?;
+//! let sim = Scenario::new(points)
+//!     .protocol(ProtocolSpec::SBroadcast { source: 0 })
+//!     .budget(1_000_000)
+//!     .build()?;
+//!
+//! let report = sim.run(42)?;
 //! assert!(report.completed);
-//! # Ok::<(), sinr_phy::NetworkError>(())
+//!
+//! let sweep = sim.sweep(&[1, 2, 3, 4])?; // parallel, deterministic per seed
+//! assert_eq!(sweep.completed(), 4);
+//! # Ok::<(), sinr_core::sim::SimError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -48,6 +61,7 @@ pub mod constants;
 pub mod leader;
 pub mod localcast;
 pub mod run;
+pub mod sim;
 pub mod stabilize;
 pub mod verify;
 pub mod wakeup;
@@ -55,4 +69,6 @@ pub mod wakeup;
 pub use coloring::ColoringMachine;
 pub use constants::{log2n, Constants};
 pub use stabilize::{run_stabilize, run_stabilize_on, ColoringRun, StabilizeProtocol};
-pub use verify::{invariant_report, lemma1_max_ball_mass, lemma2_min_close_mass, Coloring, InvariantReport};
+pub use verify::{
+    invariant_report, lemma1_max_ball_mass, lemma2_min_close_mass, Coloring, InvariantReport,
+};

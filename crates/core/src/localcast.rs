@@ -174,7 +174,7 @@ mod tests {
         let params = SinrParams::default_plane();
         let pts: Vec<Point2> = (0..8)
             .map(|i| {
-                let a = i as f64 * 0.7853;
+                let a = i as f64 * std::f64::consts::FRAC_PI_4;
                 Point2::new(0.15 * a.cos(), 0.15 * a.sin())
             })
             .collect();

@@ -1,18 +1,31 @@
-//! High-level runners: build a network, drive a protocol, return a report.
+//! Legacy high-level runners, now thin **deprecated** wrappers over the
+//! [`crate::sim`] builder API.
 //!
-//! These are the entry points used by examples, integration tests and the
-//! experiment harness. All runners are deterministic in `seed`.
+//! Every `run_*` function delegates to an equivalent [`Scenario`] and
+//! reproduces its historical output field-for-field (pinned by
+//! `tests/scenario_golden.rs`). New code should build scenarios directly —
+//! they compose (topology specs, interference modes, observers, traces)
+//! and sweep seeds in parallel:
+//!
+//! ```
+//! use sinr_core::sim::{ProtocolSpec, Scenario};
+//! use sinr_geometry::Point2;
+//!
+//! let points: Vec<Point2> = (0..5).map(|i| Point2::new(i as f64 * 0.45, 0.0)).collect();
+//! let sim = Scenario::new(points)
+//!     .protocol(ProtocolSpec::NoSBroadcast { source: 0 })
+//!     .budget(100_000)
+//!     .build()?;
+//! assert!(sim.run(1)?.completed);
+//! # Ok::<(), sinr_core::sim::SimError>(())
+//! ```
 
 use sinr_geometry::MetricPoint;
-use sinr_phy::{Network, NetworkError, SinrParams};
-use sinr_runtime::{Engine, Protocol, WakeSchedule};
+use sinr_phy::{NetworkError, SinrParams};
+use sinr_runtime::WakeSchedule;
 
-use crate::baselines::{DaumBroadcastNode, FloodNode, LocalBroadcastNode};
-use crate::broadcast::{NoSBroadcastNode, SBroadcastNode};
-use crate::consensus::ConsensusNode;
 use crate::constants::Constants;
-use crate::leader::LeaderNode;
-use crate::wakeup::AdhocWakeupNode;
+use crate::sim::{Outcome, ProtocolSpec, RunReport, Scenario, SimError};
 
 /// Outcome of a broadcast-style run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,27 +42,43 @@ pub struct BroadcastReport {
     pub total_transmissions: u64,
 }
 
-fn drive_broadcast<P, Pr>(
-    net: Network<P>,
+impl From<&RunReport> for BroadcastReport {
+    fn from(r: &RunReport) -> Self {
+        BroadcastReport {
+            n: r.n,
+            rounds: r.rounds,
+            completed: r.completed,
+            informed: r.informed,
+            total_transmissions: r.total_transmissions,
+        }
+    }
+}
+
+/// Runs an explicit-topology scenario and converts sim errors back to the
+/// legacy `Result<_, NetworkError>` surface (spec violations panic, as the
+/// legacy assertions did).
+fn run_legacy<P: MetricPoint>(
+    points: Vec<P>,
+    params: &SinrParams,
+    consts: Constants,
+    spec: ProtocolSpec,
     seed: u64,
     max_rounds: u64,
-    make: impl FnMut(usize) -> Pr,
-    informed: impl Fn(&Pr) -> bool,
-) -> BroadcastReport
-where
-    P: MetricPoint,
-    Pr: Protocol,
-{
-    let n = net.len();
-    let mut eng = Engine::new(net, seed, make);
-    let res = eng.run_until(max_rounds, |e| e.nodes().iter().all(&informed));
-    let count = eng.nodes().iter().filter(|p| informed(p)).count();
-    BroadcastReport {
-        n,
-        rounds: res.rounds,
-        completed: res.completed,
-        informed: count,
-        total_transmissions: eng.trace().total_transmissions(),
+    mode: Option<sinr_phy::InterferenceMode>,
+) -> Result<RunReport, NetworkError> {
+    let mut scenario = Scenario::new(points)
+        .params(*params)
+        .constants(consts)
+        .protocol(spec)
+        .budget(max_rounds);
+    if let Some(m) = mode {
+        scenario = scenario.interference_mode(m);
+    }
+    let sim = scenario.build().expect("protocol and budget set");
+    match sim.run(seed) {
+        Ok(report) => Ok(report),
+        Err(SimError::Network(e)) => Err(e),
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -58,6 +87,10 @@ where
 /// # Errors
 ///
 /// Propagates network-construction failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Scenario::new(points).protocol(ProtocolSpec::NoSBroadcast { source }).constants(consts).params(params).budget(max_rounds)"
+)]
 pub fn run_nos_broadcast<P: MetricPoint>(
     points: Vec<P>,
     params: &SinrParams,
@@ -66,15 +99,16 @@ pub fn run_nos_broadcast<P: MetricPoint>(
     seed: u64,
     max_rounds: u64,
 ) -> Result<BroadcastReport, NetworkError> {
-    let net = Network::new(points, *params)?;
-    let n = net.len();
-    Ok(drive_broadcast(
-        net,
+    let r = run_legacy(
+        points,
+        params,
+        consts,
+        ProtocolSpec::NoSBroadcast { source },
         seed,
         max_rounds,
-        |id| NoSBroadcastNode::new(id, source, 1, n, consts),
-        NoSBroadcastNode::informed,
-    ))
+        None,
+    )?;
+    Ok(BroadcastReport::from(&r))
 }
 
 /// Runs `SBroadcast` (Theorem 2) from `source`.
@@ -82,6 +116,10 @@ pub fn run_nos_broadcast<P: MetricPoint>(
 /// # Errors
 ///
 /// Propagates network-construction failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Scenario::new(points).protocol(ProtocolSpec::SBroadcast { source }).constants(consts).params(params).budget(max_rounds)"
+)]
 pub fn run_s_broadcast<P: MetricPoint>(
     points: Vec<P>,
     params: &SinrParams,
@@ -90,15 +128,16 @@ pub fn run_s_broadcast<P: MetricPoint>(
     seed: u64,
     max_rounds: u64,
 ) -> Result<BroadcastReport, NetworkError> {
-    let net = Network::new(points, *params)?;
-    let n = net.len();
-    Ok(drive_broadcast(
-        net,
+    let r = run_legacy(
+        points,
+        params,
+        consts,
+        ProtocolSpec::SBroadcast { source },
         seed,
         max_rounds,
-        |id| SBroadcastNode::new(id, source, 1, n, consts),
-        SBroadcastNode::informed,
-    ))
+        None,
+    )?;
+    Ok(BroadcastReport::from(&r))
 }
 
 /// Runs the Daum-style decay baseline; `granularity` defaults to the
@@ -107,6 +146,10 @@ pub fn run_s_broadcast<P: MetricPoint>(
 /// # Errors
 ///
 /// Propagates network-construction failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Scenario::new(points).protocol(ProtocolSpec::DaumBroadcast { source, granularity }).params(params).budget(max_rounds)"
+)]
 pub fn run_daum_broadcast<P: MetricPoint>(
     points: Vec<P>,
     params: &SinrParams,
@@ -115,17 +158,19 @@ pub fn run_daum_broadcast<P: MetricPoint>(
     seed: u64,
     max_rounds: u64,
 ) -> Result<BroadcastReport, NetworkError> {
-    let net = Network::new(points, *params)?;
-    let n = net.len();
-    let rs = granularity.or_else(|| net.granularity()).unwrap_or(1.0);
-    let alpha = params.alpha();
-    Ok(drive_broadcast(
-        net,
+    let r = run_legacy(
+        points,
+        params,
+        Constants::tuned(),
+        ProtocolSpec::DaumBroadcast {
+            source,
+            granularity,
+        },
         seed,
         max_rounds,
-        |id| DaumBroadcastNode::new(id, source, 1, n, rs, alpha),
-        DaumBroadcastNode::informed,
-    ))
+        None,
+    )?;
+    Ok(BroadcastReport::from(&r))
 }
 
 /// Runs fixed-probability flooding with probability `p`.
@@ -133,6 +178,10 @@ pub fn run_daum_broadcast<P: MetricPoint>(
 /// # Errors
 ///
 /// Propagates network-construction failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Scenario::new(points).protocol(ProtocolSpec::FloodBroadcast { source, p }).params(params).budget(max_rounds)"
+)]
 pub fn run_flood_broadcast<P: MetricPoint>(
     points: Vec<P>,
     params: &SinrParams,
@@ -141,14 +190,16 @@ pub fn run_flood_broadcast<P: MetricPoint>(
     seed: u64,
     max_rounds: u64,
 ) -> Result<BroadcastReport, NetworkError> {
-    let net = Network::new(points, *params)?;
-    Ok(drive_broadcast(
-        net,
+    let r = run_legacy(
+        points,
+        params,
+        Constants::tuned(),
+        ProtocolSpec::FloodBroadcast { source, p },
         seed,
         max_rounds,
-        |id| FloodNode::new(id, source, 1, p),
-        FloodNode::informed,
-    ))
+        None,
+    )?;
+    Ok(BroadcastReport::from(&r))
 }
 
 /// Runs the adaptive local-broadcast-style baseline.
@@ -156,6 +207,10 @@ pub fn run_flood_broadcast<P: MetricPoint>(
 /// # Errors
 ///
 /// Propagates network-construction failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Scenario::new(points).protocol(ProtocolSpec::LocalBroadcast { source }).params(params).budget(max_rounds)"
+)]
 pub fn run_local_broadcast<P: MetricPoint>(
     points: Vec<P>,
     params: &SinrParams,
@@ -163,15 +218,16 @@ pub fn run_local_broadcast<P: MetricPoint>(
     seed: u64,
     max_rounds: u64,
 ) -> Result<BroadcastReport, NetworkError> {
-    let net = Network::new(points, *params)?;
-    let n = net.len();
-    Ok(drive_broadcast(
-        net,
+    let r = run_legacy(
+        points,
+        params,
+        Constants::tuned(),
+        ProtocolSpec::LocalBroadcast { source },
         seed,
         max_rounds,
-        |id| LocalBroadcastNode::new(id, source, 1, n, 0.5),
-        LocalBroadcastNode::informed,
-    ))
+        None,
+    )?;
+    Ok(BroadcastReport::from(&r))
 }
 
 /// As [`run_s_broadcast`], with an explicit interference-evaluation mode
@@ -181,6 +237,10 @@ pub fn run_local_broadcast<P: MetricPoint>(
 /// # Errors
 ///
 /// Propagates network-construction failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Scenario::new(points).protocol(ProtocolSpec::SBroadcast { source }).interference_mode(mode).budget(max_rounds)"
+)]
 pub fn run_s_broadcast_in_mode<P: MetricPoint>(
     points: Vec<P>,
     params: &SinrParams,
@@ -190,15 +250,16 @@ pub fn run_s_broadcast_in_mode<P: MetricPoint>(
     seed: u64,
     max_rounds: u64,
 ) -> Result<BroadcastReport, NetworkError> {
-    let net = Network::new(points, *params)?.with_interference_mode(mode);
-    let n = net.len();
-    Ok(drive_broadcast(
-        net,
+    let r = run_legacy(
+        points,
+        params,
+        consts,
+        ProtocolSpec::SBroadcast { source },
         seed,
         max_rounds,
-        |id| SBroadcastNode::new(id, source, 1, n, consts),
-        SBroadcastNode::informed,
-    ))
+        Some(mode),
+    )?;
+    Ok(BroadcastReport::from(&r))
 }
 
 /// As [`run_s_broadcast`], but the stations are told the population
@@ -213,6 +274,10 @@ pub fn run_s_broadcast_in_mode<P: MetricPoint>(
 /// # Panics
 ///
 /// Panics if `nu` is below the actual station count.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Scenario::new(points).protocol(ProtocolSpec::SBroadcastWithEstimate { source, nu }).budget(max_rounds)"
+)]
 pub fn run_s_broadcast_with_estimate<P: MetricPoint>(
     points: Vec<P>,
     params: &SinrParams,
@@ -222,15 +287,21 @@ pub fn run_s_broadcast_with_estimate<P: MetricPoint>(
     seed: u64,
     max_rounds: u64,
 ) -> Result<BroadcastReport, NetworkError> {
-    let net = Network::new(points, *params)?;
-    assert!(nu >= net.len(), "estimate nu = {nu} below n = {}", net.len());
-    Ok(drive_broadcast(
-        net,
+    assert!(
+        nu >= points.len(),
+        "estimate nu = {nu} below n = {}",
+        points.len()
+    );
+    let r = run_legacy(
+        points,
+        params,
+        consts,
+        ProtocolSpec::SBroadcastWithEstimate { source, nu },
         seed,
         max_rounds,
-        |id| SBroadcastNode::new(id, source, 1, nu, consts),
-        SBroadcastNode::informed,
-    ))
+        None,
+    )?;
+    Ok(BroadcastReport::from(&r))
 }
 
 /// As [`run_nos_broadcast`], with a population estimate `nu ≥ n`
@@ -243,6 +314,10 @@ pub fn run_s_broadcast_with_estimate<P: MetricPoint>(
 /// # Panics
 ///
 /// Panics if `nu` is below the actual station count.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Scenario::new(points).protocol(ProtocolSpec::NoSBroadcastWithEstimate { source, nu }).budget(max_rounds)"
+)]
 pub fn run_nos_broadcast_with_estimate<P: MetricPoint>(
     points: Vec<P>,
     params: &SinrParams,
@@ -252,15 +327,21 @@ pub fn run_nos_broadcast_with_estimate<P: MetricPoint>(
     seed: u64,
     max_rounds: u64,
 ) -> Result<BroadcastReport, NetworkError> {
-    let net = Network::new(points, *params)?;
-    assert!(nu >= net.len(), "estimate nu = {nu} below n = {}", net.len());
-    Ok(drive_broadcast(
-        net,
+    assert!(
+        nu >= points.len(),
+        "estimate nu = {nu} below n = {}",
+        points.len()
+    );
+    let r = run_legacy(
+        points,
+        params,
+        consts,
+        ProtocolSpec::NoSBroadcastWithEstimate { source, nu },
         seed,
         max_rounds,
-        |id| NoSBroadcastNode::new(id, source, 1, nu, consts),
-        NoSBroadcastNode::informed,
-    ))
+        None,
+    )?;
+    Ok(BroadcastReport::from(&r))
 }
 
 /// Outcome of an ad hoc wake-up run.
@@ -286,6 +367,10 @@ pub struct WakeupReport {
 /// # Panics
 ///
 /// Panics if the schedule wakes nobody (running time would be undefined).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Scenario::new(points).protocol(ProtocolSpec::AdhocWakeup { schedule }).budget(max_rounds)"
+)]
 pub fn run_adhoc_wakeup<P: MetricPoint>(
     points: Vec<P>,
     params: &SinrParams,
@@ -294,19 +379,32 @@ pub fn run_adhoc_wakeup<P: MetricPoint>(
     seed: u64,
     max_rounds: u64,
 ) -> Result<WakeupReport, NetworkError> {
-    let net = Network::new(points, *params)?;
-    let n = net.len();
-    let first_wake = schedule
-        .first_wake(n)
+    schedule
+        .first_wake(points.len())
         .expect("wake schedule must wake at least one station");
-    let mut eng = Engine::new(net, seed, |id| AdhocWakeupNode::new(id, schedule, n, consts));
-    let res = eng.run_until(max_rounds, |e| e.nodes().iter().all(AdhocWakeupNode::awake));
-    Ok(WakeupReport {
-        n,
-        first_wake,
-        rounds_from_first_wake: res.rounds.saturating_sub(first_wake),
-        completed: res.completed,
-    })
+    let r = run_legacy(
+        points,
+        params,
+        consts,
+        ProtocolSpec::AdhocWakeup {
+            schedule: schedule.clone(),
+        },
+        seed,
+        max_rounds,
+        None,
+    )?;
+    match r.outcome {
+        Outcome::Wakeup {
+            first_wake,
+            rounds_from_first_wake,
+        } => Ok(WakeupReport {
+            n: r.n,
+            first_wake,
+            rounds_from_first_wake,
+            completed: r.completed,
+        }),
+        ref other => unreachable!("wake-up outcome expected, got {other:?}"),
+    }
 }
 
 /// Runs wake-up over an **established coloring**: `coloring` gives each
@@ -321,6 +419,10 @@ pub fn run_adhoc_wakeup<P: MetricPoint>(
 /// # Panics
 ///
 /// Panics if the vector lengths disagree with the network size.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Scenario::new(points).protocol(ProtocolSpec::EstablishedWakeup { coloring, initiators }).budget(max_rounds)"
+)]
 pub fn run_established_wakeup<P: MetricPoint>(
     points: Vec<P>,
     params: &SinrParams,
@@ -330,24 +432,22 @@ pub fn run_established_wakeup<P: MetricPoint>(
     seed: u64,
     max_rounds: u64,
 ) -> Result<BroadcastReport, NetworkError> {
-    let net = Network::new(points, *params)?;
-    let n = net.len();
+    let n = points.len();
     assert_eq!(coloring.len(), n, "coloring size mismatch");
     assert_eq!(initiators.len(), n, "initiator flags size mismatch");
-    Ok(drive_broadcast(
-        net,
+    let r = run_legacy(
+        points,
+        params,
+        consts,
+        ProtocolSpec::EstablishedWakeup {
+            coloring: coloring.clone(),
+            initiators: initiators.to_vec(),
+        },
         seed,
         max_rounds,
-        |id| {
-            crate::wakeup::EstablishedWakeupNode::new(
-                coloring.colors[id],
-                initiators[id],
-                n,
-                consts,
-            )
-        },
-        |nd| nd.signalled,
-    ))
+        None,
+    )?;
+    Ok(BroadcastReport::from(&r))
 }
 
 /// Outcome of a consensus run.
@@ -369,6 +469,10 @@ pub struct ConsensusReport {
 /// # Errors
 ///
 /// Propagates network-construction failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Scenario::new(points).protocol(ProtocolSpec::Consensus { values, bits, d_bound })"
+)]
 pub fn run_consensus<P: MetricPoint>(
     points: Vec<P>,
     params: &SinrParams,
@@ -379,24 +483,33 @@ pub fn run_consensus<P: MetricPoint>(
     seed: u64,
 ) -> Result<ConsensusReport, NetworkError> {
     assert_eq!(points.len(), values.len(), "one value per station");
-    let net = Network::new(points, *params)?;
-    let n = net.len();
-    let window = consts.wakeup_window(n, d_bound);
-    let mut eng = Engine::new(net, seed, |id| {
-        ConsensusNode::new(values[id], bits, n, consts, window)
-    });
-    let total = consts.coloring_rounds(n) + bits as u64 * window;
-    eng.run_rounds(total);
-    let decided: Vec<Option<u64>> = eng.nodes().iter().map(ConsensusNode::decided).collect();
-    let agreement = decided.windows(2).all(|w| w[0] == w[1]) && decided[0].is_some();
-    let min = values.iter().copied().min().unwrap_or(0);
-    let valid = agreement && decided[0] == Some(min);
-    Ok(ConsensusReport {
-        decided,
-        agreement,
-        valid,
-        rounds: total,
-    })
+    let scenario = Scenario::new(points)
+        .params(*params)
+        .constants(consts)
+        .protocol(ProtocolSpec::Consensus {
+            values: values.to_vec(),
+            bits,
+            d_bound,
+        });
+    let sim = scenario.build().expect("protocol set");
+    let r = match sim.run(seed) {
+        Ok(report) => report,
+        Err(SimError::Network(e)) => return Err(e),
+        Err(e) => panic!("{e}"),
+    };
+    match r.outcome {
+        Outcome::Consensus {
+            decided,
+            agreement,
+            valid,
+        } => Ok(ConsensusReport {
+            decided,
+            agreement,
+            valid,
+            rounds: r.rounds,
+        }),
+        ref other => unreachable!("consensus outcome expected, got {other:?}"),
+    }
 }
 
 /// Outcome of a leader election.
@@ -415,6 +528,10 @@ pub struct LeaderReport {
 /// # Errors
 ///
 /// Propagates network-construction failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Scenario::new(points).protocol(ProtocolSpec::LeaderElection { d_bound })"
+)]
 pub fn run_leader_election<P: MetricPoint>(
     points: Vec<P>,
     params: &SinrParams,
@@ -422,34 +539,28 @@ pub fn run_leader_election<P: MetricPoint>(
     d_bound: u32,
     seed: u64,
 ) -> Result<LeaderReport, NetworkError> {
-    use rand::Rng;
-    let net = Network::new(points, *params)?;
-    let n = net.len();
-    let bits = LeaderNode::id_bits(n);
-    let window = consts.wakeup_window(n, d_bound);
-    let mut eng = Engine::new(net, seed, |id| {
-        // Stream 1 draws IDs; stream 0 drives the protocol inside Engine.
-        let mut rng = sinr_runtime::node_rng(seed, id as u64, 1);
-        let id_value = rng.gen_range(1..(1u64 << bits));
-        LeaderNode::new(id_value, n, consts, window)
-    });
-    let total = consts.coloring_rounds(n) + bits as u64 * window;
-    eng.run_rounds(total);
-    let leaders: Vec<usize> = eng
-        .nodes()
-        .iter()
-        .enumerate()
-        .filter(|(_, nd)| nd.is_leader() == Some(true))
-        .map(|(i, _)| i)
-        .collect();
-    Ok(LeaderReport {
-        unique: leaders.len() == 1,
-        leaders,
-        rounds: total,
-    })
+    let scenario = Scenario::new(points)
+        .params(*params)
+        .constants(consts)
+        .protocol(ProtocolSpec::LeaderElection { d_bound });
+    let sim = scenario.build().expect("protocol set");
+    let r = match sim.run(seed) {
+        Ok(report) => report,
+        Err(SimError::Network(e)) => return Err(e),
+        Err(e) => panic!("{e}"),
+    };
+    match r.outcome {
+        Outcome::Leader { leaders, unique } => Ok(LeaderReport {
+            leaders,
+            unique,
+            rounds: r.rounds,
+        }),
+        ref other => unreachable!("leader outcome expected, got {other:?}"),
+    }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use sinr_geometry::Point2;
@@ -472,8 +583,8 @@ mod tests {
     fn nos_runner_completes() {
         let params = SinrParams::default_plane();
         let consts = fast_consts();
-        let r = run_nos_broadcast(path(5), &params, consts, 0, 1, consts.phase_rounds(5) * 40)
-            .unwrap();
+        let r =
+            run_nos_broadcast(path(5), &params, consts, 0, 1, consts.phase_rounds(5) * 40).unwrap();
         assert!(r.completed);
         assert_eq!(r.informed, 5);
         assert!(r.total_transmissions > 0);
@@ -490,15 +601,21 @@ mod tests {
     #[test]
     fn baseline_runners_complete() {
         let params = SinrParams::default_plane();
-        assert!(run_daum_broadcast(path(4), &params, 0, None, 3, 100_000)
-            .unwrap()
-            .completed);
-        assert!(run_flood_broadcast(path(4), &params, 0, 0.3, 3, 100_000)
-            .unwrap()
-            .completed);
-        assert!(run_local_broadcast(path(4), &params, 0, 3, 100_000)
-            .unwrap()
-            .completed);
+        assert!(
+            run_daum_broadcast(path(4), &params, 0, None, 3, 100_000)
+                .unwrap()
+                .completed
+        );
+        assert!(
+            run_flood_broadcast(path(4), &params, 0, 0.3, 3, 100_000)
+                .unwrap()
+                .completed
+        );
+        assert!(
+            run_local_broadcast(path(4), &params, 0, 3, 100_000)
+                .unwrap()
+                .completed
+        );
     }
 
     #[test]
@@ -516,8 +633,8 @@ mod tests {
     fn estimate_runner_completes_with_inflated_nu() {
         let params = SinrParams::default_plane();
         let consts = fast_consts();
-        let r = run_s_broadcast_with_estimate(path(5), &params, consts, 0, 40, 2, 2_000_000)
-            .unwrap();
+        let r =
+            run_s_broadcast_with_estimate(path(5), &params, consts, 0, 40, 2, 2_000_000).unwrap();
         assert!(r.completed);
         let r = run_nos_broadcast_with_estimate(
             path(5),

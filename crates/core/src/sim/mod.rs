@@ -1,0 +1,68 @@
+//! The `Scenario` builder: declarative, replayable simulations with
+//! parallel seed sweeps.
+//!
+//! This module supersedes the free-function runner zoo of [`crate::run`]
+//! (kept as deprecated wrappers). A scenario is built from four
+//! declarative pieces — a topology, a protocol, the tuned constants and
+//! the SINR parameters — and produces a [`Simulation`] whose every run is
+//! a **pure deterministic function of one explicit `u64` seed**: the seed
+//! derives the topology stream (for generated families) and the per-node
+//! protocol randomness, so any run of any sweep can be replayed
+//! bit-for-bit, regardless of how many worker threads executed it.
+//!
+//! ```
+//! use sinr_core::sim::{ProtocolSpec, Scenario, TopologySpec};
+//! use sinr_core::Constants;
+//!
+//! let sim = Scenario::new(TopologySpec::ClusterChain { diameter: 3, per_cluster: 8 })
+//!     .protocol(ProtocolSpec::SBroadcast { source: 0 })
+//!     .constants(Constants::tuned())
+//!     .budget(2_000_000)
+//!     .build()?;
+//! let report = sim.run(42)?;
+//! assert!(report.completed);
+//! let sweep = sim.sweep(&[1, 2, 3])?;        // parallel, deterministic
+//! assert_eq!(sweep.runs.len(), 3);
+//! # Ok::<(), sinr_core::sim::SimError>(())
+//! ```
+//!
+//! # Protocol registry → paper map
+//!
+//! | [`ProtocolSpec`] variant | paper result |
+//! |---|---|
+//! | [`ProtocolSpec::Coloring`] | Section 3, Fact 7: `StabilizeProbability` in `O(log² n)` rounds, invariants Lemma 1 & 2 |
+//! | [`ProtocolSpec::NoSBroadcast`] | Theorem 1: broadcast in `O(D log² n)` without spontaneous wake-up |
+//! | [`ProtocolSpec::NoSBroadcastWithEstimate`] | Section 1.1: same with a population estimate `ν ≥ n`, `O(D log² ν)` |
+//! | [`ProtocolSpec::SBroadcast`] | Theorem 2: broadcast in `O(D log n + log² n)` with spontaneous wake-up |
+//! | [`ProtocolSpec::SBroadcastWithEstimate`] | Section 1.1: same with estimate `ν`, `O(D log ν + log² ν)` |
+//! | [`ProtocolSpec::DaumBroadcast`] | the Daum et al. decay baseline the paper compares against (granularity-dependent) |
+//! | [`ProtocolSpec::FloodBroadcast`] | the fixed-probability strawman of the introduction |
+//! | [`ProtocolSpec::LocalBroadcast`] | adaptive local-broadcast-style flooding baseline |
+//! | [`ProtocolSpec::GpsOracleBroadcast`] | the "geometry known" upper bound (references [14, 15] strengthened to an oracle) |
+//! | [`ProtocolSpec::AdhocWakeup`] | Section 5: ad hoc wake-up in `O(D log² n)` from the first wake-up |
+//! | [`ProtocolSpec::EstablishedWakeup`] | Fact 11: wake-up over an established coloring in `O(D log n + log² n)` |
+//! | [`ProtocolSpec::Consensus`] | Section 5: consensus in `O((D log n + log² n) log x)` |
+//! | [`ProtocolSpec::LeaderElection`] | Section 5: leader election in `O(D log² n + log³ n)` whp |
+//! | [`ProtocolSpec::Alert`] | Section 1.3: the alert application over the coloring backbone |
+//!
+//! # Determinism contract
+//!
+//! [`Simulation::run`] with equal seeds yields equal [`RunReport`]s;
+//! [`Simulation::sweep`] yields the same reports in the same order for any
+//! worker-thread count (each seed's run shares no mutable state with any
+//! other). Observers are constructed fresh per run, so they cannot leak
+//! state across seeds either. The golden tests in
+//! `tests/scenario_golden.rs` pin both properties, plus field-for-field
+//! agreement with the legacy `run_*` runners.
+
+mod observer;
+mod report;
+mod scenario;
+mod spec;
+mod topology;
+
+pub use observer::{LoadObserver, Observer};
+pub use report::{Outcome, RunReport, SweepReport};
+pub use scenario::{Scenario, SimError, Simulation};
+pub use spec::ProtocolSpec;
+pub use topology::{Topology, TopologySpec};

@@ -1,0 +1,67 @@
+//! Pluggable per-round observation hooks.
+
+use sinr_runtime::RoundStats;
+
+use super::RunReport;
+
+/// A per-run observation hook.
+///
+/// A fresh observer is created for every run (see
+/// [`crate::sim::Scenario::observe`]), so sweeps stay deterministic and
+/// thread-safe: observers never share state across seeds.
+pub trait Observer: Send {
+    /// Called once before the first round with the station count.
+    fn begin(&mut self, _n: usize) {}
+
+    /// Called after every executed round with the round's statistics and
+    /// the number of stations that currently satisfy the protocol's
+    /// per-station goal (informed / awake / decided).
+    fn on_round(&mut self, stats: &RoundStats, informed: usize);
+
+    /// Called once after the run; typically records scalars into
+    /// [`RunReport::measurements`].
+    fn finish(&mut self, report: &mut RunReport);
+}
+
+/// Built-in observer measuring channel load: peak simultaneous
+/// transmitters, and the round by which half the stations were reached.
+///
+/// Records `peak_transmitters`, and `half_coverage_round` when coverage
+/// reached `n/2` during the run.
+#[derive(Debug, Default)]
+pub struct LoadObserver {
+    n: usize,
+    peak: usize,
+    half_round: Option<u64>,
+}
+
+impl LoadObserver {
+    /// Creates the observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for LoadObserver {
+    fn begin(&mut self, n: usize) {
+        self.n = n;
+    }
+
+    fn on_round(&mut self, stats: &RoundStats, informed: usize) {
+        self.peak = self.peak.max(stats.transmitters);
+        if self.half_round.is_none() && informed * 2 >= self.n {
+            self.half_round = Some(stats.round);
+        }
+    }
+
+    fn finish(&mut self, report: &mut RunReport) {
+        report
+            .measurements
+            .insert("peak_transmitters".into(), self.peak as f64);
+        if let Some(r) = self.half_round {
+            report
+                .measurements
+                .insert("half_coverage_round".into(), r as f64);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The unified run report and sweep aggregation.
+
+use std::collections::BTreeMap;
+
+use sinr_runtime::RoundStats;
+use sinr_stats::Summary;
+
+use crate::verify::Coloring;
+
+/// Protocol-specific result fields, alongside [`RunReport`]'s common ones.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Broadcast-style run (both paper algorithms and all baselines); the
+    /// common fields say everything.
+    Broadcast,
+    /// Standalone `StabilizeProbability` execution.
+    Coloring {
+        /// The produced coloring. Stations whose schedule was truncated
+        /// by a budget below the full Fact 7 run report color `0.0`
+        /// (uncolored); the run's `completed` flag is `false` then.
+        coloring: Coloring,
+    },
+    /// Ad hoc wake-up.
+    Wakeup {
+        /// Round of the first spontaneous wake-up.
+        first_wake: u64,
+        /// Rounds from the first spontaneous wake-up until all awake (the
+        /// paper's accounting), or the budget if incomplete.
+        rounds_from_first_wake: u64,
+    },
+    /// Consensus.
+    Consensus {
+        /// Per-station decisions.
+        decided: Vec<Option<u64>>,
+        /// Whether all stations decided the same value.
+        agreement: bool,
+        /// Whether the common decision equals the minimum input.
+        valid: bool,
+    },
+    /// Leader election.
+    Leader {
+        /// Stations that declared themselves leader.
+        leaders: Vec<usize>,
+        /// Whether exactly one leader emerged.
+        unique: bool,
+    },
+    /// Alert protocol.
+    Alert {
+        /// Round each station learned of the alert, if it did.
+        learned_at: Vec<Option<u64>>,
+    },
+}
+
+/// Unified result of one simulation run — the superset of the legacy
+/// `BroadcastReport` / `WakeupReport` / `ConsensusReport` / `LeaderReport`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The seed this run was the deterministic function of.
+    pub seed: u64,
+    /// Stations in the network.
+    pub n: usize,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Whether the protocol's goal was reached within the budget (all
+    /// informed / all awake / agreement / unique leader / schedule done).
+    pub completed: bool,
+    /// Stations that reached the protocol's per-station goal (informed,
+    /// awake, decided, alarmed; `n` for fixed-schedule colorings).
+    pub informed: usize,
+    /// Total transmissions across the run (energy proxy).
+    pub total_transmissions: u64,
+    /// Protocol-specific fields.
+    pub outcome: Outcome,
+    /// Per-round statistics, when requested via
+    /// [`crate::sim::Scenario::record_rounds`].
+    pub per_round: Option<Vec<RoundStats>>,
+    /// Per-node transmission counts (energy proxy), when requested via
+    /// [`crate::sim::Scenario::record_rounds`]. `None` for the non-engine
+    /// GPS-oracle baseline.
+    pub tx_counts: Option<Vec<u64>>,
+    /// Named scalar measurements filled by [`crate::sim::Observer`]s.
+    pub measurements: BTreeMap<String, f64>,
+}
+
+/// Results of a parallel seed sweep, in the seed order given (independent
+/// of how many worker threads executed it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// One report per seed, in input order.
+    pub runs: Vec<RunReport>,
+}
+
+impl SweepReport {
+    /// Seeds of the sweep, in order.
+    pub fn seeds(&self) -> Vec<u64> {
+        self.runs.iter().map(|r| r.seed).collect()
+    }
+
+    /// Number of completed runs.
+    pub fn completed(&self) -> usize {
+        self.runs.iter().filter(|r| r.completed).count()
+    }
+
+    /// Fraction of completed runs (0 for an empty sweep).
+    pub fn completion_rate(&self) -> f64 {
+        if self.runs.is_empty() {
+            0.0
+        } else {
+            self.completed() as f64 / self.runs.len() as f64
+        }
+    }
+
+    /// Round counts of the completed runs, as floats for summarising.
+    pub fn rounds_of_completed(&self) -> Vec<f64> {
+        self.runs
+            .iter()
+            .filter(|r| r.completed)
+            .map(|r| r.rounds as f64)
+            .collect()
+    }
+
+    /// Summary of completed-run round counts (`None` if none completed).
+    pub fn rounds_summary(&self) -> Option<Summary> {
+        Summary::of(&self.rounds_of_completed())
+    }
+
+    /// `"<completed>/<trials>"`, the experiment tables' success column.
+    pub fn ok_string(&self) -> String {
+        format!("{}/{}", self.completed(), self.runs.len())
+    }
+}

@@ -1,0 +1,792 @@
+//! The builder, the simulation, and the deterministic execution engine.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+use sinr_geometry::{MetricPoint, Point2};
+use sinr_phy::{InterferenceMode, Network, NetworkError, SinrParams};
+use sinr_runtime::{derive_seed, node_rng, Engine, Protocol};
+
+use crate::baselines::{DaumBroadcastNode, FloodNode, LocalBroadcastNode};
+use crate::broadcast::{NoSBroadcastNode, SBroadcastNode};
+use crate::consensus::ConsensusNode;
+use crate::constants::Constants;
+use crate::leader::LeaderNode;
+use crate::stabilize::StabilizeProtocol;
+use crate::verify::Coloring;
+use crate::wakeup::{AdhocWakeupNode, EstablishedWakeupNode};
+
+use super::{Observer, Outcome, ProtocolSpec, RunReport, SweepReport, Topology};
+
+/// Stream id under which run seeds derive their topology-generation seed
+/// (decorrelated from the per-node protocol streams, which use the run
+/// seed directly — matching the legacy runners bit-for-bit on explicit
+/// topologies).
+const TOPOLOGY_STREAM: u64 = 0x544F_504F; // "TOPO"
+
+/// Everything that can go wrong building or running a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Network construction failed.
+    Network(NetworkError),
+    /// A generated topology could not realise its parameters.
+    Topology(String),
+    /// The scenario has no protocol.
+    MissingProtocol,
+    /// The protocol runs until a goal predicate holds, so it needs an
+    /// explicit round budget.
+    MissingBudget,
+    /// The protocol inputs do not fit the materialized network.
+    Spec(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Network(e) => write!(f, "network construction failed: {e}"),
+            SimError::Topology(msg) => write!(f, "topology generation failed: {msg}"),
+            SimError::MissingProtocol => write!(f, "scenario has no protocol; call .protocol(...)"),
+            SimError::MissingBudget => {
+                write!(f, "protocol needs a round budget; call .budget(max_rounds)")
+            }
+            SimError::Spec(msg) => write!(f, "protocol spec mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<NetworkError> for SimError {
+    fn from(e: NetworkError) -> Self {
+        SimError::Network(e)
+    }
+}
+
+type ObserverFactory = Arc<dyn Fn() -> Box<dyn Observer> + Send + Sync>;
+
+/// Builder for a reproducible simulation: topology + protocol + constants
+/// + SINR parameters + budget (see the [`crate::sim`] module docs).
+pub struct Scenario<P: MetricPoint = Point2> {
+    topology: Arc<dyn Topology<P>>,
+    protocol: Option<ProtocolSpec>,
+    params: SinrParams,
+    consts: Constants,
+    budget: Option<u64>,
+    mode: InterferenceMode,
+    record: bool,
+    observers: Vec<ObserverFactory>,
+}
+
+impl<P: MetricPoint> Clone for Scenario<P> {
+    fn clone(&self) -> Self {
+        Scenario {
+            topology: Arc::clone(&self.topology),
+            protocol: self.protocol.clone(),
+            params: self.params,
+            consts: self.consts,
+            budget: self.budget,
+            mode: self.mode,
+            record: self.record,
+            observers: self.observers.clone(),
+        }
+    }
+}
+
+impl<P: MetricPoint> Scenario<P> {
+    /// Starts a scenario over `topology` — a [`super::TopologySpec`] for
+    /// generated families, or a `Vec` of explicit points (any metric).
+    ///
+    /// Defaults: planar SINR parameters, [`Constants::tuned`], exact
+    /// interference, no trace, no budget.
+    pub fn new(topology: impl Topology<P> + 'static) -> Self {
+        Scenario {
+            topology: Arc::new(topology),
+            protocol: None,
+            params: SinrParams::default_plane(),
+            consts: Constants::tuned(),
+            budget: None,
+            mode: InterferenceMode::Exact,
+            record: false,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Sets the protocol to run.
+    #[must_use]
+    pub fn protocol(mut self, spec: ProtocolSpec) -> Self {
+        self.protocol = Some(spec);
+        self
+    }
+
+    /// Sets the algorithm constants (default [`Constants::tuned`]).
+    #[must_use]
+    pub fn constants(mut self, consts: Constants) -> Self {
+        self.consts = consts;
+        self
+    }
+
+    /// Sets the SINR parameters (default [`SinrParams::default_plane`]).
+    #[must_use]
+    pub fn params(mut self, params: SinrParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the round budget. Required for goal-driven protocols
+    /// (broadcasts, wake-up, alert); for fixed-schedule protocols
+    /// (coloring, consensus, leader election) it optionally *caps* the
+    /// schedule.
+    #[must_use]
+    pub fn budget(mut self, max_rounds: u64) -> Self {
+        self.budget = Some(max_rounds);
+        self
+    }
+
+    /// Sets the interference-evaluation fidelity (default exact physics).
+    #[must_use]
+    pub fn interference_mode(mut self, mode: InterferenceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Records per-round statistics into [`RunReport::per_round`].
+    #[must_use]
+    pub fn record_rounds(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// Registers an observer factory; a fresh observer is built for every
+    /// run (keeping sweeps deterministic) and its measurements land in
+    /// [`RunReport::measurements`].
+    #[must_use]
+    pub fn observe(
+        mut self,
+        factory: impl Fn() -> Box<dyn Observer> + Send + Sync + 'static,
+    ) -> Self {
+        self.observers.push(Arc::new(factory));
+        self
+    }
+
+    /// Validates the scenario into a runnable [`Simulation`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingProtocol`] without a protocol;
+    /// [`SimError::MissingBudget`] when a goal-driven protocol has no
+    /// budget.
+    pub fn build(self) -> Result<Simulation<P>, SimError> {
+        let spec = self.protocol.as_ref().ok_or(SimError::MissingProtocol)?;
+        if self.budget.is_none() && !spec.has_fixed_schedule() {
+            return Err(SimError::MissingBudget);
+        }
+        Ok(Simulation { scenario: self })
+    }
+}
+
+/// A validated, runnable scenario. Immutable and shareable across
+/// threads; every run is a pure function of its seed.
+pub struct Simulation<P: MetricPoint = Point2> {
+    scenario: Scenario<P>,
+}
+
+impl<P: MetricPoint> Clone for Simulation<P> {
+    fn clone(&self) -> Self {
+        Simulation {
+            scenario: self.scenario.clone(),
+        }
+    }
+}
+
+impl<P: MetricPoint> Simulation<P> {
+    /// The protocol this simulation runs.
+    pub fn protocol(&self) -> &ProtocolSpec {
+        self.scenario
+            .protocol
+            .as_ref()
+            .expect("validated by build()")
+    }
+
+    /// The SINR parameters in effect.
+    pub fn params(&self) -> &SinrParams {
+        &self.scenario.params
+    }
+
+    /// The station positions a given run seed materializes (generated
+    /// topologies derive their own stream from the run seed, so this is
+    /// exactly what [`Simulation::run`] will simulate on).
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology-generation failures.
+    pub fn materialize(&self, seed: u64) -> Result<Vec<P>, SimError> {
+        self.scenario
+            .topology
+            .build(&self.scenario.params, derive_seed(seed, TOPOLOGY_STREAM, 0))
+    }
+
+    /// Runs one seed to completion.
+    ///
+    /// # Errors
+    ///
+    /// Topology, network or spec mismatches; never panics on well-formed
+    /// scenarios.
+    pub fn run(&self, seed: u64) -> Result<RunReport, SimError> {
+        let points = self.materialize(seed)?;
+        let net =
+            Network::new(points, self.scenario.params)?.with_interference_mode(self.scenario.mode);
+        execute(&self.scenario, net, seed)
+    }
+
+    /// Runs every seed, in parallel across the machine's cores. Results
+    /// are in seed order and identical to a serial execution: each run
+    /// depends only on its seed.
+    ///
+    /// # Errors
+    ///
+    /// The first (by seed order) run error, if any.
+    pub fn sweep(&self, seeds: &[u64]) -> Result<SweepReport, SimError> {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.sweep_with_threads(seeds, threads)
+    }
+
+    /// As [`Simulation::sweep`] with an explicit worker count (`1` runs
+    /// serially). The result does not depend on `threads` — pinned by the
+    /// golden determinism tests.
+    ///
+    /// # Errors
+    ///
+    /// The first (by seed order) run error, if any.
+    pub fn sweep_with_threads(
+        &self,
+        seeds: &[u64],
+        threads: usize,
+    ) -> Result<SweepReport, SimError> {
+        let mut slots: Vec<Option<Result<RunReport, SimError>>> = Vec::new();
+        slots.resize_with(seeds.len(), || None);
+        let workers = threads.clamp(1, seeds.len().max(1));
+        if workers <= 1 {
+            for (i, &seed) in seeds.iter().enumerate() {
+                slots[i] = Some(self.run(seed));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= seeds.len() {
+                            break;
+                        }
+                        if tx.send((i, self.run(seeds[i]))).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                for (i, result) in rx {
+                    slots[i] = Some(result);
+                }
+            });
+        }
+        let mut runs = Vec::with_capacity(seeds.len());
+        for slot in slots {
+            runs.push(slot.expect("every sweep slot filled")?);
+        }
+        Ok(SweepReport { runs })
+    }
+}
+
+/// Result of the shared engine-drive loop.
+struct Driven<Pr> {
+    rounds: u64,
+    completed: bool,
+    nodes: Vec<Pr>,
+    total_transmissions: u64,
+    per_round: Option<Vec<sinr_runtime::RoundStats>>,
+    tx_counts: Option<Vec<u64>>,
+}
+
+/// Drives an engine until all nodes satisfy `done` or `budget` rounds
+/// elapse (predicate checked *before* each round, exactly like
+/// [`Engine::run_until`] — the legacy runners' accounting).
+fn drive<P: MetricPoint, Pr: Protocol>(
+    net: Network<P>,
+    seed: u64,
+    budget: u64,
+    make: impl FnMut(usize) -> Pr,
+    done: impl Fn(&Pr) -> bool,
+    record: bool,
+    observers: &mut [Box<dyn Observer>],
+) -> Driven<Pr> {
+    let n = net.len();
+    let mut eng = Engine::new(net, seed, make);
+    if record {
+        eng.record_rounds();
+    }
+    for o in observers.iter_mut() {
+        o.begin(n);
+    }
+    let mut executed = 0u64;
+    let completed = loop {
+        if eng.nodes().iter().all(&done) {
+            break true;
+        }
+        if executed >= budget {
+            break false;
+        }
+        let stats = eng.step();
+        executed += 1;
+        if !observers.is_empty() {
+            let informed = eng.nodes().iter().filter(|p| done(p)).count();
+            for o in observers.iter_mut() {
+                o.on_round(&stats, informed);
+            }
+        }
+    };
+    finish(eng, executed, completed)
+}
+
+/// Drives an engine for exactly `rounds` rounds (fixed global schedules:
+/// coloring, consensus, leader election).
+fn drive_exact<P: MetricPoint, Pr: Protocol>(
+    net: Network<P>,
+    seed: u64,
+    rounds: u64,
+    make: impl FnMut(usize) -> Pr,
+    done: impl Fn(&Pr) -> bool,
+    record: bool,
+    observers: &mut [Box<dyn Observer>],
+) -> Driven<Pr> {
+    let n = net.len();
+    let mut eng = Engine::new(net, seed, make);
+    if record {
+        eng.record_rounds();
+    }
+    for o in observers.iter_mut() {
+        o.begin(n);
+    }
+    for _ in 0..rounds {
+        let stats = eng.step();
+        if !observers.is_empty() {
+            let informed = eng.nodes().iter().filter(|p| done(p)).count();
+            for o in observers.iter_mut() {
+                o.on_round(&stats, informed);
+            }
+        }
+    }
+    finish(eng, rounds, true)
+}
+
+fn finish<P: MetricPoint, Pr: Protocol>(
+    eng: Engine<P, Pr>,
+    rounds: u64,
+    completed: bool,
+) -> Driven<Pr> {
+    let total_transmissions = eng.trace().total_transmissions();
+    let per_round = eng.trace().per_round().map(<[_]>::to_vec);
+    let tx_counts = per_round.is_some().then(|| eng.tx_counts().to_vec());
+    Driven {
+        rounds,
+        completed,
+        nodes: eng.into_nodes(),
+        total_transmissions,
+        per_round,
+        tx_counts,
+    }
+}
+
+/// The shared tail of every broadcast-style arm: drive to the goal
+/// predicate, count the stations that reached it, erase the node types.
+fn broadcast_arm<P: MetricPoint, Pr: Protocol>(
+    net: Network<P>,
+    seed: u64,
+    budget: u64,
+    record: bool,
+    observers: &mut [Box<dyn Observer>],
+    make: impl FnMut(usize) -> Pr,
+    done: impl Fn(&Pr) -> bool,
+) -> (Driven<()>, usize, Outcome) {
+    let d = drive(net, seed, budget, make, &done, record, observers);
+    let informed = d.nodes.iter().filter(|p| done(p)).count();
+    (erase(d), informed, Outcome::Broadcast)
+}
+
+fn check_source(source: usize, n: usize) -> Result<(), SimError> {
+    if source >= n {
+        return Err(SimError::Spec(format!(
+            "source {source} out of range for n = {n}"
+        )));
+    }
+    Ok(())
+}
+
+/// Executes one run. The per-node randomness is seeded with the run seed
+/// itself (streams 0/1/2 as in the legacy runners), which is what makes
+/// the new API reproduce `run_*` outputs field-for-field on explicit
+/// topologies.
+fn execute<P: MetricPoint>(
+    scenario: &Scenario<P>,
+    net: Network<P>,
+    seed: u64,
+) -> Result<RunReport, SimError> {
+    let spec = scenario
+        .protocol
+        .as_ref()
+        .ok_or(SimError::MissingProtocol)?;
+    let consts = scenario.consts;
+    let n = net.len();
+    let budget = match scenario.budget {
+        Some(b) => b,
+        None if spec.has_fixed_schedule() => u64::MAX,
+        None => return Err(SimError::MissingBudget),
+    };
+    let record = scenario.record;
+    let mut observers: Vec<Box<dyn Observer>> = scenario.observers.iter().map(|f| f()).collect();
+
+    let (driven, informed, outcome): (Driven<()>, usize, Outcome) = match spec.clone() {
+        ProtocolSpec::NoSBroadcast { source } => {
+            check_source(source, n)?;
+            broadcast_arm(
+                net,
+                seed,
+                budget,
+                record,
+                &mut observers,
+                |id| NoSBroadcastNode::new(id, source, 1, n, consts),
+                NoSBroadcastNode::informed,
+            )
+        }
+        ProtocolSpec::NoSBroadcastWithEstimate { source, nu } => {
+            check_source(source, n)?;
+            if nu < n {
+                return Err(SimError::Spec(format!("estimate nu = {nu} below n = {n}")));
+            }
+            broadcast_arm(
+                net,
+                seed,
+                budget,
+                record,
+                &mut observers,
+                |id| NoSBroadcastNode::new(id, source, 1, nu, consts),
+                NoSBroadcastNode::informed,
+            )
+        }
+        ProtocolSpec::SBroadcast { source } => {
+            check_source(source, n)?;
+            broadcast_arm(
+                net,
+                seed,
+                budget,
+                record,
+                &mut observers,
+                |id| SBroadcastNode::new(id, source, 1, n, consts),
+                SBroadcastNode::informed,
+            )
+        }
+        ProtocolSpec::SBroadcastWithEstimate { source, nu } => {
+            check_source(source, n)?;
+            if nu < n {
+                return Err(SimError::Spec(format!("estimate nu = {nu} below n = {n}")));
+            }
+            broadcast_arm(
+                net,
+                seed,
+                budget,
+                record,
+                &mut observers,
+                |id| SBroadcastNode::new(id, source, 1, nu, consts),
+                SBroadcastNode::informed,
+            )
+        }
+        ProtocolSpec::Coloring => {
+            let full = crate::coloring::ColoringMachine::total_rounds(n, &consts);
+            let total = full.min(budget);
+            let d = drive_exact(
+                net,
+                seed,
+                total,
+                |_| StabilizeProtocol::new(n, consts),
+                |p| p.machine().is_finished(),
+                record,
+                &mut observers,
+            );
+            // A budget below the Fact 7 schedule truncates the run:
+            // unfinished stations report color 0.0 (uncolored) and the
+            // run counts as incomplete instead of panicking.
+            let colors: Vec<f64> = d
+                .nodes
+                .iter()
+                .map(|p| p.machine().color().unwrap_or(0.0))
+                .collect();
+            let finished = d.nodes.iter().filter(|p| p.machine().is_finished()).count();
+            let mut d = erase(d);
+            d.completed = total == full;
+            (
+                d,
+                finished,
+                Outcome::Coloring {
+                    coloring: Coloring::new(colors),
+                },
+            )
+        }
+        ProtocolSpec::DaumBroadcast {
+            source,
+            granularity,
+        } => {
+            check_source(source, n)?;
+            let rs = granularity.or_else(|| net.granularity()).unwrap_or(1.0);
+            let alpha = scenario.params.alpha();
+            broadcast_arm(
+                net,
+                seed,
+                budget,
+                record,
+                &mut observers,
+                |id| DaumBroadcastNode::new(id, source, 1, n, rs, alpha),
+                DaumBroadcastNode::informed,
+            )
+        }
+        ProtocolSpec::FloodBroadcast { source, p } => {
+            check_source(source, n)?;
+            broadcast_arm(
+                net,
+                seed,
+                budget,
+                record,
+                &mut observers,
+                |id| FloodNode::new(id, source, 1, p),
+                FloodNode::informed,
+            )
+        }
+        ProtocolSpec::LocalBroadcast { source } => {
+            check_source(source, n)?;
+            broadcast_arm(
+                net,
+                seed,
+                budget,
+                record,
+                &mut observers,
+                |id| LocalBroadcastNode::new(id, source, 1, n, 0.5),
+                LocalBroadcastNode::informed,
+            )
+        }
+        ProtocolSpec::GpsOracleBroadcast { source } => {
+            check_source(source, n)?;
+            // Oracle TDMA is not engine-driven; per-round observers and
+            // traces do not apply (documented on the variant).
+            let rep = crate::baselines::gps::run_gps_oracle_on(&net, source, seed, budget);
+            let driven = Driven {
+                rounds: rep.rounds,
+                completed: rep.completed,
+                nodes: Vec::new(),
+                total_transmissions: rep.total_transmissions,
+                per_round: None,
+                tx_counts: None,
+            };
+            (driven, rep.informed, Outcome::Broadcast)
+        }
+        ProtocolSpec::AdhocWakeup { schedule } => {
+            let first_wake = schedule.first_wake(n).ok_or_else(|| {
+                SimError::Spec("wake schedule must wake at least one station".into())
+            })?;
+            let d = drive(
+                net,
+                seed,
+                budget,
+                |id| AdhocWakeupNode::new(id, &schedule, n, consts),
+                AdhocWakeupNode::awake,
+                record,
+                &mut observers,
+            );
+            let awake = d.nodes.iter().filter(|p| p.awake()).count();
+            let rounds_from_first_wake = d.rounds.saturating_sub(first_wake);
+            (
+                erase(d),
+                awake,
+                Outcome::Wakeup {
+                    first_wake,
+                    rounds_from_first_wake,
+                },
+            )
+        }
+        ProtocolSpec::EstablishedWakeup {
+            coloring,
+            initiators,
+        } => {
+            if coloring.len() != n {
+                return Err(SimError::Spec(format!(
+                    "coloring size {} != n = {n}",
+                    coloring.len()
+                )));
+            }
+            if initiators.len() != n {
+                return Err(SimError::Spec(format!(
+                    "initiator flags size {} != n = {n}",
+                    initiators.len()
+                )));
+            }
+            broadcast_arm(
+                net,
+                seed,
+                budget,
+                record,
+                &mut observers,
+                |id| EstablishedWakeupNode::new(coloring.colors[id], initiators[id], n, consts),
+                |nd: &EstablishedWakeupNode| nd.signalled,
+            )
+        }
+        ProtocolSpec::Consensus {
+            values,
+            bits,
+            d_bound,
+        } => {
+            if values.len() != n {
+                return Err(SimError::Spec(format!(
+                    "one value per station: {} values for n = {n}",
+                    values.len()
+                )));
+            }
+            let window = consts.wakeup_window(n, d_bound);
+            let total = (consts.coloring_rounds(n) + u64::from(bits) * window).min(budget);
+            let d = drive_exact(
+                net,
+                seed,
+                total,
+                |id| ConsensusNode::new(values[id], bits, n, consts, window),
+                |p| p.decided().is_some(),
+                record,
+                &mut observers,
+            );
+            let decided: Vec<Option<u64>> = d.nodes.iter().map(ConsensusNode::decided).collect();
+            let informed = decided.iter().filter(|v| v.is_some()).count();
+            let agreement = decided.windows(2).all(|w| w[0] == w[1])
+                && decided.first().is_some_and(Option::is_some);
+            let min = values.iter().copied().min().unwrap_or(0);
+            let valid = agreement && decided.first().copied().flatten() == Some(min);
+            let mut d = erase(d);
+            d.completed = agreement;
+            (
+                d,
+                informed,
+                Outcome::Consensus {
+                    decided,
+                    agreement,
+                    valid,
+                },
+            )
+        }
+        ProtocolSpec::LeaderElection { d_bound } => {
+            let bits = LeaderNode::id_bits(n);
+            let window = consts.wakeup_window(n, d_bound);
+            let total = (consts.coloring_rounds(n) + u64::from(bits) * window).min(budget);
+            let d = drive_exact(
+                net,
+                seed,
+                total,
+                |id| {
+                    // Stream 1 draws IDs; stream 0 drives the protocol
+                    // inside the engine (as in the legacy runner).
+                    use rand::Rng;
+                    let mut rng = node_rng(seed, id as u64, 1);
+                    let id_value = rng.gen_range(1..(1u64 << bits));
+                    LeaderNode::new(id_value, n, consts, window)
+                },
+                |p| p.is_leader().is_some(),
+                record,
+                &mut observers,
+            );
+            let leaders: Vec<usize> = d
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, nd)| nd.is_leader() == Some(true))
+                .map(|(i, _)| i)
+                .collect();
+            let informed = d.nodes.iter().filter(|nd| nd.is_leader().is_some()).count();
+            let unique = leaders.len() == 1;
+            let mut d = erase(d);
+            d.completed = unique;
+            (d, informed, Outcome::Leader { leaders, unique })
+        }
+        ProtocolSpec::Alert {
+            coloring,
+            alerts,
+            d_bound,
+        } => {
+            if coloring.len() != n {
+                return Err(SimError::Spec(format!(
+                    "coloring size {} != n = {n}",
+                    coloring.len()
+                )));
+            }
+            let mut alert_at: Vec<Option<u64>> = vec![None; n];
+            for &(station, round) in &alerts {
+                if station >= n {
+                    return Err(SimError::Spec(format!(
+                        "alerted station {station} out of range for n = {n}"
+                    )));
+                }
+                let slot = &mut alert_at[station];
+                *slot = Some(slot.map_or(round, |r| r.min(round)));
+            }
+            let window = consts.wakeup_window(n, d_bound);
+            let d = drive(
+                net,
+                seed,
+                budget,
+                |id| {
+                    crate::alert::AlertNode::new(
+                        coloring.colors[id],
+                        alert_at[id],
+                        n,
+                        consts,
+                        window,
+                    )
+                },
+                crate::alert::AlertNode::alarmed,
+                record,
+                &mut observers,
+            );
+            let learned_at: Vec<Option<u64>> = d.nodes.iter().map(|nd| nd.learned_at()).collect();
+            let alarmed = learned_at.iter().filter(|v| v.is_some()).count();
+            (erase(d), alarmed, Outcome::Alert { learned_at })
+        }
+    };
+
+    let mut report = RunReport {
+        seed,
+        n,
+        rounds: driven.rounds,
+        completed: driven.completed,
+        informed,
+        total_transmissions: driven.total_transmissions,
+        outcome,
+        per_round: driven.per_round,
+        tx_counts: driven.tx_counts,
+        measurements: std::collections::BTreeMap::new(),
+    };
+    for o in &mut observers {
+        o.finish(&mut report);
+    }
+    Ok(report)
+}
+
+/// Drops the typed node states from a drive result (the protocol-specific
+/// data has already been extracted into the [`Outcome`]).
+fn erase<Pr>(d: Driven<Pr>) -> Driven<()> {
+    Driven {
+        rounds: d.rounds,
+        completed: d.completed,
+        nodes: Vec::new(),
+        total_transmissions: d.total_transmissions,
+        per_round: d.per_round,
+        tx_counts: d.tx_counts,
+    }
+}

@@ -1,0 +1,142 @@
+//! The protocol registry: one declarative variant per runnable protocol.
+
+use sinr_runtime::WakeSchedule;
+
+use crate::verify::Coloring;
+
+/// Which protocol a [`crate::sim::Scenario`] runs, with its per-protocol
+/// inputs. Each variant corresponds to one result of the paper (see the
+/// [`crate::sim`] module docs for the theorem map).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolSpec {
+    /// `NoSBroadcast` (Theorem 1): `O(D log² n)` broadcast without
+    /// spontaneous wake-up.
+    NoSBroadcast {
+        /// Initially informed station.
+        source: usize,
+    },
+    /// `NoSBroadcast` run with a population **estimate** `nu ≥ n`
+    /// (Section 1.1; running time `O(D log² ν)`).
+    NoSBroadcastWithEstimate {
+        /// Initially informed station.
+        source: usize,
+        /// Shared population estimate (must be ≥ n).
+        nu: usize,
+    },
+    /// `SBroadcast` (Theorem 2): `O(D log n + log² n)` broadcast with
+    /// spontaneous wake-up.
+    SBroadcast {
+        /// Initially informed station.
+        source: usize,
+    },
+    /// `SBroadcast` with a population estimate `nu ≥ n`
+    /// (running time `O(D log ν + log² ν)`).
+    SBroadcastWithEstimate {
+        /// Initially informed station.
+        source: usize,
+        /// Shared population estimate (must be ≥ n).
+        nu: usize,
+    },
+    /// One standalone `StabilizeProbability` execution (Section 3, Fact 7);
+    /// the report's outcome carries the produced coloring.
+    Coloring,
+    /// Daum et al.-style decay baseline, which must know the granularity.
+    DaumBroadcast {
+        /// Initially informed station.
+        source: usize,
+        /// Known granularity `R_s`; `None` uses the network's measured
+        /// value (the baseline's assumption made explicit).
+        granularity: Option<f64>,
+    },
+    /// Fixed-probability flooding baseline.
+    FloodBroadcast {
+        /// Initially informed station.
+        source: usize,
+        /// Per-round transmission probability of informed stations.
+        p: f64,
+    },
+    /// Adaptive local-broadcast-style flooding baseline.
+    LocalBroadcast {
+        /// Initially informed station.
+        source: usize,
+    },
+    /// GPS-oracle grid TDMA (the experiment E12 gold standard: full
+    /// coordinates plus an in-cell contention oracle).
+    GpsOracleBroadcast {
+        /// Initially informed station.
+        source: usize,
+    },
+    /// Ad hoc wake-up under an adversarial schedule (Section 5,
+    /// `O(D log² n)` from the first spontaneous wake-up).
+    AdhocWakeup {
+        /// The adversary's wake-up schedule (must wake someone).
+        schedule: WakeSchedule,
+    },
+    /// Wake-up over an **established coloring** (Fact 11 flood,
+    /// `O(D log n + log² n)`).
+    EstablishedWakeup {
+        /// Backbone colors, one per station.
+        coloring: Coloring,
+        /// Spontaneously woken stations, one flag per station.
+        initiators: Vec<bool>,
+    },
+    /// Bitwise consensus on per-station input values (Section 5).
+    Consensus {
+        /// One input value per station (domain `[0, 2^bits)`).
+        values: Vec<u64>,
+        /// Bits per value.
+        bits: u32,
+        /// Diameter bound for the per-bit window.
+        d_bound: u32,
+    },
+    /// Leader election: random IDs from `{1..n³}`, then consensus on IDs
+    /// (Section 5).
+    LeaderElection {
+        /// Diameter bound for the per-bit window.
+        d_bound: u32,
+    },
+    /// The alert protocol over an established coloring (Section 1.3):
+    /// every station must learn whether any alert occurred.
+    Alert {
+        /// Backbone colors, one per station.
+        coloring: Coloring,
+        /// `(station, round)` adversarial alerts.
+        alerts: Vec<(usize, u64)>,
+        /// Diameter bound for the window length.
+        d_bound: u32,
+    },
+}
+
+impl ProtocolSpec {
+    /// Short stable name (table labels, traces).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolSpec::NoSBroadcast { .. } => "nos-broadcast",
+            ProtocolSpec::NoSBroadcastWithEstimate { .. } => "nos-broadcast-nu",
+            ProtocolSpec::SBroadcast { .. } => "s-broadcast",
+            ProtocolSpec::SBroadcastWithEstimate { .. } => "s-broadcast-nu",
+            ProtocolSpec::Coloring => "coloring",
+            ProtocolSpec::DaumBroadcast { .. } => "daum",
+            ProtocolSpec::FloodBroadcast { .. } => "flood",
+            ProtocolSpec::LocalBroadcast { .. } => "local-broadcast",
+            ProtocolSpec::GpsOracleBroadcast { .. } => "gps-oracle",
+            ProtocolSpec::AdhocWakeup { .. } => "adhoc-wakeup",
+            ProtocolSpec::EstablishedWakeup { .. } => "established-wakeup",
+            ProtocolSpec::Consensus { .. } => "consensus",
+            ProtocolSpec::LeaderElection { .. } => "leader-election",
+            ProtocolSpec::Alert { .. } => "alert",
+        }
+    }
+
+    /// Whether the protocol runs a fixed, self-terminating schedule (its
+    /// round count is a function of `n` alone), making an explicit round
+    /// budget optional.
+    pub fn has_fixed_schedule(&self) -> bool {
+        matches!(
+            self,
+            ProtocolSpec::Coloring
+                | ProtocolSpec::Consensus { .. }
+                | ProtocolSpec::LeaderElection { .. }
+        )
+    }
+}

@@ -45,7 +45,7 @@ impl Coloring {
     pub fn palette(&self) -> Vec<f64> {
         let mut seen: Vec<f64> = Vec::new();
         for &c in &self.colors {
-            if c > 0.0 && !seen.iter().any(|&s| s == c) {
+            if c > 0.0 && !seen.contains(&c) {
                 seen.push(c);
             }
         }
@@ -66,12 +66,12 @@ impl Coloring {
 /// unit balls.
 ///
 /// Returns 0 for an empty or all-zero coloring.
-pub fn lemma1_max_ball_mass<P: MetricPoint>(
-    points: &[P],
-    coloring: &Coloring,
-    radius: f64,
-) -> f64 {
-    assert_eq!(points.len(), coloring.len(), "points/coloring size mismatch");
+pub fn lemma1_max_ball_mass<P: MetricPoint>(points: &[P], coloring: &Coloring, radius: f64) -> f64 {
+    assert_eq!(
+        points.len(),
+        coloring.len(),
+        "points/coloring size mismatch"
+    );
     if points.is_empty() {
         return 0.0;
     }
@@ -106,7 +106,11 @@ pub fn lemma2_min_close_mass<P: MetricPoint>(
     coloring: &Coloring,
     close_radius: f64,
 ) -> f64 {
-    assert_eq!(points.len(), coloring.len(), "points/coloring size mismatch");
+    assert_eq!(
+        points.len(),
+        coloring.len(),
+        "points/coloring size mismatch"
+    );
     let grid = GridIndex::build(points, close_radius.max(0.05));
     let mut min_best = f64::INFINITY;
     let mut local: HashMap<u64, f64> = HashMap::new();

@@ -28,9 +28,18 @@ use crate::point::MetricPoint;
 /// assert!(covering_number(4.0, 1.0, 2.0) > covering_number(2.0, 1.0, 2.0));
 /// ```
 pub fn covering_number(a: f64, b: f64, gamma: f64) -> usize {
-    assert!(a.is_finite() && a > 0.0, "radius a must be positive, got {a}");
-    assert!(b.is_finite() && b > 0.0, "radius b must be positive, got {b}");
-    assert!(gamma.is_finite() && gamma > 0.0, "gamma must be positive, got {gamma}");
+    assert!(
+        a.is_finite() && a > 0.0,
+        "radius a must be positive, got {a}"
+    );
+    assert!(
+        b.is_finite() && b > 0.0,
+        "radius b must be positive, got {b}"
+    );
+    assert!(
+        gamma.is_finite() && gamma > 0.0,
+        "gamma must be positive, got {gamma}"
+    );
     (1.0 + 2.0 * a / b).powf(gamma).ceil() as usize
 }
 
@@ -47,7 +56,10 @@ pub fn ball_indices<P: MetricPoint>(points: &[P], center: P, radius: f64) -> Vec
 
 /// Number of points of `points` within distance `radius` of `center`.
 pub fn count_in_ball<P: MetricPoint>(points: &[P], center: P, radius: f64) -> usize {
-    points.iter().filter(|p| p.distance(&center) <= radius).count()
+    points
+        .iter()
+        .filter(|p| p.distance(&center) <= radius)
+        .count()
 }
 
 /// Sum of `weights[i]` over all points within distance `radius` of `center`.
@@ -94,7 +106,7 @@ mod tests {
     fn covering_number_gamma_one_linear() {
         // On a line, covering [−a, a] by length-2b intervals is ~a/b.
         let chi = covering_number(10.0, 1.0, 1.0);
-        assert!(chi >= 10 && chi <= 30);
+        assert!((10..=30).contains(&chi));
     }
 
     #[test]
@@ -105,7 +117,11 @@ mod tests {
 
     #[test]
     fn ball_mass_counts_weights() {
-        let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.5, 0.0), Point2::new(2.0, 0.0)];
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.5, 0.0),
+            Point2::new(2.0, 0.0),
+        ];
         let w = vec![0.25, 0.5, 4.0];
         assert_eq!(ball_mass(&pts, &w, Point2::origin(), 1.0), 0.75);
         assert_eq!(ball_mass(&pts, &w, Point2::origin(), 3.0), 4.75);

@@ -213,7 +213,7 @@ impl GridIndex {
 mod tests {
     use super::*;
     use crate::point::{Point1, Point2, Point3};
-    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng, SmallRng};
 
     fn brute_ball<P: MetricPoint>(points: &[P], center: P, radius: f64) -> Vec<usize> {
         points
@@ -229,7 +229,10 @@ mod tests {
         let pts: Vec<Point2> = vec![];
         let idx = GridIndex::build(&pts, 1.0);
         assert!(idx.is_empty());
-        assert_eq!(idx.ball_vec(&pts, Point2::origin(), 10.0), Vec::<usize>::new());
+        assert_eq!(
+            idx.ball_vec(&pts, Point2::origin(), 10.0),
+            Vec::<usize>::new()
+        );
         assert_eq!(idx.nearest(&pts, Point2::origin(), usize::MAX), None);
     }
 
@@ -238,7 +241,10 @@ mod tests {
         let pts = vec![Point2::new(0.5, 0.5)];
         let idx = GridIndex::build(&pts, 1.0);
         assert_eq!(idx.ball_vec(&pts, Point2::origin(), 1.0), vec![0]);
-        assert_eq!(idx.ball_vec(&pts, Point2::origin(), 0.1), Vec::<usize>::new());
+        assert_eq!(
+            idx.ball_vec(&pts, Point2::origin(), 0.1),
+            Vec::<usize>::new()
+        );
         assert_eq!(idx.nearest(&pts, Point2::origin(), 0), None);
     }
 
@@ -252,16 +258,29 @@ mod tests {
 
     #[test]
     fn negative_coordinates() {
-        let pts = vec![Point2::new(-3.7, -2.2), Point2::new(-3.6, -2.2), Point2::new(4.0, 4.0)];
+        let pts = vec![
+            Point2::new(-3.7, -2.2),
+            Point2::new(-3.6, -2.2),
+            Point2::new(4.0, 4.0),
+        ];
         let idx = GridIndex::build(&pts, 1.0);
-        assert_eq!(idx.ball_vec(&pts, Point2::new(-3.65, -2.2), 0.2), vec![0, 1]);
+        assert_eq!(
+            idx.ball_vec(&pts, Point2::new(-3.65, -2.2), 0.2),
+            vec![0, 1]
+        );
     }
 
     #[test]
     fn nearest_simple() {
-        let pts = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(5.0, 5.0)];
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(5.0, 5.0),
+        ];
         let idx = GridIndex::build(&pts, 1.0);
-        let (i, d) = idx.nearest(&pts, Point2::new(0.9, 0.0), usize::MAX).unwrap();
+        let (i, d) = idx
+            .nearest(&pts, Point2::new(0.9, 0.0), usize::MAX)
+            .unwrap();
         assert_eq!(i, 1);
         assert!((d - 0.1).abs() < 1e-12);
         // excluding the nearest returns the next one
@@ -321,59 +340,77 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn grid_matches_brute_force_2d(
-            coords in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..120),
-            cx in -50.0f64..50.0,
-            cy in -50.0f64..50.0,
-            radius in 0.01f64..20.0,
-            cell in 0.1f64..5.0,
-        ) {
-            let pts: Vec<Point2> = coords.into_iter().map(Point2::from).collect();
+    // Randomized property checks below run seeded loops (the offline
+    // build has no proptest); every case replays from its case id.
+
+    #[test]
+    fn grid_matches_brute_force_2d() {
+        for case in 0u64..48 {
+            let mut rng = SmallRng::seed_from_u64(0x6D1D_2001 + case);
+            let n = rng.gen_range(0usize..120);
+            let pts: Vec<Point2> = (0..n)
+                .map(|_| Point2::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)))
+                .collect();
+            let center = Point2::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0));
+            let radius = rng.gen_range(0.01..20.0);
+            let cell = rng.gen_range(0.1..5.0);
             let idx = GridIndex::build(&pts, cell);
-            let center = Point2::new(cx, cy);
             let got = idx.ball_vec(&pts, center, radius);
             let want = brute_ball(&pts, center, radius);
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want, "case {case}");
         }
+    }
 
-        #[test]
-        fn grid_matches_brute_force_1d(
-            coords in prop::collection::vec(-100.0f64..100.0, 0..80),
-            c in -100.0f64..100.0,
-            radius in 0.01f64..30.0,
-        ) {
-            let pts: Vec<Point1> = coords.into_iter().map(Point1::from).collect();
+    #[test]
+    fn grid_matches_brute_force_1d() {
+        for case in 0u64..48 {
+            let mut rng = SmallRng::seed_from_u64(0x6D1D_3001 + case);
+            let n = rng.gen_range(0usize..80);
+            let pts: Vec<Point1> = (0..n)
+                .map(|_| Point1::new(rng.gen_range(-100.0..100.0)))
+                .collect();
+            let center = Point1::new(rng.gen_range(-100.0..100.0));
+            let radius = rng.gen_range(0.01..30.0);
             let idx = GridIndex::build(&pts, 1.0);
-            let got = idx.ball_vec(&pts, Point1::new(c), radius);
-            let want = brute_ball(&pts, Point1::new(c), radius);
-            prop_assert_eq!(got, want);
+            let got = idx.ball_vec(&pts, center, radius);
+            let want = brute_ball(&pts, center, radius);
+            assert_eq!(got, want, "case {case}");
         }
+    }
 
-        #[test]
-        fn nearest_matches_brute_force(
-            coords in prop::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 1..60),
-            cx in -20.0f64..20.0,
-            cy in -20.0f64..20.0,
-        ) {
-            let pts: Vec<Point2> = coords.into_iter().map(Point2::from).collect();
+    #[test]
+    fn nearest_matches_brute_force() {
+        for case in 0u64..48 {
+            let mut rng = SmallRng::seed_from_u64(0x6D1D_4001 + case);
+            let n = rng.gen_range(1usize..60);
+            let pts: Vec<Point2> = (0..n)
+                .map(|_| Point2::new(rng.gen_range(-20.0..20.0), rng.gen_range(-20.0..20.0)))
+                .collect();
+            let center = Point2::new(rng.gen_range(-20.0..20.0), rng.gen_range(-20.0..20.0));
             let idx = GridIndex::build(&pts, 1.0);
-            let center = Point2::new(cx, cy);
             let (_, got_d) = idx.nearest(&pts, center, usize::MAX).unwrap();
-            let want_d = pts.iter().map(|p| p.distance(&center)).fold(f64::INFINITY, f64::min);
-            prop_assert!((got_d - want_d).abs() < 1e-9);
+            let want_d = pts
+                .iter()
+                .map(|p| p.distance(&center))
+                .fold(f64::INFINITY, f64::min);
+            assert!((got_d - want_d).abs() < 1e-9, "case {case}");
         }
+    }
 
-        #[test]
-        fn triangle_inequality(
-            a in (-1e3f64..1e3, -1e3f64..1e3),
-            b in (-1e3f64..1e3, -1e3f64..1e3),
-            c in (-1e3f64..1e3, -1e3f64..1e3),
-        ) {
-            let (a, b, c) = (Point2::from(a), Point2::from(b), Point2::from(c));
-            prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
-            prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+    #[test]
+    fn triangle_inequality() {
+        for case in 0u64..64 {
+            let mut rng = SmallRng::seed_from_u64(0x6D1D_5001 + case);
+            let mut draw = || Point2::new(rng.gen_range(-1e3..1e3), rng.gen_range(-1e3..1e3));
+            let (a, b, c) = (draw(), draw(), draw());
+            assert!(
+                a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9,
+                "case {case}"
+            );
+            assert!(
+                (a.distance(&b) - b.distance(&a)).abs() < 1e-12,
+                "case {case}"
+            );
         }
     }
 }

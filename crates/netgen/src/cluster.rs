@@ -69,7 +69,10 @@ pub fn chain_of_clusters(
     cluster_radius: f64,
     seed: u64,
 ) -> Vec<Point2> {
-    assert!(k > 0 && per_cluster > 0, "need at least one cluster and point");
+    assert!(
+        k > 0 && per_cluster > 0,
+        "need at least one cluster and point"
+    );
     assert!(hop.is_finite() && hop > 0.0, "hop must be positive");
     assert!(
         cluster_radius.is_finite() && cluster_radius > 0.0,
@@ -104,7 +107,13 @@ pub fn chain_for_diameter(
     seed: u64,
 ) -> Vec<Point2> {
     let rc = params.comm_radius();
-    chain_of_clusters(diameter as usize + 1, per_cluster, 0.85 * rc, 0.05 * rc, seed)
+    chain_of_clusters(
+        diameter as usize + 1,
+        per_cluster,
+        0.85 * rc,
+        0.05 * rc,
+        seed,
+    )
 }
 
 /// The paper's footnote-4 adversary: a dense **core** of `core_n` stations

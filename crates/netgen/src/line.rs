@@ -15,7 +15,10 @@ use sinr_geometry::{Point1, Point2};
 ///
 /// Panics if `gap` is not positive and finite.
 pub fn uniform_line(n: usize, gap: f64) -> Vec<Point2> {
-    assert!(gap.is_finite() && gap > 0.0, "gap must be positive, got {gap}");
+    assert!(
+        gap.is_finite() && gap > 0.0,
+        "gap must be positive, got {gap}"
+    );
     (0..n).map(|i| Point2::new(i as f64 * gap, 0.0)).collect()
 }
 
@@ -34,7 +37,10 @@ pub fn halving_line(n: usize, first_gap: f64, ratio: f64, min_gap: f64) -> Vec<P
         first_gap.is_finite() && first_gap > 0.0,
         "first_gap must be positive, got {first_gap}"
     );
-    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1], got {ratio}");
+    assert!(
+        ratio > 0.0 && ratio <= 1.0,
+        "ratio must be in (0,1], got {ratio}"
+    );
     assert!(
         min_gap > 0.0 && min_gap <= first_gap,
         "min_gap must be in (0, first_gap], got {min_gap}"
@@ -73,7 +79,11 @@ pub fn granularity_line(n: usize, max_gap: f64, rs_target: f64, min_gap: f64) ->
     pts.push(Point2::new(0.0, 0.0));
     for i in 0..gaps {
         // Exponent runs 0 -> 1 across the gaps.
-        let t = if gaps == 1 { 1.0 } else { i as f64 / (gaps - 1) as f64 };
+        let t = if gaps == 1 {
+            1.0
+        } else {
+            i as f64 / (gaps - 1) as f64
+        };
         let gap = (max_gap * rs_target.powf(-t)).max(min_gap);
         x += gap;
         pts.push(Point2::new(x, 0.0));
@@ -99,7 +109,10 @@ pub fn granularity_line_fixed_d(
     d_hops: usize,
     min_gap: f64,
 ) -> Vec<Point2> {
-    assert!(n >= d_hops + 2, "need n >= d_hops + 2 (n = {n}, d_hops = {d_hops})");
+    assert!(
+        n >= d_hops + 2,
+        "need n >= d_hops + 2 (n = {n}, d_hops = {d_hops})"
+    );
     assert!(rs_target >= 1.0, "rs_target must be >= 1, got {rs_target}");
     assert!(
         max_gap.is_finite() && max_gap > 0.0 && min_gap > 0.0 && min_gap <= max_gap,
@@ -114,7 +127,11 @@ pub fn granularity_line_fixed_d(
     }
     let tail_gaps = n - 1 - d_hops;
     for i in 0..tail_gaps {
-        let t = if tail_gaps == 1 { 1.0 } else { i as f64 / (tail_gaps - 1) as f64 };
+        let t = if tail_gaps == 1 {
+            1.0
+        } else {
+            i as f64 / (tail_gaps - 1) as f64
+        };
         let gap = (0.5 * max_gap * rs_target.powf(-t)).max(min_gap);
         x += gap;
         pts.push(Point2::new(x, 0.0));

@@ -24,7 +24,10 @@ use crate::perturb::enforce_min_separation;
 /// Panics if `radius` is not positive finite or `n == 0`.
 pub fn ring(n: usize, radius: f64, seed: u64) -> Vec<Point2> {
     assert!(n > 0, "ring needs at least one station");
-    assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+    assert!(
+        radius.is_finite() && radius > 0.0,
+        "radius must be positive"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut pts: Vec<Point2> = (0..n)
         .map(|i| {
@@ -99,7 +102,10 @@ pub fn bridge(
 /// Panics if `ratio == 0` or inputs are degenerate.
 pub fn two_tier(dense_n: usize, ratio: usize, side: f64, seed: u64) -> Vec<Point2> {
     assert!(ratio > 0, "ratio must be positive");
-    assert!(dense_n > 0 && side.is_finite() && side > 0.0, "degenerate inputs");
+    assert!(
+        dense_n > 0 && side.is_finite() && side > 0.0,
+        "degenerate inputs"
+    );
     let sparse_n = (dense_n / ratio).max(2);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut pts = Vec::with_capacity(dense_n + sparse_n);
@@ -122,7 +128,6 @@ pub fn two_tier(dense_n: usize, ratio: usize, side: f64, seed: u64) -> Vec<Point
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sinr_geometry::MetricPoint;
     use sinr_phy::CommGraph;
 
     #[test]
@@ -135,8 +140,10 @@ mod tests {
         assert!(g.is_connected());
         // Cycle diameter ~ n/2 hops (possibly less with chord edges).
         let d = g.diameter_exact().unwrap();
-        assert!(d >= 10 && d <= 20, "d = {d}");
-        assert!(pts.iter().all(|p| (p.norm() - radius).abs() < radius * 0.01));
+        assert!((10..=20).contains(&d), "d = {d}");
+        assert!(pts
+            .iter()
+            .all(|p| (p.norm() - radius).abs() < radius * 0.01));
     }
 
     #[test]

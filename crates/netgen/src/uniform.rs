@@ -13,7 +13,10 @@ use crate::perturb::min_separation_ok;
 ///
 /// Panics if `side` is not positive and finite.
 pub fn square(n: usize, side: f64, seed: u64) -> Vec<Point2> {
-    assert!(side.is_finite() && side > 0.0, "side must be positive, got {side}");
+    assert!(
+        side.is_finite() && side > 0.0,
+        "side must be positive, got {side}"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..n)
         .map(|_| Point2::new(rng.gen_range(0.0..=side), rng.gen_range(0.0..=side)))
@@ -49,10 +52,19 @@ pub fn disk(n: usize, radius: f64, seed: u64) -> Vec<Point2> {
 /// This is the workhorse generator of the experiment suite: experiments need
 /// *connected* instances, and rejection sampling preserves uniformity
 /// conditioned on connectivity.
-pub fn connected_square(n: usize, side: f64, params: &SinrParams, seed: u64) -> Option<Vec<Point2>> {
+pub fn connected_square(
+    n: usize,
+    side: f64,
+    params: &SinrParams,
+    seed: u64,
+) -> Option<Vec<Point2>> {
     const MAX_ATTEMPTS: u64 = 64;
     for attempt in 0..MAX_ATTEMPTS {
-        let pts = square(n, side, seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)));
+        let pts = square(
+            n,
+            side,
+            seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)),
+        );
         if !min_separation_ok(&pts) {
             continue;
         }
@@ -66,10 +78,19 @@ pub fn connected_square(n: usize, side: f64, params: &SinrParams, seed: u64) -> 
 
 /// Uniform disk deployment resampled until connected, as
 /// [`connected_square`].
-pub fn connected_disk(n: usize, radius: f64, params: &SinrParams, seed: u64) -> Option<Vec<Point2>> {
+pub fn connected_disk(
+    n: usize,
+    radius: f64,
+    params: &SinrParams,
+    seed: u64,
+) -> Option<Vec<Point2>> {
     const MAX_ATTEMPTS: u64 = 64;
     for attempt in 0..MAX_ATTEMPTS {
-        let pts = disk(n, radius, seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)));
+        let pts = disk(
+            n,
+            radius,
+            seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)),
+        );
         if !min_separation_ok(&pts) {
             continue;
         }
@@ -91,7 +112,6 @@ pub fn side_for_density(n: usize, density: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sinr_geometry::MetricPoint;
 
     #[test]
     fn square_bounds_and_count() {

@@ -54,11 +54,7 @@ impl ParamBounds {
     /// Returns [`ParamError`] when a range is inverted, non-finite, or
     /// violates the model constraints at its extremes (`β_min < 1`,
     /// `N_min ≤ 0`, `α_min ≤ 0`).
-    pub fn new(
-        alpha: (f64, f64),
-        beta: (f64, f64),
-        noise: (f64, f64),
-    ) -> Result<Self, ParamError> {
+    pub fn new(alpha: (f64, f64), beta: (f64, f64), noise: (f64, f64)) -> Result<Self, ParamError> {
         for (name, (lo, hi)) in [("alpha", alpha), ("beta", beta), ("noise", noise)] {
             if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
                 return Err(param_error(format!(
@@ -67,13 +63,22 @@ impl ParamBounds {
             }
         }
         if alpha.0 <= 0.0 {
-            return Err(param_error(format!("alpha_min must be positive, got {}", alpha.0)));
+            return Err(param_error(format!(
+                "alpha_min must be positive, got {}",
+                alpha.0
+            )));
         }
         if beta.0 < 1.0 {
-            return Err(param_error(format!("beta_min must be >= 1, got {}", beta.0)));
+            return Err(param_error(format!(
+                "beta_min must be >= 1, got {}",
+                beta.0
+            )));
         }
         if noise.0 <= 0.0 {
-            return Err(param_error(format!("noise_min must be positive, got {}", noise.0)));
+            return Err(param_error(format!(
+                "noise_min must be positive, got {}",
+                noise.0
+            )));
         }
         Ok(ParamBounds {
             alpha_min: alpha.0,

@@ -59,7 +59,11 @@ impl CommGraph {
                 }
             }
         }
-        CommGraph { adj, radius, num_edges }
+        CommGraph {
+            adj,
+            radius,
+            num_edges,
+        }
     }
 
     /// Number of vertices.

@@ -68,9 +68,9 @@ mod tests {
         // Place a single interferer at distance d so that signal(d) <= bound.
         let d = (p.power() / bound).powf(1.0 / p.alpha()) + 1e-6;
         let pts = vec![
-            Point2::new(0.0, 0.0),     // transmitter v
-            Point2::new(x, 0.0),       // receiver u
-            Point2::new(x + d, 0.0),   // interferer w at distance d from u
+            Point2::new(0.0, 0.0),   // transmitter v
+            Point2::new(x, 0.0),     // receiver u
+            Point2::new(x + d, 0.0), // interferer w at distance d from u
         ];
         let out = resolve_round(&pts, &p, &[0, 2], InterferenceMode::Exact, None);
         assert_eq!(out.decoded_from[1], Some(0), "Fact 2 violated by oracle");
@@ -115,8 +115,6 @@ mod tests {
     fn fact2_bound_decreases_with_distance() {
         let p = params();
         let xm = fact2_max_distance(&p);
-        assert!(
-            fact2_interference_bound(&p, 0.3) > fact2_interference_bound(&p, xm)
-        );
+        assert!(fact2_interference_bound(&p, 0.3) > fact2_interference_bound(&p, xm));
     }
 }

@@ -62,9 +62,15 @@ impl std::fmt::Display for NetworkError {
         match self {
             NetworkError::Params(e) => write!(f, "{e}"),
             NetworkError::StationsTooClose { a, b } => {
-                write!(f, "stations {a} and {b} are closer than the minimum separation")
+                write!(
+                    f,
+                    "stations {a} and {b} are closer than the minimum separation"
+                )
             }
-            NetworkError::DimensionMismatch { params_gamma, point_gamma } => write!(
+            NetworkError::DimensionMismatch {
+                params_gamma,
+                point_gamma,
+            } => write!(
                 f,
                 "parameter gamma {params_gamma} does not match point growth dimension {point_gamma}"
             ),
@@ -180,7 +186,13 @@ impl<P: MetricPoint> Network<P> {
 
     /// Resolves one round with transmitter set `transmitters`.
     pub fn resolve(&self, transmitters: &[usize]) -> RoundOutcome {
-        resolve_round(&self.points, &self.params, transmitters, self.mode, Some(&self.grid))
+        resolve_round(
+            &self.points,
+            &self.params,
+            transmitters,
+            self.mode,
+            Some(&self.grid),
+        )
     }
 
     /// Indices of stations within distance `radius` of station `v`

@@ -112,14 +112,27 @@ impl SinrParamsBuilder {
     /// Returns [`ParamError`] when any model constraint is violated
     /// (α ≤ γ, β < 1, N ≤ 0, ε ∉ (0,1), or non-finite values).
     pub fn build(self, gamma: f64) -> Result<SinrParams, ParamError> {
-        let SinrParamsBuilder { alpha, beta, noise, eps } = self;
-        for (name, v) in [("alpha", alpha), ("beta", beta), ("noise", noise), ("eps", eps), ("gamma", gamma)] {
+        let SinrParamsBuilder {
+            alpha,
+            beta,
+            noise,
+            eps,
+        } = self;
+        for (name, v) in [
+            ("alpha", alpha),
+            ("beta", beta),
+            ("noise", noise),
+            ("eps", eps),
+            ("gamma", gamma),
+        ] {
             if !v.is_finite() {
                 return Err(ParamError::new(format!("{name} must be finite, got {v}")));
             }
         }
         if gamma <= 0.0 {
-            return Err(ParamError::new(format!("gamma must be positive, got {gamma}")));
+            return Err(ParamError::new(format!(
+                "gamma must be positive, got {gamma}"
+            )));
         }
         if alpha <= gamma {
             return Err(ParamError::new(format!(
@@ -130,12 +143,22 @@ impl SinrParamsBuilder {
             return Err(ParamError::new(format!("beta must be >= 1, got {beta}")));
         }
         if noise <= 0.0 {
-            return Err(ParamError::new(format!("noise must be positive, got {noise}")));
+            return Err(ParamError::new(format!(
+                "noise must be positive, got {noise}"
+            )));
         }
         if !(eps > 0.0 && eps < 1.0) {
-            return Err(ParamError::new(format!("eps must lie in (0, 1), got {eps}")));
+            return Err(ParamError::new(format!(
+                "eps must lie in (0, 1), got {eps}"
+            )));
         }
-        Ok(SinrParams { alpha, beta, noise, eps, gamma })
+        Ok(SinrParams {
+            alpha,
+            beta,
+            noise,
+            eps,
+            gamma,
+        })
     }
 }
 

@@ -394,9 +394,9 @@ mod tests {
         // reception succeeds there but fails exactly.
         let p = SinrParams::builder().beta(1.0).eps(0.5).build(2.0).unwrap();
         let pts = vec![
-            Point2::new(0.0, 0.0),  // tx
+            Point2::new(0.0, 0.0),   // tx
             Point2::new(0.999, 0.0), // marginal receiver
-            Point2::new(3.0, 0.0),  // jammer outside truncation radius 1.5
+            Point2::new(3.0, 0.0),   // jammer outside truncation radius 1.5
         ];
         let grid = GridIndex::build(&pts, 1.0);
         let exact = resolve_round(&pts, &p, &[0, 2], InterferenceMode::Exact, None);
@@ -471,7 +471,10 @@ mod tests {
         let mut cells: std::collections::HashMap<(i64, i64), (f64, f64, Vec<usize>)> =
             Default::default();
         for &t in &tx {
-            let key = ((pts[t].x / cell).floor() as i64, (pts[t].y / cell).floor() as i64);
+            let key = (
+                (pts[t].x / cell).floor() as i64,
+                (pts[t].y / cell).floor() as i64,
+            );
             let e = cells.entry(key).or_insert((0.0, 0.0, Vec::new()));
             e.0 += pts[t].x;
             e.1 += pts[t].y;

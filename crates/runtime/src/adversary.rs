@@ -34,9 +34,7 @@ impl WakeSchedule {
     pub fn wake_round(&self, node: usize) -> Option<u64> {
         match self {
             WakeSchedule::AllAt(r) => Some(*r),
-            WakeSchedule::Selected(list) => {
-                list.iter().find(|(n, _)| *n == node).map(|(_, r)| *r)
-            }
+            WakeSchedule::Selected(list) => list.iter().find(|(n, _)| *n == node).map(|(_, r)| *r),
             WakeSchedule::Staggered { start, gap } => Some(start + node as u64 * gap),
         }
     }

@@ -179,11 +179,7 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
 
     /// Runs until `pred` holds (checked *before* each round, so a
     /// pre-satisfied predicate costs zero rounds) or `max_rounds` elapse.
-    pub fn run_until(
-        &mut self,
-        max_rounds: u64,
-        mut pred: impl FnMut(&Self) -> bool,
-    ) -> RunResult {
+    pub fn run_until(&mut self, max_rounds: u64, mut pred: impl FnMut(&Self) -> bool) -> RunResult {
         let start = self.round;
         loop {
             if pred(self) {

@@ -96,8 +96,16 @@ mod tests {
     #[test]
     fn aggregates() {
         let mut t = Trace::aggregate_only();
-        t.record(RoundStats { round: 0, transmitters: 3, receptions: 1 });
-        t.record(RoundStats { round: 1, transmitters: 5, receptions: 2 });
+        t.record(RoundStats {
+            round: 0,
+            transmitters: 3,
+            receptions: 1,
+        });
+        t.record(RoundStats {
+            round: 1,
+            transmitters: 5,
+            receptions: 2,
+        });
         assert_eq!(t.rounds(), 2);
         assert_eq!(t.total_transmissions(), 8);
         assert_eq!(t.total_receptions(), 3);
@@ -110,7 +118,11 @@ mod tests {
     fn recording_keeps_rounds() {
         let mut t = Trace::recording();
         for r in 0..4 {
-            t.record(RoundStats { round: r, transmitters: 1, receptions: 0 });
+            t.record(RoundStats {
+                round: r,
+                transmitters: 1,
+                receptions: 0,
+            });
         }
         assert_eq!(t.per_round().unwrap().len(), 4);
         assert_eq!(t.per_round().unwrap()[2].round, 2);

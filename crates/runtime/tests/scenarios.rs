@@ -13,7 +13,10 @@ impl Protocol for Shouter {
         Some(1)
     }
     fn on_round_end(&mut self, _ctx: &mut NodeCtx<'_>, _tx: bool, rx: Option<&u8>) {
-        assert!(rx.is_none(), "a transmitter decoded a message (half-duplex violated)");
+        assert!(
+            rx.is_none(),
+            "a transmitter decoded a message (half-duplex violated)"
+        );
     }
 }
 
@@ -54,16 +57,22 @@ impl Protocol for Fixed {
 #[test]
 fn symmetric_jam_and_side_capture() {
     let pts = vec![
-        Point2::new(0.0, 0.0),  // 0: tx "10"
-        Point2::new(0.5, 0.0),  // 1: jammed midpoint
-        Point2::new(1.0, 0.0),  // 2: tx "20"
-        Point2::new(1.3, 0.0),  // 3: near 2, far from 0
+        Point2::new(0.0, 0.0), // 0: tx "10"
+        Point2::new(0.5, 0.0), // 1: jammed midpoint
+        Point2::new(1.0, 0.0), // 2: tx "20"
+        Point2::new(1.3, 0.0), // 3: near 2, far from 0
     ];
     let net = Network::new(pts, SinrParams::default_plane()).unwrap();
-    let mut eng = Engine::new(net, 3, |id| Fixed { id, decoded: vec![] });
+    let mut eng = Engine::new(net, 3, |id| Fixed {
+        id,
+        decoded: vec![],
+    });
     eng.run_rounds(5);
     let nodes = eng.into_nodes();
-    assert!(nodes[1].decoded.is_empty(), "midpoint decoded despite symmetric jam");
+    assert!(
+        nodes[1].decoded.is_empty(),
+        "midpoint decoded despite symmetric jam"
+    );
     assert_eq!(nodes[3].decoded, vec![20, 20, 20, 20, 20]);
 }
 

@@ -1,0 +1,11 @@
+//! Facade crate for the Scenario/Simulation builder API.
+//!
+//! The implementation lives in [`sinr_core::sim`] (it constructs the
+//! per-node protocol state machines, so it must sit next to them); this
+//! crate re-exports it under the `sinr_sim` name so downstream users can
+//! depend on the builder without naming the core crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sinr_core::sim::*;

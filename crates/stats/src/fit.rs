@@ -119,8 +119,10 @@ fn solve_gaussian(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         // Eliminate below.
         for row in (col + 1)..n {
             let f = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (rk, pk) in rest[0][col..].iter_mut().zip(&pivot_row[col..]) {
+                *rk -= f * pk;
             }
             b[row] -= f * b[col];
         }

@@ -81,7 +81,10 @@ impl Summary {
 ///
 /// Panics if `p` is outside `[0, 1]`.
 pub fn quantile(samples: &[f64], p: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&p), "quantile p must be in [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "quantile p must be in [0,1], got {p}"
+    );
     if samples.is_empty() {
         return None;
     }
@@ -199,7 +202,11 @@ mod tests {
         let h = histogram(&[1.0, 2.0, 3.0, 4.0], 4).unwrap();
         assert_eq!(h, vec![1, 1, 1, 1]);
         let h = histogram(&[5.0, 5.0, 5.0], 3).unwrap();
-        assert_eq!(h.iter().sum::<usize>(), 3, "degenerate span keeps all samples");
+        assert_eq!(
+            h.iter().sum::<usize>(),
+            3,
+            "degenerate span keeps all samples"
+        );
         assert_eq!(histogram(&[], 2), None);
         assert_eq!(histogram(&[f64::NAN], 2), None);
     }

@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fmt_f64(3.0), "3");
-        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(1.23456), "1.235");
         assert_eq!(fmt_f64(12345.6), "12346");
         assert_eq!(fmt_f64(f64::NAN), "NaN");
         assert_eq!(fmt_f64(-2.0), "-2");

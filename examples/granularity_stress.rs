@@ -8,25 +8,25 @@
 //! shrinking geometrically, so the granularity `R_s` is astronomically
 //! large while the communication graph stays simple — and races the
 //! paper's `SBroadcast` against the Daum et al.-style decay baseline,
-//! whose round complexity is polylogarithmic in `R_s`.
+//! whose round complexity is polylogarithmic in `R_s`. One `Scenario` per
+//! contender, same topology, same seed.
 
-use sinr_broadcast::core::{
-    run::{run_daum_broadcast, run_s_broadcast},
-    Constants,
-};
 use sinr_broadcast::netgen::{line, validate};
 use sinr_broadcast::phy::SinrParams;
+use sinr_broadcast::sim::{ProtocolSpec, Scenario};
 
 fn main() {
     let params = SinrParams::default_plane();
-    let consts = Constants::tuned();
     let n = 64;
     let d_hops = 12;
     let seed = 1;
     let budget = 5_000_000;
 
     println!("racing SBroadcast vs the decay baseline on fixed-D lines, growing Rs:\n");
-    println!("{:>12} {:>6} {:>4} {:>12} {:>12}", "Rs", "D", "", "ours", "daum");
+    println!(
+        "{:>12} {:>6} {:>4} {:>12} {:>12}",
+        "Rs", "D", "", "ours", "daum"
+    );
     for rs in [16.0, 4096.0, 1_048_576.0, 268_435_456.0] {
         let pts = line::granularity_line_fixed_d(n, params.comm_radius(), rs, d_hops, 2e-9);
         let report = validate::report(&pts, &params);
@@ -34,9 +34,22 @@ fn main() {
         let actual_rs = report.granularity.unwrap();
         let d = report.diameter.unwrap();
 
-        let ours = run_s_broadcast(pts.clone(), &params, consts, 0, seed, budget)
+        let ours = Scenario::new(pts.clone())
+            .protocol(ProtocolSpec::SBroadcast { source: 0 })
+            .budget(budget)
+            .build()
+            .expect("valid scenario")
+            .run(seed)
             .expect("valid network");
-        let daum = run_daum_broadcast(pts, &params, 0, Some(actual_rs), seed, budget)
+        let daum = Scenario::new(pts)
+            .protocol(ProtocolSpec::DaumBroadcast {
+                source: 0,
+                granularity: Some(actual_rs),
+            })
+            .budget(budget)
+            .build()
+            .expect("valid scenario")
+            .run(seed)
             .expect("valid network");
 
         println!(

@@ -7,56 +7,76 @@
 //! A fleet of autonomous rovers lands in a canyon (a cluster chain). They
 //! first agree on the minimum of their battery readings (consensus), then
 //! elect a coordinator by drawing random IDs and agreeing on the minimum ID
-//! — both on top of one `StabilizeProbability` backbone each.
+//! — both on top of one `StabilizeProbability` backbone each, and both
+//! expressed as declarative `Scenario`s over the same topology.
 
-use sinr_broadcast::core::{
-    consensus::domain_bits,
-    run::{run_consensus, run_leader_election},
-    Constants,
-};
-use sinr_broadcast::netgen::{cluster, validate};
+use sinr_broadcast::core::consensus::domain_bits;
+use sinr_broadcast::netgen::validate;
 use sinr_broadcast::phy::SinrParams;
+use sinr_broadcast::sim::{Outcome, ProtocolSpec, Scenario, TopologySpec};
 
 fn main() {
-    let params = SinrParams::default_plane();
-    let consts = Constants::tuned();
     let seed = 3;
-
     let diameter = 5;
-    let points = cluster::chain_for_diameter(diameter, 8, &params, seed);
+    let topology = TopologySpec::ClusterChain {
+        diameter,
+        per_cluster: 8,
+    };
+
+    // Inspect the deployment this seed will materialize.
+    let probe = Scenario::new(topology.clone())
+        .protocol(ProtocolSpec::LeaderElection { d_bound: diameter })
+        .build()
+        .expect("fixed-schedule protocol");
+    let points = probe.materialize(seed).expect("generated");
     let n = points.len();
-    let report = validate::report(&points, &params);
+    let report = validate::report(&points, &SinrParams::default_plane());
     println!("rover fleet: n = {n}, D = {:?}\n", report.diameter);
 
     // --- consensus on battery levels (domain 0..=100) ---
     let batteries: Vec<u64> = (0..n as u64).map(|i| 35 + (i * 17) % 60).collect();
     let min_battery = *batteries.iter().min().unwrap();
-    let bits = domain_bits(100);
-    let outcome = run_consensus(
-        points.clone(),
-        &params,
-        consts,
-        &batteries,
-        bits,
-        diameter,
-        seed,
-    )
-    .expect("valid network");
-    println!(
-        "consensus on minimum battery: decided {:?} (true minimum {min_battery}) \
-         in {} rounds — agreement: {}, valid: {}",
-        outcome.decided[0], outcome.rounds, outcome.agreement, outcome.valid
-    );
-    assert!(outcome.valid, "consensus failed; widen the window");
+    let outcome = Scenario::new(topology.clone())
+        .protocol(ProtocolSpec::Consensus {
+            values: batteries,
+            bits: domain_bits(100),
+            d_bound: diameter,
+        })
+        .build()
+        .expect("fixed-schedule protocol")
+        .run(seed)
+        .expect("valid network");
+    match outcome.outcome {
+        Outcome::Consensus {
+            ref decided,
+            agreement,
+            valid,
+        } => {
+            println!(
+                "consensus on minimum battery: decided {:?} (true minimum {min_battery}) \
+                 in {} rounds — agreement: {agreement}, valid: {valid}",
+                decided[0], outcome.rounds
+            );
+            assert!(valid, "consensus failed; widen the window");
+        }
+        ref other => unreachable!("consensus outcome expected, got {other:?}"),
+    }
 
     // --- leader election ---
-    let election = run_leader_election(points, &params, consts, diameter, seed)
-        .expect("valid network");
-    println!(
-        "leader election: rover {:?} elected in {} rounds (unique: {})",
-        election.leaders, election.rounds, election.unique
-    );
-    assert!(election.unique, "election not unique; rerun with another seed");
+    let election = probe.run(seed).expect("valid network");
+    match election.outcome {
+        Outcome::Leader {
+            ref leaders,
+            unique,
+        } => {
+            println!(
+                "leader election: rover {leaders:?} elected in {} rounds (unique: {unique})",
+                election.rounds
+            );
+            assert!(unique, "election not unique; rerun with another seed");
+        }
+        ref other => unreachable!("leader outcome expected, got {other:?}"),
+    }
     println!(
         "\ntheory: consensus O(D log n log x + log^2 n log x); election adds the\n\
          random-ID draw from {{1..n^3}} and runs consensus over {} bits",

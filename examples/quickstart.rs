@@ -1,44 +1,58 @@
-//! Quickstart: broadcast a message across a random sensor deployment.
+//! Quickstart: broadcast a message across a random sensor deployment,
+//! then sweep seeds in parallel — all through the `Scenario` builder.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Generates a connected uniform deployment, inspects its communication
-//! graph, runs `SBroadcast` (Theorem 2) and prints what happened.
+//! Declares a connected uniform deployment, runs `SBroadcast` (Theorem 2)
+//! for one seed, inspects the deployment that seed materialized, and
+//! finishes with a parallel ten-seed sweep.
 
-use sinr_broadcast::core::{run::run_s_broadcast, Constants};
-use sinr_broadcast::netgen::{uniform, validate};
+use sinr_broadcast::netgen::validate;
 use sinr_broadcast::phy::SinrParams;
+use sinr_broadcast::sim::{ProtocolSpec, Scenario, TopologySpec};
 
 fn main() {
-    let params = SinrParams::default_plane();
-    let consts = Constants::tuned();
     let n = 200;
     let seed = 42;
 
-    // A connected uniform deployment with ~30 stations per unit area.
-    let side = uniform::side_for_density(n, 30.0);
-    let points = uniform::connected_square(n, side, &params, seed)
-        .expect("density 30 connects easily; try another seed otherwise");
+    // The whole experiment is declarative: a topology family, a protocol
+    // from the registry, a round budget. Defaults cover the SINR
+    // parameters (plane) and the tuned constants.
+    let sim = Scenario::new(TopologySpec::ConnectedSquareDensity { n, density: 30.0 })
+        .protocol(ProtocolSpec::SBroadcast { source: 0 })
+        .budget(5_000_000)
+        .build()
+        .expect("protocol and budget set");
 
-    let report = validate::report(&points, &params);
-    println!("deployment: n = {}, side = {side:.2}", report.n);
+    // Every run is a pure function of its seed — materialize() shows the
+    // exact deployment the run simulated on.
+    let points = sim.materialize(seed).expect("density 30 connects easily");
+    let report = validate::report(&points, &SinrParams::default_plane());
+    println!("deployment: n = {}", report.n);
     println!(
         "communication graph: D = {:?}, max degree = {}, edges = {}",
         report.diameter, report.max_degree, report.num_edges
     );
 
-    // Broadcast from station 0 with spontaneous wake-up (everyone starts
-    // together, so one global coloring precedes dissemination).
-    let result = run_s_broadcast(points, &params, consts, 0, seed, 5_000_000)
-        .expect("valid network");
-
+    let result = sim.run(seed).expect("valid scenario");
     println!(
         "SBroadcast: informed {}/{} stations in {} rounds ({} transmissions total)",
         result.informed, result.n, result.rounds, result.total_transmissions
     );
     assert!(result.completed, "increase the round budget");
+
+    // Sweeps fan out across cores; per-seed results are identical no
+    // matter how many threads run them.
+    let seeds: Vec<u64> = (1..=10).collect();
+    let sweep = sim.sweep(&seeds).expect("all seeds connect");
+    println!(
+        "sweep over {} seeds: completion rate {:.2}, mean rounds {:.0}",
+        seeds.len(),
+        sweep.completion_rate(),
+        sweep.rounds_summary().map_or(f64::NAN, |s| s.mean)
+    );
     println!(
         "theory: O(D log n + log^2 n) whp — with D = {:?} and n = {}, the shape holds (see EXPERIMENTS.md E5)",
         report.diameter, result.n

@@ -8,65 +8,99 @@
 //! battery-powered sensors sleeps until it hears an alarm. One clustered
 //! corridor of sensors connects a sensor that detects an event (the source)
 //! to a distant base-station cluster; `NoSBroadcast` (Theorem 1) carries the
-//! alarm with no pre-established structure — each phase, the already-woken
-//! sensors rebuild the coloring among themselves, then push the alarm one
-//! hop further.
+//! alarm with no pre-established structure. A custom [`Observer`] watches
+//! the alarm front advance phase by phase, and the recorded per-node
+//! transmission counts show the coloring keeping duty cycles flat.
 
-use sinr_broadcast::core::{broadcast::NoSBroadcastNode, Constants};
-use sinr_broadcast::netgen::{cluster, validate};
-use sinr_broadcast::phy::{Network, SinrParams};
-use sinr_broadcast::runtime::Engine;
+use std::sync::{Arc, Mutex};
+
+use sinr_broadcast::core::Constants;
+use sinr_broadcast::netgen::validate;
+use sinr_broadcast::phy::SinrParams;
+use sinr_broadcast::runtime::RoundStats;
+use sinr_broadcast::sim::{Observer, ProtocolSpec, RunReport, Scenario, TopologySpec};
+
+/// Records the informed count at every phase boundary.
+struct AlarmFront {
+    phase_len: u64,
+    samples: Arc<Mutex<Vec<(u64, usize)>>>,
+}
+
+impl Observer for AlarmFront {
+    fn on_round(&mut self, stats: &RoundStats, informed: usize) {
+        if (stats.round + 1) % self.phase_len == 0 {
+            self.samples
+                .lock()
+                .unwrap()
+                .push((stats.round + 1, informed));
+        }
+    }
+
+    fn finish(&mut self, report: &mut RunReport) {
+        report
+            .measurements
+            .insert("phases".into(), (report.rounds / self.phase_len) as f64);
+    }
+}
 
 fn main() {
-    let params = SinrParams::default_plane();
     let consts = Constants::tuned();
     let seed = 7;
 
     // A corridor of 9 sensor clusters (diameter 8), 14 sensors each.
     let diameter = 8;
-    let points = cluster::chain_for_diameter(diameter, 14, &params, seed);
-    let n = points.len();
-    let report = validate::report(&points, &params);
+    let n = (diameter as usize + 1) * 14;
+    let phase_len = consts.phase_rounds(n);
+
+    let samples: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let front = Arc::clone(&samples);
+    let sim = Scenario::new(TopologySpec::ClusterChain {
+        diameter,
+        per_cluster: 14,
+    })
+    .constants(consts)
+    .protocol(ProtocolSpec::NoSBroadcast { source: 0 })
+    .budget(phase_len * 3 * (u64::from(diameter) + 2))
+    .record_rounds()
+    .observe(move || {
+        Box::new(AlarmFront {
+            phase_len,
+            samples: Arc::clone(&front),
+        })
+    })
+    .build()
+    .expect("valid scenario");
+
+    let points = sim.materialize(seed).expect("generated");
+    let report = validate::report(&points, &SinrParams::default_plane());
     println!(
         "sensor corridor: n = {n}, D = {:?} (clusters of 14)",
         report.diameter
     );
 
-    let net = Network::new(points, params).expect("valid deployment");
-    let mut engine = Engine::new(net, seed, |id| {
-        NoSBroadcastNode::new(id, 0, 0xA1A2, n, consts)
-    });
-
-    // Drive phase by phase, reporting the alarm front as it advances.
-    let phase_len = consts.phase_rounds(n);
-    let mut phase = 0;
-    loop {
-        engine.run_rounds(phase_len);
-        phase += 1;
-        let awake = engine.nodes().iter().filter(|s| s.informed()).count();
-        println!("after phase {phase:2} ({} rounds): {awake}/{n} sensors alarmed", engine.round());
+    let result = sim.run(seed).expect("valid deployment");
+    for &(round, awake) in samples.lock().unwrap().iter() {
+        let phase = round / phase_len;
+        println!("after phase {phase:2} ({round} rounds): {awake}/{n} sensors alarmed");
         if awake == n {
             break;
         }
-        assert!(
-            phase <= 3 * (diameter as usize + 2),
-            "alarm stalled — raise the budget"
-        );
     }
+    assert!(result.completed, "alarm stalled — raise the budget");
     println!(
         "alarm delivered in {} rounds; theory: O(D log^2 n) = {} phases of {} rounds",
-        engine.round(),
+        result.rounds,
         diameter + 1,
         phase_len
     );
     println!(
         "energy proxy: {} transmissions total across {n} sensors",
-        engine.trace().total_transmissions()
+        result.total_transmissions
     );
 
     // Duty-cycle distribution: the coloring keeps per-node energy flat even
     // though cluster cores are 14x denser than the corridor spacing.
-    let mut tx: Vec<u64> = engine.tx_counts().to_vec();
+    let mut tx = result.tx_counts.expect("recorded via record_rounds()");
     tx.sort_unstable();
     println!(
         "per-sensor transmissions: min {} / median {} / max {}",

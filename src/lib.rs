@@ -18,20 +18,29 @@
 //! | [`netgen`] | topology generators (uniform, clusters, geometric lines) |
 //! | [`stats`] | summaries, scaling-law fits, tables |
 //! | [`core`] | `StabilizeProbability` coloring, `NoSBroadcast`, `SBroadcast`, wake-up, consensus, leader election, baselines |
+//! | [`sim`] | the `Scenario` builder: declarative topologies, protocol registry, parallel seed sweeps |
 //!
 //! # Quickstart
 //!
-//! ```
-//! use sinr_broadcast::core::{run::run_s_broadcast, Constants};
-//! use sinr_broadcast::netgen::uniform;
-//! use sinr_broadcast::phy::SinrParams;
+//! Scenarios are fully declarative — a topology spec, a protocol from the
+//! registry, a round budget — and every run is a pure function of its
+//! seed, so sweeps parallelize and replay bit-for-bit:
 //!
-//! let params = SinrParams::default_plane();
-//! let points = uniform::connected_square(100, 1.8, &params, 7).expect("connected");
-//! let report = run_s_broadcast(points, &params, Constants::tuned(), 0, 42, 2_000_000)?;
+//! ```
+//! use sinr_broadcast::sim::{ProtocolSpec, Scenario, TopologySpec};
+//!
+//! let sim = Scenario::new(TopologySpec::ConnectedSquareDensity { n: 100, density: 30.0 })
+//!     .protocol(ProtocolSpec::SBroadcast { source: 0 })
+//!     .budget(2_000_000)
+//!     .build()?;
+//!
+//! let report = sim.run(42)?;
 //! assert!(report.completed);
 //! println!("broadcast reached {} stations in {} rounds", report.informed, report.rounds);
-//! # Ok::<(), sinr_broadcast::phy::NetworkError>(())
+//!
+//! let sweep = sim.sweep(&[1, 2, 3, 4])?; // parallel across cores, deterministic
+//! println!("completion rate: {}", sweep.completion_rate());
+//! # Ok::<(), sinr_broadcast::sim::SimError>(())
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `DESIGN.md` / `EXPERIMENTS.md`
@@ -45,6 +54,7 @@ pub use sinr_geometry as geometry;
 pub use sinr_netgen as netgen;
 pub use sinr_phy as phy;
 pub use sinr_runtime as runtime;
+pub use sinr_sim as sim;
 pub use sinr_stats as stats;
 
 /// Workspace version, for diagnostics.

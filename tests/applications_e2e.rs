@@ -1,13 +1,11 @@
-//! End-to-end tests for the Section 5 applications.
+//! End-to-end tests for the Section 5 applications, via the `Scenario`
+//! builder.
 
-use sinr_broadcast::core::{
-    consensus::domain_bits,
-    run::{run_adhoc_wakeup, run_consensus, run_leader_election},
-    Constants,
-};
+use sinr_broadcast::core::{consensus::domain_bits, run_stabilize, Constants};
 use sinr_broadcast::netgen::{cluster, line};
 use sinr_broadcast::phy::SinrParams;
 use sinr_broadcast::runtime::WakeSchedule;
+use sinr_broadcast::sim::{Outcome, ProtocolSpec, Scenario};
 
 fn fast() -> Constants {
     Constants {
@@ -32,59 +30,101 @@ fn wakeup_under_three_schedules() {
     ];
     for (i, schedule) in schedules.iter().enumerate() {
         let budget = consts.phase_rounds(n) * 60 + n as u64 * 20;
-        let rep = run_adhoc_wakeup(pts.clone(), &params, consts, schedule, i as u64, budget)
+        let rep = Scenario::new(pts.clone())
+            .constants(consts)
+            .protocol(ProtocolSpec::AdhocWakeup {
+                schedule: schedule.clone(),
+            })
+            .budget(budget)
+            .build()
+            .unwrap()
+            .run(i as u64)
             .expect("valid");
         assert!(rep.completed, "schedule {i} incomplete: {rep:?}");
+        assert_eq!(rep.informed, n, "schedule {i}: all stations awake");
     }
 }
 
 #[test]
 fn wakeup_accounting_starts_at_first_wake() {
-    let params = SinrParams::default_plane();
     let consts = fast();
     let pts = line::uniform_line(6, 0.45);
-    let schedule = WakeSchedule::single(3, 40);
-    let rep = run_adhoc_wakeup(
-        pts,
-        &params,
-        consts,
-        &schedule,
-        2,
-        consts.phase_rounds(6) * 60,
-    )
-    .unwrap();
+    let rep = Scenario::new(pts)
+        .constants(consts)
+        .protocol(ProtocolSpec::AdhocWakeup {
+            schedule: WakeSchedule::single(3, 40),
+        })
+        .budget(consts.phase_rounds(6) * 60)
+        .build()
+        .unwrap()
+        .run(2)
+        .unwrap();
     assert!(rep.completed);
-    assert_eq!(rep.first_wake, 40);
+    match rep.outcome {
+        Outcome::Wakeup { first_wake, .. } => assert_eq!(first_wake, 40),
+        ref other => panic!("expected wakeup outcome, got {other:?}"),
+    }
 }
 
 #[test]
 fn consensus_decides_minimum_on_chain() {
     let params = SinrParams::default_plane();
-    let consts = fast();
     let pts = cluster::chain_for_diameter(3, 8, &params, 2);
     let n = pts.len();
     let values: Vec<u64> = (0..n as u64).map(|i| 20 + (i * 13) % 40).collect();
-    let bits = domain_bits(63);
-    let rep = run_consensus(pts, &params, consts, &values, bits, 3, 5).expect("valid");
-    assert!(rep.agreement, "{:?}", rep.decided);
-    assert!(rep.valid);
-    assert_eq!(rep.decided[0], values.iter().copied().min());
+    let min = values.iter().copied().min();
+    let rep = Scenario::new(pts)
+        .constants(fast())
+        .protocol(ProtocolSpec::Consensus {
+            values,
+            bits: domain_bits(63),
+            d_bound: 3,
+        })
+        .build()
+        .unwrap()
+        .run(5)
+        .expect("valid");
+    match rep.outcome {
+        Outcome::Consensus {
+            ref decided,
+            agreement,
+            valid,
+        } => {
+            assert!(agreement, "{decided:?}");
+            assert!(valid);
+            assert_eq!(decided[0], min);
+        }
+        ref other => panic!("expected consensus outcome, got {other:?}"),
+    }
 }
 
 #[test]
 fn consensus_with_duplicate_minimum() {
-    let params = SinrParams::default_plane();
-    let consts = fast();
     let pts = line::uniform_line(6, 0.45);
-    let values = [9, 2, 7, 2, 8, 2];
-    let rep = run_consensus(pts, &params, consts, &values, 4, 6, 6).expect("valid");
-    assert!(rep.valid);
-    assert_eq!(rep.decided[0], Some(2));
+    let rep = Scenario::new(pts)
+        .constants(fast())
+        .protocol(ProtocolSpec::Consensus {
+            values: vec![9, 2, 7, 2, 8, 2],
+            bits: 4,
+            d_bound: 6,
+        })
+        .build()
+        .unwrap()
+        .run(6)
+        .expect("valid");
+    match rep.outcome {
+        Outcome::Consensus {
+            ref decided, valid, ..
+        } => {
+            assert!(valid);
+            assert_eq!(decided[0], Some(2));
+        }
+        ref other => panic!("expected consensus outcome, got {other:?}"),
+    }
 }
 
 #[test]
 fn established_wakeup_over_real_backbone() {
-    use sinr_broadcast::core::{run::run_established_wakeup, run_stabilize};
     let params = SinrParams::default_plane();
     let consts = fast();
     let pts = cluster::chain_for_diameter(3, 8, &params, 9);
@@ -94,46 +134,96 @@ fn established_wakeup_over_real_backbone() {
     let backbone = run_stabilize(pts.clone(), &params, consts, 4).expect("valid");
     let mut initiators = vec![false; n];
     initiators[0] = true;
-    let budget = consts.wakeup_window(n, 3) * 3;
-    let rep = run_established_wakeup(
-        pts,
-        &params,
-        consts,
-        &backbone.coloring,
-        &initiators,
-        5,
-        budget,
-    )
-    .expect("valid");
+    let rep = Scenario::new(pts)
+        .constants(consts)
+        .protocol(ProtocolSpec::EstablishedWakeup {
+            coloring: backbone.coloring,
+            initiators,
+        })
+        .budget(consts.wakeup_window(n, 3) * 3)
+        .build()
+        .unwrap()
+        .run(5)
+        .expect("valid");
     assert!(rep.completed, "{rep:?}");
     assert_eq!(rep.informed, n);
 }
 
 #[test]
 fn alert_protocol_end_to_end() {
-    use sinr_broadcast::core::alert::AlertNode;
-    use sinr_broadcast::phy::Network;
-    use sinr_broadcast::runtime::Engine;
     let params = SinrParams::default_plane();
     let consts = fast();
     let pts = cluster::chain_for_diameter(3, 6, &params, 2);
     let n = pts.len();
-    let net = Network::new(pts, params).unwrap();
+    // A uniform p_max backbone, alert at station n-1 in round 12.
+    let coloring = sinr_broadcast::core::Coloring::new(vec![consts.p_max(); n]);
     let window = consts.wakeup_window(n, 3);
-    let mut eng = Engine::new(net, 6, |id| {
-        AlertNode::new(consts.p_max(), (id == n - 1).then_some(12), n, consts, window)
-    });
-    let res = eng.run_until(window * 4, |e| e.nodes().iter().all(AlertNode::alarmed));
-    assert!(res.completed);
+    let rep = Scenario::new(pts)
+        .constants(consts)
+        .protocol(ProtocolSpec::Alert {
+            coloring,
+            alerts: vec![(n - 1, 12)],
+            d_bound: 3,
+        })
+        .budget(window * 4)
+        .build()
+        .unwrap()
+        .run(6)
+        .expect("valid");
+    assert!(rep.completed, "{rep:?}");
+    match rep.outcome {
+        Outcome::Alert { ref learned_at } => {
+            assert_eq!(learned_at[n - 1], Some(12));
+            assert!(learned_at.iter().all(|r| r.is_some()));
+        }
+        ref other => panic!("expected alert outcome, got {other:?}"),
+    }
+}
+
+#[test]
+fn quiescent_alert_stays_silent() {
+    // With no alerts, the alert protocol must idle without a single
+    // transmission (the perfect-quiescence property).
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    let pts = cluster::chain_for_diameter(2, 5, &params, 3);
+    let n = pts.len();
+    let coloring = sinr_broadcast::core::Coloring::new(vec![consts.p_max(); n]);
+    let rep = Scenario::new(pts)
+        .constants(consts)
+        .protocol(ProtocolSpec::Alert {
+            coloring,
+            alerts: vec![],
+            d_bound: 2,
+        })
+        .budget(500)
+        .build()
+        .unwrap()
+        .run(7)
+        .expect("valid");
+    assert!(!rep.completed, "nothing to learn without an alert");
+    assert_eq!(
+        rep.total_transmissions, 0,
+        "alert protocol must idle silently"
+    );
+    assert_eq!(rep.informed, 0);
 }
 
 #[test]
 fn leader_election_unique_across_seeds() {
-    let params = SinrParams::default_plane();
-    let consts = fast();
-    for seed in 0..3u64 {
-        let pts = line::uniform_line(8, 0.45);
-        let rep = run_leader_election(pts, &params, consts, 8, seed).expect("valid");
-        assert!(rep.unique, "seed {seed}: leaders {:?}", rep.leaders);
+    let sim = Scenario::new(line::uniform_line(8, 0.45))
+        .constants(fast())
+        .protocol(ProtocolSpec::LeaderElection { d_bound: 8 })
+        .build()
+        .unwrap();
+    let sweep = sim.sweep(&[0, 1, 2]).expect("valid");
+    for rep in &sweep.runs {
+        match rep.outcome {
+            Outcome::Leader {
+                ref leaders,
+                unique,
+            } => assert!(unique, "seed {}: leaders {leaders:?}", rep.seed),
+            ref other => panic!("expected leader outcome, got {other:?}"),
+        }
     }
 }

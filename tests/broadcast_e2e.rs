@@ -1,12 +1,11 @@
-//! End-to-end broadcast tests across topology families, via the facade.
+//! End-to-end broadcast tests across topology families, via the facade's
+//! `Scenario` builder.
 
-use sinr_broadcast::core::{
-    run::{run_nos_broadcast, run_s_broadcast},
-    Constants,
-};
+use sinr_broadcast::core::Constants;
 use sinr_broadcast::geometry::Point2;
 use sinr_broadcast::netgen::{cluster, line, uniform};
 use sinr_broadcast::phy::SinrParams;
+use sinr_broadcast::sim::{ProtocolSpec, Scenario};
 
 fn fast() -> Constants {
     Constants {
@@ -32,13 +31,26 @@ fn topologies(seed: u64) -> Vec<(&'static str, Vec<Point2>)> {
     ]
 }
 
+fn broadcast_sim(
+    pts: Vec<Point2>,
+    spec: ProtocolSpec,
+    budget: u64,
+) -> sinr_broadcast::sim::Simulation {
+    Scenario::new(pts)
+        .constants(fast())
+        .protocol(spec)
+        .budget(budget)
+        .build()
+        .expect("valid scenario")
+}
+
 #[test]
 fn s_broadcast_completes_on_all_families() {
-    let params = SinrParams::default_plane();
-    let consts = fast();
     for (name, pts) in topologies(1) {
         let n = pts.len();
-        let rep = run_s_broadcast(pts, &params, consts, 0, 7, 3_000_000).expect("valid");
+        let rep = broadcast_sim(pts, ProtocolSpec::SBroadcast { source: 0 }, 3_000_000)
+            .run(7)
+            .expect("valid");
         assert!(rep.completed, "[{name}] incomplete: {rep:?}");
         assert_eq!(rep.informed, n, "[{name}]");
     }
@@ -46,12 +58,13 @@ fn s_broadcast_completes_on_all_families() {
 
 #[test]
 fn nos_broadcast_completes_on_all_families() {
-    let params = SinrParams::default_plane();
     let consts = fast();
     for (name, pts) in topologies(2) {
         let n = pts.len();
         let budget = consts.phase_rounds(n) * 80;
-        let rep = run_nos_broadcast(pts, &params, consts, 0, 8, budget).expect("valid");
+        let rep = broadcast_sim(pts, ProtocolSpec::NoSBroadcast { source: 0 }, budget)
+            .run(8)
+            .expect("valid");
         assert!(rep.completed, "[{name}] incomplete: {rep:?}");
         assert_eq!(rep.informed, n, "[{name}]");
     }
@@ -60,55 +73,76 @@ fn nos_broadcast_completes_on_all_families() {
 #[test]
 fn broadcast_deterministic_in_seed() {
     let params = SinrParams::default_plane();
-    let consts = fast();
     let pts = cluster::chain_for_diameter(3, 8, &params, 5);
-    let a = run_s_broadcast(pts.clone(), &params, consts, 0, 42, 2_000_000).unwrap();
-    let b = run_s_broadcast(pts, &params, consts, 0, 42, 2_000_000).unwrap();
+    let sim = broadcast_sim(pts, ProtocolSpec::SBroadcast { source: 0 }, 2_000_000);
+    let a = sim.run(42).unwrap();
+    let b = sim.run(42).unwrap();
     assert_eq!(a, b);
 }
 
 #[test]
 fn source_choice_is_arbitrary() {
-    let params = SinrParams::default_plane();
-    let consts = fast();
     for source in [0, 5, 11] {
         let pts = line::uniform_line(12, 0.45);
-        let rep = run_s_broadcast(pts, &params, consts, source, 9, 2_000_000).unwrap();
+        let rep = broadcast_sim(pts, ProtocolSpec::SBroadcast { source }, 2_000_000)
+            .run(9)
+            .unwrap();
         assert!(rep.completed, "source {source}");
     }
 }
 
 #[test]
 fn zero_budget_informs_only_source() {
-    let params = SinrParams::default_plane();
-    let rep = run_nos_broadcast(
-        line::uniform_line(5, 0.45),
-        &params,
-        fast(),
-        2,
-        1,
-        0,
-    )
-    .unwrap();
+    let pts = line::uniform_line(5, 0.45);
+    let rep = broadcast_sim(pts, ProtocolSpec::NoSBroadcast { source: 2 }, 0)
+        .run(1)
+        .unwrap();
     assert!(!rep.completed);
     assert_eq!(rep.informed, 1);
 }
 
 #[test]
 fn single_station_network_trivially_done() {
-    let params = SinrParams::default_plane();
-    let rep = run_s_broadcast(vec![Point2::new(0.0, 0.0)], &params, fast(), 0, 3, 1000).unwrap();
+    let rep = broadcast_sim(
+        vec![Point2::new(0.0, 0.0)],
+        ProtocolSpec::SBroadcast { source: 0 },
+        1000,
+    )
+    .run(3)
+    .unwrap();
     assert!(rep.completed);
     assert_eq!(rep.rounds, 0, "source already informed at round 0");
 }
 
 #[test]
 fn disconnected_network_never_completes() {
-    let params = SinrParams::default_plane();
     let mut pts = line::uniform_line(4, 0.45);
     pts.push(Point2::new(50.0, 0.0));
-    let consts = fast();
-    let rep = run_s_broadcast(pts, &params, consts, 0, 5, 50_000).unwrap();
+    let rep = broadcast_sim(pts, ProtocolSpec::SBroadcast { source: 0 }, 50_000)
+        .run(5)
+        .unwrap();
     assert!(!rep.completed);
     assert_eq!(rep.informed, 4, "only the connected component is informed");
+}
+
+#[test]
+fn out_of_range_source_is_a_spec_error() {
+    let err = broadcast_sim(
+        line::uniform_line(4, 0.45),
+        ProtocolSpec::SBroadcast { source: 9 },
+        1000,
+    )
+    .run(1)
+    .unwrap_err();
+    assert!(matches!(err, sinr_broadcast::sim::SimError::Spec(_)));
+}
+
+#[test]
+fn missing_budget_is_a_build_error() {
+    let err = Scenario::new(line::uniform_line(4, 0.45))
+        .protocol(ProtocolSpec::SBroadcast { source: 0 })
+        .build()
+        .err()
+        .expect("goal-driven protocol without budget must not build");
+    assert!(matches!(err, sinr_broadcast::sim::SimError::MissingBudget));
 }

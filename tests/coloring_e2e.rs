@@ -1,11 +1,13 @@
-//! End-to-end coloring properties via the facade, including property-based
-//! tests over random deployments.
+//! End-to-end coloring properties via the facade, including randomized
+//! property checks over seeded random deployments (plain seeded loops —
+//! the offline build has no proptest, and seeded loops are replayable).
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng, SmallRng};
 use sinr_broadcast::core::{invariant_report, run_stabilize, Constants};
 use sinr_broadcast::geometry::Point2;
 use sinr_broadcast::netgen::{cluster, perturb};
 use sinr_broadcast::phy::SinrParams;
+use sinr_broadcast::sim::{Outcome, ProtocolSpec, Scenario};
 
 fn fast() -> Constants {
     Constants {
@@ -57,31 +59,55 @@ fn rerunning_coloring_is_deterministic() {
     assert_eq!(a.coloring, b.coloring);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+#[test]
+fn scenario_coloring_agrees_with_run_stabilize() {
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    let pts = cluster::chain_for_diameter(3, 10, &params, 6);
+    let legacy = run_stabilize(pts.clone(), &params, consts, 31).unwrap();
+    let rep = Scenario::new(pts)
+        .constants(consts)
+        .protocol(ProtocolSpec::Coloring)
+        .build()
+        .unwrap()
+        .run(31)
+        .unwrap();
+    match rep.outcome {
+        Outcome::Coloring { ref coloring } => assert_eq!(*coloring, legacy.coloring),
+        ref other => panic!("expected coloring outcome, got {other:?}"),
+    }
+    assert_eq!(rep.rounds, legacy.rounds);
+}
 
-    /// On any random (min-separated) deployment, the coloring terminates
-    /// with every station colored, all colors positive and lattice-bounded,
-    /// and the Lemma 1 mass below a loose constant.
-    #[test]
-    fn coloring_invariants_on_random_deployments(
-        coords in prop::collection::vec((0.0f64..4.0, 0.0f64..4.0), 10..80),
-        seed in 0u64..1000,
-    ) {
-        let params = SinrParams::default_plane();
-        let consts = fast();
-        let mut pts: Vec<Point2> = coords.into_iter().map(Point2::from).collect();
+/// On any random (min-separated) deployment, the coloring terminates with
+/// every station colored, all colors positive and lattice-bounded, and the
+/// Lemma 1 mass below a loose constant. Eight seeded random cases,
+/// replayable by construction.
+#[test]
+fn coloring_invariants_on_random_deployments() {
+    let params = SinrParams::default_plane();
+    let consts = fast();
+    for case in 0u64..8 {
+        let mut rng = SmallRng::seed_from_u64(0xC010E + case);
+        let n_pts = rng.gen_range(10usize..80);
+        let seed = rng.gen_range(0u64..1000);
+        let mut pts: Vec<Point2> = (0..n_pts)
+            .map(|_| Point2::new(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)))
+            .collect();
         perturb::enforce_min_separation(&mut pts, 1e-6);
         let n = pts.len();
         let run = run_stabilize(pts.clone(), &params, consts, seed).unwrap();
-        prop_assert_eq!(run.coloring.len(), n);
+        assert_eq!(run.coloring.len(), n, "case {case}");
         let terminal = 2.0 * consts.p_max();
         for &c in &run.coloring.colors {
-            prop_assert!(c > 0.0 && c <= terminal + 1e-15);
+            assert!(c > 0.0 && c <= terminal + 1e-15, "case {case}: color {c}");
         }
         let rep = invariant_report(&pts, &run.coloring, params.eps());
-        prop_assert!(rep.max_unit_ball_mass <= consts.c1_cap * 8.0,
-            "lemma1 mass {} too large", rep.max_unit_ball_mass);
-        prop_assert!(rep.min_close_mass > 0.0);
+        assert!(
+            rep.max_unit_ball_mass <= consts.c1_cap * 8.0,
+            "case {case}: lemma1 mass {} too large",
+            rep.max_unit_ball_mass
+        );
+        assert!(rep.min_close_mass > 0.0, "case {case}");
     }
 }

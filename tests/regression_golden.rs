@@ -6,11 +6,12 @@
 //! If a change is *intended* (e.g. a bug fix in the oracle), update the
 //! pinned values and note the change in the commit message.
 
-use sinr_broadcast::core::{run::run_s_broadcast, run_stabilize, Constants};
+use sinr_broadcast::core::{run_stabilize, Constants};
 use sinr_broadcast::geometry::Point2;
 use sinr_broadcast::netgen::{cluster, line, uniform};
 use sinr_broadcast::phy::SinrParams;
 use sinr_broadcast::runtime::derive_seed;
+use sinr_broadcast::sim::{ProtocolSpec, Scenario, TopologySpec};
 
 #[test]
 fn seed_derivation_pinned() {
@@ -34,6 +35,23 @@ fn uniform_generator_pinned() {
 }
 
 #[test]
+fn topology_spec_matches_direct_generator() {
+    // The declarative spec and a direct generator call agree for equal
+    // generator seeds (the spec's seed stream is pinned by construction).
+    let params = SinrParams::default_plane();
+    let sim = Scenario::new(TopologySpec::UniformSquare { n: 4, side: 1.0 })
+        .protocol(ProtocolSpec::FloodBroadcast { source: 0, p: 0.5 })
+        .budget(10)
+        .build()
+        .unwrap();
+    let seed = 99u64;
+    let via_spec = sim.materialize(seed).unwrap();
+    let direct = uniform::square(4, 1.0, derive_seed(seed, 0x544F_504F, 0));
+    assert_eq!(via_spec, direct, "topology stream derivation is pinned");
+    let _ = params;
+}
+
+#[test]
 fn coloring_outcome_pinned() {
     let params = SinrParams::default_plane();
     let consts = Constants::tuned();
@@ -47,10 +65,14 @@ fn coloring_outcome_pinned() {
 #[test]
 fn broadcast_rounds_pinned_within_run() {
     let params = SinrParams::default_plane();
-    let consts = Constants::tuned();
     let pts = cluster::chain_for_diameter(3, 8, &params, 11);
-    let a = run_s_broadcast(pts.clone(), &params, consts, 0, 123, 2_000_000).unwrap();
-    let b = run_s_broadcast(pts, &params, consts, 0, 123, 2_000_000).unwrap();
+    let sim = Scenario::new(pts)
+        .protocol(ProtocolSpec::SBroadcast { source: 0 })
+        .budget(2_000_000)
+        .build()
+        .unwrap();
+    let a = sim.run(123).unwrap();
+    let b = sim.run(123).unwrap();
     assert_eq!(a, b, "broadcast reports must be identical for equal seeds");
     assert!(a.completed);
 }
