@@ -1,65 +1,20 @@
-//! Micro-benchmarks of the SINR reception oracle: exact vs truncated
-//! interference evaluation across network sizes and transmitter densities.
+//! Micro-benchmarks of the SINR reception oracle: the frozen pre-oracle
+//! baseline (`legacy/...`) vs the reusable zero-allocation
+//! `ReceptionOracle` (`oracle/...`), across interference modes, network
+//! sizes and transmitter densities.
 //!
 //! ```text
-//! cargo bench -p sinr-bench --bench interference
+//! cargo bench -p sinr-bench --bench interference [-- --json out.json] [-- --quick]
 //! ```
+//!
+//! The same suite backs the `microbench` binary that CI runs to produce
+//! the tracked `BENCH_phy.json`.
 
-use sinr_bench::microbench::{bench, black_box};
-use sinr_geometry::GridIndex;
-use sinr_netgen::uniform;
-use sinr_phy::{resolve_round, InterferenceMode, SinrParams};
+use sinr_bench::microbench::Session;
+use sinr_bench::phy_suite;
 
 fn main() {
-    let params = SinrParams::default_plane();
-    for &n in &[256usize, 1024, 4096] {
-        let side = uniform::side_for_density(n, 30.0);
-        let pts = uniform::square(n, side, 7);
-        let grid = GridIndex::build(&pts, 1.0);
-        // ~2% of stations transmit (typical dissemination load).
-        let tx: Vec<usize> = (0..n).step_by(50).collect();
-        bench(&format!("resolve_round/exact/{n}"), || {
-            black_box(resolve_round(
-                &pts,
-                &params,
-                &tx,
-                InterferenceMode::Exact,
-                None,
-            ));
-        });
-        bench(&format!("resolve_round/truncated_r4/{n}"), || {
-            black_box(resolve_round(
-                &pts,
-                &params,
-                &tx,
-                InterferenceMode::Truncated { radius: 4.0 },
-                Some(&grid),
-            ));
-        });
-        bench(&format!("resolve_round/cell_aggregate_r4/{n}"), || {
-            black_box(resolve_round(
-                &pts,
-                &params,
-                &tx,
-                InterferenceMode::CellAggregate { near_radius: 4.0 },
-                Some(&grid),
-            ));
-        });
-    }
-
-    let n = 1024;
-    let side = uniform::side_for_density(n, 30.0);
-    let pts = uniform::square(n, side, 11);
-    for &fraction in &[2usize, 10, 25] {
-        let tx: Vec<usize> = (0..n).step_by(100 / fraction).collect();
-        bench(&format!("resolve_round_dense/exact_pct/{fraction}"), || {
-            black_box(resolve_round(
-                &pts,
-                &params,
-                &tx,
-                InterferenceMode::Exact,
-                None,
-            ));
-        });
-    }
+    let mut session = Session::from_args();
+    phy_suite::run(&mut session);
+    session.finish().expect("write benchmark report");
 }

@@ -1,0 +1,23 @@
+//! Machine-readable physical-layer benchmark runner.
+//!
+//! Runs the shared [`sinr_bench::phy_suite`] and always writes a JSON
+//! report (default `BENCH_phy.json`, override with `--json <path>`;
+//! `--quick` shrinks sizes for CI smoke runs):
+//!
+//! ```text
+//! cargo run --release -p sinr-bench --bin microbench [-- --json BENCH_phy.json] [-- --quick]
+//! ```
+//!
+//! CI runs this on every push and uploads the report as a workflow
+//! artifact; the copy committed at the repository root records the
+//! before/after trajectory of the reception-oracle hot path.
+
+use sinr_bench::microbench::Session;
+use sinr_bench::phy_suite;
+
+fn main() {
+    let mut session = Session::from_args();
+    session.default_json("BENCH_phy.json");
+    phy_suite::run(&mut session);
+    session.finish().expect("write benchmark report");
+}

@@ -1,0 +1,206 @@
+//! The pre-oracle round-resolution implementation, frozen as a benchmark
+//! baseline.
+//!
+//! This is the `sinr_phy::resolve_round` of the repository *before* the
+//! stateful [`sinr_phy::ReceptionOracle`] landed, kept verbatim so the
+//! `interference` bench and the `microbench` binary can measure the
+//! speedup honestly at any commit: per-call `Vec` allocations for every
+//! accumulator, a per-round `HashMap` of transmitter cells in
+//! cell-aggregate mode (whose iteration order was also nondeterministic —
+//! the bug fixed by the sorted flat buckets), and allocating `ball`
+//! queries in truncated mode. **Not for simulation use** — only benches
+//! compare against it.
+
+use sinr_geometry::{GridIndex, MetricPoint};
+use sinr_phy::{InterferenceMode, RoundOutcome, SinrParams};
+
+/// Resolves one round exactly like the pre-oracle implementation.
+///
+/// # Panics
+///
+/// As the historical function: out-of-range transmitters, missing grid for
+/// grid-backed modes, or radii below their minimums. The
+/// [`InterferenceMode::GridNative`] variant did not exist pre-oracle and
+/// panics here.
+pub fn resolve_round<P: MetricPoint>(
+    points: &[P],
+    params: &SinrParams,
+    transmitters: &[usize],
+    mode: InterferenceMode,
+    grid: Option<&GridIndex>,
+) -> RoundOutcome {
+    let n = points.len();
+    let mut is_tx = vec![false; n];
+    for &t in transmitters {
+        assert!(t < n, "transmitter index {t} out of range (n = {n})");
+        is_tx[t] = true;
+    }
+
+    let mut total = vec![0.0f64; n];
+    let mut best_pow = vec![0.0f64; n];
+    let mut best_idx = vec![usize::MAX; n];
+
+    match mode {
+        InterferenceMode::Exact => {
+            for &t in transmitters {
+                let tp = points[t];
+                for (u, pu) in points.iter().enumerate() {
+                    if u == t {
+                        continue;
+                    }
+                    let s = params.signal_at(tp.distance(pu));
+                    total[u] += s;
+                    if s > best_pow[u] {
+                        best_pow[u] = s;
+                        best_idx[u] = t;
+                    }
+                }
+            }
+        }
+        InterferenceMode::Truncated { radius } => {
+            assert!(
+                radius >= params.range(),
+                "truncation radius {radius} must be at least the communication range 1"
+            );
+            let grid = grid.expect("Truncated interference mode requires a grid index");
+            for &t in transmitters {
+                let tp = points[t];
+                for u in grid.ball(points, tp, radius) {
+                    if u == t {
+                        continue;
+                    }
+                    let s = params.signal_at(tp.distance(&points[u]));
+                    total[u] += s;
+                    if s > best_pow[u] {
+                        best_pow[u] = s;
+                        best_idx[u] = t;
+                    }
+                }
+            }
+        }
+        InterferenceMode::CellAggregate { near_radius } => {
+            assert!(
+                near_radius >= 2.0,
+                "near_radius {near_radius} must be at least 2 (range 1 plus cell slack)"
+            );
+            let grid = grid.expect("CellAggregate interference mode requires a grid index");
+            let cell = grid.cell_side();
+            let diag = cell * (P::AXES as f64).sqrt();
+
+            // Bucket transmitters by cell; keep members and centroid. The
+            // hash map is rebuilt from scratch every round — this is the
+            // allocation pattern the oracle's flat buckets replaced.
+            struct TxCell {
+                centroid: [f64; 3],
+                members: Vec<usize>,
+            }
+            let mut cells: std::collections::HashMap<[i64; 3], TxCell> =
+                std::collections::HashMap::new();
+            for &t in transmitters {
+                let tp = &points[t];
+                let mut key = [0i64; 3];
+                for (axis, slot) in key.iter_mut().enumerate().take(P::AXES) {
+                    *slot = (tp.coord(axis) / cell).floor() as i64;
+                }
+                let e = cells.entry(key).or_insert(TxCell {
+                    centroid: [0.0; 3],
+                    members: Vec::new(),
+                });
+                for axis in 0..P::AXES {
+                    e.centroid[axis] += tp.coord(axis);
+                }
+                e.members.push(t);
+            }
+            let cells: Vec<TxCell> = cells
+                .into_values()
+                .map(|mut c| {
+                    let k = c.members.len() as f64;
+                    for v in &mut c.centroid {
+                        *v /= k;
+                    }
+                    c
+                })
+                .collect();
+
+            for (u, pu) in points.iter().enumerate() {
+                for c in &cells {
+                    let mut d2 = 0.0;
+                    for axis in 0..P::AXES {
+                        let dd = pu.coord(axis) - c.centroid[axis];
+                        d2 += dd * dd;
+                    }
+                    let dc = d2.sqrt();
+                    if dc > near_radius + diag {
+                        total[u] += c.members.len() as f64 * params.signal_at(dc);
+                    } else {
+                        for &t in &c.members {
+                            if t == u {
+                                continue;
+                            }
+                            let s = params.signal_at(points[t].distance(pu));
+                            total[u] += s;
+                            if s > best_pow[u] {
+                                best_pow[u] = s;
+                                best_idx[u] = t;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        InterferenceMode::GridNative { .. } => {
+            panic!("the grid-native kernel has no pre-oracle implementation")
+        }
+    }
+
+    let decoded_from = (0..n)
+        .map(|u| {
+            if is_tx[u] || best_idx[u] == usize::MAX {
+                return None;
+            }
+            let interference = total[u] - best_pow[u];
+            if params.decodable(best_pow[u], interference) {
+                Some(best_idx[u])
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    RoundOutcome {
+        decoded_from,
+        num_transmitters: transmitters.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point2;
+
+    #[test]
+    fn legacy_baseline_agrees_with_current_oracle_on_exact_and_truncated() {
+        // The baseline must stay a faithful measurement target: for the
+        // order-stable modes it is bit-for-bit the current oracle.
+        let pts: Vec<Point2> = (0..150)
+            .map(|i| Point2::new((i % 15) as f64 * 0.8, (i / 15) as f64 * 0.8))
+            .collect();
+        let grid = GridIndex::build(&pts, 1.0);
+        let params = SinrParams::default_plane();
+        let tx: Vec<usize> = (0..150).step_by(7).collect();
+        for mode in [
+            InterferenceMode::Exact,
+            InterferenceMode::Truncated { radius: 4.0 },
+        ] {
+            let legacy = resolve_round(&pts, &params, &tx, mode, Some(&grid));
+            let current = sinr_phy::resolve_round(&pts, &params, &tx, mode, Some(&grid));
+            assert_eq!(legacy, current, "{mode:?}");
+        }
+        // Cell-aggregate sums depend on cell iteration order (the legacy
+        // nondeterminism); decode decisions still agree on spread inputs.
+        let mode = InterferenceMode::CellAggregate { near_radius: 4.0 };
+        let legacy = resolve_round(&pts, &params, &tx, mode, Some(&grid));
+        let current = sinr_phy::resolve_round(&pts, &params, &tx, mode, Some(&grid));
+        assert_eq!(legacy.decoded_from, current.decoded_from);
+    }
+}

@@ -29,7 +29,9 @@
 
 pub mod config;
 pub mod experiments;
+pub mod legacy;
 pub mod microbench;
+pub mod phy_suite;
 
 pub use config::ExpConfig;
 

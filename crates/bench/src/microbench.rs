@@ -4,6 +4,12 @@
 //! binaries use this instead: warm up, run a fixed number of timed
 //! iterations, and print min/mean/max wall-clock per iteration. Benches
 //! are declared `harness = false` and excluded from `cargo test`.
+//!
+//! Besides printing, a [`Session`] collects machine-readable
+//! [`BenchRecord`]s and — when the binary is invoked with `--json <path>`
+//! — writes them as a JSON array, so benchmark results can be tracked
+//! across commits (`BENCH_phy.json` at the repository root holds the
+//! committed trajectory; CI regenerates and uploads it per run).
 
 use std::time::{Duration, Instant};
 
@@ -11,9 +17,43 @@ use std::time::{Duration, Instant};
 /// name.
 pub use std::hint::black_box;
 
-/// Runs `f` for `iters` timed iterations (after `warmup` untimed ones)
-/// and prints one line of statistics.
-pub fn bench_n(name: &str, warmup: usize, iters: usize, mut f: impl FnMut()) {
+/// One benchmark measurement: wall-clock per iteration over `iters`
+/// timed iterations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Benchmark name, `group/case` style.
+    pub name: String,
+    /// Problem size the case ran at (stations, items, …).
+    pub n: usize,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u128,
+    /// Mean iteration, nanoseconds.
+    pub mean_ns: u128,
+    /// Slowest iteration, nanoseconds.
+    pub max_ns: u128,
+}
+
+impl BenchRecord {
+    fn to_json(&self) -> String {
+        // The name is the only string field; benchmark names are plain
+        // identifiers with '/', so escaping quotes/backslashes suffices.
+        let escaped = self.name.replace('\\', "\\\\").replace('"', "\\\"");
+        format!(
+            "{{\"name\":\"{}\",\"n\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}",
+            escaped, self.n, self.min_ns, self.mean_ns, self.max_ns
+        )
+    }
+}
+
+/// Runs `f` for `iters` timed iterations (after `warmup` untimed ones),
+/// prints one line of statistics and returns the measurement.
+pub fn bench_record(
+    name: &str,
+    n: usize,
+    warmup: usize,
+    iters: usize,
+    mut f: impl FnMut(),
+) -> BenchRecord {
     assert!(iters > 0, "need at least one timed iteration");
     for _ in 0..warmup {
         f();
@@ -26,14 +66,150 @@ pub fn bench_n(name: &str, warmup: usize, iters: usize, mut f: impl FnMut()) {
     }
     let total: Duration = samples.iter().sum();
     let mean = total / iters as u32;
-    let min = samples.iter().min().expect("non-empty");
-    let max = samples.iter().max().expect("non-empty");
+    let min = *samples.iter().min().expect("non-empty");
+    let max = *samples.iter().max().expect("non-empty");
     println!("{name:<40} iters {iters:>3}  min {min:>10.2?}  mean {mean:>10.2?}  max {max:>10.2?}");
+    BenchRecord {
+        name: name.to_string(),
+        n,
+        min_ns: min.as_nanos(),
+        mean_ns: mean.as_nanos(),
+        max_ns: max.as_nanos(),
+    }
+}
+
+/// Runs `f` for `iters` timed iterations (after `warmup` untimed ones)
+/// and prints one line of statistics.
+pub fn bench_n(name: &str, warmup: usize, iters: usize, f: impl FnMut()) {
+    let _ = bench_record(name, 0, warmup, iters, f);
 }
 
 /// [`bench_n`] with the default 2 warmup + 10 timed iterations.
 pub fn bench(name: &str, f: impl FnMut()) {
     bench_n(name, 2, 10, f);
+}
+
+/// Collects [`BenchRecord`]s and optionally writes them as JSON.
+///
+/// Construct with [`Session::from_args`] so every bench binary uniformly
+/// understands `--json <path>` (and `--quick` for CI smoke runs).
+#[derive(Debug, Default)]
+pub struct Session {
+    records: Vec<BenchRecord>,
+    json_path: Option<std::path::PathBuf>,
+    /// Whether `--quick` was passed: benches should shrink sizes and
+    /// iteration counts to smoke-test levels.
+    pub quick: bool,
+}
+
+impl Session {
+    /// A session with no JSON output.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// Parses `--json <path>` and `--quick` from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--json` is passed without a path (a usage error in a
+    /// bench invocation).
+    pub fn from_args() -> Self {
+        let mut session = Session::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => {
+                    let path = args.next().expect("--json requires a path argument");
+                    session.json_path = Some(path.into());
+                }
+                "--quick" => session.quick = true,
+                other => {
+                    if let Some(path) = other.strip_prefix("--json=") {
+                        session.json_path = Some(path.into());
+                    }
+                    // Ignore the harness arguments `cargo bench` forwards
+                    // (e.g. `--bench`) and any filter strings.
+                }
+            }
+        }
+        session
+    }
+
+    /// Sets the JSON output path unless `--json` already provided one
+    /// (binaries that always emit a report call this after
+    /// [`Session::from_args`]).
+    pub fn default_json(&mut self, path: impl Into<std::path::PathBuf>) {
+        if self.json_path.is_none() {
+            self.json_path = Some(path.into());
+        }
+    }
+
+    /// Picks `full` normally, `quick` under `--quick`.
+    pub fn pick<T>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// Runs and records one case (default 2 warmup + 10 timed iterations,
+    /// halved under `--quick`).
+    pub fn bench(&mut self, name: &str, n: usize, f: impl FnMut()) {
+        let iters = self.pick(10, 5);
+        self.bench_n(name, n, 2, iters, f);
+    }
+
+    /// Runs and records one case with explicit warmup/iteration counts.
+    pub fn bench_n(&mut self, name: &str, n: usize, warmup: usize, iters: usize, f: impl FnMut()) {
+        let record = bench_record(name, n, warmup, iters, f);
+        self.records.push(record);
+    }
+
+    /// The records collected so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Mean nanoseconds of the named record, if it ran.
+    pub fn mean_ns(&self, name: &str) -> Option<u128> {
+        self.records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.mean_ns)
+    }
+
+    /// Renders all records as a JSON array (one record per line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&r.to_json());
+            if i + 1 < self.records.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Writes the JSON report if `--json` was given; returns the path
+    /// written to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the report cannot be written.
+    pub fn finish(self) -> std::io::Result<Option<std::path::PathBuf>> {
+        let json = self.to_json();
+        let Some(path) = self.json_path else {
+            return Ok(None);
+        };
+        std::fs::write(&path, json)?;
+        println!("wrote {} records to {}", self.records.len(), path.display());
+        Ok(Some(path))
+    }
 }
 
 #[cfg(test)]
@@ -45,5 +221,42 @@ mod tests {
         let mut count = 0u32;
         bench_n("noop", 1, 3, || count += 1);
         assert_eq!(count, 4, "1 warmup + 3 timed");
+    }
+
+    #[test]
+    fn session_records_and_serializes() {
+        let mut s = Session::new();
+        s.bench_n("group/case", 128, 0, 2, || {});
+        assert_eq!(s.records().len(), 1);
+        assert_eq!(s.records()[0].n, 128);
+        assert!(s.mean_ns("group/case").is_some());
+        assert_eq!(s.mean_ns("missing"), None);
+        let json = s.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"name\":\"group/case\""));
+        assert!(json.contains("\"n\":128"));
+        assert!(json.trim_end().ends_with(']'));
+        // A session without --json writes nothing.
+        assert_eq!(s.finish().unwrap(), None);
+    }
+
+    #[test]
+    fn record_json_escapes_quotes() {
+        let r = BenchRecord {
+            name: "a\"b".into(),
+            n: 1,
+            min_ns: 1,
+            mean_ns: 2,
+            max_ns: 3,
+        };
+        assert!(r.to_json().contains("a\\\"b"));
+    }
+
+    #[test]
+    fn pick_respects_quick() {
+        let mut s = Session::new();
+        assert_eq!(s.pick(10, 2), 10);
+        s.quick = true;
+        assert_eq!(s.pick(10, 2), 2);
     }
 }

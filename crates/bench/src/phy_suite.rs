@@ -1,0 +1,108 @@
+//! The physical-layer benchmark suite: pre-oracle baseline vs the
+//! stateful [`ReceptionOracle`], across interference modes and sizes.
+//!
+//! Shared by the `interference` bench target and the `microbench` binary
+//! (which CI runs to produce the tracked `BENCH_phy.json`), so the
+//! committed perf trajectory and the interactive bench measure the same
+//! cases. Naming scheme: `legacy/...` is the frozen pre-PR implementation
+//! ([`crate::legacy`]), `oracle/...` the reusable zero-allocation oracle.
+
+use sinr_geometry::GridIndex;
+use sinr_netgen::uniform;
+use sinr_phy::{InterferenceMode, ReceptionOracle, RoundOutcome, SinrParams};
+
+use crate::legacy;
+use crate::microbench::{black_box, Session};
+
+/// Stations per unit square in the dense-uniform deployments (the load the
+/// ISSUE's ≥5× target is measured at).
+pub const DENSITY: f64 = 30.0;
+
+/// Runs the suite into `session`. Under `--quick` the largest size drops
+/// from 10⁴ to 2 500 stations and iteration counts shrink.
+pub fn run(session: &mut Session) {
+    let params = SinrParams::default_plane();
+    let sizes: &[usize] = if session.quick {
+        &[256, 1024, 2500]
+    } else {
+        &[256, 1024, 4096, 10_000]
+    };
+    for &n in sizes {
+        let side = uniform::side_for_density(n, DENSITY);
+        let pts = uniform::square(n, side, 7);
+        let grid = GridIndex::build(&pts, 1.0);
+        // ~2% of stations transmit (typical dissemination load).
+        let tx: Vec<usize> = (0..n).step_by(50).collect();
+        let mut oracle = ReceptionOracle::for_stations(n);
+        let mut out = RoundOutcome::empty();
+
+        let compat_modes = [
+            ("exact", InterferenceMode::Exact),
+            ("truncated_r4", InterferenceMode::Truncated { radius: 4.0 }),
+            (
+                "cell_aggregate_r4",
+                InterferenceMode::CellAggregate { near_radius: 4.0 },
+            ),
+        ];
+        for (tag, mode) in compat_modes {
+            session.bench(&format!("legacy/{tag}/{n}"), n, || {
+                black_box(legacy::resolve_round(&pts, &params, &tx, mode, Some(&grid)));
+            });
+            session.bench(&format!("oracle/{tag}/{n}"), n, || {
+                oracle.resolve_into(&pts, &params, &tx, mode, Some(&grid), &mut out);
+                black_box(&out);
+            });
+        }
+        session.bench(&format!("oracle/grid_native_r4/{n}"), n, || {
+            oracle.resolve_into(
+                &pts,
+                &params,
+                &tx,
+                InterferenceMode::grid_native(),
+                Some(&grid),
+                &mut out,
+            );
+            black_box(&out);
+        });
+    }
+
+    // Transmitter-density scaling of the exact kernel (legacy vs oracle).
+    let n = session.pick(1024, 512);
+    let side = uniform::side_for_density(n, DENSITY);
+    let pts = uniform::square(n, side, 11);
+    let mut oracle = ReceptionOracle::for_stations(n);
+    let mut out = RoundOutcome::empty();
+    for &pct in &[2usize, 10, 25] {
+        let tx: Vec<usize> = (0..n).step_by(100 / pct).collect();
+        session.bench(&format!("legacy/exact_pct{pct}/{n}"), n, || {
+            black_box(legacy::resolve_round(
+                &pts,
+                &params,
+                &tx,
+                InterferenceMode::Exact,
+                None,
+            ));
+        });
+        session.bench(&format!("oracle/exact_pct{pct}/{n}"), n, || {
+            oracle.resolve_into(&pts, &params, &tx, InterferenceMode::Exact, None, &mut out);
+            black_box(&out);
+        });
+    }
+
+    report_speedups(session, sizes[sizes.len() - 1]);
+}
+
+/// Prints the headline speedups the ISSUE tracks: the grid-native
+/// exact-decode path vs the pre-PR oracle at the largest size.
+fn report_speedups(session: &Session, n: usize) {
+    let native = session.mean_ns(&format!("oracle/grid_native_r4/{n}"));
+    for baseline in ["cell_aggregate_r4", "exact"] {
+        let legacy = session.mean_ns(&format!("legacy/{baseline}/{n}"));
+        if let (Some(l), Some(o)) = (legacy, native) {
+            println!(
+                "speedup oracle/grid_native_r4 vs legacy/{baseline} at n={n}: {:.1}x",
+                l as f64 / o.max(1) as f64
+            );
+        }
+    }
+}

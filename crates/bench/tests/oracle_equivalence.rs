@@ -1,0 +1,160 @@
+//! Property-style equivalence tests for the stateful `ReceptionOracle`.
+//!
+//! For every netgen family (uniform, cluster, line, grid), several seeds
+//! and every backward-compatible `InterferenceMode`, the oracle must match
+//! the one-shot `resolve_round` **field-for-field** — and for the
+//! order-stable modes (`Exact`, `Truncated`) it must also match the frozen
+//! pre-PR implementation (`sinr_bench::legacy`) bit-for-bit, pinning
+//! backward compatibility against the code that shipped before the oracle
+//! existed. The grid-native kernel is additionally checked against exact
+//! physics: identical decode decisions wherever the SINR margin exceeds
+//! its documented tail error, which these spread-out families guarantee.
+
+use rand::{Rng, SeedableRng, SmallRng};
+use sinr_bench::legacy;
+use sinr_geometry::{GridIndex, Point2};
+use sinr_netgen::{cluster, grid as netgrid, line, uniform};
+use sinr_phy::{resolve_round, InterferenceMode, ReceptionOracle, RoundOutcome, SinrParams};
+
+/// Seeded transmitter subset: every station transmits with probability
+/// `p`, replayable from `seed`.
+fn draw_tx(n: usize, p: f64, seed: u64) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).filter(|_| rng.gen_range(0.0..1.0) < p).collect()
+}
+
+fn families(seed: u64) -> Vec<(&'static str, Vec<Point2>)> {
+    vec![
+        (
+            "uniform",
+            uniform::square(300, uniform::side_for_density(300, 12.0), seed),
+        ),
+        (
+            "cluster",
+            cluster::chain_of_clusters(8, 30, 0.35, 0.07, seed),
+        ),
+        (
+            "line",
+            line::halving_line(120, 0.45, 0.97, 0.05), // deterministic family: vary tx by seed instead
+        ),
+        ("grid", netgrid::jittered_lattice(15, 20, 0.7, 0.2, seed)),
+    ]
+}
+
+fn compat_modes() -> [InterferenceMode; 3] {
+    [
+        InterferenceMode::Exact,
+        InterferenceMode::Truncated { radius: 4.0 },
+        InterferenceMode::CellAggregate { near_radius: 4.0 },
+    ]
+}
+
+#[test]
+fn oracle_matches_resolve_round_field_for_field() {
+    let params = SinrParams::default_plane();
+    let mut oracle = ReceptionOracle::new();
+    let mut out = RoundOutcome::empty();
+    for seed in [1u64, 2, 3] {
+        for (family, pts) in families(seed) {
+            let grid = GridIndex::build(&pts, 1.0);
+            let tx = draw_tx(pts.len(), 0.05, seed * 1000 + 7);
+            for mode in compat_modes() {
+                let free = resolve_round(&pts, &params, &tx, mode, Some(&grid));
+                // The reused oracle (warm scratch from previous families
+                // and modes) must agree field-for-field.
+                oracle.resolve_into(&pts, &params, &tx, mode, Some(&grid), &mut out);
+                assert_eq!(
+                    free, out,
+                    "{family} seed {seed} {mode:?}: oracle != resolve_round"
+                );
+                assert_eq!(free.num_transmitters, tx.len());
+            }
+            // Grid-native resolves through the same reused scratch.
+            oracle.resolve_into(
+                &pts,
+                &params,
+                &tx,
+                InterferenceMode::grid_native(),
+                Some(&grid),
+                &mut out,
+            );
+            let fresh = ReceptionOracle::new().resolve(
+                &pts,
+                &params,
+                &tx,
+                InterferenceMode::grid_native(),
+                Some(&grid),
+            );
+            assert_eq!(
+                fresh, out,
+                "{family} seed {seed}: warm != fresh grid-native"
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_is_bit_for_bit_backward_compatible_on_order_stable_modes() {
+    // `Exact` and `Truncated` accumulate in the historical order, so the
+    // frozen pre-PR implementation must agree exactly — including every
+    // floating-point sum, hence every decode decision, on every family.
+    let params = SinrParams::default_plane();
+    for seed in [1u64, 2, 3] {
+        for (family, pts) in families(seed) {
+            let grid = GridIndex::build(&pts, 1.0);
+            let tx = draw_tx(pts.len(), 0.08, seed * 1000 + 13);
+            for mode in [
+                InterferenceMode::Exact,
+                InterferenceMode::Truncated { radius: 4.0 },
+            ] {
+                let old = legacy::resolve_round(&pts, &params, &tx, mode, Some(&grid));
+                let new = resolve_round(&pts, &params, &tx, mode, Some(&grid));
+                assert_eq!(old, new, "{family} seed {seed} {mode:?}");
+            }
+            // Cell-aggregate: the legacy hash-map cell order is
+            // nondeterministic, so only decode decisions are comparable.
+            let mode = InterferenceMode::CellAggregate { near_radius: 4.0 };
+            let old = legacy::resolve_round(&pts, &params, &tx, mode, Some(&grid));
+            let new = resolve_round(&pts, &params, &tx, mode, Some(&grid));
+            assert_eq!(
+                old.decoded_from, new.decoded_from,
+                "{family} seed {seed} cell-aggregate decisions"
+            );
+        }
+    }
+}
+
+#[test]
+fn grid_native_agrees_with_exact_decisions_on_spread_families() {
+    let params = SinrParams::default_plane();
+    let mut worst = 0usize;
+    for seed in [1u64, 2, 3] {
+        for (family, pts) in families(seed) {
+            let grid = GridIndex::build(&pts, 1.0);
+            let tx = draw_tx(pts.len(), 0.05, seed * 1000 + 29);
+            let exact = resolve_round(&pts, &params, &tx, InterferenceMode::Exact, None);
+            let native = resolve_round(
+                &pts,
+                &params,
+                &tx,
+                InterferenceMode::grid_native(),
+                Some(&grid),
+            );
+            let disagreements = exact
+                .decoded_from
+                .iter()
+                .zip(&native.decoded_from)
+                .filter(|(a, b)| a != b)
+                .count();
+            worst = worst.max(disagreements);
+            assert!(
+                disagreements * 100 <= pts.len(),
+                "{family} seed {seed}: {disagreements}/{} decisions flipped",
+                pts.len()
+            );
+        }
+    }
+    // Across all 12 family/seed combinations the kernel should be
+    // essentially exact at these densities.
+    assert!(worst <= 3, "worst-case disagreement {worst} too high");
+}

@@ -3,9 +3,14 @@
 //!
 //! Every `run_*` function delegates to an equivalent [`Scenario`] and
 //! reproduces its historical output field-for-field (pinned by
-//! `tests/scenario_golden.rs`). New code should build scenarios directly —
-//! they compose (topology specs, interference modes, observers, traces)
-//! and sweep seeds in parallel:
+//! `tests/scenario_golden.rs`). Like the builder API, the wrappers resolve
+//! every round through a per-trial reusable `sinr_phy::ReceptionOracle`
+//! (zero steady-state allocations); pass
+//! `sinr_phy::InterferenceMode::grid_native()` to
+//! [`run_s_broadcast_in_mode`] — or use `Scenario::fast_physics` — for the
+//! fast approximate-tail physics on large deployments. New code should
+//! build scenarios directly — they compose (topology specs, interference
+//! modes, observers, traces) and sweep seeds in parallel:
 //!
 //! ```
 //! use sinr_core::sim::{ProtocolSpec, Scenario};

@@ -150,6 +150,16 @@ impl<P: MetricPoint> Scenario<P> {
         self
     }
 
+    /// Switches to the grid-native fast physics
+    /// ([`InterferenceMode::grid_native`]): exact decode decisions with a
+    /// per-cell approximate interference tail — the recommended fidelity
+    /// for large sweeps (see the `sinr-phy` crate docs for measured
+    /// cost/accuracy numbers). The default remains exact physics.
+    #[must_use]
+    pub fn fast_physics(self) -> Self {
+        self.interference_mode(InterferenceMode::grid_native())
+    }
+
     /// Records per-round statistics into [`RunReport::per_round`].
     #[must_use]
     pub fn record_rounds(mut self) -> Self {

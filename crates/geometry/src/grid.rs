@@ -4,13 +4,20 @@
 //! graphs with many "all points within distance r of v" queries; a uniform
 //! grid with cell side chosen close to the query radius answers each query in
 //! time proportional to the output size for bounded-growth inputs.
-
-use std::collections::HashMap;
+//!
+//! The index is stored *flat*: populated cells are kept in one sorted vector
+//! with CSR-style offsets into a single member array, so (a) every iteration
+//! order is deterministic (lexicographic in the cell key — no hash-map
+//! ordering anywhere), (b) lookups are cache-friendly binary searches, and
+//! (c) queries can run through the allocation-free
+//! [`GridIndex::for_each_in_ball`] visitor, which the reception oracle uses
+//! on its zero-allocation hot path.
 
 use crate::point::MetricPoint;
 
-/// Key of a grid cell: integer coordinates along up to three axes.
-type CellKey = [i64; 3];
+/// Key of a grid cell: integer coordinates along up to three axes (unused
+/// trailing axes stay `0`).
+pub type CellKey = [i64; 3];
 
 /// A uniform-grid spatial index over a fixed slice of points.
 ///
@@ -28,7 +35,12 @@ type CellKey = [i64; 3];
 /// ```
 #[derive(Debug, Clone)]
 pub struct GridIndex {
-    cells: HashMap<CellKey, Vec<usize>>,
+    /// Keys of the populated cells, sorted lexicographically.
+    keys: Vec<CellKey>,
+    /// CSR offsets: cell `c` owns `ids[starts[c]..starts[c + 1]]`.
+    starts: Vec<usize>,
+    /// Point indices grouped by cell, ascending within each cell.
+    ids: Vec<usize>,
     cell_side: f64,
     axes: usize,
     len: usize,
@@ -48,12 +60,27 @@ impl GridIndex {
             cell_side.is_finite() && cell_side > 0.0,
             "grid cell side must be positive and finite, got {cell_side}"
         );
-        let mut cells: HashMap<CellKey, Vec<usize>> = HashMap::new();
-        for (i, p) in points.iter().enumerate() {
-            cells.entry(Self::key_of(p, cell_side)).or_default().push(i);
+        let mut pairs: Vec<(CellKey, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (Self::key_of(p, cell_side), i))
+            .collect();
+        pairs.sort_unstable();
+        let mut keys = Vec::new();
+        let mut starts = Vec::new();
+        let mut ids = Vec::with_capacity(pairs.len());
+        for (key, i) in pairs {
+            if keys.last() != Some(&key) {
+                keys.push(key);
+                starts.push(ids.len());
+            }
+            ids.push(i);
         }
+        starts.push(ids.len());
         GridIndex {
-            cells,
+            keys,
+            starts,
+            ids,
             cell_side,
             axes: P::AXES,
             len: points.len(),
@@ -83,34 +110,92 @@ impl GridIndex {
         self.cell_side
     }
 
+    /// Number of populated cells.
+    pub fn num_cells(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Key of populated cell `c` (cells are ordered lexicographically by
+    /// key; `c < self.num_cells()`).
+    pub fn cell_key(&self, c: usize) -> CellKey {
+        self.keys[c]
+    }
+
+    /// Point indices in populated cell `c`, in ascending order.
+    pub fn cell_members(&self, c: usize) -> &[usize] {
+        &self.ids[self.starts[c]..self.starts[c + 1]]
+    }
+
+    /// The cell key `point` falls into under this index's cell side.
+    pub fn key_for<P: MetricPoint>(&self, point: &P) -> CellKey {
+        debug_assert_eq!(P::AXES, self.axes, "point dimensionality mismatch");
+        Self::key_of(point, self.cell_side)
+    }
+
+    /// Members of the cell with `key`, or the empty slice for an
+    /// unpopulated cell.
+    pub fn members_of(&self, key: &CellKey) -> &[usize] {
+        match self.keys.binary_search(key) {
+            Ok(c) => self.cell_members(c),
+            Err(_) => &[],
+        }
+    }
+
     /// Indices of all points at distance `<= radius` from `center`,
     /// in ascending index order.
     ///
-    /// `points` must be the same slice the index was built from.
+    /// `points` must be the same slice the index was built from. Allocates
+    /// a result buffer per call — inner loops should prefer
+    /// [`GridIndex::for_each_in_ball`].
     pub fn ball<'a, P: MetricPoint>(
         &'a self,
         points: &'a [P],
         center: P,
         radius: f64,
     ) -> impl Iterator<Item = usize> + 'a {
-        debug_assert_eq!(points.len(), self.len, "index/point-slice mismatch");
-        let mut out = self.candidate_cells(&center, radius);
-        out.retain(|&i| points[i].distance(&center) <= radius);
+        let mut out = Vec::new();
+        self.for_each_in_ball(points, center, radius, |i| out.push(i));
         out.sort_unstable();
         out.into_iter()
     }
 
     /// Indices of all points at distance `<= radius` from `center`, collected.
+    ///
+    /// Thin wrapper over [`GridIndex::ball`]; prefer
+    /// [`GridIndex::for_each_in_ball`] inside loops.
     pub fn ball_vec<P: MetricPoint>(&self, points: &[P], center: P, radius: f64) -> Vec<usize> {
         self.ball(points, center, radius).collect()
     }
 
     /// Number of points at distance `<= radius` from `center`.
     pub fn ball_count<P: MetricPoint>(&self, points: &[P], center: P, radius: f64) -> usize {
-        self.candidate_cells(&center, radius)
-            .iter()
-            .filter(|&&i| points[i].distance(&center) <= radius)
-            .count()
+        let mut count = 0;
+        self.for_each_in_ball(points, center, radius, |_| count += 1);
+        count
+    }
+
+    /// Calls `f(i)` for every point `i` at distance `<= radius` from
+    /// `center`, without allocating.
+    ///
+    /// Visit order is deterministic — lexicographic in the cell key, then
+    /// ascending index within each cell — but **not** globally ascending by
+    /// index; collect and sort ([`GridIndex::ball`]) when order matters.
+    pub fn for_each_in_ball<P: MetricPoint>(
+        &self,
+        points: &[P],
+        center: P,
+        radius: f64,
+        mut f: impl FnMut(usize),
+    ) {
+        debug_assert_eq!(points.len(), self.len, "index/point-slice mismatch");
+        let (lo, hi) = self.query_box(&center, radius);
+        self.for_each_candidate_cell(&lo, &hi, &mut |ids| {
+            for &i in ids {
+                if points[i].distance(&center) <= radius {
+                    f(i);
+                }
+            }
+        });
     }
 
     /// Nearest indexed point to `center` other than `exclude` (pass
@@ -134,15 +219,18 @@ impl GridIndex {
         let mut radius = self.cell_side;
         for _ in 0..64 {
             let mut best: Option<(usize, f64)> = None;
-            for i in self.candidate_cells(&center, radius) {
-                if i == exclude {
-                    continue;
+            let (lo, hi) = self.query_box(&center, radius);
+            self.for_each_candidate_cell(&lo, &hi, &mut |ids| {
+                for &i in ids {
+                    if i == exclude {
+                        continue;
+                    }
+                    let d = points[i].distance(&center);
+                    if best.map_or(true, |(_, bd)| d < bd) {
+                        best = Some((i, d));
+                    }
                 }
-                let d = points[i].distance(&center);
-                if best.map_or(true, |(_, bd)| d < bd) {
-                    best = Some((i, d));
-                }
-            }
+            });
             if let Some((i, d)) = best {
                 if d <= radius {
                     return Some((i, d));
@@ -159,9 +247,8 @@ impl GridIndex {
             .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 
-    /// Collects candidate point indices from all cells intersecting the
-    /// bounding box of the query ball.
-    fn candidate_cells<P: MetricPoint>(&self, center: &P, radius: f64) -> Vec<usize> {
+    /// Cell-key bounding box of the ball `B(center, radius)`.
+    fn query_box<P: MetricPoint>(&self, center: &P, radius: f64) -> (CellKey, CellKey) {
         debug_assert_eq!(P::AXES, self.axes, "point dimensionality mismatch");
         let mut lo = [0i64; 3];
         let mut hi = [0i64; 3];
@@ -169,23 +256,27 @@ impl GridIndex {
             lo[axis] = ((center.coord(axis) - radius) / self.cell_side).floor() as i64;
             hi[axis] = ((center.coord(axis) + radius) / self.cell_side).floor() as i64;
         }
+        (lo, hi)
+    }
+
+    /// Calls `f` with the member slice of every populated cell whose key
+    /// lies in the box `[lo, hi]`, in lexicographic key order.
+    fn for_each_candidate_cell(&self, lo: &CellKey, hi: &CellKey, f: &mut impl FnMut(&[usize])) {
         // Guard against enormous radii relative to cell side: cap the cell
-        // walk at the total number of populated cells by scanning the map.
+        // walk at the number of populated cells by scanning the sorted list.
         let box_cells: i128 = (0..self.axes)
             .map(|a| (hi[a] - lo[a] + 1) as i128)
             .product();
-        let mut out = Vec::new();
-        if box_cells > self.cells.len() as i128 {
-            for (key, ids) in &self.cells {
+        if box_cells > self.keys.len() as i128 {
+            for (c, key) in self.keys.iter().enumerate() {
                 if (0..self.axes).all(|a| key[a] >= lo[a] && key[a] <= hi[a]) {
-                    out.extend_from_slice(ids);
+                    f(self.cell_members(c));
                 }
             }
-            return out;
+            return;
         }
         let mut key = [0i64; 3];
-        self.walk_cells(&mut key, 0, &lo, &hi, &mut out);
-        out
+        self.walk_cells(&mut key, 0, lo, hi, f);
     }
 
     fn walk_cells(
@@ -194,17 +285,18 @@ impl GridIndex {
         axis: usize,
         lo: &CellKey,
         hi: &CellKey,
-        out: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize]),
     ) {
         if axis == self.axes {
-            if let Some(ids) = self.cells.get(key) {
-                out.extend_from_slice(ids);
+            let members = self.members_of(key);
+            if !members.is_empty() {
+                f(members);
             }
             return;
         }
         for v in lo[axis]..=hi[axis] {
             key[axis] = v;
-            self.walk_cells(key, axis + 1, lo, hi, out);
+            self.walk_cells(key, axis + 1, lo, hi, f);
         }
     }
 }
@@ -229,6 +321,7 @@ mod tests {
         let pts: Vec<Point2> = vec![];
         let idx = GridIndex::build(&pts, 1.0);
         assert!(idx.is_empty());
+        assert_eq!(idx.num_cells(), 0);
         assert_eq!(
             idx.ball_vec(&pts, Point2::origin(), 10.0),
             Vec::<usize>::new()
@@ -317,7 +410,7 @@ mod tests {
     }
 
     #[test]
-    fn huge_radius_uses_map_scan() {
+    fn huge_radius_uses_list_scan() {
         let pts: Vec<Point2> = (0..50)
             .map(|i| Point2::new(i as f64 * 0.1, (i % 7) as f64 * 0.1))
             .collect();
@@ -337,6 +430,44 @@ mod tests {
                 idx.ball_count(&pts, Point2::origin(), r),
                 idx.ball_vec(&pts, Point2::origin(), r).len()
             );
+        }
+    }
+
+    #[test]
+    fn cells_are_sorted_and_partition_the_points() {
+        let pts: Vec<Point2> = (0..60)
+            .map(|i| Point2::new((i % 9) as f64 * 0.7, (i / 9) as f64 * 0.7))
+            .collect();
+        let idx = GridIndex::build(&pts, 1.0);
+        let mut seen = Vec::new();
+        for c in 0..idx.num_cells() {
+            if c > 0 {
+                assert!(idx.cell_key(c - 1) < idx.cell_key(c), "keys sorted");
+            }
+            let members = idx.cell_members(c);
+            assert!(!members.is_empty(), "only populated cells are stored");
+            assert!(members.windows(2).all(|w| w[0] < w[1]), "members ascending");
+            for &i in members {
+                assert_eq!(idx.key_for(&pts[i]), idx.cell_key(c));
+            }
+            seen.extend_from_slice(members);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..60).collect::<Vec<_>>(), "cells partition points");
+        assert_eq!(idx.members_of(&[1000, 1000, 0]), &[] as &[usize]);
+    }
+
+    #[test]
+    fn visitor_matches_ball_contents() {
+        let pts: Vec<Point2> = (0..80)
+            .map(|i| Point2::new((i as f64 * 0.41).sin() * 4.0, (i as f64 * 0.59).cos() * 4.0))
+            .collect();
+        let idx = GridIndex::build(&pts, 0.8);
+        for r in [0.3, 1.0, 2.5, 50.0] {
+            let mut visited = Vec::new();
+            idx.for_each_in_ball(&pts, Point2::new(0.2, -0.1), r, |i| visited.push(i));
+            visited.sort_unstable();
+            assert_eq!(visited, idx.ball_vec(&pts, Point2::new(0.2, -0.1), r));
         }
     }
 

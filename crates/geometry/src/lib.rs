@@ -37,5 +37,5 @@ pub mod grid;
 pub mod point;
 
 pub use ball::{ball_indices, ball_mass, count_in_ball, covering_number};
-pub use grid::GridIndex;
+pub use grid::{CellKey, GridIndex};
 pub use point::{MetricPoint, Point1, Point2, Point3};

@@ -50,14 +50,19 @@ impl CommGraph {
         let mut adj = vec![Vec::new(); points.len()];
         let mut num_edges = 0;
         for (v, p) in points.iter().enumerate() {
-            for u in grid.ball(points, *p, radius) {
+            // Allocation-free visitor (cell-major order), then one in-place
+            // sort to restore the ascending neighbour order BFS tie-breaks
+            // and protocols rely on.
+            let row = &mut adj[v];
+            grid.for_each_in_ball(points, *p, radius, |u| {
                 if u != v {
-                    adj[v].push(u);
+                    row.push(u);
                     if u > v {
                         num_edges += 1;
                     }
                 }
-            }
+            });
+            row.sort_unstable();
         }
         CommGraph {
             adj,

@@ -6,11 +6,50 @@
 //!
 //! * [`SinrParams`] — validated model parameters (α, β, N, ε) with the
 //!   paper's uniform-power normalisation `P = N·β` (communication range 1);
-//! * [`resolve_round`] / [`Network::resolve`] — the exact reception oracle
-//!   for Equation (1), plus an optional truncated-interference fast path;
+//! * [`resolve_round`] / [`Network::resolve`] — one-shot reception-oracle
+//!   calls for Equation (1);
+//! * [`ReceptionOracle`] / [`Network::resolve_with`] — the stateful oracle
+//!   that resolves rounds with **zero steady-state allocations**; every
+//!   round loop in the workspace (engine, runners, sweeps) builds it once
+//!   per trial and reuses it across thousands of rounds;
 //! * [`CommGraph`] — the communication graph over edges of length ≤ 1 − ε,
 //!   with BFS, diameter, connectivity and granularity `R_s`;
 //! * [`facts`] — Facts 1–3 of the paper as checkable predicates.
+//!
+//! # Choosing an interference mode
+//!
+//! Four fidelities trade accuracy against per-round cost
+//! ([`InterferenceMode`]). Measured cost is mean wall-clock per round on a
+//! dense uniform deployment (density 30 per unit square, 2% of stations
+//! transmitting, α = 3) from `BENCH_phy.json` (regenerate with
+//! `cargo run --release -p sinr-bench --bin microbench`):
+//!
+//! | mode | n = 1 024 | n = 10 000 | decode | interference tail |
+//! |------|----------:|-----------:|--------|-------------------|
+//! | `Exact` | 547 µs | 47.1 ms | exact | exact (`O(\|T\|·n)`) |
+//! | `CellAggregate{4}` | 618 µs | 43.3 ms | exact | per-receiver cell aggregate, error ≲ α·√2/(2·4) per far term |
+//! | `GridNative{4}` | 95 µs | **3.0 ms** | exact | per-receiver-**cell** shared tail, error ≲ α·√2/4 per far term |
+//! | `Truncated{4}` | 431 µs | 9.3 ms | exact in range | dropped beyond 4 (systematically optimistic) |
+//!
+//! Rules of thumb:
+//!
+//! * **Small experiments / ground truth** — `Exact`. It is also the
+//!   default everywhere, keeping historical results bit-for-bit.
+//! * **Large sweeps** — [`InterferenceMode::grid_native`] (exact decode
+//!   decisions whenever the SINR margin exceeds its tail perturbation; at
+//!   n = 10⁴ it is ~15× faster than exact and ~14× faster than the
+//!   pre-oracle cell-aggregate path, and the a3 ablation tracks exact
+//!   round counts within a few percent). `Scenario::fast_physics()`
+//!   selects it.
+//! * **`CellAggregate`** — when the tail must be estimated per receiver
+//!   (tighter error than grid-native) but truncation bias is unacceptable.
+//! * **`Truncated`** — only for quick upper-bound sanity sweeps; errors
+//!   *favour* reception, unlike the aggregated modes.
+//!
+//! Determinism: every mode is a pure function of `(points, params, T)` —
+//! aggregate cells are iterated in sorted key order (a previous version
+//! used a hash map with per-instance random ordering; see
+//! `reception::tests::cell_aggregate_is_deterministic_across_runs`).
 //!
 //! # Example
 //!
@@ -35,12 +74,14 @@ pub mod bounds;
 pub mod commgraph;
 pub mod facts;
 pub mod network;
+pub mod oracle;
 pub mod params;
 pub mod reception;
 
 pub use bounds::ParamBounds;
 pub use commgraph::{CommGraph, UNREACHABLE};
 pub use network::{Network, NetworkError};
+pub use oracle::ReceptionOracle;
 pub use params::{ParamError, SinrParams, SinrParamsBuilder};
 pub use reception::{
     interference_at, resolve_round, total_signal_at, InterferenceMode, RoundOutcome,

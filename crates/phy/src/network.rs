@@ -4,6 +4,7 @@
 use sinr_geometry::{GridIndex, MetricPoint};
 
 use crate::commgraph::CommGraph;
+use crate::oracle::ReceptionOracle;
 use crate::params::{ParamError, SinrParams};
 use crate::reception::{resolve_round, InterferenceMode, RoundOutcome};
 
@@ -138,6 +139,10 @@ impl<P: MetricPoint> Network<P> {
                 near_radius >= 2.0,
                 "cell-aggregate near radius must be at least 2"
             ),
+            InterferenceMode::GridNative { near_radius } => assert!(
+                near_radius >= 2.0,
+                "grid-native near radius must be at least 2"
+            ),
             InterferenceMode::Exact => {}
         }
         self.mode = mode;
@@ -185,6 +190,10 @@ impl<P: MetricPoint> Network<P> {
     }
 
     /// Resolves one round with transmitter set `transmitters`.
+    ///
+    /// One-shot convenience (allocates fresh oracle state per call). Round
+    /// loops should hold a [`ReceptionOracle`] from
+    /// [`Network::new_oracle`] and call [`Network::resolve_with`] instead.
     pub fn resolve(&self, transmitters: &[usize]) -> RoundOutcome {
         resolve_round(
             &self.points,
@@ -193,6 +202,31 @@ impl<P: MetricPoint> Network<P> {
             self.mode,
             Some(&self.grid),
         )
+    }
+
+    /// A reception oracle pre-sized for this network, for use with
+    /// [`Network::resolve_with`].
+    pub fn new_oracle(&self) -> ReceptionOracle {
+        ReceptionOracle::for_stations(self.len())
+    }
+
+    /// Resolves one round into `out`, reusing `oracle`'s scratch buffers —
+    /// zero heap allocations in steady state. Results are identical to
+    /// [`Network::resolve`].
+    pub fn resolve_with(
+        &self,
+        oracle: &mut ReceptionOracle,
+        transmitters: &[usize],
+        out: &mut RoundOutcome,
+    ) {
+        oracle.resolve_into(
+            &self.points,
+            &self.params,
+            transmitters,
+            self.mode,
+            Some(&self.grid),
+            out,
+        );
     }
 
     /// Indices of stations within distance `radius` of station `v`

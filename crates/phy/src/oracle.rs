@@ -1,0 +1,583 @@
+//! The stateful, zero-allocation reception oracle.
+//!
+//! [`resolve_round`](crate::reception::resolve_round) answers "who hears
+//! whom" for a single round, but every call allocates its accumulation
+//! buffers from scratch. Protocol runs resolve *thousands* of rounds over
+//! the same deployment, so the hot path wants the dual shape: construct
+//! once per trial, reuse across rounds. [`ReceptionOracle`] owns all the
+//! per-round scratch — total-power/best-power/best-index accumulators, the
+//! transmitter bitmap, flat sorted transmitter-cell buckets (replacing the
+//! per-round hash map the aggregate mode used to build), and the
+//! near-bucket scratch of the grid-native kernel — and resolves rounds with
+//! **zero steady-state heap allocations** (pinned by the counting-allocator
+//! test `oracle_alloc.rs`).
+//!
+//! The oracle reproduces the free function **field-for-field** in every
+//! [`InterferenceMode`]; `Exact` and `Truncated` accumulate in the same
+//! order as the historical implementation, so they are bit-for-bit
+//! backward compatible. `CellAggregate` now iterates transmitter cells in
+//! sorted key order (the historical hash-map order was
+//! nondeterministic — see the regression test in `reception.rs`), and the
+//! new [`InterferenceMode::GridNative`] kernel is only available here and
+//! through the wrappers that delegate here.
+
+use sinr_geometry::{CellKey, GridIndex, MetricPoint};
+
+use crate::params::SinrParams;
+use crate::reception::{InterferenceMode, RoundOutcome};
+
+/// Reusable per-round state for resolving reception rounds without
+/// allocating.
+///
+/// Build one per trial ([`crate::Network::new_oracle`] sizes it for the
+/// network) and feed it every round; buffers grow to the high-water mark
+/// on the first round and are reused afterwards.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geometry::Point2;
+/// use sinr_phy::{InterferenceMode, Network, ReceptionOracle, RoundOutcome, SinrParams};
+///
+/// let net = Network::new(
+///     vec![Point2::new(0.0, 0.0), Point2::new(0.5, 0.0)],
+///     SinrParams::default_plane(),
+/// )?;
+/// let mut oracle = net.new_oracle();
+/// let mut out = RoundOutcome::empty();
+/// for _round in 0..3 {
+///     net.resolve_with(&mut oracle, &[0], &mut out); // no allocations after round 0
+///     assert_eq!(out.decoded_from[1], Some(0));
+/// }
+/// # Ok::<(), sinr_phy::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReceptionOracle {
+    /// Total received power per station.
+    total: Vec<f64>,
+    /// Strongest received signal per station.
+    best_pow: Vec<f64>,
+    /// Transmitter of the strongest signal (`usize::MAX` = none yet).
+    best_idx: Vec<usize>,
+    /// Whether each station transmits this round (half-duplex).
+    is_tx: Vec<bool>,
+    /// `(cell key, transmitter)` pairs, sorted lexicographically per round.
+    tx_cells: Vec<(CellKey, usize)>,
+    /// Start offset of each distinct transmitter cell in `tx_cells`, plus a
+    /// terminating sentinel.
+    bucket_starts: Vec<usize>,
+    /// Centroid of each transmitter cell (trailing axes stay 0).
+    bucket_centroids: Vec<[f64; 3]>,
+    /// Indices (into the bucket arrays) of the near cells of the receiver
+    /// cell currently being resolved (grid-native kernel scratch).
+    near_buckets: Vec<usize>,
+}
+
+impl ReceptionOracle {
+    /// An oracle with empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An oracle pre-sized for `n` stations (avoids even the first-round
+    /// growth for the per-station buffers).
+    pub fn for_stations(n: usize) -> Self {
+        let mut oracle = Self::new();
+        oracle.reset(n);
+        oracle
+    }
+
+    /// Resizes (if needed) and clears the per-station accumulators.
+    fn reset(&mut self, n: usize) {
+        self.total.resize(n, 0.0);
+        self.best_pow.resize(n, 0.0);
+        self.best_idx.resize(n, usize::MAX);
+        self.is_tx.resize(n, false);
+        self.total.fill(0.0);
+        self.best_pow.fill(0.0);
+        self.best_idx.fill(usize::MAX);
+        self.is_tx.fill(false);
+    }
+
+    /// Total received power per station from the last resolved round
+    /// (diagnostics; indexed by station).
+    ///
+    /// Exposes the raw accumulator so determinism tests can compare
+    /// floating-point sums bit-for-bit, not only decode decisions.
+    pub fn received_power(&self) -> &[f64] {
+        &self.total
+    }
+
+    /// Resolves one round into `out`, reusing all internal scratch and the
+    /// capacity of `out.decoded_from`.
+    ///
+    /// Semantics are identical to
+    /// [`resolve_round`](crate::reception::resolve_round) (which now
+    /// delegates to a one-shot oracle): `transmitters` is the set `T`
+    /// (indices into `points`, duplicates not allowed), `grid` is required
+    /// for every mode except `Exact` and must be built over `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transmitter index is out of range, if a grid-backed mode
+    /// is requested without a grid, or if a mode's radius parameter is
+    /// below its documented minimum.
+    pub fn resolve_into<P: MetricPoint>(
+        &mut self,
+        points: &[P],
+        params: &SinrParams,
+        transmitters: &[usize],
+        mode: InterferenceMode,
+        grid: Option<&GridIndex>,
+        out: &mut RoundOutcome,
+    ) {
+        let n = points.len();
+        self.reset(n);
+        for &t in transmitters {
+            assert!(t < n, "transmitter index {t} out of range (n = {n})");
+            self.is_tx[t] = true;
+        }
+
+        // Accumulate, per station, the total received power and the
+        // strongest transmitter (ties broken towards the first transmitter
+        // encountered; transmitter iteration order is deterministic in
+        // every mode).
+        match mode {
+            InterferenceMode::Exact => self.accumulate_exact(points, params, transmitters),
+            InterferenceMode::Truncated { radius } => {
+                assert!(
+                    radius >= params.range(),
+                    "truncation radius {radius} must be at least the communication range 1"
+                );
+                let grid = grid.expect("Truncated interference mode requires a grid index");
+                self.accumulate_truncated(points, params, transmitters, radius, grid);
+            }
+            InterferenceMode::CellAggregate { near_radius } => {
+                assert!(
+                    near_radius >= 2.0,
+                    "near_radius {near_radius} must be at least 2 (range 1 plus cell slack)"
+                );
+                let grid = grid.expect("CellAggregate interference mode requires a grid index");
+                self.bucket_transmitters(points, transmitters, grid);
+                self.accumulate_cell_aggregate(points, params, near_radius, grid);
+            }
+            InterferenceMode::GridNative { near_radius } => {
+                assert!(
+                    near_radius >= 2.0,
+                    "grid-native near radius {near_radius} must be at least 2"
+                );
+                let grid = grid.expect("GridNative interference mode requires a grid index");
+                debug_assert_eq!(grid.len(), n, "grid must index the same points");
+                self.bucket_transmitters(points, transmitters, grid);
+                self.accumulate_grid_native(points, params, near_radius, grid);
+            }
+        }
+
+        out.decoded_from.clear();
+        out.decoded_from.extend((0..n).map(|u| {
+            if self.is_tx[u] || self.best_idx[u] == usize::MAX {
+                return None;
+            }
+            let interference = self.total[u] - self.best_pow[u];
+            if params.decodable(self.best_pow[u], interference) {
+                Some(self.best_idx[u])
+            } else {
+                None
+            }
+        }));
+        out.num_transmitters = transmitters.len();
+    }
+
+    /// As [`ReceptionOracle::resolve_into`], allocating a fresh outcome.
+    pub fn resolve<P: MetricPoint>(
+        &mut self,
+        points: &[P],
+        params: &SinrParams,
+        transmitters: &[usize],
+        mode: InterferenceMode,
+        grid: Option<&GridIndex>,
+    ) -> RoundOutcome {
+        let mut out = RoundOutcome::empty();
+        self.resolve_into(points, params, transmitters, mode, grid, &mut out);
+        out
+    }
+
+    /// Exact Equation (1): every transmitter contributes to every receiver,
+    /// in the historical transmitter-major order (bit-for-bit compatible).
+    fn accumulate_exact<P: MetricPoint>(
+        &mut self,
+        points: &[P],
+        params: &SinrParams,
+        transmitters: &[usize],
+    ) {
+        for &t in transmitters {
+            let tp = points[t];
+            for (u, pu) in points.iter().enumerate() {
+                if u == t {
+                    continue;
+                }
+                let s = params.signal_at(tp.distance(pu));
+                self.total[u] += s;
+                if s > self.best_pow[u] {
+                    self.best_pow[u] = s;
+                    self.best_idx[u] = t;
+                }
+            }
+        }
+    }
+
+    /// Truncated interference through the allocation-free ball visitor.
+    ///
+    /// Receivers accumulate one term per transmitter in transmitter-major
+    /// order, so the visitor's cell-major receiver order leaves every
+    /// per-receiver sum bit-for-bit identical to the historical
+    /// `grid.ball` iteration.
+    fn accumulate_truncated<P: MetricPoint>(
+        &mut self,
+        points: &[P],
+        params: &SinrParams,
+        transmitters: &[usize],
+        radius: f64,
+        grid: &GridIndex,
+    ) {
+        let total = &mut self.total;
+        let best_pow = &mut self.best_pow;
+        let best_idx = &mut self.best_idx;
+        for &t in transmitters {
+            let tp = points[t];
+            grid.for_each_in_ball(points, tp, radius, |u| {
+                if u == t {
+                    return;
+                }
+                let s = params.signal_at(tp.distance(&points[u]));
+                total[u] += s;
+                if s > best_pow[u] {
+                    best_pow[u] = s;
+                    best_idx[u] = t;
+                }
+            });
+        }
+    }
+
+    /// Buckets `transmitters` into flat sorted cells of `grid`, computing
+    /// per-cell centroids. Reuses `tx_cells` / `bucket_starts` /
+    /// `bucket_centroids`; members end up ascending within each cell.
+    fn bucket_transmitters<P: MetricPoint>(
+        &mut self,
+        points: &[P],
+        transmitters: &[usize],
+        grid: &GridIndex,
+    ) {
+        self.tx_cells.clear();
+        self.tx_cells
+            .extend(transmitters.iter().map(|&t| (grid.key_for(&points[t]), t)));
+        self.tx_cells.sort_unstable();
+        self.bucket_starts.clear();
+        self.bucket_centroids.clear();
+        let mut i = 0;
+        while i < self.tx_cells.len() {
+            let key = self.tx_cells[i].0;
+            self.bucket_starts.push(i);
+            let start = i;
+            let mut centroid = [0.0f64; 3];
+            while i < self.tx_cells.len() && self.tx_cells[i].0 == key {
+                let tp = &points[self.tx_cells[i].1];
+                for (axis, slot) in centroid.iter_mut().enumerate().take(P::AXES) {
+                    *slot += tp.coord(axis);
+                }
+                i += 1;
+            }
+            let k = (i - start) as f64;
+            for v in &mut centroid {
+                *v /= k;
+            }
+            self.bucket_centroids.push(centroid);
+        }
+        self.bucket_starts.push(self.tx_cells.len());
+    }
+
+    /// One-level multipole: near cells exactly, far cells as one aggregate
+    /// at the cell centroid, per receiver. Cells are visited in sorted key
+    /// order, making the floating-point sums deterministic.
+    fn accumulate_cell_aggregate<P: MetricPoint>(
+        &mut self,
+        points: &[P],
+        params: &SinrParams,
+        near_radius: f64,
+        grid: &GridIndex,
+    ) {
+        let cell = grid.cell_side();
+        // Every cell member lies within one cell diagonal of the
+        // transmitter centroid.
+        let diag = cell * (P::AXES as f64).sqrt();
+        let buckets = self.bucket_starts.len() - 1;
+        for (u, pu) in points.iter().enumerate() {
+            for b in 0..buckets {
+                let centroid = &self.bucket_centroids[b];
+                let mut d2 = 0.0;
+                for (axis, c) in centroid.iter().enumerate().take(P::AXES) {
+                    let dd = pu.coord(axis) - c;
+                    d2 += dd * dd;
+                }
+                let dc = d2.sqrt();
+                let members = &self.tx_cells[self.bucket_starts[b]..self.bucket_starts[b + 1]];
+                if dc > near_radius + diag {
+                    // All members are farther than near_radius from u.
+                    self.total[u] += members.len() as f64 * params.signal_at(dc);
+                } else {
+                    for &(_, t) in members {
+                        if t == u {
+                            continue;
+                        }
+                        let s = params.signal_at(points[t].distance(pu));
+                        self.total[u] += s;
+                        if s > self.best_pow[u] {
+                            self.best_pow[u] = s;
+                            self.best_idx[u] = t;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The grid-native kernel: exact decode, approximate tail, shared per
+    /// receiver cell.
+    ///
+    /// One pass over the transmitters builds the sorted cell buckets; then,
+    /// per *receiver cell* (not per receiver), transmitter cells within
+    /// Chebyshev key distance `⌈near_radius / cell⌉` are evaluated exactly
+    /// per member while all farther cells collapse into a single tail term
+    /// evaluated once between the two cells' member centroids and shared by
+    /// every receiver in the cell. Any decodable transmitter is within
+    /// range 1 < `near_radius`, so decode candidates are always exact —
+    /// only the interference tail is approximated (at both endpoints, which
+    /// is what [`InterferenceMode::GridNative`]'s error bound accounts
+    /// for).
+    fn accumulate_grid_native<P: MetricPoint>(
+        &mut self,
+        points: &[P],
+        params: &SinrParams,
+        near_radius: f64,
+        grid: &GridIndex,
+    ) {
+        let cell = grid.cell_side();
+        let near_cells = (near_radius / cell).ceil() as i64;
+        let buckets = self.bucket_starts.len() - 1;
+        for rc in 0..grid.num_cells() {
+            let members = grid.cell_members(rc);
+            let rkey = grid.cell_key(rc);
+            // Receiver-cell member centroid: the tail evaluation point.
+            let mut rcent = [0.0f64; 3];
+            for &u in members {
+                for (axis, slot) in rcent.iter_mut().enumerate().take(P::AXES) {
+                    *slot += points[u].coord(axis);
+                }
+            }
+            let inv = 1.0 / members.len() as f64;
+            for v in &mut rcent {
+                *v *= inv;
+            }
+            // Split transmitter cells into near (exact per member) and far
+            // (one shared tail term per cell); the split depends only on
+            // the receiver CELL, so every (receiver, transmitter) pair is
+            // counted exactly once.
+            self.near_buckets.clear();
+            let mut tail = 0.0f64;
+            for b in 0..buckets {
+                let bkey = self.tx_cells[self.bucket_starts[b]].0;
+                let cheb = (0..P::AXES)
+                    .map(|a| (bkey[a] - rkey[a]).abs())
+                    .max()
+                    .unwrap_or(0);
+                if cheb <= near_cells {
+                    self.near_buckets.push(b);
+                } else {
+                    let centroid = &self.bucket_centroids[b];
+                    let mut d2 = 0.0;
+                    for (axis, c) in centroid.iter().enumerate().take(P::AXES) {
+                        let dd = rcent[axis] - c;
+                        d2 += dd * dd;
+                    }
+                    let count = (self.bucket_starts[b + 1] - self.bucket_starts[b]) as f64;
+                    tail += count * params.signal_at_sq(d2);
+                }
+            }
+            for &u in members {
+                let pu = &points[u];
+                self.total[u] += tail;
+                for &b in &self.near_buckets {
+                    let near = &self.tx_cells[self.bucket_starts[b]..self.bucket_starts[b + 1]];
+                    for &(_, t) in near {
+                        if t == u {
+                            continue;
+                        }
+                        let s = params.signal_at_sq(points[t].distance_sq(pu));
+                        self.total[u] += s;
+                        if s > self.best_pow[u] {
+                            self.best_pow[u] = s;
+                            self.best_idx[u] = t;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reception::resolve_round;
+    use sinr_geometry::Point2;
+
+    fn params() -> SinrParams {
+        SinrParams::default_plane()
+    }
+
+    fn spread(n: usize) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 20) as f64 * 0.9 + ((i * 7) % 5) as f64 * 0.11;
+                let y = (i / 20) as f64 * 0.9 + ((i * 13) % 7) as f64 * 0.07;
+                Point2::new(x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn oracle_matches_free_function_in_every_compat_mode() {
+        let pts = spread(200);
+        let grid = GridIndex::build(&pts, 1.0);
+        let p = params();
+        let tx: Vec<usize> = (0..200).step_by(9).collect();
+        let mut oracle = ReceptionOracle::new();
+        for mode in [
+            InterferenceMode::Exact,
+            InterferenceMode::Truncated { radius: 4.0 },
+            InterferenceMode::CellAggregate { near_radius: 4.0 },
+            InterferenceMode::GridNative { near_radius: 4.0 },
+        ] {
+            let free = resolve_round(&pts, &p, &tx, mode, Some(&grid));
+            let from_oracle = oracle.resolve(&pts, &p, &tx, mode, Some(&grid));
+            assert_eq!(free, from_oracle, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn reused_oracle_matches_fresh_oracle() {
+        // Interleave modes and transmitter sets; stale scratch must never
+        // leak into a later round.
+        let pts = spread(150);
+        let grid = GridIndex::build(&pts, 1.0);
+        let p = params();
+        let mut reused = ReceptionOracle::new();
+        let rounds: Vec<(Vec<usize>, InterferenceMode)> = vec![
+            ((0..150).step_by(7).collect(), InterferenceMode::Exact),
+            (
+                (0..150).step_by(3).collect(),
+                InterferenceMode::GridNative { near_radius: 4.0 },
+            ),
+            (
+                vec![0],
+                InterferenceMode::CellAggregate { near_radius: 4.0 },
+            ),
+            (vec![], InterferenceMode::Truncated { radius: 2.0 }),
+            (
+                (0..150).step_by(7).collect(),
+                InterferenceMode::GridNative { near_radius: 4.0 },
+            ),
+        ];
+        for (tx, mode) in rounds {
+            let fresh = ReceptionOracle::new().resolve(&pts, &p, &tx, mode, Some(&grid));
+            let again = reused.resolve(&pts, &p, &tx, mode, Some(&grid));
+            assert_eq!(fresh, again, "{mode:?} with {} transmitters", tx.len());
+        }
+    }
+
+    #[test]
+    fn grid_native_matches_exact_decisions_on_spread_network() {
+        // Decode candidates are exact; only the tail is approximated, so on
+        // a spread deployment the decisions must coincide with Exact.
+        let pts = spread(200);
+        let grid = GridIndex::build(&pts, 1.0);
+        let p = params();
+        let tx: Vec<usize> = (0..200).step_by(9).collect();
+        let exact = resolve_round(&pts, &p, &tx, InterferenceMode::Exact, None);
+        let native = ReceptionOracle::new().resolve(
+            &pts,
+            &p,
+            &tx,
+            InterferenceMode::GridNative { near_radius: 4.0 },
+            Some(&grid),
+        );
+        let disagreements = exact
+            .decoded_from
+            .iter()
+            .zip(&native.decoded_from)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(disagreements, 0, "grid-native flipped decode decisions");
+    }
+
+    #[test]
+    fn grid_native_never_decodes_beyond_range_one() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.8, 0.0),
+            Point2::new(9.0, 0.0), // isolated far receiver: far-aggregated only
+        ];
+        let grid = GridIndex::build(&pts, 1.0);
+        let out = ReceptionOracle::new().resolve(
+            &pts,
+            &params(),
+            &[0],
+            InterferenceMode::GridNative { near_radius: 2.0 },
+            Some(&grid),
+        );
+        assert_eq!(out.decoded_from[1], Some(0));
+        assert_eq!(out.decoded_from[2], None);
+        assert_eq!(out.decoded_from[0], None, "half-duplex");
+    }
+
+    #[test]
+    fn received_power_exposes_last_round_totals() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.5, 0.0)];
+        let p = params();
+        let mut oracle = ReceptionOracle::new();
+        let _ = oracle.resolve(&pts, &p, &[0], InterferenceMode::Exact, None);
+        assert_eq!(oracle.received_power().len(), 2);
+        assert_eq!(oracle.received_power()[0], 0.0, "transmitter hears nothing");
+        assert!(
+            (oracle.received_power()[1] - p.signal_at(0.5)).abs() < 1e-15,
+            "receiver total is the lone signal"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn grid_native_requires_grid() {
+        let pts = vec![Point2::origin()];
+        let _ = ReceptionOracle::new().resolve(
+            &pts,
+            &params(),
+            &[0],
+            InterferenceMode::GridNative { near_radius: 4.0 },
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn grid_native_rejects_small_near_radius() {
+        let pts = vec![Point2::origin()];
+        let grid = GridIndex::build(&pts, 1.0);
+        let _ = ReceptionOracle::new().resolve(
+            &pts,
+            &params(),
+            &[0],
+            InterferenceMode::GridNative { near_radius: 1.5 },
+            Some(&grid),
+        );
+    }
+}

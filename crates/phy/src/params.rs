@@ -233,6 +233,29 @@ impl SinrParams {
         self.power() * d.powf(-self.alpha)
     }
 
+    /// Received signal power from a **squared** distance: `P · d^{−α}` with
+    /// `d = √d2`, clamped below exactly like [`SinrParams::signal_at`].
+    ///
+    /// This is the hot-path variant used by the grid-native reception
+    /// kernel: for the common integer exponents (α = 2, 3, 4) it needs at
+    /// most one square root and no `powf`, and it never materialises the
+    /// distance itself (callers pass `distance_sq`). The value may differ
+    /// from `signal_at(d2.sqrt())` in the last few ulps — the two paths are
+    /// each internally deterministic, but are not bit-interchangeable.
+    pub fn signal_at_sq(&self, d2: f64) -> f64 {
+        const MIN2: f64 = SinrParams::MIN_DISTANCE * SinrParams::MIN_DISTANCE;
+        let d2 = d2.max(MIN2);
+        if self.alpha == 2.0 {
+            self.power() / d2
+        } else if self.alpha == 3.0 {
+            self.power() / (d2 * d2.sqrt())
+        } else if self.alpha == 4.0 {
+            self.power() / (d2 * d2)
+        } else {
+            self.power() * d2.powf(-self.alpha * 0.5)
+        }
+    }
+
     /// Minimum distance used in signal computations; generators must keep
     /// stations at least this far apart.
     pub const MIN_DISTANCE: f64 = 1e-9;
@@ -320,6 +343,23 @@ mod tests {
     fn colocated_signal_is_finite() {
         let p = SinrParams::default_plane();
         assert!(p.signal_at(0.0).is_finite());
+        assert!(p.signal_at_sq(0.0).is_finite());
+    }
+
+    #[test]
+    fn squared_distance_signal_matches_signal_at() {
+        // All specialised exponents plus the powf fallback.
+        for alpha in [2.0, 2.5, 3.0, 4.0] {
+            let p = SinrParams::builder().alpha(alpha).build(1.5).unwrap();
+            for d in [0.01, 0.3, 1.0, 2.7, 40.0] {
+                let a = p.signal_at(d);
+                let b = p.signal_at_sq(d * d);
+                assert!(
+                    (a - b).abs() <= 1e-12 * a.abs(),
+                    "alpha {alpha}, d {d}: {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

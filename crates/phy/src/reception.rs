@@ -6,9 +6,15 @@
 //! necessarily the one with the strongest received signal — so the oracle
 //! computes, per receiver, the total received power and the strongest
 //! transmitter, then applies the threshold test.
+//!
+//! This module holds the mode enum, the round-outcome type and the one-shot
+//! [`resolve_round`] entry point; the implementation (and the reusable,
+//! zero-allocation round-resolution state) lives in
+//! [`ReceptionOracle`](crate::oracle::ReceptionOracle).
 
 use sinr_geometry::{GridIndex, MetricPoint};
 
+use crate::oracle::ReceptionOracle;
 use crate::params::SinrParams;
 
 /// How interference sums are evaluated.
@@ -49,6 +55,44 @@ pub enum InterferenceMode {
         /// cell diagonal of slack).
         near_radius: f64,
     },
+    /// The grid-native kernel: exact decode, approximate tail, shared per
+    /// receiver cell — the recommended mode for large sweeps.
+    ///
+    /// Decode candidates are evaluated exactly per transmitter within
+    /// Chebyshev key distance `⌈near_radius / cell side⌉` of the receiver's
+    /// grid cell (every decodable signal comes from range ≤ 1 <
+    /// `near_radius`, Equation 1), while all farther transmitter cells
+    /// collapse into a single interference-tail term per *receiver cell*,
+    /// evaluated once between the two cells' member centroids and shared by
+    /// every receiver in the cell.
+    ///
+    /// Compared to [`InterferenceMode::CellAggregate`] — which evaluates
+    /// the far field per receiver — the tail here is approximated at both
+    /// endpoints, carrying a relative error per far term of roughly
+    /// `α·g·√2 / near_radius` (cell side `g`; both centroid offsets are at
+    /// most `g·√2/2` and first-order errors partially cancel across a
+    /// cell's members). Decode decisions are exact whenever the SINR margin
+    /// exceeds that tail perturbation; like `CellAggregate`, and unlike
+    /// [`InterferenceMode::Truncated`], errors do not systematically favour
+    /// reception.
+    ///
+    /// Cost: `O(|T| log |T| + #cells·#tx-cells + near pairs)` per round,
+    /// with no square-root/`powf` per far pair — measured ~15× faster than
+    /// `Exact` and ~14× faster than `CellAggregate` at n = 10⁴, 2% load
+    /// (see `BENCH_phy.json`).
+    GridNative {
+        /// Exact-evaluation radius (must be at least 2; default 4 balances
+        /// the tail error against the near-pair count).
+        near_radius: f64,
+    },
+}
+
+impl InterferenceMode {
+    /// The default grid-native fast mode (`near_radius = 4`): exact decode
+    /// decisions, per-cell approximate interference tail.
+    pub fn grid_native() -> Self {
+        InterferenceMode::GridNative { near_radius: 4.0 }
+    }
 }
 
 /// Outcome of resolving one round of transmissions.
@@ -63,6 +107,15 @@ pub struct RoundOutcome {
 }
 
 impl RoundOutcome {
+    /// An outcome with no stations and no transmitters — the reusable
+    /// buffer fed to [`ReceptionOracle::resolve_into`].
+    pub fn empty() -> Self {
+        RoundOutcome {
+            decoded_from: Vec::new(),
+            num_transmitters: 0,
+        }
+    }
+
     /// Number of stations that decoded a message this round.
     pub fn num_receivers(&self) -> usize {
         self.decoded_from.iter().filter(|d| d.is_some()).count()
@@ -72,14 +125,19 @@ impl RoundOutcome {
 /// Resolves one round: which stations decode which transmitter.
 ///
 /// `transmitters` is the set `T` (indices into `points`, duplicates not
-/// allowed). `grid` is required for [`InterferenceMode::Truncated`] and
-/// ignored for exact evaluation.
+/// allowed). `grid` is required for every mode except
+/// [`InterferenceMode::Exact`] and ignored for exact evaluation.
+///
+/// This is the one-shot convenience wrapper: it builds a fresh
+/// [`ReceptionOracle`] per call. Round loops should construct the oracle
+/// once and call [`ReceptionOracle::resolve_into`] (or
+/// [`crate::Network::resolve_with`]) to resolve rounds without allocating.
 ///
 /// # Panics
 ///
-/// Panics if a transmitter index is out of range, if `Truncated` mode is
-/// requested without a grid, or if the truncation radius is below the
-/// communication range 1 (which would corrupt even interference-free
+/// Panics if a transmitter index is out of range, if a grid-backed mode is
+/// requested without a grid, or if a truncation/near radius is below its
+/// documented minimum (which would corrupt even interference-free
 /// receptions).
 pub fn resolve_round<P: MetricPoint>(
     points: &[P],
@@ -88,151 +146,7 @@ pub fn resolve_round<P: MetricPoint>(
     mode: InterferenceMode,
     grid: Option<&GridIndex>,
 ) -> RoundOutcome {
-    let n = points.len();
-    let mut is_tx = vec![false; n];
-    for &t in transmitters {
-        assert!(t < n, "transmitter index {t} out of range (n = {n})");
-        is_tx[t] = true;
-    }
-
-    // Accumulate, per station, the total received power and the strongest
-    // transmitter (ties broken towards the lower index, deterministically).
-    let mut total = vec![0.0f64; n];
-    let mut best_pow = vec![0.0f64; n];
-    let mut best_idx = vec![usize::MAX; n];
-
-    match mode {
-        InterferenceMode::Exact => {
-            for &t in transmitters {
-                let tp = points[t];
-                for (u, pu) in points.iter().enumerate() {
-                    if u == t {
-                        continue;
-                    }
-                    let s = params.signal_at(tp.distance(pu));
-                    total[u] += s;
-                    if s > best_pow[u] {
-                        best_pow[u] = s;
-                        best_idx[u] = t;
-                    }
-                }
-            }
-        }
-        InterferenceMode::Truncated { radius } => {
-            assert!(
-                radius >= params.range(),
-                "truncation radius {radius} must be at least the communication range 1"
-            );
-            let grid = grid.expect("Truncated interference mode requires a grid index");
-            for &t in transmitters {
-                let tp = points[t];
-                for u in grid.ball(points, tp, radius) {
-                    if u == t {
-                        continue;
-                    }
-                    let s = params.signal_at(tp.distance(&points[u]));
-                    total[u] += s;
-                    if s > best_pow[u] {
-                        best_pow[u] = s;
-                        best_idx[u] = t;
-                    }
-                }
-            }
-        }
-        InterferenceMode::CellAggregate { near_radius } => {
-            assert!(
-                near_radius >= 2.0,
-                "near_radius {near_radius} must be at least 2 (range 1 plus cell slack)"
-            );
-            let grid = grid.expect("CellAggregate interference mode requires a grid index");
-            let cell = grid.cell_side();
-            // Every cell member lies within one cell diagonal of the
-            // transmitter centroid.
-            let diag = cell * (P::AXES as f64).sqrt();
-
-            // Bucket transmitters by cell; keep members and centroid.
-            struct TxCell {
-                centroid: [f64; 3],
-                members: Vec<usize>,
-            }
-            let mut cells: std::collections::HashMap<[i64; 3], TxCell> =
-                std::collections::HashMap::new();
-            for &t in transmitters {
-                let tp = &points[t];
-                let mut key = [0i64; 3];
-                for (axis, slot) in key.iter_mut().enumerate().take(P::AXES) {
-                    *slot = (tp.coord(axis) / cell).floor() as i64;
-                }
-                let e = cells.entry(key).or_insert(TxCell {
-                    centroid: [0.0; 3],
-                    members: Vec::new(),
-                });
-                for axis in 0..P::AXES {
-                    e.centroid[axis] += tp.coord(axis);
-                }
-                e.members.push(t);
-            }
-            let cells: Vec<TxCell> = cells
-                .into_values()
-                .map(|mut c| {
-                    let k = c.members.len() as f64;
-                    for v in &mut c.centroid {
-                        *v /= k;
-                    }
-                    c
-                })
-                .collect();
-
-            // Per receiver: near cells exactly (any decodable transmitter
-            // sits at distance <= 1 < near_radius, so decode candidates are
-            // always in the exact branch), far cells as one aggregate.
-            for (u, pu) in points.iter().enumerate() {
-                for c in &cells {
-                    let mut d2 = 0.0;
-                    for axis in 0..P::AXES {
-                        let dd = pu.coord(axis) - c.centroid[axis];
-                        d2 += dd * dd;
-                    }
-                    let dc = d2.sqrt();
-                    if dc > near_radius + diag {
-                        // All members are farther than near_radius from u.
-                        total[u] += c.members.len() as f64 * params.signal_at(dc);
-                    } else {
-                        for &t in &c.members {
-                            if t == u {
-                                continue;
-                            }
-                            let s = params.signal_at(points[t].distance(pu));
-                            total[u] += s;
-                            if s > best_pow[u] {
-                                best_pow[u] = s;
-                                best_idx[u] = t;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    let decoded_from = (0..n)
-        .map(|u| {
-            if is_tx[u] || best_idx[u] == usize::MAX {
-                return None;
-            }
-            let interference = total[u] - best_pow[u];
-            if params.decodable(best_pow[u], interference) {
-                Some(best_idx[u])
-            } else {
-                None
-            }
-        })
-        .collect();
-
-    RoundOutcome {
-        decoded_from,
-        num_transmitters: transmitters.len(),
-    }
+    ReceptionOracle::new().resolve(points, params, transmitters, mode, grid)
 }
 
 /// Interference at station `u` from transmitter set `T`, excluding the
@@ -533,6 +447,49 @@ mod tests {
     fn out_of_range_transmitter_panics() {
         let pts = vec![Point2::origin()];
         let _ = resolve_round(&pts, &params(), &[3], InterferenceMode::Exact, None);
+    }
+
+    #[test]
+    fn cell_aggregate_is_deterministic_across_runs() {
+        // Regression test: the historical implementation iterated a std
+        // `HashMap` of transmitter cells, whose order differs between
+        // instances (randomised hasher keys), so the floating-point
+        // interference sums — and decode outcomes near the β threshold —
+        // could differ between two runs of the same input *in the same
+        // process*. Cells are now iterated in sorted-key order; both the
+        // decode decisions and the raw power sums must be bit-identical.
+        let pts: Vec<Point2> = (0..300)
+            .map(|i| {
+                let x = (i % 25) as f64 * 0.63 + ((i * 11) % 9) as f64 * 0.041;
+                let y = (i / 25) as f64 * 0.63 + ((i * 17) % 13) as f64 * 0.029;
+                Point2::new(x, y)
+            })
+            .collect();
+        let grid = GridIndex::build(&pts, 1.0);
+        let p = params();
+        let tx: Vec<usize> = (0..300).step_by(4).collect();
+        let mode = InterferenceMode::CellAggregate { near_radius: 4.0 };
+        let mut a = ReceptionOracle::new();
+        let mut b = ReceptionOracle::new();
+        let out_a = a.resolve(&pts, &p, &tx, mode, Some(&grid));
+        let out_b = b.resolve(&pts, &p, &tx, mode, Some(&grid));
+        assert_eq!(out_a, out_b);
+        for (u, (x, y)) in a
+            .received_power()
+            .iter()
+            .zip(b.received_power())
+            .enumerate()
+        {
+            assert_eq!(x.to_bits(), y.to_bits(), "total power differs at {u}");
+        }
+    }
+
+    #[test]
+    fn grid_native_mode_constructor() {
+        assert_eq!(
+            InterferenceMode::grid_native(),
+            InterferenceMode::GridNative { near_radius: 4.0 }
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use rand::rngs::SmallRng;
 use sinr_geometry::MetricPoint;
-use sinr_phy::Network;
+use sinr_phy::{Network, ReceptionOracle, RoundOutcome};
 
 use crate::protocol::{NodeCtx, Protocol};
 use crate::rng::node_rng;
@@ -59,9 +59,13 @@ pub struct Engine<P: MetricPoint, Pr: Protocol> {
     tx_counts: Vec<u64>,
     /// Per-node reception counts.
     rx_counts: Vec<u64>,
-    // Reused per-round buffers.
+    // Reused per-round buffers: the engine resolves thousands of rounds
+    // over one network, so all reception scratch lives here and `step`
+    // performs no steady-state heap allocations in the physical layer.
     tx_ids: Vec<usize>,
     tx_msgs: Vec<Option<Pr::Msg>>,
+    oracle: ReceptionOracle,
+    outcome: RoundOutcome,
 }
 
 impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
@@ -71,6 +75,7 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
         let n = net.len();
         let nodes = (0..n).map(&mut make_node).collect();
         let rngs = (0..n).map(|i| node_rng(seed, i as u64, 0)).collect();
+        let oracle = net.new_oracle();
         Engine {
             net,
             nodes,
@@ -81,6 +86,8 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
             rx_counts: vec![0; n],
             tx_ids: Vec::with_capacity(n),
             tx_msgs: Vec::new(),
+            oracle,
+            outcome: RoundOutcome::empty(),
         }
     }
 
@@ -146,15 +153,17 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
             }
         }
 
-        let outcome = self.net.resolve(&self.tx_ids);
-        let receptions = outcome.num_receivers();
+        self.net
+            .resolve_with(&mut self.oracle, &self.tx_ids, &mut self.outcome);
+        let receptions = self.outcome.num_receivers();
 
         for &t in &self.tx_ids {
             self.tx_counts[t] += 1;
         }
         for id in 0..n {
             let transmitted = self.tx_msgs[id].is_some();
-            let received = outcome.decoded_from[id].and_then(|from| self.tx_msgs[from].as_ref());
+            let received =
+                self.outcome.decoded_from[id].and_then(|from| self.tx_msgs[from].as_ref());
             if received.is_some() {
                 self.rx_counts[id] += 1;
             }

@@ -1,0 +1,78 @@
+//! Determinism contract of the reception oracle across interference modes.
+//!
+//! Same seed ⇒ byte-identical `RunReport`, across repeated runs and across
+//! sweep thread counts, in **every** `InterferenceMode` — including
+//! `CellAggregate`, whose pre-oracle implementation iterated a std
+//! `HashMap` of transmitter cells in nondeterministic order (randomised
+//! hasher keys), so identical runs could disagree near the β threshold.
+//! The oracle's sorted flat cell buckets make the floating-point sums a
+//! pure function of the input, which this file pins at the full-protocol
+//! level (`tests/scenario_golden.rs` pins the legacy-equivalence side).
+
+use sinr_broadcast::core::sim::{ProtocolSpec, Scenario, TopologySpec};
+use sinr_broadcast::core::Constants;
+use sinr_broadcast::phy::InterferenceMode;
+
+fn fast() -> Constants {
+    Constants {
+        c0: 4.0,
+        c2: 4.0,
+        c_prime: 1,
+        dissem_factor: 8.0,
+        ..Constants::tuned()
+    }
+}
+
+fn all_modes() -> [InterferenceMode; 4] {
+    [
+        InterferenceMode::Exact,
+        InterferenceMode::Truncated { radius: 4.0 },
+        InterferenceMode::CellAggregate { near_radius: 4.0 },
+        InterferenceMode::grid_native(),
+    ]
+}
+
+#[test]
+fn every_mode_is_bit_for_bit_reproducible_and_thread_invariant() {
+    // A generated deployment spanning many grid cells, so the aggregate
+    // modes build non-trivial cell buckets (the regime the historical
+    // nondeterminism lived in).
+    for mode in all_modes() {
+        let sim = Scenario::new(TopologySpec::ConnectedSquareDensity {
+            n: 80,
+            density: 30.0,
+        })
+        .constants(fast())
+        .protocol(ProtocolSpec::SBroadcast { source: 0 })
+        .interference_mode(mode)
+        .budget(2_000_000)
+        .build()
+        .unwrap();
+
+        let a = sim.run(42).unwrap();
+        let b = sim.run(42).unwrap();
+        assert_eq!(a, b, "{mode:?}: repeated runs differ");
+
+        let seeds: Vec<u64> = (0..6).collect();
+        let serial = sim.sweep_with_threads(&seeds, 1).unwrap();
+        let parallel = sim.sweep_with_threads(&seeds, 8).unwrap();
+        assert_eq!(serial, parallel, "{mode:?}: sweep depends on thread count");
+    }
+}
+
+#[test]
+fn fast_physics_selects_grid_native_and_completes() {
+    let sim = Scenario::new(TopologySpec::ConnectedSquareDensity {
+        n: 60,
+        density: 30.0,
+    })
+    .constants(fast())
+    .protocol(ProtocolSpec::SBroadcast { source: 0 })
+    .fast_physics()
+    .budget(2_000_000)
+    .build()
+    .unwrap();
+    let report = sim.run(7).unwrap();
+    assert!(report.completed, "broadcast under fast physics: {report:?}");
+    assert_eq!(report.informed, report.n);
+}
