@@ -2,73 +2,17 @@
 //! baselines, on a fixed cluster chain, through the `Scenario` API.
 //!
 //! ```text
-//! cargo bench -p sinr-bench --bench broadcast
+//! cargo bench -p sinr-bench --bench broadcast [-- --json out.json] [-- --quick]
 //! ```
+//!
+//! The same suite backs the `microbench` binary that CI runs to produce
+//! the tracked `BENCH.json`.
 
-use sinr_bench::microbench::{bench, black_box};
-use sinr_core::Constants;
-use sinr_sim::{ProtocolSpec, Scenario, TopologySpec};
+use sinr_bench::broadcast_suite;
+use sinr_bench::microbench::Session;
 
 fn main() {
-    let consts = Constants::tuned();
-    let d = 4u32;
-    let per_cluster = 10;
-    let n = (d as usize + 1) * per_cluster;
-    let topology = TopologySpec::ClusterChain {
-        diameter: d,
-        per_cluster,
-    };
-    let seed = 3;
-
-    let cases: Vec<(&str, ProtocolSpec, u64)> = vec![
-        (
-            "s_broadcast",
-            ProtocolSpec::SBroadcast { source: 0 },
-            2_000_000,
-        ),
-        (
-            "nos_broadcast",
-            ProtocolSpec::NoSBroadcast { source: 0 },
-            consts.phase_rounds(n) * (u64::from(d) + 4) * 2,
-        ),
-        (
-            "daum",
-            ProtocolSpec::DaumBroadcast {
-                source: 0,
-                granularity: None,
-            },
-            2_000_000,
-        ),
-        (
-            "flood_p02",
-            ProtocolSpec::FloodBroadcast { source: 0, p: 0.2 },
-            2_000_000,
-        ),
-    ];
-    for (name, spec, budget) in cases {
-        let sim = Scenario::new(topology.clone())
-            .constants(consts)
-            .protocol(spec)
-            .budget(budget)
-            .build()
-            .expect("valid scenario");
-        bench(&format!("broadcast_chain_d4/{name}"), || {
-            black_box(sim.run(seed).expect("valid"));
-        });
-    }
-
-    // The sweep path itself: 8 seeds in parallel vs serially.
-    let sim = Scenario::new(topology)
-        .constants(consts)
-        .protocol(ProtocolSpec::SBroadcast { source: 0 })
-        .budget(2_000_000)
-        .build()
-        .expect("valid scenario");
-    let seeds: Vec<u64> = (0..8).collect();
-    bench("broadcast_chain_d4/sweep8_serial", || {
-        black_box(sim.sweep_with_threads(&seeds, 1).expect("valid"));
-    });
-    bench("broadcast_chain_d4/sweep8_parallel", || {
-        black_box(sim.sweep(&seeds).expect("valid"));
-    });
+    let mut session = Session::from_args();
+    broadcast_suite::run(&mut session);
+    session.finish().expect("write benchmark report");
 }

@@ -2,30 +2,17 @@
 //! invariant verifiers.
 //!
 //! ```text
-//! cargo bench -p sinr-bench --bench coloring
+//! cargo bench -p sinr-bench --bench coloring [-- --json out.json] [-- --quick]
 //! ```
+//!
+//! The same suite backs the `microbench` binary that CI runs to produce
+//! the tracked `BENCH.json`.
 
-use sinr_bench::microbench::{bench, black_box};
-use sinr_core::{invariant_report, run_stabilize, Constants};
-use sinr_netgen::uniform;
-use sinr_phy::SinrParams;
+use sinr_bench::coloring_suite;
+use sinr_bench::microbench::Session;
 
 fn main() {
-    let params = SinrParams::default_plane();
-    let consts = Constants::tuned();
-    for &n in &[128usize, 256, 512] {
-        let side = uniform::side_for_density(n, 30.0);
-        let pts = uniform::connected_square(n, side, &params, 3).expect("connected");
-        bench(&format!("stabilize_probability/{n}"), || {
-            black_box(run_stabilize(pts.clone(), &params, consts, 5).expect("valid"));
-        });
-    }
-
-    let n = 512;
-    let side = uniform::side_for_density(n, 30.0);
-    let pts = uniform::connected_square(n, side, &params, 3).expect("connected");
-    let run = run_stabilize(pts.clone(), &params, consts, 5).expect("valid");
-    bench("invariant_report_512", || {
-        black_box(invariant_report(&pts, &run.coloring, params.eps()));
-    });
+    let mut session = Session::from_args();
+    coloring_suite::run(&mut session);
+    session.finish().expect("write benchmark report");
 }

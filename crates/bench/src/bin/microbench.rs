@@ -1,23 +1,59 @@
-//! Machine-readable physical-layer benchmark runner.
+//! Machine-readable benchmark runner for every tracked suite.
 //!
-//! Runs the shared [`sinr_bench::phy_suite`] and always writes a JSON
-//! report (default `BENCH_phy.json`, override with `--json <path>`;
-//! `--quick` shrinks sizes for CI smoke runs):
+//! Runs the shared [`sinr_bench::phy_suite`],
+//! [`sinr_bench::broadcast_suite`] and [`sinr_bench::coloring_suite`] and
+//! always writes a unified JSON report (default `BENCH.json`, override
+//! with `--json <path>`; `--quick` shrinks sizes for CI smoke runs;
+//! `--suite phy|broadcast|coloring` runs one suite only):
 //!
 //! ```text
-//! cargo run --release -p sinr-bench --bin microbench [-- --json BENCH_phy.json] [-- --quick]
+//! cargo run --release -p sinr-bench --bin microbench \
+//!     [-- --json BENCH.json] [-- --quick] [-- --suite phy]
 //! ```
 //!
-//! CI runs this on every push and uploads the report as a workflow
-//! artifact; the copy committed at the repository root records the
-//! before/after trajectory of the reception-oracle hot path.
+//! When the physical-layer suite runs, its records are additionally
+//! written next to the unified report with a `_phy` stem suffix — for
+//! the default output that is `BENCH_phy.json`, the historical per-layer
+//! file, kept as an alias of the `legacy/`+`oracle/` section.
+//!
+//! CI runs this on every push, uploads both reports as workflow
+//! artifacts, and gates on regressions against the committed `BENCH.json`
+//! via the `bench_gate` binary; the copies committed at the repository
+//! root record the before/after trajectory of the tracked kernels.
+//! (Compile with `--features legacy-parity` to also measure the frozen
+//! pre-oracle baseline rows.)
 
 use sinr_bench::microbench::Session;
-use sinr_bench::phy_suite;
+use sinr_bench::{broadcast_suite, coloring_suite, phy_suite};
 
 fn main() {
     let mut session = Session::from_args();
-    session.default_json("BENCH_phy.json");
-    phy_suite::run(&mut session);
+    session.default_json("BENCH.json");
+    let suite = session.suite.clone().unwrap_or_else(|| "all".into());
+    let want = |name: &str| suite == "all" || suite == name;
+    assert!(
+        ["all", "phy", "broadcast", "coloring"].contains(&suite.as_str()),
+        "unknown --suite {suite}; expected all, phy, broadcast or coloring"
+    );
+    if want("phy") {
+        phy_suite::run(&mut session);
+        // The physical-layer alias derives from the unified report path
+        // (BENCH.json → BENCH_phy.json), so smoke runs with a custom
+        // --json target never clobber the committed trajectory files.
+        let alias = session
+            .sibling_json("_phy")
+            .expect("unified report path is set");
+        session
+            .write_filtered(&alias, |r| {
+                r.name.starts_with("legacy/") || r.name.starts_with("oracle/")
+            })
+            .unwrap_or_else(|e| panic!("write {}: {e}", alias.display()));
+    }
+    if want("broadcast") {
+        broadcast_suite::run(&mut session);
+    }
+    if want("coloring") {
+        coloring_suite::run(&mut session);
+    }
     session.finish().expect("write benchmark report");
 }

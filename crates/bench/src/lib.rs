@@ -27,8 +27,11 @@
 //! shared [`sweep_table`]/[`sweep_cell`] helpers below — the per-trial
 //! seed loops live here, once.
 
+pub mod broadcast_suite;
+pub mod coloring_suite;
 pub mod config;
 pub mod experiments;
+#[cfg(feature = "legacy-parity")]
 pub mod legacy;
 pub mod microbench;
 pub mod phy_suite;

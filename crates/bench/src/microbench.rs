@@ -100,6 +100,9 @@ pub struct Session {
     /// Whether `--quick` was passed: benches should shrink sizes and
     /// iteration counts to smoke-test levels.
     pub quick: bool,
+    /// `--suite <name>` if passed: binaries hosting several suites run
+    /// only the named one (`all` or absent runs everything).
+    pub suite: Option<String>,
 }
 
 impl Session {
@@ -108,12 +111,13 @@ impl Session {
         Session::default()
     }
 
-    /// Parses `--json <path>` and `--quick` from the process arguments.
+    /// Parses `--json <path>`, `--quick` and `--suite <name>` from the
+    /// process arguments.
     ///
     /// # Panics
     ///
-    /// Panics if `--json` is passed without a path (a usage error in a
-    /// bench invocation).
+    /// Panics if `--json` or `--suite` is passed without its value (a
+    /// usage error in a bench invocation).
     pub fn from_args() -> Self {
         let mut session = Session::new();
         let mut args = std::env::args().skip(1);
@@ -124,9 +128,15 @@ impl Session {
                     session.json_path = Some(path.into());
                 }
                 "--quick" => session.quick = true,
+                "--suite" => {
+                    let name = args.next().expect("--suite requires a name argument");
+                    session.suite = Some(name);
+                }
                 other => {
                     if let Some(path) = other.strip_prefix("--json=") {
                         session.json_path = Some(path.into());
+                    } else if let Some(name) = other.strip_prefix("--suite=") {
+                        session.suite = Some(name.into());
                     }
                     // Ignore the harness arguments `cargo bench` forwards
                     // (e.g. `--bench`) and any filter strings.
@@ -143,6 +153,17 @@ impl Session {
         if self.json_path.is_none() {
             self.json_path = Some(path.into());
         }
+    }
+
+    /// The unified report path with `suffix` appended to its file stem —
+    /// section aliases derive from the `--json` target (`BENCH.json` →
+    /// `BENCH_phy.json`, `/tmp/t.json` → `/tmp/t_phy.json`), so a custom
+    /// output path can never clobber the committed files.
+    pub fn sibling_json(&self, suffix: &str) -> Option<std::path::PathBuf> {
+        let path = self.json_path.as_ref()?;
+        let stem = path.file_stem()?.to_str()?;
+        let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("json");
+        Some(path.with_file_name(format!("{stem}{suffix}.{ext}")))
     }
 
     /// Picks `full` normally, `quick` under `--quick`.
@@ -195,6 +216,38 @@ impl Session {
         out
     }
 
+    /// Writes the records matching `pred` as a JSON array to `path` — the
+    /// section/alias writer (e.g. the physical-layer records of a unified
+    /// report also land in the historical `BENCH_phy.json`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the report cannot be written.
+    pub fn write_filtered(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        pred: impl Fn(&BenchRecord) -> bool,
+    ) -> std::io::Result<()> {
+        let subset: Vec<&BenchRecord> = self.records.iter().filter(|r| pred(r)).collect();
+        let mut out = String::from("[\n");
+        for (i, r) in subset.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&r.to_json());
+            if i + 1 < subset.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        std::fs::write(path.as_ref(), out)?;
+        println!(
+            "wrote {} records to {}",
+            subset.len(),
+            path.as_ref().display()
+        );
+        Ok(())
+    }
+
     /// Writes the JSON report if `--json` was given; returns the path
     /// written to.
     ///
@@ -210,6 +263,86 @@ impl Session {
         println!("wrote {} records to {}", self.records.len(), path.display());
         Ok(Some(path))
     }
+}
+
+/// Parses a JSON array of benchmark records as written by
+/// [`Session::finish`] / [`Session::write_filtered`] — the reader half of
+/// the tracked-benchmark loop (the CI regression gate uses it to compare
+/// a fresh report against the committed baseline).
+///
+/// Tolerant by construction: anything that does not look like a record
+/// object is skipped, so partial or hand-edited files degrade to fewer
+/// records rather than an error. Record names must not contain `{` or
+/// `}` (ours never do).
+pub fn parse_records(json: &str) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(start) = rest.find('{') {
+        let Some(end) = rest[start..].find('}') else {
+            break;
+        };
+        let obj = &rest[start..=start + end];
+        rest = &rest[start + end + 1..];
+        let record = (|| {
+            Some(BenchRecord {
+                name: extract_str(obj, "name")?,
+                n: usize::try_from(extract_num(obj, "n")?).ok()?,
+                min_ns: extract_num(obj, "min_ns")?,
+                mean_ns: extract_num(obj, "mean_ns")?,
+                max_ns: extract_num(obj, "max_ns")?,
+            })
+        })();
+        if let Some(r) = record {
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// Position just past `"key":` (tolerating whitespace around the colon)
+/// in a record object, or `None` if the key is absent.
+fn after_key(obj: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\"");
+    let mut at = obj.find(&pat)? + pat.len();
+    let bytes = obj.as_bytes();
+    while bytes.get(at).is_some_and(|b| b.is_ascii_whitespace()) {
+        at += 1;
+    }
+    if bytes.get(at) != Some(&b':') {
+        return None;
+    }
+    at += 1;
+    while bytes.get(at).is_some_and(|b| b.is_ascii_whitespace()) {
+        at += 1;
+    }
+    Some(at)
+}
+
+/// Extracts the string value of `"key": "..."` from a record object,
+/// unescaping `\"` and `\\`.
+fn extract_str(obj: &str, key: &str) -> Option<String> {
+    let at = after_key(obj, key)?;
+    let rest = obj[at..].strip_prefix('"')?;
+    let mut value = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => value.push(chars.next()?),
+            '"' => return Some(value),
+            _ => value.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the unsigned integer value of `"key": <digits>` from a
+/// record object.
+fn extract_num(obj: &str, key: &str) -> Option<u128> {
+    let at = after_key(obj, key)?;
+    let end = obj[at..]
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(obj.len() - at);
+    obj[at..at + end].parse().ok()
 }
 
 #[cfg(test)]
@@ -258,5 +391,57 @@ mod tests {
         assert_eq!(s.pick(10, 2), 10);
         s.quick = true;
         assert_eq!(s.pick(10, 2), 2);
+    }
+
+    #[test]
+    fn parse_round_trips_serialized_records() {
+        let mut s = Session::new();
+        s.bench_n("phy/case_a/1", 128, 0, 2, || {});
+        s.bench_n("broadcast/ca\"se_b", 64, 0, 2, || {});
+        let parsed = parse_records(&s.to_json());
+        assert_eq!(parsed, s.records());
+    }
+
+    #[test]
+    fn parse_skips_malformed_objects() {
+        let json = r#"[
+  {"name":"ok","n":1,"min_ns":10,"mean_ns":20,"max_ns":30},
+  {"name":"missing fields","n":2},
+  {"garbage":true}
+]"#;
+        let parsed = parse_records(json);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "ok");
+        assert_eq!(parsed[0].min_ns, 10);
+        assert_eq!(parsed[0].max_ns, 30);
+        assert!(parse_records("").is_empty());
+        assert!(parse_records("[not json").is_empty());
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace_around_colons() {
+        // Hand-edited or pretty-printed baselines still gate correctly.
+        let json = r#"[{"name": "a/b", "n": 4, "min_ns": 7, "mean_ns": 8, "max_ns": 9}]"#;
+        let parsed = parse_records(json);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "a/b");
+        assert_eq!(parsed[0].n, 4);
+        assert_eq!(parsed[0].mean_ns, 8);
+    }
+
+    #[test]
+    fn write_filtered_selects_subset() {
+        let mut s = Session::new();
+        s.bench_n("phy/a", 1, 0, 1, || {});
+        s.bench_n("other/b", 1, 0, 1, || {});
+        let dir = std::env::temp_dir().join("sinr_bench_write_filtered_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("subset.json");
+        s.write_filtered(&path, |r| r.name.starts_with("phy/"))
+            .unwrap();
+        let parsed = parse_records(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "phy/a");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,25 +1,33 @@
-//! The physical-layer benchmark suite: pre-oracle baseline vs the
-//! stateful [`ReceptionOracle`], across interference modes and sizes.
+//! The physical-layer benchmark suite: the staged, batched
+//! [`ReceptionOracle`] across interference modes, sizes and physics
+//! thread counts — plus, under the `legacy-parity` feature, the frozen
+//! pre-oracle baseline.
 //!
 //! Shared by the `interference` bench target and the `microbench` binary
-//! (which CI runs to produce the tracked `BENCH_phy.json`), so the
+//! (which CI runs to produce the tracked `BENCH.json`; the physical-layer
+//! records also land in the historical `BENCH_phy.json` alias), so the
 //! committed perf trajectory and the interactive bench measure the same
-//! cases. Naming scheme: `legacy/...` is the frozen pre-PR implementation
-//! ([`crate::legacy`]), `oracle/...` the reusable zero-allocation oracle.
+//! cases. Naming scheme: `legacy/...` is the frozen pre-PR2
+//! implementation ([`crate::legacy`], `legacy-parity` builds only),
+//! `oracle/...` the reusable zero-allocation oracle;
+//! `oracle/grid_native_r4_t<k>/...` rows shard the accumulate stage
+//! across `k` physics threads ([`KernelPool`]).
 
 use sinr_geometry::GridIndex;
 use sinr_netgen::uniform;
-use sinr_phy::{InterferenceMode, ReceptionOracle, RoundOutcome, SinrParams};
+use sinr_phy::{InterferenceMode, KernelPool, ReceptionOracle, RoundOutcome, SinrParams};
 
+#[cfg(feature = "legacy-parity")]
 use crate::legacy;
 use crate::microbench::{black_box, Session};
 
 /// Stations per unit square in the dense-uniform deployments (the load the
-/// ISSUE's ≥5× target is measured at).
+/// tracked speedups are measured at).
 pub const DENSITY: f64 = 30.0;
 
 /// Runs the suite into `session`. Under `--quick` the largest size drops
-/// from 10⁴ to 2 500 stations and iteration counts shrink.
+/// from 10⁴ to 2 500 stations, the 10⁵ sharded rows are skipped and
+/// iteration counts shrink.
 pub fn run(session: &mut Session) {
     let params = SinrParams::default_plane();
     let sizes: &[usize] = if session.quick {
@@ -45,6 +53,7 @@ pub fn run(session: &mut Session) {
             ),
         ];
         for (tag, mode) in compat_modes {
+            #[cfg(feature = "legacy-parity")]
             session.bench(&format!("legacy/{tag}/{n}"), n, || {
                 black_box(legacy::resolve_round(&pts, &params, &tx, mode, Some(&grid)));
             });
@@ -66,6 +75,39 @@ pub fn run(session: &mut Session) {
         });
     }
 
+    // The sharded grid-native kernel: the scaling rows the ROADMAP's
+    // per-round-parallelism item tracks. `_t1` is the single-thread
+    // baseline the `_t2`/`_t8` rows are compared against **in the same
+    // file** (thread speedups are meaningless across machines).
+    let shard_sizes: &[usize] = if session.quick {
+        &[2500]
+    } else {
+        &[10_000, 100_000]
+    };
+    for &n in shard_sizes {
+        let side = uniform::side_for_density(n, DENSITY);
+        let pts = uniform::square(n, side, 7);
+        let grid = GridIndex::build(&pts, 1.0);
+        let tx: Vec<usize> = (0..n).step_by(50).collect();
+        let mut oracle = ReceptionOracle::for_stations(n);
+        let mut out = RoundOutcome::empty();
+        for threads in [1usize, 2, 8] {
+            let mut pool = KernelPool::new(threads);
+            session.bench(&format!("oracle/grid_native_r4_t{threads}/{n}"), n, || {
+                oracle.resolve_into_with(
+                    &pts,
+                    &params,
+                    &tx,
+                    InterferenceMode::grid_native(),
+                    Some(&grid),
+                    &mut pool,
+                    &mut out,
+                );
+                black_box(&out);
+            });
+        }
+    }
+
     // Transmitter-density scaling of the exact kernel (legacy vs oracle).
     let n = session.pick(1024, 512);
     let side = uniform::side_for_density(n, DENSITY);
@@ -74,6 +116,7 @@ pub fn run(session: &mut Session) {
     let mut out = RoundOutcome::empty();
     for &pct in &[2usize, 10, 25] {
         let tx: Vec<usize> = (0..n).step_by(100 / pct).collect();
+        #[cfg(feature = "legacy-parity")]
         session.bench(&format!("legacy/exact_pct{pct}/{n}"), n, || {
             black_box(legacy::resolve_round(
                 &pts,
@@ -89,12 +132,14 @@ pub fn run(session: &mut Session) {
         });
     }
 
-    report_speedups(session, sizes[sizes.len() - 1]);
+    report_speedups(session, sizes[sizes.len() - 1], shard_sizes);
 }
 
-/// Prints the headline speedups the ISSUE tracks: the grid-native
-/// exact-decode path vs the pre-PR oracle at the largest size.
-fn report_speedups(session: &Session, n: usize) {
+/// Prints the headline speedups the repository tracks: the grid-native
+/// exact-decode path vs the pre-PR oracle at the largest size (when the
+/// legacy baseline is compiled in), and the sharded kernel vs its own
+/// single-thread row.
+fn report_speedups(session: &Session, n: usize, shard_sizes: &[usize]) {
     let native = session.mean_ns(&format!("oracle/grid_native_r4/{n}"));
     for baseline in ["cell_aggregate_r4", "exact"] {
         let legacy = session.mean_ns(&format!("legacy/{baseline}/{n}"));
@@ -103,6 +148,18 @@ fn report_speedups(session: &Session, n: usize) {
                 "speedup oracle/grid_native_r4 vs legacy/{baseline} at n={n}: {:.1}x",
                 l as f64 / o.max(1) as f64
             );
+        }
+    }
+    for &n in shard_sizes {
+        let t1 = session.mean_ns(&format!("oracle/grid_native_r4_t1/{n}"));
+        for threads in [2, 8] {
+            let tk = session.mean_ns(&format!("oracle/grid_native_r4_t{threads}/{n}"));
+            if let (Some(base), Some(sharded)) = (t1, tk) {
+                println!(
+                    "speedup oracle/grid_native_r4_t{threads} vs _t1 at n={n}: {:.2}x",
+                    base as f64 / sharded.max(1) as f64
+                );
+            }
         }
     }
 }

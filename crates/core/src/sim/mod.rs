@@ -50,10 +50,16 @@
 //! [`Simulation::run`] with equal seeds yields equal [`RunReport`]s;
 //! [`Simulation::sweep`] yields the same reports in the same order for any
 //! worker-thread count (each seed's run shares no mutable state with any
-//! other). Observers are constructed fresh per run, so they cannot leak
-//! state across seeds either. The golden tests in
-//! `tests/scenario_golden.rs` pin both properties, plus field-for-field
-//! agreement with the legacy `run_*` runners.
+//! other), and [`Scenario::physics_threads`] — which shards each round's
+//! physics accumulate stage inside a trial — leaves every report
+//! byte-identical at any thread count too (the reception pipeline's
+//! sharding contract). The two compose under one machine thread budget,
+//! resolved once per [`Simulation`]. Observers are constructed fresh per
+//! run, so they cannot leak state across seeds either. The golden tests
+//! in `tests/scenario_golden.rs` pin the sweep properties (plus
+//! field-for-field agreement with the legacy `run_*` runners), and
+//! `tests/mode_determinism.rs` pins physics-thread invariance across
+//! every interference mode.
 
 mod observer;
 mod report;

@@ -75,6 +75,7 @@ pub struct Scenario<P: MetricPoint = Point2> {
     budget: Option<u64>,
     mode: InterferenceMode,
     record: bool,
+    physics_threads: usize,
     observers: Vec<ObserverFactory>,
 }
 
@@ -88,6 +89,7 @@ impl<P: MetricPoint> Clone for Scenario<P> {
             budget: self.budget,
             mode: self.mode,
             record: self.record,
+            physics_threads: self.physics_threads,
             observers: self.observers.clone(),
         }
     }
@@ -108,6 +110,7 @@ impl<P: MetricPoint> Scenario<P> {
             budget: None,
             mode: InterferenceMode::Exact,
             record: false,
+            physics_threads: 1,
             observers: Vec::new(),
         }
     }
@@ -160,6 +163,29 @@ impl<P: MetricPoint> Scenario<P> {
         self.interference_mode(InterferenceMode::grid_native())
     }
 
+    /// Shards each round's physics accumulate stage across up to `n`
+    /// scoped worker threads (default 1; `0` is clamped to 1).
+    ///
+    /// Results are **bitwise identical at any thread count** (the
+    /// reception pipeline's sharding contract, pinned by
+    /// `tests/mode_determinism.rs`), so this only trades wall-clock for
+    /// cores. It composes with [`Simulation::sweep`] under one machine
+    /// thread budget: the auto-sized sweep runs
+    /// `budget / physics_threads` concurrent trials, each resolving
+    /// rounds on `physics_threads` threads, so the composition stays
+    /// within the budget whenever `n` itself does. Like
+    /// [`Simulation::sweep_with_threads`], the value is taken as given —
+    /// asking for more physics threads than the machine has cores
+    /// oversubscribes by exactly that choice (the results still do not
+    /// change). Prefer sweep parallelism for many small trials and
+    /// physics threads for few large ones (≳10⁴ stations in grid-native
+    /// mode).
+    #[must_use]
+    pub fn physics_threads(mut self, n: usize) -> Self {
+        self.physics_threads = n.max(1);
+        self
+    }
+
     /// Records per-round statistics into [`RunReport::per_round`].
     #[must_use]
     pub fn record_rounds(mut self) -> Self {
@@ -191,7 +217,17 @@ impl<P: MetricPoint> Scenario<P> {
         if self.budget.is_none() && !spec.has_fixed_schedule() {
             return Err(SimError::MissingBudget);
         }
-        Ok(Simulation { scenario: self })
+        // Resolve the machine's thread budget exactly once per
+        // Simulation: sweeps and physics threads share it, so repeated
+        // `sweep` calls never re-query the OS and the two axes of
+        // parallelism cannot oversubscribe the machine.
+        let thread_budget = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Ok(Simulation {
+            scenario: self,
+            thread_budget,
+        })
     }
 }
 
@@ -199,12 +235,16 @@ impl<P: MetricPoint> Scenario<P> {
 /// threads; every run is a pure function of its seed.
 pub struct Simulation<P: MetricPoint = Point2> {
     scenario: Scenario<P>,
+    /// Machine thread budget, resolved once at [`Scenario::build`] and
+    /// shared between sweep workers and per-trial physics threads.
+    thread_budget: usize,
 }
 
 impl<P: MetricPoint> Clone for Simulation<P> {
     fn clone(&self) -> Self {
         Simulation {
             scenario: self.scenario.clone(),
+            thread_budget: self.thread_budget,
         }
     }
 }
@@ -253,14 +293,19 @@ impl<P: MetricPoint> Simulation<P> {
     /// are in seed order and identical to a serial execution: each run
     /// depends only on its seed.
     ///
+    /// The worker count is the thread budget resolved once at
+    /// [`Scenario::build`], divided by the scenario's
+    /// [`Scenario::physics_threads`] — sweep workers and per-trial
+    /// physics threads share one budget, so the auto-sized composition
+    /// stays within it (as long as `physics_threads` itself does; an
+    /// explicitly oversized value is honored as given).
+    ///
     /// # Errors
     ///
     /// The first (by seed order) run error, if any.
     pub fn sweep(&self, seeds: &[u64]) -> Result<SweepReport, SimError> {
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        self.sweep_with_threads(seeds, threads)
+        let workers = (self.thread_budget / self.scenario.physics_threads).max(1);
+        self.sweep_with_threads(seeds, workers)
     }
 
     /// As [`Simulation::sweep`] with an explicit worker count (`1` runs
@@ -326,10 +371,12 @@ struct Driven<Pr> {
 /// Drives an engine until all nodes satisfy `done` or `budget` rounds
 /// elapse (predicate checked *before* each round, exactly like
 /// [`Engine::run_until`] — the legacy runners' accounting).
+#[allow(clippy::too_many_arguments)]
 fn drive<P: MetricPoint, Pr: Protocol>(
     net: Network<P>,
     seed: u64,
     budget: u64,
+    physics_threads: usize,
     make: impl FnMut(usize) -> Pr,
     done: impl Fn(&Pr) -> bool,
     record: bool,
@@ -337,6 +384,7 @@ fn drive<P: MetricPoint, Pr: Protocol>(
 ) -> Driven<Pr> {
     let n = net.len();
     let mut eng = Engine::new(net, seed, make);
+    eng.set_physics_threads(physics_threads);
     if record {
         eng.record_rounds();
     }
@@ -365,10 +413,12 @@ fn drive<P: MetricPoint, Pr: Protocol>(
 
 /// Drives an engine for exactly `rounds` rounds (fixed global schedules:
 /// coloring, consensus, leader election).
+#[allow(clippy::too_many_arguments)]
 fn drive_exact<P: MetricPoint, Pr: Protocol>(
     net: Network<P>,
     seed: u64,
     rounds: u64,
+    physics_threads: usize,
     make: impl FnMut(usize) -> Pr,
     done: impl Fn(&Pr) -> bool,
     record: bool,
@@ -376,6 +426,7 @@ fn drive_exact<P: MetricPoint, Pr: Protocol>(
 ) -> Driven<Pr> {
     let n = net.len();
     let mut eng = Engine::new(net, seed, make);
+    eng.set_physics_threads(physics_threads);
     if record {
         eng.record_rounds();
     }
@@ -414,16 +465,27 @@ fn finish<P: MetricPoint, Pr: Protocol>(
 
 /// The shared tail of every broadcast-style arm: drive to the goal
 /// predicate, count the stations that reached it, erase the node types.
+#[allow(clippy::too_many_arguments)]
 fn broadcast_arm<P: MetricPoint, Pr: Protocol>(
     net: Network<P>,
     seed: u64,
     budget: u64,
+    physics_threads: usize,
     record: bool,
     observers: &mut [Box<dyn Observer>],
     make: impl FnMut(usize) -> Pr,
     done: impl Fn(&Pr) -> bool,
 ) -> (Driven<()>, usize, Outcome) {
-    let d = drive(net, seed, budget, make, &done, record, observers);
+    let d = drive(
+        net,
+        seed,
+        budget,
+        physics_threads,
+        make,
+        &done,
+        record,
+        observers,
+    );
     let informed = d.nodes.iter().filter(|p| done(p)).count();
     (erase(d), informed, Outcome::Broadcast)
 }
@@ -458,6 +520,7 @@ fn execute<P: MetricPoint>(
         None => return Err(SimError::MissingBudget),
     };
     let record = scenario.record;
+    let physics_threads = scenario.physics_threads;
     let mut observers: Vec<Box<dyn Observer>> = scenario.observers.iter().map(|f| f()).collect();
 
     let (driven, informed, outcome): (Driven<()>, usize, Outcome) = match spec.clone() {
@@ -467,6 +530,7 @@ fn execute<P: MetricPoint>(
                 net,
                 seed,
                 budget,
+                physics_threads,
                 record,
                 &mut observers,
                 |id| NoSBroadcastNode::new(id, source, 1, n, consts),
@@ -482,6 +546,7 @@ fn execute<P: MetricPoint>(
                 net,
                 seed,
                 budget,
+                physics_threads,
                 record,
                 &mut observers,
                 |id| NoSBroadcastNode::new(id, source, 1, nu, consts),
@@ -494,6 +559,7 @@ fn execute<P: MetricPoint>(
                 net,
                 seed,
                 budget,
+                physics_threads,
                 record,
                 &mut observers,
                 |id| SBroadcastNode::new(id, source, 1, n, consts),
@@ -509,6 +575,7 @@ fn execute<P: MetricPoint>(
                 net,
                 seed,
                 budget,
+                physics_threads,
                 record,
                 &mut observers,
                 |id| SBroadcastNode::new(id, source, 1, nu, consts),
@@ -522,6 +589,7 @@ fn execute<P: MetricPoint>(
                 net,
                 seed,
                 total,
+                physics_threads,
                 |_| StabilizeProtocol::new(n, consts),
                 |p| p.machine().is_finished(),
                 record,
@@ -557,6 +625,7 @@ fn execute<P: MetricPoint>(
                 net,
                 seed,
                 budget,
+                physics_threads,
                 record,
                 &mut observers,
                 |id| DaumBroadcastNode::new(id, source, 1, n, rs, alpha),
@@ -569,6 +638,7 @@ fn execute<P: MetricPoint>(
                 net,
                 seed,
                 budget,
+                physics_threads,
                 record,
                 &mut observers,
                 |id| FloodNode::new(id, source, 1, p),
@@ -581,6 +651,7 @@ fn execute<P: MetricPoint>(
                 net,
                 seed,
                 budget,
+                physics_threads,
                 record,
                 &mut observers,
                 |id| LocalBroadcastNode::new(id, source, 1, n, 0.5),
@@ -610,6 +681,7 @@ fn execute<P: MetricPoint>(
                 net,
                 seed,
                 budget,
+                physics_threads,
                 |id| AdhocWakeupNode::new(id, &schedule, n, consts),
                 AdhocWakeupNode::awake,
                 record,
@@ -646,6 +718,7 @@ fn execute<P: MetricPoint>(
                 net,
                 seed,
                 budget,
+                physics_threads,
                 record,
                 &mut observers,
                 |id| EstablishedWakeupNode::new(coloring.colors[id], initiators[id], n, consts),
@@ -669,6 +742,7 @@ fn execute<P: MetricPoint>(
                 net,
                 seed,
                 total,
+                physics_threads,
                 |id| ConsensusNode::new(values[id], bits, n, consts, window),
                 |p| p.decided().is_some(),
                 record,
@@ -700,6 +774,7 @@ fn execute<P: MetricPoint>(
                 net,
                 seed,
                 total,
+                physics_threads,
                 |id| {
                     // Stream 1 draws IDs; stream 0 drives the protocol
                     // inside the engine (as in the legacy runner).
@@ -751,6 +826,7 @@ fn execute<P: MetricPoint>(
                 net,
                 seed,
                 budget,
+                physics_threads,
                 |id| {
                     crate::alert::AlertNode::new(
                         coloring.colors[id],

@@ -14,6 +14,7 @@
 //! on its zero-allocation hot path.
 
 use crate::point::MetricPoint;
+use crate::store::PositionStore;
 
 /// Key of a grid cell: integer coordinates along up to three axes (unused
 /// trailing axes stay `0`).
@@ -41,6 +42,12 @@ pub struct GridIndex {
     starts: Vec<usize>,
     /// Point indices grouped by cell, ascending within each cell.
     ids: Vec<usize>,
+    /// Point coordinates in **slot order** (slot `s` holds `ids[s]`'s
+    /// coordinates), so cell members occupy contiguous SoA ranges.
+    store: PositionStore,
+    /// Member centroid of each populated cell (trailing axes stay 0);
+    /// the tail evaluation points of the grid-native reception kernel.
+    centroids: Vec<[f64; 3]>,
     cell_side: f64,
     axes: usize,
     len: usize,
@@ -69,18 +76,40 @@ impl GridIndex {
         let mut keys = Vec::new();
         let mut starts = Vec::new();
         let mut ids = Vec::with_capacity(pairs.len());
+        let mut store = PositionStore::with_axes(P::AXES);
+        store.reserve(pairs.len());
         for (key, i) in pairs {
             if keys.last() != Some(&key) {
                 keys.push(key);
                 starts.push(ids.len());
             }
             ids.push(i);
+            store.push(&points[i]);
         }
         starts.push(ids.len());
+        // Per-cell member centroids: sum coordinates in member (= slot)
+        // order, then scale by 1/len — the exact arithmetic the reception
+        // kernels historically performed per round.
+        let mut centroids = Vec::with_capacity(keys.len());
+        for c in 0..keys.len() {
+            let mut cent = [0.0f64; 3];
+            for &i in &ids[starts[c]..starts[c + 1]] {
+                for (axis, slot) in cent.iter_mut().enumerate().take(P::AXES) {
+                    *slot += points[i].coord(axis);
+                }
+            }
+            let inv = 1.0 / (starts[c + 1] - starts[c]) as f64;
+            for v in &mut cent {
+                *v *= inv;
+            }
+            centroids.push(cent);
+        }
         GridIndex {
             keys,
             starts,
             ids,
+            store,
+            centroids,
             cell_side,
             axes: P::AXES,
             len: points.len(),
@@ -124,6 +153,31 @@ impl GridIndex {
     /// Point indices in populated cell `c`, in ascending order.
     pub fn cell_members(&self, c: usize) -> &[usize] {
         &self.ids[self.starts[c]..self.starts[c + 1]]
+    }
+
+    /// Slot range of populated cell `c`: its members occupy
+    /// `slot_ids()[range]` and the same range of [`GridIndex::positions`].
+    pub fn cell_range(&self, c: usize) -> std::ops::Range<usize> {
+        self.starts[c]..self.starts[c + 1]
+    }
+
+    /// Point indices in slot order (the concatenation of all cells'
+    /// member lists; `slot_ids()[s]` is the point stored at slot `s`).
+    pub fn slot_ids(&self) -> &[usize] {
+        &self.ids
+    }
+
+    /// The slot-ordered SoA copy of the indexed coordinates (slot `s`
+    /// holds the position of point `slot_ids()[s]`), for batched kernels.
+    pub fn positions(&self) -> &PositionStore {
+        &self.store
+    }
+
+    /// Member centroid of populated cell `c` (trailing axes stay 0) —
+    /// precomputed at build, in member order, exactly as the reception
+    /// kernels historically accumulated it per round.
+    pub fn cell_centroid(&self, c: usize) -> &[f64; 3] {
+        &self.centroids[c]
     }
 
     /// The cell key `point` falls into under this index's cell side.
@@ -180,6 +234,10 @@ impl GridIndex {
     /// Visit order is deterministic — lexicographic in the cell key, then
     /// ascending index within each cell — but **not** globally ascending by
     /// index; collect and sort ([`GridIndex::ball`]) when order matters.
+    ///
+    /// Distances are evaluated through the index's SoA
+    /// [`PositionStore`] in batches (bitwise identical to the scalar
+    /// per-point test); `points` is retained for the length contract only.
     pub fn for_each_in_ball<P: MetricPoint>(
         &self,
         points: &[P],
@@ -188,14 +246,22 @@ impl GridIndex {
         mut f: impl FnMut(usize),
     ) {
         debug_assert_eq!(points.len(), self.len, "index/point-slice mismatch");
+        let cq = Self::center_coords(&center);
         let (lo, hi) = self.query_box(&center, radius);
-        self.for_each_candidate_cell(&lo, &hi, &mut |ids| {
-            for &i in ids {
-                if points[i].distance(&center) <= radius {
-                    f(i);
-                }
-            }
+        self.for_each_candidate_cell(&lo, &hi, &mut |c| {
+            self.store
+                .for_each_within(self.cell_range(c), &cq, radius, |slot| f(self.ids[slot]));
         });
+    }
+
+    /// `center`'s coordinates in the fixed-width form the batch kernels
+    /// take (trailing axes zero).
+    fn center_coords<P: MetricPoint>(center: &P) -> [f64; 3] {
+        let mut cq = [0.0f64; 3];
+        for (axis, slot) in cq.iter_mut().enumerate().take(P::AXES) {
+            *slot = center.coord(axis);
+        }
+        cq
     }
 
     /// Nearest indexed point to `center` other than `exclude` (pass
@@ -216,16 +282,18 @@ impl GridIndex {
         }
         // Expanding search: radius doubles until a hit is confirmed closer
         // than the next un-searched shell could be.
+        let cq = Self::center_coords(&center);
         let mut radius = self.cell_side;
         for _ in 0..64 {
             let mut best: Option<(usize, f64)> = None;
             let (lo, hi) = self.query_box(&center, radius);
-            self.for_each_candidate_cell(&lo, &hi, &mut |ids| {
-                for &i in ids {
+            self.for_each_candidate_cell(&lo, &hi, &mut |c| {
+                for slot in self.cell_range(c) {
+                    let i = self.ids[slot];
                     if i == exclude {
                         continue;
                     }
-                    let d = points[i].distance(&center);
+                    let d = self.store.distance_sq_to(slot, &cq).sqrt();
                     if best.map_or(true, |(_, bd)| d < bd) {
                         best = Some((i, d));
                     }
@@ -259,9 +327,9 @@ impl GridIndex {
         (lo, hi)
     }
 
-    /// Calls `f` with the member slice of every populated cell whose key
-    /// lies in the box `[lo, hi]`, in lexicographic key order.
-    fn for_each_candidate_cell(&self, lo: &CellKey, hi: &CellKey, f: &mut impl FnMut(&[usize])) {
+    /// Calls `f` with the index of every populated cell whose key lies in
+    /// the box `[lo, hi]`, in lexicographic key order.
+    fn for_each_candidate_cell(&self, lo: &CellKey, hi: &CellKey, f: &mut impl FnMut(usize)) {
         // Guard against enormous radii relative to cell side: cap the cell
         // walk at the number of populated cells by scanning the sorted list.
         let box_cells: i128 = (0..self.axes)
@@ -270,7 +338,7 @@ impl GridIndex {
         if box_cells > self.keys.len() as i128 {
             for (c, key) in self.keys.iter().enumerate() {
                 if (0..self.axes).all(|a| key[a] >= lo[a] && key[a] <= hi[a]) {
-                    f(self.cell_members(c));
+                    f(c);
                 }
             }
             return;
@@ -285,12 +353,11 @@ impl GridIndex {
         axis: usize,
         lo: &CellKey,
         hi: &CellKey,
-        f: &mut impl FnMut(&[usize]),
+        f: &mut impl FnMut(usize),
     ) {
         if axis == self.axes {
-            let members = self.members_of(key);
-            if !members.is_empty() {
-                f(members);
+            if let Ok(c) = self.keys.binary_search(key) {
+                f(c);
             }
             return;
         }
@@ -455,6 +522,41 @@ mod tests {
         seen.sort_unstable();
         assert_eq!(seen, (0..60).collect::<Vec<_>>(), "cells partition points");
         assert_eq!(idx.members_of(&[1000, 1000, 0]), &[] as &[usize]);
+    }
+
+    #[test]
+    fn slots_store_and_centroids_are_consistent() {
+        let pts: Vec<Point2> = (0..60)
+            .map(|i| Point2::new((i % 9) as f64 * 0.7 - 2.0, (i / 9) as f64 * 0.7))
+            .collect();
+        let idx = GridIndex::build(&pts, 1.0);
+        assert_eq!(idx.slot_ids().len(), pts.len());
+        assert_eq!(idx.positions().len(), pts.len());
+        for c in 0..idx.num_cells() {
+            let range = idx.cell_range(c);
+            assert_eq!(&idx.slot_ids()[range.clone()], idx.cell_members(c));
+            // Store slots mirror the member coordinates exactly.
+            let mut cent = [0.0f64; 3];
+            for slot in range.clone() {
+                let p = pts[idx.slot_ids()[slot]];
+                assert_eq!(idx.positions().coord(slot, 0), p.x);
+                assert_eq!(idx.positions().coord(slot, 1), p.y);
+                cent[0] += p.x;
+                cent[1] += p.y;
+            }
+            let inv = 1.0 / range.len() as f64;
+            for v in &mut cent {
+                *v *= inv;
+            }
+            // Bitwise: the same summation order and scaling as build().
+            for (axis, want) in cent.iter().enumerate() {
+                assert_eq!(
+                    idx.cell_centroid(c)[axis].to_bits(),
+                    want.to_bits(),
+                    "cell {c} axis {axis}"
+                );
+            }
+        }
     }
 
     #[test]

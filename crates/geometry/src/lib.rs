@@ -12,6 +12,9 @@
 //! * [`GridIndex`] — a uniform-grid spatial index supporting exact ball
 //!   (range) queries and nearest-neighbour queries in near-linear time, used
 //!   by the physical layer to accelerate interference evaluation;
+//! * [`PositionStore`] — split per-axis (SoA) coordinate arrays keyed by the
+//!   grid's CSR slot order, backing the batched `distance_sq` kernels the
+//!   physical layer autovectorizes over cell member ranges;
 //! * [`covering_number`] — the χ(a, b) covering-number estimate from the
 //!   paper's preliminaries;
 //! * ball mass / counting helpers in [`ball`].
@@ -35,7 +38,9 @@
 pub mod ball;
 pub mod grid;
 pub mod point;
+pub mod store;
 
 pub use ball::{ball_indices, ball_mass, count_in_ball, covering_number};
 pub use grid::{CellKey, GridIndex};
 pub use point::{MetricPoint, Point1, Point2, Point3};
+pub use store::PositionStore;

@@ -9,9 +9,14 @@
 //! * [`resolve_round`] / [`Network::resolve`] — one-shot reception-oracle
 //!   calls for Equation (1);
 //! * [`ReceptionOracle`] / [`Network::resolve_with`] — the stateful oracle
-//!   that resolves rounds with **zero steady-state allocations**; every
-//!   round loop in the workspace (engine, runners, sweeps) builds it once
-//!   per trial and reuses it across thousands of rounds;
+//!   that resolves rounds through a staged plan → accumulate → decide
+//!   pipeline with **zero steady-state allocations**; every round loop in
+//!   the workspace (engine, runners, sweeps) builds it once per trial and
+//!   reuses it across thousands of rounds;
+//! * [`KernelPool`] / [`Network::resolve_with_pool`] — per-trial worker
+//!   state sharding the accumulate stage across scoped threads with
+//!   bitwise-identical results at any thread count (see *Threads and
+//!   batching* below);
 //! * [`CommGraph`] — the communication graph over edges of length ≤ 1 − ε,
 //!   with BFS, diameter, connectivity and granularity `R_s`;
 //! * [`facts`] — Facts 1–3 of the paper as checkable predicates.
@@ -21,15 +26,15 @@
 //! Four fidelities trade accuracy against per-round cost
 //! ([`InterferenceMode`]). Measured cost is mean wall-clock per round on a
 //! dense uniform deployment (density 30 per unit square, 2% of stations
-//! transmitting, α = 3) from `BENCH_phy.json` (regenerate with
-//! `cargo run --release -p sinr-bench --bin microbench`):
+//! transmitting, α = 3, one physics thread) from `BENCH.json` (regenerate
+//! with `cargo run --release -p sinr-bench --bin microbench`):
 //!
 //! | mode | n = 1 024 | n = 10 000 | decode | interference tail |
 //! |------|----------:|-----------:|--------|-------------------|
-//! | `Exact` | 547 µs | 47.1 ms | exact | exact (`O(\|T\|·n)`) |
-//! | `CellAggregate{4}` | 618 µs | 43.3 ms | exact | per-receiver cell aggregate, error ≲ α·√2/(2·4) per far term |
-//! | `GridNative{4}` | 95 µs | **3.0 ms** | exact | per-receiver-**cell** shared tail, error ≲ α·√2/4 per far term |
-//! | `Truncated{4}` | 431 µs | 9.3 ms | exact in range | dropped beyond 4 (systematically optimistic) |
+//! | `Exact` | 535 µs | 49.0 ms | exact | exact (`O(\|T\|·n)`) |
+//! | `CellAggregate{4}` | 560 µs | 42.7 ms | exact | per-receiver cell aggregate, error ≲ α·√2/(2·4) per far term |
+//! | `GridNative{4}` | 74 µs | **2.0 ms** | exact | per-receiver-**cell** shared tail, error ≲ α·√2/4 per far term |
+//! | `Truncated{4}` | 438 µs | 10.2 ms | exact in range | dropped beyond 4 (systematically optimistic) |
 //!
 //! Rules of thumb:
 //!
@@ -37,10 +42,9 @@
 //!   default everywhere, keeping historical results bit-for-bit.
 //! * **Large sweeps** — [`InterferenceMode::grid_native`] (exact decode
 //!   decisions whenever the SINR margin exceeds its tail perturbation; at
-//!   n = 10⁴ it is ~15× faster than exact and ~14× faster than the
-//!   pre-oracle cell-aggregate path, and the a3 ablation tracks exact
-//!   round counts within a few percent). `Scenario::fast_physics()`
-//!   selects it.
+//!   n = 10⁴ it is ~20× faster than the pre-oracle exact/cell-aggregate
+//!   paths, and the a3 ablation tracks exact round counts within a few
+//!   percent). `Scenario::fast_physics()` selects it.
 //! * **`CellAggregate`** — when the tail must be estimated per receiver
 //!   (tighter error than grid-native) but truncation bias is unacceptable.
 //! * **`Truncated`** — only for quick upper-bound sanity sweeps; errors
@@ -50,6 +54,46 @@
 //! aggregate cells are iterated in sorted key order (a previous version
 //! used a hash map with per-instance random ordering; see
 //! `reception::tests::cell_aggregate_is_deterministic_across_runs`).
+//!
+//! # Threads and batching
+//!
+//! Rounds resolve through a staged **plan → accumulate → decide**
+//! pipeline ([`ReceptionOracle`]), and the accumulate stage — where all
+//! the floating-point work lives — both *batches* and *shards*:
+//!
+//! * **SoA batch kernels.** Cell members are stored in split per-axis
+//!   arrays keyed by the grid's CSR slot order
+//!   ([`sinr_geometry::PositionStore`]), so the grid-native near loops
+//!   run `distance_sq_batch` + [`SinrParams::signal_at_sq_batch`] over
+//!   contiguous slices that LLVM autovectorizes — with bitwise identical
+//!   per-element arithmetic to the scalar loops they replaced. Measured
+//!   single-thread effect on the grid-native kernel (this machine):
+//!   2.61 ms → 1.72 ms at n = 10⁴ and 73.6 ms → 49.3 ms at n = 10⁵
+//!   (min wall-clock per round, ~1.5×).
+//! * **Thread sharding.** A [`KernelPool`] shards the accumulate stage
+//!   across scoped worker threads: grid-native by contiguous
+//!   receiver-cell ranges (each shard owns a contiguous slot range, with
+//!   per-shard scratch), exact and cell-aggregate by contiguous station
+//!   ranges; truncated stays serial (its transmitter-major ball walks
+//!   would be repeated per shard). Because every per-receiver sum keeps
+//!   its serial accumulation order and shard writes are disjoint slices,
+//!   **results are bitwise identical at any thread count** — pinned at
+//!   the oracle level (`oracle::tests`), the engine level and the full
+//!   `RunReport` level (`tests/mode_determinism.rs`).
+//!
+//! Wire-up: `Engine` owns one pool per trial
+//! (`Engine::set_physics_threads`), `Scenario::physics_threads(n)`
+//! configures it from the builder, and `Simulation::sweep` divides the
+//! machine's thread budget (resolved once per `Simulation`) by the
+//! physics thread count, so the auto-sized composition of the two axes
+//! stays within the budget. The per-round cost of sharding is one scoped-thread
+//! spawn per shard, so physics threads pay off for *few large trials*
+//! (≳10⁴ stations, grid-native) while sweep workers remain the right
+//! axis for *many small trials*. `BENCH.json` tracks
+//! `oracle/grid_native_r4_t{1,2,8}` rows at n = 10⁴/10⁵ so thread
+//! scaling is measured on the machine that regenerates it (the committed
+//! file was produced on a single-core container, where t8/t1 ≈ 1.0 by
+//! construction — regenerate on real hardware for meaningful scaling).
 //!
 //! # Example
 //!
@@ -76,6 +120,7 @@ pub mod facts;
 pub mod network;
 pub mod oracle;
 pub mod params;
+pub mod pool;
 pub mod reception;
 
 pub use bounds::ParamBounds;
@@ -83,6 +128,7 @@ pub use commgraph::{CommGraph, UNREACHABLE};
 pub use network::{Network, NetworkError};
 pub use oracle::ReceptionOracle;
 pub use params::{ParamError, SinrParams, SinrParamsBuilder};
+pub use pool::KernelPool;
 pub use reception::{
     interference_at, resolve_round, total_signal_at, InterferenceMode, RoundOutcome,
 };

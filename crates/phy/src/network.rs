@@ -6,6 +6,7 @@ use sinr_geometry::{GridIndex, MetricPoint};
 use crate::commgraph::CommGraph;
 use crate::oracle::ReceptionOracle;
 use crate::params::{ParamError, SinrParams};
+use crate::pool::KernelPool;
 use crate::reception::{resolve_round, InterferenceMode, RoundOutcome};
 
 /// A wireless network instance: positions + model parameters.
@@ -225,6 +226,28 @@ impl<P: MetricPoint> Network<P> {
             transmitters,
             self.mode,
             Some(&self.grid),
+            out,
+        );
+    }
+
+    /// As [`Network::resolve_with`], sharding the accumulate stage of the
+    /// round across `pool`'s worker threads. Results are bitwise
+    /// identical to the serial path at any thread count (the pool's
+    /// determinism contract).
+    pub fn resolve_with_pool(
+        &self,
+        oracle: &mut ReceptionOracle,
+        pool: &mut KernelPool,
+        transmitters: &[usize],
+        out: &mut RoundOutcome,
+    ) {
+        oracle.resolve_into_with(
+            &self.points,
+            &self.params,
+            transmitters,
+            self.mode,
+            Some(&self.grid),
+            pool,
             out,
         );
     }

@@ -1,37 +1,64 @@
-//! The stateful, zero-allocation reception oracle.
+//! The stateful, zero-allocation reception oracle — a staged
+//! **plan → accumulate → decide** pipeline.
 //!
 //! [`resolve_round`](crate::reception::resolve_round) answers "who hears
 //! whom" for a single round, but every call allocates its accumulation
 //! buffers from scratch. Protocol runs resolve *thousands* of rounds over
 //! the same deployment, so the hot path wants the dual shape: construct
 //! once per trial, reuse across rounds. [`ReceptionOracle`] owns all the
-//! per-round scratch — total-power/best-power/best-index accumulators, the
-//! transmitter bitmap, flat sorted transmitter-cell buckets (replacing the
-//! per-round hash map the aggregate mode used to build), and the
-//! near-bucket scratch of the grid-native kernel — and resolves rounds with
-//! **zero steady-state heap allocations** (pinned by the counting-allocator
-//! test `oracle_alloc.rs`).
+//! per-round scratch and resolves rounds with **zero steady-state heap
+//! allocations** (pinned by the counting-allocator test `oracle_alloc.rs`).
+//!
+//! Every round goes through three explicit stages:
+//!
+//! 1. **plan** — clear the per-station accumulators, mark the transmitter
+//!    set, and (for the cell-bucketed modes) sort the transmitters into
+//!    flat cell buckets with SoA coordinates and per-cell centroids;
+//! 2. **accumulate** — fill, per station, the total received power and
+//!    the strongest transmitter. This is the stage that shards: given a
+//!    [`KernelPool`] with more than one thread, the grid-native kernel
+//!    splits the *receiver cells* into contiguous ranges (each owning a
+//!    contiguous slot range of the grid's CSR layout, accumulated into
+//!    slot-ordered buffers so shard writes are disjoint slices), and the
+//!    exact / cell-aggregate kernels split the station range. Per-receiver
+//!    floating-point sums accumulate in the same order as the serial
+//!    kernels, so results are **bitwise identical at any thread count**;
+//!    truncated mode keeps its historical transmitter-major order and
+//!    always runs serially.
+//! 3. **decide** — apply the SINR threshold test per station and emit
+//!    [`RoundOutcome`].
 //!
 //! The oracle reproduces the free function **field-for-field** in every
-//! [`InterferenceMode`]; `Exact` and `Truncated` accumulate in the same
-//! order as the historical implementation, so they are bit-for-bit
-//! backward compatible. `CellAggregate` now iterates transmitter cells in
-//! sorted key order (the historical hash-map order was
+//! [`InterferenceMode`]; `Exact` and `Truncated` accumulate per receiver
+//! in the same order as the historical implementation, so they are
+//! bit-for-bit backward compatible. `CellAggregate` iterates transmitter
+//! cells in sorted key order (the historical hash-map order was
 //! nondeterministic — see the regression test in `reception.rs`), and the
-//! new [`InterferenceMode::GridNative`] kernel is only available here and
+//! [`InterferenceMode::GridNative`] kernel — whose near loops run through
+//! the batched SoA kernels ([`sinr_geometry::PositionStore`],
+//! [`SinrParams::signal_at_sq_batch`]) — is only available here and
 //! through the wrappers that delegate here.
 
-use sinr_geometry::{CellKey, GridIndex, MetricPoint};
+use sinr_geometry::{CellKey, GridIndex, MetricPoint, PositionStore};
 
 use crate::params::SinrParams;
+use crate::pool::{KernelPool, ShardScratch};
 use crate::reception::{InterferenceMode, RoundOutcome};
+
+/// Batch width of the SoA distance/signal kernels: a cache-line-friendly
+/// stack buffer, long enough to amortise the loop overhead and keep the
+/// autovectorizer fed.
+const CHUNK: usize = 64;
 
 /// Reusable per-round state for resolving reception rounds without
 /// allocating.
 ///
 /// Build one per trial ([`crate::Network::new_oracle`] sizes it for the
 /// network) and feed it every round; buffers grow to the high-water mark
-/// on the first round and are reused afterwards.
+/// on the first round and are reused afterwards. Rounds resolve serially
+/// through [`ReceptionOracle::resolve_into`], or sharded across scoped
+/// threads through [`ReceptionOracle::resolve_into_with`] and a
+/// [`KernelPool`] — with bitwise identical results.
 ///
 /// # Example
 ///
@@ -68,9 +95,16 @@ pub struct ReceptionOracle {
     bucket_starts: Vec<usize>,
     /// Centroid of each transmitter cell (trailing axes stay 0).
     bucket_centroids: Vec<[f64; 3]>,
-    /// Indices (into the bucket arrays) of the near cells of the receiver
-    /// cell currently being resolved (grid-native kernel scratch).
-    near_buckets: Vec<usize>,
+    /// SoA coordinates of the transmitters, aligned with `tx_cells`.
+    tx_pos: PositionStore,
+    /// Grid-native accumulators in **slot order** (the grid's CSR layout):
+    /// shard `s` owns a contiguous slice, scattered back to station order
+    /// before the decide stage.
+    slot_total: Vec<f64>,
+    slot_best_pow: Vec<f64>,
+    slot_best_idx: Vec<usize>,
+    /// Single-shard pool backing the serial entry points.
+    fallback: KernelPool,
 }
 
 impl ReceptionOracle {
@@ -108,8 +142,8 @@ impl ReceptionOracle {
         &self.total
     }
 
-    /// Resolves one round into `out`, reusing all internal scratch and the
-    /// capacity of `out.decoded_from`.
+    /// Resolves one round into `out` on the calling thread, reusing all
+    /// internal scratch and the capacity of `out.decoded_from`.
     ///
     /// Semantics are identical to
     /// [`resolve_round`](crate::reception::resolve_round) (which now
@@ -131,61 +165,35 @@ impl ReceptionOracle {
         grid: Option<&GridIndex>,
         out: &mut RoundOutcome,
     ) {
-        let n = points.len();
-        self.reset(n);
-        for &t in transmitters {
-            assert!(t < n, "transmitter index {t} out of range (n = {n})");
-            self.is_tx[t] = true;
-        }
+        let mut pool = std::mem::replace(&mut self.fallback, KernelPool::placeholder());
+        self.resolve_into_with(points, params, transmitters, mode, grid, &mut pool, out);
+        self.fallback = pool;
+    }
 
-        // Accumulate, per station, the total received power and the
-        // strongest transmitter (ties broken towards the first transmitter
-        // encountered; transmitter iteration order is deterministic in
-        // every mode).
-        match mode {
-            InterferenceMode::Exact => self.accumulate_exact(points, params, transmitters),
-            InterferenceMode::Truncated { radius } => {
-                assert!(
-                    radius >= params.range(),
-                    "truncation radius {radius} must be at least the communication range 1"
-                );
-                let grid = grid.expect("Truncated interference mode requires a grid index");
-                self.accumulate_truncated(points, params, transmitters, radius, grid);
-            }
-            InterferenceMode::CellAggregate { near_radius } => {
-                assert!(
-                    near_radius >= 2.0,
-                    "near_radius {near_radius} must be at least 2 (range 1 plus cell slack)"
-                );
-                let grid = grid.expect("CellAggregate interference mode requires a grid index");
-                self.bucket_transmitters(points, transmitters, grid);
-                self.accumulate_cell_aggregate(points, params, near_radius, grid);
-            }
-            InterferenceMode::GridNative { near_radius } => {
-                assert!(
-                    near_radius >= 2.0,
-                    "grid-native near radius {near_radius} must be at least 2"
-                );
-                let grid = grid.expect("GridNative interference mode requires a grid index");
-                debug_assert_eq!(grid.len(), n, "grid must index the same points");
-                self.bucket_transmitters(points, transmitters, grid);
-                self.accumulate_grid_native(points, params, near_radius, grid);
-            }
-        }
-
-        out.decoded_from.clear();
-        out.decoded_from.extend((0..n).map(|u| {
-            if self.is_tx[u] || self.best_idx[u] == usize::MAX {
-                return None;
-            }
-            let interference = self.total[u] - self.best_pow[u];
-            if params.decodable(self.best_pow[u], interference) {
-                Some(self.best_idx[u])
-            } else {
-                None
-            }
-        }));
-        out.num_transmitters = transmitters.len();
+    /// As [`ReceptionOracle::resolve_into`], sharding the accumulate
+    /// stage across `pool`'s worker threads.
+    ///
+    /// Results are **bitwise identical** to the serial path at any thread
+    /// count (see the module docs for the sharding contract); a
+    /// [`KernelPool::serial`] pool runs inline and spawns nothing.
+    ///
+    /// # Panics
+    ///
+    /// As [`ReceptionOracle::resolve_into`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn resolve_into_with<P: MetricPoint>(
+        &mut self,
+        points: &[P],
+        params: &SinrParams,
+        transmitters: &[usize],
+        mode: InterferenceMode,
+        grid: Option<&GridIndex>,
+        pool: &mut KernelPool,
+        out: &mut RoundOutcome,
+    ) {
+        self.plan(points, transmitters);
+        self.accumulate(points, params, transmitters, mode, grid, pool);
+        self.decide(params, transmitters.len(), out);
     }
 
     /// As [`ReceptionOracle::resolve_into`], allocating a fresh outcome.
@@ -202,28 +210,106 @@ impl ReceptionOracle {
         out
     }
 
-    /// Exact Equation (1): every transmitter contributes to every receiver,
-    /// in the historical transmitter-major order (bit-for-bit compatible).
+    /// Stage 1 — plan: clear the accumulators and mark the transmitter
+    /// set (the cell-bucketed modes additionally bucket transmitters at
+    /// the top of their accumulate arm).
+    fn plan<P: MetricPoint>(&mut self, points: &[P], transmitters: &[usize]) {
+        let n = points.len();
+        self.reset(n);
+        for &t in transmitters {
+            assert!(t < n, "transmitter index {t} out of range (n = {n})");
+            self.is_tx[t] = true;
+        }
+    }
+
+    /// Stage 2 — accumulate, per station, the total received power and the
+    /// strongest transmitter (ties broken towards the first transmitter
+    /// encountered; transmitter iteration order is deterministic in
+    /// every mode).
+    fn accumulate<P: MetricPoint>(
+        &mut self,
+        points: &[P],
+        params: &SinrParams,
+        transmitters: &[usize],
+        mode: InterferenceMode,
+        grid: Option<&GridIndex>,
+        pool: &mut KernelPool,
+    ) {
+        let n = points.len();
+        match mode {
+            InterferenceMode::Exact => self.accumulate_exact(points, params, transmitters, pool),
+            InterferenceMode::Truncated { radius } => {
+                assert!(
+                    radius >= params.range(),
+                    "truncation radius {radius} must be at least the communication range 1"
+                );
+                let grid = grid.expect("Truncated interference mode requires a grid index");
+                self.accumulate_truncated(points, params, transmitters, radius, grid);
+            }
+            InterferenceMode::CellAggregate { near_radius } => {
+                assert!(
+                    near_radius >= 2.0,
+                    "near_radius {near_radius} must be at least 2 (range 1 plus cell slack)"
+                );
+                let grid = grid.expect("CellAggregate interference mode requires a grid index");
+                self.bucket_transmitters(points, transmitters, grid);
+                self.accumulate_cell_aggregate(points, params, near_radius, grid, pool);
+            }
+            InterferenceMode::GridNative { near_radius } => {
+                assert!(
+                    near_radius >= 2.0,
+                    "grid-native near radius {near_radius} must be at least 2"
+                );
+                let grid = grid.expect("GridNative interference mode requires a grid index");
+                debug_assert_eq!(grid.len(), n, "grid must index the same points");
+                self.bucket_transmitters(points, transmitters, grid);
+                self.accumulate_grid_native::<P>(params, near_radius, grid, pool);
+                self.scatter_slots(grid);
+            }
+        }
+    }
+
+    /// Stage 3 — decide: the SINR threshold test per station.
+    fn decide(&mut self, params: &SinrParams, num_transmitters: usize, out: &mut RoundOutcome) {
+        let n = self.total.len();
+        out.decoded_from.clear();
+        out.decoded_from.extend((0..n).map(|u| {
+            if self.is_tx[u] || self.best_idx[u] == usize::MAX {
+                return None;
+            }
+            let interference = self.total[u] - self.best_pow[u];
+            if params.decodable(self.best_pow[u], interference) {
+                Some(self.best_idx[u])
+            } else {
+                None
+            }
+        }));
+        out.num_transmitters = num_transmitters;
+    }
+
+    /// Exact Equation (1): every transmitter contributes to every
+    /// receiver, accumulated per receiver in transmitter order (bit-for-bit
+    /// compatible with the historical transmitter-major loop). Shards by
+    /// contiguous station ranges.
     fn accumulate_exact<P: MetricPoint>(
         &mut self,
         points: &[P],
         params: &SinrParams,
         transmitters: &[usize],
+        pool: &mut KernelPool,
     ) {
-        for &t in transmitters {
-            let tp = points[t];
-            for (u, pu) in points.iter().enumerate() {
-                if u == t {
-                    continue;
-                }
-                let s = params.signal_at(tp.distance(pu));
-                self.total[u] += s;
-                if s > self.best_pow[u] {
-                    self.best_pow[u] = s;
-                    self.best_idx[u] = t;
-                }
-            }
-        }
+        let n = points.len();
+        let shards = pool.plan_stations(n);
+        let (bounds, scratches) = pool.parts();
+        run_sharded(
+            shards,
+            &|s| bounds[s + 1] - bounds[s],
+            &mut self.total,
+            &mut self.best_pow,
+            &mut self.best_idx,
+            scratches,
+            &|s, t0, p0, i0, _scr| exact_range(bounds[s], t0, p0, i0, points, params, transmitters),
+        );
     }
 
     /// Truncated interference through the allocation-free ball visitor.
@@ -231,7 +317,10 @@ impl ReceptionOracle {
     /// Receivers accumulate one term per transmitter in transmitter-major
     /// order, so the visitor's cell-major receiver order leaves every
     /// per-receiver sum bit-for-bit identical to the historical
-    /// `grid.ball` iteration.
+    /// `grid.ball` iteration. Always serial: sharding receivers would
+    /// repeat every transmitter's ball walk per shard — use
+    /// [`InterferenceMode::GridNative`] when the round needs to scale
+    /// across threads.
     fn accumulate_truncated<P: MetricPoint>(
         &mut self,
         points: &[P],
@@ -260,8 +349,9 @@ impl ReceptionOracle {
     }
 
     /// Buckets `transmitters` into flat sorted cells of `grid`, computing
-    /// per-cell centroids. Reuses `tx_cells` / `bucket_starts` /
-    /// `bucket_centroids`; members end up ascending within each cell.
+    /// per-cell centroids and the SoA coordinate copy the batch kernels
+    /// stream through. Reuses all bucket buffers; members end up ascending
+    /// within each cell.
     fn bucket_transmitters<P: MetricPoint>(
         &mut self,
         points: &[P],
@@ -272,6 +362,10 @@ impl ReceptionOracle {
         self.tx_cells
             .extend(transmitters.iter().map(|&t| (grid.key_for(&points[t]), t)));
         self.tx_cells.sort_unstable();
+        self.tx_pos.reset_axes(P::AXES);
+        for &(_, t) in &self.tx_cells {
+            self.tx_pos.push(&points[t]);
+        }
         self.bucket_starts.clear();
         self.bucket_centroids.clear();
         let mut i = 0;
@@ -298,129 +392,362 @@ impl ReceptionOracle {
 
     /// One-level multipole: near cells exactly, far cells as one aggregate
     /// at the cell centroid, per receiver. Cells are visited in sorted key
-    /// order, making the floating-point sums deterministic.
+    /// order, making the floating-point sums deterministic. Shards by
+    /// contiguous station ranges.
     fn accumulate_cell_aggregate<P: MetricPoint>(
         &mut self,
         points: &[P],
         params: &SinrParams,
         near_radius: f64,
         grid: &GridIndex,
+        pool: &mut KernelPool,
     ) {
-        let cell = grid.cell_side();
         // Every cell member lies within one cell diagonal of the
         // transmitter centroid.
-        let diag = cell * (P::AXES as f64).sqrt();
-        let buckets = self.bucket_starts.len() - 1;
-        for (u, pu) in points.iter().enumerate() {
-            for b in 0..buckets {
-                let centroid = &self.bucket_centroids[b];
-                let mut d2 = 0.0;
-                for (axis, c) in centroid.iter().enumerate().take(P::AXES) {
-                    let dd = pu.coord(axis) - c;
-                    d2 += dd * dd;
-                }
-                let dc = d2.sqrt();
-                let members = &self.tx_cells[self.bucket_starts[b]..self.bucket_starts[b + 1]];
-                if dc > near_radius + diag {
-                    // All members are farther than near_radius from u.
-                    self.total[u] += members.len() as f64 * params.signal_at(dc);
-                } else {
-                    for &(_, t) in members {
-                        if t == u {
-                            continue;
-                        }
-                        let s = params.signal_at(points[t].distance(pu));
-                        self.total[u] += s;
-                        if s > self.best_pow[u] {
-                            self.best_pow[u] = s;
-                            self.best_idx[u] = t;
-                        }
+        let diag = grid.cell_side() * (P::AXES as f64).sqrt();
+        let n = points.len();
+        let shards = pool.plan_stations(n);
+        let (bounds, scratches) = pool.parts();
+        let tx_cells = &self.tx_cells;
+        let bucket_starts = &self.bucket_starts;
+        let bucket_centroids = &self.bucket_centroids;
+        run_sharded(
+            shards,
+            &|s| bounds[s + 1] - bounds[s],
+            &mut self.total,
+            &mut self.best_pow,
+            &mut self.best_idx,
+            scratches,
+            &|s, t0, p0, i0, _scr| {
+                cell_aggregate_range(
+                    bounds[s],
+                    t0,
+                    p0,
+                    i0,
+                    points,
+                    params,
+                    near_radius,
+                    diag,
+                    tx_cells,
+                    bucket_starts,
+                    bucket_centroids,
+                )
+            },
+        );
+    }
+
+    /// The grid-native kernel: exact decode, approximate tail, shared per
+    /// receiver cell — sharded by contiguous receiver-cell ranges.
+    ///
+    /// Per *receiver cell* (not per receiver), transmitter cells within
+    /// Chebyshev key distance `⌈near_radius / cell⌉` are evaluated exactly
+    /// per member — through the batched SoA distance/signal kernels, over
+    /// a contiguous per-shard copy of the near members — while all farther
+    /// cells collapse into a single tail term evaluated once between the
+    /// two cells' member centroids and shared by every receiver in the
+    /// cell. Any decodable transmitter is within range 1 < `near_radius`,
+    /// so decode candidates are always exact — only the interference tail
+    /// is approximated (at both endpoints, which is what
+    /// [`InterferenceMode::GridNative`]'s error bound accounts for).
+    ///
+    /// Accumulates into the slot-ordered buffers (each shard owns the
+    /// contiguous slot range of its cells); [`ReceptionOracle::scatter_slots`]
+    /// maps them back to station order.
+    fn accumulate_grid_native<P: MetricPoint>(
+        &mut self,
+        params: &SinrParams,
+        near_radius: f64,
+        grid: &GridIndex,
+        pool: &mut KernelPool,
+    ) {
+        let n = grid.len();
+        // No fill needed: every slot is written exactly once per round.
+        self.slot_total.resize(n, 0.0);
+        self.slot_best_pow.resize(n, 0.0);
+        self.slot_best_idx.resize(n, usize::MAX);
+        let near_cells = (near_radius / grid.cell_side()).ceil() as i64;
+        let shards = pool.plan_cells(grid);
+        let (bounds, scratches) = pool.parts();
+        let tx_cells = &self.tx_cells;
+        let bucket_starts = &self.bucket_starts;
+        let bucket_centroids = &self.bucket_centroids;
+        let tx_pos = &self.tx_pos;
+        let axes = P::AXES;
+        // First slot of cell boundary `c` (the sentinel `num_cells` maps
+        // to `n`): shard `s` owns slots `slot_at(bounds[s])..slot_at(bounds[s+1])`.
+        let slot_at = |c: usize| {
+            if c == grid.num_cells() {
+                n
+            } else {
+                grid.cell_range(c).start
+            }
+        };
+        run_sharded(
+            shards,
+            &|s| slot_at(bounds[s + 1]) - slot_at(bounds[s]),
+            &mut self.slot_total,
+            &mut self.slot_best_pow,
+            &mut self.slot_best_idx,
+            scratches,
+            &|s, t0, p0, i0, scr| {
+                grid_native_cells(
+                    bounds[s]..bounds[s + 1],
+                    slot_at(bounds[s]),
+                    t0,
+                    p0,
+                    i0,
+                    scr,
+                    grid,
+                    params,
+                    near_cells,
+                    axes,
+                    tx_cells,
+                    bucket_starts,
+                    bucket_centroids,
+                    tx_pos,
+                )
+            },
+        );
+    }
+
+    /// Maps the slot-ordered grid-native accumulators back to station
+    /// order (cells partition the stations, so every station is written
+    /// exactly once).
+    fn scatter_slots(&mut self, grid: &GridIndex) {
+        for (slot, &u) in grid.slot_ids().iter().enumerate() {
+            self.total[u] = self.slot_total[slot];
+            self.best_pow[u] = self.slot_best_pow[slot];
+            self.best_idx[u] = self.slot_best_idx[slot];
+        }
+    }
+}
+
+/// The shared shard driver of the accumulate stage: splits the three
+/// accumulator buffers into per-shard windows of `len_of(s)` elements
+/// (contiguous, disjoint — the sharding determinism contract) plus one
+/// [`ShardScratch`] each, and runs `kernel(s, ...)` per shard on scoped
+/// threads. Shard 0 runs inline on the calling thread; a single shard
+/// spawns nothing.
+fn run_sharded<K>(
+    shards: usize,
+    len_of: &(dyn Fn(usize) -> usize + Sync),
+    mut total: &mut [f64],
+    mut best_pow: &mut [f64],
+    mut best_idx: &mut [usize],
+    mut scratches: &mut [ShardScratch],
+    kernel: &K,
+) where
+    K: Fn(usize, &mut [f64], &mut [f64], &mut [usize], &mut ShardScratch) + Sync,
+{
+    if shards <= 1 {
+        kernel(0, total, best_pow, best_idx, &mut scratches[0]);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut first = None;
+        for s in 0..shards {
+            let len = len_of(s);
+            let (t0, t1) = std::mem::take(&mut total).split_at_mut(len);
+            let (p0, p1) = std::mem::take(&mut best_pow).split_at_mut(len);
+            let (i0, i1) = std::mem::take(&mut best_idx).split_at_mut(len);
+            let (scr, sr) = std::mem::take(&mut scratches)
+                .split_first_mut()
+                .expect("one scratch per shard");
+            (total, best_pow, best_idx, scratches) = (t1, p1, i1, sr);
+            if s == 0 {
+                first = Some((t0, p0, i0, scr));
+                continue;
+            }
+            scope.spawn(move || kernel(s, t0, p0, i0, scr));
+        }
+        let (t0, p0, i0, scr) = first.expect("at least one shard");
+        kernel(0, t0, p0, i0, scr);
+    });
+}
+
+/// Exact-mode kernel over the station range starting at `base` (slices
+/// are the shard's pre-split windows): per receiver, one term per
+/// transmitter in transmitter order — the historical accumulation order.
+fn exact_range<P: MetricPoint>(
+    base: usize,
+    total: &mut [f64],
+    best_pow: &mut [f64],
+    best_idx: &mut [usize],
+    points: &[P],
+    params: &SinrParams,
+    transmitters: &[usize],
+) {
+    for (off, tot) in total.iter_mut().enumerate() {
+        let u = base + off;
+        let pu = points[u];
+        let mut acc = 0.0f64;
+        let mut bp = 0.0f64;
+        let mut bi = usize::MAX;
+        for &t in transmitters {
+            if t == u {
+                continue;
+            }
+            let s = params.signal_at(points[t].distance(&pu));
+            acc += s;
+            if s > bp {
+                bp = s;
+                bi = t;
+            }
+        }
+        *tot = acc;
+        best_pow[off] = bp;
+        best_idx[off] = bi;
+    }
+}
+
+/// Cell-aggregate kernel over the station range starting at `base`: per
+/// receiver, transmitter cells in sorted key order — near cells exactly
+/// per member, far cells as one aggregate at the centroid.
+#[allow(clippy::too_many_arguments)]
+fn cell_aggregate_range<P: MetricPoint>(
+    base: usize,
+    total: &mut [f64],
+    best_pow: &mut [f64],
+    best_idx: &mut [usize],
+    points: &[P],
+    params: &SinrParams,
+    near_radius: f64,
+    diag: f64,
+    tx_cells: &[(CellKey, usize)],
+    bucket_starts: &[usize],
+    bucket_centroids: &[[f64; 3]],
+) {
+    let buckets = bucket_starts.len().saturating_sub(1);
+    for (off, tot) in total.iter_mut().enumerate() {
+        let u = base + off;
+        let pu = points[u];
+        let mut acc = 0.0f64;
+        let mut bp = 0.0f64;
+        let mut bi = usize::MAX;
+        for b in 0..buckets {
+            let centroid = &bucket_centroids[b];
+            let mut d2 = 0.0;
+            for (axis, c) in centroid.iter().enumerate().take(P::AXES) {
+                let dd = pu.coord(axis) - c;
+                d2 += dd * dd;
+            }
+            let dc = d2.sqrt();
+            let members = &tx_cells[bucket_starts[b]..bucket_starts[b + 1]];
+            if dc > near_radius + diag {
+                // All members are farther than near_radius from u.
+                acc += members.len() as f64 * params.signal_at(dc);
+            } else {
+                for &(_, t) in members {
+                    if t == u {
+                        continue;
+                    }
+                    let s = params.signal_at(points[t].distance(&pu));
+                    acc += s;
+                    if s > bp {
+                        bp = s;
+                        bi = t;
                     }
                 }
             }
         }
+        *tot = acc;
+        best_pow[off] = bp;
+        best_idx[off] = bi;
     }
+}
 
-    /// The grid-native kernel: exact decode, approximate tail, shared per
-    /// receiver cell.
-    ///
-    /// One pass over the transmitters builds the sorted cell buckets; then,
-    /// per *receiver cell* (not per receiver), transmitter cells within
-    /// Chebyshev key distance `⌈near_radius / cell⌉` are evaluated exactly
-    /// per member while all farther cells collapse into a single tail term
-    /// evaluated once between the two cells' member centroids and shared by
-    /// every receiver in the cell. Any decodable transmitter is within
-    /// range 1 < `near_radius`, so decode candidates are always exact —
-    /// only the interference tail is approximated (at both endpoints, which
-    /// is what [`InterferenceMode::GridNative`]'s error bound accounts
-    /// for).
-    fn accumulate_grid_native<P: MetricPoint>(
-        &mut self,
-        points: &[P],
-        params: &SinrParams,
-        near_radius: f64,
-        grid: &GridIndex,
-    ) {
-        let cell = grid.cell_side();
-        let near_cells = (near_radius / cell).ceil() as i64;
-        let buckets = self.bucket_starts.len() - 1;
-        for rc in 0..grid.num_cells() {
-            let members = grid.cell_members(rc);
-            let rkey = grid.cell_key(rc);
-            // Receiver-cell member centroid: the tail evaluation point.
-            let mut rcent = [0.0f64; 3];
-            for &u in members {
-                for (axis, slot) in rcent.iter_mut().enumerate().take(P::AXES) {
-                    *slot += points[u].coord(axis);
+/// Grid-native kernel over one contiguous receiver-cell range whose slots
+/// start at `slot_base` (slices are the shard's pre-split slot windows).
+#[allow(clippy::too_many_arguments)]
+fn grid_native_cells(
+    cells: std::ops::Range<usize>,
+    slot_base: usize,
+    total: &mut [f64],
+    best_pow: &mut [f64],
+    best_idx: &mut [usize],
+    scratch: &mut ShardScratch,
+    grid: &GridIndex,
+    params: &SinrParams,
+    near_cells: i64,
+    axes: usize,
+    tx_cells: &[(CellKey, usize)],
+    bucket_starts: &[usize],
+    bucket_centroids: &[[f64; 3]],
+    tx_pos: &PositionStore,
+) {
+    let buckets = bucket_starts.len().saturating_sub(1);
+    let store = grid.positions();
+    for c in cells {
+        let rkey = grid.cell_key(c);
+        // Receiver-cell member centroid: the tail evaluation point
+        // (precomputed at grid build).
+        let rcent = grid.cell_centroid(c);
+        // Split transmitter cells into near (exact per member, gathered
+        // into the shard's contiguous SoA scratch) and far (one shared
+        // tail term per cell); the split depends only on the receiver
+        // CELL, so every (receiver, transmitter) pair is counted exactly
+        // once.
+        scratch.near_pos.reset_axes(axes);
+        scratch.near_t.clear();
+        let mut tail = 0.0f64;
+        for b in 0..buckets {
+            let bkey = tx_cells[bucket_starts[b]].0;
+            let cheb = (0..axes)
+                .map(|a| (bkey[a] - rkey[a]).abs())
+                .max()
+                .unwrap_or(0);
+            if cheb <= near_cells {
+                let members = bucket_starts[b]..bucket_starts[b + 1];
+                scratch.near_pos.extend_from(tx_pos, members.clone());
+                scratch
+                    .near_t
+                    .extend(tx_cells[members].iter().map(|&(_, t)| t));
+            } else {
+                let centroid = &bucket_centroids[b];
+                let mut d2 = 0.0;
+                for (axis, cc) in centroid.iter().enumerate().take(axes) {
+                    let dd = rcent[axis] - cc;
+                    d2 += dd * dd;
                 }
+                let count = (bucket_starts[b + 1] - bucket_starts[b]) as f64;
+                tail += count * params.signal_at_sq(d2);
             }
-            let inv = 1.0 / members.len() as f64;
-            for v in &mut rcent {
-                *v *= inv;
-            }
-            // Split transmitter cells into near (exact per member) and far
-            // (one shared tail term per cell); the split depends only on
-            // the receiver CELL, so every (receiver, transmitter) pair is
-            // counted exactly once.
-            self.near_buckets.clear();
-            let mut tail = 0.0f64;
-            for b in 0..buckets {
-                let bkey = self.tx_cells[self.bucket_starts[b]].0;
-                let cheb = (0..P::AXES)
-                    .map(|a| (bkey[a] - rkey[a]).abs())
-                    .max()
-                    .unwrap_or(0);
-                if cheb <= near_cells {
-                    self.near_buckets.push(b);
-                } else {
-                    let centroid = &self.bucket_centroids[b];
-                    let mut d2 = 0.0;
-                    for (axis, c) in centroid.iter().enumerate().take(P::AXES) {
-                        let dd = rcent[axis] - c;
-                        d2 += dd * dd;
+        }
+        let near_len = scratch.near_t.len();
+        for slot in grid.cell_range(c) {
+            let u = grid.slot_ids()[slot];
+            let pu = store.coords_of(slot);
+            let mut acc = tail;
+            let mut bp = 0.0f64;
+            let mut bi = usize::MAX;
+            // Batched near evaluation: distances then signals, chunk by
+            // chunk, with the same per-element arithmetic and per-receiver
+            // accumulation order as the scalar loop.
+            let mut sig = [0.0f64; CHUNK];
+            let mut i = 0;
+            while i < near_len {
+                let len = CHUNK.min(near_len - i);
+                scratch
+                    .near_pos
+                    .distance_sq_batch(i..i + len, &pu, &mut sig[..len]);
+                params.signal_at_sq_batch(&mut sig[..len]);
+                for (k, &s) in sig[..len].iter().enumerate() {
+                    let t = scratch.near_t[i + k];
+                    if t == u {
+                        continue;
                     }
-                    let count = (self.bucket_starts[b + 1] - self.bucket_starts[b]) as f64;
-                    tail += count * params.signal_at_sq(d2);
-                }
-            }
-            for &u in members {
-                let pu = &points[u];
-                self.total[u] += tail;
-                for &b in &self.near_buckets {
-                    let near = &self.tx_cells[self.bucket_starts[b]..self.bucket_starts[b + 1]];
-                    for &(_, t) in near {
-                        if t == u {
-                            continue;
-                        }
-                        let s = params.signal_at_sq(points[t].distance_sq(pu));
-                        self.total[u] += s;
-                        if s > self.best_pow[u] {
-                            self.best_pow[u] = s;
-                            self.best_idx[u] = t;
-                        }
+                    acc += s;
+                    if s > bp {
+                        bp = s;
+                        bi = t;
                     }
                 }
+                i += len;
             }
+            let local = slot - slot_base;
+            total[local] = acc;
+            best_pow[local] = bp;
+            best_idx[local] = bi;
         }
     }
 }
@@ -445,6 +772,15 @@ mod tests {
             .collect()
     }
 
+    fn all_modes() -> [InterferenceMode; 4] {
+        [
+            InterferenceMode::Exact,
+            InterferenceMode::Truncated { radius: 4.0 },
+            InterferenceMode::CellAggregate { near_radius: 4.0 },
+            InterferenceMode::GridNative { near_radius: 4.0 },
+        ]
+    }
+
     #[test]
     fn oracle_matches_free_function_in_every_compat_mode() {
         let pts = spread(200);
@@ -452,16 +788,66 @@ mod tests {
         let p = params();
         let tx: Vec<usize> = (0..200).step_by(9).collect();
         let mut oracle = ReceptionOracle::new();
-        for mode in [
-            InterferenceMode::Exact,
-            InterferenceMode::Truncated { radius: 4.0 },
-            InterferenceMode::CellAggregate { near_radius: 4.0 },
-            InterferenceMode::GridNative { near_radius: 4.0 },
-        ] {
+        for mode in all_modes() {
             let free = resolve_round(&pts, &p, &tx, mode, Some(&grid));
             let from_oracle = oracle.resolve(&pts, &p, &tx, mode, Some(&grid));
             assert_eq!(free, from_oracle, "{mode:?}");
         }
+    }
+
+    #[test]
+    fn sharded_pools_are_bitwise_identical_to_serial() {
+        // The tentpole determinism contract at the oracle level: any
+        // thread count, every mode, identical decode decisions AND
+        // bit-identical power sums.
+        let pts = spread(500);
+        let grid = GridIndex::build(&pts, 1.0);
+        let p = params();
+        let tx: Vec<usize> = (0..500).step_by(7).collect();
+        for mode in all_modes() {
+            let mut serial_oracle = ReceptionOracle::new();
+            let serial = serial_oracle.resolve(&pts, &p, &tx, mode, Some(&grid));
+            for threads in [2, 3, 8, 64] {
+                let mut pool = KernelPool::new(threads);
+                let mut oracle = ReceptionOracle::new();
+                let mut out = RoundOutcome::empty();
+                oracle.resolve_into_with(&pts, &p, &tx, mode, Some(&grid), &mut pool, &mut out);
+                assert_eq!(serial, out, "{mode:?} with {threads} threads");
+                for (u, (a, b)) in serial_oracle
+                    .received_power()
+                    .iter()
+                    .zip(oracle.received_power())
+                    .enumerate()
+                {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{mode:?}, {threads} threads: power differs at {u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_recovers_after_panicking_resolve() {
+        // A contract panic unwinds while the fallback pool is swapped out
+        // for the scratch-less placeholder; later rounds must repair it
+        // (KernelPool::ensure_scratch) instead of failing on unrelated
+        // indexing.
+        let pts = spread(50);
+        let grid = GridIndex::build(&pts, 1.0);
+        let p = params();
+        let mut oracle = ReceptionOracle::new();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = oracle.resolve(&pts, &p, &[999], InterferenceMode::Exact, None);
+        }));
+        assert!(panicked.is_err(), "out-of-range transmitter must panic");
+        let tx: Vec<usize> = (0..50).step_by(5).collect();
+        let mode = InterferenceMode::GridNative { near_radius: 4.0 };
+        let recovered = oracle.resolve(&pts, &p, &tx, mode, Some(&grid));
+        let fresh = ReceptionOracle::new().resolve(&pts, &p, &tx, mode, Some(&grid));
+        assert_eq!(recovered, fresh);
     }
 
     #[test]

@@ -256,6 +256,42 @@ impl SinrParams {
         }
     }
 
+    /// Batched [`SinrParams::signal_at_sq`]: rewrites each squared
+    /// distance in `d2` to the received signal power at that distance,
+    /// in place.
+    ///
+    /// Each element goes through exactly the same arithmetic as the
+    /// scalar call (bitwise identical results); the specialised integer
+    /// exponents become branch-free loops over the slice that
+    /// autovectorize (`sqrt`/`div` have SIMD forms, unlike `powf`). This
+    /// is the second half of the SoA hot path: a
+    /// [`sinr_geometry::PositionStore::distance_sq_batch`] fills the
+    /// buffer, this converts it to signals, and the caller accumulates.
+    pub fn signal_at_sq_batch(&self, d2: &mut [f64]) {
+        const MIN2: f64 = SinrParams::MIN_DISTANCE * SinrParams::MIN_DISTANCE;
+        let p = self.power();
+        if self.alpha == 2.0 {
+            for v in d2 {
+                *v = p / (*v).max(MIN2);
+            }
+        } else if self.alpha == 3.0 {
+            for v in d2 {
+                let c = (*v).max(MIN2);
+                *v = p / (c * c.sqrt());
+            }
+        } else if self.alpha == 4.0 {
+            for v in d2 {
+                let c = (*v).max(MIN2);
+                *v = p / (c * c);
+            }
+        } else {
+            let e = -self.alpha * 0.5;
+            for v in d2 {
+                *v = p * (*v).max(MIN2).powf(e);
+            }
+        }
+    }
+
     /// Minimum distance used in signal computations; generators must keep
     /// stations at least this far apart.
     pub const MIN_DISTANCE: f64 = 1e-9;
@@ -357,6 +393,23 @@ mod tests {
                 assert!(
                     (a - b).abs() <= 1e-12 * a.abs(),
                     "alpha {alpha}, d {d}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_signal_matches_scalar_bitwise() {
+        for alpha in [2.0, 2.5, 3.0, 4.0] {
+            let p = SinrParams::builder().alpha(alpha).build(1.5).unwrap();
+            let d2s: Vec<f64> = vec![0.0, 1e-20, 0.01, 0.25, 1.0, 7.29, 1600.0];
+            let mut batch = d2s.clone();
+            p.signal_at_sq_batch(&mut batch);
+            for (d2, got) in d2s.iter().zip(&batch) {
+                assert_eq!(
+                    got.to_bits(),
+                    p.signal_at_sq(*d2).to_bits(),
+                    "alpha {alpha}, d2 {d2}"
                 );
             }
         }

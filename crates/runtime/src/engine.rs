@@ -2,7 +2,7 @@
 
 use rand::rngs::SmallRng;
 use sinr_geometry::MetricPoint;
-use sinr_phy::{Network, ReceptionOracle, RoundOutcome};
+use sinr_phy::{KernelPool, Network, ReceptionOracle, RoundOutcome};
 
 use crate::protocol::{NodeCtx, Protocol};
 use crate::rng::node_rng;
@@ -65,6 +65,10 @@ pub struct Engine<P: MetricPoint, Pr: Protocol> {
     tx_ids: Vec<usize>,
     tx_msgs: Vec<Option<Pr::Msg>>,
     oracle: ReceptionOracle,
+    // One kernel pool per trial, reused across rounds: per-round threading
+    // cost is only the scoped-thread spawn of the accumulate stage (none
+    // at the default one thread).
+    pool: KernelPool,
     outcome: RoundOutcome,
 }
 
@@ -87,8 +91,28 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
             tx_ids: Vec::with_capacity(n),
             tx_msgs: Vec::new(),
             oracle,
+            pool: KernelPool::serial(),
             outcome: RoundOutcome::empty(),
         }
+    }
+
+    /// Shards each round's physics accumulate stage across up to
+    /// `threads` scoped worker threads (default 1, i.e. inline).
+    ///
+    /// Results are **bitwise identical at any thread count** — the
+    /// reception pipeline's sharding contract — so this only trades
+    /// wall-clock for cores. Worthwhile for large networks (≳10⁴
+    /// stations) in the grid-native mode; small rounds are dominated by
+    /// the per-round spawn cost.
+    pub fn set_physics_threads(&mut self, threads: usize) {
+        if threads != self.pool.threads() {
+            self.pool = KernelPool::new(threads);
+        }
+    }
+
+    /// The physics thread count rounds are resolved with.
+    pub fn physics_threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// Per-node transmission counts so far — the standard energy proxy for
@@ -153,8 +177,12 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
             }
         }
 
-        self.net
-            .resolve_with(&mut self.oracle, &self.tx_ids, &mut self.outcome);
+        self.net.resolve_with_pool(
+            &mut self.oracle,
+            &mut self.pool,
+            &self.tx_ids,
+            &mut self.outcome,
+        );
         let receptions = self.outcome.num_receivers();
 
         for &t in &self.tx_ids {
@@ -342,6 +370,51 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn physics_threads_leave_execution_bitwise_identical() {
+        use crate::protocol::bernoulli;
+        struct Rnd {
+            sent: u32,
+            heard: u32,
+        }
+        impl Protocol for Rnd {
+            type Msg = ();
+            fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<()> {
+                if bernoulli(ctx.rng, 0.3) {
+                    self.sent += 1;
+                    Some(())
+                } else {
+                    None
+                }
+            }
+            fn on_round_end(&mut self, _: &mut NodeCtx<'_>, _: bool, rx: Option<&()>) {
+                if rx.is_some() {
+                    self.heard += 1;
+                }
+            }
+        }
+        // Many cells so the grid-native shard planner has real ranges.
+        let pts: Vec<Point2> = (0..120)
+            .map(|i| Point2::new((i % 12) as f64 * 0.8, (i / 12) as f64 * 0.8))
+            .collect();
+        let run = |threads| {
+            let net = Network::new(pts.clone(), SinrParams::default_plane())
+                .unwrap()
+                .with_interference_mode(sinr_phy::InterferenceMode::grid_native());
+            let mut eng = Engine::new(net, 11, |_| Rnd { sent: 0, heard: 0 });
+            eng.set_physics_threads(threads);
+            assert_eq!(eng.physics_threads(), threads.max(1));
+            eng.run_rounds(40);
+            eng.into_nodes()
+                .iter()
+                .map(|n| (n.sent, n.heard))
+                .collect::<Vec<_>>()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(8));
     }
 
     #[test]

@@ -61,6 +61,77 @@ fn every_mode_is_bit_for_bit_reproducible_and_thread_invariant() {
 }
 
 #[test]
+fn physics_threads_leave_run_reports_byte_identical() {
+    // In-round parallelism invariance: sharding the accumulate stage
+    // across physics threads must leave the full `RunReport` — including
+    // every per-round statistic — byte-identical in every interference
+    // mode. 90 stations over ~25 grid cells gives the shard planner real
+    // multi-cell ranges at 2 and 8 threads.
+    for mode in all_modes() {
+        let scenario = Scenario::new(TopologySpec::ConnectedSquareDensity {
+            n: 90,
+            density: 25.0,
+        })
+        .constants(fast())
+        .protocol(ProtocolSpec::SBroadcast { source: 0 })
+        .interference_mode(mode)
+        .record_rounds()
+        .budget(2_000_000);
+
+        let baseline = scenario.clone().build().unwrap().run(42).unwrap();
+        for threads in [2usize, 8] {
+            let sharded = scenario
+                .clone()
+                .physics_threads(threads)
+                .build()
+                .unwrap()
+                .run(42)
+                .unwrap();
+            assert_eq!(
+                baseline, sharded,
+                "{mode:?}: physics_threads({threads}) changed the run"
+            );
+        }
+    }
+}
+
+#[test]
+fn physics_threads_compose_with_parallel_sweeps() {
+    // The two axes of parallelism at once: multi-threaded sweeps of
+    // multi-threaded trials must reproduce the serial single-threaded
+    // sweep byte-for-byte, in every mode.
+    for mode in all_modes() {
+        let scenario = Scenario::new(TopologySpec::ConnectedSquareDensity {
+            n: 70,
+            density: 25.0,
+        })
+        .constants(fast())
+        .protocol(ProtocolSpec::SBroadcast { source: 0 })
+        .interference_mode(mode)
+        .budget(2_000_000);
+        let seeds: Vec<u64> = (0..4).collect();
+
+        let serial = scenario
+            .clone()
+            .build()
+            .unwrap()
+            .sweep_with_threads(&seeds, 1)
+            .unwrap();
+        let composed = scenario
+            .clone()
+            .physics_threads(8)
+            .build()
+            .unwrap()
+            .sweep_with_threads(&seeds, 4)
+            .unwrap();
+        assert_eq!(
+            serial, composed,
+            "{mode:?}: sweep workers × physics threads changed results"
+        );
+    }
+}
+
+#[test]
 fn fast_physics_selects_grid_native_and_completes() {
     let sim = Scenario::new(TopologySpec::ConnectedSquareDensity {
         n: 60,
