@@ -1,10 +1,11 @@
 //! Machine-readable benchmark runner for every tracked suite.
 //!
 //! Runs the shared [`sinr_bench::phy_suite`],
-//! [`sinr_bench::broadcast_suite`] and [`sinr_bench::coloring_suite`] and
-//! always writes a unified JSON report (default `BENCH.json`, override
-//! with `--json <path>`; `--quick` shrinks sizes for CI smoke runs;
-//! `--suite phy|broadcast|coloring` runs one suite only):
+//! [`sinr_bench::broadcast_suite`], [`sinr_bench::coloring_suite`] and
+//! [`sinr_bench::mobility_suite`] and always writes a unified JSON report
+//! (default `BENCH.json`, override with `--json <path>`; `--quick`
+//! shrinks sizes for CI smoke runs;
+//! `--suite phy|broadcast|coloring|mobility` runs one suite only):
 //!
 //! ```text
 //! cargo run --release -p sinr-bench --bin microbench \
@@ -24,7 +25,7 @@
 //! pre-oracle baseline rows.)
 
 use sinr_bench::microbench::Session;
-use sinr_bench::{broadcast_suite, coloring_suite, phy_suite};
+use sinr_bench::{broadcast_suite, coloring_suite, mobility_suite, phy_suite};
 
 fn main() {
     let mut session = Session::from_args();
@@ -32,8 +33,8 @@ fn main() {
     let suite = session.suite.clone().unwrap_or_else(|| "all".into());
     let want = |name: &str| suite == "all" || suite == name;
     assert!(
-        ["all", "phy", "broadcast", "coloring"].contains(&suite.as_str()),
-        "unknown --suite {suite}; expected all, phy, broadcast or coloring"
+        ["all", "phy", "broadcast", "coloring", "mobility"].contains(&suite.as_str()),
+        "unknown --suite {suite}; expected all, phy, broadcast, coloring or mobility"
     );
     if want("phy") {
         phy_suite::run(&mut session);
@@ -54,6 +55,9 @@ fn main() {
     }
     if want("coloring") {
         coloring_suite::run(&mut session);
+    }
+    if want("mobility") {
+        mobility_suite::run(&mut session);
     }
     session.finish().expect("write benchmark report");
 }

@@ -34,6 +34,7 @@ pub mod experiments;
 #[cfg(feature = "legacy-parity")]
 pub mod legacy;
 pub mod microbench;
+pub mod mobility_suite;
 pub mod phy_suite;
 
 pub use config::ExpConfig;

@@ -1,0 +1,107 @@
+//! The mobility benchmark suite: the kernels of the dynamic-topology
+//! subsystem.
+//!
+//! Rows (all under the `mobility/` prefix, gated by the CI `bench_gate`
+//! job like every other tracked kernel):
+//!
+//! * `mobility/build_fresh/<n>` — a from-scratch [`GridIndex::build`],
+//!   the baseline the epoch reindex path is measured against;
+//! * `mobility/rebuild_from/<n>` — the in-place, allocation-reusing
+//!   [`GridIndex::rebuild_from`] over the same points;
+//! * `mobility/advance/{waypoint,drift,churn}/<n>` — one epoch of each
+//!   [`sinr_netgen::mobility`] model;
+//! * `mobility/epoch_8_rounds/<n>` — a full epoch as the engine executes
+//!   it: advance, reindex in place, then 8 grid-native rounds through a
+//!   reused [`ReceptionOracle`].
+
+use sinr_geometry::GridIndex;
+use sinr_netgen::mobility::{Mobility, MobilityModel};
+use sinr_netgen::uniform;
+use sinr_phy::{InterferenceMode, ReceptionOracle, RoundOutcome, SinrParams};
+
+use crate::microbench::{black_box, Session};
+use crate::phy_suite::DENSITY;
+
+/// Runs the suite into `session`. Under `--quick` the sizes shrink to a
+/// single small deployment.
+pub fn run(session: &mut Session) {
+    let params = SinrParams::default_plane();
+    // The quick size matches the smaller full size, so CI smoke runs
+    // gate against the committed baseline rows (a quick-only size would
+    // never be compared).
+    let sizes: &[usize] = if session.quick {
+        &[2_500]
+    } else {
+        &[2_500, 10_000]
+    };
+    for &n in sizes {
+        let side = uniform::side_for_density(n, DENSITY);
+        let pts = uniform::square(n, side, 7);
+
+        // Reindex kernels over a fixed deployment: fresh build vs the
+        // in-place rebuild (identical output, reused allocations). These
+        // rows run in the ~100µs regime where the min over few samples is
+        // noisy, so they keep the full iteration count even under
+        // `--quick` — they are the rows the CI gate watches.
+        let mut grid = GridIndex::build(&pts, 1.0);
+        session.bench_n(&format!("mobility/build_fresh/{n}"), n, 3, 20, || {
+            black_box(GridIndex::build(&pts, 1.0));
+        });
+        session.bench_n(&format!("mobility/rebuild_from/{n}"), n, 3, 20, || {
+            grid.rebuild_from(&pts);
+            black_box(&grid);
+        });
+
+        // One epoch of each motion model.
+        let models = [
+            (
+                "waypoint",
+                MobilityModel::RandomWaypoint {
+                    speed: 0.2,
+                    pause_epochs: 0,
+                },
+            ),
+            ("drift", MobilityModel::Drift { speed: 0.2 }),
+            ("churn", MobilityModel::TeleportChurn { fraction: 0.2 }),
+        ];
+        for (tag, model) in models {
+            let mut moving = pts.clone();
+            let mut mob = Mobility::over_deployment(model, &moving, 11);
+            session.bench(&format!("mobility/advance/{tag}/{n}"), n, || {
+                mob.advance(&mut moving);
+                black_box(&moving);
+            });
+        }
+
+        // A full engine epoch: move, reindex in place, resolve 8 rounds
+        // of grid-native physics through reused scratch.
+        let mut moving = pts.clone();
+        let mut mob = Mobility::over_deployment(
+            MobilityModel::RandomWaypoint {
+                speed: 0.2,
+                pause_epochs: 0,
+            },
+            &moving,
+            13,
+        );
+        let mut epoch_grid = GridIndex::build(&moving, 1.0);
+        let tx: Vec<usize> = (0..n).step_by(50).collect();
+        let mut oracle = ReceptionOracle::for_stations(n);
+        let mut out = RoundOutcome::empty();
+        session.bench(&format!("mobility/epoch_8_rounds/{n}"), n, || {
+            mob.advance(&mut moving);
+            epoch_grid.rebuild_from(&moving);
+            for _round in 0..8 {
+                oracle.resolve_into(
+                    &moving,
+                    &params,
+                    &tx,
+                    InterferenceMode::grid_native(),
+                    Some(&epoch_grid),
+                    &mut out,
+                );
+            }
+            black_box(&out);
+        });
+    }
+}

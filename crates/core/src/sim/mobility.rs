@@ -1,0 +1,112 @@
+//! Declarative mobility: a motion model plus an epoch length.
+//!
+//! A [`MobilitySpec`] makes a scenario's topology *dynamic*: the run
+//! seed materializes the epoch-0 deployment as usual, then every
+//! `epoch_rounds` rounds a [`sinr_netgen::mobility::Mobility`] state —
+//! seeded from the run seed on its own stream, confined to the bounding
+//! box of the initial deployment — moves the stations and the network
+//! reindexes in place. Like everything else in a scenario, the whole
+//! trajectory is a pure function of the run seed, so mobile sweeps
+//! replay bit-for-bit at any thread count.
+
+use sinr_netgen::mobility::MobilityModel;
+
+/// A mobility model and the number of rounds between motion epochs.
+///
+/// # Example
+///
+/// ```
+/// use sinr_core::sim::{MobilitySpec, ProtocolSpec, Scenario, TopologySpec};
+///
+/// let sim = Scenario::new(TopologySpec::UniformSquare { n: 60, side: 2.0 })
+///     .protocol(ProtocolSpec::FloodBroadcast { source: 0, p: 0.3 })
+///     .mobility(MobilitySpec::random_waypoint(0.2, 8))
+///     .budget(200)
+///     .build()?;
+/// assert_eq!(sim.run(7)?, sim.run(7)?); // mobile runs replay bit-for-bit
+/// # Ok::<(), sinr_core::sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobilitySpec {
+    /// How stations move at each epoch boundary.
+    pub model: MobilityModel,
+    /// Rounds per epoch (must be at least 1; the topology is frozen
+    /// within an epoch).
+    pub epoch_rounds: u64,
+}
+
+impl MobilitySpec {
+    /// A spec from an explicit model.
+    pub fn new(model: MobilityModel, epoch_rounds: u64) -> Self {
+        MobilitySpec {
+            model,
+            epoch_rounds,
+        }
+    }
+
+    /// Random-waypoint motion at `speed` units per epoch, no pause.
+    pub fn random_waypoint(speed: f64, epoch_rounds: u64) -> Self {
+        MobilitySpec::new(
+            MobilityModel::RandomWaypoint {
+                speed,
+                pause_epochs: 0,
+            },
+            epoch_rounds,
+        )
+    }
+
+    /// Constant-velocity drift at `speed` units per epoch, reflecting off
+    /// the deployment's bounding box.
+    pub fn drift(speed: f64, epoch_rounds: u64) -> Self {
+        MobilitySpec::new(MobilityModel::Drift { speed }, epoch_rounds)
+    }
+
+    /// Teleport churn: each epoch every station relocates uniformly with
+    /// probability `fraction`.
+    pub fn teleport_churn(fraction: f64, epoch_rounds: u64) -> Self {
+        MobilitySpec::new(MobilityModel::TeleportChurn { fraction }, epoch_rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{ProtocolSpec, Scenario, SimError, TopologySpec};
+
+    #[test]
+    fn invalid_model_parameters_fail_at_build_not_run() {
+        for spec in [
+            MobilitySpec::drift(0.0, 4),
+            MobilitySpec::random_waypoint(f64::NAN, 4),
+            MobilitySpec::teleport_churn(1.5, 4),
+        ] {
+            let built = Scenario::new(TopologySpec::UniformSquare { n: 10, side: 2.0 })
+                .protocol(ProtocolSpec::FloodBroadcast { source: 0, p: 0.5 })
+                .mobility(spec)
+                .budget(10)
+                .build();
+            match built {
+                Err(err) => assert!(matches!(err, SimError::Spec(_)), "{spec:?}: {err}"),
+                Ok(_) => panic!("{spec:?}: build accepted an invalid model"),
+            }
+        }
+    }
+
+    #[test]
+    fn constructors_fill_the_model() {
+        assert_eq!(
+            MobilitySpec::random_waypoint(0.5, 4).model,
+            MobilityModel::RandomWaypoint {
+                speed: 0.5,
+                pause_epochs: 0
+            }
+        );
+        assert_eq!(
+            MobilitySpec::drift(0.2, 2).model,
+            MobilityModel::Drift { speed: 0.2 }
+        );
+        let spec = MobilitySpec::teleport_churn(0.1, 1);
+        assert_eq!(spec.model, MobilityModel::TeleportChurn { fraction: 0.1 });
+        assert_eq!(spec.epoch_rounds, 1);
+    }
+}

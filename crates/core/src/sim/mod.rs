@@ -6,9 +6,24 @@
 //! declarative pieces — a topology, a protocol, the tuned constants and
 //! the SINR parameters — and produces a [`Simulation`] whose every run is
 //! a **pure deterministic function of one explicit `u64` seed**: the seed
-//! derives the topology stream (for generated families) and the per-node
-//! protocol randomness, so any run of any sweep can be replayed
-//! bit-for-bit, regardless of how many worker threads executed it.
+//! derives the topology stream (for generated families), the per-node
+//! protocol randomness, and — when [`Scenario::mobility`] makes the
+//! topology dynamic — the motion trajectory, so any run of any sweep can
+//! be replayed bit-for-bit, regardless of how many worker threads
+//! executed it.
+//!
+//! # Mobile topologies
+//!
+//! [`Scenario::mobility`] attaches a [`MobilitySpec`] (a
+//! [`MobilityModel`] from [`sinr_netgen::mobility`] plus an epoch
+//! length): every `epoch_rounds` rounds the stations move and the
+//! network's spatial index rebuilds **in place** — allocation-reusing,
+//! bitwise identical to a from-scratch build (`tests/mobility_equivalence.rs`)
+//! — while the reception pipeline keeps its zero-steady-state-allocation
+//! guarantee between epochs (`crates/phy/tests/oracle_alloc.rs`). Mobile
+//! runs compose with [`Simulation::sweep`] and
+//! [`Scenario::physics_threads`] under the same determinism contract as
+//! static ones.
 //!
 //! ```
 //! use sinr_core::sim::{ProtocolSpec, Scenario, TopologySpec};
@@ -59,16 +74,22 @@
 //! in `tests/scenario_golden.rs` pin the sweep properties (plus
 //! field-for-field agreement with the legacy `run_*` runners), and
 //! `tests/mode_determinism.rs` pins physics-thread invariance across
-//! every interference mode.
+//! every interference mode — for static and mobile topologies alike.
 
+mod mobility;
 mod observer;
 mod report;
 mod scenario;
 mod spec;
 mod topology;
 
+pub use mobility::MobilitySpec;
 pub use observer::{LoadObserver, Observer};
 pub use report::{Outcome, RunReport, SweepReport};
 pub use scenario::{Scenario, SimError, Simulation};
 pub use spec::ProtocolSpec;
 pub use topology::{Topology, TopologySpec};
+
+// The motion models a `MobilitySpec` names, re-exported so scenario code
+// needs no direct `sinr_netgen` import.
+pub use sinr_netgen::mobility::MobilityModel;

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
 use sinr_geometry::{MetricPoint, Point2};
+use sinr_netgen::mobility::Mobility;
 use sinr_phy::{InterferenceMode, Network, NetworkError, SinrParams};
 use sinr_runtime::{derive_seed, node_rng, Engine, Protocol};
 
@@ -17,13 +18,18 @@ use crate::stabilize::StabilizeProtocol;
 use crate::verify::Coloring;
 use crate::wakeup::{AdhocWakeupNode, EstablishedWakeupNode};
 
-use super::{Observer, Outcome, ProtocolSpec, RunReport, SweepReport, Topology};
+use super::{MobilitySpec, Observer, Outcome, ProtocolSpec, RunReport, SweepReport, Topology};
 
 /// Stream id under which run seeds derive their topology-generation seed
 /// (decorrelated from the per-node protocol streams, which use the run
 /// seed directly — matching the legacy runners bit-for-bit on explicit
 /// topologies).
 const TOPOLOGY_STREAM: u64 = 0x544F_504F; // "TOPO"
+
+/// Stream id under which run seeds derive their mobility-trajectory seed
+/// (decorrelated from both the topology stream and the per-node protocol
+/// streams, so adding mobility never perturbs either).
+const MOBILITY_STREAM: u64 = 0x4D4F_4249; // "MOBI"
 
 /// Everything that can go wrong building or running a scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +82,7 @@ pub struct Scenario<P: MetricPoint = Point2> {
     mode: InterferenceMode,
     record: bool,
     physics_threads: usize,
+    mobility: Option<MobilitySpec>,
     observers: Vec<ObserverFactory>,
 }
 
@@ -90,6 +97,7 @@ impl<P: MetricPoint> Clone for Scenario<P> {
             mode: self.mode,
             record: self.record,
             physics_threads: self.physics_threads,
+            mobility: self.mobility,
             observers: self.observers.clone(),
         }
     }
@@ -111,6 +119,7 @@ impl<P: MetricPoint> Scenario<P> {
             mode: InterferenceMode::Exact,
             record: false,
             physics_threads: 1,
+            mobility: None,
             observers: Vec::new(),
         }
     }
@@ -186,6 +195,32 @@ impl<P: MetricPoint> Scenario<P> {
         self
     }
 
+    /// Makes the topology **dynamic**: every [`MobilitySpec::epoch_rounds`]
+    /// rounds the stations move under the spec's model
+    /// ([`sinr_netgen::mobility`]) and the network reindexes in place —
+    /// allocation-reusing, with the reception pipeline's zero-allocation
+    /// guarantee intact between epochs.
+    ///
+    /// The trajectory is seeded from the run seed on its own stream, so
+    /// mobile runs stay pure functions of their seed and compose with
+    /// [`Simulation::sweep`] and [`Scenario::physics_threads`] with
+    /// byte-identical reports at any thread count (pinned by
+    /// `tests/mode_determinism.rs`). Motion is confined to the bounding
+    /// box of the deployment the seed materializes.
+    ///
+    /// Protocols that consume geometry at setup keep their epoch-0 view:
+    /// [`ProtocolSpec::DaumBroadcast`] with an implicit granularity takes
+    /// `R_s` from the initial deployment (pass `granularity` explicitly
+    /// to control the mobile baseline), and the non-engine-driven
+    /// [`ProtocolSpec::GpsOracleBroadcast`] — whose whole schedule is
+    /// precomputed from frozen geometry — is rejected at
+    /// [`Scenario::build`].
+    #[must_use]
+    pub fn mobility(mut self, spec: MobilitySpec) -> Self {
+        self.mobility = Some(spec);
+        self
+    }
+
     /// Records per-round statistics into [`RunReport::per_round`].
     #[must_use]
     pub fn record_rounds(mut self) -> Self {
@@ -216,6 +251,23 @@ impl<P: MetricPoint> Scenario<P> {
         let spec = self.protocol.as_ref().ok_or(SimError::MissingProtocol)?;
         if self.budget.is_none() && !spec.has_fixed_schedule() {
             return Err(SimError::MissingBudget);
+        }
+        if let Some(mob) = &self.mobility {
+            if mob.epoch_rounds == 0 {
+                return Err(SimError::Spec(
+                    "mobility epoch length must be at least one round".into(),
+                ));
+            }
+            // Fail fast here rather than panicking inside run()/sweep()
+            // worker threads.
+            mob.model.validate().map_err(SimError::Spec)?;
+            if matches!(spec, ProtocolSpec::GpsOracleBroadcast { .. }) {
+                return Err(SimError::Spec(
+                    "the GPS-oracle baseline precomputes a TDMA schedule from frozen \
+                     geometry and does not support mobility"
+                        .into(),
+                ));
+            }
         }
         // Resolve the machine's thread budget exactly once per
         // Simulation: sweeps and physics threads share it, so repeated
@@ -368,26 +420,48 @@ struct Driven<Pr> {
     tx_counts: Option<Vec<u64>>,
 }
 
+/// Builds the engine of one run from the scenario's execution knobs:
+/// physics threads, trace recording, and — for dynamic topologies — the
+/// mobility state, seeded from the run seed on [`MOBILITY_STREAM`] and
+/// confined to the bounding box of the materialized deployment.
+fn setup_engine<P: MetricPoint, Pr: Protocol>(
+    scenario: &Scenario<P>,
+    net: Network<P>,
+    seed: u64,
+    make: impl FnMut(usize) -> Pr,
+) -> Engine<P, Pr> {
+    let mut eng = Engine::new(net, seed, make);
+    eng.set_physics_threads(scenario.physics_threads);
+    if scenario.record {
+        eng.record_rounds();
+    }
+    if let Some(spec) = &scenario.mobility {
+        if !eng.network().is_empty() {
+            let mut mob = Mobility::over_deployment(
+                spec.model,
+                eng.network().points(),
+                derive_seed(seed, MOBILITY_STREAM, 0),
+            );
+            eng.set_mobility(spec.epoch_rounds, move |_, pts| mob.advance(pts));
+        }
+    }
+    eng
+}
+
 /// Drives an engine until all nodes satisfy `done` or `budget` rounds
 /// elapse (predicate checked *before* each round, exactly like
 /// [`Engine::run_until`] — the legacy runners' accounting).
-#[allow(clippy::too_many_arguments)]
 fn drive<P: MetricPoint, Pr: Protocol>(
+    scenario: &Scenario<P>,
     net: Network<P>,
     seed: u64,
     budget: u64,
-    physics_threads: usize,
     make: impl FnMut(usize) -> Pr,
     done: impl Fn(&Pr) -> bool,
-    record: bool,
     observers: &mut [Box<dyn Observer>],
 ) -> Driven<Pr> {
     let n = net.len();
-    let mut eng = Engine::new(net, seed, make);
-    eng.set_physics_threads(physics_threads);
-    if record {
-        eng.record_rounds();
-    }
+    let mut eng = setup_engine(scenario, net, seed, make);
     for o in observers.iter_mut() {
         o.begin(n);
     }
@@ -413,23 +487,17 @@ fn drive<P: MetricPoint, Pr: Protocol>(
 
 /// Drives an engine for exactly `rounds` rounds (fixed global schedules:
 /// coloring, consensus, leader election).
-#[allow(clippy::too_many_arguments)]
 fn drive_exact<P: MetricPoint, Pr: Protocol>(
+    scenario: &Scenario<P>,
     net: Network<P>,
     seed: u64,
     rounds: u64,
-    physics_threads: usize,
     make: impl FnMut(usize) -> Pr,
     done: impl Fn(&Pr) -> bool,
-    record: bool,
     observers: &mut [Box<dyn Observer>],
 ) -> Driven<Pr> {
     let n = net.len();
-    let mut eng = Engine::new(net, seed, make);
-    eng.set_physics_threads(physics_threads);
-    if record {
-        eng.record_rounds();
-    }
+    let mut eng = setup_engine(scenario, net, seed, make);
     for o in observers.iter_mut() {
         o.begin(n);
     }
@@ -465,27 +533,16 @@ fn finish<P: MetricPoint, Pr: Protocol>(
 
 /// The shared tail of every broadcast-style arm: drive to the goal
 /// predicate, count the stations that reached it, erase the node types.
-#[allow(clippy::too_many_arguments)]
 fn broadcast_arm<P: MetricPoint, Pr: Protocol>(
+    scenario: &Scenario<P>,
     net: Network<P>,
     seed: u64,
     budget: u64,
-    physics_threads: usize,
-    record: bool,
     observers: &mut [Box<dyn Observer>],
     make: impl FnMut(usize) -> Pr,
     done: impl Fn(&Pr) -> bool,
 ) -> (Driven<()>, usize, Outcome) {
-    let d = drive(
-        net,
-        seed,
-        budget,
-        physics_threads,
-        make,
-        &done,
-        record,
-        observers,
-    );
+    let d = drive(scenario, net, seed, budget, make, &done, observers);
     let informed = d.nodes.iter().filter(|p| done(p)).count();
     (erase(d), informed, Outcome::Broadcast)
 }
@@ -519,19 +576,16 @@ fn execute<P: MetricPoint>(
         None if spec.has_fixed_schedule() => u64::MAX,
         None => return Err(SimError::MissingBudget),
     };
-    let record = scenario.record;
-    let physics_threads = scenario.physics_threads;
     let mut observers: Vec<Box<dyn Observer>> = scenario.observers.iter().map(|f| f()).collect();
 
     let (driven, informed, outcome): (Driven<()>, usize, Outcome) = match spec.clone() {
         ProtocolSpec::NoSBroadcast { source } => {
             check_source(source, n)?;
             broadcast_arm(
+                scenario,
                 net,
                 seed,
                 budget,
-                physics_threads,
-                record,
                 &mut observers,
                 |id| NoSBroadcastNode::new(id, source, 1, n, consts),
                 NoSBroadcastNode::informed,
@@ -543,11 +597,10 @@ fn execute<P: MetricPoint>(
                 return Err(SimError::Spec(format!("estimate nu = {nu} below n = {n}")));
             }
             broadcast_arm(
+                scenario,
                 net,
                 seed,
                 budget,
-                physics_threads,
-                record,
                 &mut observers,
                 |id| NoSBroadcastNode::new(id, source, 1, nu, consts),
                 NoSBroadcastNode::informed,
@@ -556,11 +609,10 @@ fn execute<P: MetricPoint>(
         ProtocolSpec::SBroadcast { source } => {
             check_source(source, n)?;
             broadcast_arm(
+                scenario,
                 net,
                 seed,
                 budget,
-                physics_threads,
-                record,
                 &mut observers,
                 |id| SBroadcastNode::new(id, source, 1, n, consts),
                 SBroadcastNode::informed,
@@ -572,11 +624,10 @@ fn execute<P: MetricPoint>(
                 return Err(SimError::Spec(format!("estimate nu = {nu} below n = {n}")));
             }
             broadcast_arm(
+                scenario,
                 net,
                 seed,
                 budget,
-                physics_threads,
-                record,
                 &mut observers,
                 |id| SBroadcastNode::new(id, source, 1, nu, consts),
                 SBroadcastNode::informed,
@@ -586,13 +637,12 @@ fn execute<P: MetricPoint>(
             let full = crate::coloring::ColoringMachine::total_rounds(n, &consts);
             let total = full.min(budget);
             let d = drive_exact(
+                scenario,
                 net,
                 seed,
                 total,
-                physics_threads,
                 |_| StabilizeProtocol::new(n, consts),
                 |p| p.machine().is_finished(),
-                record,
                 &mut observers,
             );
             // A budget below the Fact 7 schedule truncates the run:
@@ -622,11 +672,10 @@ fn execute<P: MetricPoint>(
             let rs = granularity.or_else(|| net.granularity()).unwrap_or(1.0);
             let alpha = scenario.params.alpha();
             broadcast_arm(
+                scenario,
                 net,
                 seed,
                 budget,
-                physics_threads,
-                record,
                 &mut observers,
                 |id| DaumBroadcastNode::new(id, source, 1, n, rs, alpha),
                 DaumBroadcastNode::informed,
@@ -635,11 +684,10 @@ fn execute<P: MetricPoint>(
         ProtocolSpec::FloodBroadcast { source, p } => {
             check_source(source, n)?;
             broadcast_arm(
+                scenario,
                 net,
                 seed,
                 budget,
-                physics_threads,
-                record,
                 &mut observers,
                 |id| FloodNode::new(id, source, 1, p),
                 FloodNode::informed,
@@ -648,11 +696,10 @@ fn execute<P: MetricPoint>(
         ProtocolSpec::LocalBroadcast { source } => {
             check_source(source, n)?;
             broadcast_arm(
+                scenario,
                 net,
                 seed,
                 budget,
-                physics_threads,
-                record,
                 &mut observers,
                 |id| LocalBroadcastNode::new(id, source, 1, n, 0.5),
                 LocalBroadcastNode::informed,
@@ -678,13 +725,12 @@ fn execute<P: MetricPoint>(
                 SimError::Spec("wake schedule must wake at least one station".into())
             })?;
             let d = drive(
+                scenario,
                 net,
                 seed,
                 budget,
-                physics_threads,
                 |id| AdhocWakeupNode::new(id, &schedule, n, consts),
                 AdhocWakeupNode::awake,
-                record,
                 &mut observers,
             );
             let awake = d.nodes.iter().filter(|p| p.awake()).count();
@@ -715,11 +761,10 @@ fn execute<P: MetricPoint>(
                 )));
             }
             broadcast_arm(
+                scenario,
                 net,
                 seed,
                 budget,
-                physics_threads,
-                record,
                 &mut observers,
                 |id| EstablishedWakeupNode::new(coloring.colors[id], initiators[id], n, consts),
                 |nd: &EstablishedWakeupNode| nd.signalled,
@@ -739,13 +784,12 @@ fn execute<P: MetricPoint>(
             let window = consts.wakeup_window(n, d_bound);
             let total = (consts.coloring_rounds(n) + u64::from(bits) * window).min(budget);
             let d = drive_exact(
+                scenario,
                 net,
                 seed,
                 total,
-                physics_threads,
                 |id| ConsensusNode::new(values[id], bits, n, consts, window),
                 |p| p.decided().is_some(),
-                record,
                 &mut observers,
             );
             let decided: Vec<Option<u64>> = d.nodes.iter().map(ConsensusNode::decided).collect();
@@ -771,10 +815,10 @@ fn execute<P: MetricPoint>(
             let window = consts.wakeup_window(n, d_bound);
             let total = (consts.coloring_rounds(n) + u64::from(bits) * window).min(budget);
             let d = drive_exact(
+                scenario,
                 net,
                 seed,
                 total,
-                physics_threads,
                 |id| {
                     // Stream 1 draws IDs; stream 0 drives the protocol
                     // inside the engine (as in the legacy runner).
@@ -784,7 +828,6 @@ fn execute<P: MetricPoint>(
                     LeaderNode::new(id_value, n, consts, window)
                 },
                 |p| p.is_leader().is_some(),
-                record,
                 &mut observers,
             );
             let leaders: Vec<usize> = d
@@ -823,10 +866,10 @@ fn execute<P: MetricPoint>(
             }
             let window = consts.wakeup_window(n, d_bound);
             let d = drive(
+                scenario,
                 net,
                 seed,
                 budget,
-                physics_threads,
                 |id| {
                     crate::alert::AlertNode::new(
                         coloring.colors[id],
@@ -837,7 +880,6 @@ fn execute<P: MetricPoint>(
                     )
                 },
                 crate::alert::AlertNode::alarmed,
-                record,
                 &mut observers,
             );
             let learned_at: Vec<Option<u64>> = d.nodes.iter().map(|nd| nd.learned_at()).collect();

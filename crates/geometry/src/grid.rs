@@ -48,9 +48,28 @@ pub struct GridIndex {
     /// Member centroid of each populated cell (trailing axes stay 0);
     /// the tail evaluation points of the grid-native reception kernel.
     centroids: Vec<[f64; 3]>,
+    /// `(cell key, point index)` sort scratch, reused by the epoch
+    /// reindex path ([`GridIndex::rebuild_from`]).
+    pair_scratch: Vec<(CellKey, usize)>,
     cell_side: f64,
     axes: usize,
     len: usize,
+}
+
+/// Two indexes are equal when they index the same points into the same
+/// structure (the sort scratch, a rebuild implementation detail, does not
+/// participate) — what the epoch-reindex differential tests compare.
+impl PartialEq for GridIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.keys == other.keys
+            && self.starts == other.starts
+            && self.ids == other.ids
+            && self.store == other.store
+            && self.centroids == other.centroids
+            && self.cell_side == other.cell_side
+            && self.axes == other.axes
+            && self.len == other.len
+    }
 }
 
 impl GridIndex {
@@ -67,53 +86,87 @@ impl GridIndex {
             cell_side.is_finite() && cell_side > 0.0,
             "grid cell side must be positive and finite, got {cell_side}"
         );
-        let mut pairs: Vec<(CellKey, usize)> = points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (Self::key_of(p, cell_side), i))
-            .collect();
+        let mut index = GridIndex {
+            keys: Vec::new(),
+            starts: Vec::new(),
+            ids: Vec::new(),
+            store: PositionStore::with_axes(P::AXES),
+            centroids: Vec::new(),
+            pair_scratch: Vec::new(),
+            cell_side,
+            axes: P::AXES,
+            len: 0,
+        };
+        index.rebuild_from(points);
+        // Static indexes never rebuild: drop the sort scratch so the
+        // common path does not retain two words per point (the first
+        // real rebuild re-allocates it, once).
+        index.pair_scratch = Vec::new();
+        index
+    }
+
+    /// Rebuilds the index in place over (moved) `points` — the epoch
+    /// reindex path of dynamic topologies.
+    ///
+    /// Produces exactly the structure [`GridIndex::build`] would (the two
+    /// share one fill routine, so keys, CSR offsets, **slot order**, the
+    /// SoA position store and the per-cell centroids are all bitwise
+    /// identical to a from-scratch build — pinned by
+    /// `tests/mobility_equivalence.rs`), but reuses every allocation: once
+    /// the buffers have grown to their high-water marks, a rebuild
+    /// performs no heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point dimensionality differs from the one the index
+    /// was built with.
+    pub fn rebuild_from<P: MetricPoint>(&mut self, points: &[P]) {
+        assert_eq!(P::AXES, self.axes, "point dimensionality mismatch");
+        // Take the scratch out so the fill loop can borrow `self` mutably
+        // (mem::take leaves a capacity-less Vec, not an allocation).
+        let mut pairs = std::mem::take(&mut self.pair_scratch);
+        pairs.clear();
+        pairs.extend(
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (Self::key_of(p, self.cell_side), i)),
+        );
         pairs.sort_unstable();
-        let mut keys = Vec::new();
-        let mut starts = Vec::new();
-        let mut ids = Vec::with_capacity(pairs.len());
-        let mut store = PositionStore::with_axes(P::AXES);
-        store.reserve(pairs.len());
-        for (key, i) in pairs {
-            if keys.last() != Some(&key) {
-                keys.push(key);
-                starts.push(ids.len());
+        self.keys.clear();
+        self.starts.clear();
+        self.ids.clear();
+        self.ids.reserve(pairs.len());
+        self.store.clear();
+        self.store.reserve(pairs.len());
+        self.centroids.clear();
+        for &(key, i) in &pairs {
+            if self.keys.last() != Some(&key) {
+                self.keys.push(key);
+                self.starts.push(self.ids.len());
             }
-            ids.push(i);
-            store.push(&points[i]);
+            self.ids.push(i);
+            self.store.push(&points[i]);
         }
-        starts.push(ids.len());
+        self.starts.push(self.ids.len());
+        self.pair_scratch = pairs;
         // Per-cell member centroids: sum coordinates in member (= slot)
         // order, then scale by 1/len — the exact arithmetic the reception
         // kernels historically performed per round.
-        let mut centroids = Vec::with_capacity(keys.len());
-        for c in 0..keys.len() {
+        for c in 0..self.keys.len() {
             let mut cent = [0.0f64; 3];
-            for &i in &ids[starts[c]..starts[c + 1]] {
+            for &i in &self.ids[self.starts[c]..self.starts[c + 1]] {
                 for (axis, slot) in cent.iter_mut().enumerate().take(P::AXES) {
                     *slot += points[i].coord(axis);
                 }
             }
-            let inv = 1.0 / (starts[c + 1] - starts[c]) as f64;
+            let inv = 1.0 / (self.starts[c + 1] - self.starts[c]) as f64;
             for v in &mut cent {
                 *v *= inv;
             }
-            centroids.push(cent);
+            self.centroids.push(cent);
         }
-        GridIndex {
-            keys,
-            starts,
-            ids,
-            store,
-            centroids,
-            cell_side,
-            axes: P::AXES,
-            len: points.len(),
-        }
+        self.len = points.len();
     }
 
     fn key_of<P: MetricPoint>(p: &P, cell_side: f64) -> CellKey {
@@ -257,11 +310,7 @@ impl GridIndex {
     /// `center`'s coordinates in the fixed-width form the batch kernels
     /// take (trailing axes zero).
     fn center_coords<P: MetricPoint>(center: &P) -> [f64; 3] {
-        let mut cq = [0.0f64; 3];
-        for (axis, slot) in cq.iter_mut().enumerate().take(P::AXES) {
-            *slot = center.coord(axis);
-        }
-        cq
+        center.coords()
     }
 
     /// Nearest indexed point to `center` other than `exclude` (pass
@@ -571,6 +620,48 @@ mod tests {
             visited.sort_unstable();
             assert_eq!(visited, idx.ball_vec(&pts, Point2::new(0.2, -0.1), r));
         }
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build() {
+        let mut pts: Vec<Point2> = (0..90)
+            .map(|i| Point2::new((i as f64 * 0.43).sin() * 4.0, (i as f64 * 0.61).cos() * 4.0))
+            .collect();
+        let mut idx = GridIndex::build(&pts, 1.0);
+        for step in 0..5 {
+            for (i, p) in pts.iter_mut().enumerate() {
+                p.x += ((i + step) % 5) as f64 * 0.21 - 0.4;
+                p.y -= ((i * 3 + step) % 7) as f64 * 0.13 - 0.35;
+            }
+            idx.rebuild_from(&pts);
+            let fresh = GridIndex::build(&pts, 1.0);
+            assert_eq!(idx, fresh, "step {step}");
+            // Queries through the rebuilt index agree with brute force.
+            let got = idx.ball_vec(&pts, Point2::origin(), 2.0);
+            assert_eq!(got, brute_ball(&pts, Point2::origin(), 2.0));
+        }
+    }
+
+    #[test]
+    fn rebuild_handles_shrinking_and_growing_point_sets() {
+        let big: Vec<Point2> = (0..60).map(|i| Point2::new(i as f64 * 0.3, 0.0)).collect();
+        let small: Vec<Point2> = big[..10].to_vec();
+        let mut idx = GridIndex::build(&big, 1.0);
+        idx.rebuild_from(&small);
+        assert_eq!(idx.len(), 10);
+        assert_eq!(idx, GridIndex::build(&small, 1.0));
+        idx.rebuild_from(&big);
+        assert_eq!(idx.len(), 60);
+        assert_eq!(idx, GridIndex::build(&big, 1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rebuild_rejects_dimension_change() {
+        let pts2 = vec![Point2::origin()];
+        let mut idx = GridIndex::build(&pts2, 1.0);
+        let pts3 = vec![Point3::origin()];
+        idx.rebuild_from(&pts3);
     }
 
     // Randomized property checks below run seeded loops (the offline

@@ -44,6 +44,22 @@ pub trait MetricPoint: Copy + fmt::Debug + PartialEq + Send + Sync + 'static {
     /// Panics if `axis >= Self::AXES`.
     fn coord(&self, axis: usize) -> f64;
 
+    /// Builds a point from fixed-width coordinates (the `[f64; 3]` form
+    /// the batch kernels and mobility models work in); axes beyond
+    /// [`MetricPoint::AXES`] are ignored. Inverse of [`MetricPoint::coords`].
+    fn from_coords(coords: [f64; 3]) -> Self;
+
+    /// The point's coordinates in fixed-width form (axes beyond
+    /// [`MetricPoint::AXES`] stay `0`) — the shape every batch kernel and
+    /// mobility model works in. Inverse of [`MetricPoint::from_coords`].
+    fn coords(&self) -> [f64; 3] {
+        let mut c = [0.0f64; 3];
+        for (axis, slot) in c.iter_mut().enumerate().take(Self::AXES) {
+            *slot = self.coord(axis);
+        }
+        c
+    }
+
     /// Midpoint between `self` and `other` (used by topology generators and
     /// ball-cover heuristics). For Euclidean points this is the coordinate
     /// average.
@@ -104,6 +120,11 @@ macro_rules! euclidean_point {
             fn coord(&self, axis: usize) -> f64 {
                 let coords = [$(self.$field),+];
                 coords[axis]
+            }
+
+            fn from_coords(coords: [f64; 3]) -> Self {
+                let mut iter = coords.into_iter();
+                Self { $($field: iter.next().expect("AXES <= 3")),+ }
             }
 
             fn midpoint(&self, other: &Self) -> Self {
@@ -251,6 +272,24 @@ mod tests {
         assert_eq!(Point1::GROWTH_DIMENSION, 1.0);
         assert_eq!(Point2::GROWTH_DIMENSION, 2.0);
         assert_eq!(Point3::GROWTH_DIMENSION, 3.0);
+    }
+
+    #[test]
+    fn from_coords_inverts_coord() {
+        assert_eq!(Point1::from_coords([1.5, 9.0, 9.0]), Point1::new(1.5));
+        assert_eq!(Point2::from_coords([1.0, 2.0, 9.0]), Point2::new(1.0, 2.0));
+        assert_eq!(
+            Point3::from_coords([1.0, 2.0, 3.0]),
+            Point3::new(1.0, 2.0, 3.0)
+        );
+    }
+
+    #[test]
+    fn coords_round_trips_with_from_coords() {
+        assert_eq!(Point1::new(1.5).coords(), [1.5, 0.0, 0.0]);
+        assert_eq!(Point2::new(1.0, 2.0).coords(), [1.0, 2.0, 0.0]);
+        let p = Point3::new(1.0, -2.0, 3.0);
+        assert_eq!(Point3::from_coords(p.coords()), p);
     }
 
     #[test]

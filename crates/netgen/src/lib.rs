@@ -16,9 +16,39 @@
 //! * [`grid`] — regular lattices;
 //! * [`shapes`] — rings, bridge corridors and two-tier density contrasts;
 //! * [`perturb`] — jitter and minimum-separation repair;
-//! * [`validate`] — topology reports (connectivity, diameter, Δ, `R_s`).
+//! * [`validate`] — topology reports (connectivity, diameter, Δ, `R_s`);
+//! * [`mobility`] — dynamic topologies: random-waypoint, drift and
+//!   teleport-churn motion between epochs (see below).
 //!
 //! All generators are deterministic given a seed.
+//!
+//! # Mobility
+//!
+//! Static generators produce the epoch-0 deployment; the [`mobility`]
+//! module then moves it between epochs. A [`mobility::Mobility`] value
+//! owns all per-station motion state (so trajectories replay bit-for-bit
+//! from a seed) and advances one epoch per call, confined to the
+//! bounding box of the initial deployment by default — compose it with
+//! any generator in this crate:
+//!
+//! ```
+//! use sinr_netgen::mobility::{Mobility, MobilityModel};
+//! use sinr_netgen::uniform;
+//!
+//! // 120 stations uniform in a 3×3 square, then 5 epochs of random
+//! // waypoint motion at 0.2 units per epoch.
+//! let mut pts = uniform::square(120, 3.0, 42);
+//! let model = MobilityModel::RandomWaypoint { speed: 0.2, pause_epochs: 0 };
+//! let mut mob = Mobility::over_deployment(model, &pts, 42);
+//! for _epoch in 0..5 {
+//!     mob.advance(&mut pts);
+//!     assert!(pts.iter().all(|p| (0.0..=3.0).contains(&p.x)));
+//! }
+//! ```
+//!
+//! Simulations plug the same models in declaratively through
+//! `sinr_sim::MobilitySpec` / `Scenario::mobility`, which rebuilds the
+//! spatial index in place at every epoch boundary.
 //!
 //! # Example
 //!
@@ -39,6 +69,7 @@
 pub mod cluster;
 pub mod grid;
 pub mod line;
+pub mod mobility;
 pub mod perturb;
 pub mod shapes;
 pub mod uniform;

@@ -1,0 +1,595 @@
+//! Seed-deterministic mobility models for dynamic-topology experiments.
+//!
+//! A [`Mobility`] value owns the per-station motion state of one trial —
+//! waypoint targets, drift velocities, the model's RNG stream — and
+//! advances a position slice by **one epoch** per [`Mobility::advance`]
+//! call. Three models cover the classic dynamic-network workloads:
+//!
+//! * [`MobilityModel::RandomWaypoint`] — each station walks toward a
+//!   uniformly drawn waypoint at a fixed speed, pauses on arrival, then
+//!   draws the next waypoint (the standard ad hoc mobility benchmark);
+//! * [`MobilityModel::Drift`] — constant per-station velocities with
+//!   reflection at the domain bounds (smooth, correlated motion);
+//! * [`MobilityModel::TeleportChurn`] — each epoch every station
+//!   relocates to a fresh uniform position independently with a fixed
+//!   probability (the adversarial "memoryless churn" regime).
+//!
+//! Motion is confined to an axis-aligned [`Bounds`] box, typically the
+//! bounding box of the initial deployment ([`Bounds::of_points`]). Like
+//! every generator in this crate, trajectories are **deterministic given
+//! a seed**: the whole state lives in this struct, so equal seeds replay
+//! equal trajectories and [`Mobility::advance`] performs no heap
+//! allocations after construction (the epoch path of the zero-allocation
+//! pipeline). Stations may drift arbitrarily close together — the SINR
+//! kernels clamp distances at `SinrParams::MIN_DISTANCE`, so dynamic
+//! topologies never re-run the static min-separation check.
+//!
+//! # Example
+//!
+//! ```
+//! use sinr_netgen::mobility::{Mobility, MobilityModel};
+//! use sinr_netgen::uniform;
+//!
+//! let mut pts = uniform::square(50, 4.0, 7);
+//! let model = MobilityModel::RandomWaypoint { speed: 0.25, pause_epochs: 1 };
+//! let mut mob = Mobility::over_deployment(model, &pts, 42);
+//! for _epoch in 0..10 {
+//!     mob.advance(&mut pts);
+//! }
+//! assert_eq!(pts.len(), 50);
+//! assert!(pts.iter().all(|p| (0.0..=4.0).contains(&p.x)));
+//! ```
+
+use std::marker::PhantomData;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sinr_geometry::MetricPoint;
+
+/// How stations move between epochs. Speeds are distances per epoch;
+/// all models confine motion to the trial's [`Bounds`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilityModel {
+    /// Walk toward a uniformly drawn waypoint at `speed` per epoch; on
+    /// arrival pause for `pause_epochs` epochs, then draw the next
+    /// waypoint.
+    RandomWaypoint {
+        /// Distance covered per epoch.
+        speed: f64,
+        /// Epochs spent stationary at each reached waypoint.
+        pause_epochs: u64,
+    },
+    /// Constant per-station velocity of magnitude `speed` per epoch
+    /// (direction drawn uniformly at construction, over the
+    /// non-degenerate bounds axes so confined deployments still move at
+    /// full speed), reflecting off the bounds.
+    Drift {
+        /// Distance covered per epoch.
+        speed: f64,
+    },
+    /// Each epoch, every station independently relocates to a fresh
+    /// uniform position with probability `fraction`.
+    TeleportChurn {
+        /// Per-station relocation probability per epoch, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl MobilityModel {
+    /// Checks the model parameters, returning a description of the first
+    /// problem: a non-finite or non-positive speed, or a churn fraction
+    /// outside `[0, 1]`. Builder surfaces call this to fail fast;
+    /// [`Mobility::new`] panics on the same conditions.
+    ///
+    /// # Errors
+    ///
+    /// The human-readable description of the invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            MobilityModel::RandomWaypoint { speed, .. } | MobilityModel::Drift { speed } => {
+                if !(speed.is_finite() && speed > 0.0) {
+                    return Err(format!(
+                        "mobility speed must be positive and finite, got {speed}"
+                    ));
+                }
+            }
+            MobilityModel::TeleportChurn { fraction } => {
+                if !((0.0..=1.0).contains(&fraction) && fraction.is_finite()) {
+                    return Err(format!("churn fraction must lie in [0, 1], got {fraction}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Axis-aligned box confining station motion (axes beyond the point
+/// dimensionality stay `[0, 0]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    lo: [f64; 3],
+    hi: [f64; 3],
+    axes: usize,
+}
+
+impl Bounds {
+    /// A box with the given per-axis extents over `axes` axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axes` is not 1, 2 or 3, or `lo[a] > hi[a]` on a used
+    /// axis, or any used bound is non-finite.
+    pub fn new(lo: [f64; 3], hi: [f64; 3], axes: usize) -> Self {
+        assert!((1..=3).contains(&axes), "axes must be 1, 2 or 3");
+        for a in 0..axes {
+            assert!(
+                lo[a].is_finite() && hi[a].is_finite() && lo[a] <= hi[a],
+                "bounds axis {a}: need finite lo <= hi, got {} > {}",
+                lo[a],
+                hi[a]
+            );
+        }
+        Bounds { lo, hi, axes }
+    }
+
+    /// The bounding box of `points` — the default motion domain of a
+    /// deployment (degenerate axes are allowed: stations on a line stay
+    /// on the line).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice (there is no box to confine motion to).
+    pub fn of_points<P: MetricPoint>(points: &[P]) -> Self {
+        assert!(!points.is_empty(), "bounding box of an empty deployment");
+        let mut lo = [0.0f64; 3];
+        let mut hi = [0.0f64; 3];
+        for a in 0..P::AXES {
+            lo[a] = f64::INFINITY;
+            hi[a] = f64::NEG_INFINITY;
+            for p in points {
+                lo[a] = lo[a].min(p.coord(a));
+                hi[a] = hi[a].max(p.coord(a));
+            }
+        }
+        Bounds::new(lo, hi, P::AXES)
+    }
+
+    /// Lower corner (axes beyond the box dimensionality are `0`).
+    pub fn lo(&self) -> [f64; 3] {
+        self.lo
+    }
+
+    /// Upper corner (axes beyond the box dimensionality are `0`).
+    pub fn hi(&self) -> [f64; 3] {
+        self.hi
+    }
+
+    /// Number of coordinate axes the box spans.
+    pub fn axes(&self) -> usize {
+        self.axes
+    }
+
+    /// A uniform point of the box, in fixed-width coordinates.
+    fn sample(&self, rng: &mut SmallRng) -> [f64; 3] {
+        let mut c = [0.0f64; 3];
+        for (a, slot) in c.iter_mut().enumerate().take(self.axes) {
+            *slot = rng.gen_range(self.lo[a]..=self.hi[a]);
+        }
+        c
+    }
+
+    /// Clamps coordinate `v` on axis `a` into the box.
+    fn clamp(&self, a: usize, v: f64) -> f64 {
+        v.clamp(self.lo[a], self.hi[a])
+    }
+}
+
+/// Per-trial mobility state: one epoch of motion per [`Mobility::advance`].
+///
+/// Construct once per trial from the initial deployment and a seed; the
+/// trajectory is a pure function of `(model, bounds, points, seed)`.
+#[derive(Debug, Clone)]
+pub struct Mobility<P: MetricPoint> {
+    model: MobilityModel,
+    bounds: Bounds,
+    rng: SmallRng,
+    /// Waypoint targets (random-waypoint only).
+    targets: Vec<[f64; 3]>,
+    /// Remaining pause epochs per station (random-waypoint only).
+    pause: Vec<u64>,
+    /// Per-station velocities (drift only).
+    vel: Vec<[f64; 3]>,
+    _point: PhantomData<fn() -> P>,
+}
+
+impl<P: MetricPoint> Mobility<P> {
+    /// Mobility state over an explicit motion domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid model parameters, or when the box dimensionality
+    /// differs from the point type's.
+    pub fn new(model: MobilityModel, bounds: Bounds, points: &[P], seed: u64) -> Self {
+        if let Err(e) = model.validate() {
+            panic!("{e}");
+        }
+        assert_eq!(
+            bounds.axes(),
+            P::AXES,
+            "bounds dimensionality must match the point type"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = points.len();
+        let mut targets = Vec::new();
+        let mut pause = Vec::new();
+        let mut vel = Vec::new();
+        match model {
+            MobilityModel::RandomWaypoint { .. } => {
+                targets.reserve(n);
+                for _ in 0..n {
+                    targets.push(bounds.sample(&mut rng));
+                }
+                pause.resize(n, 0);
+            }
+            MobilityModel::Drift { speed } => {
+                let usable: Vec<usize> = (0..bounds.axes())
+                    .filter(|&a| bounds.hi()[a] > bounds.lo()[a])
+                    .collect();
+                vel.reserve(n);
+                for _ in 0..n {
+                    vel.push(draw_velocity(&mut rng, speed, &usable));
+                }
+            }
+            MobilityModel::TeleportChurn { .. } => {}
+        }
+        Mobility {
+            model,
+            bounds,
+            rng,
+            targets,
+            pause,
+            vel,
+            _point: PhantomData,
+        }
+    }
+
+    /// Mobility state confined to the bounding box of the initial
+    /// deployment — the default domain of generated topologies.
+    ///
+    /// # Panics
+    ///
+    /// As [`Mobility::new`]; additionally panics on an empty deployment.
+    pub fn over_deployment(model: MobilityModel, points: &[P], seed: u64) -> Self {
+        Mobility::new(model, Bounds::of_points(points), points, seed)
+    }
+
+    /// The model in effect.
+    pub fn model(&self) -> MobilityModel {
+        self.model
+    }
+
+    /// The motion domain.
+    pub fn bounds(&self) -> Bounds {
+        self.bounds
+    }
+
+    /// Moves every station by one epoch. Stations are visited in index
+    /// order, so the RNG stream — and therefore the whole trajectory — is
+    /// deterministic. Performs no heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` has a different length than the deployment the
+    /// state was built from.
+    pub fn advance(&mut self, points: &mut [P]) {
+        match self.model {
+            MobilityModel::RandomWaypoint {
+                speed,
+                pause_epochs,
+            } => {
+                assert_eq!(points.len(), self.targets.len(), "station count changed");
+                for (i, p) in points.iter_mut().enumerate() {
+                    if self.pause[i] > 0 {
+                        self.pause[i] -= 1;
+                        continue;
+                    }
+                    let mut c = p.coords();
+                    let t = self.targets[i];
+                    let mut d2 = 0.0;
+                    for a in 0..P::AXES {
+                        let d = t[a] - c[a];
+                        d2 += d * d;
+                    }
+                    let dist = d2.sqrt();
+                    if dist <= speed {
+                        // Arrive, pause, and draw the next waypoint now —
+                        // one RNG draw per arrival, in station order.
+                        c = t;
+                        self.pause[i] = pause_epochs;
+                        self.targets[i] = self.bounds.sample(&mut self.rng);
+                    } else {
+                        let step = speed / dist;
+                        for a in 0..P::AXES {
+                            c[a] += (t[a] - c[a]) * step;
+                        }
+                    }
+                    *p = P::from_coords(c);
+                }
+            }
+            MobilityModel::Drift { .. } => {
+                assert_eq!(points.len(), self.vel.len(), "station count changed");
+                for (i, p) in points.iter_mut().enumerate() {
+                    let mut c = p.coords();
+                    for (a, slot) in c.iter_mut().enumerate().take(P::AXES) {
+                        let mut v = *slot + self.vel[i][a];
+                        // Reflect once off either wall, then clamp (a
+                        // degenerate axis or an over-long step cannot
+                        // loop forever).
+                        if v < self.bounds.lo[a] {
+                            v = 2.0 * self.bounds.lo[a] - v;
+                            self.vel[i][a] = -self.vel[i][a];
+                        } else if v > self.bounds.hi[a] {
+                            v = 2.0 * self.bounds.hi[a] - v;
+                            self.vel[i][a] = -self.vel[i][a];
+                        }
+                        *slot = self.bounds.clamp(a, v);
+                    }
+                    *p = P::from_coords(c);
+                }
+            }
+            MobilityModel::TeleportChurn { fraction } => {
+                for p in points.iter_mut() {
+                    if self.rng.gen_range(0.0..1.0) < fraction {
+                        *p = P::from_coords(self.bounds.sample(&mut self.rng));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A velocity of magnitude `speed` with direction uniform on the sphere
+/// of the `usable` (non-degenerate) bounds axes, rejection-sampled from
+/// the unit cube, deterministically. Degenerate axes carry no velocity —
+/// otherwise the wall reflection would cancel that component every epoch
+/// and the observed per-station speed would be a random fraction of
+/// `speed` (a line deployment could even leave stations immobile). With
+/// every axis degenerate (a single-point box) the velocity is zero.
+fn draw_velocity(rng: &mut SmallRng, speed: f64, usable: &[usize]) -> [f64; 3] {
+    if usable.is_empty() {
+        return [0.0; 3];
+    }
+    loop {
+        let mut v = [0.0f64; 3];
+        let mut norm2 = 0.0f64;
+        for &a in usable {
+            v[a] = rng.gen_range(-1.0..=1.0);
+            norm2 += v[a] * v[a];
+        }
+        if norm2 > 1e-12 && norm2 <= 1.0 {
+            let scale = speed / norm2.sqrt();
+            for slot in &mut v {
+                *slot *= scale;
+            }
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform;
+    use sinr_geometry::{Point1, Point2, Point3};
+
+    fn models() -> [MobilityModel; 3] {
+        [
+            MobilityModel::RandomWaypoint {
+                speed: 0.3,
+                pause_epochs: 1,
+            },
+            MobilityModel::Drift { speed: 0.2 },
+            MobilityModel::TeleportChurn { fraction: 0.25 },
+        ]
+    }
+
+    #[test]
+    fn trajectories_are_seed_deterministic() {
+        for model in models() {
+            let base = uniform::square(40, 3.0, 9);
+            let run = |seed: u64| {
+                let mut pts = base.clone();
+                let mut mob = Mobility::over_deployment(model, &pts, seed);
+                for _ in 0..12 {
+                    mob.advance(&mut pts);
+                }
+                pts
+            };
+            assert_eq!(run(5), run(5), "{model:?}");
+            assert_ne!(run(5), run(6), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn motion_stays_in_bounds() {
+        for model in models() {
+            let mut pts = uniform::square(60, 2.5, 3);
+            let bounds = Bounds::of_points(&pts);
+            let mut mob = Mobility::new(model, bounds, &pts, 11);
+            for epoch in 0..40 {
+                mob.advance(&mut pts);
+                for (i, p) in pts.iter().enumerate() {
+                    for a in 0..2 {
+                        assert!(
+                            (bounds.lo()[a] - 1e-12..=bounds.hi()[a] + 1e-12).contains(&p.coord(a)),
+                            "{model:?}: station {i} escaped on axis {a} at epoch {epoch}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn waypoint_moves_at_most_speed_per_epoch() {
+        let mut pts = uniform::square(30, 4.0, 1);
+        let speed = 0.15;
+        let mut mob = Mobility::over_deployment(
+            MobilityModel::RandomWaypoint {
+                speed,
+                pause_epochs: 0,
+            },
+            &pts,
+            2,
+        );
+        for _ in 0..25 {
+            let before = pts.clone();
+            mob.advance(&mut pts);
+            for (b, a) in before.iter().zip(&pts) {
+                assert!(b.distance(a) <= speed + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn drift_preserves_speed_between_reflections() {
+        let mut pts = uniform::square(20, 5.0, 4);
+        let speed = 0.25;
+        let mut mob = Mobility::over_deployment(MobilityModel::Drift { speed }, &pts, 8);
+        let before = pts.clone();
+        mob.advance(&mut pts);
+        let moved = before
+            .iter()
+            .zip(&pts)
+            .filter(|(b, a)| (b.distance(a) - speed).abs() < 1e-9)
+            .count();
+        // Most stations move exactly `speed` (the rest reflected/clamped).
+        assert!(moved >= 15, "only {moved}/20 moved the full step");
+    }
+
+    #[test]
+    fn zero_churn_freezes_everyone_full_churn_moves_everyone() {
+        let base = uniform::square(50, 3.0, 6);
+        let mut frozen = base.clone();
+        Mobility::over_deployment(MobilityModel::TeleportChurn { fraction: 0.0 }, &frozen, 1)
+            .advance(&mut frozen);
+        assert_eq!(frozen, base);
+        let mut churned = base.clone();
+        Mobility::over_deployment(MobilityModel::TeleportChurn { fraction: 1.0 }, &churned, 1)
+            .advance(&mut churned);
+        let moved = base.iter().zip(&churned).filter(|(a, b)| a != b).count();
+        assert_eq!(moved, 50, "full churn relocates every station");
+    }
+
+    #[test]
+    fn works_in_one_and_three_dimensions() {
+        let mut pts1: Vec<Point1> = (0..12).map(|i| Point1::new(i as f64 * 0.4)).collect();
+        let mut mob1 = Mobility::over_deployment(MobilityModel::Drift { speed: 0.1 }, &pts1, 3);
+        mob1.advance(&mut pts1);
+        assert!(pts1.iter().all(|p| (0.0..=4.4).contains(&p.x)));
+
+        let mut pts3: Vec<Point3> = (0..12)
+            .map(|i| Point3::new(i as f64 * 0.3, (i % 3) as f64, (i % 2) as f64))
+            .collect();
+        let mut mob3 = Mobility::over_deployment(
+            MobilityModel::RandomWaypoint {
+                speed: 0.2,
+                pause_epochs: 0,
+            },
+            &pts3,
+            3,
+        );
+        mob3.advance(&mut pts3);
+        assert_eq!(pts3.len(), 12);
+    }
+
+    #[test]
+    fn degenerate_axis_keeps_line_deployments_on_the_line() {
+        // All stations share y = 1.0; the bounding box is degenerate on
+        // that axis, so every model keeps them there.
+        for model in models() {
+            let mut pts: Vec<Point2> = (0..10).map(|i| Point2::new(i as f64 * 0.4, 1.0)).collect();
+            let mut mob = Mobility::over_deployment(model, &pts, 7);
+            for _ in 0..10 {
+                mob.advance(&mut pts);
+            }
+            assert!(
+                pts.iter().all(|p| p.y == 1.0),
+                "{model:?} left the line: {pts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn drift_on_a_line_moves_at_full_speed_along_it() {
+        // The bounding box is degenerate in y, so the whole velocity
+        // budget must land on x — no station may be diluted to a
+        // fraction of `speed`.
+        let mut pts: Vec<Point2> = (0..20).map(|i| Point2::new(i as f64 * 0.5, 2.0)).collect();
+        let speed = 0.2;
+        let before = pts.clone();
+        let mut mob = Mobility::over_deployment(MobilityModel::Drift { speed }, &pts, 17);
+        mob.advance(&mut pts);
+        for (i, (b, a)) in before.iter().zip(&pts).enumerate() {
+            assert_eq!(a.y, 2.0, "station {i} left the line");
+            let moved = b.distance(a);
+            // Full step unless reflected off an end of the box (then the
+            // travelled distance folds, but never to zero here).
+            assert!(
+                (moved - speed).abs() < 1e-9 || moved > 0.0,
+                "station {i} moved {moved}"
+            );
+            assert!(
+                (b.x - a.x).abs() <= speed + 1e-12,
+                "station {i} overshot the per-epoch speed"
+            );
+        }
+        let full_steps = before
+            .iter()
+            .zip(&pts)
+            .filter(|(b, a)| (b.distance(a) - speed).abs() < 1e-9)
+            .count();
+        assert!(full_steps >= 18, "only {full_steps}/20 moved at full speed");
+    }
+
+    #[test]
+    fn validate_reports_the_bad_parameter() {
+        assert!(MobilityModel::Drift { speed: 0.2 }.validate().is_ok());
+        let err = MobilityModel::Drift { speed: f64::NAN }
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("speed"), "{err}");
+        let err = MobilityModel::TeleportChurn { fraction: 2.0 }
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("fraction"), "{err}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_speed_rejected() {
+        let pts = vec![Point2::origin(), Point2::new(1.0, 1.0)];
+        let _ = Mobility::over_deployment(
+            MobilityModel::RandomWaypoint {
+                speed: 0.0,
+                pause_epochs: 0,
+            },
+            &pts,
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn churn_fraction_above_one_rejected() {
+        let pts = vec![Point2::origin(), Point2::new(1.0, 1.0)];
+        let _ = Mobility::over_deployment(MobilityModel::TeleportChurn { fraction: 1.5 }, &pts, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_deployment_rejected() {
+        let pts: Vec<Point2> = Vec::new();
+        let _ = Mobility::over_deployment(MobilityModel::Drift { speed: 0.1 }, &pts, 0);
+    }
+}

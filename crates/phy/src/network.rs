@@ -190,6 +190,30 @@ impl<P: MetricPoint> Network<P> {
         self.mode
     }
 
+    /// Mutates the station positions in place and rebuilds the spatial
+    /// index over them — the **epoch reindex path** of dynamic
+    /// topologies.
+    ///
+    /// `update` receives the positions to move (the station count is
+    /// fixed — protocol state machines are per-station). The grid is
+    /// rebuilt through [`GridIndex::rebuild_from`], which reuses every
+    /// allocation and reproduces a from-scratch build bit-for-bit (CSR
+    /// slot order, SoA store, centroids), so reception oracles keep
+    /// resolving rounds against the network with zero steady-state heap
+    /// allocations between epochs and reuse-only behavior at boundaries.
+    ///
+    /// Two static-construction invariants deliberately do **not** re-run
+    /// here: the minimum-separation check (mobile stations may drift
+    /// arbitrarily close; the SINR kernels clamp distances at
+    /// [`SinrParams::MIN_DISTANCE`]) and the communication graph, which
+    /// keeps describing the **initial** deployment (recompute
+    /// [`CommGraph::build`] from [`Network::points`] when a per-epoch
+    /// graph is needed — no protocol consults it mid-run).
+    pub fn update_positions(&mut self, update: impl FnOnce(&mut [P])) {
+        update(&mut self.points);
+        self.grid.rebuild_from(&self.points);
+    }
+
     /// Resolves one round with transmitter set `transmitters`.
     ///
     /// One-shot convenience (allocates fresh oracle state per call). Round
@@ -331,6 +355,29 @@ mod tests {
         let _ = Network::new(pts, SinrParams::default_plane())
             .unwrap()
             .with_interference_mode(InterferenceMode::Truncated { radius: 0.5 });
+    }
+
+    #[test]
+    fn update_positions_rebuilds_the_index_in_place() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.5, 0.0),
+            Point2::new(3.0, 0.0),
+        ];
+        let mut net = Network::new(pts, SinrParams::default_plane()).unwrap();
+        assert_eq!(net.resolve(&[0]).decoded_from[1], Some(0));
+        // Move station 1 out of range and station 2 next to the source.
+        net.update_positions(|pts| {
+            pts[1] = Point2::new(5.0, 0.0);
+            pts[2] = Point2::new(0.5, 0.0);
+        });
+        assert_eq!(net.position(1), Point2::new(5.0, 0.0));
+        let out = net.resolve(&[0]);
+        assert_eq!(out.decoded_from[1], None);
+        assert_eq!(out.decoded_from[2], Some(0));
+        // The rebuilt index matches a from-scratch build over the moved
+        // points.
+        assert_eq!(*net.grid(), GridIndex::build(net.points(), 1.0));
     }
 
     #[test]

@@ -40,14 +40,14 @@ fn steady_state_round_resolution_allocates_nothing() {
     // A deployment dense enough to exercise every branch of every kernel:
     // near/far cells, multi-member buckets, interference-failed decodes.
     let n = 600;
-    let pts: Vec<Point2> = (0..n)
+    let mut pts: Vec<Point2> = (0..n)
         .map(|i| {
             let x = (i % 30) as f64 * 0.55 + ((i * 7) % 11) as f64 * 0.031;
             let y = (i / 30) as f64 * 0.55 + ((i * 13) % 9) as f64 * 0.047;
             Point2::new(x, y)
         })
         .collect();
-    let grid = GridIndex::build(&pts, 1.0);
+    let mut grid = GridIndex::build(&pts, 1.0);
     let params = SinrParams::default_plane();
     // Two transmitter sets of different sizes: switching sets must not
     // reallocate either (capacity high-water mark).
@@ -110,4 +110,60 @@ fn steady_state_round_resolution_allocates_nothing() {
     // Sanity: the warm oracle still produces correct outcomes.
     assert_eq!(out.num_transmitters, tx_small.len());
     assert!(out.decoded_from.len() == n);
+
+    // --- The epoch reindex path of dynamic topologies ---
+    //
+    // Stations oscillate between two configurations — each recomputed
+    // from a frozen base, so revisits are bit-exact (an in-place `+d`
+    // then `-d` drift would not be: fl((x+d)-d) ≠ x in general, and cell
+    // occupancy could creep past the warmed high-water mark) — and the
+    // grid rebuilds **in place** at every epoch boundary. One warm-up
+    // cycle grows the rebuild scratch to its high-water mark; after
+    // that, a full epoch — the boundary rebuild plus every round inside
+    // the epoch, in every mode — performs zero heap allocations:
+    // reindexing only ever *reuses* buffers.
+    let base = pts.clone();
+    let place = |pts: &mut [Point2], phase: f64| {
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.x = base[i].x + phase * (0.35 + ((i % 7) as f64) * 0.11);
+            p.y = base[i].y + phase * (0.20 + ((i % 5) as f64) * 0.09);
+        }
+    };
+    // Warm-up cycle: out and back.
+    for phase in [1.0, 0.0] {
+        place(&mut pts, phase);
+        grid.rebuild_from(&pts);
+        for mode in modes {
+            oracle.resolve_into(&pts, &params, &tx_big, mode, Some(&grid), &mut out);
+        }
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _cycle in 0..10 {
+        for phase in [1.0, 0.0] {
+            // Epoch boundary: move and reindex in place.
+            place(&mut pts, phase);
+            grid.rebuild_from(&pts);
+            // Rounds within the epoch.
+            for mode in modes {
+                oracle.resolve_into(&pts, &params, &tx_big, mode, Some(&grid), &mut out);
+                oracle.resolve_into_with(
+                    &pts,
+                    &params,
+                    &tx_small,
+                    mode,
+                    Some(&grid),
+                    &mut pool,
+                    &mut out,
+                );
+            }
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "epoch reindexing performed {} heap allocations over 20 epochs",
+        after - before
+    );
+    assert_eq!(out.num_transmitters, tx_small.len());
 }

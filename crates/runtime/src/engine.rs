@@ -17,6 +17,20 @@ pub struct RunResult {
     pub completed: bool,
 }
 
+/// The boxed epoch mover of a dynamic-topology trial: called with the
+/// epoch index and the positions to update.
+type Mover<P> = Box<dyn FnMut(u64, &mut [P])>;
+
+/// Epoch-boundary motion hook of a dynamic-topology trial.
+struct Mobility<P> {
+    /// Rounds per epoch (boundaries fall at round numbers divisible by
+    /// this).
+    epoch_rounds: u64,
+    /// Moves the stations by one epoch; called with the epoch index
+    /// (1 at the first boundary) and the positions to update.
+    mover: Mover<P>,
+}
+
 /// Drives a set of per-node [`Protocol`] state machines over a
 /// [`Network`], resolving each round through the SINR oracle.
 ///
@@ -70,6 +84,10 @@ pub struct Engine<P: MetricPoint, Pr: Protocol> {
     // at the default one thread).
     pool: KernelPool,
     outcome: RoundOutcome,
+    /// Dynamic-topology hook: between epochs the network is frozen, at
+    /// epoch boundaries the mover updates positions and the network
+    /// reindexes in place.
+    mobility: Option<Mobility<P>>,
 }
 
 impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
@@ -93,7 +111,32 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
             oracle,
             pool: KernelPool::serial(),
             outcome: RoundOutcome::empty(),
+            mobility: None,
         }
+    }
+
+    /// Makes the topology dynamic: every `epoch_rounds` rounds, `mover`
+    /// updates the station positions and the network reindexes **in
+    /// place** ([`Network::update_positions`] — allocation-reusing, CSR
+    /// slot order preserved), so the reception pipeline stays
+    /// zero-allocation between epochs. The oracle re-plans from the
+    /// rebuilt index on the next round automatically: its plan stage runs
+    /// per round against the network's current grid.
+    ///
+    /// `mover` receives the epoch index (1 at the first boundary, i.e.
+    /// before round `epoch_rounds`) and the positions to move; it must be
+    /// deterministic for reproducible runs. The round *schedule* is
+    /// unaffected — only where stations sit when rounds resolve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_rounds` is zero.
+    pub fn set_mobility(&mut self, epoch_rounds: u64, mover: impl FnMut(u64, &mut [P]) + 'static) {
+        assert!(epoch_rounds > 0, "epoch length must be at least one round");
+        self.mobility = Some(Mobility {
+            epoch_rounds,
+            mover: Box::new(mover),
+        });
     }
 
     /// Shards each round's physics accumulate stage across up to
@@ -159,6 +202,15 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
 
     /// Executes one synchronous round; returns its statistics.
     pub fn step(&mut self) -> RoundStats {
+        // Epoch boundary first: stations move *between* rounds, so the
+        // round about to resolve already sees the new positions.
+        if let Some(m) = self.mobility.as_mut() {
+            if self.round > 0 && self.round % m.epoch_rounds == 0 {
+                let epoch = self.round / m.epoch_rounds;
+                let mover = &mut m.mover;
+                self.net.update_positions(|pts| mover(epoch, pts));
+            }
+        }
         let n = self.net.len();
         self.tx_ids.clear();
         self.tx_msgs.clear();
@@ -415,6 +467,41 @@ mod tests {
         let serial = run(1);
         assert_eq!(serial, run(2));
         assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn mobility_hook_fires_between_epochs_and_moves_reception() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        // Node 0 beacons every round; the mover teleports node 1 out of
+        // range on odd epochs and back on even ones, so receptions count
+        // exactly the rounds spent near.
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let log = Rc::clone(&seen);
+        let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
+        eng.set_mobility(2, move |epoch, pts: &mut [Point2]| {
+            log.borrow_mut().push(epoch);
+            pts[1] = if epoch % 2 == 1 {
+                Point2::new(50.0, 0.0)
+            } else {
+                Point2::new(0.5, 0.0)
+            };
+        });
+        eng.run_rounds(8);
+        assert_eq!(*seen.borrow(), vec![1, 2, 3], "one call per boundary");
+        assert_eq!(
+            eng.rx_counts()[1],
+            4,
+            "near during rounds 0-1 and 4-5, far during 2-3 and 6-7"
+        );
+        assert_eq!(eng.network().position(1), Point2::new(50.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_epoch_length_rejected() {
+        let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
+        eng.set_mobility(0, |_, _: &mut [Point2]| {});
     }
 
     #[test]

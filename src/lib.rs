@@ -15,10 +15,10 @@
 //! | [`geometry`] | points, bounded-growth metrics, spatial index |
 //! | [`phy`] | SINR parameters, exact reception oracle, communication graphs |
 //! | [`runtime`] | synchronous round engine, protocol trait, wake schedules |
-//! | [`netgen`] | topology generators (uniform, clusters, geometric lines) |
+//! | [`netgen`] | topology generators (uniform, clusters, geometric lines) and mobility models (random waypoint, drift, teleport churn) |
 //! | [`stats`] | summaries, scaling-law fits, tables |
 //! | [`core`] | `StabilizeProbability` coloring, `NoSBroadcast`, `SBroadcast`, wake-up, consensus, leader election, baselines |
-//! | [`sim`] | the `Scenario` builder: declarative topologies, protocol registry, parallel seed sweeps |
+//! | [`sim`] | the `Scenario` builder: declarative topologies (static or mobile), protocol registry, parallel seed sweeps |
 //!
 //! # Quickstart
 //!

@@ -11,7 +11,7 @@ use sinr_broadcast::geometry::Point2;
 use sinr_broadcast::netgen::{cluster, line, uniform};
 use sinr_broadcast::phy::SinrParams;
 use sinr_broadcast::runtime::derive_seed;
-use sinr_broadcast::sim::{ProtocolSpec, Scenario, TopologySpec};
+use sinr_broadcast::sim::{MobilitySpec, ProtocolSpec, Scenario, TopologySpec};
 
 #[test]
 fn seed_derivation_pinned() {
@@ -111,6 +111,35 @@ fn reception_oracle_pinned_case() {
     ];
     let out3 = resolve_round(&pts3, &params, &[0, 2], InterferenceMode::Exact, None);
     assert_eq!(out3.decoded_from[1], None, "marginal jam case flipped");
+}
+
+#[test]
+fn mobile_broadcast_golden() {
+    // A seeded mobile run pinned end to end: flood over a 6×6 lattice
+    // with random-waypoint motion every 4 rounds. Any change to the
+    // mobility stream derivation, the waypoint arithmetic, or the epoch
+    // reindex path flips these values and must be reviewed deliberately
+    // (the example `examples/mobile_broadcast.rs` exercises the same
+    // builder surface at scale).
+    let sim = Scenario::new(TopologySpec::Lattice {
+        rows: 6,
+        cols: 6,
+        spacing: 0.6,
+    })
+    .protocol(ProtocolSpec::FloodBroadcast { source: 0, p: 0.3 })
+    .mobility(MobilitySpec::random_waypoint(0.2, 4))
+    .budget(500)
+    .build()
+    .unwrap();
+    let a = sim.run(2014).unwrap();
+    assert_eq!(a, sim.run(2014).unwrap(), "mobile golden run must replay");
+    assert!(a.completed);
+    assert_eq!(a.informed, 36);
+    assert_eq!(a.rounds, 16, "pinned mobile flood round count drifted");
+    assert_eq!(
+        a.total_transmissions, 84,
+        "pinned mobile flood energy drifted"
+    );
 }
 
 #[test]
