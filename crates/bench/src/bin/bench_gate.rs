@@ -27,7 +27,7 @@ use std::process::ExitCode;
 use sinr_bench::microbench::parse_records;
 
 /// Record-name prefixes the gate enforces.
-const TRACKED: &[&str] = &["oracle/", "broadcast/", "coloring/", "mobility/"];
+const TRACKED: &[&str] = &["oracle/", "broadcast/", "coloring/", "mobility/", "churn/"];
 
 struct Args {
     baseline: String,

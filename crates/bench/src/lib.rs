@@ -28,6 +28,7 @@
 //! seed loops live here, once.
 
 pub mod broadcast_suite;
+pub mod churn_suite;
 pub mod coloring_suite;
 pub mod config;
 pub mod experiments;

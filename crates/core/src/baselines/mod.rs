@@ -6,14 +6,18 @@
 //! * [`local`] — adaptive local-broadcast-style flooding after
 //!   Halldórsson & Mitra (FOMC 2012), the paper's reference [11];
 //! * [`gps`] — the GPS-oracle grid TDMA, full geometry knowledge in its
-//!   strongest form (the yardstick for the paper's title question).
+//!   strongest form (the yardstick for the paper's title question);
+//! * [`reflood`] — burst-based re-flooding, the mobility/churn-aware
+//!   flooding variant that re-seeds on topology changes.
 
 pub mod daum;
 pub mod flood;
 pub mod gps;
 pub mod local;
+pub mod reflood;
 
 pub use daum::DaumBroadcastNode;
 pub use flood::FloodNode;
 pub use gps::run_gps_oracle_broadcast;
 pub use local::LocalBroadcastNode;
+pub use reflood::ReFloodNode;

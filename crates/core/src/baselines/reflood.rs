@@ -1,0 +1,237 @@
+//! Re-flooding broadcast — the mobility/churn-aware flooding variant.
+//!
+//! Plain flooding ([`crate::baselines::flood`]) keeps every informed
+//! station transmitting forever, so it reaches late joiners but burns
+//! energy linearly in the run length. The re-flooding variant is
+//! **burst-based**: an informed station floods (probability `p` per
+//! round) for a fixed burst of rounds, then goes dormant — and *re-seeds*
+//! a fresh burst whenever the epoch-refreshed communication graph reports
+//! that the topology changed in a way that can leave somebody uninformed:
+//!
+//! * a station joined or rejoined ([`TopologyChange::joined`] — it starts
+//!   uninformed, or rejoined at a position in a new component);
+//! * the live graph is, or just was, disconnected
+//!   ([`TopologyChange::may_alter_reachability`]): a partition may have
+//!   healed, or motion may have spliced stations between components that
+//!   remain separate overall — either way somebody newly reachable may be
+//!   uninformed;
+//! * the node itself rejoined the network while informed
+//!   ([`sinr_runtime::Protocol::on_join`] — its new position may sit in a
+//!   component that never heard the message).
+//!
+//! On a static topology this degrades gracefully to "flood for one burst,
+//! then stop" — and under churn it keeps total transmissions proportional
+//! to the number of topology events rather than the run length (see
+//! `examples/churn_broadcast.rs` for the measured comparison).
+
+use sinr_runtime::{bernoulli, NodeCtx, Protocol, TopologyChange};
+
+/// Per-node state machine of burst-based re-flooding broadcast.
+#[derive(Debug)]
+pub struct ReFloodNode {
+    payload: Option<u64>,
+    informed_at: Option<u64>,
+    p: f64,
+    /// Rounds of active flooding granted per (re)seed.
+    burst: u64,
+    /// Rounds of active flooding remaining.
+    active_left: u64,
+}
+
+impl ReFloodNode {
+    /// Creates the node; each (re)seed lets an informed station transmit
+    /// with probability `p` per round for `burst` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p <= 1` and `burst > 0`.
+    pub fn new(id: usize, source: usize, payload: u64, p: f64, burst: u64) -> Self {
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "re-flood probability must be in (0,1], got {p}"
+        );
+        assert!(burst > 0, "re-flood burst must last at least one round");
+        let informed = id == source;
+        ReFloodNode {
+            payload: informed.then_some(payload),
+            informed_at: informed.then_some(0),
+            p,
+            burst,
+            active_left: if informed { burst } else { 0 },
+        }
+    }
+
+    /// Whether the node holds the message.
+    pub fn informed(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    /// Round at which the node became informed.
+    pub fn informed_at(&self) -> Option<u64> {
+        self.informed_at
+    }
+
+    /// Whether the node is currently in an active flooding burst.
+    pub fn active(&self) -> bool {
+        self.payload.is_some() && self.active_left > 0
+    }
+
+    /// Grants a fresh flooding burst if the node is informed.
+    fn reseed(&mut self) {
+        if self.payload.is_some() {
+            self.active_left = self.burst;
+        }
+    }
+}
+
+impl Protocol for ReFloodNode {
+    type Msg = u64;
+
+    fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<u64> {
+        if self.active_left == 0 {
+            return None;
+        }
+        let payload = self.payload?;
+        bernoulli(ctx.rng, self.p).then_some(payload)
+    }
+
+    fn on_round_end(&mut self, ctx: &mut NodeCtx<'_>, _tx: bool, rx: Option<&u64>) {
+        if self.active_left > 0 {
+            self.active_left -= 1;
+        }
+        if let Some(&msg) = rx {
+            if self.payload.is_none() {
+                self.payload = Some(msg);
+                self.informed_at = Some(ctx.round);
+                self.active_left = self.burst;
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        // Dormancy is not incompleteness: the goal is holding the
+        // message, not transmitting it.
+        self.informed()
+    }
+
+    fn on_join(&mut self, _ctx: &mut NodeCtx<'_>) {
+        // A rejoining station keeps its memory; if it was informed, its
+        // new random position may lie in an uninformed component —
+        // re-seed. (Freshly spawned nodes are uninformed; no-op.)
+        self.reseed();
+    }
+
+    fn on_topology_change(&mut self, _ctx: &mut NodeCtx<'_>, change: &TopologyChange) {
+        if change.may_alter_reachability() {
+            self.reseed();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point2;
+    use sinr_phy::{ChurnDelta, Network, SinrParams};
+    use sinr_runtime::Engine;
+
+    fn line_net(n: usize) -> Network<Point2> {
+        let pts: Vec<Point2> = (0..n).map(|i| Point2::new(i as f64 * 0.45, 0.0)).collect();
+        Network::new(pts, SinrParams::default_plane()).unwrap()
+    }
+
+    #[test]
+    fn floods_a_path_then_goes_dormant() {
+        let mut eng = Engine::new(line_net(5), 1, |id| ReFloodNode::new(id, 0, 3, 0.3, 200));
+        let res = eng.run_until_all_done(10_000);
+        assert!(res.completed);
+        // Burn down every remaining burst: transmissions must stop.
+        eng.run_rounds(300);
+        let tx_after_dormant = eng.trace().total_transmissions();
+        eng.run_rounds(100);
+        assert_eq!(
+            eng.trace().total_transmissions(),
+            tx_after_dormant,
+            "dormant nodes keep silent on a static topology"
+        );
+        assert!(eng.nodes().iter().all(|nd| !nd.active()));
+    }
+
+    #[test]
+    fn reseeds_when_a_station_joins() {
+        // Source informs station 1, bursts expire, then a new station
+        // spawns in range: the topology event re-seeds flooding and the
+        // newcomer still learns the message.
+        let mut eng = Engine::new(line_net(2), 7, |id| ReFloodNode::new(id, 0, 3, 0.5, 20));
+        eng.set_churn(
+            60,
+            |epoch, _, delta: &mut ChurnDelta<Point2>| {
+                if epoch == 1 {
+                    delta.spawns.push(Point2::new(0.2, 0.3));
+                }
+            },
+            |id| ReFloodNode::new(id, usize::MAX, 3, 0.5, 20),
+        );
+        eng.run_rounds(55);
+        assert!(eng.nodes()[1].informed());
+        assert!(
+            eng.nodes().iter().all(|nd| !nd.active()),
+            "bursts exhausted before the join"
+        );
+        eng.run_rounds(60);
+        assert_eq!(eng.nodes().len(), 3);
+        assert!(
+            eng.nodes()[2].informed(),
+            "re-seeded burst reached the spawned station"
+        );
+    }
+
+    #[test]
+    fn reseeds_when_mobility_splices_a_disconnected_graph() {
+        // Three components: the informed pair {0, 1}, the far station 2,
+        // and the farther station 3 — the live graph stays disconnected
+        // the whole run. After the bursts expire, mobility moves 2 next
+        // to the informed (dormant) pair; the boundary reports a still-
+        // disconnected graph with no joins, which must nevertheless
+        // re-seed flooding (reachability changed) so 2 learns the
+        // message.
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.45, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(20.0, 0.0),
+        ];
+        let net = Network::new(pts, SinrParams::default_plane()).unwrap();
+        let mut eng = Engine::new(net, 7, |id| ReFloodNode::new(id, 0, 3, 0.5, 20));
+        eng.set_mobility(40, |epoch, pts: &mut [Point2]| {
+            if epoch == 1 {
+                pts[2] = Point2::new(0.2, 0.35);
+            }
+        });
+        eng.run_rounds(38);
+        assert!(eng.nodes()[1].informed());
+        assert!(!eng.nodes()[2].informed());
+        assert!(
+            eng.nodes().iter().all(|nd| !nd.active()),
+            "bursts exhausted before the move"
+        );
+        eng.run_rounds(42);
+        assert!(
+            eng.nodes()[2].informed(),
+            "re-seeded burst reached the spliced-in station"
+        );
+        assert!(!eng.nodes()[3].informed(), "station 3 stays unreachable");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_burst() {
+        let _ = ReFloodNode::new(0, 0, 1, 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_probability() {
+        let _ = ReFloodNode::new(0, 0, 1, 0.0, 10);
+    }
+}

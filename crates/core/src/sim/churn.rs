@@ -1,0 +1,137 @@
+//! Declarative population churn: a lifecycle model plus an epoch length.
+//!
+//! A [`ChurnSpec`] makes a scenario's *population* dynamic: the run seed
+//! materializes the epoch-0 deployment as usual, then every
+//! `epoch_rounds` rounds a [`sinr_netgen::churn::ChurnProcess`] — seeded
+//! from the run seed on its own stream, with arrivals confined to the
+//! bounding box of the initial deployment — kills, rejoins and spawns
+//! stations, and the network rebuilds its spatial index and communication
+//! graph in place. Station indices are **stable**: dead stations keep
+//! their rows in every per-station vector (tombstones), spawns append.
+//! Like everything else in a scenario, the whole churn schedule is a pure
+//! function of the run seed, so churned sweeps replay bit-for-bit at any
+//! thread count.
+//!
+//! The broadcast source (when the protocol has one) is protected from
+//! churn: killing it would make the dissemination goal undefined.
+
+use sinr_netgen::churn::ChurnModel;
+
+/// A churn model and the number of rounds between churn epochs.
+///
+/// # Example
+///
+/// ```
+/// use sinr_core::sim::{ChurnSpec, ProtocolSpec, Scenario, TopologySpec};
+///
+/// let sim = Scenario::new(TopologySpec::UniformSquare { n: 60, side: 2.0 })
+///     .protocol(ProtocolSpec::ReFloodBroadcast { source: 0, p: 0.3, burst_rounds: 32 })
+///     .churn(ChurnSpec::poisson(1.0, 12.0, 8))
+///     .budget(200)
+///     .build()?;
+/// assert_eq!(sim.run(7)?, sim.run(7)?); // churned runs replay bit-for-bit
+/// # Ok::<(), sinr_core::sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnSpec {
+    /// The station lifecycle at each epoch boundary.
+    pub model: ChurnModel,
+    /// Rounds per churn epoch (must be at least 1; the population is
+    /// frozen within an epoch). Independent of any
+    /// [`super::MobilitySpec::epoch_rounds`] — the two hooks fire on
+    /// their own schedules.
+    pub epoch_rounds: u64,
+}
+
+impl ChurnSpec {
+    /// A spec from an explicit model.
+    pub fn new(model: ChurnModel, epoch_rounds: u64) -> Self {
+        ChurnSpec {
+            model,
+            epoch_rounds,
+        }
+    }
+
+    /// Poisson arrivals at `arrival_rate` expected joins per epoch and
+    /// geometric lifetimes of `mean_lifetime` expected epochs.
+    pub fn poisson(arrival_rate: f64, mean_lifetime: f64, epoch_rounds: u64) -> Self {
+        ChurnSpec::new(
+            ChurnModel {
+                arrival_rate,
+                mean_lifetime,
+            },
+            epoch_rounds,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{ProtocolSpec, Scenario, SimError, TopologySpec};
+
+    fn scenario_with(spec: ChurnSpec, protocol: ProtocolSpec) -> Result<(), SimError> {
+        Scenario::new(TopologySpec::UniformSquare { n: 10, side: 2.0 })
+            .protocol(protocol)
+            .churn(spec)
+            .budget(10)
+            .build()
+            .map(|_| ())
+    }
+
+    #[test]
+    fn invalid_model_parameters_fail_at_build_not_run() {
+        for spec in [
+            ChurnSpec::poisson(-1.0, 10.0, 4), // negative rate
+            ChurnSpec::poisson(1.0, 0.0, 4),   // zero lifetime
+            ChurnSpec::poisson(f64::NAN, 10.0, 4),
+            ChurnSpec::poisson(1.0, f64::INFINITY, 4),
+            ChurnSpec::poisson(1.0, 10.0, 0), // zero epoch length
+        ] {
+            let built = scenario_with(spec, ProtocolSpec::FloodBroadcast { source: 0, p: 0.5 });
+            match built {
+                Err(err) => assert!(matches!(err, SimError::Spec(_)), "{spec:?}: {err}"),
+                Ok(()) => panic!("{spec:?}: build accepted an invalid churn spec"),
+            }
+        }
+    }
+
+    #[test]
+    fn churn_with_gps_oracle_baseline_fails_at_build() {
+        let err = scenario_with(
+            ChurnSpec::poisson(1.0, 10.0, 4),
+            ProtocolSpec::GpsOracleBroadcast { source: 0 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Spec(_)), "{err}");
+    }
+
+    #[test]
+    fn churn_with_fixed_schedule_protocols_fails_at_build() {
+        for protocol in [
+            ProtocolSpec::Coloring,
+            ProtocolSpec::LeaderElection { d_bound: 4 },
+        ] {
+            let err =
+                scenario_with(ChurnSpec::poisson(1.0, 10.0, 4), protocol.clone()).unwrap_err();
+            assert!(
+                matches!(err, SimError::Spec(_)),
+                "{}: {err}",
+                protocol.name()
+            );
+        }
+    }
+
+    #[test]
+    fn constructors_fill_the_model() {
+        let spec = ChurnSpec::poisson(1.5, 20.0, 8);
+        assert_eq!(
+            spec.model,
+            ChurnModel {
+                arrival_rate: 1.5,
+                mean_lifetime: 20.0
+            }
+        );
+        assert_eq!(spec.epoch_rounds, 8);
+    }
+}

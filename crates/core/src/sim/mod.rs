@@ -41,6 +41,47 @@
 //! # Ok::<(), sinr_core::sim::SimError>(())
 //! ```
 //!
+//! # Dynamic populations
+//!
+//! [`Scenario::churn`] attaches a [`ChurnSpec`] (a [`ChurnModel`] from
+//! [`sinr_netgen::churn`] plus an epoch length): every `epoch_rounds`
+//! rounds stations die (geometric lifetimes), rejoin at fresh uniform
+//! positions, and spawn (Poisson arrivals) — and the network rebuilds its
+//! spatial index **and communication graph** in place, bit-identical to
+//! fresh builds of the surviving population (`tests/churn_equivalence.rs`).
+//! Station indices are stable: dead stations keep their rows in every
+//! per-station vector (tombstones), spawns append, so reports stay
+//! index-aligned across the whole run. Dead stations neither transmit
+//! nor receive, never block completion, and their RNG streams freeze
+//! while they are down. Protocols observe the lifecycle through the
+//! `on_join` / `on_leave` / `on_topology_change` hooks — the
+//! mobility-aware [`ProtocolSpec::ReFloodBroadcast`] uses them to re-seed
+//! flooding exactly when the epoch-refreshed graph reports newly joined
+//! stations or a reconnected component. Churn composes with
+//! [`Scenario::mobility`] (independent epoch schedules),
+//! [`Simulation::sweep`] and [`Scenario::physics_threads`] under the same
+//! determinism contract as everything else; the churn schedule derives
+//! from the run seed on its own stream, making it a first-class,
+//! independently replayable input. Only protocols whose per-station goal
+//! makes sense for mid-run arrivals accept churn
+//! ([`ProtocolSpec::supports_churn`]); invalid churn parameters (zero
+//! lifetimes, negative rates) and unsupported combinations (e.g. the
+//! GPS-oracle baseline) fail at [`Scenario::build`] with
+//! [`SimError::Spec`] instead of panicking inside sweep workers.
+//!
+//! ```
+//! use sinr_core::sim::{ChurnSpec, MobilitySpec, ProtocolSpec, Scenario, TopologySpec};
+//!
+//! let sim = Scenario::new(TopologySpec::UniformSquare { n: 80, side: 2.5 })
+//!     .protocol(ProtocolSpec::ReFloodBroadcast { source: 0, p: 0.25, burst_rounds: 24 })
+//!     .mobility(MobilitySpec::random_waypoint(0.2, 8))
+//!     .churn(ChurnSpec::poisson(1.0, 10.0, 8))
+//!     .budget(400)
+//!     .build()?;
+//! assert_eq!(sim.run(7)?, sim.run(7)?); // churned runs replay bit-for-bit
+//! # Ok::<(), sinr_core::sim::SimError>(())
+//! ```
+//!
 //! # Protocol registry → paper map
 //!
 //! | [`ProtocolSpec`] variant | paper result |
@@ -53,6 +94,7 @@
 //! | [`ProtocolSpec::DaumBroadcast`] | the Daum et al. decay baseline the paper compares against (granularity-dependent) |
 //! | [`ProtocolSpec::FloodBroadcast`] | the fixed-probability strawman of the introduction |
 //! | [`ProtocolSpec::LocalBroadcast`] | adaptive local-broadcast-style flooding baseline |
+//! | [`ProtocolSpec::ReFloodBroadcast`] | mobility/churn-aware re-flooding variant (re-seeds on topology change; beyond the paper's static model) |
 //! | [`ProtocolSpec::GpsOracleBroadcast`] | the "geometry known" upper bound (references [14, 15] strengthened to an oracle) |
 //! | [`ProtocolSpec::AdhocWakeup`] | Section 5: ad hoc wake-up in `O(D log² n)` from the first wake-up |
 //! | [`ProtocolSpec::EstablishedWakeup`] | Fact 11: wake-up over an established coloring in `O(D log n + log² n)` |
@@ -76,6 +118,7 @@
 //! `tests/mode_determinism.rs` pins physics-thread invariance across
 //! every interference mode — for static and mobile topologies alike.
 
+mod churn;
 mod mobility;
 mod observer;
 mod report;
@@ -83,6 +126,7 @@ mod scenario;
 mod spec;
 mod topology;
 
+pub use churn::ChurnSpec;
 pub use mobility::MobilitySpec;
 pub use observer::{LoadObserver, Observer};
 pub use report::{Outcome, RunReport, SweepReport};
@@ -90,6 +134,7 @@ pub use scenario::{Scenario, SimError, Simulation};
 pub use spec::ProtocolSpec;
 pub use topology::{Topology, TopologySpec};
 
-// The motion models a `MobilitySpec` names, re-exported so scenario code
-// needs no direct `sinr_netgen` import.
+// The motion and lifecycle models the dynamic specs name, re-exported so
+// scenario code needs no direct `sinr_netgen` import.
+pub use sinr_netgen::churn::ChurnModel;
 pub use sinr_netgen::mobility::MobilityModel;

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
 use sinr_geometry::{MetricPoint, Point2};
+use sinr_netgen::churn::ChurnProcess;
 use sinr_netgen::mobility::Mobility;
 use sinr_phy::{InterferenceMode, Network, NetworkError, SinrParams};
 use sinr_runtime::{derive_seed, node_rng, Engine, Protocol};
@@ -18,7 +19,9 @@ use crate::stabilize::StabilizeProtocol;
 use crate::verify::Coloring;
 use crate::wakeup::{AdhocWakeupNode, EstablishedWakeupNode};
 
-use super::{MobilitySpec, Observer, Outcome, ProtocolSpec, RunReport, SweepReport, Topology};
+use super::{
+    ChurnSpec, MobilitySpec, Observer, Outcome, ProtocolSpec, RunReport, SweepReport, Topology,
+};
 
 /// Stream id under which run seeds derive their topology-generation seed
 /// (decorrelated from the per-node protocol streams, which use the run
@@ -30,6 +33,12 @@ const TOPOLOGY_STREAM: u64 = 0x544F_504F; // "TOPO"
 /// (decorrelated from both the topology stream and the per-node protocol
 /// streams, so adding mobility never perturbs either).
 const MOBILITY_STREAM: u64 = 0x4D4F_4249; // "MOBI"
+
+/// Stream id under which run seeds derive their churn-schedule seed (its
+/// own stream, so adding churn perturbs neither the topology, the
+/// per-node randomness, nor the mobility trajectory — the seeded churn
+/// schedule is a first-class, independently replayable input).
+const CHURN_STREAM: u64 = 0x4348_5552; // "CHUR"
 
 /// Everything that can go wrong building or running a scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +92,7 @@ pub struct Scenario<P: MetricPoint = Point2> {
     record: bool,
     physics_threads: usize,
     mobility: Option<MobilitySpec>,
+    churn: Option<ChurnSpec>,
     observers: Vec<ObserverFactory>,
 }
 
@@ -98,6 +108,7 @@ impl<P: MetricPoint> Clone for Scenario<P> {
             record: self.record,
             physics_threads: self.physics_threads,
             mobility: self.mobility,
+            churn: self.churn,
             observers: self.observers.clone(),
         }
     }
@@ -120,6 +131,7 @@ impl<P: MetricPoint> Scenario<P> {
             record: false,
             physics_threads: 1,
             mobility: None,
+            churn: None,
             observers: Vec::new(),
         }
     }
@@ -221,6 +233,33 @@ impl<P: MetricPoint> Scenario<P> {
         self
     }
 
+    /// Makes the **population** dynamic: every
+    /// [`ChurnSpec::epoch_rounds`] rounds a seed-derived
+    /// [`sinr_netgen::churn::ChurnProcess`] kills, rejoins and spawns
+    /// stations, and the network rebuilds its spatial index and
+    /// communication graph in place. Station indices are stable
+    /// (tombstones; spawns append), dead stations neither transmit nor
+    /// receive, and protocols observe the lifecycle through
+    /// `on_join`/`on_leave`/`on_topology_change`.
+    ///
+    /// The schedule is seeded from the run seed on its own stream, so
+    /// churned runs stay pure functions of their seed and compose with
+    /// [`Simulation::sweep`], [`Scenario::physics_threads`] and
+    /// [`Scenario::mobility`] with byte-identical reports at any thread
+    /// count (pinned by `tests/mode_determinism.rs`). Arrivals land
+    /// uniformly in the bounding box of the deployment the seed
+    /// materializes; the broadcast source is protected from churn.
+    ///
+    /// Only protocols whose per-station goal makes sense for mid-run
+    /// arrivals support churn ([`ProtocolSpec::supports_churn`] — the
+    /// broadcast family); [`Scenario::build`] rejects the rest, and
+    /// validates the model parameters, with [`SimError::Spec`].
+    #[must_use]
+    pub fn churn(mut self, spec: ChurnSpec) -> Self {
+        self.churn = Some(spec);
+        self
+    }
+
     /// Records per-round statistics into [`RunReport::per_round`].
     #[must_use]
     pub fn record_rounds(mut self) -> Self {
@@ -266,6 +305,39 @@ impl<P: MetricPoint> Scenario<P> {
                     "the GPS-oracle baseline precomputes a TDMA schedule from frozen \
                      geometry and does not support mobility"
                         .into(),
+                ));
+            }
+        }
+        if let Some(churn) = &self.churn {
+            if churn.epoch_rounds == 0 {
+                return Err(SimError::Spec(
+                    "churn epoch length must be at least one round".into(),
+                ));
+            }
+            // Fail fast here rather than panicking inside run()/sweep()
+            // worker threads.
+            churn.model.validate().map_err(SimError::Spec)?;
+            if !spec.supports_churn() {
+                return Err(SimError::Spec(format!(
+                    "protocol '{}' does not support a dynamic population \
+                     (churn needs a per-station goal that mid-run arrivals can adopt; \
+                     the broadcast family qualifies)",
+                    spec.name()
+                )));
+            }
+        }
+        if let ProtocolSpec::ReFloodBroadcast {
+            p, burst_rounds, ..
+        } = spec
+        {
+            if !(*p > 0.0 && *p <= 1.0) {
+                return Err(SimError::Spec(format!(
+                    "re-flood probability must be in (0, 1], got {p}"
+                )));
+            }
+            if *burst_rounds == 0 {
+                return Err(SimError::Spec(
+                    "re-flood burst must last at least one round".into(),
                 ));
             }
         }
@@ -415,59 +487,122 @@ struct Driven<Pr> {
     rounds: u64,
     completed: bool,
     nodes: Vec<Pr>,
+    /// Final liveness flags, aligned with `nodes` (all `true` without
+    /// churn) — per-station goals are counted over the live population.
+    alive: Vec<bool>,
     total_transmissions: u64,
     per_round: Option<Vec<sinr_runtime::RoundStats>>,
     tx_counts: Option<Vec<u64>>,
 }
 
+/// The boxed state-machine factory of stations spawned by churn.
+type Spawn<Pr> = Box<dyn FnMut(usize) -> Pr>;
+
 /// Builds the engine of one run from the scenario's execution knobs:
 /// physics threads, trace recording, and — for dynamic topologies — the
-/// mobility state, seeded from the run seed on [`MOBILITY_STREAM`] and
-/// confined to the bounding box of the materialized deployment.
-fn setup_engine<P: MetricPoint, Pr: Protocol>(
+/// mobility and churn state, each seeded from the run seed on its own
+/// stream ([`MOBILITY_STREAM`], [`CHURN_STREAM`]) and confined to the
+/// bounding box of the materialized deployment.
+///
+/// `spawn` builds the protocol state of stations churn spawns mid-run;
+/// arms whose protocol supports churn pass it (`build()` has verified the
+/// combination, so a churn spec without a factory is a bug).
+fn setup_engine<P: MetricPoint, Pr: Protocol + 'static>(
     scenario: &Scenario<P>,
     net: Network<P>,
     seed: u64,
     make: impl FnMut(usize) -> Pr,
+    spawn: Option<Spawn<Pr>>,
 ) -> Engine<P, Pr> {
     let mut eng = Engine::new(net, seed, make);
     eng.set_physics_threads(scenario.physics_threads);
     if scenario.record {
         eng.record_rounds();
     }
-    if let Some(spec) = &scenario.mobility {
-        if !eng.network().is_empty() {
-            let mut mob = Mobility::over_deployment(
-                spec.model,
-                eng.network().points(),
-                derive_seed(seed, MOBILITY_STREAM, 0),
-            );
-            eng.set_mobility(spec.epoch_rounds, move |_, pts| mob.advance(pts));
+    if eng.network().is_empty() {
+        return eng;
+    }
+    if let Some(spec) = &scenario.churn {
+        let spawner = spawn.expect("build() validated that the protocol supports churn");
+        let mut proc = ChurnProcess::over_deployment(
+            spec.model,
+            eng.network().points(),
+            derive_seed(seed, CHURN_STREAM, 0),
+        );
+        if let Some(source) = scenario
+            .protocol
+            .as_ref()
+            .and_then(ProtocolSpec::broadcast_source)
+        {
+            proc = proc.protect(source);
         }
+        eng.set_churn(
+            spec.epoch_rounds,
+            move |_, alive, delta| proc.step_into(alive, delta),
+            spawner,
+        );
+    }
+    if let Some(spec) = &scenario.mobility {
+        let mut mob = Mobility::over_deployment(
+            spec.model,
+            eng.network().points(),
+            derive_seed(seed, MOBILITY_STREAM, 0),
+        );
+        eng.set_mobility(spec.epoch_rounds, move |_, pts| {
+            // Churn may have appended stations since the last epoch.
+            mob.ensure_stations(pts.len());
+            mob.advance(pts);
+        });
     }
     eng
 }
 
-/// Drives an engine until all nodes satisfy `done` or `budget` rounds
-/// elapse (predicate checked *before* each round, exactly like
+/// Whether every **live** node satisfies `done` (dead stations never
+/// block a goal; identical to "all nodes" on static populations).
+fn live_all<P: MetricPoint, Pr: Protocol>(
+    eng: &Engine<P, Pr>,
+    done: &impl Fn(&Pr) -> bool,
+) -> bool {
+    eng.nodes()
+        .iter()
+        .zip(eng.network().alive())
+        .all(|(p, &a)| !a || done(p))
+}
+
+/// Number of **live** nodes satisfying `done`.
+fn live_count<P: MetricPoint, Pr: Protocol>(
+    eng: &Engine<P, Pr>,
+    done: &impl Fn(&Pr) -> bool,
+) -> usize {
+    eng.nodes()
+        .iter()
+        .zip(eng.network().alive())
+        .filter(|(p, &a)| a && done(p))
+        .count()
+}
+
+/// Drives an engine until all live nodes satisfy `done` or `budget`
+/// rounds elapse (predicate checked *before* each round, exactly like
 /// [`Engine::run_until`] — the legacy runners' accounting).
-fn drive<P: MetricPoint, Pr: Protocol>(
+#[allow(clippy::too_many_arguments)]
+fn drive<P: MetricPoint, Pr: Protocol + 'static>(
     scenario: &Scenario<P>,
     net: Network<P>,
     seed: u64,
     budget: u64,
     make: impl FnMut(usize) -> Pr,
     done: impl Fn(&Pr) -> bool,
+    spawn: Option<Spawn<Pr>>,
     observers: &mut [Box<dyn Observer>],
 ) -> Driven<Pr> {
     let n = net.len();
-    let mut eng = setup_engine(scenario, net, seed, make);
+    let mut eng = setup_engine(scenario, net, seed, make, spawn);
     for o in observers.iter_mut() {
         o.begin(n);
     }
     let mut executed = 0u64;
     let completed = loop {
-        if eng.nodes().iter().all(&done) {
+        if live_all(&eng, &done) {
             break true;
         }
         if executed >= budget {
@@ -476,7 +611,7 @@ fn drive<P: MetricPoint, Pr: Protocol>(
         let stats = eng.step();
         executed += 1;
         if !observers.is_empty() {
-            let informed = eng.nodes().iter().filter(|p| done(p)).count();
+            let informed = live_count(&eng, &done);
             for o in observers.iter_mut() {
                 o.on_round(&stats, informed);
             }
@@ -486,8 +621,9 @@ fn drive<P: MetricPoint, Pr: Protocol>(
 }
 
 /// Drives an engine for exactly `rounds` rounds (fixed global schedules:
-/// coloring, consensus, leader election).
-fn drive_exact<P: MetricPoint, Pr: Protocol>(
+/// coloring, consensus, leader election — none of which support churn,
+/// so no spawn factory is taken).
+fn drive_exact<P: MetricPoint, Pr: Protocol + 'static>(
     scenario: &Scenario<P>,
     net: Network<P>,
     seed: u64,
@@ -497,14 +633,14 @@ fn drive_exact<P: MetricPoint, Pr: Protocol>(
     observers: &mut [Box<dyn Observer>],
 ) -> Driven<Pr> {
     let n = net.len();
-    let mut eng = setup_engine(scenario, net, seed, make);
+    let mut eng = setup_engine(scenario, net, seed, make, None);
     for o in observers.iter_mut() {
         o.begin(n);
     }
     for _ in 0..rounds {
         let stats = eng.step();
         if !observers.is_empty() {
-            let informed = eng.nodes().iter().filter(|p| done(p)).count();
+            let informed = live_count(&eng, &done);
             for o in observers.iter_mut() {
                 o.on_round(&stats, informed);
             }
@@ -521,10 +657,12 @@ fn finish<P: MetricPoint, Pr: Protocol>(
     let total_transmissions = eng.trace().total_transmissions();
     let per_round = eng.trace().per_round().map(<[_]>::to_vec);
     let tx_counts = per_round.is_some().then(|| eng.tx_counts().to_vec());
+    let alive = eng.network().alive().to_vec();
     Driven {
         rounds,
         completed,
         nodes: eng.into_nodes(),
+        alive,
         total_transmissions,
         per_round,
         tx_counts,
@@ -532,18 +670,30 @@ fn finish<P: MetricPoint, Pr: Protocol>(
 }
 
 /// The shared tail of every broadcast-style arm: drive to the goal
-/// predicate, count the stations that reached it, erase the node types.
-fn broadcast_arm<P: MetricPoint, Pr: Protocol>(
+/// predicate, count the live stations that reached it, erase the node
+/// types. The factory doubles as the churn spawn factory (spawned
+/// stations are never the source, so the same constructor yields an
+/// uninformed newcomer), hence `Clone + 'static`.
+fn broadcast_arm<P: MetricPoint, Pr: Protocol + 'static>(
     scenario: &Scenario<P>,
     net: Network<P>,
     seed: u64,
     budget: u64,
     observers: &mut [Box<dyn Observer>],
-    make: impl FnMut(usize) -> Pr,
+    make: impl FnMut(usize) -> Pr + Clone + 'static,
     done: impl Fn(&Pr) -> bool,
 ) -> (Driven<()>, usize, Outcome) {
-    let d = drive(scenario, net, seed, budget, make, &done, observers);
-    let informed = d.nodes.iter().filter(|p| done(p)).count();
+    let spawn: Option<Spawn<Pr>> = scenario
+        .churn
+        .as_ref()
+        .map(|_| Box::new(make.clone()) as Spawn<Pr>);
+    let d = drive(scenario, net, seed, budget, make, &done, spawn, observers);
+    let informed = d
+        .nodes
+        .iter()
+        .zip(&d.alive)
+        .filter(|(p, &a)| a && done(p))
+        .count();
     (erase(d), informed, Outcome::Broadcast)
 }
 
@@ -587,7 +737,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
-                |id| NoSBroadcastNode::new(id, source, 1, n, consts),
+                move |id| NoSBroadcastNode::new(id, source, 1, n, consts),
                 NoSBroadcastNode::informed,
             )
         }
@@ -602,7 +752,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
-                |id| NoSBroadcastNode::new(id, source, 1, nu, consts),
+                move |id| NoSBroadcastNode::new(id, source, 1, nu, consts),
                 NoSBroadcastNode::informed,
             )
         }
@@ -614,7 +764,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
-                |id| SBroadcastNode::new(id, source, 1, n, consts),
+                move |id| SBroadcastNode::new(id, source, 1, n, consts),
                 SBroadcastNode::informed,
             )
         }
@@ -629,7 +779,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
-                |id| SBroadcastNode::new(id, source, 1, nu, consts),
+                move |id| SBroadcastNode::new(id, source, 1, nu, consts),
                 SBroadcastNode::informed,
             )
         }
@@ -677,7 +827,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
-                |id| DaumBroadcastNode::new(id, source, 1, n, rs, alpha),
+                move |id| DaumBroadcastNode::new(id, source, 1, n, rs, alpha),
                 DaumBroadcastNode::informed,
             )
         }
@@ -689,7 +839,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
-                |id| FloodNode::new(id, source, 1, p),
+                move |id| FloodNode::new(id, source, 1, p),
                 FloodNode::informed,
             )
         }
@@ -701,8 +851,24 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
-                |id| LocalBroadcastNode::new(id, source, 1, n, 0.5),
+                move |id| LocalBroadcastNode::new(id, source, 1, n, 0.5),
                 LocalBroadcastNode::informed,
+            )
+        }
+        ProtocolSpec::ReFloodBroadcast {
+            source,
+            p,
+            burst_rounds,
+        } => {
+            check_source(source, n)?;
+            broadcast_arm(
+                scenario,
+                net,
+                seed,
+                budget,
+                &mut observers,
+                move |id| crate::baselines::ReFloodNode::new(id, source, 1, p, burst_rounds),
+                crate::baselines::ReFloodNode::informed,
             )
         }
         ProtocolSpec::GpsOracleBroadcast { source } => {
@@ -714,6 +880,7 @@ fn execute<P: MetricPoint>(
                 rounds: rep.rounds,
                 completed: rep.completed,
                 nodes: Vec::new(),
+                alive: Vec::new(),
                 total_transmissions: rep.total_transmissions,
                 per_round: None,
                 tx_counts: None,
@@ -731,6 +898,7 @@ fn execute<P: MetricPoint>(
                 budget,
                 |id| AdhocWakeupNode::new(id, &schedule, n, consts),
                 AdhocWakeupNode::awake,
+                None,
                 &mut observers,
             );
             let awake = d.nodes.iter().filter(|p| p.awake()).count();
@@ -766,7 +934,9 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
-                |id| EstablishedWakeupNode::new(coloring.colors[id], initiators[id], n, consts),
+                move |id| {
+                    EstablishedWakeupNode::new(coloring.colors[id], initiators[id], n, consts)
+                },
                 |nd: &EstablishedWakeupNode| nd.signalled,
             )
         }
@@ -880,6 +1050,7 @@ fn execute<P: MetricPoint>(
                     )
                 },
                 crate::alert::AlertNode::alarmed,
+                None,
                 &mut observers,
             );
             let learned_at: Vec<Option<u64>> = d.nodes.iter().map(|nd| nd.learned_at()).collect();
@@ -913,6 +1084,7 @@ fn erase<Pr>(d: Driven<Pr>) -> Driven<()> {
         rounds: d.rounds,
         completed: d.completed,
         nodes: Vec::new(),
+        alive: d.alive,
         total_transmissions: d.total_transmissions,
         per_round: d.per_round,
         tx_counts: d.tx_counts,

@@ -60,6 +60,22 @@ pub enum ProtocolSpec {
         /// Initially informed station.
         source: usize,
     },
+    /// Burst-based **re-flooding** broadcast — the mobility/churn-aware
+    /// flooding variant: informed stations flood for `burst_rounds`
+    /// rounds then go dormant, and re-seed a fresh burst whenever the
+    /// epoch-refreshed communication graph reports newly joined stations
+    /// or a reconnected component (see
+    /// [`crate::baselines::ReFloodNode`]). Pair with
+    /// [`crate::sim::Scenario::mobility`] / [`crate::sim::Scenario::churn`];
+    /// on a frozen topology it floods one burst and stops.
+    ReFloodBroadcast {
+        /// Initially informed station.
+        source: usize,
+        /// Per-round transmission probability during an active burst.
+        p: f64,
+        /// Rounds of flooding granted per (re)seed (must be ≥ 1).
+        burst_rounds: u64,
+    },
     /// GPS-oracle grid TDMA (the experiment E12 gold standard: full
     /// coordinates plus an in-cell contention oracle).
     GpsOracleBroadcast {
@@ -119,6 +135,7 @@ impl ProtocolSpec {
             ProtocolSpec::DaumBroadcast { .. } => "daum",
             ProtocolSpec::FloodBroadcast { .. } => "flood",
             ProtocolSpec::LocalBroadcast { .. } => "local-broadcast",
+            ProtocolSpec::ReFloodBroadcast { .. } => "re-flood",
             ProtocolSpec::GpsOracleBroadcast { .. } => "gps-oracle",
             ProtocolSpec::AdhocWakeup { .. } => "adhoc-wakeup",
             ProtocolSpec::EstablishedWakeup { .. } => "established-wakeup",
@@ -138,5 +155,44 @@ impl ProtocolSpec {
                 | ProtocolSpec::Consensus { .. }
                 | ProtocolSpec::LeaderElection { .. }
         )
+    }
+
+    /// Whether the protocol supports a **dynamic population**
+    /// ([`crate::sim::Scenario::churn`]): per-station goals that spawned
+    /// stations can meaningfully adopt mid-run. The broadcast family
+    /// qualifies; fixed global schedules (coloring, consensus, leader
+    /// election), the coloring-backbone applications (established wake-up,
+    /// alert), the adversarial wake-up schedule and the precomputed
+    /// GPS-oracle TDMA do not — `Scenario::build` rejects churn for them.
+    pub fn supports_churn(&self) -> bool {
+        matches!(
+            self,
+            ProtocolSpec::NoSBroadcast { .. }
+                | ProtocolSpec::NoSBroadcastWithEstimate { .. }
+                | ProtocolSpec::SBroadcast { .. }
+                | ProtocolSpec::SBroadcastWithEstimate { .. }
+                | ProtocolSpec::DaumBroadcast { .. }
+                | ProtocolSpec::FloodBroadcast { .. }
+                | ProtocolSpec::LocalBroadcast { .. }
+                | ProtocolSpec::ReFloodBroadcast { .. }
+        )
+    }
+
+    /// The initially informed station of broadcast-style protocols —
+    /// protected from churn (killing the source makes the dissemination
+    /// goal undefined).
+    pub fn broadcast_source(&self) -> Option<usize> {
+        match self {
+            ProtocolSpec::NoSBroadcast { source }
+            | ProtocolSpec::NoSBroadcastWithEstimate { source, .. }
+            | ProtocolSpec::SBroadcast { source }
+            | ProtocolSpec::SBroadcastWithEstimate { source, .. }
+            | ProtocolSpec::DaumBroadcast { source, .. }
+            | ProtocolSpec::FloodBroadcast { source, .. }
+            | ProtocolSpec::LocalBroadcast { source }
+            | ProtocolSpec::ReFloodBroadcast { source, .. }
+            | ProtocolSpec::GpsOracleBroadcast { source } => Some(*source),
+            _ => None,
+        }
     }
 }

@@ -53,7 +53,13 @@ pub struct GridIndex {
     pair_scratch: Vec<(CellKey, usize)>,
     cell_side: f64,
     axes: usize,
+    /// Number of **indexed** points (= live points under a liveness mask).
     len: usize,
+    /// Length of the backing point slice the index was (re)built over —
+    /// equals `len` for unmasked builds, and may exceed it when a
+    /// liveness mask tombstones part of the population
+    /// ([`GridIndex::rebuild_from_masked`]).
+    domain: usize,
 }
 
 /// Two indexes are equal when they index the same points into the same
@@ -69,6 +75,7 @@ impl PartialEq for GridIndex {
             && self.cell_side == other.cell_side
             && self.axes == other.axes
             && self.len == other.len
+            && self.domain == other.domain
     }
 }
 
@@ -82,6 +89,26 @@ impl GridIndex {
     ///
     /// Panics if `cell_side` is not strictly positive and finite.
     pub fn build<P: MetricPoint>(points: &[P], cell_side: f64) -> Self {
+        Self::build_inner(points, None, cell_side)
+    }
+
+    /// Builds an index over the **live** subset of `points`: point `i` is
+    /// indexed iff `alive[i]` — the from-scratch companion of
+    /// [`GridIndex::rebuild_from_masked`] for dynamic populations.
+    ///
+    /// Dead points keep their indices (queries still report original
+    /// indices) but occupy no cell, no slot and no SoA storage, so ball
+    /// queries and the batched kernels never see them.
+    ///
+    /// # Panics
+    ///
+    /// As [`GridIndex::build`]; additionally panics when `alive` and
+    /// `points` differ in length.
+    pub fn build_masked<P: MetricPoint>(points: &[P], alive: &[bool], cell_side: f64) -> Self {
+        Self::build_inner(points, Some(alive), cell_side)
+    }
+
+    fn build_inner<P: MetricPoint>(points: &[P], alive: Option<&[bool]>, cell_side: f64) -> Self {
         assert!(
             cell_side.is_finite() && cell_side > 0.0,
             "grid cell side must be positive and finite, got {cell_side}"
@@ -96,8 +123,9 @@ impl GridIndex {
             cell_side,
             axes: P::AXES,
             len: 0,
+            domain: 0,
         };
-        index.rebuild_from(points);
+        index.fill(points, alive);
         // Static indexes never rebuild: drop the sort scratch so the
         // common path does not retain two words per point (the first
         // real rebuild re-allocates it, once).
@@ -114,14 +142,47 @@ impl GridIndex {
     /// identical to a from-scratch build — pinned by
     /// `tests/mobility_equivalence.rs`), but reuses every allocation: once
     /// the buffers have grown to their high-water marks, a rebuild
-    /// performs no heap allocations.
+    /// performs no heap allocations. The point count may differ from the
+    /// previous build; capacity grows (once) and is reused afterwards.
     ///
     /// # Panics
     ///
     /// Panics if the point dimensionality differs from the one the index
     /// was built with.
     pub fn rebuild_from<P: MetricPoint>(&mut self, points: &[P]) {
+        self.fill(points, None);
+    }
+
+    /// As [`GridIndex::rebuild_from`], indexing only points with
+    /// `alive[i]` — the epoch reindex path of **churned** populations
+    /// (see [`GridIndex::build_masked`] for the mask semantics).
+    ///
+    /// Bit-identical to [`GridIndex::build_masked`] over the same inputs
+    /// (one shared fill routine), and — because compaction preserves the
+    /// ascending per-cell member order — the keys, CSR offsets, SoA store
+    /// and centroids also match a fresh *unmasked* build over the live
+    /// subset alone (`tests/churn_equivalence.rs` pins this).
+    ///
+    /// # Panics
+    ///
+    /// As [`GridIndex::rebuild_from`]; additionally panics when `alive`
+    /// and `points` differ in length.
+    pub fn rebuild_from_masked<P: MetricPoint>(&mut self, points: &[P], alive: &[bool]) {
+        self.fill(points, Some(alive));
+    }
+
+    /// The one fill routine behind every build/rebuild entry point, so
+    /// rebuilt indexes are bitwise indistinguishable from fresh ones.
+    fn fill<P: MetricPoint>(&mut self, points: &[P], alive: Option<&[bool]>) {
         assert_eq!(P::AXES, self.axes, "point dimensionality mismatch");
+        if let Some(alive) = alive {
+            assert_eq!(
+                alive.len(),
+                points.len(),
+                "liveness mask must cover every point"
+            );
+        }
+        let live = |i: usize| alive.map_or(true, |a| a[i]);
         // Take the scratch out so the fill loop can borrow `self` mutably
         // (mem::take leaves a capacity-less Vec, not an allocation).
         let mut pairs = std::mem::take(&mut self.pair_scratch);
@@ -130,6 +191,7 @@ impl GridIndex {
             points
                 .iter()
                 .enumerate()
+                .filter(|&(i, _)| live(i))
                 .map(|(i, p)| (Self::key_of(p, self.cell_side), i)),
         );
         pairs.sort_unstable();
@@ -166,7 +228,8 @@ impl GridIndex {
             }
             self.centroids.push(cent);
         }
-        self.len = points.len();
+        self.len = self.ids.len();
+        self.domain = points.len();
     }
 
     fn key_of<P: MetricPoint>(p: &P, cell_side: f64) -> CellKey {
@@ -177,12 +240,21 @@ impl GridIndex {
         key
     }
 
-    /// Number of indexed points.
+    /// Number of **indexed** points (the live population under a
+    /// liveness mask; equals [`GridIndex::domain_len`] for unmasked
+    /// builds).
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// Whether the index is empty.
+    /// Length of the point slice the index was built over — the slice
+    /// length queries must be called with. Exceeds [`GridIndex::len`]
+    /// when a liveness mask tombstones part of the population.
+    pub fn domain_len(&self) -> usize {
+        self.domain
+    }
+
+    /// Whether the index indexes no points.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -298,7 +370,7 @@ impl GridIndex {
         radius: f64,
         mut f: impl FnMut(usize),
     ) {
-        debug_assert_eq!(points.len(), self.len, "index/point-slice mismatch");
+        debug_assert_eq!(points.len(), self.domain, "index/point-slice mismatch");
         let cq = Self::center_coords(&center);
         let (lo, hi) = self.query_box(&center, radius);
         self.for_each_candidate_cell(&lo, &hi, &mut |c| {
@@ -326,7 +398,7 @@ impl GridIndex {
         center: P,
         exclude: usize,
     ) -> Option<(usize, f64)> {
-        if self.len == 0 || (self.len == 1 && exclude == 0) {
+        if self.len == 0 || (self.len == 1 && self.ids[0] == exclude) {
             return None;
         }
         // Expanding search: radius doubles until a hit is confirmed closer
@@ -355,12 +427,14 @@ impl GridIndex {
             }
             radius *= 2.0;
         }
-        // Fallback: exhaustive scan (pathological coordinate spread).
-        points
+        // Fallback: exhaustive scan over the *indexed* points
+        // (pathological coordinate spread; masked-out points stay
+        // invisible here too).
+        self.ids
             .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != exclude)
-            .map(|(i, p)| (i, p.distance(&center)))
+            .copied()
+            .filter(|&i| i != exclude)
+            .map(|i| (i, points[i].distance(&center)))
             .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 
@@ -653,6 +727,92 @@ mod tests {
         idx.rebuild_from(&big);
         assert_eq!(idx.len(), 60);
         assert_eq!(idx, GridIndex::build(&big, 1.0));
+    }
+
+    #[test]
+    fn masked_build_hides_dead_points_but_keeps_indices() {
+        let pts: Vec<Point2> = (0..40).map(|i| Point2::new(i as f64 * 0.3, 0.0)).collect();
+        let alive: Vec<bool> = (0..40).map(|i| i % 3 != 0).collect();
+        let idx = GridIndex::build_masked(&pts, &alive, 1.0);
+        assert_eq!(idx.len(), alive.iter().filter(|&&a| a).count());
+        assert_eq!(idx.domain_len(), 40);
+        // Ball queries report original indices and never a dead point.
+        let got = idx.ball_vec(&pts, Point2::origin(), 100.0);
+        let want: Vec<usize> = (0..40).filter(|&i| alive[i]).collect();
+        assert_eq!(got, want);
+        // Nearest skips dead points too (index 0 is dead; 1 is closest).
+        let (i, _) = idx
+            .nearest(&pts, Point2::new(0.0, 0.0), usize::MAX)
+            .unwrap();
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    fn masked_rebuild_matches_masked_fresh_build_bitwise() {
+        let mut pts: Vec<Point2> = (0..90)
+            .map(|i| Point2::new((i as f64 * 0.43).sin() * 4.0, (i as f64 * 0.61).cos() * 4.0))
+            .collect();
+        let mut alive = vec![true; 90];
+        let mut idx = GridIndex::build(&pts, 1.0);
+        for step in 0..5usize {
+            for (i, p) in pts.iter_mut().enumerate() {
+                p.x += ((i + step) % 5) as f64 * 0.21 - 0.4;
+            }
+            for (i, a) in alive.iter_mut().enumerate() {
+                *a = (i * 7 + step) % 4 != 0;
+            }
+            idx.rebuild_from_masked(&pts, &alive);
+            assert_eq!(
+                idx,
+                GridIndex::build_masked(&pts, &alive, 1.0),
+                "step {step}"
+            );
+            // And against an unmasked fresh build of the compacted live
+            // subset: identical keys/offsets/coordinates, index-mapped ids.
+            let live: Vec<Point2> = pts
+                .iter()
+                .zip(&alive)
+                .filter(|(_, &a)| a)
+                .map(|(p, _)| *p)
+                .collect();
+            let compact = GridIndex::build(&live, 1.0);
+            assert_eq!(idx.num_cells(), compact.num_cells());
+            let mut map = vec![usize::MAX; pts.len()];
+            let mut next = 0;
+            for (i, &a) in alive.iter().enumerate() {
+                if a {
+                    map[i] = next;
+                    next += 1;
+                }
+            }
+            for c in 0..idx.num_cells() {
+                assert_eq!(idx.cell_key(c), compact.cell_key(c));
+                assert_eq!(idx.cell_range(c), compact.cell_range(c));
+                for axis in 0..2 {
+                    assert_eq!(
+                        idx.cell_centroid(c)[axis].to_bits(),
+                        compact.cell_centroid(c)[axis].to_bits()
+                    );
+                }
+                let mapped: Vec<usize> = idx.cell_members(c).iter().map(|&i| map[i]).collect();
+                assert_eq!(mapped, compact.cell_members(c));
+            }
+            for slot in 0..idx.len() {
+                for axis in 0..2 {
+                    assert_eq!(
+                        idx.positions().coord(slot, axis).to_bits(),
+                        compact.positions().coord(slot, axis).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn masked_build_rejects_short_mask() {
+        let pts = vec![Point2::origin(), Point2::new(1.0, 0.0)];
+        let _ = GridIndex::build_masked(&pts, &[true], 1.0);
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //! * [`perturb`] — jitter and minimum-separation repair;
 //! * [`validate`] — topology reports (connectivity, diameter, Δ, `R_s`);
 //! * [`mobility`] — dynamic topologies: random-waypoint, drift and
-//!   teleport-churn motion between epochs (see below).
+//!   teleport-churn motion between epochs (see below);
+//! * [`churn`] — dynamic *populations*: seed-deterministic station
+//!   lifecycles (Poisson arrivals, geometric lifetimes,
+//!   rejoin-at-random-position) emitting one `ChurnDelta` per epoch
+//!   (see below).
 //!
 //! All generators are deterministic given a seed.
 //!
@@ -50,6 +54,38 @@
 //! `sinr_sim::MobilitySpec` / `Scenario::mobility`, which rebuilds the
 //! spatial index in place at every epoch boundary.
 //!
+//! # Churn
+//!
+//! Where mobility moves a fixed population, [`churn`] changes the
+//! population itself: each epoch a [`churn::ChurnProcess`] kills live
+//! stations (geometric lifetimes), rejoins tombstoned ones at fresh
+//! uniform positions, and spawns brand-new stations once no tombstones
+//! remain (Poisson arrivals). The emitted deltas are exactly what
+//! `sinr_phy::Network::apply_churn` consumes, and the whole schedule
+//! replays from its seed:
+//!
+//! ```
+//! use sinr_netgen::churn::{ChurnModel, ChurnProcess};
+//! use sinr_netgen::uniform;
+//! use sinr_phy::{ChurnDelta, Network, SinrParams};
+//!
+//! let pts = uniform::connected_square(80, 2.0, &SinrParams::default_plane(), 11).unwrap();
+//! let mut net = Network::new(pts, SinrParams::default_plane()).unwrap();
+//! let model = ChurnModel { arrival_rate: 2.0, mean_lifetime: 8.0 };
+//! let mut churn = ChurnProcess::over_deployment(model, net.points(), 42);
+//! let mut delta = ChurnDelta::new();
+//! for _epoch in 0..5 {
+//!     churn.step_into(net.alive(), &mut delta);
+//!     net.apply_churn(&delta); // index-stable tombstones, in-place rebuilds
+//! }
+//! assert_eq!(net.alive().len(), net.len());
+//! assert!(net.live_count() <= net.len());
+//! ```
+//!
+//! Simulations plug churn in declaratively through `sinr_sim::ChurnSpec`
+//! / `Scenario::churn`, which seeds the process from the run seed on its
+//! own stream and composes it with mobility and parallel sweeps.
+//!
 //! # Example
 //!
 //! ```
@@ -66,6 +102,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod cluster;
 pub mod grid;
 pub mod line;

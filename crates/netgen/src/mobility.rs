@@ -169,8 +169,9 @@ impl Bounds {
         self.axes
     }
 
-    /// A uniform point of the box, in fixed-width coordinates.
-    fn sample(&self, rng: &mut SmallRng) -> [f64; 3] {
+    /// A uniform point of the box, in fixed-width coordinates (shared
+    /// with the churn process's arrival placement).
+    pub(crate) fn sample(&self, rng: &mut SmallRng) -> [f64; 3] {
         let mut c = [0.0f64; 3];
         for (a, slot) in c.iter_mut().enumerate().take(self.axes) {
             *slot = rng.gen_range(self.lo[a]..=self.hi[a]);
@@ -273,6 +274,37 @@ impl<P: MetricPoint> Mobility<P> {
         self.bounds
     }
 
+    /// Grows the per-station motion state to cover `n` stations — the
+    /// composition point with population churn, whose spawns append
+    /// stations mid-run. New stations draw their waypoint target /
+    /// velocity from the mobility RNG at extension time (in index order,
+    /// so the stream stays deterministic); existing state is untouched.
+    /// No-op when the state already covers `n`.
+    pub fn ensure_stations(&mut self, n: usize) {
+        match self.model {
+            MobilityModel::RandomWaypoint { .. } => {
+                while self.targets.len() < n {
+                    let t = self.bounds.sample(&mut self.rng);
+                    self.targets.push(t);
+                    self.pause.push(0);
+                }
+            }
+            MobilityModel::Drift { speed } => {
+                if self.vel.len() >= n {
+                    return;
+                }
+                let usable: Vec<usize> = (0..self.bounds.axes())
+                    .filter(|&a| self.bounds.hi()[a] > self.bounds.lo()[a])
+                    .collect();
+                while self.vel.len() < n {
+                    let v = draw_velocity(&mut self.rng, speed, &usable);
+                    self.vel.push(v);
+                }
+            }
+            MobilityModel::TeleportChurn { .. } => {}
+        }
+    }
+
     /// Moves every station by one epoch. Stations are visited in index
     /// order, so the RNG stream — and therefore the whole trajectory — is
     /// deterministic. Performs no heap allocations.
@@ -280,7 +312,8 @@ impl<P: MetricPoint> Mobility<P> {
     /// # Panics
     ///
     /// Panics if `points` has a different length than the deployment the
-    /// state was built from.
+    /// state was built from (grow the state first with
+    /// [`Mobility::ensure_stations`] when churn spawned stations).
     pub fn advance(&mut self, points: &mut [P]) {
         match self.model {
             MobilityModel::RandomWaypoint {
@@ -550,6 +583,30 @@ mod tests {
             .filter(|(b, a)| (b.distance(a) - speed).abs() < 1e-9)
             .count();
         assert!(full_steps >= 18, "only {full_steps}/20 moved at full speed");
+    }
+
+    #[test]
+    fn ensure_stations_extends_state_for_spawned_stations() {
+        for model in models() {
+            let mut pts = uniform::square(20, 3.0, 5);
+            let mut mob = Mobility::over_deployment(model, &pts, 13);
+            mob.advance(&mut pts);
+            // Churn spawns five stations; the mobility state grows to
+            // match and keeps advancing all of them in bounds.
+            for i in 0..5 {
+                pts.push(Point2::new(0.3 * i as f64, 0.5));
+            }
+            mob.ensure_stations(pts.len());
+            mob.ensure_stations(pts.len()); // idempotent
+            for _ in 0..10 {
+                mob.advance(&mut pts);
+            }
+            assert_eq!(pts.len(), 25);
+            assert!(
+                pts.iter().all(|p| (0.0..=3.0).contains(&p.x)),
+                "{model:?} left the box"
+            );
+        }
     }
 
     #[test]

@@ -4,6 +4,20 @@
 //! All complexity bounds of the paper are expressed in terms of this graph's
 //! parameters: the number of stations `n`, the diameter `D`, and (for
 //! baselines) the maximum degree Δ and the granularity `R_s`.
+//!
+//! # Layout and lifecycle
+//!
+//! Adjacency is stored **flat** (CSR: one `starts` offset array into one
+//! neighbour array), so the graph can be rebuilt in place after stations
+//! move or churn — [`CommGraph::rebuild_from`] reuses every allocation
+//! (including the owned spatial index it queries) and produces exactly
+//! the structure a fresh [`CommGraph::build`] would. Dynamic populations
+//! pass a liveness mask: dead stations keep their vertex ids (rows stay
+//! index-stable) but carry no edges and are ignored by the connectivity
+//! queries. Connectivity-style queries also come in scratch-reusing
+//! variants ([`CommGraph::bfs_with`], [`CommGraph::is_connected_with`])
+//! so per-epoch refreshes stay allocation-free in steady state
+//! (`crates/phy/tests/oracle_alloc.rs` pins this).
 
 use std::collections::VecDeque;
 
@@ -11,6 +25,22 @@ use sinr_geometry::{GridIndex, MetricPoint};
 
 /// Distance value meaning "unreachable" in BFS results.
 pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Reusable scratch for the allocation-free graph traversals
+/// ([`CommGraph::bfs_with`], [`CommGraph::is_connected_with`]): the BFS
+/// distance array and queue, grown once to their high-water marks.
+#[derive(Debug, Clone, Default)]
+pub struct GraphScratch {
+    dist: Vec<u32>,
+    queue: VecDeque<usize>,
+}
+
+impl GraphScratch {
+    /// Empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// An undirected communication graph over station indices.
 ///
@@ -28,9 +58,35 @@ pub const UNREACHABLE: u32 = u32::MAX;
 /// ```
 #[derive(Debug, Clone)]
 pub struct CommGraph {
-    adj: Vec<Vec<usize>>,
+    /// CSR offsets: vertex `v` owns `nbrs[starts[v]..starts[v + 1]]`.
+    starts: Vec<usize>,
+    /// Flat neighbour array, ascending within each row.
+    nbrs: Vec<usize>,
+    /// Vertex liveness: dead vertices keep their row (empty) but are
+    /// ignored by connectivity queries. All `true` for static builds.
+    present: Vec<bool>,
+    /// Number of present vertices.
+    num_present: usize,
     radius: f64,
     num_edges: usize,
+    /// Owned spatial index (cell side = `radius`), rebuilt in place by
+    /// [`CommGraph::rebuild_from`] so refreshes reuse its allocations.
+    grid: GridIndex,
+}
+
+/// Two graphs are equal when they connect the same vertices with the same
+/// edges under the same radius (the owned spatial index, a rebuild
+/// implementation detail, does not participate) — what the churn
+/// differential tests compare.
+impl PartialEq for CommGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.starts == other.starts
+            && self.nbrs == other.nbrs
+            && self.present == other.present
+            && self.num_present == other.num_present
+            && self.radius == other.radius
+            && self.num_edges == other.num_edges
+    }
 }
 
 impl CommGraph {
@@ -42,43 +98,139 @@ impl CommGraph {
     ///
     /// Panics if `radius` is not positive and finite.
     pub fn build<P: MetricPoint>(points: &[P], radius: f64) -> Self {
+        Self::build_inner(points, None, radius)
+    }
+
+    /// Builds the graph over the **live** subset of `points`: vertex `i`
+    /// participates iff `alive[i]`. Dead vertices keep their ids but have
+    /// no edges and are invisible to the connectivity queries.
+    ///
+    /// # Panics
+    ///
+    /// As [`CommGraph::build`]; additionally panics when `alive` and
+    /// `points` differ in length.
+    pub fn build_masked<P: MetricPoint>(points: &[P], alive: &[bool], radius: f64) -> Self {
+        Self::build_inner(points, Some(alive), radius)
+    }
+
+    fn build_inner<P: MetricPoint>(points: &[P], alive: Option<&[bool]>, radius: f64) -> Self {
         assert!(
             radius.is_finite() && radius > 0.0,
             "communication radius must be positive, got {radius}"
         );
-        let grid = GridIndex::build(points, radius.max(1e-6));
-        let mut adj = vec![Vec::new(); points.len()];
-        let mut num_edges = 0;
+        let empty: &[P] = &[];
+        let mut graph = CommGraph {
+            starts: Vec::new(),
+            nbrs: Vec::new(),
+            present: Vec::new(),
+            num_present: 0,
+            radius,
+            num_edges: 0,
+            grid: GridIndex::build(empty, radius.max(1e-6)),
+        };
+        graph.fill(points, alive);
+        // Fresh builds are usually static and never rebuild: drop the
+        // owned spatial index's buffers (CSR keys/ids, SoA store,
+        // centroids, sort scratch — tens of bytes per station that the
+        // pre-CSR CommGraph never retained). The first
+        // [`CommGraph::rebuild_from`] regrows them, once — the same
+        // policy [`GridIndex::build`] applies to its sort scratch.
+        graph.grid = GridIndex::build(empty, radius.max(1e-6));
+        graph
+    }
+
+    /// Rebuilds the graph in place over the (moved and/or churned)
+    /// deployment — the **epoch refresh path** of dynamic topologies.
+    ///
+    /// Produces exactly the structure [`CommGraph::build`] /
+    /// [`CommGraph::build_masked`] would (one shared fill routine), but
+    /// reuses every allocation — the CSR offset and neighbour arrays, the
+    /// liveness row and the owned spatial index — so once the buffers
+    /// have grown to their high-water marks a refresh performs no heap
+    /// allocations. Pass `None` for a fully live population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point dimensionality differs from the build's, or a
+    /// mask is present with the wrong length.
+    pub fn rebuild_from<P: MetricPoint>(&mut self, points: &[P], alive: Option<&[bool]>) {
+        self.fill(points, alive);
+    }
+
+    /// The one fill routine behind build and rebuild, so refreshed graphs
+    /// are indistinguishable from fresh ones.
+    fn fill<P: MetricPoint>(&mut self, points: &[P], alive: Option<&[bool]>) {
+        let n = points.len();
+        match alive {
+            Some(a) => {
+                assert_eq!(a.len(), n, "liveness mask must cover every station");
+                self.grid.rebuild_from_masked(points, a);
+            }
+            None => self.grid.rebuild_from(points),
+        }
+        self.present.clear();
+        match alive {
+            Some(a) => self.present.extend_from_slice(a),
+            None => self.present.resize(n, true),
+        }
+        self.num_present = self.grid.len();
+        let radius = self.radius;
+        let grid = &self.grid;
+        let present = &self.present;
+        let starts = &mut self.starts;
+        let nbrs = &mut self.nbrs;
+        starts.clear();
+        nbrs.clear();
+        let mut num_edges = 0usize;
         for (v, p) in points.iter().enumerate() {
-            // Allocation-free visitor (cell-major order), then one in-place
-            // sort to restore the ascending neighbour order BFS tie-breaks
-            // and protocols rely on.
-            let row = &mut adj[v];
+            starts.push(nbrs.len());
+            if !present[v] {
+                continue;
+            }
+            let row_start = nbrs.len();
+            // Allocation-free visitor (cell-major order) over the masked
+            // grid — dead stations are not indexed, so they never appear
+            // as neighbours — then one in-place sort to restore the
+            // ascending neighbour order BFS tie-breaks and protocols
+            // rely on.
             grid.for_each_in_ball(points, *p, radius, |u| {
                 if u != v {
-                    row.push(u);
+                    nbrs.push(u);
                     if u > v {
                         num_edges += 1;
                     }
                 }
             });
-            row.sort_unstable();
+            nbrs[row_start..].sort_unstable();
         }
-        CommGraph {
-            adj,
-            radius,
-            num_edges,
-        }
+        starts.push(nbrs.len());
+        self.num_edges = num_edges;
     }
 
-    /// Number of vertices.
+    /// Number of vertices (including tombstoned ones — rows are
+    /// index-stable; see [`CommGraph::num_present`]).
     pub fn len(&self) -> usize {
-        self.adj.len()
+        self.present.len()
     }
 
     /// Whether the graph has no vertices.
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.present.is_empty()
+    }
+
+    /// Number of live (present) vertices.
+    pub fn num_present(&self) -> usize {
+        self.num_present
+    }
+
+    /// Whether vertex `v` is live.
+    pub fn is_present(&self, v: usize) -> bool {
+        self.present[v]
+    }
+
+    /// The smallest live vertex id, or `None` when every vertex is dead.
+    fn first_present(&self) -> Option<usize> {
+        self.present.iter().position(|&a| a)
     }
 
     /// The edge radius used at construction.
@@ -91,58 +243,96 @@ impl CommGraph {
         self.num_edges
     }
 
-    /// Neighbours of vertex `v`.
+    /// Neighbours of vertex `v` (ascending; empty for dead vertices).
     pub fn neighbors(&self, v: usize) -> &[usize] {
-        &self.adj[v]
+        &self.nbrs[self.starts[v]..self.starts[v + 1]]
     }
 
     /// Degree of vertex `v`.
     pub fn degree(&self, v: usize) -> usize {
-        self.adj[v].len()
+        self.starts[v + 1] - self.starts[v]
     }
 
     /// Maximum degree Δ.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.len()).map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
-    /// BFS distances (in hops) from `src`; [`UNREACHABLE`] marks vertices in
-    /// other components.
+    /// BFS distances (in hops) from `src`; [`UNREACHABLE`] marks vertices
+    /// in other components (and every dead vertex).
+    ///
+    /// Allocates the result per call — per-epoch refresh loops should use
+    /// [`CommGraph::bfs_with`].
     ///
     /// # Panics
     ///
     /// Panics if `src` is out of range.
     pub fn bfs(&self, src: usize) -> Vec<u32> {
+        let mut scratch = GraphScratch::new();
+        self.bfs_with(src, &mut scratch);
+        scratch.dist
+    }
+
+    /// As [`CommGraph::bfs`], reusing `scratch`'s buffers: zero heap
+    /// allocations once the scratch has grown to the graph size. Returns
+    /// the distance slice borrowed from the scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn bfs_with<'s>(&self, src: usize, scratch: &'s mut GraphScratch) -> &'s [u32] {
         assert!(src < self.len(), "source {src} out of range");
-        let mut dist = vec![UNREACHABLE; self.len()];
-        let mut queue = VecDeque::new();
-        dist[src] = 0;
-        queue.push_back(src);
-        while let Some(v) = queue.pop_front() {
-            for &u in &self.adj[v] {
-                if dist[u] == UNREACHABLE {
-                    dist[u] = dist[v] + 1;
-                    queue.push_back(u);
+        scratch.dist.clear();
+        scratch.dist.resize(self.len(), UNREACHABLE);
+        scratch.queue.clear();
+        scratch.dist[src] = 0;
+        scratch.queue.push_back(src);
+        while let Some(v) = scratch.queue.pop_front() {
+            for &u in self.neighbors(v) {
+                if scratch.dist[u] == UNREACHABLE {
+                    scratch.dist[u] = scratch.dist[v] + 1;
+                    scratch.queue.push_back(u);
                 }
             }
         }
-        dist
+        &scratch.dist
     }
 
-    /// Whether all vertices are mutually reachable. The empty graph counts
-    /// as connected.
+    /// Whether all **live** vertices are mutually reachable. The empty
+    /// graph — and a graph whose whole population is dead — counts as
+    /// connected. Allocates BFS state per call; refresh loops should use
+    /// [`CommGraph::is_connected_with`].
     pub fn is_connected(&self) -> bool {
-        if self.is_empty() {
-            return true;
-        }
-        self.bfs(0).iter().all(|&d| d != UNREACHABLE)
+        let mut scratch = GraphScratch::new();
+        self.is_connected_with(&mut scratch)
     }
 
-    /// Eccentricity of `src` (max BFS distance), or `None` if the graph is
-    /// disconnected from `src`.
+    /// As [`CommGraph::is_connected`], reusing `scratch` (zero heap
+    /// allocations in steady state — the per-epoch connectivity check of
+    /// dynamic topologies).
+    pub fn is_connected_with(&self, scratch: &mut GraphScratch) -> bool {
+        let Some(src) = self.first_present() else {
+            return true;
+        };
+        self.bfs_with(src, scratch);
+        scratch
+            .dist
+            .iter()
+            .zip(&self.present)
+            .all(|(&d, &p)| !p || d != UNREACHABLE)
+    }
+
+    /// Eccentricity of `src` (max BFS distance over live vertices), or
+    /// `None` if some live vertex is unreachable from `src`.
     pub fn eccentricity(&self, src: usize) -> Option<u32> {
         let dist = self.bfs(src);
-        let max = *dist.iter().max().expect("non-empty");
+        let max = dist
+            .iter()
+            .zip(&self.present)
+            .filter(|&(_, &p)| p)
+            .map(|(&d, _)| d)
+            .max()
+            .unwrap_or(0);
         if max == UNREACHABLE {
             None
         } else {
@@ -150,15 +340,19 @@ impl CommGraph {
         }
     }
 
-    /// Exact diameter via all-sources BFS (`O(n·m)`), or `None` if
-    /// disconnected. Quadratic — fine for experiment sizes; use
-    /// [`CommGraph::diameter_double_sweep`] for a fast lower bound.
+    /// Exact diameter via all-sources BFS (`O(n·m)`) over the live
+    /// vertices, or `None` if disconnected. Quadratic — fine for
+    /// experiment sizes; use [`CommGraph::diameter_double_sweep`] for a
+    /// fast lower bound.
     pub fn diameter_exact(&self) -> Option<u32> {
-        if self.is_empty() {
+        if self.num_present == 0 {
             return Some(0);
         }
         let mut diam = 0;
         for v in 0..self.len() {
+            if !self.present[v] {
+                continue;
+            }
             diam = diam.max(self.eccentricity(v)?);
         }
         Some(diam)
@@ -166,21 +360,28 @@ impl CommGraph {
 
     /// Double-sweep diameter lower bound: BFS from `start`, then BFS from
     /// the farthest vertex found. Exact on trees; a good estimate on
-    /// geometric graphs. Returns `None` if disconnected.
+    /// geometric graphs. Returns `None` if disconnected (or `start` is
+    /// dead).
     pub fn diameter_double_sweep(&self, start: usize) -> Option<u32> {
-        if self.is_empty() {
+        if self.num_present == 0 {
             return Some(0);
         }
-        let d1 = self.bfs(start);
-        if d1.contains(&UNREACHABLE) {
+        if !self.present[start] {
             return None;
         }
-        let far = d1
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, d)| *d)
-            .map(|(i, _)| i)
-            .expect("non-empty");
+        let d1 = self.bfs(start);
+        let mut far = start;
+        for (v, (&d, &p)) in d1.iter().zip(&self.present).enumerate() {
+            if !p {
+                continue;
+            }
+            if d == UNREACHABLE {
+                return None;
+            }
+            if d > d1[far] {
+                far = v;
+            }
+        }
         self.eccentricity(far)
     }
 
@@ -197,7 +398,7 @@ impl CommGraph {
             if v == dst {
                 break;
             }
-            for &u in &self.adj[v] {
+            for &u in self.neighbors(v) {
                 if dist[u] == UNREACHABLE {
                     dist[u] = dist[v] + 1;
                     parent[u] = v;
@@ -225,8 +426,8 @@ impl CommGraph {
         assert_eq!(points.len(), self.len(), "points/graph size mismatch");
         let mut min_d = f64::INFINITY;
         let mut max_d: f64 = 0.0;
-        for (v, nbrs) in self.adj.iter().enumerate() {
-            for &u in nbrs {
+        for v in 0..self.len() {
+            for &u in self.neighbors(v) {
                 if u > v {
                     let d = points[v].distance(&points[u]).max(1e-300);
                     min_d = min_d.min(d);
@@ -256,6 +457,7 @@ mod tests {
         let pts = line(5, 0.4);
         let g = CommGraph::build(&pts, 0.5);
         assert_eq!(g.len(), 5);
+        assert_eq!(g.num_present(), 5);
         assert_eq!(g.num_edges(), 4);
         assert_eq!(g.degree(0), 1);
         assert_eq!(g.degree(2), 2);
@@ -284,6 +486,19 @@ mod tests {
         let g = CommGraph::build(&pts, 0.5);
         assert_eq!(g.bfs(0), vec![0, 1, 2, 3]);
         assert_eq!(g.bfs(2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn scratch_bfs_matches_allocating_bfs() {
+        let mut pts = line(9, 0.45);
+        pts.push(Point2::new(50.0, 0.0));
+        let g = CommGraph::build(&pts, 0.5);
+        let mut scratch = GraphScratch::new();
+        for src in 0..g.len() {
+            assert_eq!(g.bfs_with(src, &mut scratch), &g.bfs(src)[..], "src {src}");
+        }
+        assert!(!g.is_connected_with(&mut scratch));
+        assert_eq!(g.is_connected(), g.is_connected_with(&mut scratch));
     }
 
     #[test]
@@ -370,5 +585,59 @@ mod tests {
         let g = CommGraph::build(&pts, 0.5);
         assert_eq!(g.diameter_exact(), Some(6)); // Manhattan distance corner-to-corner
         assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn masked_build_isolates_dead_vertices() {
+        // A 5-path with the middle vertex dead: two live components.
+        let pts = line(5, 0.4);
+        let alive = [true, true, false, true, true];
+        let g = CommGraph::build_masked(&pts, &alive, 0.5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.num_present(), 4);
+        assert!(!g.is_present(2));
+        assert_eq!(g.neighbors(2), &[] as &[usize]);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.neighbors(1), &[0], "dead neighbour filtered out");
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.is_connected(), "the dead vertex cuts the path");
+        // Reviving the cut vertex reconnects.
+        let g2 = CommGraph::build_masked(&pts, &[true; 5], 0.5);
+        assert!(g2.is_connected());
+        // A dead vertex never blocks connectivity when the rest touch.
+        let alive_end = [true, true, true, true, false];
+        let g3 = CommGraph::build_masked(&pts, &alive_end, 0.5);
+        assert!(g3.is_connected(), "dead vertices are ignored");
+        assert_eq!(g3.diameter_exact(), Some(3));
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_static_and_masked() {
+        let mut pts = line(30, 0.4);
+        let mut alive = vec![true; 30];
+        let mut g = CommGraph::build(&pts, 0.5);
+        for step in 0..4usize {
+            for (i, p) in pts.iter_mut().enumerate() {
+                p.x += ((i + step) % 3) as f64 * 0.17 - 0.15;
+                p.y = ((i * step) % 5) as f64 * 0.08;
+            }
+            for (i, a) in alive.iter_mut().enumerate() {
+                *a = (i + step) % 5 != 0;
+            }
+            g.rebuild_from(&pts, Some(&alive));
+            assert_eq!(g, CommGraph::build_masked(&pts, &alive, 0.5), "step {step}");
+            g.rebuild_from(&pts, None);
+            assert_eq!(g, CommGraph::build(&pts, 0.5), "unmasked step {step}");
+        }
+    }
+
+    #[test]
+    fn all_dead_population_counts_as_connected() {
+        let pts = line(3, 0.4);
+        let g = CommGraph::build_masked(&pts, &[false; 3], 0.5);
+        assert_eq!(g.num_present(), 0);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter_exact(), Some(0));
+        assert_eq!(g.num_edges(), 0);
     }
 }

@@ -18,7 +18,14 @@
 //!   bitwise-identical results at any thread count (see *Threads and
 //!   batching* below);
 //! * [`CommGraph`] — the communication graph over edges of length ≤ 1 − ε,
-//!   with BFS, diameter, connectivity and granularity `R_s`;
+//!   with BFS, diameter, connectivity and granularity `R_s`. Stored as
+//!   flat CSR so dynamic topologies refresh it **in place** per epoch
+//!   ([`CommGraph::rebuild_from`], allocation-reusing), with
+//!   scratch-reusing connectivity checks ([`GraphScratch`]);
+//! * [`Network::apply_churn`] / [`ChurnDelta`] — dynamic **populations**:
+//!   index-stable tombstones for stations that leave, rejoins at new
+//!   positions, spawns at fresh indices, with the spatial index and the
+//!   comm graph rebuilt in place over the survivors;
 //! * [`facts`] — Facts 1–3 of the paper as checkable predicates.
 //!
 //! # Choosing an interference mode
@@ -124,8 +131,8 @@ pub mod pool;
 pub mod reception;
 
 pub use bounds::ParamBounds;
-pub use commgraph::{CommGraph, UNREACHABLE};
-pub use network::{Network, NetworkError};
+pub use commgraph::{CommGraph, GraphScratch, UNREACHABLE};
+pub use network::{ChurnDelta, Network, NetworkError};
 pub use oracle::ReceptionOracle;
 pub use params::{ParamError, SinrParams, SinrParamsBuilder};
 pub use pool::KernelPool;

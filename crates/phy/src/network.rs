@@ -31,10 +31,63 @@ use crate::reception::{resolve_round, InterferenceMode, RoundOutcome};
 #[derive(Debug, Clone)]
 pub struct Network<P: MetricPoint> {
     points: Vec<P>,
+    /// Station liveness: index-stable tombstones for dynamic populations
+    /// (all `true` for static networks). Dead stations keep their index,
+    /// position slot and report rows, but are invisible to the spatial
+    /// index and the communication graph.
+    alive: Vec<bool>,
+    /// Number of live stations.
+    live: usize,
     params: SinrParams,
     grid: GridIndex,
     comm_graph: CommGraph,
     mode: InterferenceMode,
+}
+
+/// One batch of population changes applied at an epoch boundary by
+/// [`Network::apply_churn`]: stations leaving, dead stations rejoining at
+/// a (new) position, and brand-new stations appended at fresh indices.
+///
+/// The buffers are plain `Vec`s so a churn process can fill one reused
+/// delta per epoch without steady-state allocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChurnDelta<P> {
+    /// Live stations to tombstone.
+    pub kills: Vec<usize>,
+    /// Dead stations to revive, with the position they rejoin at.
+    pub rejoins: Vec<(usize, P)>,
+    /// New stations appended at the end of the index space (each grows
+    /// the population by one).
+    pub spawns: Vec<P>,
+}
+
+impl<P> ChurnDelta<P> {
+    /// An empty delta.
+    pub fn new() -> Self {
+        ChurnDelta {
+            kills: Vec::new(),
+            rejoins: Vec::new(),
+            spawns: Vec::new(),
+        }
+    }
+
+    /// Empties all three lists, keeping their capacity (the per-epoch
+    /// reuse entry point).
+    pub fn clear(&mut self) {
+        self.kills.clear();
+        self.rejoins.clear();
+        self.spawns.clear();
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.rejoins.is_empty() && self.spawns.is_empty()
+    }
+
+    /// Number of stations joining (rejoins plus spawns).
+    pub fn num_joining(&self) -> usize {
+        self.rejoins.len() + self.spawns.len()
+    }
 }
 
 /// Error constructing a [`Network`].
@@ -116,7 +169,10 @@ impl<P: MetricPoint> Network<P> {
             }
         }
         let comm_graph = CommGraph::build(&points, params.comm_radius());
+        let live = points.len();
         Ok(Network {
+            alive: vec![true; live],
+            live,
             points,
             params,
             grid,
@@ -150,7 +206,10 @@ impl<P: MetricPoint> Network<P> {
         self
     }
 
-    /// Number of stations.
+    /// Number of stations, **including** tombstoned ones — the length of
+    /// every index-stable per-station vector (positions, reports,
+    /// protocol states). See [`Network::live_count`] for the live
+    /// population.
     pub fn len(&self) -> usize {
         self.points.len()
     }
@@ -158,6 +217,22 @@ impl<P: MetricPoint> Network<P> {
     /// Whether the network has no stations.
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
+    }
+
+    /// Number of live stations (equals [`Network::len`] until churn kills
+    /// someone).
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Station liveness flags, indexed by station.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Whether station `v` is live.
+    pub fn is_alive(&self, v: usize) -> bool {
+        self.alive[v]
     }
 
     /// Station positions.
@@ -180,9 +255,28 @@ impl<P: MetricPoint> Network<P> {
         &self.grid
     }
 
-    /// The communication graph (edges at distance ≤ 1 − ε).
+    /// The communication graph (edges at distance ≤ 1 − ε) over the
+    /// **current** live deployment.
+    ///
+    /// Static networks build it once; dynamic ones keep it current:
+    /// [`Network::apply_churn`] refreshes it as part of the churn
+    /// transaction, and the engine calls [`Network::refresh_comm_graph`]
+    /// after every mobility epoch, so connectivity-dependent predicates
+    /// always see the epoch-refreshed graph (direct
+    /// [`Network::update_positions`] callers refresh explicitly).
     pub fn comm_graph(&self) -> &CommGraph {
         &self.comm_graph
+    }
+
+    /// Rebuilds the communication graph **in place** over the current
+    /// positions and liveness — the epoch refresh path. Reuses the
+    /// graph's CSR and spatial-index allocations
+    /// ([`CommGraph::rebuild_from`]), so steady-state refreshes perform
+    /// no heap allocations, and produces exactly what a fresh
+    /// [`CommGraph::build_masked`] over the same deployment would.
+    pub fn refresh_comm_graph(&mut self) {
+        self.comm_graph
+            .rebuild_from(&self.points, Some(&self.alive));
     }
 
     /// Interference evaluation mode in use.
@@ -205,28 +299,107 @@ impl<P: MetricPoint> Network<P> {
     /// Two static-construction invariants deliberately do **not** re-run
     /// here: the minimum-separation check (mobile stations may drift
     /// arbitrarily close; the SINR kernels clamp distances at
-    /// [`SinrParams::MIN_DISTANCE`]) and the communication graph, which
-    /// keeps describing the **initial** deployment (recompute
-    /// [`CommGraph::build`] from [`Network::points`] when a per-epoch
-    /// graph is needed — no protocol consults it mid-run).
+    /// [`SinrParams::MIN_DISTANCE`]) and the communication graph — call
+    /// [`Network::refresh_comm_graph`] after moving when the graph must
+    /// track the new deployment (the engine does so at every epoch
+    /// boundary, so scenario-level connectivity predicates always see
+    /// the epoch-refreshed graph).
     pub fn update_positions(&mut self, update: impl FnOnce(&mut [P])) {
         update(&mut self.points);
-        self.grid.rebuild_from(&self.points);
+        self.grid.rebuild_from_masked(&self.points, &self.alive);
     }
 
-    /// Resolves one round with transmitter set `transmitters`.
+    /// Applies one batch of population churn: kills tombstone their
+    /// stations (index-stable — positions, reports and protocol states
+    /// keep their rows), rejoins revive dead stations at a new position,
+    /// and spawns append brand-new stations at fresh indices. The spatial
+    /// index and the communication graph are rebuilt **in place** over
+    /// the surviving population (allocation-reusing, bit-identical to
+    /// fresh builds of the same deployment — `tests/churn_equivalence.rs`
+    /// pins this), so the network is fully consistent when this returns.
+    ///
+    /// Like [`Network::update_positions`], the static min-separation
+    /// check does not re-run: churned arrivals may land arbitrarily close
+    /// to a live station ([`SinrParams::MIN_DISTANCE`] clamps signals).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a kill names a station that is not live, a rejoin
+    /// names one that is not dead, or an index is out of range —
+    /// malformed deltas indicate a churn-model bug, not a runtime
+    /// condition.
+    pub fn apply_churn(&mut self, delta: &ChurnDelta<P>) {
+        self.apply_churn_deferred(delta);
+        self.refresh_comm_graph();
+    }
+
+    /// As [`Network::apply_churn`], but leaves the communication graph
+    /// **stale** (the spatial index is still rebuilt — reception is
+    /// always consistent). For callers that immediately move stations
+    /// afterwards and refresh once — the engine's combined
+    /// churn+mobility epoch boundary, which would otherwise pay two
+    /// full graph rebuilds. Call [`Network::refresh_comm_graph`] before
+    /// consulting the graph.
+    pub fn apply_churn_deferred(&mut self, delta: &ChurnDelta<P>) {
+        for &k in &delta.kills {
+            assert!(
+                self.alive[k],
+                "churn kill of station {k}, which is not live"
+            );
+            self.alive[k] = false;
+            self.live -= 1;
+        }
+        for &(r, p) in &delta.rejoins {
+            assert!(!self.alive[r], "churn rejoin of station {r}, which is live");
+            self.alive[r] = true;
+            self.points[r] = p;
+            self.live += 1;
+        }
+        for &p in &delta.spawns {
+            self.points.push(p);
+            self.alive.push(true);
+            self.live += 1;
+        }
+        self.grid.rebuild_from_masked(&self.points, &self.alive);
+    }
+
+    /// Resolves one round with transmitter set `transmitters` (which must
+    /// name live stations).
     ///
     /// One-shot convenience (allocates fresh oracle state per call). Round
     /// loops should hold a [`ReceptionOracle`] from
     /// [`Network::new_oracle`] and call [`Network::resolve_with`] instead.
     pub fn resolve(&self, transmitters: &[usize]) -> RoundOutcome {
-        resolve_round(
+        let mut out = resolve_round(
             &self.points,
             &self.params,
             transmitters,
             self.mode,
             Some(&self.grid),
-        )
+        );
+        self.mask_dead(&mut out);
+        out
+    }
+
+    /// Tombstoned stations neither transmit nor receive. The grid-backed
+    /// kernels never see them (the masked index holds no slot for them);
+    /// the exact kernel iterates every receiver row, so its decode
+    /// entries for dead stations are cleared here — keeping
+    /// [`RoundOutcome`] identical across interference modes on churned
+    /// populations. No-op (branch only) while everyone is live.
+    fn mask_dead(&self, out: &mut RoundOutcome) {
+        if self.live == self.len() {
+            return;
+        }
+        debug_assert!(
+            out.decoded_from.len() == self.len(),
+            "outcome covers the station range"
+        );
+        for (d, &a) in out.decoded_from.iter_mut().zip(&self.alive) {
+            if !a {
+                *d = None;
+            }
+        }
     }
 
     /// A reception oracle pre-sized for this network, for use with
@@ -252,6 +425,7 @@ impl<P: MetricPoint> Network<P> {
             Some(&self.grid),
             out,
         );
+        self.mask_dead(out);
     }
 
     /// As [`Network::resolve_with`], sharding the accumulate stage of the
@@ -274,6 +448,7 @@ impl<P: MetricPoint> Network<P> {
             pool,
             out,
         );
+        self.mask_dead(out);
     }
 
     /// Indices of stations within distance `radius` of station `v`
@@ -378,6 +553,82 @@ mod tests {
         // The rebuilt index matches a from-scratch build over the moved
         // points.
         assert_eq!(*net.grid(), GridIndex::build(net.points(), 1.0));
+    }
+
+    #[test]
+    fn apply_churn_kills_rejoins_and_spawns() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.5, 0.0),
+            Point2::new(1.0, 0.0),
+        ];
+        let mut net = Network::new(pts, SinrParams::default_plane()).unwrap();
+        assert_eq!(net.live_count(), 3);
+
+        // Kill station 1: the path graph loses its middle vertex.
+        let mut delta = ChurnDelta::new();
+        delta.kills.push(1);
+        net.apply_churn(&delta);
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.live_count(), 2);
+        assert!(!net.is_alive(1));
+        assert!(!net.comm_graph().is_connected(), "kill cut the path");
+        // A dead station neither receives nor blocks: 0's transmission
+        // reaches nobody in range.
+        let out = net.resolve(&[0]);
+        assert_eq!(out.decoded_from[1], None, "dead stations receive nothing");
+
+        // Rejoin station 1 next to station 0, spawn a fourth station.
+        delta.clear();
+        delta.rejoins.push((1, Point2::new(0.5, 0.0)));
+        delta.spawns.push(Point2::new(1.4, 0.0));
+        net.apply_churn(&delta);
+        assert_eq!(net.len(), 4);
+        assert_eq!(net.live_count(), 4);
+        assert_eq!(net.position(1), Point2::new(0.5, 0.0));
+        assert!(net.is_alive(3));
+        assert!(net.comm_graph().is_connected(), "rejoin + spawn reconnect");
+        // Rebuilt structures match fresh builds over the same deployment.
+        assert_eq!(
+            *net.grid(),
+            sinr_geometry::GridIndex::build_masked(net.points(), net.alive(), 1.0)
+        );
+        assert_eq!(
+            *net.comm_graph(),
+            CommGraph::build_masked(net.points(), net.alive(), net.params().comm_radius())
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn churn_kill_of_dead_station_panics() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.5, 0.0)];
+        let mut net = Network::new(pts, SinrParams::default_plane()).unwrap();
+        let mut delta = ChurnDelta::new();
+        delta.kills.push(1);
+        net.apply_churn(&delta);
+        net.apply_churn(&delta); // 1 is already dead
+    }
+
+    #[test]
+    fn refresh_comm_graph_tracks_moved_positions() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.5, 0.0),
+            Point2::new(5.0, 0.0),
+        ];
+        let mut net = Network::new(pts, SinrParams::default_plane()).unwrap();
+        assert!(!net.comm_graph().is_connected());
+        net.update_positions(|pts| pts[2] = Point2::new(0.9, 0.0));
+        net.refresh_comm_graph();
+        assert!(
+            net.comm_graph().is_connected(),
+            "epoch-refreshed graph sees the move"
+        );
+        assert_eq!(
+            *net.comm_graph(),
+            CommGraph::build(net.points(), net.params().comm_radius())
+        );
     }
 
     #[test]

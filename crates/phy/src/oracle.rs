@@ -261,7 +261,11 @@ impl ReceptionOracle {
                     "grid-native near radius {near_radius} must be at least 2"
                 );
                 let grid = grid.expect("GridNative interference mode requires a grid index");
-                debug_assert_eq!(grid.len(), n, "grid must index the same points");
+                debug_assert_eq!(
+                    grid.domain_len(),
+                    n,
+                    "grid must be built over the same point slice"
+                );
                 self.bucket_transmitters(points, transmitters, grid);
                 self.accumulate_grid_native::<P>(params, near_radius, grid, pool);
                 self.scatter_slots(grid);
@@ -460,6 +464,10 @@ impl ReceptionOracle {
         grid: &GridIndex,
         pool: &mut KernelPool,
     ) {
+        // Number of *slots* — under a liveness mask (churned populations)
+        // this is the live count: dead stations occupy no slot, receive
+        // nothing (their accumulators keep the reset state) and, never
+        // transmitting, contribute nothing.
         let n = grid.len();
         // No fill needed: every slot is written exactly once per round.
         self.slot_total.resize(n, 0.0);

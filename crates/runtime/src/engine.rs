@@ -2,9 +2,9 @@
 
 use rand::rngs::SmallRng;
 use sinr_geometry::MetricPoint;
-use sinr_phy::{KernelPool, Network, ReceptionOracle, RoundOutcome};
+use sinr_phy::{ChurnDelta, GraphScratch, KernelPool, Network, ReceptionOracle, RoundOutcome};
 
-use crate::protocol::{NodeCtx, Protocol};
+use crate::protocol::{NodeCtx, Protocol, TopologyChange};
 use crate::rng::node_rng;
 use crate::trace::{RoundStats, Trace};
 
@@ -29,6 +29,25 @@ struct Mobility<P> {
     /// Moves the stations by one epoch; called with the epoch index
     /// (1 at the first boundary) and the positions to update.
     mover: Mover<P>,
+}
+
+/// The boxed churn generator of a dynamic-population trial: called with
+/// the epoch index, the current liveness flags, and the (cleared, reused)
+/// delta to fill.
+type Churner<P> = Box<dyn FnMut(u64, &[bool], &mut ChurnDelta<P>)>;
+
+/// Builds the state machine of a station spawned mid-run.
+type Spawner<Pr> = Box<dyn FnMut(usize) -> Pr>;
+
+/// Epoch-boundary population hook of a dynamic-population trial.
+struct Churn<P, Pr> {
+    /// Rounds per churn epoch (boundaries at round numbers divisible by
+    /// this; independent of the mobility epoch length).
+    epoch_rounds: u64,
+    /// Fills the epoch's [`ChurnDelta`].
+    churner: Churner<P>,
+    /// Constructs the protocol state of spawned stations.
+    spawner: Spawner<Pr>,
 }
 
 /// Drives a set of per-node [`Protocol`] state machines over a
@@ -88,6 +107,17 @@ pub struct Engine<P: MetricPoint, Pr: Protocol> {
     /// epoch boundaries the mover updates positions and the network
     /// reindexes in place.
     mobility: Option<Mobility<P>>,
+    /// Dynamic-population hook: at churn epoch boundaries stations leave,
+    /// rejoin and spawn ([`Engine::set_churn`]).
+    churn: Option<Churn<P, Pr>>,
+    /// Reused per-epoch churn delta (no steady-state allocation while
+    /// the delta stays under its high-water mark).
+    delta: ChurnDelta<P>,
+    /// Reused BFS scratch for the epoch-boundary connectivity checks.
+    graph_scratch: GraphScratch,
+    /// The seed node RNGs derive from — retained so stations spawned
+    /// mid-run get their own deterministic streams.
+    seed: u64,
 }
 
 impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
@@ -112,6 +142,10 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
             pool: KernelPool::serial(),
             outcome: RoundOutcome::empty(),
             mobility: None,
+            churn: None,
+            delta: ChurnDelta::new(),
+            graph_scratch: GraphScratch::new(),
+            seed,
         }
     }
 
@@ -136,6 +170,45 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
         self.mobility = Some(Mobility {
             epoch_rounds,
             mover: Box::new(mover),
+        });
+    }
+
+    /// Makes the **population** dynamic: every `epoch_rounds` rounds
+    /// `churner` fills a (reused) [`ChurnDelta`] — stations to kill,
+    /// dead stations to rejoin at a new position, new stations to spawn —
+    /// and the engine applies it as one transaction:
+    ///
+    /// 1. [`Protocol::on_leave`] fires on each killed station (its state
+    ///    is retained — tombstoned, not dropped — so report vectors stay
+    ///    index-stable and a later rejoin revives its memory);
+    /// 2. [`Network::apply_churn`] tombstones/revives/appends and rebuilds
+    ///    the spatial index and communication graph in place;
+    /// 3. spawned stations get state machines from `spawner` and fresh
+    ///    per-node RNG streams derived from the run seed (a pure function
+    ///    of their index, so churned runs replay bit-for-bit);
+    /// 4. [`Protocol::on_join`] fires on every rejoined and spawned
+    ///    station, then [`Protocol::on_topology_change`] on every live
+    ///    station with the refreshed graph's connectivity.
+    ///
+    /// Dead stations are excluded from transmit/receive entirely and
+    /// their RNG streams do not advance while down. Churn composes with
+    /// [`Engine::set_mobility`]: the two epochs fire independently and a
+    /// boundary where either fires refreshes the communication graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_rounds` is zero.
+    pub fn set_churn(
+        &mut self,
+        epoch_rounds: u64,
+        churner: impl FnMut(u64, &[bool], &mut ChurnDelta<P>) + 'static,
+        spawner: impl FnMut(usize) -> Pr + 'static,
+    ) {
+        assert!(epoch_rounds > 0, "epoch length must be at least one round");
+        self.churn = Some(Churn {
+            epoch_rounds,
+            churner: Box::new(churner),
+            spawner: Box::new(spawner),
         });
     }
 
@@ -202,21 +275,24 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
 
     /// Executes one synchronous round; returns its statistics.
     pub fn step(&mut self) -> RoundStats {
-        // Epoch boundary first: stations move *between* rounds, so the
-        // round about to resolve already sees the new positions.
-        if let Some(m) = self.mobility.as_mut() {
-            if self.round > 0 && self.round % m.epoch_rounds == 0 {
-                let epoch = self.round / m.epoch_rounds;
-                let mover = &mut m.mover;
-                self.net.update_positions(|pts| mover(epoch, pts));
-            }
-        }
+        // Epoch boundaries first: stations move/churn *between* rounds,
+        // so the round about to resolve already sees the new deployment.
+        self.epoch_boundary();
         let n = self.net.len();
+        // Static populations skip the per-node liveness loads entirely —
+        // the dominant case, and these loops are lean enough (a few
+        // hundred ns per round on small protocols) for two extra
+        // bounds-checked reads per node to show up in the tracked
+        // broadcast benchmarks.
+        let all_live = self.net.live_count() == n;
         self.tx_ids.clear();
         self.tx_msgs.clear();
         self.tx_msgs.resize_with(n, || None);
 
         for id in 0..n {
+            if !all_live && !self.net.is_alive(id) {
+                continue;
+            }
             let mut ctx = NodeCtx {
                 id,
                 round: self.round,
@@ -241,6 +317,9 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
             self.tx_counts[t] += 1;
         }
         for id in 0..n {
+            if !all_live && !self.net.is_alive(id) {
+                continue;
+            }
             let transmitted = self.tx_msgs[id].is_some();
             let received =
                 self.outcome.decoded_from[id].and_then(|from| self.tx_msgs[from].as_ref());
@@ -266,6 +345,146 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
         stats
     }
 
+    /// Applies any due epoch boundaries: churn first (the departing
+    /// stations get `on_leave` before they vanish, arrivals land before
+    /// motion), then mobility, then — if anything changed — one
+    /// communication-graph refresh notification to every live node. All
+    /// scratch (delta, BFS buffers, graph CSR, grid) is reused, so
+    /// boundaries allocate nothing in steady state while `n` is stable.
+    fn epoch_boundary(&mut self) {
+        if self.round == 0 {
+            return;
+        }
+        let churn_due = self
+            .churn
+            .as_ref()
+            .is_some_and(|c| self.round % c.epoch_rounds == 0);
+        let mobility_due = self
+            .mobility
+            .as_ref()
+            .is_some_and(|m| self.round % m.epoch_rounds == 0);
+        if !churn_due && !mobility_due {
+            return;
+        }
+        // Generate the epoch's delta first (the churner never touches the
+        // network), so a no-op churn boundary returns before paying the
+        // pre-change connectivity BFS below.
+        if churn_due {
+            let c = self.churn.as_mut().expect("churn_due checked");
+            let epoch = self.round / c.epoch_rounds;
+            self.delta.clear();
+            (c.churner)(epoch, self.net.alive(), &mut self.delta);
+        } else {
+            self.delta.clear();
+        }
+        if self.delta.is_empty() && !mobility_due {
+            return;
+        }
+        // Connectivity of the live graph *before* this boundary's churn
+        // and motion (the `was_connected` half of the topology event).
+        let was_connected = self
+            .net
+            .comm_graph()
+            .is_connected_with(&mut self.graph_scratch);
+        let mut joined = 0usize;
+        let mut left = 0usize;
+        if churn_due {
+            let c = self.churn.as_mut().expect("churn_due checked");
+            if !self.delta.is_empty() {
+                let n = self.net.len();
+                // Departures hear about it while still alive.
+                for &k in &self.delta.kills {
+                    let mut ctx = NodeCtx {
+                        id: k,
+                        round: self.round,
+                        n,
+                        rng: &mut self.rngs[k],
+                    };
+                    self.nodes[k].on_leave(&mut ctx);
+                }
+                // When mobility fires at the same boundary it rebuilds
+                // the graph right after moving — skip the intermediate
+                // rebuild the combined boundary would otherwise discard.
+                if mobility_due {
+                    self.net.apply_churn_deferred(&self.delta);
+                } else {
+                    self.net.apply_churn(&self.delta);
+                }
+                let new_n = self.net.len();
+                for id in n..new_n {
+                    self.nodes.push((c.spawner)(id));
+                    self.rngs.push(node_rng(self.seed, id as u64, 0));
+                    self.tx_counts.push(0);
+                    self.rx_counts.push(0);
+                }
+                for &(r, _) in &self.delta.rejoins {
+                    let mut ctx = NodeCtx {
+                        id: r,
+                        round: self.round,
+                        n: new_n,
+                        rng: &mut self.rngs[r],
+                    };
+                    self.nodes[r].on_join(&mut ctx);
+                }
+                for id in n..new_n {
+                    let mut ctx = NodeCtx {
+                        id,
+                        round: self.round,
+                        n: new_n,
+                        rng: &mut self.rngs[id],
+                    };
+                    self.nodes[id].on_join(&mut ctx);
+                }
+                joined = self.delta.num_joining();
+                left = self.delta.kills.len();
+            }
+        }
+        if mobility_due {
+            let m = self.mobility.as_mut().expect("mobility_due checked");
+            let epoch = self.round / m.epoch_rounds;
+            let mover = &mut m.mover;
+            self.net.update_positions(|pts| mover(epoch, pts));
+            // The stale-graph footgun fix: plain mobile runs refresh the
+            // communication graph too, so connectivity-dependent stop
+            // predicates see the current deployment. (Churn boundaries
+            // already refreshed inside `apply_churn`.)
+            self.net.refresh_comm_graph();
+        }
+        let connected = self
+            .net
+            .comm_graph()
+            .is_connected_with(&mut self.graph_scratch);
+        let change = TopologyChange {
+            round: self.round,
+            joined,
+            left,
+            was_connected,
+            connected,
+        };
+        let n = self.net.len();
+        for id in 0..n {
+            if !self.net.is_alive(id) {
+                continue;
+            }
+            let mut ctx = NodeCtx {
+                id,
+                round: self.round,
+                n,
+                rng: &mut self.rngs[id],
+            };
+            self.nodes[id].on_topology_change(&mut ctx, &change);
+        }
+    }
+
+    /// Whether every **live** node reports [`Protocol::is_done`]
+    /// (tombstoned stations never block completion).
+    pub fn all_live_done(&self) -> bool {
+        self.nodes
+            .iter()
+            .zip(self.net.alive())
+            .all(|(nd, &a)| !a || nd.is_done())
+    }
+
     /// Runs until `pred` holds (checked *before* each round, so a
     /// pre-satisfied predicate costs zero rounds) or `max_rounds` elapse.
     pub fn run_until(&mut self, max_rounds: u64, mut pred: impl FnMut(&Self) -> bool) -> RunResult {
@@ -287,10 +506,10 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
         }
     }
 
-    /// Runs until every node reports [`Protocol::is_done`], up to
-    /// `max_rounds`.
+    /// Runs until every **live** node reports [`Protocol::is_done`], up
+    /// to `max_rounds` (identical to "every node" on static populations).
     pub fn run_until_all_done(&mut self, max_rounds: u64) -> RunResult {
-        self.run_until(max_rounds, |eng| eng.nodes.iter().all(Pr::is_done))
+        self.run_until(max_rounds, Engine::all_live_done)
     }
 
     /// Runs exactly `rounds` rounds.
@@ -502,6 +721,143 @@ mod tests {
     fn zero_epoch_length_rejected() {
         let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
         eng.set_mobility(0, |_, _: &mut [Point2]| {});
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_churn_epoch_length_rejected() {
+        let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
+        eng.set_churn(
+            0,
+            |_, _, _: &mut sinr_phy::ChurnDelta<Point2>| {},
+            |id| Beacon { id, heard: 0 },
+        );
+    }
+
+    #[test]
+    fn churn_kills_rejoins_and_spawns_through_the_engine() {
+        // Node 0 beacons every round. Epoch 1 kills node 1; epoch 2
+        // rejoins it next to the source; epoch 3 spawns node 2 in range.
+        let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
+        eng.set_churn(
+            2,
+            |epoch, alive, delta: &mut sinr_phy::ChurnDelta<Point2>| match epoch {
+                1 => {
+                    assert!(alive[1]);
+                    delta.kills.push(1);
+                }
+                2 => {
+                    assert!(!alive[1]);
+                    delta.rejoins.push((1, Point2::new(0.5, 0.0)));
+                }
+                3 => delta.spawns.push(Point2::new(0.25, 0.0)),
+                _ => {}
+            },
+            |id| Beacon { id, heard: 0 },
+        );
+        eng.run_rounds(10);
+        // Rounds 0-1: node 1 hears twice. Rounds 2-3: dead, hears
+        // nothing, rx stream frozen. Rounds 4-9: alive again, hears 6.
+        assert_eq!(eng.rx_counts()[0], 0);
+        assert_eq!(eng.rx_counts()[1], 8, "2 before death + 6 after rejoin");
+        assert_eq!(eng.network().len(), 3, "one spawn appended");
+        assert!(eng.network().is_alive(2));
+        assert_eq!(eng.rx_counts()[2], 4, "spawned at round 6, heard 6..10");
+        assert_eq!(eng.tx_counts(), &[10, 0, 0], "only the beacon transmits");
+        assert_eq!(eng.nodes().len(), 3);
+    }
+
+    #[test]
+    fn lifecycle_events_are_delivered_in_order() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Log(Arc<Mutex<Vec<String>>>);
+        struct Observer {
+            id: usize,
+            log: Log,
+        }
+        impl Protocol for Observer {
+            type Msg = ();
+            fn poll_transmit(&mut self, _: &mut NodeCtx<'_>) -> Option<()> {
+                None
+            }
+            fn on_round_end(&mut self, _: &mut NodeCtx<'_>, _: bool, _: Option<&()>) {}
+            fn on_join(&mut self, ctx: &mut NodeCtx<'_>) {
+                self.log
+                    .0
+                    .lock()
+                    .unwrap()
+                    .push(format!("join:{}@{}", self.id, ctx.round));
+            }
+            fn on_leave(&mut self, ctx: &mut NodeCtx<'_>) {
+                self.log
+                    .0
+                    .lock()
+                    .unwrap()
+                    .push(format!("leave:{}@{}", self.id, ctx.round));
+            }
+            fn on_topology_change(&mut self, _: &mut NodeCtx<'_>, change: &TopologyChange) {
+                self.log.0.lock().unwrap().push(format!(
+                    "topo:{}@{}:j{}l{}:{}-{}",
+                    self.id,
+                    change.round,
+                    change.joined,
+                    change.left,
+                    change.was_connected,
+                    change.connected
+                ));
+            }
+        }
+        let log = Log::default();
+        let l = log.clone();
+        let mut eng = Engine::new(net2(), 7, move |id| Observer { id, log: l.clone() });
+        let l = log.clone();
+        eng.set_churn(
+            2,
+            |epoch, _, delta: &mut sinr_phy::ChurnDelta<Point2>| match epoch {
+                1 => delta.kills.push(1),
+                2 => delta.rejoins.push((1, Point2::new(0.5, 0.0))),
+                _ => {}
+            },
+            move |id| Observer { id, log: l.clone() },
+        );
+        eng.run_rounds(6);
+        let events = log.0.lock().unwrap().clone();
+        assert_eq!(
+            events,
+            vec![
+                // Round-2 boundary: node 1 leaves; the survivor is told
+                // the (still-"connected": one live station) graph changed.
+                "leave:1@2",
+                "topo:0@2:j0l1:true-true",
+                // Round-4 boundary: node 1 rejoins; both live nodes see it.
+                "join:1@4",
+                "topo:0@4:j1l0:true-true",
+                "topo:1@4:j1l0:true-true",
+            ],
+            "lifecycle order"
+        );
+    }
+
+    #[test]
+    fn dead_stations_do_not_block_run_until_all_done() {
+        // Node 1 can never hear 3 beacons while dead — but dead nodes are
+        // excluded from the completion predicate.
+        let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
+        eng.set_churn(
+            1,
+            |epoch, _, delta: &mut sinr_phy::ChurnDelta<Point2>| {
+                if epoch == 1 {
+                    delta.kills.push(1);
+                }
+            },
+            |id| Beacon { id, heard: 0 },
+        );
+        let res = eng.run_until_all_done(100);
+        assert!(res.completed);
+        assert_eq!(res.rounds, 2, "round 0 + the boundary killing node 1");
+        assert!(eng.all_live_done());
     }
 
     #[test]

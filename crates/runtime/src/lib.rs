@@ -26,6 +26,6 @@ pub mod trace;
 
 pub use adversary::WakeSchedule;
 pub use engine::{Engine, RunResult};
-pub use protocol::{bernoulli, NodeCtx, Protocol};
+pub use protocol::{bernoulli, NodeCtx, Protocol, TopologyChange};
 pub use rng::{derive_seed, node_rng};
 pub use trace::{RoundStats, Trace};

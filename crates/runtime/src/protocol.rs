@@ -30,12 +30,62 @@ pub struct NodeCtx<'a> {
     pub rng: &'a mut SmallRng,
 }
 
+/// What changed at an epoch boundary of a dynamic topology, delivered to
+/// every live node through [`Protocol::on_topology_change`] after the
+/// engine refreshed the network's communication graph.
+///
+/// The connectivity flags come from the scratch-reusing
+/// `CommGraph::is_connected_with` over the **live** population, so
+/// protocols can react to partitions healing (`!was_connected &&
+/// connected`) or to stations joining (`joined > 0`) — the re-flooding
+/// broadcast re-seeds on exactly these signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologyChange {
+    /// Round number at whose boundary the change happened (the first
+    /// round resolved *after* the change).
+    pub round: u64,
+    /// Stations that joined or rejoined at this boundary.
+    pub joined: usize,
+    /// Stations that left (were tombstoned) at this boundary.
+    pub left: usize,
+    /// Whether the live communication graph was connected before the
+    /// epoch's motion/churn.
+    pub was_connected: bool,
+    /// Whether the refreshed live communication graph is connected now.
+    pub connected: bool,
+}
+
+impl TopologyChange {
+    /// Whether this boundary may have changed **who can reach whom**:
+    /// stations joined, a disconnected graph healed, or the graph is (or
+    /// was) disconnected at all — while components exist, motion can
+    /// splice stations between them without the graph ever becoming
+    /// connected, so only a boundary that stays connected with no joins
+    /// is guaranteed to leave reachability intact. The signal a
+    /// dissemination protocol re-seeds on.
+    pub fn may_alter_reachability(&self) -> bool {
+        self.joined > 0 || !(self.connected && self.was_connected)
+    }
+}
+
 /// A per-node protocol state machine.
 ///
 /// `Msg` is the message type placed on the channel. A transmission carries
 /// one `Msg`; the model allows the broadcast message plus `O(log n)` extra
 /// bits, which all implemented protocols respect (their `Msg` types hold a
 /// constant number of words).
+///
+/// # Lifecycle under dynamic populations
+///
+/// On static topologies only the three round hooks ever fire. When the
+/// engine runs churn (`Engine::set_churn`), nodes additionally receive
+/// [`Protocol::on_leave`] when tombstoned, [`Protocol::on_join`] when they
+/// (re)enter the network, and — on any epoch boundary that moved or
+/// churned stations — [`Protocol::on_topology_change`] with the refreshed
+/// communication graph's connectivity. All three default to no-ops, so
+/// static protocols need no changes. Dead nodes are excluded from
+/// `poll_transmit` / `on_round_end` entirely (their RNG streams do not
+/// advance while they are down).
 pub trait Protocol: Send {
     /// Channel message type.
     type Msg: Clone + Send;
@@ -55,9 +105,61 @@ pub trait Protocol: Send {
 
     /// Whether this node has locally completed its task. The engine's
     /// [`crate::Engine::run_until_all_done`] uses this as the global
-    /// termination predicate.
+    /// termination predicate (over the **live** nodes).
     fn is_done(&self) -> bool {
         false
+    }
+
+    /// The station (re)joined the network: called once when a churned
+    /// station rejoins at a new position or a freshly spawned station
+    /// enters (also delivered to spawned nodes right after construction,
+    /// so join-time state lives in one place). Default: no-op.
+    fn on_join(&mut self, _ctx: &mut NodeCtx<'_>) {}
+
+    /// The station left the network (crash/tombstone). Its state is
+    /// retained — a later [`Protocol::on_join`] may revive it with its
+    /// memory intact, modelling a rejoining station. Default: no-op.
+    fn on_leave(&mut self, _ctx: &mut NodeCtx<'_>) {}
+
+    /// An epoch boundary moved and/or churned the population; the
+    /// network's communication graph has been refreshed. Delivered to
+    /// every live node. Default: no-op.
+    fn on_topology_change(&mut self, _ctx: &mut NodeCtx<'_>, _change: &TopologyChange) {}
+}
+
+/// Boxed protocols forward every hook — `Protocol` is object-safe for a
+/// fixed `Msg`, so heterogeneous strategies can share one engine type as
+/// `Box<dyn Protocol<Msg = M>>`.
+impl<T: Protocol + ?Sized> Protocol for Box<T> {
+    type Msg = T::Msg;
+
+    fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<Self::Msg> {
+        (**self).poll_transmit(ctx)
+    }
+
+    fn on_round_end(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        transmitted: bool,
+        received: Option<&Self::Msg>,
+    ) {
+        (**self).on_round_end(ctx, transmitted, received)
+    }
+
+    fn is_done(&self) -> bool {
+        (**self).is_done()
+    }
+
+    fn on_join(&mut self, ctx: &mut NodeCtx<'_>) {
+        (**self).on_join(ctx)
+    }
+
+    fn on_leave(&mut self, ctx: &mut NodeCtx<'_>) {
+        (**self).on_leave(ctx)
+    }
+
+    fn on_topology_change(&mut self, ctx: &mut NodeCtx<'_>, change: &TopologyChange) {
+        (**self).on_topology_change(ctx, change)
     }
 }
 

@@ -11,7 +11,7 @@ use sinr_broadcast::geometry::Point2;
 use sinr_broadcast::netgen::{cluster, line, uniform};
 use sinr_broadcast::phy::SinrParams;
 use sinr_broadcast::runtime::derive_seed;
-use sinr_broadcast::sim::{MobilitySpec, ProtocolSpec, Scenario, TopologySpec};
+use sinr_broadcast::sim::{ChurnSpec, MobilitySpec, ProtocolSpec, Scenario, TopologySpec};
 
 #[test]
 fn seed_derivation_pinned() {
@@ -141,6 +141,53 @@ fn mobile_broadcast_golden() {
         "pinned mobile flood energy drifted"
     );
 }
+
+#[test]
+fn churned_broadcast_golden() {
+    // A seeded churned run pinned end to end: re-flooding broadcast over
+    // a 6×6 lattice with random-waypoint motion every 4 rounds AND
+    // Poisson churn every 4 rounds. Any change to the churn stream
+    // derivation, the delta application order, the lifecycle event
+    // sequence, or the epoch refresh path flips these values and must be
+    // reviewed deliberately (the example `examples/churn_broadcast.rs`
+    // exercises the same builder surface at scale).
+    let sim = Scenario::new(TopologySpec::Lattice {
+        rows: 6,
+        cols: 6,
+        spacing: 0.6,
+    })
+    .protocol(ProtocolSpec::ReFloodBroadcast {
+        source: 0,
+        p: 0.3,
+        burst_rounds: 16,
+    })
+    .mobility(MobilitySpec::random_waypoint(0.2, 4))
+    .churn(ChurnSpec::poisson(1.5, 6.0, 4))
+    .budget(500)
+    .build()
+    .unwrap();
+    let a = sim.run(2014).unwrap();
+    assert_eq!(a, sim.run(2014).unwrap(), "churned golden run must replay");
+    assert_eq!(a.n, 36, "reports carry the initial population");
+    assert_eq!(
+        a.rounds, GOLDEN_CHURN_ROUNDS,
+        "pinned churned round count drifted"
+    );
+    assert_eq!(
+        a.total_transmissions, GOLDEN_CHURN_TX,
+        "pinned churned energy drifted"
+    );
+    assert!(a.completed, "every live station informed within budget");
+    assert_eq!(
+        a.informed, GOLDEN_CHURN_INFORMED,
+        "informed counts the live survivors (n = 36 at epoch 0)"
+    );
+}
+
+/// Pinned values of `churned_broadcast_golden` (seed 2014).
+const GOLDEN_CHURN_ROUNDS: u64 = 14;
+const GOLDEN_CHURN_TX: u64 = 45;
+const GOLDEN_CHURN_INFORMED: usize = 24;
 
 #[test]
 fn schedule_lengths_pinned() {
