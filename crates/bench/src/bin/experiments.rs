@@ -20,6 +20,9 @@ fn usage() {
     eprintln!("ids: {}", ALL_IDS.join(", "));
 }
 
+// Wall-clock progress timing in the experiments driver: bench is the one
+// crate allowed to read clocks (clippy.toml mirrors sinr-lint wall-clock).
+#[allow(clippy::disallowed_methods)]
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {

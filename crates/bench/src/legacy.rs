@@ -94,6 +94,10 @@ pub fn resolve_round<P: MetricPoint>(
                 centroid: [f64; 3],
                 members: Vec<usize>,
             }
+            // Frozen pre-oracle implementation, kept bit-exact for the
+            // legacy-parity differential tests — the HashMap (and its
+            // allocation churn) is the point of comparison, not a bug.
+            #[allow(clippy::disallowed_types)]
             let mut cells: std::collections::HashMap<[i64; 3], TxCell> =
                 std::collections::HashMap::new();
             for &t in transmitters {

@@ -26,6 +26,13 @@
 //! Every experiment drives the [`sinr_sim::Scenario`] builder through the
 //! shared [`sweep_table`]/[`sweep_cell`] helpers below — the per-trial
 //! seed loops live here, once.
+//!
+//! Like every library crate in the workspace, this harness is pure safe
+//! Rust (`sinr-lint` rule `forbid-unsafe` checks the attribute below); it
+//! is also the one crate *allowed* to read wall clocks and print, being
+//! the designated measurement/reporting surface.
+
+#![forbid(unsafe_code)]
 
 pub mod broadcast_suite;
 pub mod churn_suite;

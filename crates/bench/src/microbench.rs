@@ -47,6 +47,9 @@ impl BenchRecord {
 
 /// Runs `f` for `iters` timed iterations (after `warmup` untimed ones),
 /// prints one line of statistics and returns the measurement.
+// bench is the one crate whose job is reading the wall clock
+// (clippy.toml mirrors sinr-lint's wall-clock rule workspace-wide).
+#[allow(clippy::disallowed_methods)]
 pub fn bench_record(
     name: &str,
     n: usize,

@@ -20,7 +20,7 @@
 //! Comparing the paper's algorithms against this oracle measures the price
 //! of *not* knowing the geometry — the reproduction's answer to the title.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sinr_geometry::MetricPoint;
 use sinr_phy::{Network, NetworkError, SinrParams};
@@ -97,8 +97,10 @@ pub(crate) fn run_gps_oracle_on<P: MetricPoint>(
         // Active class this round.
         let slot = (rounds % (k * k) as u64) as i64;
         let (class_x, class_y) = (slot % k, slot / k);
-        // Oracle: informed population of every active cell.
-        let mut cell_pop: HashMap<(i64, i64), u32> = HashMap::new();
+        // Oracle: informed population of every active cell. Ordered map so
+        // that any future iteration over the oracle's view stays
+        // deterministic (today only keyed lookups below depend on it).
+        let mut cell_pop: BTreeMap<(i64, i64), u32> = BTreeMap::new();
         for v in 0..n {
             let c = cells[v];
             if informed[v] && c.0.rem_euclid(k) == class_x && c.1.rem_euclid(k) == class_y {

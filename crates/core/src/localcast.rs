@@ -11,7 +11,7 @@
 //! collects all Δ neighbour messages in `O((Δ + log n)·log n)` further
 //! rounds in expectation.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use sinr_geometry::MetricPoint;
 use sinr_phy::{Network, NetworkError, SinrParams};
@@ -33,8 +33,9 @@ pub struct LocalCastNode {
     consts: Constants,
     machine: ColoringMachine,
     coloring_len: u64,
-    /// Senders heard so far.
-    pub heard: HashSet<usize>,
+    /// Senders heard so far. Ordered so any iteration over it (coverage
+    /// accounting, future table output) is deterministic by construction.
+    pub heard: BTreeSet<usize>,
 }
 
 impl LocalCastNode {
@@ -46,7 +47,7 @@ impl LocalCastNode {
             consts,
             machine: ColoringMachine::new(n, consts),
             coloring_len: ColoringMachine::total_rounds(n, &consts),
-            heard: HashSet::new(),
+            heard: BTreeSet::new(),
         }
     }
 }

@@ -344,7 +344,10 @@ impl<P: MetricPoint> Scenario<P> {
         // Resolve the machine's thread budget exactly once per
         // Simulation: sweeps and physics threads share it, so repeated
         // `sweep` calls never re-query the OS and the two axes of
-        // parallelism cannot oversubscribe the machine.
+        // parallelism cannot oversubscribe the machine. This is the ONE
+        // call site sinr-lint's parallelism-resolver rule permits; the
+        // clippy disallowed-methods mirror needs a local allow.
+        #[allow(clippy::disallowed_methods)]
         let thread_budget = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);

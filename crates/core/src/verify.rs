@@ -13,7 +13,11 @@
 //! mass of a slightly larger station-centred ball, so station-centred checks
 //! certify the lemmas up to a constant).
 
-use std::collections::HashMap;
+// Keyed by the color's bit pattern: `BTreeMap` iteration is then a pure
+// function of the input coloring, so the max/min folds below visit masses
+// in a reproducible order (a `HashMap` here is exactly the PR-2
+// `CellAggregate` determinism bug class).
+use std::collections::BTreeMap;
 
 use sinr_geometry::{GridIndex, MetricPoint};
 
@@ -77,7 +81,7 @@ pub fn lemma1_max_ball_mass<P: MetricPoint>(points: &[P], coloring: &Coloring, r
     }
     let grid = GridIndex::build(points, radius.max(0.05));
     let mut max_mass = 0.0f64;
-    let mut local: HashMap<u64, f64> = HashMap::new();
+    let mut local: BTreeMap<u64, f64> = BTreeMap::new();
     for (v, pv) in points.iter().enumerate() {
         local.clear();
         for w in grid.ball(points, *pv, radius) {
@@ -113,7 +117,7 @@ pub fn lemma2_min_close_mass<P: MetricPoint>(
     );
     let grid = GridIndex::build(points, close_radius.max(0.05));
     let mut min_best = f64::INFINITY;
-    let mut local: HashMap<u64, f64> = HashMap::new();
+    let mut local: BTreeMap<u64, f64> = BTreeMap::new();
     for (v, pv) in points.iter().enumerate() {
         if coloring.colors[v] == 0.0 {
             continue;

@@ -1,0 +1,443 @@
+//! A lightweight Rust lexer: just enough tokenisation to lint safely.
+//!
+//! The rules in [`crate::rules`] match on *identifier tokens*, so a
+//! `HashMap` inside a string literal, raw string, char literal, or comment
+//! must never reach them. This lexer handles exactly those constructs —
+//! plus the places where naive scanners go wrong in Rust:
+//!
+//! * nested block comments (`/* /* */ */`);
+//! * raw strings with arbitrary hash fences (`r##"…"##`), including byte
+//!   (`br"…"`) and C (`cr"…"`) variants;
+//! * lifetimes vs char literals (`'a,` is a lifetime, `'a'` is a char);
+//! * raw identifiers (`r#match`) vs raw strings (`r#"…"#`).
+//!
+//! Comments are *kept* as tokens: suppression annotations
+//! (`// lint: allow(rule) -- reason`) and `// SAFETY:` justifications live
+//! in them.
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind (identifiers and comments carry their text).
+    pub kind: TokenKind,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+/// The token classes the rules need; literals are lexed (so their contents
+/// cannot leak into other tokens) but carry no payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword, e.g. `HashMap`, `unsafe`, `r#match` (the
+    /// `r#` prefix is stripped).
+    Ident(String),
+    /// Single punctuation character, e.g. `:`, `!`, `(`.
+    Punct(char),
+    /// Comment text including its delimiters; `//…` or `/*…*/`.
+    Comment(String),
+    /// String/char/byte/numeric literal (payload dropped).
+    Literal,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The punctuation char, if this is a punct token.
+    pub fn punct(&self) -> Option<char> {
+        match &self.kind {
+            TokenKind::Punct(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The comment text, if this is a comment token.
+    pub fn comment(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Comment(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated constructs consume
+/// the rest of the input (matching how rustc recovers), which is safe for
+/// a linter — worst case a malformed file under-reports.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line),
+                '\'' => self.quote(line),
+                'r' | 'b' | 'c' => {
+                    if !self.raw_or_byte_prefix() {
+                        self.ident(line);
+                    }
+                }
+                c if is_ident_start(c) => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                c => {
+                    self.out.push(Token {
+                        kind: TokenKind::Punct(c),
+                        line,
+                    });
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.push(Token {
+            kind: TokenKind::Comment(text),
+            line,
+        });
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let start = self.pos;
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: swallow to EOF
+            }
+        }
+        let text: String = self.chars[start..self.pos.min(self.chars.len())]
+            .iter()
+            .collect();
+        self.out.push(Token {
+            kind: TokenKind::Comment(text),
+            line,
+        });
+    }
+
+    /// `"…"` with escapes.
+    fn string_literal(&mut self, line: usize) {
+        self.pos += 1; // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.out.push(Token {
+            kind: TokenKind::Literal,
+            line,
+        });
+    }
+
+    /// `'` starts either a lifetime (`'a`, `'static`) or a char literal
+    /// (`'x'`, `'\n'`, `'\u{1F600}'`). Disambiguation: `'ident` NOT
+    /// followed by a closing `'` is a lifetime.
+    fn quote(&mut self, line: usize) {
+        if let Some(c1) = self.peek(1) {
+            if is_ident_start(c1) {
+                // Scan the identifier run after the quote.
+                let mut end = self.pos + 2;
+                while self.chars.get(end).is_some_and(|&c| is_ident_continue(c)) {
+                    end += 1;
+                }
+                if self.chars.get(end) != Some(&'\'') {
+                    // Lifetime: emit as punct + ident so rules never see a
+                    // phantom literal; the ident is harmless.
+                    self.out.push(Token {
+                        kind: TokenKind::Punct('\''),
+                        line,
+                    });
+                    self.pos += 1;
+                    return;
+                }
+            }
+        }
+        // Char literal.
+        self.pos += 1; // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.out.push(Token {
+            kind: TokenKind::Literal,
+            line,
+        });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `br"…"`, `cr#"…"#`, `b"…"`, `b'x'`, and
+    /// raw identifiers `r#ident`. Returns false without consuming anything
+    /// when the `r`/`b`/`c` starts a plain identifier instead.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let line = self.line;
+        let c0 = self.peek(0).unwrap_or(' ');
+        // b'x' byte char.
+        if c0 == 'b' && self.peek(1) == Some('\'') {
+            self.pos += 1;
+            self.quote(line);
+            return true;
+        }
+        // b"…" byte string / c"…" C string.
+        if (c0 == 'b' || c0 == 'c') && self.peek(1) == Some('"') {
+            self.pos += 1;
+            self.string_literal(line);
+            return true;
+        }
+        // br / cr raw-with-prefix.
+        let raw_at = if c0 == 'r' {
+            Some(1)
+        } else if (c0 == 'b' || c0 == 'c') && self.peek(1) == Some('r') {
+            Some(2)
+        } else {
+            None
+        };
+        if let Some(after_r) = raw_at {
+            // Count hash fence.
+            let mut hashes = 0usize;
+            while self.peek(after_r + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(after_r + hashes) == Some('"') {
+                self.pos += after_r + hashes + 1;
+                self.raw_string_body(line, hashes);
+                return true;
+            }
+            // r#ident raw identifier.
+            if c0 == 'r' && hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+                self.pos += 2;
+                self.ident(line);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn raw_string_body(&mut self, line: usize, hashes: usize) {
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                self.pos += hashes;
+                break;
+            }
+        }
+        self.out.push(Token {
+            kind: TokenKind::Literal,
+            line,
+        });
+    }
+
+    fn ident(&mut self, line: usize) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.push(Token {
+            kind: TokenKind::Ident(text),
+            line,
+        });
+    }
+
+    /// Numbers only need to be skipped atomically so suffixes/exponents do
+    /// not leak identifier tokens (`1.0e-12f64` must not emit `f64`). A
+    /// dot is consumed only when followed by a digit, keeping `0..n` and
+    /// `1.max(2)` intact.
+    fn number(&mut self, line: usize) {
+        while let Some(c) = self.peek(0) {
+            let part_of_number = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                || ((c == '+' || c == '-')
+                    && matches!(self.chars.get(self.pos.wrapping_sub(1)), Some('e' | 'E')));
+            if !part_of_number {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.out.push(Token {
+            kind: TokenKind::Literal,
+            line,
+        });
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn plain_idents_and_lines() {
+        let toks = lex("let x = 1;\nuse std::collections;\n");
+        let uses: Vec<_> = toks.iter().filter(|t| t.ident() == Some("use")).collect();
+        assert_eq!(uses.len(), 1);
+        assert_eq!(uses[0].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "use HashMap here";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let src = "let s = r#\"HashMap \"quoted\" inside\"#; let t = r\"HashSet\";";
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings_hide_their_contents() {
+        let src = "let a = b\"HashMap\"; let b2 = br#\"HashSet\"#;";
+        assert_eq!(idents(src), vec!["let", "a", "let", "b2"]);
+    }
+
+    #[test]
+    fn comments_are_tokens_not_idents() {
+        let src = "// HashMap in a comment\n/* Instant::now in /* nested */ block */ fn f() {}";
+        assert_eq!(idents(src), vec!["fn", "f"]);
+        let comments: Vec<_> = lex(src)
+            .into_iter()
+            .filter_map(|t| t.comment().map(str::to_owned))
+            .collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].contains("HashMap"));
+        assert!(comments[1].contains("nested"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        // 'a' is a char; 'a in a generic is a lifetime; '\'' escapes.
+        let src = "fn f<'a>(p: &'a str) { let c = 'x'; let q = '\\''; let n = '\\n'; }";
+        let ids = idents(src);
+        assert!(
+            ids.contains(&"a".to_string()),
+            "lifetime ident kept: {ids:?}"
+        );
+        assert!(
+            !ids.contains(&"x".to_string()),
+            "char literal skipped: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn byte_char_literal() {
+        assert_eq!(idents("let x = b'H';"), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("let r#match = 1;"), vec!["let", "match"]);
+    }
+
+    #[test]
+    fn numeric_suffixes_do_not_leak_idents() {
+        assert_eq!(idents("let x = 1.0e-12f64 + 0xFFu32;"), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn ranges_survive_number_lexing() {
+        let toks = lex("for i in 0..n {}");
+        let dots = toks.iter().filter(|t| t.punct() == Some('.')).count();
+        assert_eq!(dots, 2);
+        assert!(toks.iter().any(|t| t.ident() == Some("n")));
+    }
+
+    #[test]
+    fn line_numbers_through_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* c\nc */\nfn g() {}";
+        let toks = lex(src);
+        let g = toks.iter().find(|t| t.ident() == Some("g")).unwrap();
+        assert_eq!(g.line, 5);
+    }
+
+    #[test]
+    fn unterminated_string_swallows_to_eof() {
+        assert_eq!(idents("let s = \"oops HashMap"), vec!["let", "s"]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Workspace discovery: find every Rust source file and classify it.
+//!
+//! Classification is purely path-based — which crate a file belongs to and
+//! whether it is test, binary, or example code — because that is exactly
+//! the granularity the rules are specified at ("non-test code of the
+//! deterministic crates", "library crates", …).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One Rust source file, path relative to the linted root (always with
+/// `/` separators so diagnostics are stable across platforms).
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Root-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Full file contents.
+    pub text: String,
+}
+
+impl SourceFile {
+    /// The crate this file belongs to: the directory name under
+    /// `crates/`, or `"root"` for the top-level facade crate.
+    pub fn crate_name(&self) -> &str {
+        let mut parts = self.rel_path.split('/');
+        if parts.next() == Some("crates") {
+            parts.next().unwrap_or("root")
+        } else {
+            "root"
+        }
+    }
+
+    /// Whether the file lives in an integration-test or bench tree
+    /// (`tests/`, `benches/` path component).
+    pub fn in_test_tree(&self) -> bool {
+        self.rel_path
+            .split('/')
+            .any(|c| c == "tests" || c == "benches")
+    }
+
+    /// Whether the file is a binary target (`src/bin/**` or `src/main.rs`).
+    pub fn is_bin(&self) -> bool {
+        self.rel_path.contains("src/bin/") || self.rel_path.ends_with("src/main.rs")
+    }
+
+    /// Whether the file is an example (`examples/` path component).
+    pub fn is_example(&self) -> bool {
+        self.rel_path.split('/').any(|c| c == "examples")
+    }
+
+    /// Whether this is a crate root of a library target (`src/lib.rs`).
+    pub fn is_lib_root(&self) -> bool {
+        self.rel_path.ends_with("src/lib.rs")
+    }
+}
+
+/// A loaded set of source files, ready for rule checks.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// Every `.rs` file found, sorted by path for deterministic output.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Walks `root` collecting every `.rs` file, skipping `target/`,
+    /// VCS metadata, and lint fixture corpora (`fixtures/` — those contain
+    /// deliberate violations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than racing deletions.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut paths: Vec<PathBuf> = Vec::new();
+        walk(root, &mut paths)?;
+        paths.sort();
+        let mut files = Vec::with_capacity(paths.len());
+        for path in paths {
+            let text = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(SourceFile {
+                rel_path: rel,
+                text,
+            });
+        }
+        Ok(Workspace { files })
+    }
+
+    /// The names of all workspace crates found (directories under
+    /// `crates/` containing a `src/`), plus `"root"` if a top-level
+    /// `src/lib.rs` exists. Sorted.
+    pub fn crate_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for f in &self.files {
+            let name = f.crate_name().to_string();
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+        names.sort();
+        names
+    }
+}
+
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", ".claude"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        // Racing deletion or permissions on an irrelevant dir: skip.
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str) -> SourceFile {
+        SourceFile {
+            rel_path: rel.to_string(),
+            text: String::new(),
+        }
+    }
+
+    #[test]
+    fn crate_classification() {
+        assert_eq!(file("crates/phy/src/oracle.rs").crate_name(), "phy");
+        assert_eq!(file("crates/core/src/sim/mod.rs").crate_name(), "core");
+        assert_eq!(file("src/lib.rs").crate_name(), "root");
+        assert_eq!(file("tests/broadcast_e2e.rs").crate_name(), "root");
+        assert_eq!(file("examples/quickstart.rs").crate_name(), "root");
+    }
+
+    #[test]
+    fn context_classification() {
+        assert!(file("crates/phy/tests/oracle_alloc.rs").in_test_tree());
+        assert!(file("tests/broadcast_e2e.rs").in_test_tree());
+        assert!(!file("crates/phy/src/oracle.rs").in_test_tree());
+        assert!(file("crates/bench/src/bin/experiments.rs").is_bin());
+        assert!(!file("crates/bench/src/microbench.rs").is_bin());
+        assert!(file("examples/quickstart.rs").is_example());
+        assert!(file("crates/phy/src/lib.rs").is_lib_root());
+        assert!(!file("crates/phy/src/oracle.rs").is_lib_root());
+    }
+
+    #[test]
+    fn load_skips_fixture_corpora() {
+        // Load this crate's own directory: the fixture corpus under
+        // tests/fixtures/ contains deliberate violations and must be
+        // invisible.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let ws = Workspace::load(root).unwrap();
+        assert!(ws.files.iter().any(|f| f.rel_path == "src/lexer.rs"));
+        assert!(
+            ws.files.iter().all(|f| !f.rel_path.contains("fixtures/")),
+            "fixture files leaked into the walk"
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: lexer edge cases — NOTHING in this file may be flagged.
+//! Rule-trigger tokens below live only in strings, raw strings, char
+//! literals, and comments; plus one real use under a justified allow.
+
+/* block comment: HashMap, Instant::now(), println!("x"), unsafe */
+
+pub const PLAIN: &str = "use std::collections::HashMap; unsafe { println!(\"x\") }";
+pub const RAW: &str = r#"std::time::Instant::now() and HashSet::new() and dbg!(y)"#;
+pub const RAW_FENCED: &str = r##"available_parallelism() inside an r#"…"# fence"##;
+pub const BYTES: &[u8] = b"SystemTime::now() in a byte string";
+pub const CH: char = 'H'; // 'H' as in HashMap — a char literal, not an ident
+
+pub fn lifetime_not_char<'a>(text: &'a str) -> &'a str {
+    // thread::sleep mentioned in a line comment is fine.
+    text
+}
+
+// lint: allow(unordered-collections) -- fixture: proves suppression works
+pub type Suppressed = std::collections::HashMap<u64, u64>;

@@ -1,0 +1,9 @@
+//! Fixture crate root: missing `#![forbid(unsafe_code)]` (rule 2a).
+
+pub mod lexer_edges;
+pub mod noisy;
+pub mod panicky;
+pub mod parallel;
+pub mod unordered;
+pub mod unsound;
+pub mod wallclock;

@@ -1,0 +1,7 @@
+//! Fixture: rule 5 — libraries return data, binaries print (lines 4-6).
+
+pub fn report(x: u64) {
+    println!("x = {x}");
+    eprintln!("warn");
+    dbg!(x);
+}

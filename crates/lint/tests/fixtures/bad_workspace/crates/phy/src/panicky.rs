@@ -1,0 +1,6 @@
+//! Fixture: rule 6 — one `unwrap()` counted toward the phy ratchet.
+//! Produces no diagnostic by itself; the baseline comparison does.
+
+pub fn must(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

@@ -1,0 +1,5 @@
+//! Fixture: rule 4 — only the designated resolver queries the OS (line 4).
+
+pub fn budget() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

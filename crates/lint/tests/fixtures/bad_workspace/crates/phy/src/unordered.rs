@@ -1,0 +1,4 @@
+//! Fixture: rule 1 — unordered collections in a deterministic crate.
+//! The linter must flag line 4 and nothing else in this file.
+
+use std::collections::HashMap;

@@ -1,0 +1,5 @@
+//! Fixture: rule 2b — `unsafe` needs `// SAFETY:` (line 3).
+
+pub unsafe fn read(ptr: *const u8) -> u8 {
+    *ptr
+}

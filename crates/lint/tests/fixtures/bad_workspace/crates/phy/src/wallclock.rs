@@ -1,0 +1,8 @@
+//! Fixture: rule 3 — kernels must not read wall clocks (lines 4, 5, 6).
+
+pub fn measure() -> u64 {
+    let _t = std::time::Instant::now();
+    std::thread::sleep(core::time::Duration::from_millis(1));
+    let _s = std::time::SystemTime::now();
+    0
+}

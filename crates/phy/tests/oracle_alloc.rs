@@ -19,17 +19,29 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to the `System` allocator — every contract of
+// `GlobalAlloc` (layout validity, pointer provenance, no unwinding) is
+// upheld by `System`; the only addition is a relaxed atomic counter bump,
+// which cannot allocate or panic.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract (nonzero-size
+    // `layout`); it is forwarded unchanged to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract (`ptr` was
+    // allocated here with `layout`, `new_size` nonzero); forwarded
+    // unchanged to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::dealloc`'s contract (`ptr` was
+    // allocated here with `layout`); forwarded unchanged to
+    // `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
