@@ -27,7 +27,14 @@ use std::process::ExitCode;
 use sinr_bench::microbench::parse_records;
 
 /// Record-name prefixes the gate enforces.
-const TRACKED: &[&str] = &["oracle/", "broadcast/", "coloring/", "mobility/", "churn/"];
+const TRACKED: &[&str] = &[
+    "oracle/",
+    "broadcast/",
+    "coloring/",
+    "mobility/",
+    "churn/",
+    "degradation/",
+];
 
 struct Args {
     baseline: String,

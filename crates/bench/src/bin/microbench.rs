@@ -2,11 +2,12 @@
 //!
 //! Runs the shared [`sinr_bench::phy_suite`],
 //! [`sinr_bench::broadcast_suite`], [`sinr_bench::coloring_suite`],
-//! [`sinr_bench::mobility_suite`] and [`sinr_bench::churn_suite`] and
-//! always writes a unified JSON report
-//! (default `BENCH.json`, override with `--json <path>`; `--quick`
-//! shrinks sizes for CI smoke runs;
-//! `--suite phy|broadcast|coloring|mobility|churn` runs one suite only):
+//! [`sinr_bench::mobility_suite`], [`sinr_bench::churn_suite`] and
+//! [`sinr_bench::degradation_suite`] and always writes a unified JSON
+//! report (default `BENCH.json`, override with `--json <path>`;
+//! `--quick` shrinks sizes for CI smoke runs;
+//! `--suite phy|broadcast|coloring|mobility|churn|degradation` runs one
+//! suite only):
 //!
 //! ```text
 //! cargo run --release -p sinr-bench --bin microbench \
@@ -26,7 +27,9 @@
 //! pre-oracle baseline rows.)
 
 use sinr_bench::microbench::Session;
-use sinr_bench::{broadcast_suite, churn_suite, coloring_suite, mobility_suite, phy_suite};
+use sinr_bench::{
+    broadcast_suite, churn_suite, coloring_suite, degradation_suite, mobility_suite, phy_suite,
+};
 
 fn main() {
     let mut session = Session::from_args();
@@ -34,8 +37,17 @@ fn main() {
     let suite = session.suite.clone().unwrap_or_else(|| "all".into());
     let want = |name: &str| suite == "all" || suite == name;
     assert!(
-        ["all", "phy", "broadcast", "coloring", "mobility", "churn"].contains(&suite.as_str()),
-        "unknown --suite {suite}; expected all, phy, broadcast, coloring, mobility or churn"
+        [
+            "all",
+            "phy",
+            "broadcast",
+            "coloring",
+            "mobility",
+            "churn",
+            "degradation"
+        ]
+        .contains(&suite.as_str()),
+        "unknown --suite {suite}; expected all, phy, broadcast, coloring, mobility, churn or degradation"
     );
     if want("phy") {
         phy_suite::run(&mut session);
@@ -62,6 +74,9 @@ fn main() {
     }
     if want("churn") {
         churn_suite::run(&mut session);
+    }
+    if want("degradation") {
+        degradation_suite::run(&mut session);
     }
     session.finish().expect("write benchmark report");
 }

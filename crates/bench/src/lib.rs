@@ -38,6 +38,7 @@ pub mod broadcast_suite;
 pub mod churn_suite;
 pub mod coloring_suite;
 pub mod config;
+pub mod degradation_suite;
 pub mod experiments;
 #[cfg(feature = "legacy-parity")]
 pub mod legacy;

@@ -80,6 +80,33 @@ impl NoSBroadcastNode {
     fn pos(&self, round: u64) -> u64 {
         round % self.phase_len
     }
+
+    /// The phase length of the node's current schedule.
+    pub fn phase_len(&self) -> u64 {
+        self.phase_len
+    }
+
+    /// The population estimate the current schedule was built for.
+    pub fn estimate(&self) -> usize {
+        self.n
+    }
+
+    /// Rebuilds the schedule for a new population estimate `nu`
+    /// (online ν-estimation, [`crate::estimate`]): coloring machine,
+    /// coloring length and phase length are recomputed while the
+    /// payload and informed-time survive. The node deactivates until
+    /// the next boundary of the *new* phase grid — a node may not keep
+    /// transmitting on a schedule it just declared wrong.
+    ///
+    /// Stations re-estimating individually means their phase grids can
+    /// drift apart; that costs latency (missed phases), never coverage.
+    pub fn reestimate(&mut self, nu: usize) {
+        self.n = nu;
+        self.machine = ColoringMachine::new(nu, self.consts);
+        self.coloring_len = ColoringMachine::total_rounds(nu, &self.consts);
+        self.phase_len = self.consts.phase_rounds(nu);
+        self.active = false;
+    }
 }
 
 impl Protocol for NoSBroadcastNode {
@@ -136,6 +163,11 @@ impl Protocol for NoSBroadcastNode {
 
     fn is_done(&self) -> bool {
         self.informed()
+    }
+
+    fn phase_hint(&self, round: u64) -> Option<u64> {
+        // Next multiple of the phase length at or after `round`.
+        Some(round.div_ceil(self.phase_len) * self.phase_len)
     }
 }
 
@@ -250,6 +282,39 @@ mod tests {
         };
         let _ = node.poll_transmit(&mut ctx);
         assert!(node.active);
+    }
+
+    #[test]
+    fn reestimate_rebuilds_the_schedule_and_keeps_the_payload() {
+        let consts = fast_consts();
+        let mut node = NoSBroadcastNode::new(0, 0, 77, 4, consts);
+        let old_phase = node.phase_len();
+        // Activate at a boundary, then re-estimate upward.
+        let mut rng = sinr_runtime::node_rng(0, 0, 0);
+        let mut ctx = NodeCtx {
+            id: 0,
+            round: 0,
+            n: 4,
+            rng: &mut rng,
+        };
+        let _ = node.poll_transmit(&mut ctx);
+        assert!(node.active);
+        node.reestimate(64);
+        assert_eq!(node.estimate(), 64);
+        assert!(node.phase_len() > old_phase);
+        assert!(node.informed(), "payload must survive re-estimation");
+        assert!(!node.active, "must wait for a boundary of the new grid");
+    }
+
+    #[test]
+    fn phase_hint_is_the_next_boundary() {
+        let consts = fast_consts();
+        let node = NoSBroadcastNode::new(1, 0, 1, 4, consts);
+        let len = node.phase_len();
+        assert_eq!(node.phase_hint(0), Some(0));
+        assert_eq!(node.phase_hint(1), Some(len));
+        assert_eq!(node.phase_hint(len), Some(len));
+        assert_eq!(node.phase_hint(len + 1), Some(2 * len));
     }
 
     #[test]

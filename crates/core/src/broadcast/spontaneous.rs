@@ -57,6 +57,15 @@ impl SBroadcastNode {
     pub fn color(&self) -> Option<f64> {
         self.machine.color()
     }
+
+    /// Updates the population estimate consulted by the dissemination
+    /// probability (online ν-estimation, [`crate::estimate`]). The
+    /// coloring prefix is *not* rebuilt: its schedule is burned in
+    /// before any channel feedback exists, so only the relay-stage
+    /// transmission probability adapts.
+    pub fn set_estimate(&mut self, nu: usize) {
+        self.n = nu.max(1);
+    }
 }
 
 impl Protocol for SBroadcastNode {
@@ -101,6 +110,12 @@ impl Protocol for SBroadcastNode {
 
     fn is_done(&self) -> bool {
         self.informed()
+    }
+
+    fn phase_hint(&self, round: u64) -> Option<u64> {
+        // One transition: coloring ends, dissemination begins. Afterwards
+        // the protocol is phase-free.
+        (round <= self.coloring_len).then_some(self.coloring_len)
     }
 }
 

@@ -1,0 +1,576 @@
+//! Online ν-estimation: graceful degradation when the population bound
+//! is wrong or goes stale mid-run.
+//!
+//! The paper's protocols take a trusted estimate `ν ≥ n` (Section 1.1,
+//! "Messages and initialization of stations": the algorithms know a
+//! polynomial bound on the number of stations). PR 5's churn makes any
+//! fixed estimate false mid-run; this module closes that gap with an
+//! **online, conservative** estimator driven by the only channel
+//! feedback the model grants — decoded messages or silence. Stations
+//! have **no carrier sensing**, so the estimator cannot observe
+//! collisions directly; what it *can* observe is a **silence run**: a
+//! stretch of listening rounds in which nothing was decoded even though
+//! the station's neighbourhood should be talking (it is inside an
+//! active dissemination burst). Persistent in-burst silence is the
+//! model-observable signature of SINR collisions, i.e. of transmission
+//! probabilities tuned for a ν far below the effective contention —
+//! so the estimator reacts by **raising** ν̂.
+//!
+//! The estimator is deliberately one-sided (ν̂ only ever grows toward a
+//! cap): in the paper's analysis an *over*-estimate costs logarithmic
+//! factors in latency/energy while an *under*-estimate breaks the
+//! correctness of the coloring-mass arguments. Degrading latency
+//! instead of coverage is exactly the trade this subsystem exists to
+//! make. When churn invalidates the collected statistics (a topology
+//! event that may alter reachability), [`NuEstimator::invalidate`]
+//! **backs off the estimate window exponentially** — after heavy churn
+//! the estimator demands longer silence runs before reacting, so a
+//! churn storm cannot stampede ν̂ to the cap on transient noise.
+//!
+//! Three protocol arms consume the estimate ([`EstimatingReFloodNode`]
+//! and the wrappers over the paper's two broadcasts); all are exposed
+//! through `ProtocolSpec::{ReFloodBroadcastEstimate,
+//! NoSBroadcastOnlineEstimate, SBroadcastOnlineEstimate}`.
+
+use sinr_runtime::{bernoulli, NodeCtx, Protocol, TopologyChange};
+
+use crate::broadcast::{NMsg, NoSBroadcastNode, SBroadcastNode, SMsg};
+use crate::constants::Constants;
+
+/// Expected number of simultaneous transmitters the estimating
+/// re-flood aims for in a saturated neighbourhood: per-round
+/// transmission probability is `CONTENTION_TARGET / ν̂`. Two is the
+/// classic decay/backoff sweet spot — high enough to make progress at
+/// the true density, low enough that one doubling of ν̂ halves the
+/// collision pressure.
+pub const CONTENTION_TARGET: f64 = 2.0;
+
+/// How many silence-window doublings [`NuEstimator::invalidate`] may
+/// stack: the window backs off exponentially per invalidation up to
+/// `base_window << MAX_WINDOW_BACKOFF`.
+const MAX_WINDOW_BACKOFF: u32 = 6;
+
+/// Hard ceiling on the adaptive transmission probability, strictly
+/// below 1: a station that always transmits can never listen, and a
+/// station that never listens feeds the estimator nothing — with
+/// `p = 1` a too-small ν̂ would be a deadlock, not a recoverable
+/// stall. Capping at 3/4 guarantees every station listens on a
+/// quarter of its active rounds in expectation.
+const MAX_TX_PROB: f64 = 0.75;
+
+/// A one-sided online estimate ν̂ of the effective population, driven
+/// by decoded-message-or-silence feedback (the model's only channel
+/// feedback — no carrier sensing).
+///
+/// Feed it one [`NuEstimator::observe`] per *listening* round in which
+/// neighbourhood traffic is expected; once a full window of consecutive
+/// silent rounds accumulates, ν̂ doubles (capped). Decoding anything
+/// resets the run — the channel demonstrably works at the current
+/// estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NuEstimator {
+    /// Current estimate ν̂ (monotone non-decreasing).
+    nu: usize,
+    /// The initial (floor) estimate.
+    nu0: usize,
+    /// Upper bound ν̂ never exceeds.
+    cap: usize,
+    /// Consecutive silent observations that trigger one doubling.
+    window: u64,
+    /// The window before any churn backoff.
+    base_window: u64,
+    /// Current silence-run length.
+    silent_run: u64,
+}
+
+impl NuEstimator {
+    /// An estimator starting at `nu0 ≥ 1` that doubles after `window ≥ 1`
+    /// consecutive silent observations, up to `cap` (clamped to at least
+    /// `nu0`).
+    pub fn new(nu0: usize, window: u64, cap: usize) -> Self {
+        let nu0 = nu0.max(1);
+        NuEstimator {
+            nu: nu0,
+            nu0,
+            cap: cap.max(nu0),
+            window: window.max(1),
+            base_window: window.max(1),
+            silent_run: 0,
+        }
+    }
+
+    /// The current estimate ν̂.
+    pub fn nu(&self) -> usize {
+        self.nu
+    }
+
+    /// The current silence window (grows under [`NuEstimator::invalidate`]).
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Records one listening round: `heard` is whether anything was
+    /// decoded. A full window of consecutive silence doubles ν̂.
+    pub fn observe(&mut self, heard: bool) {
+        if heard {
+            self.silent_run = 0;
+            return;
+        }
+        self.silent_run += 1;
+        if self.silent_run >= self.window {
+            self.nu = (self.nu.saturating_mul(2)).min(self.cap);
+            self.silent_run = 0;
+        }
+    }
+
+    /// Churn invalidated the collected statistics: doubles the silence
+    /// window (bounded exponential backoff) and discards the current
+    /// run, so post-churn transients must persist much longer before
+    /// they move ν̂.
+    pub fn invalidate(&mut self) {
+        let max = self.base_window << MAX_WINDOW_BACKOFF;
+        self.window = (self.window.saturating_mul(2)).min(max);
+        self.silent_run = 0;
+    }
+
+    /// The per-round transmission probability a density-adaptive
+    /// protocol should use: `CONTENTION_TARGET / ν̂`, capped strictly
+    /// below 1 (see [`MAX_TX_PROB`][self]) so listening rounds — the
+    /// estimator's only input — always occur.
+    pub fn tx_prob(&self) -> f64 {
+        (CONTENTION_TARGET / self.nu as f64).min(MAX_TX_PROB)
+    }
+}
+
+/// Re-flooding broadcast with an online ν-estimate: burst-based
+/// flooding (as [`crate::baselines::ReFloodNode`]) whose per-round
+/// transmission probability is `min(1, CONTENTION_TARGET / ν̂)` instead
+/// of a fixed `p`.
+///
+/// The estimator observes exactly the in-burst listening rounds — the
+/// node is informed, chose not to transmit, and its burst is active, so
+/// its (equally informed, equally active) neighbourhood should be
+/// audible. A window of silence in that state is the collision
+/// signature of a ν̂ below the true contention: ν̂ doubles, the
+/// transmission probability halves, and decodes resume. This is the
+/// graceful-degradation arm of the acceptance scenario: under a
+/// cut-vertex kill schedule the fixed-ν re-flood keeps colliding and
+/// stalls, while this variant pays latency to recover coverage.
+#[derive(Debug)]
+pub struct EstimatingReFloodNode {
+    payload: Option<u64>,
+    informed_at: Option<u64>,
+    est: NuEstimator,
+    /// Rounds of active flooding granted per (re)seed.
+    burst: u64,
+    /// Rounds of active flooding remaining.
+    active_left: u64,
+}
+
+impl EstimatingReFloodNode {
+    /// Creates the node; bursts last `burst` rounds and the estimate
+    /// starts at `nu0` (doubling after an 8-round silence window,
+    /// capped at `nu0 · 2¹⁶`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nu0 >= 1` and `burst > 0`.
+    pub fn new(id: usize, source: usize, payload: u64, nu0: usize, burst: u64) -> Self {
+        assert!(nu0 >= 1, "initial estimate must be at least 1, got {nu0}");
+        assert!(burst > 0, "re-flood burst must last at least one round");
+        let informed = id == source;
+        EstimatingReFloodNode {
+            payload: informed.then_some(payload),
+            informed_at: informed.then_some(0),
+            est: NuEstimator::new(nu0, 8, nu0.saturating_mul(1 << 16)),
+            burst,
+            active_left: if informed { burst } else { 0 },
+        }
+    }
+
+    /// Whether the node holds the message.
+    pub fn informed(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    /// Round at which the node became informed.
+    pub fn informed_at(&self) -> Option<u64> {
+        self.informed_at
+    }
+
+    /// The node's current population estimate ν̂.
+    pub fn nu(&self) -> usize {
+        self.est.nu()
+    }
+
+    /// Grants a fresh flooding burst if the node is informed.
+    fn reseed(&mut self) {
+        if self.payload.is_some() {
+            self.active_left = self.burst;
+        }
+    }
+}
+
+impl Protocol for EstimatingReFloodNode {
+    type Msg = u64;
+
+    fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<u64> {
+        if self.active_left == 0 {
+            return None;
+        }
+        let payload = self.payload?;
+        bernoulli(ctx.rng, self.est.tx_prob()).then_some(payload)
+    }
+
+    fn on_round_end(&mut self, ctx: &mut NodeCtx<'_>, tx: bool, rx: Option<&u64>) {
+        // In-burst listening rounds feed the estimator: informed, burst
+        // active, and not transmitting ourselves (our own transmission
+        // would mask the channel).
+        if self.payload.is_some() && self.active_left > 0 && !tx {
+            self.est.observe(rx.is_some());
+        }
+        if self.active_left > 0 {
+            self.active_left -= 1;
+        }
+        if let Some(&msg) = rx {
+            if self.payload.is_none() {
+                self.payload = Some(msg);
+                self.informed_at = Some(ctx.round);
+                self.active_left = self.burst;
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.informed()
+    }
+
+    fn on_join(&mut self, _ctx: &mut NodeCtx<'_>) {
+        self.reseed();
+    }
+
+    fn on_topology_change(&mut self, _ctx: &mut NodeCtx<'_>, change: &TopologyChange) {
+        if change.may_alter_reachability() {
+            self.reseed();
+            self.est.invalidate();
+        }
+    }
+}
+
+/// `NoSBroadcast` with an online ν-estimate consulted **at every phase
+/// boundary**: the wrapper feeds in-phase listening rounds to a
+/// [`NuEstimator`] and, when ν̂ grew, rebuilds the inner schedule for
+/// the new estimate via [`NoSBroadcastNode::reestimate`].
+///
+/// Stations re-estimate individually, so under heavy churn their phase
+/// lengths can drift apart — a real (and deliberate) degradation:
+/// misaligned phases cost extra phases of latency, but every station's
+/// transmission probabilities stay tuned to a ν̂ at or above what it
+/// observes, preserving the collision-bound side of the paper's
+/// analysis. Degrade latency, not coverage.
+#[derive(Debug)]
+pub struct EstimatingNoSNode {
+    inner: NoSBroadcastNode,
+    est: NuEstimator,
+}
+
+impl EstimatingNoSNode {
+    /// Creates the wrapper; the inner protocol starts with estimate
+    /// `nu0 ≥ 1` (which, unlike the fixed-estimate arm, may be *below*
+    /// the true population — adapting out of a wrong estimate is the
+    /// point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nu0` is zero.
+    pub fn new(id: usize, source: usize, payload: u64, nu0: usize, consts: Constants) -> Self {
+        assert!(nu0 >= 1, "initial estimate must be at least 1, got {nu0}");
+        EstimatingNoSNode {
+            inner: NoSBroadcastNode::new(id, source, payload, nu0, consts),
+            est: NuEstimator::new(nu0, 8, nu0.saturating_mul(1 << 16)),
+        }
+    }
+
+    /// Whether the node holds the broadcast message.
+    pub fn informed(&self) -> bool {
+        self.inner.informed()
+    }
+
+    /// Round at which the node became informed.
+    pub fn informed_at(&self) -> Option<u64> {
+        self.inner.informed_at()
+    }
+
+    /// The node's current population estimate ν̂.
+    pub fn nu(&self) -> usize {
+        self.est.nu()
+    }
+}
+
+impl Protocol for EstimatingNoSNode {
+    type Msg = NMsg;
+
+    fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<NMsg> {
+        // Re-tune at phase boundaries of the *current* schedule, before
+        // the inner machine resets for the phase.
+        if ctx.round % self.inner.phase_len() == 0 && self.est.nu() != self.inner.estimate() {
+            self.inner.reestimate(self.est.nu());
+        }
+        self.inner.poll_transmit(ctx)
+    }
+
+    fn on_round_end(&mut self, ctx: &mut NodeCtx<'_>, tx: bool, rx: Option<&NMsg>) {
+        if self.inner.informed() && !tx {
+            self.est.observe(rx.is_some());
+        }
+        self.inner.on_round_end(ctx, tx, rx);
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    fn on_topology_change(&mut self, ctx: &mut NodeCtx<'_>, change: &TopologyChange) {
+        if change.may_alter_reachability() {
+            self.est.invalidate();
+        }
+        self.inner.on_topology_change(ctx, change);
+    }
+
+    fn phase_hint(&self, round: u64) -> Option<u64> {
+        self.inner.phase_hint(round)
+    }
+}
+
+/// `SBroadcast` with an online ν-estimate: the coloring prefix ran at
+/// the initial estimate (it is burned into the schedule before any
+/// feedback exists), but the **dissemination probability** re-tunes to
+/// ν̂ every round via [`SBroadcastNode::set_estimate`] — collisions in
+/// the relay stage raise ν̂ and thin the relay traffic.
+#[derive(Debug)]
+pub struct EstimatingSNode {
+    inner: SBroadcastNode,
+    est: NuEstimator,
+}
+
+impl EstimatingSNode {
+    /// Creates the wrapper; `nu0 ≥ 1` seeds both the coloring schedule
+    /// and the estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nu0` is zero.
+    pub fn new(id: usize, source: usize, payload: u64, nu0: usize, consts: Constants) -> Self {
+        assert!(nu0 >= 1, "initial estimate must be at least 1, got {nu0}");
+        EstimatingSNode {
+            inner: SBroadcastNode::new(id, source, payload, nu0, consts),
+            est: NuEstimator::new(nu0, 8, nu0.saturating_mul(1 << 16)),
+        }
+    }
+
+    /// Whether the node holds the broadcast message.
+    pub fn informed(&self) -> bool {
+        self.inner.informed()
+    }
+
+    /// The node's current population estimate ν̂.
+    pub fn nu(&self) -> usize {
+        self.est.nu()
+    }
+}
+
+impl Protocol for EstimatingSNode {
+    type Msg = SMsg;
+
+    fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<SMsg> {
+        self.inner.set_estimate(self.est.nu());
+        self.inner.poll_transmit(ctx)
+    }
+
+    fn on_round_end(&mut self, ctx: &mut NodeCtx<'_>, tx: bool, rx: Option<&SMsg>) {
+        if self.inner.informed() && !tx {
+            self.est.observe(rx.is_some());
+        }
+        self.inner.on_round_end(ctx, tx, rx);
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    fn on_topology_change(&mut self, ctx: &mut NodeCtx<'_>, change: &TopologyChange) {
+        if change.may_alter_reachability() {
+            self.est.invalidate();
+        }
+        self.inner.on_topology_change(ctx, change);
+    }
+
+    fn phase_hint(&self, round: u64) -> Option<u64> {
+        self.inner.phase_hint(round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point2;
+    use sinr_phy::{Network, SinrParams};
+    use sinr_runtime::Engine;
+
+    #[test]
+    fn estimator_is_one_sided_and_capped() {
+        let mut est = NuEstimator::new(4, 2, 32);
+        assert_eq!(est.nu(), 4);
+        est.observe(true);
+        est.observe(true);
+        assert_eq!(est.nu(), 4, "decodes never move the estimate");
+        est.observe(false);
+        assert_eq!(est.nu(), 4, "one silent round is below the window");
+        est.observe(false);
+        assert_eq!(est.nu(), 8, "a full window of silence doubles");
+        for _ in 0..40 {
+            est.observe(false);
+        }
+        assert_eq!(est.nu(), 32, "capped");
+    }
+
+    #[test]
+    fn decode_resets_the_silence_run() {
+        let mut est = NuEstimator::new(4, 3, 1024);
+        est.observe(false);
+        est.observe(false);
+        est.observe(true); // run broken at 2/3
+        est.observe(false);
+        est.observe(false);
+        assert_eq!(est.nu(), 4, "no full window ever accumulated");
+        est.observe(false);
+        assert_eq!(est.nu(), 8);
+    }
+
+    #[test]
+    fn invalidate_backs_off_the_window_exponentially_and_bounded() {
+        let mut est = NuEstimator::new(4, 2, 1024);
+        est.observe(false); // half a window of silence…
+        est.invalidate();
+        assert_eq!(est.window(), 4);
+        est.observe(false);
+        est.observe(false);
+        assert_eq!(est.nu(), 4, "…was discarded; new window not yet full");
+        for _ in 0..20 {
+            est.invalidate();
+        }
+        assert_eq!(est.window(), 2 << 6, "backoff is bounded");
+    }
+
+    #[test]
+    fn tx_prob_tracks_the_estimate() {
+        let mut est = NuEstimator::new(1, 1, 64);
+        assert_eq!(est.tx_prob(), 0.75, "clamped below 1 at tiny ν̂");
+        est.observe(false);
+        est.observe(false); // ν̂ = 4: below the clamp
+        let nu = est.nu() as f64;
+        assert!((est.tx_prob() - CONTENTION_TARGET / nu).abs() < 1e-12);
+    }
+
+    fn line_net(n: usize) -> Network<Point2> {
+        let pts: Vec<Point2> = (0..n).map(|i| Point2::new(i as f64 * 0.45, 0.0)).collect();
+        Network::new(pts, SinrParams::default_plane()).unwrap()
+    }
+
+    #[test]
+    fn estimating_reflood_informs_a_path() {
+        let n = 6;
+        let mut eng = Engine::new(line_net(n), 3, |id| {
+            EstimatingReFloodNode::new(id, 0, 7, n, 64)
+        });
+        let res = eng.run_until_all_done(20_000);
+        assert!(res.completed);
+        assert!(eng.nodes().iter().all(|nd| nd.informed()));
+    }
+
+    #[test]
+    fn estimating_reflood_backs_off_under_persistent_silence() {
+        // Drive an informed node against a channel that never decodes
+        // (the protocol-visible signature of a collision stall): ν̂
+        // must climb and the transmission probability must collapse.
+        let mut node = EstimatingReFloodNode::new(0, 0, 5, 1, 10_000);
+        let mut rng = sinr_runtime::node_rng(7, 0, 0);
+        let mut early_tx = 0u32;
+        for round in 0..64 {
+            let mut ctx = sinr_runtime::NodeCtx {
+                id: 0,
+                round,
+                n: 8,
+                rng: &mut rng,
+            };
+            let tx = node.poll_transmit(&mut ctx).is_some();
+            early_tx += tx as u32;
+            node.on_round_end(&mut ctx, tx, None);
+        }
+        assert!(early_tx > 0, "an informed node floods while ν̂ is tiny");
+        assert!(node.nu() > 1, "persistent in-burst silence must raise ν̂");
+        let mut late_tx = 0u32;
+        for round in 64..2_064 {
+            let mut ctx = sinr_runtime::NodeCtx {
+                id: 0,
+                round,
+                n: 8,
+                rng: &mut rng,
+            };
+            let tx = node.poll_transmit(&mut ctx).is_some();
+            late_tx += tx as u32;
+            node.on_round_end(&mut ctx, tx, None);
+        }
+        assert!(node.nu() >= 64, "doublings keep coming while silence holds");
+        assert!(
+            late_tx < 2_000 / 4,
+            "collapsed ν̂ must thin the flooding ({late_tx} transmissions)"
+        );
+    }
+
+    #[test]
+    fn estimating_nos_informs_a_path_from_a_wrong_estimate() {
+        let consts = Constants {
+            c0: 4.0,
+            c2: 4.0,
+            c_prime: 1,
+            dissem_factor: 4.0,
+            ..Constants::tuned()
+        };
+        let n = 5;
+        // nu0 = 2 < n: the fixed-estimate arm would reject this outright.
+        let mut eng = Engine::new(line_net(n), 5, |id| {
+            EstimatingNoSNode::new(id, 0, 42, 2, consts)
+        });
+        let res = eng.run_until_all_done(400_000);
+        assert!(res.completed);
+        assert!(eng.nodes().iter().all(|nd| nd.informed()));
+    }
+
+    #[test]
+    fn estimating_s_informs_a_path_from_a_wrong_estimate() {
+        let consts = Constants {
+            c0: 4.0,
+            c2: 4.0,
+            c_prime: 1,
+            ..Constants::tuned()
+        };
+        let n = 5;
+        let mut eng = Engine::new(line_net(n), 9, |id| {
+            EstimatingSNode::new(id, 0, 42, 2, consts)
+        });
+        let res = eng.run_until_all_done(400_000);
+        assert!(res.completed);
+        assert!(eng.nodes().iter().all(|nd| nd.informed()));
+    }
+
+    #[test]
+    fn wrappers_expose_phase_hints() {
+        let consts = Constants::tuned();
+        let nos = EstimatingNoSNode::new(0, 0, 1, 8, consts);
+        let hint = nos.phase_hint(1).unwrap();
+        assert!(hint >= 1 && hint % nos.inner.phase_len() == 0);
+        let s = EstimatingSNode::new(0, 0, 1, 8, consts);
+        assert!(s.phase_hint(0).is_some());
+    }
+}

@@ -18,6 +18,9 @@
 //!   applications;
 //! * [`baselines`] — Daum et al.-style decay broadcast, fixed-probability
 //!   flooding, and adaptive local-broadcast flooding;
+//! * [`estimate`] — online ν-estimation: density-adaptive variants of the
+//!   broadcasts that recover when the population bound is wrong or churn
+//!   makes it stale;
 //! * [`verify`] — measurement of the Lemma 1/Lemma 2 invariants;
 //! * [`sim`] — the [`sim::Scenario`] builder: declarative topologies,
 //!   the protocol registry, unified [`sim::RunReport`]s and parallel
@@ -58,6 +61,7 @@ pub mod broadcast;
 pub mod coloring;
 pub mod consensus;
 pub mod constants;
+pub mod estimate;
 pub mod leader;
 pub mod localcast;
 pub mod run;
@@ -68,6 +72,7 @@ pub mod wakeup;
 
 pub use coloring::ColoringMachine;
 pub use constants::{log2n, Constants};
+pub use estimate::{NuEstimator, CONTENTION_TARGET};
 pub use stabilize::{run_stabilize, run_stabilize_on, ColoringRun, StabilizeProtocol};
 pub use verify::{
     invariant_report, lemma1_max_ball_mass, lemma2_min_close_mass, Coloring, InvariantReport,

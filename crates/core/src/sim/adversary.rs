@@ -1,0 +1,316 @@
+//! Declarative fault injection: seed-derived adversaries attacking a
+//! scenario at epoch boundaries.
+//!
+//! An [`AdversarySpec`] names one or more [`AdversaryModel`]s (mapped
+//! onto the [`sinr_runtime`] fault plans) plus an epoch length. The
+//! plans run at every adversary epoch boundary against the *refreshed*
+//! communication graph, and their faults — targeted kills, outages with
+//! later returns, jamming — flow through the same transactional delta
+//! path as churn, so adversarial runs keep the full determinism
+//! contract: pure functions of the run seed, byte-identical at any
+//! physics-thread or sweep-worker count. The adversary schedule derives
+//! from the run seed on its own stream, so arming an adversary perturbs
+//! neither the topology, the per-node randomness, the mobility
+//! trajectory, nor the churn schedule.
+//!
+//! Because degradation is accounted against a per-station dissemination
+//! goal (the [`super::RunReport::faults`] coverage curve), adversaries
+//! attach to the same protocol family as churn
+//! ([`super::ProtocolSpec::supports_churn`]); [`super::Scenario::build`]
+//! rejects the rest. The broadcast source is protected — killing or
+//! jamming it would make the goal undefined, exactly as under churn.
+
+use sinr_runtime::{
+    BlackoutAdversary, CutVertexAdversary, FaultPlan, JamAdversary, PhaseCrashAdversary,
+};
+
+/// One fault-injection behaviour, applied at every adversary epoch
+/// boundary of a run. Randomized models draw from a seed derived from
+/// the run seed, keeping runs replayable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdversaryModel {
+    /// From `at_epoch` on, each boundary kills up to
+    /// `⌊fraction · live⌋` stations, preferring **cut vertices** of the
+    /// current communication graph (articulation points whose loss
+    /// disconnects the survivors), falling back to highest-degree
+    /// stations — the worst-case targeted attack on connectivity.
+    CutVertexKill {
+        /// Fraction of the live population killed per boundary, in
+        /// `[0, 1]`.
+        fraction: f64,
+        /// First epoch (0-based) at which the attack fires.
+        at_epoch: u64,
+    },
+    /// Watches the protocol's phase structure (via
+    /// `Protocol::phase_hint`) and crashes `kills` random stations at
+    /// the first boundary after every `every_phases`-th phase
+    /// transition — faults synchronized to the protocol's most
+    /// vulnerable moments.
+    PhaseCrashBurst {
+        /// Stations crashed per burst (must be ≥ 1).
+        kills: usize,
+        /// Fire on every `every_phases`-th observed transition
+        /// (must be ≥ 1).
+        every_phases: u64,
+    },
+    /// `jammers` live stations (re-picked each boundary) transmit
+    /// unconditional noise every round of the epoch: their neighbours
+    /// decode silence unless SINR still favours a legitimate sender.
+    /// The population is untouched — pure interference.
+    Jam {
+        /// Concurrently jamming stations (must be ≥ 1).
+        jammers: usize,
+    },
+    /// Each boundary takes every live station down independently with
+    /// probability `fraction`; victims **return at their original
+    /// positions** `outage_epochs` boundaries later — transient
+    /// outages rather than permanent deaths.
+    Blackout {
+        /// Per-station outage probability per boundary, in `[0, 1]`.
+        fraction: f64,
+        /// Epochs a victim stays down (must be ≥ 1).
+        outage_epochs: u64,
+    },
+}
+
+impl AdversaryModel {
+    /// Validates the model parameters; returns a description of the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let check_fraction = |fraction: f64| {
+            if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+                return Err(format!(
+                    "adversary fraction must be a finite probability in [0, 1], got {fraction}"
+                ));
+            }
+            Ok(())
+        };
+        match *self {
+            AdversaryModel::CutVertexKill { fraction, .. } => check_fraction(fraction),
+            AdversaryModel::PhaseCrashBurst {
+                kills,
+                every_phases,
+            } => {
+                if kills == 0 {
+                    return Err("phase-crash burst must kill at least one station".into());
+                }
+                if every_phases == 0 {
+                    return Err(
+                        "phase-crash burst must fire on some phase (every_phases ≥ 1)".into(),
+                    );
+                }
+                Ok(())
+            }
+            AdversaryModel::Jam { jammers } => {
+                if jammers == 0 {
+                    return Err("jam adversary needs at least one jamming station".into());
+                }
+                Ok(())
+            }
+            AdversaryModel::Blackout {
+                fraction,
+                outage_epochs,
+            } => {
+                check_fraction(fraction)?;
+                if outage_epochs == 0 {
+                    return Err("blackout outages must last at least one epoch".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether the model kills stations (as opposed to pure
+    /// interference). Kill-type models ride the churn transaction path.
+    pub fn kills_stations(&self) -> bool {
+        !matches!(self, AdversaryModel::Jam { .. })
+    }
+
+    /// Instantiates the runtime fault plan; `seed` feeds the model's
+    /// random choices (derived per-model from the run seed on the
+    /// adversary stream, so composed models draw independently).
+    pub fn build(&self, seed: u64) -> Box<dyn FaultPlan> {
+        match *self {
+            AdversaryModel::CutVertexKill { fraction, at_epoch } => {
+                Box::new(CutVertexAdversary::new(fraction, at_epoch))
+            }
+            AdversaryModel::PhaseCrashBurst {
+                kills,
+                every_phases,
+            } => Box::new(PhaseCrashAdversary::new(kills, every_phases, seed)),
+            AdversaryModel::Jam { jammers } => Box::new(JamAdversary::new(jammers, seed)),
+            AdversaryModel::Blackout {
+                fraction,
+                outage_epochs,
+            } => Box::new(BlackoutAdversary::new(fraction, outage_epochs, seed)),
+        }
+    }
+}
+
+/// One or more adversary models and the number of rounds between their
+/// boundaries.
+///
+/// # Example
+///
+/// ```
+/// use sinr_core::sim::{AdversarySpec, AdversaryModel, ProtocolSpec, Scenario, TopologySpec};
+///
+/// let sim = Scenario::new(TopologySpec::UniformSquare { n: 40, side: 2.0 })
+///     .protocol(ProtocolSpec::ReFloodBroadcast { source: 0, p: 0.3, burst_rounds: 32 })
+///     .adversary(
+///         AdversarySpec::cut_vertex_kill(0.2, 1, 16).and(AdversaryModel::Jam { jammers: 2 }),
+///     )
+///     .budget(200)
+///     .build()?;
+/// assert_eq!(sim.run(7)?, sim.run(7)?); // adversarial runs replay bit-for-bit
+/// # Ok::<(), sinr_core::sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarySpec {
+    /// The fault behaviours, applied in order at each boundary (later
+    /// models see only the merge filtering of the engine, not each
+    /// other's picks — overlaps deduplicate).
+    pub models: Vec<AdversaryModel>,
+    /// Rounds per adversary epoch (must be at least 1). Independent of
+    /// any churn or mobility epoch — all hooks fire on their own
+    /// schedules.
+    pub epoch_rounds: u64,
+}
+
+impl AdversarySpec {
+    /// A spec from explicit models.
+    pub fn new(models: Vec<AdversaryModel>, epoch_rounds: u64) -> Self {
+        AdversarySpec {
+            models,
+            epoch_rounds,
+        }
+    }
+
+    /// A single [`AdversaryModel::CutVertexKill`] adversary.
+    pub fn cut_vertex_kill(fraction: f64, at_epoch: u64, epoch_rounds: u64) -> Self {
+        AdversarySpec::new(
+            vec![AdversaryModel::CutVertexKill { fraction, at_epoch }],
+            epoch_rounds,
+        )
+    }
+
+    /// A single [`AdversaryModel::PhaseCrashBurst`] adversary.
+    pub fn phase_crash(kills: usize, every_phases: u64, epoch_rounds: u64) -> Self {
+        AdversarySpec::new(
+            vec![AdversaryModel::PhaseCrashBurst {
+                kills,
+                every_phases,
+            }],
+            epoch_rounds,
+        )
+    }
+
+    /// A single [`AdversaryModel::Jam`] adversary.
+    pub fn jam(jammers: usize, epoch_rounds: u64) -> Self {
+        AdversarySpec::new(vec![AdversaryModel::Jam { jammers }], epoch_rounds)
+    }
+
+    /// A single [`AdversaryModel::Blackout`] adversary.
+    pub fn blackout(fraction: f64, outage_epochs: u64, epoch_rounds: u64) -> Self {
+        AdversarySpec::new(
+            vec![AdversaryModel::Blackout {
+                fraction,
+                outage_epochs,
+            }],
+            epoch_rounds,
+        )
+    }
+
+    /// Adds another model to the composition.
+    #[must_use]
+    pub fn and(mut self, model: AdversaryModel) -> Self {
+        self.models.push(model);
+        self
+    }
+
+    /// Validates the whole spec; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.models.is_empty() {
+            return Err("adversary spec needs at least one model".into());
+        }
+        if self.epoch_rounds == 0 {
+            return Err("adversary epoch length must be at least one round".into());
+        }
+        for model in &self.models {
+            model.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{ProtocolSpec, Scenario, SimError, TopologySpec};
+
+    fn scenario_with(spec: AdversarySpec, protocol: ProtocolSpec) -> Result<(), SimError> {
+        Scenario::new(TopologySpec::UniformSquare { n: 10, side: 2.0 })
+            .protocol(protocol)
+            .adversary(spec)
+            .budget(10)
+            .build()
+            .map(|_| ())
+    }
+
+    #[test]
+    fn invalid_model_parameters_fail_at_build_not_run() {
+        for spec in [
+            AdversarySpec::cut_vertex_kill(-0.1, 0, 8), // negative fraction
+            AdversarySpec::cut_vertex_kill(1.5, 0, 8),  // above 1
+            AdversarySpec::cut_vertex_kill(f64::NAN, 0, 8),
+            AdversarySpec::phase_crash(0, 1, 8), // zero kills
+            AdversarySpec::phase_crash(2, 0, 8), // zero phase stride
+            AdversarySpec::jam(0, 8),            // zero jammers
+            AdversarySpec::blackout(0.2, 0, 8),  // zero outage
+            AdversarySpec::blackout(f64::INFINITY, 1, 8),
+            AdversarySpec::jam(1, 0),          // zero epoch length
+            AdversarySpec::new(Vec::new(), 8), // no models
+        ] {
+            let built = scenario_with(
+                spec.clone(),
+                ProtocolSpec::FloodBroadcast { source: 0, p: 0.5 },
+            );
+            match built {
+                Err(err) => assert!(matches!(err, SimError::Spec(_)), "{spec:?}: {err}"),
+                Ok(()) => panic!("{spec:?}: build accepted an invalid adversary spec"),
+            }
+        }
+    }
+
+    #[test]
+    fn adversaries_attach_only_to_churn_capable_protocols() {
+        for protocol in [
+            ProtocolSpec::Coloring,
+            ProtocolSpec::LeaderElection { d_bound: 4 },
+            ProtocolSpec::GpsOracleBroadcast { source: 0 },
+        ] {
+            let err = scenario_with(AdversarySpec::jam(1, 8), protocol.clone()).unwrap_err();
+            assert!(
+                matches!(err, SimError::Spec(_)),
+                "{}: {err}",
+                protocol.name()
+            );
+        }
+    }
+
+    #[test]
+    fn composition_and_classification() {
+        let spec = AdversarySpec::cut_vertex_kill(0.25, 1, 16)
+            .and(AdversaryModel::Jam { jammers: 3 })
+            .and(AdversaryModel::Blackout {
+                fraction: 0.1,
+                outage_epochs: 2,
+            });
+        assert_eq!(spec.models.len(), 3);
+        assert!(spec.validate().is_ok());
+        assert!(spec.models[0].kills_stations());
+        assert!(!spec.models[1].kills_stations());
+        assert!(spec.models[2].kills_stations());
+    }
+}

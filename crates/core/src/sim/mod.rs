@@ -82,6 +82,48 @@
 //! # Ok::<(), sinr_core::sim::SimError>(())
 //! ```
 //!
+//! # Adversaries and degradation
+//!
+//! [`Scenario::adversary`] attaches an [`AdversarySpec`] (one or more
+//! [`AdversaryModel`]s plus an epoch length): every `epoch_rounds`
+//! rounds the fault plans run against the **refreshed** communication
+//! graph and inject targeted faults — cut-vertex-targeted kills (the
+//! worst-case attack on connectivity), phase-synchronized crash bursts
+//! (timed via the protocols' `phase_hint`), jamming stations
+//! (unconditional noise, no physics changes), and blackout outages
+//! whose victims return at their original positions. Kill-type faults
+//! flow through the same transactional delta path as churn, so the
+//! whole determinism contract carries over: adversarial runs are pure
+//! functions of their seed, byte-identical at any physics-thread or
+//! sweep-worker count, and compose with churn and mobility (a station
+//! the churn schedule already killed at the same boundary is simply
+//! not double-killed).
+//!
+//! Degradation is *measured*, not just injected: faulted runs fill
+//! [`RunReport::faults`] with fault totals, a coverage-over-time curve
+//! (one [`CoveragePoint`] per adversary boundary) and the
+//! re-convergence time after the last fault. On the protocol side, the
+//! `*OnlineEstimate` variants ([`crate::estimate`]) replace the
+//! paper's fixed population estimate with an online, one-sided ν̂ that
+//! grows on in-burst silence runs — the protocol-visible signature of
+//! collision stalls — and back off their estimate window when churn
+//! invalidates the statistics, degrading latency instead of coverage.
+//!
+//! ```
+//! use sinr_core::sim::{AdversarySpec, ProtocolSpec, Scenario, TopologySpec};
+//!
+//! let sim = Scenario::new(TopologySpec::UniformSquare { n: 40, side: 2.0 })
+//!     .protocol(ProtocolSpec::ReFloodBroadcastEstimate { source: 0, nu0: 40, burst_rounds: 48 })
+//!     .adversary(AdversarySpec::cut_vertex_kill(0.2, 1, 24)) // 20% of live stations per epoch
+//!     .budget(600)
+//!     .build()?;
+//! let report = sim.run(11)?;
+//! assert_eq!(report, sim.run(11)?); // replays bit-for-bit
+//! let faults = report.faults.expect("adversarial runs carry fault accounting");
+//! assert!(!faults.coverage.is_empty()); // degradation curve sampled per boundary
+//! # Ok::<(), sinr_core::sim::SimError>(())
+//! ```
+//!
 //! # Protocol registry → paper map
 //!
 //! | [`ProtocolSpec`] variant | paper result |
@@ -95,6 +137,9 @@
 //! | [`ProtocolSpec::FloodBroadcast`] | the fixed-probability strawman of the introduction |
 //! | [`ProtocolSpec::LocalBroadcast`] | adaptive local-broadcast-style flooding baseline |
 //! | [`ProtocolSpec::ReFloodBroadcast`] | mobility/churn-aware re-flooding variant (re-seeds on topology change; beyond the paper's static model) |
+//! | [`ProtocolSpec::ReFloodBroadcastEstimate`] | re-flooding driven by an online ν̂ (graceful degradation under faults; beyond the paper's static model) |
+//! | [`ProtocolSpec::NoSBroadcastOnlineEstimate`] | Theorem 1 phase schedule rebuilt per station as an online ν̂ grows |
+//! | [`ProtocolSpec::SBroadcastOnlineEstimate`] | Theorem 2 with the dissemination probability re-tuned to an online ν̂ |
 //! | [`ProtocolSpec::GpsOracleBroadcast`] | the "geometry known" upper bound (references [14, 15] strengthened to an oracle) |
 //! | [`ProtocolSpec::AdhocWakeup`] | Section 5: ad hoc wake-up in `O(D log² n)` from the first wake-up |
 //! | [`ProtocolSpec::EstablishedWakeup`] | Fact 11: wake-up over an established coloring in `O(D log n + log² n)` |
@@ -118,6 +163,7 @@
 //! `tests/mode_determinism.rs` pins physics-thread invariance across
 //! every interference mode — for static and mobile topologies alike.
 
+mod adversary;
 mod churn;
 mod mobility;
 mod observer;
@@ -126,10 +172,11 @@ mod scenario;
 mod spec;
 mod topology;
 
+pub use adversary::{AdversaryModel, AdversarySpec};
 pub use churn::ChurnSpec;
 pub use mobility::MobilitySpec;
 pub use observer::{LoadObserver, Observer};
-pub use report::{Outcome, RunReport, SweepReport};
+pub use report::{CoveragePoint, FaultReport, Outcome, RunReport, SweepReport};
 pub use scenario::{Scenario, SimError, Simulation};
 pub use spec::ProtocolSpec;
 pub use topology::{Topology, TopologySpec};

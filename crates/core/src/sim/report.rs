@@ -51,6 +51,51 @@ pub enum Outcome {
     },
 }
 
+/// Coverage of the dissemination goal at one adversary epoch boundary:
+/// one sample per boundary, forming the degradation curve of a faulted
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoveragePoint {
+    /// The boundary round the sample was taken after.
+    pub round: u64,
+    /// Live stations that had reached the per-station goal.
+    pub informed: usize,
+    /// Live stations at that moment.
+    pub live: usize,
+}
+
+/// Fault and recovery accounting of an adversarial run
+/// ([`crate::sim::Scenario::adversary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// Stations killed by the adversary (excluding any the churn
+    /// schedule killed first at the same boundary).
+    pub kills: u64,
+    /// Stations the adversary brought back (blackout returns).
+    pub returns: u64,
+    /// Jammed station-rounds: one per round each jammer spent
+    /// transmitting noise.
+    pub jam_rounds: u64,
+    /// Rounds from the last injected fault until the goal was reached —
+    /// the re-convergence time. `None` when the run did not complete or
+    /// no fault ever fired.
+    pub recovery_rounds: Option<u64>,
+    /// Goal coverage over time, one sample per adversary epoch
+    /// boundary.
+    pub coverage: Vec<CoveragePoint>,
+}
+
+impl FaultReport {
+    /// Final live-population coverage fraction (1.0 for an empty
+    /// curve — nothing was ever at risk).
+    pub fn final_coverage(&self) -> f64 {
+        match self.coverage.last() {
+            Some(pt) if pt.live > 0 => pt.informed as f64 / pt.live as f64,
+            _ => 1.0,
+        }
+    }
+}
+
 /// Unified result of one simulation run — the superset of the legacy
 /// `BroadcastReport` / `WakeupReport` / `ConsensusReport` / `LeaderReport`.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +125,9 @@ pub struct RunReport {
     pub tx_counts: Option<Vec<u64>>,
     /// Named scalar measurements filled by [`crate::sim::Observer`]s.
     pub measurements: BTreeMap<String, f64>,
+    /// Fault and recovery accounting, when the scenario armed an
+    /// adversary via [`crate::sim::Scenario::adversary`].
+    pub faults: Option<FaultReport>,
 }
 
 /// Results of a parallel seed sweep, in the seed order given (independent

@@ -20,7 +20,8 @@ use crate::verify::Coloring;
 use crate::wakeup::{AdhocWakeupNode, EstablishedWakeupNode};
 
 use super::{
-    ChurnSpec, MobilitySpec, Observer, Outcome, ProtocolSpec, RunReport, SweepReport, Topology,
+    AdversarySpec, ChurnSpec, CoveragePoint, FaultReport, MobilitySpec, Observer, Outcome,
+    ProtocolSpec, RunReport, SweepReport, Topology,
 };
 
 /// Stream id under which run seeds derive their topology-generation seed
@@ -39,6 +40,11 @@ const MOBILITY_STREAM: u64 = 0x4D4F_4249; // "MOBI"
 /// per-node randomness, nor the mobility trajectory — the seeded churn
 /// schedule is a first-class, independently replayable input).
 const CHURN_STREAM: u64 = 0x4348_5552; // "CHUR"
+
+/// Stream id under which run seeds derive their adversary seeds (one
+/// per composed model, so arming or re-ordering fault models perturbs
+/// no other stream and composed models draw independently).
+const ADVERSARY_STREAM: u64 = 0x4144_5652; // "ADVR"
 
 /// Everything that can go wrong building or running a scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +99,7 @@ pub struct Scenario<P: MetricPoint = Point2> {
     physics_threads: usize,
     mobility: Option<MobilitySpec>,
     churn: Option<ChurnSpec>,
+    adversary: Option<AdversarySpec>,
     observers: Vec<ObserverFactory>,
 }
 
@@ -109,6 +116,7 @@ impl<P: MetricPoint> Clone for Scenario<P> {
             physics_threads: self.physics_threads,
             mobility: self.mobility,
             churn: self.churn,
+            adversary: self.adversary.clone(),
             observers: self.observers.clone(),
         }
     }
@@ -132,6 +140,7 @@ impl<P: MetricPoint> Scenario<P> {
             physics_threads: 1,
             mobility: None,
             churn: None,
+            adversary: None,
             observers: Vec::new(),
         }
     }
@@ -260,6 +269,34 @@ impl<P: MetricPoint> Scenario<P> {
         self
     }
 
+    /// Arms a seed-derived **adversary**: every
+    /// [`AdversarySpec::epoch_rounds`] rounds its fault models run
+    /// against the refreshed communication graph and inject targeted
+    /// kills, transient outages, or jamming
+    /// ([`super::AdversaryModel`]). Kill-type faults flow through the
+    /// same transactional delta path as churn (index-stable tombstones,
+    /// protected broadcast source, `on_leave`/`on_join` lifecycle
+    /// hooks), jamming leaves the population untouched — so adversarial
+    /// runs stay pure functions of their seed and compose with
+    /// [`Scenario::churn`], [`Scenario::mobility`],
+    /// [`Simulation::sweep`] and [`Scenario::physics_threads`] with
+    /// byte-identical reports at any thread count (pinned by
+    /// `tests/mode_determinism.rs`).
+    ///
+    /// Faulted runs fill [`RunReport::faults`] with kill/return/jam
+    /// totals, the coverage-over-time degradation curve (one sample per
+    /// adversary boundary) and the re-convergence time after the last
+    /// fault. Adversaries attach to the same protocols as churn
+    /// ([`ProtocolSpec::supports_churn`] — the broadcast family, whose
+    /// per-station goal the degradation accounting is defined over);
+    /// [`Scenario::build`] rejects the rest, and validates the model
+    /// parameters, with [`SimError::Spec`].
+    #[must_use]
+    pub fn adversary(mut self, spec: AdversarySpec) -> Self {
+        self.adversary = Some(spec);
+        self
+    }
+
     /// Records per-round statistics into [`RunReport::per_round`].
     #[must_use]
     pub fn record_rounds(mut self) -> Self {
@@ -326,6 +363,19 @@ impl<P: MetricPoint> Scenario<P> {
                 )));
             }
         }
+        if let Some(adv) = &self.adversary {
+            // Fail fast here rather than panicking inside run()/sweep()
+            // worker threads.
+            adv.validate().map_err(SimError::Spec)?;
+            if !spec.supports_churn() {
+                return Err(SimError::Spec(format!(
+                    "protocol '{}' does not support an adversary \
+                     (fault degradation is accounted against a per-station goal \
+                     that survives population changes; the broadcast family qualifies)",
+                    spec.name()
+                )));
+            }
+        }
         if let ProtocolSpec::ReFloodBroadcast {
             p, burst_rounds, ..
         } = spec
@@ -338,6 +388,30 @@ impl<P: MetricPoint> Scenario<P> {
             if *burst_rounds == 0 {
                 return Err(SimError::Spec(
                     "re-flood burst must last at least one round".into(),
+                ));
+            }
+        }
+        if let ProtocolSpec::ReFloodBroadcastEstimate {
+            nu0, burst_rounds, ..
+        } = spec
+        {
+            if *nu0 == 0 {
+                return Err(SimError::Spec(
+                    "initial population estimate nu0 must be at least 1".into(),
+                ));
+            }
+            if *burst_rounds == 0 {
+                return Err(SimError::Spec(
+                    "re-flood burst must last at least one round".into(),
+                ));
+            }
+        }
+        if let ProtocolSpec::NoSBroadcastOnlineEstimate { nu0, .. }
+        | ProtocolSpec::SBroadcastOnlineEstimate { nu0, .. } = spec
+        {
+            if *nu0 == 0 {
+                return Err(SimError::Spec(
+                    "initial population estimate nu0 must be at least 1".into(),
                 ));
             }
         }
@@ -496,6 +570,8 @@ struct Driven<Pr> {
     total_transmissions: u64,
     per_round: Option<Vec<sinr_runtime::RoundStats>>,
     tx_counts: Option<Vec<u64>>,
+    /// Fault accounting, when the scenario armed an adversary.
+    faults: Option<FaultReport>,
 }
 
 /// The boxed state-machine factory of stations spawned by churn.
@@ -557,6 +633,18 @@ fn setup_engine<P: MetricPoint, Pr: Protocol + 'static>(
             mob.advance(pts);
         });
     }
+    if let Some(spec) = &scenario.adversary {
+        let mut plans = sinr_runtime::FaultPlanSet::new();
+        for (k, model) in spec.models.iter().enumerate() {
+            plans.push(model.build(derive_seed(seed, ADVERSARY_STREAM, k as u64)));
+        }
+        let protected = scenario
+            .protocol
+            .as_ref()
+            .and_then(ProtocolSpec::broadcast_source)
+            .unwrap_or(usize::MAX);
+        eng.set_adversary(spec.epoch_rounds, protected, Box::new(plans));
+    }
     eng
 }
 
@@ -603,6 +691,8 @@ fn drive<P: MetricPoint, Pr: Protocol + 'static>(
     for o in observers.iter_mut() {
         o.begin(n);
     }
+    let adv_epoch = scenario.adversary.as_ref().map(|a| a.epoch_rounds);
+    let mut coverage: Vec<CoveragePoint> = Vec::new();
     let mut executed = 0u64;
     let completed = loop {
         if live_all(&eng, &done) {
@@ -619,8 +709,35 @@ fn drive<P: MetricPoint, Pr: Protocol + 'static>(
                 o.on_round(&stats, informed);
             }
         }
+        if let Some(epoch) = adv_epoch {
+            // Sample the degradation curve right after each adversary
+            // boundary round resolves (round 0 gives the baseline).
+            let round = eng.round() - 1;
+            if round % epoch == 0 {
+                coverage.push(CoveragePoint {
+                    round,
+                    informed: live_count(&eng, &done),
+                    live: eng.network().alive().iter().filter(|&&a| a).count(),
+                });
+            }
+        }
     };
-    finish(eng, executed, completed)
+    let faults = adv_epoch.map(|_| {
+        let stats = *eng.fault_stats();
+        FaultReport {
+            kills: stats.kills,
+            returns: stats.returns,
+            jam_rounds: stats.jam_rounds,
+            recovery_rounds: match (completed, stats.last_fault_round) {
+                (true, Some(last)) => Some(executed.saturating_sub(last)),
+                _ => None,
+            },
+            coverage,
+        }
+    });
+    let mut d = finish(eng, executed, completed);
+    d.faults = faults;
+    d
 }
 
 /// Drives an engine for exactly `rounds` rounds (fixed global schedules:
@@ -669,6 +786,7 @@ fn finish<P: MetricPoint, Pr: Protocol>(
         total_transmissions,
         per_round,
         tx_counts,
+        faults: None,
     }
 }
 
@@ -874,6 +992,48 @@ fn execute<P: MetricPoint>(
                 crate::baselines::ReFloodNode::informed,
             )
         }
+        ProtocolSpec::ReFloodBroadcastEstimate {
+            source,
+            nu0,
+            burst_rounds,
+        } => {
+            check_source(source, n)?;
+            broadcast_arm(
+                scenario,
+                net,
+                seed,
+                budget,
+                &mut observers,
+                move |id| {
+                    crate::estimate::EstimatingReFloodNode::new(id, source, 1, nu0, burst_rounds)
+                },
+                crate::estimate::EstimatingReFloodNode::informed,
+            )
+        }
+        ProtocolSpec::NoSBroadcastOnlineEstimate { source, nu0 } => {
+            check_source(source, n)?;
+            broadcast_arm(
+                scenario,
+                net,
+                seed,
+                budget,
+                &mut observers,
+                move |id| crate::estimate::EstimatingNoSNode::new(id, source, 1, nu0, consts),
+                crate::estimate::EstimatingNoSNode::informed,
+            )
+        }
+        ProtocolSpec::SBroadcastOnlineEstimate { source, nu0 } => {
+            check_source(source, n)?;
+            broadcast_arm(
+                scenario,
+                net,
+                seed,
+                budget,
+                &mut observers,
+                move |id| crate::estimate::EstimatingSNode::new(id, source, 1, nu0, consts),
+                crate::estimate::EstimatingSNode::informed,
+            )
+        }
         ProtocolSpec::GpsOracleBroadcast { source } => {
             check_source(source, n)?;
             // Oracle TDMA is not engine-driven; per-round observers and
@@ -887,6 +1047,7 @@ fn execute<P: MetricPoint>(
                 total_transmissions: rep.total_transmissions,
                 per_round: None,
                 tx_counts: None,
+                faults: None,
             };
             (driven, rep.informed, Outcome::Broadcast)
         }
@@ -1073,6 +1234,7 @@ fn execute<P: MetricPoint>(
         per_round: driven.per_round,
         tx_counts: driven.tx_counts,
         measurements: std::collections::BTreeMap::new(),
+        faults: driven.faults,
     };
     for o in &mut observers {
         o.finish(&mut report);
@@ -1091,5 +1253,6 @@ fn erase<Pr>(d: Driven<Pr>) -> Driven<()> {
         total_transmissions: d.total_transmissions,
         per_round: d.per_round,
         tx_counts: d.tx_counts,
+        faults: d.faults,
     }
 }

@@ -76,6 +76,41 @@ pub enum ProtocolSpec {
         /// Rounds of flooding granted per (re)seed (must be ≥ 1).
         burst_rounds: u64,
     },
+    /// Burst-based re-flooding with an **online ν-estimate**
+    /// ([`crate::estimate::EstimatingReFloodNode`]): the transmission
+    /// probability is `min(CONTENTION_TARGET/ν̂, 0.75)` for a
+    /// per-station estimate ν̂ that grows on in-burst silence runs and
+    /// backs off its window under churn — the graceful-degradation
+    /// counterpart of [`ProtocolSpec::ReFloodBroadcast`], which keeps
+    /// its fixed `p` no matter what the adversary does.
+    ReFloodBroadcastEstimate {
+        /// Initially informed station.
+        source: usize,
+        /// Initial population estimate (must be ≥ 1; may be far below
+        /// the true population — adapting out of it is the point).
+        nu0: usize,
+        /// Rounds of flooding granted per (re)seed (must be ≥ 1).
+        burst_rounds: u64,
+    },
+    /// `NoSBroadcast` with an **online** ν-estimate
+    /// ([`crate::estimate::EstimatingNoSNode`]): each station re-tunes
+    /// its phase schedule at phase boundaries as its estimate grows,
+    /// instead of trusting a fixed `nu ≥ n` for the whole run.
+    NoSBroadcastOnlineEstimate {
+        /// Initially informed station.
+        source: usize,
+        /// Initial population estimate (must be ≥ 1).
+        nu0: usize,
+    },
+    /// `SBroadcast` with an **online** ν-estimate
+    /// ([`crate::estimate::EstimatingSNode`]): the dissemination
+    /// probability re-tunes to the growing estimate every round.
+    SBroadcastOnlineEstimate {
+        /// Initially informed station.
+        source: usize,
+        /// Initial population estimate (must be ≥ 1).
+        nu0: usize,
+    },
     /// GPS-oracle grid TDMA (the experiment E12 gold standard: full
     /// coordinates plus an in-cell contention oracle).
     GpsOracleBroadcast {
@@ -136,6 +171,9 @@ impl ProtocolSpec {
             ProtocolSpec::FloodBroadcast { .. } => "flood",
             ProtocolSpec::LocalBroadcast { .. } => "local-broadcast",
             ProtocolSpec::ReFloodBroadcast { .. } => "re-flood",
+            ProtocolSpec::ReFloodBroadcastEstimate { .. } => "re-flood-online-nu",
+            ProtocolSpec::NoSBroadcastOnlineEstimate { .. } => "nos-broadcast-online-nu",
+            ProtocolSpec::SBroadcastOnlineEstimate { .. } => "s-broadcast-online-nu",
             ProtocolSpec::GpsOracleBroadcast { .. } => "gps-oracle",
             ProtocolSpec::AdhocWakeup { .. } => "adhoc-wakeup",
             ProtocolSpec::EstablishedWakeup { .. } => "established-wakeup",
@@ -175,6 +213,9 @@ impl ProtocolSpec {
                 | ProtocolSpec::FloodBroadcast { .. }
                 | ProtocolSpec::LocalBroadcast { .. }
                 | ProtocolSpec::ReFloodBroadcast { .. }
+                | ProtocolSpec::ReFloodBroadcastEstimate { .. }
+                | ProtocolSpec::NoSBroadcastOnlineEstimate { .. }
+                | ProtocolSpec::SBroadcastOnlineEstimate { .. }
         )
     }
 
@@ -191,6 +232,9 @@ impl ProtocolSpec {
             | ProtocolSpec::FloodBroadcast { source, .. }
             | ProtocolSpec::LocalBroadcast { source }
             | ProtocolSpec::ReFloodBroadcast { source, .. }
+            | ProtocolSpec::ReFloodBroadcastEstimate { source, .. }
+            | ProtocolSpec::NoSBroadcastOnlineEstimate { source, .. }
+            | ProtocolSpec::SBroadcastOnlineEstimate { source, .. }
             | ProtocolSpec::GpsOracleBroadcast { source } => Some(*source),
             _ => None,
         }

@@ -173,13 +173,18 @@ impl<P: MetricPoint> ChurnProcess<P> {
     /// [`sinr_phy::Network::alive`]).
     pub fn step_into(&mut self, alive: &[bool], delta: &mut ChurnDelta<P>) {
         delta.clear();
-        // Tombstones from *previous* epochs are the rejoin pool.
+        // Tombstones from *previous* epochs are the rejoin pool. The
+        // protected station is excluded: it can only be dead if an
+        // external force (a fault-injecting adversary) took it down, and
+        // a rejoin here would teleport it to a random position —
+        // relocating a broadcast source mid-run would silently change
+        // the dissemination goal.
         self.dead.clear();
         self.dead.extend(
             alive
                 .iter()
                 .enumerate()
-                .filter(|(_, &a)| !a)
+                .filter(|&(i, &a)| !a && i != self.protected)
                 .map(|(i, _)| i),
         );
         // Departures: geometric lifetime, visited in index order so the
@@ -378,6 +383,101 @@ mod tests {
         }
         proc.step_into(&alive, &mut delta);
         assert!(delta.kills.is_empty(), "only the protected station lives");
+    }
+
+    #[test]
+    fn protected_station_is_never_rejoin_relocated() {
+        // A dead *protected* station (killed by an external adversary,
+        // not by this process) must not be handed out as a rejoin slot —
+        // that would teleport a broadcast source to a random position.
+        let pts = uniform::square(6, 2.0, 4);
+        let mut proc = ChurnProcess::over_deployment(
+            ChurnModel {
+                arrival_rate: 8.0, // plenty of arrivals every epoch
+                mean_lifetime: 1e18,
+            },
+            &pts,
+            9,
+        )
+        .protect(2);
+        let mut alive = vec![true; 6];
+        alive[2] = false; // adversary-induced source death
+        alive[4] = false;
+        let mut delta = ChurnDelta::new();
+        proc.step_into(&alive, &mut delta);
+        assert!(
+            delta.rejoins.iter().all(|&(r, _)| r != 2),
+            "protected tombstone handed out as a rejoin slot"
+        );
+        assert!(
+            delta.rejoins.iter().any(|&(r, _)| r == 4),
+            "unprotected tombstones still rejoin"
+        );
+    }
+
+    #[test]
+    fn kill_everything_schedule_is_survivable() {
+        // The degenerate adversarial input: lifetime 1.0 and no
+        // protection kills the whole population in one epoch; stepping
+        // the process over an all-dead population must stay well-formed
+        // (no kills of dead stations, rejoins only of tombstones) rather
+        // than panic mid-run.
+        let pts = uniform::square(8, 2.0, 6);
+        let mut proc = ChurnProcess::over_deployment(
+            ChurnModel {
+                arrival_rate: 3.0,
+                mean_lifetime: 1.0,
+            },
+            &pts,
+            1,
+        );
+        let mut alive = vec![true; 8];
+        let mut delta = ChurnDelta::new();
+        proc.step_into(&alive, &mut delta);
+        assert_eq!(delta.kills.len(), 8, "everyone dies at lifetime 1");
+        for &k in &delta.kills {
+            alive[k] = false;
+        }
+        for _ in 0..10 {
+            proc.step_into(&alive, &mut delta);
+            for &k in &delta.kills {
+                assert!(alive[k]);
+                alive[k] = false;
+            }
+            for &(r, _) in &delta.rejoins {
+                assert!(!alive[r]);
+                alive[r] = true;
+            }
+            alive.resize(alive.len() + delta.spawns.len(), true);
+        }
+    }
+
+    #[test]
+    fn zero_area_bounds_box_arrivals_are_well_defined() {
+        // A degenerate deployment where every station sits at one point:
+        // the arrival domain collapses to a zero-area box. `Bounds::
+        // sample` draws from inclusive ranges, so arrivals land exactly
+        // on the point instead of panicking on an empty range.
+        let pts = vec![Point2::new(1.5, 2.5); 4];
+        let mut proc = ChurnProcess::over_deployment(
+            ChurnModel {
+                arrival_rate: 5.0,
+                mean_lifetime: 2.0,
+            },
+            &pts,
+            3,
+        );
+        let alive = vec![true; 4];
+        let mut delta = ChurnDelta::new();
+        for _ in 0..5 {
+            proc.step_into(&alive, &mut delta);
+            for &(_, p) in &delta.rejoins {
+                assert_eq!(p, Point2::new(1.5, 2.5));
+            }
+            for p in &delta.spawns {
+                assert_eq!(*p, Point2::new(1.5, 2.5));
+            }
+        }
     }
 
     #[test]

@@ -322,6 +322,73 @@ impl CommGraph {
             .all(|(&d, &p)| !p || d != UNREACHABLE)
     }
 
+    /// Number of connected components of the live graph, optionally
+    /// pretending `excluded` is dead. One scratch-reusing BFS sweep.
+    fn component_count_excluding(
+        &self,
+        excluded: Option<usize>,
+        scratch: &mut GraphScratch,
+    ) -> usize {
+        scratch.dist.clear();
+        scratch.dist.resize(self.len(), UNREACHABLE);
+        scratch.queue.clear();
+        let mut count = 0;
+        for src in 0..self.len() {
+            if !self.present[src] || Some(src) == excluded || scratch.dist[src] != UNREACHABLE {
+                continue;
+            }
+            count += 1;
+            scratch.dist[src] = 0;
+            scratch.queue.push_back(src);
+            while let Some(v) = scratch.queue.pop_front() {
+                for &u in self.neighbors(v) {
+                    if Some(u) != excluded && scratch.dist[u] == UNREACHABLE {
+                        scratch.dist[u] = scratch.dist[v] + 1;
+                        scratch.queue.push_back(u);
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Whether the live vertices **other than** `excluded` are mutually
+    /// reachable when `excluded` is treated as dead. Vacuously `true`
+    /// when at most one live vertex remains. Scratch-reusing (zero heap
+    /// allocations in steady state) — the "what if this station crashed"
+    /// probe adversarial fault plans are built on.
+    pub fn is_connected_without(&self, excluded: usize, scratch: &mut GraphScratch) -> bool {
+        self.component_count_excluding(Some(excluded), scratch) <= 1
+    }
+
+    /// Collects the cut vertices (articulation points) of the live graph
+    /// into `out`, ascending: live vertices whose removal increases the
+    /// number of live connected components. Graphs with fewer than three
+    /// live vertices have none.
+    ///
+    /// Implemented as a component-count probe per candidate over the
+    /// scratch-reusing BFS — `O(n·(n+m))` total. That is deliberate:
+    /// this is epoch-boundary adversary tooling (cut-vertex-targeted
+    /// kill schedules), not a per-round kernel, and the probe reuses
+    /// `scratch` so it allocates nothing in steady state.
+    pub fn cut_vertices_into(&self, scratch: &mut GraphScratch, out: &mut Vec<usize>) {
+        out.clear();
+        if self.num_present < 3 {
+            return;
+        }
+        let base = self.component_count_excluding(None, scratch);
+        for v in 0..self.len() {
+            // Isolated live vertices can't be articulation points:
+            // removing one only lowers the component count.
+            if !self.present[v] || self.degree(v) == 0 {
+                continue;
+            }
+            if self.component_count_excluding(Some(v), scratch) > base {
+                out.push(v);
+            }
+        }
+    }
+
     /// Eccentricity of `src` (max BFS distance over live vertices), or
     /// `None` if some live vertex is unreachable from `src`.
     pub fn eccentricity(&self, src: usize) -> Option<u32> {
@@ -629,6 +696,72 @@ mod tests {
             g.rebuild_from(&pts, None);
             assert_eq!(g, CommGraph::build(&pts, 0.5), "unmasked step {step}");
         }
+    }
+
+    #[test]
+    fn cut_vertices_of_a_path_are_the_interior() {
+        let pts = line(5, 0.4);
+        let g = CommGraph::build(&pts, 0.5);
+        let mut scratch = GraphScratch::new();
+        let mut cv = Vec::new();
+        g.cut_vertices_into(&mut scratch, &mut cv);
+        assert_eq!(cv, vec![1, 2, 3]);
+        for &v in &cv {
+            assert!(!g.is_connected_without(v, &mut scratch), "v = {v}");
+        }
+        assert!(g.is_connected_without(0, &mut scratch));
+        assert!(g.is_connected_without(4, &mut scratch));
+    }
+
+    #[test]
+    fn clique_has_no_cut_vertices() {
+        let pts: Vec<Point2> = (0..4).map(|i| Point2::new(i as f64 * 0.1, 0.0)).collect();
+        let g = CommGraph::build(&pts, 0.5);
+        let mut scratch = GraphScratch::new();
+        let mut cv = Vec::new();
+        g.cut_vertices_into(&mut scratch, &mut cv);
+        assert!(cv.is_empty());
+    }
+
+    #[test]
+    fn cut_vertices_respect_liveness_mask() {
+        // 5-path with vertex 1 dead: live graph is {0} ∪ path(2,3,4), two
+        // components; vertex 3 separates {2} from {4} within its
+        // component, so it's the only live articulation point.
+        let pts = line(5, 0.4);
+        let alive = [true, false, true, true, true];
+        let g = CommGraph::build_masked(&pts, &alive, 0.5);
+        let mut scratch = GraphScratch::new();
+        let mut cv = Vec::new();
+        g.cut_vertices_into(&mut scratch, &mut cv);
+        assert_eq!(cv, vec![3]);
+    }
+
+    #[test]
+    fn tiny_and_dead_graphs_have_no_cut_vertices() {
+        let mut scratch = GraphScratch::new();
+        let mut cv = vec![99]; // must be cleared by the call
+        let pts = line(2, 0.4);
+        CommGraph::build(&pts, 0.5).cut_vertices_into(&mut scratch, &mut cv);
+        assert!(cv.is_empty());
+        let pts = line(3, 0.4);
+        CommGraph::build_masked(&pts, &[false; 3], 0.5).cut_vertices_into(&mut scratch, &mut cv);
+        assert!(cv.is_empty());
+    }
+
+    #[test]
+    fn is_connected_without_vacuous_cases() {
+        let mut scratch = GraphScratch::new();
+        let pts = line(2, 0.4);
+        let g = CommGraph::build(&pts, 0.5);
+        // Removing either endpoint of an edge leaves one vertex: connected.
+        assert!(g.is_connected_without(0, &mut scratch));
+        assert!(g.is_connected_without(1, &mut scratch));
+        // Excluding a dead vertex is a no-op on connectivity.
+        let pts3 = line(3, 0.4);
+        let g3 = CommGraph::build_masked(&pts3, &[true, false, true], 0.5);
+        assert!(!g3.is_connected_with(&mut scratch));
+        assert!(!g3.is_connected_without(1, &mut scratch));
     }
 
     #[test]

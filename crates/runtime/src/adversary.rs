@@ -1,9 +1,22 @@
-//! Adversarial wake-up schedules (paper Section 5, "Adhoc wake-up").
+//! Adversaries: wake-up schedules and fault plans.
 //!
-//! In the wake-up problem each node either wakes up spontaneously at an
-//! adversary-chosen round or is activated by receiving a message. A
-//! [`WakeSchedule`] describes the adversary's choices; running time is
-//! counted from the first spontaneous wake-up.
+//! Two adversary models live here:
+//!
+//! * [`WakeSchedule`] (paper Section 5, "Adhoc wake-up"): each node either
+//!   wakes up spontaneously at an adversary-chosen round or is activated
+//!   by receiving a message; running time is counted from the first
+//!   spontaneous wake-up.
+//! * [`FaultPlan`]: an *active* adversary that injects targeted faults —
+//!   crashes, temporary blackouts, jamming — at epoch boundaries. Fault
+//!   plans are deterministic (seed-derived where randomized), see the
+//!   crate's determinism contract; the engine translates their
+//!   [`FaultDelta`]s into ordinary `ChurnDelta`s and a jam mask, so
+//!   faults ride the same transaction path as churn and stay bitwise
+//!   thread-count-invariant.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sinr_phy::{CommGraph, GraphScratch};
 
 /// An adversary's assignment of spontaneous wake-up rounds to nodes.
 ///
@@ -13,7 +26,9 @@
 pub enum WakeSchedule {
     /// All nodes wake at the given round (the spontaneous-wake-up model).
     AllAt(u64),
-    /// Only the listed nodes wake, each at its own round.
+    /// Only the listed nodes wake, each at its own round. When a node id
+    /// appears more than once, the **first** entry wins (later entries
+    /// are ignored by every query).
     Selected(Vec<(usize, u64)>),
     /// Node `i` wakes at round `start + i * gap` (a rolling front).
     Staggered {
@@ -30,7 +45,8 @@ impl WakeSchedule {
         WakeSchedule::Selected(vec![(node, round)])
     }
 
-    /// The spontaneous wake-up round of `node`, if any.
+    /// The spontaneous wake-up round of `node`, if any. For
+    /// [`WakeSchedule::Selected`] with duplicate ids the first entry wins.
     pub fn wake_round(&self, node: usize) -> Option<u64> {
         match self {
             WakeSchedule::AllAt(r) => Some(*r),
@@ -39,15 +55,393 @@ impl WakeSchedule {
         }
     }
 
-    /// Round of the earliest spontaneous wake-up among `n` nodes, if any
-    /// node ever wakes. Running-time accounting starts here.
+    /// Round of the earliest spontaneous wake-up among the nodes
+    /// `0..n`, if any such node ever wakes. Running-time accounting
+    /// starts here.
     pub fn first_wake(&self, n: usize) -> Option<u64> {
-        (0..n).filter_map(|v| self.wake_round(v)).min()
+        if n == 0 {
+            return None;
+        }
+        match self {
+            WakeSchedule::AllAt(r) => Some(*r),
+            // One pass over the list (not one `wake_round` scan per
+            // node, which was O(n·|list|)): out-of-range ids are
+            // skipped, and because duplicate ids resolve to their first
+            // entry, later duplicates must not shrink the minimum — a
+            // sorted seen-list filters them out.
+            WakeSchedule::Selected(list) => {
+                let mut seen: Vec<usize> = Vec::with_capacity(list.len());
+                let mut min: Option<u64> = None;
+                for &(node, round) in list {
+                    if node >= n {
+                        continue;
+                    }
+                    match seen.binary_search(&node) {
+                        Ok(_) => continue, // duplicate: first entry already counted
+                        Err(pos) => seen.insert(pos, node),
+                    }
+                    if min.map_or(true, |m| round < m) {
+                        min = Some(round);
+                    }
+                }
+                min
+            }
+            WakeSchedule::Staggered { start, .. } => Some(*start),
+        }
     }
 
     /// Whether `node` is spontaneously awake at `round`.
     pub fn awake(&self, node: usize, round: u64) -> bool {
         self.wake_round(node).is_some_and(|w| w <= round)
+    }
+}
+
+/// Faults an adversary wants injected at one epoch boundary. The engine
+/// translates these into its churn transaction (kills and returns become
+/// `ChurnDelta` entries; jammers become a tx-override mask), filtering
+/// out requests that don't apply (dead targets, the protected station,
+/// duplicates) — plans may therefore be sloppy about current liveness.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultDelta {
+    /// Stations to crash (tombstone) at this boundary.
+    pub kills: Vec<usize>,
+    /// Previously crashed stations to bring back **at their retained
+    /// position** — the blackout/stale-wake fault: the station returns
+    /// with its protocol memory and placement intact but has missed
+    /// every round in between.
+    pub returns: Vec<usize>,
+    /// Stations to jam from this boundary to the next: a jammed station
+    /// transmits noise every round (its protocol messages are replaced
+    /// by undecodable energy) until the next adversary boundary
+    /// re-plans. The SINR math is untouched — jammers are ordinary
+    /// transmitters whose payload nobody can use.
+    pub jammers: Vec<usize>,
+}
+
+impl FaultDelta {
+    /// Empties the delta, retaining allocations.
+    pub fn clear(&mut self) {
+        self.kills.clear();
+        self.returns.clear();
+        self.jammers.clear();
+    }
+
+    /// Whether the delta requests no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.returns.is_empty() && self.jammers.is_empty()
+    }
+}
+
+/// Read-only view of the run handed to a [`FaultPlan`] at each adversary
+/// epoch boundary.
+#[derive(Debug)]
+pub struct FaultView<'a> {
+    /// Adversary epoch counter (0 at the first boundary).
+    pub epoch: u64,
+    /// Round whose boundary this is (the first round resolved *after*
+    /// any injected faults).
+    pub round: u64,
+    /// Per-station liveness, indexed by station id.
+    pub alive: &'a [bool],
+    /// The refreshed live communication graph.
+    pub graph: &'a CommGraph,
+    /// Earliest upcoming protocol phase-transition round at or after
+    /// `round`, minimized over live nodes ([`crate::Protocol::phase_hint`]);
+    /// `None` when no live node announces one.
+    pub next_phase: Option<u64>,
+    /// Station the engine will refuse to fault (`usize::MAX` = nobody);
+    /// typically the broadcast source, mirroring the churner's
+    /// protection.
+    pub protected: usize,
+}
+
+/// A deterministic fault-injecting adversary, consulted at every
+/// adversary epoch boundary.
+///
+/// Implementations must be pure functions of their construction-time
+/// state (seed included) and the [`FaultView`] sequence — no wall clock,
+/// no ambient randomness — so that runs stay bitwise identical at any
+/// physics thread count. `scratch` is the engine's BFS scratch, lent so
+/// graph-analyzing plans (cut vertices, reachability probes) stay
+/// allocation-free in steady state.
+pub trait FaultPlan: Send {
+    /// Fill `faults` with this boundary's faults. `faults` arrives
+    /// cleared; leaving it empty injects nothing.
+    fn plan(&mut self, view: &FaultView<'_>, faults: &mut FaultDelta, scratch: &mut GraphScratch);
+}
+
+/// Crashes stations at the articulation points of the live
+/// communication graph — the graph-topology-aware worst case: each kill
+/// disconnects (or maximally thins) the remaining population.
+///
+/// At epoch `at_epoch` the plan kills `floor(fraction · live)` stations:
+/// cut vertices first (ascending id), then — because well-connected
+/// graphs have few or no cut vertices — it falls back to
+/// highest-degree-first (ties to the lowest id) until the quota is met.
+/// The protected station is never selected. Fully deterministic: no
+/// randomness at all.
+#[derive(Debug, Clone)]
+pub struct CutVertexAdversary {
+    fraction: f64,
+    at_epoch: u64,
+    cuts: Vec<usize>,
+    by_degree: Vec<(usize, usize)>,
+}
+
+impl CutVertexAdversary {
+    /// Kill `fraction` (clamped to `[0, 1]`) of the live population at
+    /// adversary epoch `at_epoch`.
+    pub fn new(fraction: f64, at_epoch: u64) -> Self {
+        CutVertexAdversary {
+            fraction: fraction.clamp(0.0, 1.0),
+            at_epoch,
+            cuts: Vec::new(),
+            by_degree: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan for CutVertexAdversary {
+    fn plan(&mut self, view: &FaultView<'_>, faults: &mut FaultDelta, scratch: &mut GraphScratch) {
+        if view.epoch != self.at_epoch {
+            return;
+        }
+        let live = view.graph.num_present();
+        let quota = (self.fraction * live as f64).floor() as usize;
+        if quota == 0 {
+            return;
+        }
+        view.graph.cut_vertices_into(scratch, &mut self.cuts);
+        for &v in self.cuts.iter() {
+            if faults.kills.len() >= quota {
+                return;
+            }
+            if v != view.protected {
+                faults.kills.push(v);
+            }
+        }
+        // Quota not met by articulation points (e.g. a 2-connected
+        // graph): fall back to degree-targeted kills.
+        self.by_degree.clear();
+        for v in 0..view.graph.len() {
+            if view.graph.is_present(v) && v != view.protected && !self.cuts.contains(&v) {
+                self.by_degree.push((v, view.graph.degree(v)));
+            }
+        }
+        self.by_degree
+            .sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for &(v, _) in self.by_degree.iter() {
+            if faults.kills.len() >= quota {
+                return;
+            }
+            faults.kills.push(v);
+        }
+    }
+}
+
+/// Crashes a burst of random stations at the first adversary boundary
+/// **after each protocol phase transition** — the timing-aware
+/// adversary: it strikes exactly when the protocols re-align their
+/// schedules ([`crate::Protocol::phase_hint`]), maximizing wasted
+/// coloring/backoff work.
+#[derive(Debug, Clone)]
+pub struct PhaseCrashAdversary {
+    kills_per_burst: usize,
+    every_phases: u64,
+    rng: SmallRng,
+    /// `phase_hint` observed at the previous boundary; a burst fires
+    /// when that hint's round has passed.
+    armed_at: Option<u64>,
+    phases_seen: u64,
+}
+
+impl PhaseCrashAdversary {
+    /// Kill `kills_per_burst` random live stations after every
+    /// `every_phases`-th observed phase transition (1 = every
+    /// transition). `seed` fully determines the victim choices.
+    pub fn new(kills_per_burst: usize, every_phases: u64, seed: u64) -> Self {
+        PhaseCrashAdversary {
+            kills_per_burst,
+            every_phases: every_phases.max(1),
+            rng: SmallRng::seed_from_u64(seed),
+            armed_at: None,
+            phases_seen: 0,
+        }
+    }
+
+    /// Picks `count` distinct live, unprotected victims uniformly via
+    /// the plan's own RNG stream (rejection sampling over station ids).
+    fn pick_victims(rng: &mut SmallRng, view: &FaultView<'_>, count: usize, out: &mut Vec<usize>) {
+        let n = view.alive.len();
+        let eligible = view
+            .alive
+            .iter()
+            .enumerate()
+            .filter(|&(i, &a)| a && i != view.protected)
+            .count();
+        let want = count.min(eligible);
+        let mut tries = 0usize;
+        while out.len() < want && tries < 64 * n.max(1) {
+            tries += 1;
+            let v = rng.gen_range(0..n);
+            if view.alive[v] && v != view.protected && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+}
+
+impl FaultPlan for PhaseCrashAdversary {
+    fn plan(&mut self, view: &FaultView<'_>, faults: &mut FaultDelta, _scratch: &mut GraphScratch) {
+        // A transition passed if the hint armed earlier is now behind us.
+        if let Some(at) = self.armed_at {
+            if view.round >= at {
+                self.phases_seen += 1;
+                self.armed_at = None;
+                if self.phases_seen % self.every_phases == 0 {
+                    Self::pick_victims(
+                        &mut self.rng,
+                        view,
+                        self.kills_per_burst,
+                        &mut faults.kills,
+                    );
+                }
+            }
+        }
+        if self.armed_at.is_none() {
+            self.armed_at = view.next_phase;
+        }
+    }
+}
+
+/// Turns random live stations into jammers for one adversary epoch:
+/// always-transmit noise sources re-picked (seed-deterministically) at
+/// every boundary. Jammed stations keep running their protocol (their
+/// RNG streams advance normally) but their transmissions are
+/// undecodable noise until the next boundary.
+#[derive(Debug, Clone)]
+pub struct JamAdversary {
+    jammers: usize,
+    rng: SmallRng,
+}
+
+impl JamAdversary {
+    /// Jam `jammers` random live stations per epoch; `seed` fully
+    /// determines the choices.
+    pub fn new(jammers: usize, seed: u64) -> Self {
+        JamAdversary {
+            jammers,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl FaultPlan for JamAdversary {
+    fn plan(&mut self, view: &FaultView<'_>, faults: &mut FaultDelta, _scratch: &mut GraphScratch) {
+        PhaseCrashAdversary::pick_victims(&mut self.rng, view, self.jammers, &mut faults.jammers);
+    }
+}
+
+/// Temporary outages: at every boundary each live station independently
+/// goes dark with the given probability, returning `outage_epochs`
+/// boundaries later **at its retained position** with its protocol
+/// memory intact — the paper-adjacent "stale wake-up" fault (the
+/// returned station's view of the run is `outage_epochs` epochs old).
+#[derive(Debug, Clone)]
+pub struct BlackoutAdversary {
+    fraction: f64,
+    outage_epochs: u64,
+    rng: SmallRng,
+    /// Stations currently dark, with the epoch at which they return.
+    down: Vec<(usize, u64)>,
+}
+
+impl BlackoutAdversary {
+    /// Each live station blacks out with probability `fraction`
+    /// (clamped to `[0, 1]`) per boundary, for `outage_epochs`
+    /// boundaries (min 1). `seed` fully determines the outage pattern.
+    pub fn new(fraction: f64, outage_epochs: u64, seed: u64) -> Self {
+        BlackoutAdversary {
+            fraction: fraction.clamp(0.0, 1.0),
+            outage_epochs: outage_epochs.max(1),
+            rng: SmallRng::seed_from_u64(seed),
+            down: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan for BlackoutAdversary {
+    fn plan(&mut self, view: &FaultView<'_>, faults: &mut FaultDelta, _scratch: &mut GraphScratch) {
+        // Due returns first (ascending id by construction order —
+        // stations went down in id order within each epoch).
+        self.down.retain(|&(v, due)| {
+            if view.epoch >= due {
+                faults.returns.push(v);
+                false
+            } else {
+                true
+            }
+        });
+        if self.fraction <= 0.0 {
+            return;
+        }
+        for (v, &a) in view.alive.iter().enumerate() {
+            if !a || v == view.protected {
+                continue;
+            }
+            if self.rng.gen_range(0.0..1.0) < self.fraction {
+                faults.kills.push(v);
+                self.down.push((v, view.epoch + self.outage_epochs));
+            }
+        }
+    }
+}
+
+/// Composes several fault plans into one: each boundary, every member
+/// plans in order into the same [`FaultDelta`] (the engine deduplicates
+/// conflicting requests). This is how "cut-vertex kills **plus**
+/// jammers" scenarios are expressed.
+pub struct FaultPlanSet(Vec<Box<dyn FaultPlan>>);
+
+impl FaultPlanSet {
+    /// An empty composition (injects nothing until plans are added).
+    pub fn new() -> Self {
+        FaultPlanSet(Vec::new())
+    }
+
+    /// Adds a plan; plans run in insertion order.
+    pub fn push(&mut self, plan: Box<dyn FaultPlan>) {
+        self.0.push(plan);
+    }
+
+    /// Number of composed plans.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set has no plans.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Default for FaultPlanSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for FaultPlanSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("FaultPlanSet").field(&self.0.len()).finish()
+    }
+}
+
+impl FaultPlan for FaultPlanSet {
+    fn plan(&mut self, view: &FaultView<'_>, faults: &mut FaultDelta, scratch: &mut GraphScratch) {
+        for p in &mut self.0 {
+            p.plan(view, faults, scratch);
+        }
     }
 }
 
@@ -87,5 +481,162 @@ mod tests {
         let s = WakeSchedule::single(4, 0);
         assert_eq!(s.wake_round(4), Some(0));
         assert_eq!(s.wake_round(0), None);
+    }
+
+    #[test]
+    fn selected_duplicate_ids_first_entry_wins() {
+        // Node 2 appears twice: entry (2, 9) wins over the later (2, 1),
+        // for both the per-node query and the minimum.
+        let s = WakeSchedule::Selected(vec![(2, 9), (5, 6), (2, 1)]);
+        assert_eq!(s.wake_round(2), Some(9));
+        assert_eq!(s.first_wake(6), Some(6));
+        // With node 5 out of range only the first (2, 9) entry counts.
+        assert_eq!(s.first_wake(3), Some(9));
+    }
+
+    #[test]
+    fn first_wake_edge_cases() {
+        assert_eq!(WakeSchedule::AllAt(3).first_wake(0), None);
+        assert_eq!(
+            WakeSchedule::Staggered { start: 7, gap: 2 }.first_wake(0),
+            None
+        );
+        assert_eq!(
+            WakeSchedule::Staggered { start: 7, gap: 2 }.first_wake(5),
+            Some(7)
+        );
+        let s = WakeSchedule::Selected(vec![(10, 1)]);
+        assert_eq!(s.first_wake(10), None, "listed node out of range");
+        assert_eq!(s.first_wake(11), Some(1));
+        assert_eq!(WakeSchedule::Selected(vec![]).first_wake(4), None);
+    }
+
+    use sinr_geometry::Point2;
+    use sinr_phy::CommGraph;
+
+    fn path_graph(n: usize) -> CommGraph {
+        let pts: Vec<Point2> = (0..n).map(|i| Point2::new(i as f64 * 0.4, 0.0)).collect();
+        CommGraph::build(&pts, 0.5)
+    }
+
+    fn view<'a>(graph: &'a CommGraph, alive: &'a [bool], epoch: u64) -> FaultView<'a> {
+        FaultView {
+            epoch,
+            round: epoch * 10,
+            alive,
+            graph,
+            next_phase: None,
+            protected: 0,
+        }
+    }
+
+    #[test]
+    fn cut_vertex_adversary_targets_articulation_points() {
+        let g = path_graph(6);
+        let alive = vec![true; 6];
+        let mut adv = CutVertexAdversary::new(0.5, 1);
+        let mut faults = FaultDelta::default();
+        let mut scratch = GraphScratch::new();
+        adv.plan(&view(&g, &alive, 0), &mut faults, &mut scratch);
+        assert!(faults.is_empty(), "not its epoch yet");
+        adv.plan(&view(&g, &alive, 1), &mut faults, &mut scratch);
+        // floor(0.5 * 6) = 3 kills; path cut vertices are 1..=4, and the
+        // protected station 0 is not among them anyway.
+        assert_eq!(faults.kills, vec![1, 2, 3, 4][..3].to_vec());
+        assert!(!faults.kills.contains(&0));
+    }
+
+    #[test]
+    fn cut_vertex_adversary_degree_fallback_on_biconnected_graphs() {
+        // A 4-clique has no articulation points: the quota must still be
+        // met via highest-degree-first (ties to lowest id), skipping the
+        // protected station 0.
+        let pts: Vec<Point2> = (0..4).map(|i| Point2::new(i as f64 * 0.1, 0.0)).collect();
+        let g = CommGraph::build(&pts, 0.5);
+        let alive = vec![true; 4];
+        let mut adv = CutVertexAdversary::new(0.5, 0);
+        let mut faults = FaultDelta::default();
+        let mut scratch = GraphScratch::new();
+        adv.plan(&view(&g, &alive, 0), &mut faults, &mut scratch);
+        assert_eq!(faults.kills, vec![1, 2]);
+    }
+
+    #[test]
+    fn phase_crash_fires_only_after_a_transition_passes() {
+        let g = path_graph(8);
+        let alive = vec![true; 8];
+        let mut adv = PhaseCrashAdversary::new(2, 1, 77);
+        let mut faults = FaultDelta::default();
+        let mut scratch = GraphScratch::new();
+        // Boundary at round 0 announces a phase transition at round 15.
+        let mut v = view(&g, &alive, 0);
+        v.round = 0;
+        v.next_phase = Some(15);
+        adv.plan(&v, &mut faults, &mut scratch);
+        assert!(faults.is_empty(), "armed, not fired");
+        // Boundary at round 10: transition at 15 not yet passed.
+        let mut v = view(&g, &alive, 1);
+        v.round = 10;
+        v.next_phase = Some(15);
+        adv.plan(&v, &mut faults, &mut scratch);
+        assert!(faults.is_empty());
+        // Boundary at round 20: the transition passed — burst fires.
+        let mut v = view(&g, &alive, 2);
+        v.round = 20;
+        adv.plan(&v, &mut faults, &mut scratch);
+        assert_eq!(faults.kills.len(), 2);
+        assert!(faults.kills.iter().all(|&k| k != 0 && k < 8));
+    }
+
+    #[test]
+    fn jam_adversary_is_seed_deterministic() {
+        let g = path_graph(10);
+        let alive = vec![true; 10];
+        let picks = |seed: u64| {
+            let mut scratch = GraphScratch::new();
+            let mut adv = JamAdversary::new(3, seed);
+            let mut faults = FaultDelta::default();
+            adv.plan(&view(&g, &alive, 0), &mut faults, &mut scratch);
+            faults.jammers
+        };
+        assert_eq!(picks(5), picks(5));
+        assert_eq!(picks(5).len(), 3);
+        assert!(!picks(5).contains(&0), "protected never jammed");
+    }
+
+    #[test]
+    fn blackout_returns_after_outage() {
+        let g = path_graph(4);
+        let mut alive = vec![true; 4];
+        // fraction 1.0: every unprotected live station goes dark.
+        let mut adv = BlackoutAdversary::new(1.0, 1, 3);
+        let mut faults = FaultDelta::default();
+        let mut scratch = GraphScratch::new();
+        adv.plan(&view(&g, &alive, 0), &mut faults, &mut scratch);
+        assert_eq!(faults.kills, vec![1, 2, 3]);
+        assert!(faults.returns.is_empty());
+        for &k in &faults.kills {
+            alive[k] = false;
+        }
+        faults.clear();
+        adv.plan(&view(&g, &alive, 1), &mut faults, &mut scratch);
+        assert_eq!(faults.returns, vec![1, 2, 3], "back after one epoch");
+        assert!(faults.kills.is_empty(), "nobody left alive to strike");
+    }
+
+    #[test]
+    fn plan_set_composes_in_order() {
+        let g = path_graph(6);
+        let alive = vec![true; 6];
+        let mut set = FaultPlanSet::new();
+        assert!(set.is_empty());
+        set.push(Box::new(CutVertexAdversary::new(0.34, 0)));
+        set.push(Box::new(JamAdversary::new(2, 9)));
+        assert_eq!(set.len(), 2);
+        let mut faults = FaultDelta::default();
+        let mut scratch = GraphScratch::new();
+        set.plan(&view(&g, &alive, 0), &mut faults, &mut scratch);
+        assert_eq!(faults.kills.len(), 2, "floor(0.34 * 6)");
+        assert_eq!(faults.jammers.len(), 2);
     }
 }

@@ -4,6 +4,7 @@ use rand::rngs::SmallRng;
 use sinr_geometry::MetricPoint;
 use sinr_phy::{ChurnDelta, GraphScratch, KernelPool, Network, ReceptionOracle, RoundOutcome};
 
+use crate::adversary::{FaultDelta, FaultPlan, FaultView};
 use crate::protocol::{NodeCtx, Protocol, TopologyChange};
 use crate::rng::node_rng;
 use crate::trace::{RoundStats, Trace};
@@ -48,6 +49,34 @@ struct Churn<P, Pr> {
     churner: Churner<P>,
     /// Constructs the protocol state of spawned stations.
     spawner: Spawner<Pr>,
+}
+
+/// Epoch-boundary fault-injection hook ([`Engine::set_adversary`]).
+struct Adversary {
+    /// Rounds per adversary epoch (boundaries at round numbers divisible
+    /// by this; independent of the churn and mobility epoch lengths).
+    epoch_rounds: u64,
+    /// The fault plan consulted at every boundary.
+    plan: Box<dyn FaultPlan>,
+    /// Reused per-epoch fault delta.
+    delta: FaultDelta,
+    /// Station the engine refuses to fault (`usize::MAX` = nobody).
+    protected: usize,
+}
+
+/// Running totals of injected faults — the raw material of degradation
+/// reports ([`Engine::fault_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Stations crashed by the adversary (excluding churner kills).
+    pub kills: u64,
+    /// Blackout returns injected by the adversary.
+    pub returns: u64,
+    /// Total jammed transmissions (one per jammer per round jammed).
+    pub jam_rounds: u64,
+    /// Round of the most recent injected fault, if any — the anchor for
+    /// re-convergence ("recovery rounds") accounting.
+    pub last_fault_round: Option<u64>,
 }
 
 /// Drives a set of per-node [`Protocol`] state machines over a
@@ -110,6 +139,18 @@ pub struct Engine<P: MetricPoint, Pr: Protocol> {
     /// Dynamic-population hook: at churn epoch boundaries stations leave,
     /// rejoin and spawn ([`Engine::set_churn`]).
     churn: Option<Churn<P, Pr>>,
+    /// Fault-injection hook: at adversary epoch boundaries a
+    /// [`FaultPlan`] crashes, revives and jams stations
+    /// ([`Engine::set_adversary`]).
+    adversary: Option<Adversary>,
+    /// Per-station jam mask, refreshed at adversary boundaries: jammed
+    /// stations transmit undecodable noise every round.
+    jammed: Vec<bool>,
+    /// Number of `true` entries in `jammed` (skips the per-round mask
+    /// reads entirely while nobody is jammed).
+    num_jammed: usize,
+    /// Running fault totals.
+    fault_stats: FaultStats,
     /// Reused per-epoch churn delta (no steady-state allocation while
     /// the delta stays under its high-water mark).
     delta: ChurnDelta<P>,
@@ -143,6 +184,10 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
             outcome: RoundOutcome::empty(),
             mobility: None,
             churn: None,
+            adversary: None,
+            jammed: Vec::new(),
+            num_jammed: 0,
+            fault_stats: FaultStats::default(),
             delta: ChurnDelta::new(),
             graph_scratch: GraphScratch::new(),
             seed,
@@ -210,6 +255,55 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
             churner: Box::new(churner),
             spawner: Box::new(spawner),
         });
+    }
+
+    /// Arms a fault-injecting adversary: every `epoch_rounds` rounds the
+    /// [`FaultPlan`] is consulted with a [`FaultView`] of the run
+    /// (liveness, the communication graph, the earliest live
+    /// [`Protocol::phase_hint`]) and its [`FaultDelta`] is applied:
+    ///
+    /// * **kills** merge into the boundary's [`ChurnDelta`] (after the
+    ///   churner's own kills, deduplicated) and ride the same
+    ///   transaction — [`Protocol::on_leave`], tombstoning, graph
+    ///   refresh, [`Protocol::on_topology_change`];
+    /// * **returns** revive previously crashed stations **at their
+    ///   retained positions** (blackout/stale-wake), again as ordinary
+    ///   rejoins;
+    /// * **jammers** transmit undecodable noise every round until the
+    ///   next adversary boundary re-plans the mask. The SINR math is
+    ///   untouched: jammers are ordinary transmitters whose payload no
+    ///   receiver can use, so a station that decodes a jammer hears
+    ///   silence at the protocol level (physical-layer trace receptions
+    ///   may therefore exceed protocol receptions under jamming). Jammed
+    ///   stations keep running their protocol and their RNG streams
+    ///   advance normally.
+    ///
+    /// Requests targeting dead stations (or live ones, for returns), the
+    /// `protected` station (`usize::MAX` = nobody) or duplicates are
+    /// filtered out, so plans may be sloppy about current liveness.
+    /// Faults compose with [`Engine::set_churn`] and
+    /// [`Engine::set_mobility`]; all three epochs fire independently.
+    /// Determinism: with a deterministic plan, faulted runs remain a
+    /// pure function of the seed and are bitwise identical at any
+    /// physics thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_rounds` is zero.
+    pub fn set_adversary(&mut self, epoch_rounds: u64, protected: usize, plan: Box<dyn FaultPlan>) {
+        assert!(epoch_rounds > 0, "epoch length must be at least one round");
+        self.adversary = Some(Adversary {
+            epoch_rounds,
+            plan,
+            delta: FaultDelta::default(),
+            protected,
+        });
+    }
+
+    /// Running totals of adversary-injected faults (all zero when no
+    /// adversary is armed).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
     }
 
     /// Shards each round's physics accumulate stage across up to
@@ -285,6 +379,10 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
         // bounds-checked reads per node to show up in the tracked
         // broadcast benchmarks.
         let all_live = self.net.live_count() == n;
+        // Jam mask reads are skipped entirely while nobody is jammed —
+        // the mask only matters between adversary boundaries that
+        // planned jammers.
+        let jam_active = self.num_jammed > 0;
         self.tx_ids.clear();
         self.tx_msgs.clear();
         self.tx_msgs.resize_with(n, || None);
@@ -299,7 +397,16 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
                 n,
                 rng: &mut self.rngs[id],
             };
-            if let Some(msg) = self.nodes[id].poll_transmit(&mut ctx) {
+            let msg = self.nodes[id].poll_transmit(&mut ctx);
+            if jam_active && self.jammed[id] {
+                // Jammers transmit every round; whatever the protocol
+                // wanted to say is replaced by undecodable noise
+                // (`tx_msgs[id]` stays `None`, so decoding this station
+                // yields silence). Polling still ran, so the node's RNG
+                // stream advances exactly as unjammed.
+                self.tx_ids.push(id);
+                self.fault_stats.jam_rounds += 1;
+            } else if let Some(msg) = msg {
                 self.tx_ids.push(id);
                 self.tx_msgs[id] = Some(msg);
             }
@@ -320,7 +427,7 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
             if !all_live && !self.net.is_alive(id) {
                 continue;
             }
-            let transmitted = self.tx_msgs[id].is_some();
+            let transmitted = self.tx_msgs[id].is_some() || (jam_active && self.jammed[id]);
             let received =
                 self.outcome.decoded_from[id].and_then(|from| self.tx_msgs[from].as_ref());
             if received.is_some() {
@@ -347,10 +454,11 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
 
     /// Applies any due epoch boundaries: churn first (the departing
     /// stations get `on_leave` before they vanish, arrivals land before
-    /// motion), then mobility, then — if anything changed — one
-    /// communication-graph refresh notification to every live node. All
-    /// scratch (delta, BFS buffers, graph CSR, grid) is reused, so
-    /// boundaries allocate nothing in steady state while `n` is stable.
+    /// motion), then adversary faults (merged into the same delta), then
+    /// mobility, then — if anything changed — one communication-graph
+    /// refresh notification to every live node. All scratch (deltas, BFS
+    /// buffers, graph CSR, grid, jam mask) is reused, so boundaries
+    /// allocate nothing in steady state while `n` is stable.
     fn epoch_boundary(&mut self) {
         if self.round == 0 {
             return;
@@ -363,11 +471,15 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
             .mobility
             .as_ref()
             .is_some_and(|m| self.round % m.epoch_rounds == 0);
-        if !churn_due && !mobility_due {
+        let adversary_due = self
+            .adversary
+            .as_ref()
+            .is_some_and(|a| self.round % a.epoch_rounds == 0);
+        if !churn_due && !mobility_due && !adversary_due {
             return;
         }
         // Generate the epoch's delta first (the churner never touches the
-        // network), so a no-op churn boundary returns before paying the
+        // network), so a no-op boundary returns before paying the
         // pre-change connectivity BFS below.
         if churn_due {
             let c = self.churn.as_mut().expect("churn_due checked");
@@ -377,7 +489,12 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
         } else {
             self.delta.clear();
         }
+        if adversary_due {
+            self.plan_faults();
+        }
         if self.delta.is_empty() && !mobility_due {
+            // Jam-only (or fault-free) boundary: the population and the
+            // graph are untouched, so no topology event fires.
             return;
         }
         // Connectivity of the live graph *before* this boundary's churn
@@ -388,56 +505,60 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
             .is_connected_with(&mut self.graph_scratch);
         let mut joined = 0usize;
         let mut left = 0usize;
-        if churn_due {
-            let c = self.churn.as_mut().expect("churn_due checked");
-            if !self.delta.is_empty() {
-                let n = self.net.len();
-                // Departures hear about it while still alive.
-                for &k in &self.delta.kills {
-                    let mut ctx = NodeCtx {
-                        id: k,
-                        round: self.round,
-                        n,
-                        rng: &mut self.rngs[k],
-                    };
-                    self.nodes[k].on_leave(&mut ctx);
-                }
-                // When mobility fires at the same boundary it rebuilds
-                // the graph right after moving — skip the intermediate
-                // rebuild the combined boundary would otherwise discard.
-                if mobility_due {
-                    self.net.apply_churn_deferred(&self.delta);
-                } else {
-                    self.net.apply_churn(&self.delta);
-                }
-                let new_n = self.net.len();
+        // The delta may carry churner *and* adversary entries; apply it
+        // whenever it is non-empty (adversary kills can exist with no
+        // churner armed at all).
+        if !self.delta.is_empty() {
+            let n = self.net.len();
+            // Departures hear about it while still alive.
+            for &k in &self.delta.kills {
+                let mut ctx = NodeCtx {
+                    id: k,
+                    round: self.round,
+                    n,
+                    rng: &mut self.rngs[k],
+                };
+                self.nodes[k].on_leave(&mut ctx);
+            }
+            // When mobility fires at the same boundary it rebuilds
+            // the graph right after moving — skip the intermediate
+            // rebuild the combined boundary would otherwise discard.
+            if mobility_due {
+                self.net.apply_churn_deferred(&self.delta);
+            } else {
+                self.net.apply_churn(&self.delta);
+            }
+            let new_n = self.net.len();
+            // Spawned stations only ever come from the churner — fault
+            // plans crash and revive, they never mint stations.
+            if let Some(c) = self.churn.as_mut() {
                 for id in n..new_n {
                     self.nodes.push((c.spawner)(id));
                     self.rngs.push(node_rng(self.seed, id as u64, 0));
                     self.tx_counts.push(0);
                     self.rx_counts.push(0);
                 }
-                for &(r, _) in &self.delta.rejoins {
-                    let mut ctx = NodeCtx {
-                        id: r,
-                        round: self.round,
-                        n: new_n,
-                        rng: &mut self.rngs[r],
-                    };
-                    self.nodes[r].on_join(&mut ctx);
-                }
-                for id in n..new_n {
-                    let mut ctx = NodeCtx {
-                        id,
-                        round: self.round,
-                        n: new_n,
-                        rng: &mut self.rngs[id],
-                    };
-                    self.nodes[id].on_join(&mut ctx);
-                }
-                joined = self.delta.num_joining();
-                left = self.delta.kills.len();
             }
+            for &(r, _) in &self.delta.rejoins {
+                let mut ctx = NodeCtx {
+                    id: r,
+                    round: self.round,
+                    n: new_n,
+                    rng: &mut self.rngs[r],
+                };
+                self.nodes[r].on_join(&mut ctx);
+            }
+            for id in n..new_n {
+                let mut ctx = NodeCtx {
+                    id,
+                    round: self.round,
+                    n: new_n,
+                    rng: &mut self.rngs[id],
+                };
+                self.nodes[id].on_join(&mut ctx);
+            }
+            joined = self.delta.num_joining();
+            left = self.delta.kills.len();
         }
         if mobility_due {
             let m = self.mobility.as_mut().expect("mobility_due checked");
@@ -473,6 +594,79 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
                 rng: &mut self.rngs[id],
             };
             self.nodes[id].on_topology_change(&mut ctx, &change);
+        }
+        // Stations spawned this boundary start unjammed; keep the mask
+        // covering the grown population.
+        if self.jammed.len() < n {
+            self.jammed.resize(n, false);
+        }
+    }
+
+    /// Consults the fault plan at an adversary epoch boundary: merges
+    /// its kills and returns into the churn delta (deduplicated,
+    /// liveness- and protection-filtered) and refreshes the jam mask.
+    fn plan_faults(&mut self) {
+        let n = self.net.len();
+        let Some(adv) = self.adversary.as_mut() else {
+            return;
+        };
+        // Adversary epoch counter: 0 at the first boundary.
+        let epoch = self.round / adv.epoch_rounds - 1;
+        // The earliest phase transition any live node announces — the
+        // signal phase-synchronized crash bursts key on.
+        let next_phase = self
+            .nodes
+            .iter()
+            .zip(self.net.alive())
+            .filter(|&(_, &a)| a)
+            .filter_map(|(nd, _)| nd.phase_hint(self.round))
+            .min();
+        adv.delta.clear();
+        let view = FaultView {
+            epoch,
+            round: self.round,
+            alive: self.net.alive(),
+            graph: self.net.comm_graph(),
+            next_phase,
+            protected: adv.protected,
+        };
+        adv.plan
+            .plan(&view, &mut adv.delta, &mut self.graph_scratch);
+        let mut touched = false;
+        for &k in &adv.delta.kills {
+            if k < n && self.net.is_alive(k) && k != adv.protected && !self.delta.kills.contains(&k)
+            {
+                self.delta.kills.push(k);
+                self.fault_stats.kills += 1;
+                touched = true;
+            }
+        }
+        for &r in &adv.delta.returns {
+            // A blackout return revives the station where it crashed —
+            // its position was retained by the tombstone.
+            if r < n && !self.net.is_alive(r) && !self.delta.rejoins.iter().any(|&(i, _)| i == r) {
+                self.delta.rejoins.push((r, self.net.position(r)));
+                self.fault_stats.returns += 1;
+                touched = true;
+            }
+        }
+        self.jammed.clear();
+        self.jammed.resize(n, false);
+        self.num_jammed = 0;
+        for &j in &adv.delta.jammers {
+            if j < n
+                && self.net.is_alive(j)
+                && j != adv.protected
+                && !self.jammed[j]
+                && !self.delta.kills.contains(&j)
+            {
+                self.jammed[j] = true;
+                self.num_jammed += 1;
+                touched = true;
+            }
+        }
+        if touched {
+            self.fault_stats.last_fault_round = Some(self.round);
         }
     }
 
@@ -882,5 +1076,161 @@ mod tests {
         eng.record_rounds();
         eng.run_rounds(4);
         assert_eq!(eng.trace().per_round().unwrap().len(), 4);
+    }
+
+    /// A scripted fault plan for engine tests.
+    struct Script(Vec<(u64, FaultDelta)>);
+    impl crate::adversary::FaultPlan for Script {
+        fn plan(
+            &mut self,
+            view: &FaultView<'_>,
+            faults: &mut FaultDelta,
+            _scratch: &mut sinr_phy::GraphScratch,
+        ) {
+            for (epoch, d) in &self.0 {
+                if *epoch == view.epoch {
+                    faults.kills.extend_from_slice(&d.kills);
+                    faults.returns.extend_from_slice(&d.returns);
+                    faults.jammers.extend_from_slice(&d.jammers);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversary_kills_and_returns_without_a_churner() {
+        // No churner armed: adversary kills must still flow through the
+        // churn transaction. Kill node 1 at the first boundary (round 2),
+        // return it at the third (round 6) at its retained position.
+        let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
+        let kill = FaultDelta {
+            kills: vec![1],
+            ..FaultDelta::default()
+        };
+        let ret = FaultDelta {
+            returns: vec![1],
+            ..FaultDelta::default()
+        };
+        eng.set_adversary(2, 0, Box::new(Script(vec![(0, kill), (2, ret)])));
+        eng.run_rounds(10);
+        // Heard during rounds 0-1, dead for 2-5, heard again 6-9.
+        assert_eq!(eng.rx_counts()[1], 6);
+        assert!(eng.network().is_alive(1));
+        assert_eq!(eng.network().position(1), Point2::new(0.5, 0.0));
+        assert_eq!(eng.fault_stats().kills, 1);
+        assert_eq!(eng.fault_stats().returns, 1);
+        assert_eq!(eng.fault_stats().last_fault_round, Some(6));
+    }
+
+    #[test]
+    fn protected_station_never_faulted() {
+        let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
+        let kill = FaultDelta {
+            kills: vec![0, 1],
+            jammers: vec![0],
+            ..FaultDelta::default()
+        };
+        eng.set_adversary(2, 0, Box::new(Script(vec![(0, kill)])));
+        eng.run_rounds(4);
+        assert!(eng.network().is_alive(0), "protected source survives");
+        assert!(!eng.network().is_alive(1));
+        assert_eq!(eng.fault_stats().kills, 1);
+        assert_eq!(eng.fault_stats().jam_rounds, 0, "protected never jammed");
+    }
+
+    #[test]
+    fn jammers_transmit_noise_and_protocols_hear_silence() {
+        // Node 0 beacons; jam node 0 for one adversary epoch (rounds
+        // 2..4). Node 1 decodes the jammer's energy as silence, so its
+        // protocol-level reception count excludes the jammed rounds.
+        let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
+        let jam = FaultDelta {
+            jammers: vec![0],
+            ..FaultDelta::default()
+        };
+        eng.set_adversary(2, usize::MAX, Box::new(Script(vec![(0, jam)])));
+        eng.run_rounds(6);
+        // Rounds 0-1 decoded; 2-3 jammed (silence); 4-5 decoded again.
+        assert_eq!(eng.rx_counts()[1], 4);
+        // The jammer transmitted every round (energy accounting sees it).
+        assert_eq!(eng.tx_counts()[0], 6);
+        assert_eq!(eng.fault_stats().jam_rounds, 2);
+        assert_eq!(eng.fault_stats().last_fault_round, Some(2));
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_and_thread_invariant() {
+        use crate::protocol::bernoulli;
+        struct Rnd {
+            sent: u32,
+            heard: u32,
+        }
+        impl Protocol for Rnd {
+            type Msg = ();
+            fn poll_transmit(&mut self, ctx: &mut NodeCtx<'_>) -> Option<()> {
+                if bernoulli(ctx.rng, 0.3) {
+                    self.sent += 1;
+                    Some(())
+                } else {
+                    None
+                }
+            }
+            fn on_round_end(&mut self, _: &mut NodeCtx<'_>, _: bool, rx: Option<&()>) {
+                if rx.is_some() {
+                    self.heard += 1;
+                }
+            }
+        }
+        let pts: Vec<Point2> = (0..60)
+            .map(|i| Point2::new((i % 10) as f64 * 0.4, (i / 10) as f64 * 0.4))
+            .collect();
+        let run = |threads: usize| {
+            let net = Network::new(pts.clone(), SinrParams::default_plane()).unwrap();
+            let mut eng = Engine::new(net, 13, |_| Rnd { sent: 0, heard: 0 });
+            let mut set = crate::adversary::FaultPlanSet::new();
+            set.push(Box::new(crate::adversary::CutVertexAdversary::new(0.2, 1)));
+            set.push(Box::new(crate::adversary::JamAdversary::new(3, 99)));
+            eng.set_adversary(5, 0, Box::new(set));
+            eng.set_physics_threads(threads);
+            eng.run_rounds(30);
+            let stats = *eng.fault_stats();
+            (
+                eng.into_nodes()
+                    .iter()
+                    .map(|n| (n.sent, n.heard))
+                    .collect::<Vec<_>>(),
+                stats,
+            )
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+        assert!(one.1.kills > 0, "the cut-vertex adversary struck");
+        assert!(one.1.jam_rounds > 0, "jammers ran");
+    }
+
+    #[test]
+    fn adversary_composes_with_churn_without_double_kills() {
+        // Churner and adversary both kill node 1 at the same boundary:
+        // the merge must deduplicate (apply_churn would panic on a
+        // double kill).
+        let mut eng = Engine::new(net2(), 7, |id| Beacon { id, heard: 0 });
+        eng.set_churn(
+            2,
+            |epoch, _, delta: &mut sinr_phy::ChurnDelta<Point2>| {
+                if epoch == 1 {
+                    delta.kills.push(1);
+                }
+            },
+            |id| Beacon { id, heard: 0 },
+        );
+        let kill = FaultDelta {
+            kills: vec![1],
+            ..FaultDelta::default()
+        };
+        eng.set_adversary(2, 0, Box::new(Script(vec![(0, kill)])));
+        eng.run_rounds(4);
+        assert!(!eng.network().is_alive(1));
+        assert_eq!(eng.fault_stats().kills, 0, "the churner got there first");
     }
 }

@@ -24,8 +24,11 @@ pub mod protocol;
 pub mod rng;
 pub mod trace;
 
-pub use adversary::WakeSchedule;
-pub use engine::{Engine, RunResult};
+pub use adversary::{
+    BlackoutAdversary, CutVertexAdversary, FaultDelta, FaultPlan, FaultPlanSet, FaultView,
+    JamAdversary, PhaseCrashAdversary, WakeSchedule,
+};
+pub use engine::{Engine, FaultStats, RunResult};
 pub use protocol::{bernoulli, NodeCtx, Protocol, TopologyChange};
 pub use rng::{derive_seed, node_rng};
 pub use trace::{RoundStats, Trace};

@@ -125,6 +125,17 @@ pub trait Protocol: Send {
     /// network's communication graph has been refreshed. Delivered to
     /// every live node. Default: no-op.
     fn on_topology_change(&mut self, _ctx: &mut NodeCtx<'_>, _change: &TopologyChange) {}
+
+    /// The round of this node's next protocol phase transition at or
+    /// after `round`, if the protocol has a phase structure and knows
+    /// one is coming. Purely informational — the engine surfaces the
+    /// minimum over live nodes to fault-injecting adversaries
+    /// ([`crate::FaultView::next_phase`]) so phase-synchronized crash
+    /// bursts can be expressed; protocols gain nothing by lying.
+    /// Default: `None` (no announced phase structure).
+    fn phase_hint(&self, _round: u64) -> Option<u64> {
+        None
+    }
 }
 
 /// Boxed protocols forward every hook — `Protocol` is object-safe for a
@@ -160,6 +171,10 @@ impl<T: Protocol + ?Sized> Protocol for Box<T> {
 
     fn on_topology_change(&mut self, ctx: &mut NodeCtx<'_>, change: &TopologyChange) {
         (**self).on_topology_change(ctx, change)
+    }
+
+    fn phase_hint(&self, round: u64) -> Option<u64> {
+        (**self).phase_hint(round)
     }
 }
 

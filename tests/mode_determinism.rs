@@ -414,3 +414,103 @@ fn fast_physics_selects_grid_native_and_completes() {
     assert!(report.completed, "broadcast under fast physics: {report:?}");
     assert_eq!(report.informed, report.n);
 }
+
+use sinr_broadcast::core::sim::{AdversaryModel, AdversarySpec};
+
+#[test]
+fn adversarial_scenarios_are_reproducible_and_physics_thread_invariant() {
+    // The determinism contract extended to fault injection: a composed
+    // adversary (cut-vertex-targeted kills + jamming stations) × every
+    // interference mode, with per-round stats recorded, must be
+    // byte-identical across repeated runs and across physics thread
+    // counts {1, 2, 8} — including the fault accounting itself.
+    for mode in all_modes() {
+        let scenario = Scenario::new(TopologySpec::ConnectedSquareDensity {
+            n: 60,
+            density: 30.0,
+        })
+        .constants(fast())
+        .protocol(ProtocolSpec::ReFloodBroadcastEstimate {
+            source: 0,
+            nu0: 60,
+            burst_rounds: 32,
+        })
+        .interference_mode(mode)
+        .adversary(
+            AdversarySpec::cut_vertex_kill(0.15, 1, 8).and(AdversaryModel::Jam { jammers: 3 }),
+        )
+        .record_rounds()
+        .budget(400);
+        let baseline = scenario.clone().build().unwrap().run(42).unwrap();
+        // Guard against a vacuous pass: the adversary must actually fire.
+        let faults = baseline.faults.as_ref().expect("fault accounting");
+        assert!(faults.kills > 0, "{mode:?}: cut-vertex adversary idle");
+        assert!(faults.jam_rounds > 0, "{mode:?}: jammers idle");
+        assert!(
+            !faults.coverage.is_empty(),
+            "{mode:?}: no degradation curve"
+        );
+        assert_eq!(
+            baseline,
+            scenario.clone().build().unwrap().run(42).unwrap(),
+            "{mode:?}: repeated adversarial runs differ"
+        );
+        for threads in [2usize, 8] {
+            let sharded = scenario
+                .clone()
+                .physics_threads(threads)
+                .build()
+                .unwrap()
+                .run(42)
+                .unwrap();
+            assert_eq!(
+                baseline, sharded,
+                "{mode:?}: physics_threads({threads}) changed the adversarial run"
+            );
+        }
+    }
+}
+
+#[test]
+fn adversarial_churned_sweeps_compose_with_physics_threads() {
+    // Faults AND churn AND both axes of parallelism at once, in every
+    // mode: multi-threaded sweeps of multi-threaded adversarial trials
+    // reproduce the serial sweep byte-for-byte (adversary kills and
+    // churn kills deduplicate at shared boundaries, deterministically).
+    for mode in all_modes() {
+        let scenario = Scenario::new(TopologySpec::ConnectedSquareDensity {
+            n: 50,
+            density: 25.0,
+        })
+        .constants(fast())
+        .protocol(ProtocolSpec::ReFloodBroadcast {
+            source: 0,
+            p: 0.25,
+            burst_rounds: 24,
+        })
+        .interference_mode(mode)
+        .churn(ChurnSpec::poisson(1.5, 6.0, 4))
+        .adversary(
+            AdversarySpec::cut_vertex_kill(0.1, 1, 4).and(AdversaryModel::Jam { jammers: 2 }),
+        )
+        .budget(400);
+        let seeds: Vec<u64> = (0..4).collect();
+        let serial = scenario
+            .clone()
+            .build()
+            .unwrap()
+            .sweep_with_threads(&seeds, 1)
+            .unwrap();
+        let composed = scenario
+            .clone()
+            .physics_threads(8)
+            .build()
+            .unwrap()
+            .sweep_with_threads(&seeds, 4)
+            .unwrap();
+        assert_eq!(
+            serial, composed,
+            "{mode:?}: adversarial sweep workers × physics threads changed results"
+        );
+    }
+}

@@ -201,3 +201,61 @@ fn schedule_lengths_pinned() {
     assert_eq!(c.num_levels(256), 2);
     assert_eq!(c.num_levels(2048), 5);
 }
+
+#[test]
+fn adversarial_broadcast_golden() {
+    // A seeded adversarial run pinned end to end: estimating re-flood
+    // over a 6×6 lattice under a composed cut-vertex-kill + jamming
+    // adversary every 4 rounds. Any change to the adversary stream
+    // derivation, the cut-vertex probe, the fault merge order, or the
+    // jam path flips these values and must be reviewed deliberately
+    // (the example `examples/adversarial_broadcast.rs` exercises the
+    // same builder surface at scale).
+    use sinr_broadcast::sim::{AdversaryModel, AdversarySpec};
+    let sim = Scenario::new(TopologySpec::Lattice {
+        rows: 6,
+        cols: 6,
+        spacing: 0.6,
+    })
+    .protocol(ProtocolSpec::ReFloodBroadcastEstimate {
+        source: 0,
+        nu0: 36,
+        burst_rounds: 16,
+    })
+    .adversary(
+        AdversarySpec::cut_vertex_kill(0.15, 1, 4)
+            .and(AdversaryModel::Blackout {
+                fraction: 0.05,
+                outage_epochs: 2,
+            })
+            .and(AdversaryModel::Jam { jammers: 1 }),
+    )
+    .budget(500)
+    .build()
+    .unwrap();
+    let a = sim.run(2014).unwrap();
+    assert_eq!(a, sim.run(2014).unwrap(), "adversarial golden must replay");
+    let faults = a.faults.as_ref().expect("fault accounting present");
+    assert!(a.completed, "every live station informed within budget");
+    assert_eq!(a.rounds, 81, "pinned adversarial round count drifted");
+    assert_eq!(
+        a.total_transmissions, 125,
+        "pinned adversarial energy drifted (jammer noise included)"
+    );
+    assert_eq!(a.informed, 29, "informed counts the live survivors");
+    assert_eq!(faults.kills, 29, "pinned fault kill count drifted");
+    assert_eq!(faults.returns, 22, "pinned blackout return count drifted");
+    assert_eq!(faults.jam_rounds, 73, "pinned jammed-round count drifted");
+    assert_eq!(
+        faults.coverage.len(),
+        21,
+        "one coverage sample per adversary boundary"
+    );
+    let last = faults.coverage.last().unwrap();
+    assert_eq!((last.round, last.informed, last.live), (80, 29, 29));
+    assert_eq!(
+        faults.recovery_rounds,
+        Some(1),
+        "re-convergence accounting from the last fault drifted"
+    );
+}
