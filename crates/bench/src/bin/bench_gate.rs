@@ -12,15 +12,21 @@
 //!
 //! Rules:
 //!
-//! * only records whose names start with a tracked prefix (`oracle/`,
-//!   `broadcast/`, `coloring/`) are gated — `legacy/` rows are a frozen
-//!   baseline, not a kernel under development;
+//! * only records whose names start with a tracked prefix (the
+//!   [`TRACKED`] list: `oracle/`, `broadcast/`, `coloring/`,
+//!   `mobility/`, `churn/`, `degradation/`, `repair/`) are gated —
+//!   `legacy/` rows are a frozen baseline, not a kernel under
+//!   development;
 //! * a fresh record is compared against the baseline record of the same
 //!   name; names present in only one file are reported but never fail
 //!   the gate (quick CI runs cover a subset of the committed sizes);
 //! * comparisons use `min_ns` (the least noisy statistic of the minimal
 //!   harness) and baselines faster than the floor (default 10 µs) are
-//!   skipped as noise-dominated.
+//!   skipped as noise-dominated;
+//! * every skip is counted and the summary line reports how many tracked
+//!   rows were floor-skipped or lacked a baseline row, so a gate run
+//!   that silently compares less than it appears to is visible in the
+//!   log rather than indistinguishable from full coverage.
 
 use std::process::ExitCode;
 
@@ -34,6 +40,7 @@ const TRACKED: &[&str] = &[
     "mobility/",
     "churn/",
     "degradation/",
+    "repair/",
 ];
 
 struct Args {
@@ -83,16 +90,20 @@ fn main() -> ExitCode {
     assert!(!fresh.is_empty(), "no records in {}", args.fresh);
 
     let mut compared = 0usize;
+    let mut skipped_no_baseline = 0usize;
+    let mut skipped_floor = 0usize;
     let mut regressions = Vec::new();
     for f in &fresh {
         if !TRACKED.iter().any(|p| f.name.starts_with(p)) {
             continue;
         }
         let Some(b) = baseline.iter().find(|b| b.name == f.name) else {
+            skipped_no_baseline += 1;
             println!("gate: {:<44} (no baseline row; skipped)", f.name);
             continue;
         };
         if b.min_ns < args.floor_ns {
+            skipped_floor += 1;
             println!(
                 "gate: {:<44} baseline {} ns below floor; skipped",
                 f.name, b.min_ns
@@ -115,8 +126,9 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "gate: compared {compared} tracked kernels against {} (max ratio {})",
-        args.baseline, args.max_ratio
+        "gate: compared {compared} tracked kernels against {} (max ratio {}); \
+         skipped {skipped_floor} below the {} ns floor, {skipped_no_baseline} without a baseline row",
+        args.baseline, args.max_ratio, args.floor_ns
     );
     if regressions.is_empty() {
         println!("gate: PASS");

@@ -2,12 +2,12 @@
 //!
 //! Runs the shared [`sinr_bench::phy_suite`],
 //! [`sinr_bench::broadcast_suite`], [`sinr_bench::coloring_suite`],
-//! [`sinr_bench::mobility_suite`], [`sinr_bench::churn_suite`] and
-//! [`sinr_bench::degradation_suite`] and always writes a unified JSON
-//! report (default `BENCH.json`, override with `--json <path>`;
-//! `--quick` shrinks sizes for CI smoke runs;
-//! `--suite phy|broadcast|coloring|mobility|churn|degradation` runs one
-//! suite only):
+//! [`sinr_bench::mobility_suite`], [`sinr_bench::churn_suite`],
+//! [`sinr_bench::degradation_suite`] and [`sinr_bench::repair_suite`]
+//! and always writes a unified JSON report (default `BENCH.json`,
+//! override with `--json <path>`; `--quick` shrinks sizes for CI smoke
+//! runs; `--suite phy|broadcast|coloring|mobility|churn|degradation|repair`
+//! runs one suite only):
 //!
 //! ```text
 //! cargo run --release -p sinr-bench --bin microbench \
@@ -29,6 +29,7 @@
 use sinr_bench::microbench::Session;
 use sinr_bench::{
     broadcast_suite, churn_suite, coloring_suite, degradation_suite, mobility_suite, phy_suite,
+    repair_suite,
 };
 
 fn main() {
@@ -44,10 +45,11 @@ fn main() {
             "coloring",
             "mobility",
             "churn",
-            "degradation"
+            "degradation",
+            "repair"
         ]
         .contains(&suite.as_str()),
-        "unknown --suite {suite}; expected all, phy, broadcast, coloring, mobility, churn or degradation"
+        "unknown --suite {suite}; expected all, phy, broadcast, coloring, mobility, churn, degradation or repair"
     );
     if want("phy") {
         phy_suite::run(&mut session);
@@ -77,6 +79,9 @@ fn main() {
     }
     if want("degradation") {
         degradation_suite::run(&mut session);
+    }
+    if want("repair") {
+        repair_suite::run(&mut session);
     }
     session.finish().expect("write benchmark report");
 }

@@ -45,6 +45,7 @@ pub mod legacy;
 pub mod microbench;
 pub mod mobility_suite;
 pub mod phy_suite;
+pub mod repair_suite;
 
 pub use config::ExpConfig;
 

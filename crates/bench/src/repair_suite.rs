@@ -1,0 +1,151 @@
+//! The repair benchmark suite: incremental epoch repair of the spatial
+//! index and communication graph versus the full in-place rebuild — the
+//! measured case for O(moved) epoch cost at million-station scale.
+//!
+//! Rows (all under the `repair/` prefix, gated by the CI `bench_gate`
+//! job like every other tracked kernel):
+//!
+//! * `repair/full_rebuild/<n>` — one epoch boundary the pre-repair way:
+//!   [`GridIndex::rebuild_from`] plus [`CommGraph::rebuild_from`] over
+//!   the whole population, whatever moved;
+//! * `repair/epoch_repair/<n>/p{0.1,1,10}` — the same boundary through
+//!   [`GridIndex::repair_with_policy`] + [`CommGraph::repair`] with
+//!   0.1% / 1% / 10% of the stations displaced, forced incremental
+//!   ([`sinr_geometry::RepairPolicy::AlwaysIncremental`]) so the row
+//!   measures the repair path even where `Auto` would fall back.
+//!
+//! Every iteration displaces the same mover set by an alternating ±δ so
+//! the work is stationary across iterations, and both paths produce
+//! bit-identical structures (the repair equivalence batteries pin this;
+//! the suite asserts it once per size as a sanity check).
+//!
+//! The deployment density is kept at 10 stations per unit square — a
+//! third of the physics suites' — purely so the n=10⁶ rows (≈10⁷ edges,
+//! double-buffered) stay within container memory; the repair-vs-rebuild
+//! ratio is insensitive to density.
+
+use sinr_geometry::{GridIndex, RepairPolicy};
+use sinr_netgen::uniform;
+use sinr_phy::{CommGraph, SinrParams};
+
+use crate::microbench::{black_box, Session};
+
+/// Stations per unit square for the repair deployments (see module docs
+/// for why this is lower than [`crate::phy_suite::DENSITY`]).
+pub const REPAIR_DENSITY: f64 = 10.0;
+
+/// Mover fractions measured, as (row tag, fraction) pairs.
+const MOVER_FRACTIONS: &[(&str, f64)] = &[("p0.1", 0.001), ("p1", 0.01), ("p10", 0.10)];
+
+/// Runs the suite into `session`. Under `--quick` only the n=10⁴
+/// deployment runs (matching a committed full size, so CI smoke runs
+/// still gate the rows).
+pub fn run(session: &mut Session) {
+    let radius = SinrParams::default_plane().comm_radius();
+    let sizes: &[(usize, usize)] = if session.quick {
+        &[(10_000, 15)]
+    } else {
+        &[(10_000, 15), (100_000, 8), (1_000_000, 3)]
+    };
+    for &(n, iters) in sizes {
+        let side = uniform::side_for_density(n, REPAIR_DENSITY);
+        let pts0 = uniform::square(n, side, 7);
+
+        // The baseline epoch boundary: full in-place rebuilds of both
+        // structures. 1% of the stations move per epoch — the rebuild
+        // cost is O(n) regardless, so one row per size suffices.
+        let movers = mover_set(n, 0.01);
+        let mut pts = pts0.clone();
+        let mut grid = GridIndex::build(&pts, 1.0);
+        let mut graph = CommGraph::build(&pts, radius);
+        let mut sign = 0.25f64;
+        session.bench_n(&format!("repair/full_rebuild/{n}"), n, 1, iters, || {
+            for &j in &movers {
+                pts[j].x += sign;
+            }
+            sign = -sign;
+            grid.rebuild_from(&pts);
+            graph.rebuild_from::<sinr_geometry::Point2>(&pts, None);
+            black_box(graph.num_edges());
+        });
+
+        for &(tag, fraction) in MOVER_FRACTIONS {
+            let movers = mover_set(n, fraction);
+            let mut pts = pts0.clone();
+            let mut grid = GridIndex::build(&pts, 1.0);
+            let mut graph = CommGraph::build(&pts, radius);
+            // Prime the graph's owned index (static builds drop it; the
+            // first repair would otherwise measure the one-time regrow).
+            graph.rebuild_from::<sinr_geometry::Point2>(&pts, None);
+            let mut sign = 0.25f64;
+            session.bench_n(
+                &format!("repair/epoch_repair/{n}/{tag}"),
+                n,
+                1,
+                iters,
+                || {
+                    for &j in &movers {
+                        pts[j].x += sign;
+                    }
+                    sign = -sign;
+                    grid.repair_with_policy(&movers, &pts, None, RepairPolicy::AlwaysIncremental);
+                    graph.repair(&movers, &pts, None, RepairPolicy::AlwaysIncremental);
+                    black_box(graph.num_edges());
+                },
+            );
+            // Once per size/fraction: the repaired structures are the
+            // fresh builds, bit for bit.
+            debug_assert_eq!(grid, GridIndex::build(&pts, 1.0));
+            debug_assert_eq!(graph, CommGraph::build(&pts, radius));
+        }
+    }
+}
+
+/// The `fraction` of `n` stations a repair epoch displaces, evenly
+/// strided so movers spread across cells.
+fn mover_set(n: usize, fraction: f64) -> Vec<usize> {
+    let k = ((n as f64 * fraction) as usize).max(1);
+    let stride = (n / k).max(1);
+    (0..k).map(|i| i * stride).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mover_sets_are_sized_and_in_range() {
+        for &(_, f) in MOVER_FRACTIONS {
+            let movers = mover_set(10_000, f);
+            assert_eq!(movers.len(), ((10_000.0 * f) as usize).max(1));
+            assert!(movers.iter().all(|&i| i < 10_000));
+        }
+        assert_eq!(mover_set(10, 0.001), vec![0], "at least one mover");
+    }
+
+    #[test]
+    fn bench_kernel_paths_agree_bitwise() {
+        // A miniature of the suite's measured loop: repair vs full
+        // rebuild after the alternating displacement, bit-identical.
+        let radius = SinrParams::default_plane().comm_radius();
+        let n = 600;
+        let side = uniform::side_for_density(n, REPAIR_DENSITY);
+        let pts0 = uniform::square(n, side, 7);
+        let movers = mover_set(n, 0.01);
+        let mut pts = pts0.clone();
+        let mut grid = GridIndex::build(&pts, 1.0);
+        let mut graph = CommGraph::build(&pts, radius);
+        graph.rebuild_from::<sinr_geometry::Point2>(&pts, None);
+        let mut sign = 0.25f64;
+        for _ in 0..4 {
+            for &j in &movers {
+                pts[j].x += sign;
+            }
+            sign = -sign;
+            grid.repair_with_policy(&movers, &pts, None, RepairPolicy::AlwaysIncremental);
+            graph.repair(&movers, &pts, None, RepairPolicy::AlwaysIncremental);
+            assert_eq!(grid, GridIndex::build(&pts, 1.0));
+            assert_eq!(graph, CommGraph::build(&pts, radius));
+        }
+    }
+}

@@ -183,5 +183,6 @@ pub use topology::{Topology, TopologySpec};
 
 // The motion and lifecycle models the dynamic specs name, re-exported so
 // scenario code needs no direct `sinr_netgen` import.
+pub use sinr_geometry::RepairPolicy;
 pub use sinr_netgen::churn::ChurnModel;
 pub use sinr_netgen::mobility::MobilityModel;

@@ -4,7 +4,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
-use sinr_geometry::{MetricPoint, Point2};
+use sinr_geometry::{MetricPoint, Point2, RepairPolicy};
 use sinr_netgen::churn::ChurnProcess;
 use sinr_netgen::mobility::Mobility;
 use sinr_phy::{InterferenceMode, Network, NetworkError, SinrParams};
@@ -100,6 +100,7 @@ pub struct Scenario<P: MetricPoint = Point2> {
     mobility: Option<MobilitySpec>,
     churn: Option<ChurnSpec>,
     adversary: Option<AdversarySpec>,
+    repair: RepairPolicy,
     observers: Vec<ObserverFactory>,
 }
 
@@ -117,6 +118,7 @@ impl<P: MetricPoint> Clone for Scenario<P> {
             mobility: self.mobility,
             churn: self.churn,
             adversary: self.adversary.clone(),
+            repair: self.repair,
             observers: self.observers.clone(),
         }
     }
@@ -141,6 +143,7 @@ impl<P: MetricPoint> Scenario<P> {
             mobility: None,
             churn: None,
             adversary: None,
+            repair: RepairPolicy::default(),
             observers: Vec::new(),
         }
     }
@@ -294,6 +297,21 @@ impl<P: MetricPoint> Scenario<P> {
     #[must_use]
     pub fn adversary(mut self, spec: AdversarySpec) -> Self {
         self.adversary = Some(spec);
+        self
+    }
+
+    /// Sets how epoch boundaries refresh the spatial index and the
+    /// communication graph (default [`RepairPolicy::Auto`]: incremental
+    /// repair while at most 5% of the population changed, full rebuild
+    /// beyond). The refreshed structures are **bit-identical** whichever
+    /// path runs — reports never depend on the policy (pinned by
+    /// `tests/repair_equivalence.rs`) — so this only trades epoch
+    /// wall-clock; [`RepairPolicy::AlwaysFull`] and
+    /// [`RepairPolicy::AlwaysIncremental`] exist chiefly for the
+    /// differential tests and for benchmarking either path.
+    #[must_use]
+    pub fn repair_policy(mut self, policy: RepairPolicy) -> Self {
+        self.repair = policy;
         self
     }
 
@@ -595,6 +613,7 @@ fn setup_engine<P: MetricPoint, Pr: Protocol + 'static>(
 ) -> Engine<P, Pr> {
     let mut eng = Engine::new(net, seed, make);
     eng.set_physics_threads(scenario.physics_threads);
+    eng.set_repair_policy(scenario.repair);
     if scenario.record {
         eng.record_rounds();
     }

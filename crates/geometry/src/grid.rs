@@ -20,6 +20,63 @@ use crate::store::PositionStore;
 /// trailing axes stay `0`).
 pub type CellKey = [i64; 3];
 
+/// How the spatial structures react to a population delta at an epoch
+/// boundary ([`GridIndex::repair_with_policy`] and the communication
+/// graph's repair path built on it).
+///
+/// Whatever the policy, the resulting structure is **bit-identical** to a
+/// from-scratch build of the same population — the policy only selects
+/// how much work is spent getting there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RepairPolicy {
+    /// Patch incrementally while the fraction of stations that changed
+    /// cell membership (or liveness) stays at or below `threshold` of the
+    /// indexed population; fall back to a full in-place rebuild beyond it
+    /// (dense churn amortizes better through one sort than many splices).
+    Auto {
+        /// Maximum dirty fraction repaired incrementally.
+        threshold: f64,
+    },
+    /// Always rebuild from scratch — the pre-repair behavior, kept as the
+    /// differential-test reference.
+    AlwaysFull,
+    /// Always patch incrementally, however dense the churn — forces the
+    /// repair path so differential tests can exercise it.
+    AlwaysIncremental,
+}
+
+impl Default for RepairPolicy {
+    /// Incremental below 5% churn, full rebuild above.
+    fn default() -> Self {
+        RepairPolicy::Auto { threshold: 0.05 }
+    }
+}
+
+/// Reusable buffers of the incremental repair path: classification lists
+/// plus the double-buffered CSR arrays the merge sweep writes into. Grown
+/// once to their high-water marks, then recycled — steady-state repairs
+/// perform no heap allocations.
+#[derive(Debug, Clone, Default)]
+struct RepairScratch {
+    /// Deduplicated dirty-station candidates.
+    moved: Vec<usize>,
+    /// Slots leaving their cell (kills + cross-cell movers), ascending.
+    removals: Vec<usize>,
+    /// `(new cell key, id)` entering a cell (rejoins, spawns, cross-cell
+    /// movers), in fresh-build sort order.
+    inserts: Vec<(CellKey, usize)>,
+    /// Old cell indices whose members moved within the cell (coordinates
+    /// patched in place; centroid needs recomputing).
+    touched: Vec<usize>,
+    /// Double buffers the merge sweep emits into, swapped with the live
+    /// arrays afterwards so edge storage is reused, never reallocated.
+    keys_alt: Vec<CellKey>,
+    starts_alt: Vec<usize>,
+    ids_alt: Vec<usize>,
+    store_alt: PositionStore,
+    centroids_alt: Vec<[f64; 3]>,
+}
+
 /// A uniform-grid spatial index over a fixed slice of points.
 ///
 /// The index stores point *indices*; queries take the backing slice again so
@@ -51,6 +108,12 @@ pub struct GridIndex {
     /// `(cell key, point index)` sort scratch, reused by the epoch
     /// reindex path ([`GridIndex::rebuild_from`]).
     pair_scratch: Vec<(CellKey, usize)>,
+    /// Slot of each point id (`usize::MAX` when the id is not indexed —
+    /// dead or out of range) — the reverse lookup the repair path uses to
+    /// find a moved station's previous cell and coordinates.
+    slot_of: Vec<usize>,
+    /// Buffers of the incremental repair path ([`GridIndex::repair`]).
+    repair: RepairScratch,
     cell_side: f64,
     axes: usize,
     /// Number of **indexed** points (= live points under a liveness mask).
@@ -63,8 +126,9 @@ pub struct GridIndex {
 }
 
 /// Two indexes are equal when they index the same points into the same
-/// structure (the sort scratch, a rebuild implementation detail, does not
-/// participate) — what the epoch-reindex differential tests compare.
+/// structure (the sort and repair scratch and the derivable reverse slot
+/// map, rebuild implementation details, do not participate) — what the
+/// epoch-reindex differential tests compare.
 impl PartialEq for GridIndex {
     fn eq(&self, other: &Self) -> bool {
         self.keys == other.keys
@@ -120,6 +184,8 @@ impl GridIndex {
             store: PositionStore::with_axes(P::AXES),
             centroids: Vec::new(),
             pair_scratch: Vec::new(),
+            slot_of: Vec::new(),
+            repair: RepairScratch::default(),
             cell_side,
             axes: P::AXES,
             len: 0,
@@ -171,6 +237,333 @@ impl GridIndex {
         self.fill(points, Some(alive));
     }
 
+    /// Patches the index after a population delta, in time proportional to
+    /// the delta: only stations named in `moved` may have changed position
+    /// or liveness since the last (re)build or repair. Spawned stations
+    /// (indices at or beyond the previous [`GridIndex::domain_len`]) are
+    /// picked up whether listed or not. Equivalent to
+    /// [`GridIndex::repair_with_policy`] with the default
+    /// [`RepairPolicy::Auto`].
+    pub fn repair<P: MetricPoint>(
+        &mut self,
+        moved: &[usize],
+        points: &[P],
+        alive: Option<&[bool]>,
+    ) {
+        self.repair_with_policy(moved, points, alive, RepairPolicy::default());
+    }
+
+    /// The delta-aware repair path: detects which of the `moved` stations
+    /// actually changed cell membership (cross-cell moves, kills, rejoins,
+    /// spawns), splices only the affected CSR cell runs — member slots,
+    /// [`GridIndex::slot_ids`] order, the SoA [`PositionStore`] columns
+    /// and the centroids of touched cells — and leaves every untouched
+    /// cell's bytes alone. Same-cell moves patch coordinates in place.
+    ///
+    /// The result is **bit-identical** to [`GridIndex::build_masked`] over
+    /// the same population (same key order, same slot order, same
+    /// floating-point centroid sums) — `tests/repair_equivalence.rs` and
+    /// the mobility/churn differential batteries pin this. Under
+    /// [`RepairPolicy::Auto`] dense deltas fall back to the full in-place
+    /// rebuild, which amortizes better through one sort.
+    ///
+    /// All repair buffers are reused between calls: steady-state repairs
+    /// perform no heap allocations.
+    ///
+    /// # Contract
+    ///
+    /// Stations absent from `moved` (and below the previous domain) must
+    /// have bit-identical coordinates and unchanged liveness; `points` may
+    /// only grow. Listing an unchanged station is harmless (it is detected
+    /// and skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index in `moved` is out of range, the backing slice
+    /// shrank, the dimensionality changed, or a mask is present with the
+    /// wrong length.
+    pub fn repair_with_policy<P: MetricPoint>(
+        &mut self,
+        moved: &[usize],
+        points: &[P],
+        alive: Option<&[bool]>,
+        policy: RepairPolicy,
+    ) {
+        assert_eq!(P::AXES, self.axes, "point dimensionality mismatch");
+        if let Some(a) = alive {
+            assert_eq!(
+                a.len(),
+                points.len(),
+                "liveness mask must cover every point"
+            );
+        }
+        assert!(
+            points.len() >= self.domain,
+            "repair cannot shrink the backing slice ({} -> {} points)",
+            self.domain,
+            points.len()
+        );
+        if matches!(policy, RepairPolicy::AlwaysFull) {
+            self.fill(points, alive);
+            return;
+        }
+        let live = |i: usize| alive.map_or(true, |a| a[i]);
+
+        // Deduplicate the candidates (a station can be both a churn-delta
+        // member and a mover) and sweep in spawned indices.
+        let mut dirty = std::mem::take(&mut self.repair.moved);
+        dirty.clear();
+        dirty.extend_from_slice(moved);
+        dirty.extend(self.domain..points.len());
+        dirty.sort_unstable();
+        dirty.dedup();
+        if let Some(&max) = dirty.last() {
+            assert!(
+                max < points.len(),
+                "moved index {max} out of range ({} points)",
+                points.len()
+            );
+        }
+        self.slot_of.resize(points.len(), usize::MAX);
+
+        // Classify: removals (slots leaving a cell), inserts (ids entering
+        // one), in-place coordinate patches (same cell). Unchanged
+        // stations listed out of caution are detected and skipped.
+        let mut removals = std::mem::take(&mut self.repair.removals);
+        let mut inserts = std::mem::take(&mut self.repair.inserts);
+        let mut touched = std::mem::take(&mut self.repair.touched);
+        removals.clear();
+        inserts.clear();
+        touched.clear();
+        let mut changed = 0usize;
+        for &i in &dirty {
+            let old_slot = self.slot_of[i];
+            let was = old_slot != usize::MAX;
+            let is = live(i);
+            match (was, is) {
+                (false, false) => {}
+                (true, false) => {
+                    removals.push(old_slot);
+                    changed += 1;
+                }
+                (false, true) => {
+                    inserts.push((Self::key_of(&points[i], self.cell_side), i));
+                    changed += 1;
+                }
+                (true, true) => {
+                    let unchanged = (0..P::AXES).all(|a| {
+                        self.store.coord(old_slot, a).to_bits() == points[i].coord(a).to_bits()
+                    });
+                    if unchanged {
+                        continue;
+                    }
+                    let new_key = Self::key_of(&points[i], self.cell_side);
+                    let c_old = self.cell_of_slot(old_slot);
+                    if self.keys[c_old] == new_key {
+                        // Moved within its cell: patch the SoA columns in
+                        // place, remember the cell for centroid recompute.
+                        self.store.set(old_slot, &points[i]);
+                        touched.push(c_old);
+                    } else {
+                        removals.push(old_slot);
+                        inserts.push((new_key, i));
+                    }
+                    changed += 1;
+                }
+            }
+        }
+        self.repair.moved = dirty;
+
+        if let RepairPolicy::Auto { threshold } = policy {
+            if changed as f64 > threshold * self.len.max(1) as f64 {
+                // Dense delta: one sort beats many splices. The in-place
+                // coordinate patches above are overwritten by the fill.
+                self.repair.removals = removals;
+                self.repair.inserts = inserts;
+                self.repair.touched = touched;
+                self.fill(points, alive);
+                return;
+            }
+        }
+
+        self.domain = points.len();
+        touched.sort_unstable();
+        touched.dedup();
+        if removals.is_empty() && inserts.is_empty() {
+            // Same-cell moves only: membership untouched, recompute the
+            // touched centroids (member order — identical to a fresh
+            // build's arithmetic).
+            for &c in &touched {
+                self.centroids[c] =
+                    Self::centroid_of::<P>(&self.ids[self.starts[c]..self.starts[c + 1]], points);
+            }
+            self.repair.removals = removals;
+            self.repair.inserts = inserts;
+            self.repair.touched = touched;
+            return;
+        }
+        removals.sort_unstable();
+        inserts.sort_unstable();
+        self.repair.removals = removals;
+        self.repair.inserts = inserts;
+        self.repair.touched = touched;
+        self.merge_splice(points);
+    }
+
+    /// The membership-edit sweep of the repair path: emits the merged CSR
+    /// arrays into the double buffers — untouched cells copied wholesale
+    /// (centroid bits included), edited cells re-merged member by member —
+    /// and swaps them in. One pass, no sort of the population, no
+    /// allocation once the buffers reach their high-water marks.
+    fn merge_splice<P: MetricPoint>(&mut self, points: &[P]) {
+        let mut keys2 = std::mem::take(&mut self.repair.keys_alt);
+        let mut starts2 = std::mem::take(&mut self.repair.starts_alt);
+        let mut ids2 = std::mem::take(&mut self.repair.ids_alt);
+        let mut store2 = std::mem::take(&mut self.repair.store_alt);
+        let mut cents2 = std::mem::take(&mut self.repair.centroids_alt);
+        keys2.clear();
+        starts2.clear();
+        ids2.clear();
+        cents2.clear();
+        store2.reset_axes(self.axes);
+        let grow = self.repair.inserts.len();
+        ids2.reserve(self.len + grow);
+        store2.reserve(self.len + grow);
+
+        let removals = &self.repair.removals;
+        let inserts = &self.repair.inserts;
+        let touched = &self.repair.touched;
+        let slot_of = &mut self.slot_of;
+        slot_of.clear();
+        slot_of.resize(self.domain, usize::MAX);
+        let (mut rem_i, mut ins_i, mut tou_i) = (0usize, 0usize, 0usize);
+
+        let n_cells = self.keys.len();
+        let mut c = 0usize;
+        while c < n_cells || ins_i < inserts.len() {
+            let insert_cell = match (c < n_cells, ins_i < inserts.len()) {
+                (true, true) => inserts[ins_i].0 < self.keys[c],
+                (has_old, _) => !has_old,
+            };
+            if insert_cell {
+                // A brand-new cell made entirely of inserted stations
+                // (already in ascending id order within the key run).
+                let key = inserts[ins_i].0;
+                let cell_start = ids2.len();
+                keys2.push(key);
+                starts2.push(cell_start);
+                while ins_i < inserts.len() && inserts[ins_i].0 == key {
+                    let i = inserts[ins_i].1;
+                    slot_of[i] = ids2.len();
+                    ids2.push(i);
+                    store2.push(&points[i]);
+                    ins_i += 1;
+                }
+                cents2.push(Self::centroid_of::<P>(&ids2[cell_start..], points));
+                continue;
+            }
+
+            let key = self.keys[c];
+            let range = self.starts[c]..self.starts[c + 1];
+            let has_ins = ins_i < inserts.len() && inserts[ins_i].0 == key;
+            let has_rem = rem_i < removals.len() && removals[rem_i] < range.end;
+            while tou_i < touched.len() && touched[tou_i] < c {
+                tou_i += 1;
+            }
+            let coords_touched = tou_i < touched.len() && touched[tou_i] == c;
+            if !has_ins && !has_rem {
+                // Membership untouched: wholesale copy (per-axis memcpy);
+                // the centroid bits carry over unless a same-cell move
+                // patched a member's coordinates.
+                let cell_start = ids2.len();
+                keys2.push(key);
+                starts2.push(cell_start);
+                for (off, &i) in self.ids[range.clone()].iter().enumerate() {
+                    slot_of[i] = cell_start + off;
+                }
+                ids2.extend_from_slice(&self.ids[range.clone()]);
+                store2.extend_from(&self.store, range);
+                if coords_touched {
+                    cents2.push(Self::centroid_of::<P>(&ids2[cell_start..], points));
+                } else {
+                    cents2.push(self.centroids[c]);
+                }
+                c += 1;
+                continue;
+            }
+
+            // Membership edit: merge the kept members (ascending ids,
+            // removal slots skipped) with this key's inserts (ascending
+            // ids). A cell losing every member vanishes, exactly as in a
+            // fresh build.
+            let cell_start = ids2.len();
+            let mut s = range.start;
+            loop {
+                while s < range.end && rem_i < removals.len() && removals[rem_i] == s {
+                    rem_i += 1;
+                    s += 1;
+                }
+                let kept = (s < range.end).then(|| self.ids[s]);
+                let ins =
+                    (ins_i < inserts.len() && inserts[ins_i].0 == key).then(|| inserts[ins_i].1);
+                match (kept, ins) {
+                    (None, None) => break,
+                    (Some(k), Some(j)) if j < k => {
+                        slot_of[j] = ids2.len();
+                        ids2.push(j);
+                        store2.push(&points[j]);
+                        ins_i += 1;
+                    }
+                    (Some(k), _) => {
+                        slot_of[k] = ids2.len();
+                        ids2.push(k);
+                        store2.extend_from(&self.store, s..s + 1);
+                        s += 1;
+                    }
+                    (None, Some(j)) => {
+                        slot_of[j] = ids2.len();
+                        ids2.push(j);
+                        store2.push(&points[j]);
+                        ins_i += 1;
+                    }
+                }
+            }
+            if ids2.len() > cell_start {
+                keys2.push(key);
+                starts2.push(cell_start);
+                cents2.push(Self::centroid_of::<P>(&ids2[cell_start..], points));
+            }
+            c += 1;
+        }
+        starts2.push(ids2.len());
+
+        std::mem::swap(&mut self.keys, &mut keys2);
+        std::mem::swap(&mut self.starts, &mut starts2);
+        std::mem::swap(&mut self.ids, &mut ids2);
+        std::mem::swap(&mut self.store, &mut store2);
+        std::mem::swap(&mut self.centroids, &mut cents2);
+        self.repair.keys_alt = keys2;
+        self.repair.starts_alt = starts2;
+        self.repair.ids_alt = ids2;
+        self.repair.store_alt = store2;
+        self.repair.centroids_alt = cents2;
+        self.len = self.ids.len();
+    }
+
+    /// Index of the populated cell owning `slot`.
+    fn cell_of_slot(&self, slot: usize) -> usize {
+        debug_assert!(slot < self.len, "slot out of range");
+        self.starts.partition_point(|&s| s <= slot) - 1
+    }
+
+    /// Slot of point `i`, or `None` when `i` is not indexed (dead, or
+    /// beyond the indexed domain). The reverse of [`GridIndex::slot_ids`];
+    /// the graph repair path uses it to recover a moved station's previous
+    /// coordinates from [`GridIndex::positions`].
+    pub fn slot_of(&self, i: usize) -> Option<usize> {
+        self.slot_of.get(i).copied().filter(|&s| s != usize::MAX)
+    }
+
     /// The one fill routine behind every build/rebuild entry point, so
     /// rebuilt indexes are bitwise indistinguishable from fresh ones.
     fn fill<P: MetricPoint>(&mut self, points: &[P], alive: Option<&[bool]>) {
@@ -214,22 +607,42 @@ impl GridIndex {
         self.pair_scratch = pairs;
         // Per-cell member centroids: sum coordinates in member (= slot)
         // order, then scale by 1/len — the exact arithmetic the reception
-        // kernels historically performed per round.
+        // kernels historically performed per round. The repair path
+        // recomputes touched cells through the same helper, so repaired
+        // centroids are bit-identical to freshly built ones.
         for c in 0..self.keys.len() {
-            let mut cent = [0.0f64; 3];
-            for &i in &self.ids[self.starts[c]..self.starts[c + 1]] {
-                for (axis, slot) in cent.iter_mut().enumerate().take(P::AXES) {
-                    *slot += points[i].coord(axis);
-                }
-            }
-            let inv = 1.0 / (self.starts[c + 1] - self.starts[c]) as f64;
-            for v in &mut cent {
-                *v *= inv;
-            }
-            self.centroids.push(cent);
+            self.centroids.push(Self::centroid_of::<P>(
+                &self.ids[self.starts[c]..self.starts[c + 1]],
+                points,
+            ));
         }
         self.len = self.ids.len();
         self.domain = points.len();
+        // Reverse slot map: id → slot (MAX for unindexed ids), the repair
+        // path's handle on a station's previous cell and coordinates.
+        self.slot_of.clear();
+        self.slot_of.resize(self.domain, usize::MAX);
+        for (s, &i) in self.ids.iter().enumerate() {
+            self.slot_of[i] = s;
+        }
+    }
+
+    /// Member centroid of the cell owning `ids`: coordinate sums in member
+    /// order scaled by `1/len` — the one centroid routine behind both
+    /// [`GridIndex::build`]-style fills and the repair path, so the two
+    /// agree bitwise.
+    fn centroid_of<P: MetricPoint>(ids: &[usize], points: &[P]) -> [f64; 3] {
+        let mut cent = [0.0f64; 3];
+        for &i in ids {
+            for (axis, slot) in cent.iter_mut().enumerate().take(P::AXES) {
+                *slot += points[i].coord(axis);
+            }
+        }
+        let inv = 1.0 / ids.len() as f64;
+        for v in &mut cent {
+            *v *= inv;
+        }
+        cent
     }
 
     fn key_of<P: MetricPoint>(p: &P, cell_side: f64) -> CellKey {
@@ -385,6 +798,26 @@ impl GridIndex {
         center.coords()
     }
 
+    /// [`GridIndex::for_each_in_ball`] addressed by raw coordinates
+    /// (trailing axes ignored) instead of a point from the backing slice.
+    ///
+    /// Exists for the graph repair path, which queries a station's *old*
+    /// neighborhood against the pre-repair index while holding the *new*
+    /// point slice — a slice whose length may already exceed this index's
+    /// domain, so no slice-length contract applies here.
+    pub fn for_each_in_ball_at(&self, center: [f64; 3], radius: f64, mut f: impl FnMut(usize)) {
+        let (lo, hi) = self.query_box_coords(&center, radius);
+        self.for_each_candidate_cell(&lo, &hi, &mut |c| {
+            self.store
+                .for_each_within(
+                    self.cell_range(c),
+                    &center,
+                    radius,
+                    |slot| f(self.ids[slot]),
+                );
+        });
+    }
+
     /// Nearest indexed point to `center` other than `exclude` (pass
     /// `usize::MAX` to exclude nothing). Returns `None` for an empty index or
     /// when the only point is excluded.
@@ -441,11 +874,16 @@ impl GridIndex {
     /// Cell-key bounding box of the ball `B(center, radius)`.
     fn query_box<P: MetricPoint>(&self, center: &P, radius: f64) -> (CellKey, CellKey) {
         debug_assert_eq!(P::AXES, self.axes, "point dimensionality mismatch");
+        self.query_box_coords(&Self::center_coords(center), radius)
+    }
+
+    /// [`GridIndex::query_box`] over raw coordinates.
+    fn query_box_coords(&self, center: &[f64; 3], radius: f64) -> (CellKey, CellKey) {
         let mut lo = [0i64; 3];
         let mut hi = [0i64; 3];
         for axis in 0..self.axes {
-            lo[axis] = ((center.coord(axis) - radius) / self.cell_side).floor() as i64;
-            hi[axis] = ((center.coord(axis) + radius) / self.cell_side).floor() as i64;
+            lo[axis] = ((center[axis] - radius) / self.cell_side).floor() as i64;
+            hi[axis] = ((center[axis] + radius) / self.cell_side).floor() as i64;
         }
         (lo, hi)
     }
@@ -806,6 +1244,158 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn scatter(n: usize, scale: f64) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                Point2::new(
+                    (i as f64 * 0.43).sin() * scale,
+                    (i as f64 * 0.61).cos() * scale,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn repair_same_cell_moves_match_fresh_build() {
+        let mut pts = scatter(120, 5.0);
+        let mut idx = GridIndex::build(&pts, 1.0);
+        // Nudge a few stations by less than anything that could change
+        // their cell (coordinates well inside the cell interior).
+        let moved = [3usize, 40, 77];
+        for &i in &moved {
+            pts[i].x = pts[i].x.floor() + 0.5 + (i as f64) * 1e-3;
+            pts[i].y = pts[i].y.floor() + 0.5;
+        }
+        idx.repair_with_policy(&moved, &pts, None, RepairPolicy::AlwaysIncremental);
+        assert_eq!(idx, GridIndex::build(&pts, 1.0));
+    }
+
+    #[test]
+    fn repair_cross_cell_moves_match_fresh_build() {
+        let mut pts = scatter(120, 5.0);
+        let mut idx = GridIndex::build(&pts, 1.0);
+        let moved = [0usize, 13, 59, 118];
+        for &i in &moved {
+            pts[i].x += 3.25;
+            pts[i].y -= 2.5;
+        }
+        idx.repair_with_policy(&moved, &pts, None, RepairPolicy::AlwaysIncremental);
+        assert_eq!(idx, GridIndex::build(&pts, 1.0));
+    }
+
+    #[test]
+    fn repair_kills_rejoins_and_spawns_match_fresh_build() {
+        let mut pts = scatter(100, 5.0);
+        let mut alive = vec![true; 100];
+        alive[17] = false; // starts dead, rejoins below
+        let mut idx = GridIndex::build_masked(&pts, &alive, 1.0);
+        // Kill two, revive one (at a new position), spawn three.
+        alive[4] = false;
+        alive[62] = false;
+        alive[17] = true;
+        pts[17] = Point2::new(-3.3, 4.1);
+        pts.push(Point2::new(0.05, 0.05));
+        pts.push(Point2::new(-4.9, -4.9));
+        pts.push(Point2::new(2.5, 2.5));
+        alive.extend([true, true, false]);
+        // Spawns are picked up without being listed in `moved`.
+        idx.repair_with_policy(
+            &[4, 62, 17],
+            &pts,
+            Some(&alive),
+            RepairPolicy::AlwaysIncremental,
+        );
+        assert_eq!(idx, GridIndex::build_masked(&pts, &alive, 1.0));
+    }
+
+    #[test]
+    fn repair_skips_unchanged_listings() {
+        let pts = scatter(80, 5.0);
+        let mut idx = GridIndex::build(&pts, 1.0);
+        // Every station listed, none actually changed: a no-op.
+        let all: Vec<usize> = (0..pts.len()).collect();
+        idx.repair_with_policy(&all, &pts, None, RepairPolicy::AlwaysIncremental);
+        assert_eq!(idx, GridIndex::build(&pts, 1.0));
+    }
+
+    #[test]
+    fn repair_auto_policy_falls_back_on_dense_deltas() {
+        let mut pts = scatter(100, 5.0);
+        let mut idx = GridIndex::build(&pts, 1.0);
+        // Move over half the population: Auto must take the full-rebuild
+        // path and still land bit-identical.
+        let moved: Vec<usize> = (0..60).collect();
+        for &i in &moved {
+            pts[i].x += 1.75;
+        }
+        idx.repair(&moved, &pts, None);
+        assert_eq!(idx, GridIndex::build(&pts, 1.0));
+    }
+
+    #[test]
+    fn repair_randomized_interleavings_match_fresh_builds() {
+        let mut rng = SmallRng::seed_from_u64(0x5e9a12);
+        let mut pts = scatter(150, 6.0);
+        let mut alive = vec![true; pts.len()];
+        let mut idx = GridIndex::build_masked(&pts, &alive, 0.9);
+        for step in 0..40 {
+            let mut moved = Vec::new();
+            // Random mix of moves (small and large), kills, rejoins, spawns.
+            for _ in 0..rng.gen_range(0..12usize) {
+                let i = rng.gen_range(0..pts.len());
+                moved.push(i);
+                match rng.gen_range(0..4u32) {
+                    0 => {
+                        pts[i].x += rng.gen_range(-0.2..0.2);
+                        pts[i].y += rng.gen_range(-0.2..0.2);
+                    }
+                    1 => {
+                        pts[i].x += rng.gen_range(-4.0..4.0);
+                        pts[i].y += rng.gen_range(-4.0..4.0);
+                    }
+                    2 => alive[i] = false,
+                    _ => alive[i] = true,
+                }
+            }
+            for _ in 0..rng.gen_range(0..3usize) {
+                pts.push(Point2::new(
+                    rng.gen_range(-6.0..6.0),
+                    rng.gen_range(-6.0..6.0),
+                ));
+                alive.push(rng.gen_range(0..4u32) != 0);
+            }
+            idx.repair_with_policy(&moved, &pts, Some(&alive), RepairPolicy::AlwaysIncremental);
+            assert_eq!(
+                idx,
+                GridIndex::build_masked(&pts, &alive, 0.9),
+                "step {step}"
+            );
+            // slot_of stays the exact inverse of slot_ids.
+            for (s, &i) in idx.slot_ids().iter().enumerate() {
+                assert_eq!(idx.slot_of(i), Some(s));
+            }
+            for (i, &live) in alive.iter().enumerate() {
+                if !live {
+                    assert_eq!(idx.slot_of(i), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_then_query_matches_brute_force() {
+        let mut pts = scatter(90, 4.0);
+        let mut idx = GridIndex::build(&pts, 0.8);
+        let moved = [5usize, 25, 45, 65, 85];
+        for &i in &moved {
+            pts[i].x -= 2.1;
+            pts[i].y += 1.3;
+        }
+        idx.repair_with_policy(&moved, &pts, None, RepairPolicy::AlwaysIncremental);
+        let got = idx.ball_vec(&pts, Point2::new(0.3, -0.2), 2.0);
+        assert_eq!(got, brute_ball(&pts, Point2::new(0.3, -0.2), 2.0));
     }
 
     #[test]

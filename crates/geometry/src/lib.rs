@@ -19,6 +19,25 @@
 //!   paper's preliminaries;
 //! * ball mass / counting helpers in [`ball`].
 //!
+//! # Incremental repair
+//!
+//! Dynamic populations (mobility epochs, churn) historically paid a full
+//! `GridIndex::rebuild_from` per epoch — O(n) however little moved.
+//! [`GridIndex::repair`] patches the index in time proportional to the
+//! delta instead: only the cells that gained or lost members are merged
+//! anew, every untouched cell's keys, CSR run, SoA coordinates and
+//! centroid are bulk-copied bit-for-bit, and the result is **identical
+//! to a fresh build** — same cell order, same slot order, same
+//! floating-point sums — so every downstream kernel (batched distances,
+//! interference sums, comm-graph rows) is unaffected by which path ran.
+//! [`RepairPolicy`] picks the path: the default `Auto` falls back to the
+//! full rebuild once a delta touches more than ~5% of the population
+//! (measured crossover: repair beats rebuild by 19–58× at ≤1% movers
+//! and degenerates to ~1× around 10%, at n = 10⁴…10⁶ — see the
+//! `repair/` rows of `BENCH.json`). The equivalence is pinned by
+//! differential tests from unit level (`grid::tests::repair_*`) to the
+//! workspace batteries (`tests/repair_equivalence.rs`).
+//!
 //! # Example
 //!
 //! ```
@@ -41,6 +60,6 @@ pub mod point;
 pub mod store;
 
 pub use ball::{ball_indices, ball_mass, count_in_ball, covering_number};
-pub use grid::{CellKey, GridIndex};
+pub use grid::{CellKey, GridIndex, RepairPolicy};
 pub use point::{MetricPoint, Point1, Point2, Point3};
 pub use store::PositionStore;

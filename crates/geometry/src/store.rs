@@ -151,6 +151,21 @@ impl PositionStore {
         self.coords[axis][s]
     }
 
+    /// Overwrites the coordinates of slot `s` with `p`'s — the in-place
+    /// patch primitive of [`crate::GridIndex::repair`] for stations that
+    /// moved without changing grid cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range; in debug builds also if `P::AXES`
+    /// differs from the store's axes.
+    pub fn set<P: MetricPoint>(&mut self, s: usize, p: &P) {
+        debug_assert_eq!(P::AXES, self.axes, "point dimensionality mismatch");
+        for (axis, column) in self.coords.iter_mut().enumerate().take(self.axes) {
+            column[s] = p.coord(axis);
+        }
+    }
+
     /// The coordinates of slot `s`, padded with zeros beyond the store's
     /// axes (the fixed-width form every batch kernel takes its query
     /// point in).

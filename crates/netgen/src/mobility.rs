@@ -610,6 +610,60 @@ mod tests {
     }
 
     #[test]
+    fn spawn_mid_run_leaves_existing_trajectories_byte_identical() {
+        // Regression guard on `ensure_stations`: growing the motion
+        // state for churn spawns must only *append* — never touch the
+        // pre-existing stations' targets, pauses or velocities. Each
+        // model is pinned at the strength it actually guarantees:
+        //
+        // * Drift: `advance` draws no randomness, so old stations'
+        //   entire future trajectory is byte-identical to the
+        //   spawn-free run of the same seed;
+        // * RandomWaypoint: identical until an old station arrives and
+        //   redraws its target (the shared stream has advanced) — the
+        //   horizon below is too short for any arrival;
+        // * TeleportChurn: stations draw in index order each epoch, so
+        //   the first post-spawn epoch is byte-identical.
+        let drift = MobilityModel::Drift { speed: 0.2 };
+        let waypoint = MobilityModel::RandomWaypoint {
+            speed: 0.05,
+            pause_epochs: 0,
+        };
+        let teleport = MobilityModel::TeleportChurn { fraction: 0.4 };
+        for (model, epochs_after_spawn) in [(drift, 10usize), (waypoint, 5), (teleport, 1)] {
+            let base = uniform::square(20, 3.0, 5);
+
+            // Reference timeline: no spawn ever happens.
+            let mut ref_pts = base.clone();
+            let mut ref_mob = Mobility::over_deployment(model, &ref_pts, 13);
+            ref_mob.advance(&mut ref_pts);
+            let mut spawned_pts = ref_pts.clone();
+
+            // Spawned timeline: same seed, five stations appear mid-run.
+            let mut mob = Mobility::over_deployment(model, &base, 13);
+            let mut warm = base.clone();
+            mob.advance(&mut warm);
+            assert_eq!(warm, ref_pts, "{model:?}: timelines split before the spawn");
+            for i in 0..5 {
+                spawned_pts.push(Point2::new(0.3 * i as f64, 0.5));
+            }
+            mob.ensure_stations(spawned_pts.len());
+
+            for epoch in 0..epochs_after_spawn {
+                ref_mob.advance(&mut ref_pts);
+                mob.advance(&mut spawned_pts);
+                for (i, (r, s)) in ref_pts.iter().zip(&spawned_pts).enumerate() {
+                    assert_eq!(
+                        (r.x.to_bits(), r.y.to_bits()),
+                        (s.x.to_bits(), s.y.to_bits()),
+                        "{model:?} epoch {epoch}: spawn perturbed station {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn validate_reports_the_bad_parameter() {
         assert!(MobilityModel::Drift { speed: 0.2 }.validate().is_ok());
         let err = MobilityModel::Drift { speed: f64::NAN }

@@ -21,7 +21,7 @@
 
 use std::collections::VecDeque;
 
-use sinr_geometry::{GridIndex, MetricPoint};
+use sinr_geometry::{GridIndex, MetricPoint, RepairPolicy};
 
 /// Distance value meaning "unreachable" in BFS results.
 pub const UNREACHABLE: u32 = u32::MAX;
@@ -40,6 +40,28 @@ impl GraphScratch {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// Reusable buffers of the incremental row-repair path
+/// ([`CommGraph::repair`]): the dirty-station and affected-row lists plus
+/// the double-buffered CSR arrays the splice writes into. Acts as the row
+/// freelist — edge storage is swapped between the live arrays and these
+/// buffers every repair, reused rather than reallocated.
+#[derive(Debug, Clone, Default)]
+struct GraphRepairScratch {
+    /// Deduplicated stations whose position or liveness actually changed.
+    dirty: Vec<usize>,
+    /// Rows whose neighborhood could have changed: the dirty stations
+    /// plus everything in their old and new spatial neighborhoods.
+    affected: Vec<usize>,
+    /// Row-edit ops `(v, d)`: dirty station `d` may have entered or left
+    /// row `v`. Sorted by `(v, d)`; rows affected only through ops (no
+    /// dirty station of their own) are patched entry-by-entry instead of
+    /// re-queried.
+    ops: Vec<(usize, usize)>,
+    /// Double buffers for the CSR offset and neighbour arrays.
+    starts_alt: Vec<usize>,
+    nbrs_alt: Vec<usize>,
 }
 
 /// An undirected communication graph over station indices.
@@ -72,6 +94,8 @@ pub struct CommGraph {
     /// Owned spatial index (cell side = `radius`), rebuilt in place by
     /// [`CommGraph::rebuild_from`] so refreshes reuse its allocations.
     grid: GridIndex,
+    /// Buffers of the incremental repair path ([`CommGraph::repair`]).
+    repair: GraphRepairScratch,
 }
 
 /// Two graphs are equal when they connect the same vertices with the same
@@ -127,6 +151,7 @@ impl CommGraph {
             radius,
             num_edges: 0,
             grid: GridIndex::build(empty, radius.max(1e-6)),
+            repair: GraphRepairScratch::default(),
         };
         graph.fill(points, alive);
         // Fresh builds are usually static and never rebuild: drop the
@@ -204,6 +229,278 @@ impl CommGraph {
             nbrs[row_start..].sort_unstable();
         }
         starts.push(nbrs.len());
+        self.num_edges = num_edges;
+    }
+
+    /// Patches the graph after a population delta, in time proportional to
+    /// the delta and the affected neighborhoods: only stations named in
+    /// `moved` may have changed position or liveness since the last
+    /// refresh or repair (spawned stations — indices at or beyond the
+    /// previous [`CommGraph::len`] — are picked up whether listed or not).
+    /// Touches exactly the CSR rows whose neighborhood could have
+    /// changed: the dirty stations' own rows are rebuilt by re-query,
+    /// rows within `radius` of a dirty station's old or new position are
+    /// patched entry-by-entry (one distance test per dirty station that
+    /// could have entered or left them), and every other row is
+    /// bulk-copied. The owned spatial index is repaired through
+    /// [`GridIndex::repair_with_policy`] in the same call.
+    ///
+    /// The result is **bit-identical** to [`CommGraph::build_masked`] over
+    /// the same population (same row order, same ascending neighbours,
+    /// same edge count) — `tests/repair_equivalence.rs` and the
+    /// mobility/churn differential batteries pin this. Row storage is
+    /// double-buffered and swapped, never reallocated in steady state.
+    ///
+    /// Falls back to the full [`CommGraph::rebuild_from`] under
+    /// [`RepairPolicy::AlwaysFull`], past the [`RepairPolicy::Auto`]
+    /// threshold, and on the first refresh after a fresh static build
+    /// (whose spatial index is dropped to save memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index in `moved` is out of range, the point slice
+    /// shrank, or a mask is present with the wrong length. Stations
+    /// absent from `moved` (and below the previous length) must be
+    /// bit-identical in position and unchanged in liveness.
+    pub fn repair<P: MetricPoint>(
+        &mut self,
+        moved: &[usize],
+        points: &[P],
+        alive: Option<&[bool]>,
+        policy: RepairPolicy,
+    ) {
+        let old_v = self.starts.len().saturating_sub(1);
+        // The incremental path needs the owned index current over the old
+        // population; after a fresh static build it was dropped (domain
+        // 0), so take the full path once to regrow it.
+        if matches!(policy, RepairPolicy::AlwaysFull) || self.grid.domain_len() != old_v {
+            self.fill(points, alive);
+            return;
+        }
+        assert!(
+            points.len() >= old_v,
+            "repair cannot shrink the station slice ({} -> {} stations)",
+            old_v,
+            points.len()
+        );
+        if let Some(a) = alive {
+            assert_eq!(
+                a.len(),
+                points.len(),
+                "liveness mask must cover every station"
+            );
+        }
+        let live = |i: usize| alive.map_or(true, |a| a[i]);
+
+        let mut dirty = std::mem::take(&mut self.repair.dirty);
+        dirty.clear();
+        dirty.extend_from_slice(moved);
+        dirty.extend(old_v..points.len());
+        dirty.sort_unstable();
+        dirty.dedup();
+        if let Some(&max) = dirty.last() {
+            assert!(
+                max < points.len(),
+                "moved index {max} out of range ({} stations)",
+                points.len()
+            );
+        }
+        // Keep only stations that genuinely changed: liveness flipped, or
+        // coordinates differ bitwise from the indexed copy. (Spawns are
+        // new by definition.)
+        {
+            let grid = &self.grid;
+            dirty.retain(|&i| {
+                if i >= old_v {
+                    return true;
+                }
+                match grid.slot_of(i) {
+                    Some(s) => {
+                        !live(i)
+                            || (0..P::AXES).any(|a| {
+                                grid.positions().coord(s, a).to_bits()
+                                    != points[i].coord(a).to_bits()
+                            })
+                    }
+                    None => live(i),
+                }
+            });
+        }
+        if let RepairPolicy::Auto { threshold } = policy {
+            if dirty.len() as f64 > threshold * self.num_present.max(1) as f64 {
+                self.repair.dirty = dirty;
+                self.fill(points, alive);
+                return;
+            }
+        }
+        if dirty.is_empty() {
+            // Nothing changed (and therefore nothing spawned).
+            self.repair.dirty = dirty;
+            return;
+        }
+
+        // Row-edit ops: for each dirty station, every row in its old
+        // neighborhood (queried against the pre-repair index, by stored
+        // coordinates — the points slice already holds new positions)
+        // may lose it ...
+        let mut ops = std::mem::take(&mut self.repair.ops);
+        ops.clear();
+        for &i in &dirty {
+            if let Some(s) = self.grid.slot_of(i) {
+                let at = self.grid.positions().coords_of(s);
+                self.grid
+                    .for_each_in_ball_at(at, self.radius, |u| ops.push((u, i)));
+            }
+        }
+        // ... then repair the index (the density decision was already
+        // taken at graph level) and collect the rows that may gain it.
+        self.grid
+            .repair_with_policy(&dirty, points, alive, RepairPolicy::AlwaysIncremental);
+        for &i in &dirty {
+            if let Some(s) = self.grid.slot_of(i) {
+                let at = self.grid.positions().coords_of(s);
+                self.grid
+                    .for_each_in_ball_at(at, self.radius, |u| ops.push((u, i)));
+            }
+        }
+        ops.sort_unstable();
+        ops.dedup();
+        // Affected rows: the dirty stations (rebuilt by re-query) plus
+        // every op target (patched entry-by-entry in the splice).
+        let mut affected = std::mem::take(&mut self.repair.affected);
+        affected.clear();
+        affected.extend_from_slice(&dirty);
+        affected.extend(ops.iter().map(|&(v, _)| v));
+        affected.sort_unstable();
+        affected.dedup();
+
+        self.present.clear();
+        match alive {
+            Some(a) => self.present.extend_from_slice(a),
+            None => self.present.resize(points.len(), true),
+        }
+        self.num_present = self.grid.len();
+        self.repair.dirty = dirty;
+        self.repair.affected = affected;
+        self.repair.ops = ops;
+        self.splice_rows(points, old_v);
+    }
+
+    /// The row-edit sweep of the repair path: rebuilds dirty rows by
+    /// re-querying the repaired index, patches bystander rows (affected
+    /// only because a dirty station may have entered or left them)
+    /// entry-by-entry from the op list, bulk-copies the unaffected runs,
+    /// and swaps the double-buffered CSR arrays in.
+    fn splice_rows<P: MetricPoint>(&mut self, points: &[P], old_v: usize) {
+        let mut starts2 = std::mem::take(&mut self.repair.starts_alt);
+        let mut nbrs2 = std::mem::take(&mut self.repair.nbrs_alt);
+        starts2.clear();
+        nbrs2.clear();
+        starts2.reserve(points.len() + 1);
+        nbrs2.reserve(self.nbrs.len());
+        let mut num_edges = self.num_edges;
+        let affected = std::mem::take(&mut self.repair.affected);
+        let dirty = std::mem::take(&mut self.repair.dirty);
+        let ops = std::mem::take(&mut self.repair.ops);
+        let mut op_i = 0usize;
+        let mut next = 0usize;
+        for &v in &affected {
+            debug_assert!(v >= next, "affected rows must be ascending");
+            if v > next {
+                // Bulk-copy the unaffected run [next, v): neighbour bytes
+                // verbatim, offsets rebased.
+                let base = nbrs2.len();
+                let off = self.starts[next];
+                for w in next..v {
+                    starts2.push(self.starts[w] - off + base);
+                }
+                nbrs2.extend_from_slice(&self.nbrs[off..self.starts[v]]);
+            }
+            starts2.push(nbrs2.len());
+            if v < old_v {
+                // Retire the old row's contribution to the edge count
+                // (each edge is counted at its lower-id endpoint's row).
+                num_edges -= self.nbrs[self.starts[v]..self.starts[v + 1]]
+                    .iter()
+                    .filter(|&&u| u > v)
+                    .count();
+            }
+            // This row's slice of the op list (sorted by row, so the
+            // cursor only moves forward).
+            while op_i < ops.len() && ops[op_i].0 < v {
+                op_i += 1;
+            }
+            let mut op_j = op_i;
+            while op_j < ops.len() && ops[op_j].0 == v {
+                op_j += 1;
+            }
+            if self.present[v] {
+                let row_start = nbrs2.len();
+                if dirty.binary_search(&v).is_ok() {
+                    // Dirty row: everything about it may have changed —
+                    // rebuild by re-query, exactly as `fill` does.
+                    self.grid
+                        .for_each_in_ball(points, points[v], self.radius, |u| {
+                            if u != v {
+                                nbrs2.push(u);
+                            }
+                        });
+                    nbrs2[row_start..].sort_unstable();
+                } else {
+                    // Bystander row: only the dirty stations named in its
+                    // ops can have entered or left; every other entry is
+                    // untouched. Merge the (sorted) old row with the
+                    // (sorted) ops, deciding each op's membership with the
+                    // same single-slot distance test the ball re-query
+                    // would run — `(v, d)` adjacency is bitwise symmetric,
+                    // so the decision matches `d`'s own rebuilt row.
+                    let cv = points[v].coords();
+                    let old_row = &self.nbrs[self.starts[v]..self.starts[v + 1]];
+                    let mut oi = 0usize;
+                    for &(_, d) in &ops[op_i..op_j] {
+                        while oi < old_row.len() && old_row[oi] < d {
+                            nbrs2.push(old_row[oi]);
+                            oi += 1;
+                        }
+                        if oi < old_row.len() && old_row[oi] == d {
+                            oi += 1;
+                        }
+                        if let Some(s) = self.grid.slot_of(d) {
+                            self.grid.positions().for_each_within(
+                                s..s + 1,
+                                &cv,
+                                self.radius,
+                                |_| {
+                                    nbrs2.push(d);
+                                },
+                            );
+                        }
+                    }
+                    nbrs2.extend_from_slice(&old_row[oi..]);
+                }
+                num_edges += nbrs2[row_start..].iter().filter(|&&u| u > v).count();
+            }
+            op_i = op_j;
+            next = v + 1;
+        }
+        if next < old_v {
+            let base = nbrs2.len();
+            let off = self.starts[next];
+            for w in next..old_v {
+                starts2.push(self.starts[w] - off + base);
+            }
+            nbrs2.extend_from_slice(&self.nbrs[off..self.starts[old_v]]);
+        }
+        starts2.push(nbrs2.len());
+        debug_assert_eq!(starts2.len(), points.len() + 1, "row count mismatch");
+
+        std::mem::swap(&mut self.starts, &mut starts2);
+        std::mem::swap(&mut self.nbrs, &mut nbrs2);
+        self.repair.starts_alt = starts2;
+        self.repair.nbrs_alt = nbrs2;
+        self.repair.affected = affected;
+        self.repair.dirty = dirty;
+        self.repair.ops = ops;
         self.num_edges = num_edges;
     }
 
@@ -696,6 +993,87 @@ mod tests {
             g.rebuild_from(&pts, None);
             assert_eq!(g, CommGraph::build(&pts, 0.5), "unmasked step {step}");
         }
+    }
+
+    #[test]
+    fn repair_after_static_build_falls_back_to_full_refresh() {
+        // Fresh static builds drop their spatial index; the first repair
+        // must notice and take the full path, bit-identical to a rebuild.
+        let mut pts = line(20, 0.4);
+        let mut g = CommGraph::build(&pts, 0.5);
+        pts[7].x += 0.9;
+        g.repair(&[7], &pts, None, RepairPolicy::AlwaysIncremental);
+        assert_eq!(g, CommGraph::build(&pts, 0.5));
+        // Now the index is live: a second repair takes the incremental path.
+        pts[3].x -= 0.7;
+        g.repair(&[3], &pts, None, RepairPolicy::AlwaysIncremental);
+        assert_eq!(g, CommGraph::build(&pts, 0.5));
+    }
+
+    #[test]
+    fn repair_moves_kills_rejoins_spawns_match_fresh_builds() {
+        use rand::{Rng, SeedableRng, SmallRng};
+        let mut rng = SmallRng::seed_from_u64(0xc0_ffee);
+        let mut pts: Vec<Point2> = (0..80)
+            .map(|i| Point2::new((i as f64 * 0.37).sin() * 3.0, (i as f64 * 0.53).cos() * 3.0))
+            .collect();
+        let mut alive = vec![true; pts.len()];
+        let mut g = CommGraph::build_masked(&pts, &alive, 0.5);
+        // Prime the owned index (static builds drop it).
+        g.rebuild_from(&pts, Some(&alive));
+        for step in 0..30 {
+            let mut moved = Vec::new();
+            for _ in 0..rng.gen_range(0..6usize) {
+                let i = rng.gen_range(0..pts.len());
+                moved.push(i);
+                match rng.gen_range(0..4u32) {
+                    0 => {
+                        pts[i].x += rng.gen_range(-0.1..0.1);
+                        pts[i].y += rng.gen_range(-0.1..0.1);
+                    }
+                    1 => {
+                        pts[i].x += rng.gen_range(-2.0..2.0);
+                        pts[i].y += rng.gen_range(-2.0..2.0);
+                    }
+                    2 => alive[i] = false,
+                    _ => alive[i] = true,
+                }
+            }
+            if rng.gen_range(0..3u32) == 0 {
+                pts.push(Point2::new(
+                    rng.gen_range(-3.5..3.5),
+                    rng.gen_range(-3.5..3.5),
+                ));
+                alive.push(true);
+            }
+            g.repair(&moved, &pts, Some(&alive), RepairPolicy::AlwaysIncremental);
+            assert_eq!(g, CommGraph::build_masked(&pts, &alive, 0.5), "step {step}");
+        }
+    }
+
+    #[test]
+    fn repair_auto_policy_falls_back_on_dense_deltas() {
+        let mut pts = line(40, 0.4);
+        let mut g = CommGraph::build(&pts, 0.5);
+        g.rebuild_from::<Point2>(&pts, None);
+        // Move most of the population: Auto must take the full path and
+        // still land bit-identical.
+        let moved: Vec<usize> = (0..30).collect();
+        for &i in &moved {
+            pts[i].y += 0.3;
+        }
+        g.repair(&moved, &pts, None, RepairPolicy::default());
+        assert_eq!(g, CommGraph::build(&pts, 0.5));
+    }
+
+    #[test]
+    fn repair_with_no_changes_is_a_noop() {
+        let pts = line(15, 0.4);
+        let mut g = CommGraph::build(&pts, 0.5);
+        g.rebuild_from::<Point2>(&pts, None);
+        let all: Vec<usize> = (0..pts.len()).collect();
+        g.repair(&all, &pts, None, RepairPolicy::AlwaysIncremental);
+        assert_eq!(g, CommGraph::build(&pts, 0.5));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! A deployed network: station positions bundled with SINR parameters and a
 //! spatial index, plus cached derived structure (communication graph).
 
-use sinr_geometry::{GridIndex, MetricPoint};
+use sinr_geometry::{GridIndex, MetricPoint, RepairPolicy};
 
 use crate::commgraph::CommGraph;
 use crate::oracle::ReceptionOracle;
@@ -42,6 +42,25 @@ pub struct Network<P: MetricPoint> {
     grid: GridIndex,
     comm_graph: CommGraph,
     mode: InterferenceMode,
+    /// How epoch boundaries refresh the spatial index and the graph:
+    /// incrementally repaired from the collected dirty set, or fully
+    /// rebuilt ([`Network::set_repair_policy`]).
+    repair_policy: RepairPolicy,
+    /// Pre-move position snapshot, diffed bitwise after the mover runs to
+    /// recover the dirty set [`Network::update_positions`] feeds the
+    /// repair path. Reused every epoch.
+    pos_snapshot: Vec<P>,
+    /// Per-call dirty-station scratch (movers or churned indices).
+    moved_scratch: Vec<usize>,
+    /// Stations that changed position or liveness since the last
+    /// communication-graph refresh — accumulated across the churn and
+    /// mobility steps of an epoch, consumed by
+    /// [`Network::refresh_comm_graph`].
+    graph_dirty: Vec<usize>,
+    /// Whether `graph_dirty` is complete since the last graph refresh
+    /// (an always-full update path stops tracking, forcing the next
+    /// refresh to rebuild).
+    graph_dirty_tracked: bool,
 }
 
 /// One batch of population changes applied at an epoch boundary by
@@ -178,7 +197,29 @@ impl<P: MetricPoint> Network<P> {
             grid,
             comm_graph,
             mode: InterferenceMode::Exact,
+            repair_policy: RepairPolicy::default(),
+            pos_snapshot: Vec::new(),
+            moved_scratch: Vec::new(),
+            graph_dirty: Vec::new(),
+            graph_dirty_tracked: true,
         })
+    }
+
+    /// Sets how epoch boundaries refresh the spatial index and the
+    /// communication graph (default: [`RepairPolicy::Auto`] — incremental
+    /// repair below 5% churn, full rebuild above). Whatever the policy,
+    /// refreshed structures are bit-identical to fresh builds of the same
+    /// deployment; the policy only selects how much work is spent.
+    pub fn set_repair_policy(&mut self, policy: RepairPolicy) {
+        self.repair_policy = policy;
+        // Conservatively rebuild the graph once at the next refresh: the
+        // dirty set's completeness predates the policy change.
+        self.graph_dirty_tracked = false;
+    }
+
+    /// The epoch-refresh policy in use.
+    pub fn repair_policy(&self) -> RepairPolicy {
+        self.repair_policy
     }
 
     /// Switches the interference evaluation mode (default: exact).
@@ -275,8 +316,23 @@ impl<P: MetricPoint> Network<P> {
     /// no heap allocations, and produces exactly what a fresh
     /// [`CommGraph::build_masked`] over the same deployment would.
     pub fn refresh_comm_graph(&mut self) {
-        self.comm_graph
-            .rebuild_from(&self.points, Some(&self.alive));
+        if self.graph_dirty_tracked && !matches!(self.repair_policy, RepairPolicy::AlwaysFull) {
+            // The dirty set is complete since the last refresh: patch only
+            // the affected rows ([`CommGraph::repair`] — bit-identical to
+            // the rebuild below, and O(dirty neighborhoods) instead of
+            // O(n)).
+            self.comm_graph.repair(
+                &self.graph_dirty,
+                &self.points,
+                Some(&self.alive),
+                self.repair_policy,
+            );
+        } else {
+            self.comm_graph
+                .rebuild_from(&self.points, Some(&self.alive));
+            self.graph_dirty_tracked = true;
+        }
+        self.graph_dirty.clear();
     }
 
     /// Interference evaluation mode in use.
@@ -304,9 +360,39 @@ impl<P: MetricPoint> Network<P> {
     /// track the new deployment (the engine does so at every epoch
     /// boundary, so scenario-level connectivity predicates always see
     /// the epoch-refreshed graph).
+    /// Under the default [`RepairPolicy::Auto`] the dirty set is
+    /// recovered by a bitwise diff against a pre-move snapshot and the
+    /// index is patched through [`GridIndex::repair_with_policy`] —
+    /// O(points + moved) instead of the full O(n log n) re-sort — and the
+    /// movers are banked for the next [`Network::refresh_comm_graph`].
     pub fn update_positions(&mut self, update: impl FnOnce(&mut [P])) {
+        if matches!(self.repair_policy, RepairPolicy::AlwaysFull) {
+            update(&mut self.points);
+            self.grid.rebuild_from_masked(&self.points, &self.alive);
+            self.graph_dirty_tracked = false;
+            return;
+        }
+        self.pos_snapshot.clear();
+        self.pos_snapshot.extend_from_slice(&self.points);
         update(&mut self.points);
-        self.grid.rebuild_from_masked(&self.points, &self.alive);
+        assert_eq!(
+            self.points.len(),
+            self.pos_snapshot.len(),
+            "position movers must not change the station count"
+        );
+        self.moved_scratch.clear();
+        for (i, (old, new)) in self.pos_snapshot.iter().zip(&self.points).enumerate() {
+            if (0..P::AXES).any(|a| old.coord(a).to_bits() != new.coord(a).to_bits()) {
+                self.moved_scratch.push(i);
+            }
+        }
+        self.grid.repair_with_policy(
+            &self.moved_scratch,
+            &self.points,
+            Some(&self.alive),
+            self.repair_policy,
+        );
+        self.graph_dirty.extend_from_slice(&self.moved_scratch);
     }
 
     /// Applies one batch of population churn: kills tombstone their
@@ -360,7 +446,26 @@ impl<P: MetricPoint> Network<P> {
             self.alive.push(true);
             self.live += 1;
         }
-        self.grid.rebuild_from_masked(&self.points, &self.alive);
+        if matches!(self.repair_policy, RepairPolicy::AlwaysFull) {
+            self.grid.rebuild_from_masked(&self.points, &self.alive);
+            self.graph_dirty_tracked = false;
+            return;
+        }
+        // The delta IS the dirty set: kills and rejoins changed liveness,
+        // spawns are picked up by index range inside the repair.
+        self.moved_scratch.clear();
+        self.moved_scratch.extend_from_slice(&delta.kills);
+        self.moved_scratch
+            .extend(delta.rejoins.iter().map(|&(r, _)| r));
+        self.grid.repair_with_policy(
+            &self.moved_scratch,
+            &self.points,
+            Some(&self.alive),
+            self.repair_policy,
+        );
+        self.graph_dirty.extend_from_slice(&self.moved_scratch);
+        self.graph_dirty
+            .extend(self.points.len() - delta.spawns.len()..self.points.len());
     }
 
     /// Resolves one round with transmitter set `transmitters` (which must
@@ -629,6 +734,60 @@ mod tests {
             *net.comm_graph(),
             CommGraph::build(net.points(), net.params().comm_radius())
         );
+    }
+
+    #[test]
+    fn incremental_epochs_match_always_full_epochs() {
+        // Drive the same epoch sequence (churn + movement + graph
+        // refresh) through the incremental and always-full policies: the
+        // resulting structures must be bit-identical at every boundary.
+        let pts: Vec<Point2> = (0..25)
+            .map(|i| Point2::new((i % 5) as f64 * 0.45, (i / 5) as f64 * 0.45))
+            .collect();
+        let mut inc = Network::new(pts.clone(), SinrParams::default_plane()).unwrap();
+        let mut full = Network::new(pts, SinrParams::default_plane()).unwrap();
+        inc.set_repair_policy(RepairPolicy::AlwaysIncremental);
+        full.set_repair_policy(RepairPolicy::AlwaysFull);
+        for step in 0..6usize {
+            let mut delta = ChurnDelta::new();
+            match step % 3 {
+                0 => delta.kills.push(step * 3 % 25),
+                1 => delta.spawns.push(Point2::new(2.5 + step as f64 * 0.2, 2.5)),
+                _ => delta.rejoins.push((step % 25, Point2::new(0.1, 2.4))),
+            }
+            let legal = delta.kills.iter().all(|&k| inc.is_alive(k))
+                && delta.rejoins.iter().all(|&(r, _)| !inc.is_alive(r));
+            if legal {
+                inc.apply_churn_deferred(&delta);
+                full.apply_churn_deferred(&delta);
+            }
+            let mover = |pts: &mut [Point2]| {
+                for (i, p) in pts.iter_mut().enumerate() {
+                    if i % 4 == step % 4 {
+                        p.x += 0.21;
+                        p.y -= 0.13;
+                    }
+                }
+            };
+            inc.update_positions(mover);
+            full.update_positions(mover);
+            inc.refresh_comm_graph();
+            full.refresh_comm_graph();
+            assert_eq!(*inc.grid(), *full.grid(), "grid diverged at step {step}");
+            assert_eq!(
+                *inc.comm_graph(),
+                *full.comm_graph(),
+                "graph diverged at step {step}"
+            );
+            assert_eq!(
+                *inc.grid(),
+                GridIndex::build_masked(inc.points(), inc.alive(), 1.0)
+            );
+            assert_eq!(
+                *inc.comm_graph(),
+                CommGraph::build_masked(inc.points(), inc.alive(), inc.params().comm_radius())
+            );
+        }
     }
 
     #[test]

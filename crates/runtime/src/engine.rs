@@ -325,6 +325,14 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
         self.pool.threads()
     }
 
+    /// Sets how mobility/churn epoch boundaries refresh the spatial index
+    /// and the communication graph (incremental repair vs full rebuild —
+    /// [`Network::set_repair_policy`]). Structures are bit-identical
+    /// either way; the policy only selects the work spent.
+    pub fn set_repair_policy(&mut self, policy: sinr_geometry::RepairPolicy) {
+        self.net.set_repair_policy(policy);
+    }
+
     /// Per-node transmission counts so far — the standard energy proxy for
     /// duty-cycled radios (transmitting dominates the energy budget).
     pub fn tx_counts(&self) -> &[u64] {

@@ -15,7 +15,7 @@
 //! (cell-major slots, sorted transmitter buckets, ascending neighbour
 //! rows) coincides and the floating-point sums match bitwise.
 
-use sinr_broadcast::geometry::{GridIndex, Point2};
+use sinr_broadcast::geometry::{GridIndex, Point2, RepairPolicy};
 use sinr_broadcast::netgen::churn::{ChurnModel, ChurnProcess};
 use sinr_broadcast::netgen::{cluster, grid as lattice, line, uniform};
 use sinr_broadcast::phy::{
@@ -248,6 +248,67 @@ fn oracle_rounds_on_churned_network_match_fresh_compacted_network() {
                     );
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn post_churn_incremental_repair_matches_fresh_builds() {
+    // The repair-path counterpart of the two rebuild tests above: feed
+    // each delta's kills, rejoins and spawn range through
+    // `GridIndex::repair_with_policy` + `CommGraph::repair` (forced
+    // incremental) instead of the full masked rebuilds, and demand the
+    // same bit-identical agreement with fresh builds.
+    let radius = SinrParams::default_plane().comm_radius();
+    for (family, base) in families() {
+        let mut points = base.clone();
+        let mut alive = vec![true; points.len()];
+        let mut proc: ChurnProcess<Point2> = ChurnProcess::over_deployment(
+            ChurnModel {
+                arrival_rate: 6.0,
+                mean_lifetime: 4.0,
+            },
+            &points,
+            42,
+        );
+        let mut delta = ChurnDelta::new();
+        let mut idx = GridIndex::build(&points, 1.0);
+        let mut graph = CommGraph::build(&points, radius);
+        graph.rebuild_from(&points, Some(&alive)); // regrow the owned index
+        for epoch in 0..6 {
+            proc.step_into(&alive, &mut delta);
+            // The dirty set the network layer hands the repair path:
+            // kills and rejoins by index; spawns are found by the
+            // domain-growth range without being listed.
+            let dirty: Vec<usize> = delta
+                .kills
+                .iter()
+                .copied()
+                .chain(delta.rejoins.iter().map(|&(r, _)| r))
+                .collect();
+            fold_delta(&mut points, &mut alive, &delta);
+            idx.repair_with_policy(
+                &dirty,
+                &points,
+                Some(&alive),
+                RepairPolicy::AlwaysIncremental,
+            );
+            graph.repair(
+                &dirty,
+                &points,
+                Some(&alive),
+                RepairPolicy::AlwaysIncremental,
+            );
+            assert_eq!(
+                idx,
+                GridIndex::build_masked(&points, &alive, 1.0),
+                "{family} epoch {epoch}: repaired index diverged"
+            );
+            assert_eq!(
+                graph,
+                CommGraph::build_masked(&points, &alive, radius),
+                "{family} epoch {epoch}: repaired graph diverged"
+            );
         }
     }
 }

@@ -15,7 +15,7 @@
 //! 3. mobile `Scenario` runs: byte-identical `RunReport`s across repeated
 //!    runs and sweep thread counts.
 
-use sinr_broadcast::geometry::{GridIndex, Point2};
+use sinr_broadcast::geometry::{GridIndex, MetricPoint, Point2, RepairPolicy};
 use sinr_broadcast::netgen::mobility::{Mobility, MobilityModel};
 use sinr_broadcast::netgen::{cluster, grid as lattice, line, uniform};
 use sinr_broadcast::phy::{InterferenceMode, ReceptionOracle, RoundOutcome, SinrParams};
@@ -86,6 +86,38 @@ fn epoch_rebuild_is_bitwise_identical_to_fresh_build() {
                         }
                     }
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn epoch_repair_is_bitwise_identical_to_fresh_build() {
+    // The incremental counterpart of the rebuild test above: instead of
+    // reindexing everything, tell the index exactly which stations an
+    // epoch moved (recovered by coordinate diff, as `Network` does) and
+    // let it splice only the affected cells — forced incremental so the
+    // assertion never silently routes through a full rebuild.
+    for (family, base) in families() {
+        for model in models() {
+            let mut pts = base.clone();
+            let mut prev = pts.clone();
+            let mut mob = Mobility::over_deployment(model, &pts, 42);
+            let mut idx = GridIndex::build(&pts, 1.0);
+            for epoch in 0..4 {
+                mob.advance(&mut pts);
+                let moved: Vec<usize> = (0..pts.len())
+                    .filter(|&i| {
+                        (0..2).any(|a| pts[i].coord(a).to_bits() != prev[i].coord(a).to_bits())
+                    })
+                    .collect();
+                prev.clone_from(&pts);
+                idx.repair_with_policy(&moved, &pts, None, RepairPolicy::AlwaysIncremental);
+                assert_eq!(
+                    idx,
+                    GridIndex::build(&pts, 1.0),
+                    "{family}/{model:?} epoch {epoch}: repaired index diverged"
+                );
             }
         }
     }
