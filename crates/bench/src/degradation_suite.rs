@@ -8,9 +8,10 @@
 //!   per-listening-round hot path ([`sinr_core::NuEstimator::observe`]):
 //!   65 536 observations with a decode every fifth round, the
 //!   steady-state mix where the silence run never reaches the window;
-//! * `degradation/cut_vertices/2500` — the articulation-point probe
+//! * `degradation/cut_vertices/<n>` — the articulation-point pass
 //!   ([`sinr_phy::CommGraph::cut_vertices_into`]) a cut-vertex kill
-//!   schedule pays per strike: `O(n·(n+m))` of scratch-reusing BFS;
+//!   schedule pays per strike: one scratch-reusing iterative Tarjan
+//!   DFS, `O(n+m)`;
 //! * `degradation/fault_plan_epoch/<n>` — one adversary boundary as the
 //!   engine shapes it: in-place communication-graph refresh plus a
 //!   composed blackout + jamming plan over the refreshed graph.
@@ -53,20 +54,27 @@ pub fn run(session: &mut Session) {
         black_box(est.nu());
     });
 
-    // The articulation-point probe at one committed size (the quadratic
-    // kernel is epoch-boundary tooling, not a per-round cost — larger
-    // sizes would dominate the whole bench run for no extra signal).
-    let n0 = 2_500;
-    let pts = uniform::square(n0, uniform::side_for_density(n0, DENSITY), 7);
-    let cut_net = Network::new(pts, params).expect("generated deployment is valid");
-    let mut scratch = GraphScratch::new();
-    let mut cuts = Vec::new();
-    session.bench_n(&format!("degradation/cut_vertices/{n0}"), n0, 1, 5, || {
-        cut_net
-            .comm_graph()
-            .cut_vertices_into(&mut scratch, &mut cuts);
-        black_box(cuts.len());
-    });
+    // The articulation-point pass. A single iterative Tarjan DFS made
+    // this linear (it was an O(n·(n+m)) remove-and-re-BFS probe), so the
+    // row scales to the 10⁴ deployment the epoch-boundary adversaries
+    // actually strike.
+    let cut_sizes: &[usize] = if session.quick {
+        &[2_500]
+    } else {
+        &[2_500, 10_000]
+    };
+    for &n0 in cut_sizes {
+        let pts = uniform::square(n0, uniform::side_for_density(n0, DENSITY), 7);
+        let cut_net = Network::new(pts, params).expect("generated deployment is valid");
+        let mut scratch = GraphScratch::new();
+        let mut cuts = Vec::new();
+        session.bench_n(&format!("degradation/cut_vertices/{n0}"), n0, 1, 5, || {
+            cut_net
+                .comm_graph()
+                .cut_vertices_into(&mut scratch, &mut cuts);
+            black_box(cuts.len());
+        });
+    }
 
     // One adversary boundary, engine-shaped: refresh the communication
     // graph in place, then run a recurring composed plan against it.

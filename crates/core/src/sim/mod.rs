@@ -147,6 +147,53 @@
 //! | [`ProtocolSpec::LeaderElection`] | Section 5: leader election in `O(D log² n + log³ n)` whp |
 //! | [`ProtocolSpec::Alert`] | Section 1.3: the alert application over the coloring backbone |
 //!
+//! # Simulation as a service
+//!
+//! The [`wire`] module makes scenarios and reports *data*: a
+//! [`ScenarioSpec`] captures every plain-data builder knob (topology,
+//! protocol, SINR parameters, constants, budget, interference mode,
+//! dynamics, repair policy), and [`encode_run_report`] /
+//! [`decode_run_report`] carry [`RunReport`]s — including
+//! [`RunReport::faults`] — as **canonical JSON**: fields in fixed schema
+//! order, no whitespace, `u64`-exact integers, shortest-float notation,
+//! enums as `{"kind":"<tag>",...}` objects (protocol tags are
+//! [`ProtocolSpec::name`]). Canonical means encode ∘ decode ∘ encode is
+//! byte-identity, so the determinism contract extends across process
+//! boundaries: two reports are equal iff their wire bytes are equal.
+//!
+//! `crates/serve` builds a persistent simulation server on this seam.
+//! Its line-delimited protocol (one canonical-JSON object per `\n`
+//! -terminated line) is, client → server:
+//!
+//! ```text
+//! request   = submit | attach | ping | shutdown
+//! submit    = {"op":"submit","spec":<ScenarioSpec>,"seeds":[u64...],"stream":bool}
+//! attach    = {"op":"attach","job":uint}
+//! ping      = {"op":"ping"}
+//! shutdown  = {"op":"shutdown"}
+//! ```
+//!
+//! and server → client:
+//!
+//! ```text
+//! event     = accepted | round | report | done | pong | error
+//! accepted  = {"event":"accepted","job":uint,"trials":uint}
+//! round     = {"event":"round","job":uint,"seed":uint,"round":uint,
+//!              "transmitters":uint,"receptions":uint,"informed":uint}
+//! report    = {"event":"report","job":uint,"seed":uint,"report":<RunReport>}
+//! done      = {"event":"done","job":uint,"dropped_rounds":uint,"degraded":bool}
+//! pong      = {"event":"pong"}
+//! error     = {"event":"error","message":string}
+//! ```
+//!
+//! Live `round` events flow through the lossy bounded [`StreamObserver`]
+//! / [`RoundSink`] pair: a slow subscriber drops rounds (counted in
+//! `done.dropped_rounds`) rather than stalling the engine, and always
+//! still receives every `report` event — whose embedded report bytes are
+//! byte-identical to an in-process [`Simulation::run`] of the same spec
+//! and seed at any number of concurrent subscribers
+//! (`crates/serve/tests/server_determinism.rs`).
+//!
 //! # Determinism contract
 //!
 //! [`Simulation::run`] with equal seeds yields equal [`RunReport`]s;
@@ -171,18 +218,24 @@ mod report;
 mod scenario;
 mod spec;
 mod topology;
+pub mod wire;
 
 pub use adversary::{AdversaryModel, AdversarySpec};
 pub use churn::ChurnSpec;
 pub use mobility::MobilitySpec;
-pub use observer::{LoadObserver, Observer};
+pub use observer::{LoadObserver, Observer, StreamObserver};
 pub use report::{CoveragePoint, FaultReport, Outcome, RunReport, SweepReport};
 pub use scenario::{Scenario, SimError, Simulation};
 pub use spec::ProtocolSpec;
 pub use topology::{Topology, TopologySpec};
+pub use wire::{decode_run_report, encode_run_report, ScenarioSpec, WireError};
 
 // The motion and lifecycle models the dynamic specs name, re-exported so
 // scenario code needs no direct `sinr_netgen` import.
 pub use sinr_geometry::RepairPolicy;
 pub use sinr_netgen::churn::ChurnModel;
 pub use sinr_netgen::mobility::MobilityModel;
+
+// The streaming seam `StreamObserver` plugs into, re-exported so server
+// code reaches the whole observer/sink pair through one crate.
+pub use sinr_runtime::{EngineArena, RoundEvent, RoundSink};

@@ -1,6 +1,6 @@
 //! Pluggable per-round observation hooks.
 
-use sinr_runtime::RoundStats;
+use sinr_runtime::{RoundEvent, RoundSink, RoundStats};
 
 use super::RunReport;
 
@@ -64,4 +64,40 @@ impl Observer for LoadObserver {
                 .insert("half_coverage_round".into(), r as f64);
         }
     }
+}
+
+/// Observer that streams one [`RoundEvent`] per executed round into a
+/// lossy bounded [`RoundSink`] — the engine side of the `sinr-serve`
+/// live-trace fan-out.
+///
+/// `offer` never blocks, so a slow (or departed) subscriber cannot stall
+/// the run: the event is dropped and counted in the sink, and the
+/// subscriber degrades to report-only. Because events are views of
+/// already-resolved rounds, drops cannot affect the report — the
+/// determinism contract is untouched.
+#[derive(Debug)]
+pub struct StreamObserver {
+    seed: u64,
+    sink: RoundSink<RoundEvent>,
+}
+
+impl StreamObserver {
+    /// Wraps a sink; `seed` stamps every event with the run it belongs to.
+    pub fn new(seed: u64, sink: RoundSink<RoundEvent>) -> Self {
+        StreamObserver { seed, sink }
+    }
+}
+
+impl Observer for StreamObserver {
+    fn on_round(&mut self, stats: &RoundStats, informed: usize) {
+        self.sink.offer(RoundEvent {
+            seed: self.seed,
+            round: stats.round,
+            transmitters: stats.transmitters,
+            receptions: stats.receptions,
+            informed,
+        });
+    }
+
+    fn finish(&mut self, _report: &mut RunReport) {}
 }

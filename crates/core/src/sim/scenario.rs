@@ -8,7 +8,7 @@ use sinr_geometry::{MetricPoint, Point2, RepairPolicy};
 use sinr_netgen::churn::ChurnProcess;
 use sinr_netgen::mobility::Mobility;
 use sinr_phy::{InterferenceMode, Network, NetworkError, SinrParams};
-use sinr_runtime::{derive_seed, node_rng, Engine, Protocol};
+use sinr_runtime::{derive_seed, node_rng, Engine, EngineArena, Protocol};
 
 use crate::baselines::{DaumBroadcastNode, FloodNode, LocalBroadcastNode};
 use crate::broadcast::{NoSBroadcastNode, SBroadcastNode};
@@ -502,10 +502,27 @@ impl<P: MetricPoint> Simulation<P> {
     /// Topology, network or spec mismatches; never panics on well-formed
     /// scenarios.
     pub fn run(&self, seed: u64) -> Result<RunReport, SimError> {
+        self.run_reusing(seed, &mut EngineArena::new())
+    }
+
+    /// As [`Simulation::run`], recycling the engine's reusable buffers
+    /// (reception oracle, kernel pool, round outcome, graph scratch)
+    /// through `arena` — the per-trial entry point of long-running hosts
+    /// such as the `sinr-serve` worker pool, where one warm arena per
+    /// worker amortizes allocation and keeps physics threads alive
+    /// across jobs. The report is byte-identical to [`Simulation::run`]:
+    /// arena contents are overwritten before every read, so reuse cannot
+    /// leak state between trials (the server determinism test pins
+    /// this).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run`].
+    pub fn run_reusing(&self, seed: u64, arena: &mut EngineArena) -> Result<RunReport, SimError> {
         let points = self.materialize(seed)?;
         let net =
             Network::new(points, self.scenario.params)?.with_interference_mode(self.scenario.mode);
-        execute(&self.scenario, net, seed)
+        execute(&self.scenario, net, seed, arena)
     }
 
     /// Runs every seed, in parallel across the machine's cores. Results
@@ -543,8 +560,11 @@ impl<P: MetricPoint> Simulation<P> {
         slots.resize_with(seeds.len(), || None);
         let workers = threads.clamp(1, seeds.len().max(1));
         if workers <= 1 {
+            // One arena across the whole serial sweep: the same
+            // buffer-recycling the parallel workers get per thread.
+            let mut arena = EngineArena::new();
             for (i, &seed) in seeds.iter().enumerate() {
-                slots[i] = Some(self.run(seed));
+                slots[i] = Some(self.run_reusing(seed, &mut arena));
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -553,13 +573,22 @@ impl<P: MetricPoint> Simulation<P> {
                 for _ in 0..workers {
                     let tx = tx.clone();
                     let next = &next;
-                    scope.spawn(move || loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= seeds.len() {
-                            break;
-                        }
-                        if tx.send((i, self.run(seeds[i]))).is_err() {
-                            break;
+                    scope.spawn(move || {
+                        // Per-worker arena, reused across every seed
+                        // this worker claims (never shared, so the
+                        // determinism contract is untouched).
+                        let mut arena = EngineArena::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= seeds.len() {
+                                break;
+                            }
+                            if tx
+                                .send((i, self.run_reusing(seeds[i], &mut arena)))
+                                .is_err()
+                            {
+                                break;
+                            }
                         }
                     });
                 }
@@ -610,8 +639,9 @@ fn setup_engine<P: MetricPoint, Pr: Protocol + 'static>(
     seed: u64,
     make: impl FnMut(usize) -> Pr,
     spawn: Option<Spawn<Pr>>,
+    arena: &mut EngineArena,
 ) -> Engine<P, Pr> {
-    let mut eng = Engine::new(net, seed, make);
+    let mut eng = Engine::new_reusing(net, seed, make, arena);
     eng.set_physics_threads(scenario.physics_threads);
     eng.set_repair_policy(scenario.repair);
     if scenario.record {
@@ -704,9 +734,10 @@ fn drive<P: MetricPoint, Pr: Protocol + 'static>(
     done: impl Fn(&Pr) -> bool,
     spawn: Option<Spawn<Pr>>,
     observers: &mut [Box<dyn Observer>],
+    arena: &mut EngineArena,
 ) -> Driven<Pr> {
     let n = net.len();
-    let mut eng = setup_engine(scenario, net, seed, make, spawn);
+    let mut eng = setup_engine(scenario, net, seed, make, spawn, arena);
     for o in observers.iter_mut() {
         o.begin(n);
     }
@@ -754,7 +785,7 @@ fn drive<P: MetricPoint, Pr: Protocol + 'static>(
             coverage,
         }
     });
-    let mut d = finish(eng, executed, completed);
+    let mut d = finish(eng, executed, completed, arena);
     d.faults = faults;
     d
 }
@@ -762,6 +793,7 @@ fn drive<P: MetricPoint, Pr: Protocol + 'static>(
 /// Drives an engine for exactly `rounds` rounds (fixed global schedules:
 /// coloring, consensus, leader election — none of which support churn,
 /// so no spawn factory is taken).
+#[allow(clippy::too_many_arguments)]
 fn drive_exact<P: MetricPoint, Pr: Protocol + 'static>(
     scenario: &Scenario<P>,
     net: Network<P>,
@@ -770,9 +802,10 @@ fn drive_exact<P: MetricPoint, Pr: Protocol + 'static>(
     make: impl FnMut(usize) -> Pr,
     done: impl Fn(&Pr) -> bool,
     observers: &mut [Box<dyn Observer>],
+    arena: &mut EngineArena,
 ) -> Driven<Pr> {
     let n = net.len();
-    let mut eng = setup_engine(scenario, net, seed, make, None);
+    let mut eng = setup_engine(scenario, net, seed, make, None, arena);
     for o in observers.iter_mut() {
         o.begin(n);
     }
@@ -785,13 +818,16 @@ fn drive_exact<P: MetricPoint, Pr: Protocol + 'static>(
             }
         }
     }
-    finish(eng, rounds, true)
+    finish(eng, rounds, true, arena)
 }
 
+/// Collects the drive result and hands the engine's reusable buffers
+/// back to `arena` for the next trial.
 fn finish<P: MetricPoint, Pr: Protocol>(
     eng: Engine<P, Pr>,
     rounds: u64,
     completed: bool,
+    arena: &mut EngineArena,
 ) -> Driven<Pr> {
     let total_transmissions = eng.trace().total_transmissions();
     let per_round = eng.trace().per_round().map(<[_]>::to_vec);
@@ -800,7 +836,7 @@ fn finish<P: MetricPoint, Pr: Protocol>(
     Driven {
         rounds,
         completed,
-        nodes: eng.into_nodes(),
+        nodes: eng.recycle_into(arena),
         alive,
         total_transmissions,
         per_round,
@@ -814,12 +850,14 @@ fn finish<P: MetricPoint, Pr: Protocol>(
 /// types. The factory doubles as the churn spawn factory (spawned
 /// stations are never the source, so the same constructor yields an
 /// uninformed newcomer), hence `Clone + 'static`.
+#[allow(clippy::too_many_arguments)]
 fn broadcast_arm<P: MetricPoint, Pr: Protocol + 'static>(
     scenario: &Scenario<P>,
     net: Network<P>,
     seed: u64,
     budget: u64,
     observers: &mut [Box<dyn Observer>],
+    arena: &mut EngineArena,
     make: impl FnMut(usize) -> Pr + Clone + 'static,
     done: impl Fn(&Pr) -> bool,
 ) -> (Driven<()>, usize, Outcome) {
@@ -827,7 +865,9 @@ fn broadcast_arm<P: MetricPoint, Pr: Protocol + 'static>(
         .churn
         .as_ref()
         .map(|_| Box::new(make.clone()) as Spawn<Pr>);
-    let d = drive(scenario, net, seed, budget, make, &done, spawn, observers);
+    let d = drive(
+        scenario, net, seed, budget, make, &done, spawn, observers, arena,
+    );
     let informed = d
         .nodes
         .iter()
@@ -854,6 +894,7 @@ fn execute<P: MetricPoint>(
     scenario: &Scenario<P>,
     net: Network<P>,
     seed: u64,
+    arena: &mut EngineArena,
 ) -> Result<RunReport, SimError> {
     let spec = scenario
         .protocol
@@ -877,6 +918,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
+                arena,
                 move |id| NoSBroadcastNode::new(id, source, 1, n, consts),
                 NoSBroadcastNode::informed,
             )
@@ -892,6 +934,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
+                arena,
                 move |id| NoSBroadcastNode::new(id, source, 1, nu, consts),
                 NoSBroadcastNode::informed,
             )
@@ -904,6 +947,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
+                arena,
                 move |id| SBroadcastNode::new(id, source, 1, n, consts),
                 SBroadcastNode::informed,
             )
@@ -919,6 +963,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
+                arena,
                 move |id| SBroadcastNode::new(id, source, 1, nu, consts),
                 SBroadcastNode::informed,
             )
@@ -934,6 +979,7 @@ fn execute<P: MetricPoint>(
                 |_| StabilizeProtocol::new(n, consts),
                 |p| p.machine().is_finished(),
                 &mut observers,
+                arena,
             );
             // A budget below the Fact 7 schedule truncates the run:
             // unfinished stations report color 0.0 (uncolored) and the
@@ -967,6 +1013,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
+                arena,
                 move |id| DaumBroadcastNode::new(id, source, 1, n, rs, alpha),
                 DaumBroadcastNode::informed,
             )
@@ -979,6 +1026,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
+                arena,
                 move |id| FloodNode::new(id, source, 1, p),
                 FloodNode::informed,
             )
@@ -991,6 +1039,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
+                arena,
                 move |id| LocalBroadcastNode::new(id, source, 1, n, 0.5),
                 LocalBroadcastNode::informed,
             )
@@ -1007,6 +1056,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
+                arena,
                 move |id| crate::baselines::ReFloodNode::new(id, source, 1, p, burst_rounds),
                 crate::baselines::ReFloodNode::informed,
             )
@@ -1023,6 +1073,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
+                arena,
                 move |id| {
                     crate::estimate::EstimatingReFloodNode::new(id, source, 1, nu0, burst_rounds)
                 },
@@ -1037,6 +1088,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
+                arena,
                 move |id| crate::estimate::EstimatingNoSNode::new(id, source, 1, nu0, consts),
                 crate::estimate::EstimatingNoSNode::informed,
             )
@@ -1049,6 +1101,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
+                arena,
                 move |id| crate::estimate::EstimatingSNode::new(id, source, 1, nu0, consts),
                 crate::estimate::EstimatingSNode::informed,
             )
@@ -1083,6 +1136,7 @@ fn execute<P: MetricPoint>(
                 AdhocWakeupNode::awake,
                 None,
                 &mut observers,
+                arena,
             );
             let awake = d.nodes.iter().filter(|p| p.awake()).count();
             let rounds_from_first_wake = d.rounds.saturating_sub(first_wake);
@@ -1117,6 +1171,7 @@ fn execute<P: MetricPoint>(
                 seed,
                 budget,
                 &mut observers,
+                arena,
                 move |id| {
                     EstablishedWakeupNode::new(coloring.colors[id], initiators[id], n, consts)
                 },
@@ -1144,6 +1199,7 @@ fn execute<P: MetricPoint>(
                 |id| ConsensusNode::new(values[id], bits, n, consts, window),
                 |p| p.decided().is_some(),
                 &mut observers,
+                arena,
             );
             let decided: Vec<Option<u64>> = d.nodes.iter().map(ConsensusNode::decided).collect();
             let informed = decided.iter().filter(|v| v.is_some()).count();
@@ -1182,6 +1238,7 @@ fn execute<P: MetricPoint>(
                 },
                 |p| p.is_leader().is_some(),
                 &mut observers,
+                arena,
             );
             let leaders: Vec<usize> = d
                 .nodes
@@ -1235,6 +1292,7 @@ fn execute<P: MetricPoint>(
                 crate::alert::AlertNode::alarmed,
                 None,
                 &mut observers,
+                arena,
             );
             let learned_at: Vec<Option<u64>> = d.nodes.iter().map(|nd| nd.learned_at()).collect();
             let alarmed = learned_at.iter().filter(|v| v.is_some()).count();

@@ -23,8 +23,10 @@ pub enum Rule {
     /// Library crate roots carry `#![forbid(unsafe_code)]`; any `unsafe`
     /// elsewhere needs an immediately preceding `// SAFETY:` comment.
     ForbidUnsafe,
-    /// No `Instant::now`/`SystemTime`/`thread::sleep` in the simulation
-    /// kernels — timing belongs to `bench`.
+    /// No `Instant::now`/`SystemTime`/`thread::sleep` anywhere except the
+    /// explicitly exempt crates — timing belongs to `bench`, and the
+    /// server (`serve`) may block on sockets but never reads clocks into
+    /// results.
     WallClock,
     /// `available_parallelism` may appear in exactly one resolver file,
     /// so the thread budget stays resolved once per `Simulation`.
@@ -101,8 +103,10 @@ impl fmt::Display for Diagnostic {
 pub struct Config {
     /// Crates whose non-test code must avoid unordered collections.
     pub deterministic_crates: Vec<String>,
-    /// Crates that may never read wall clocks.
-    pub wallclock_crates: Vec<String>,
+    /// Crates permitted to read wall clocks; everything else is denied.
+    /// An exempt-list (not an applies-list) so new crates are covered by
+    /// default instead of silently escaping the rule.
+    pub wallclock_exempt_crates: Vec<String>,
     /// Crates under the panic-surface ratchet.
     pub hot_crates: Vec<String>,
     /// Crates exempt from `quiet-libraries` (the measurement/reporting
@@ -116,8 +120,10 @@ impl Default for Config {
     fn default() -> Self {
         let v = |names: &[&str]| names.iter().map(|s| s.to_string()).collect();
         Config {
-            deterministic_crates: v(&["geometry", "phy", "runtime", "netgen", "core", "sim"]),
-            wallclock_crates: v(&["phy", "geometry", "runtime"]),
+            deterministic_crates: v(&[
+                "geometry", "phy", "runtime", "netgen", "core", "sim", "wire", "serve",
+            ]),
+            wallclock_exempt_crates: v(&["bench", "serve"]),
             hot_crates: v(&["phy", "geometry", "runtime"]),
             quiet_exempt_crates: v(&["bench", "lint"]),
             parallelism_resolver: "crates/core/src/sim/scenario.rs".to_string(),
@@ -259,8 +265,8 @@ fn check_file(
         }
     }
 
-    // --- Rule 3: wall-clock-free kernels ---------------------------
-    if cfg.wallclock_crates.contains(&krate) {
+    // --- Rule 3: wall-clock-free by default ------------------------
+    if !cfg.wallclock_exempt_crates.contains(&krate) {
         for (i, t) in code.iter().enumerate() {
             let flagged = match t.ident() {
                 Some("Instant") | Some("SystemTime") => true,
@@ -275,8 +281,8 @@ fn check_file(
                     t.line,
                     Rule::WallClock,
                     format!(
-                        "wall-clock access (`{}`) in kernel crate `{krate}`: results must be \
-                         a pure function of the seed; timing belongs to `bench`",
+                        "wall-clock access (`{}`) in non-exempt crate `{krate}`: results must \
+                         be a pure function of the seed; timing belongs to `bench`",
                         t.ident().unwrap_or("?")
                     ),
                 );
@@ -619,15 +625,22 @@ mod tests {
     }
 
     #[test]
-    fn wallclock_flagged_in_kernel_crates() {
+    fn wallclock_flagged_everywhere_but_exempt_crates() {
         let cfg = Config::default();
         let src = "use std::time::Instant;\npub fn t() { let _ = Instant::now(); std::thread::sleep(d); }\n";
         let r = check_files(&[file("crates/geometry/src/a.rs", src)], &cfg);
         let rules: Vec<Rule> = r.diagnostics.iter().map(|d| d.rule).collect();
         assert_eq!(rules, vec![Rule::WallClock; 3], "{:?}", r.diagnostics);
-        // bench is not a kernel crate.
+        // A brand-new crate is covered without any config change.
+        let r = check_files(&[file("crates/brand_new/src/a.rs", src)], &cfg);
+        let rules: Vec<Rule> = r.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec![Rule::WallClock; 3], "{:?}", r.diagnostics);
+        // Only the exempt-list escapes: bench (measures) and serve (blocks
+        // on sockets/timeouts, never folds time into results).
         let r = check_files(&[file("crates/bench/src/a.rs", src)], &cfg);
         assert!(r.diagnostics.is_empty());
+        let r = check_files(&[file("crates/serve/src/a.rs", src)], &cfg);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
     }
 
     #[test]

@@ -27,12 +27,21 @@ use sinr_geometry::{GridIndex, MetricPoint, RepairPolicy};
 pub const UNREACHABLE: u32 = u32::MAX;
 
 /// Reusable scratch for the allocation-free graph traversals
-/// ([`CommGraph::bfs_with`], [`CommGraph::is_connected_with`]): the BFS
-/// distance array and queue, grown once to their high-water marks.
+/// ([`CommGraph::bfs_with`], [`CommGraph::is_connected_with`],
+/// [`CommGraph::cut_vertices_into`]): the BFS distance array and queue
+/// plus the DFS state of the Tarjan articulation-point sweep (`low`
+/// values, the cut-vertex marks, and the explicit frame stack), all
+/// grown once to their high-water marks.
 #[derive(Debug, Clone, Default)]
 pub struct GraphScratch {
     dist: Vec<u32>,
     queue: VecDeque<usize>,
+    /// Tarjan low-link values (`dist` doubles as the discovery order).
+    low: Vec<u32>,
+    /// Cut-vertex marks, swept in ascending order into the output.
+    mark: Vec<bool>,
+    /// Explicit DFS stack of the iterative Tarjan sweep.
+    frames: Vec<DfsFrame>,
 }
 
 impl GraphScratch {
@@ -40,6 +49,16 @@ impl GraphScratch {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// One frame of the iterative Tarjan DFS: the vertex, the tree parent it
+/// was discovered from (`usize::MAX` at roots), and the cursor into the
+/// flat neighbour array marking the next edge to examine.
+#[derive(Debug, Clone, Copy, Default)]
+struct DfsFrame {
+    v: usize,
+    parent: usize,
+    cursor: usize,
 }
 
 /// Reusable buffers of the incremental row-repair path
@@ -663,24 +682,100 @@ impl CommGraph {
     /// number of live connected components. Graphs with fewer than three
     /// live vertices have none.
     ///
-    /// Implemented as a component-count probe per candidate over the
-    /// scratch-reusing BFS — `O(n·(n+m))` total. That is deliberate:
-    /// this is epoch-boundary adversary tooling (cut-vertex-targeted
-    /// kill schedules), not a per-round kernel, and the probe reuses
-    /// `scratch` so it allocates nothing in steady state.
+    /// Implemented as a single iterative Tarjan DFS sweep — `O(n + m)`
+    /// total, replacing the old remove-one-and-recount probe whose
+    /// `O(n·(n+m))` cost came to dominate adversary epoch boundaries at
+    /// scale. The sweep runs entirely over `scratch` (explicit frame
+    /// stack, no recursion) so it still allocates nothing in steady
+    /// state; `crates/phy/tests/cut_vertices.rs` pins it differentially
+    /// against the probe on seeded uniform/cluster/line graphs with
+    /// liveness masks.
     pub fn cut_vertices_into(&self, scratch: &mut GraphScratch, out: &mut Vec<usize>) {
         out.clear();
         if self.num_present < 3 {
             return;
         }
-        let base = self.component_count_excluding(None, scratch);
-        for v in 0..self.len() {
-            // Isolated live vertices can't be articulation points:
-            // removing one only lowers the component count.
-            if !self.present[v] || self.degree(v) == 0 {
+        let n = self.len();
+        // `dist` doubles as Tarjan's discovery order; UNREACHABLE marks
+        // unvisited vertices.
+        scratch.dist.clear();
+        scratch.dist.resize(n, UNREACHABLE);
+        scratch.low.clear();
+        scratch.low.resize(n, UNREACHABLE);
+        scratch.mark.clear();
+        scratch.mark.resize(n, false);
+        scratch.frames.clear();
+        let mut timer: u32 = 0;
+        for root in 0..n {
+            if !self.present[root] || scratch.dist[root] != UNREACHABLE {
                 continue;
             }
-            if self.component_count_excluding(Some(v), scratch) > base {
+            // The root of a DFS tree is a cut vertex iff it has >= 2
+            // tree children; every other vertex v is one iff some tree
+            // child c satisfies low[c] >= disc[v].
+            let mut root_children = 0usize;
+            scratch.dist[root] = timer;
+            scratch.low[root] = timer;
+            timer += 1;
+            scratch.frames.push(DfsFrame {
+                v: root,
+                parent: usize::MAX,
+                cursor: self.starts[root],
+            });
+            while let Some(frame) = scratch.frames.last_mut() {
+                let v = frame.v;
+                if frame.cursor < self.starts[v + 1] {
+                    let u = self.nbrs[frame.cursor];
+                    frame.cursor += 1;
+                    // Skip the tree edge back to the parent; geometric
+                    // CSR rows carry no parallel edges, so this single
+                    // skip cannot hide a genuine back edge.
+                    if u == frame.parent {
+                        continue;
+                    }
+                    if scratch.dist[u] == UNREACHABLE {
+                        // Tree edge: descend.
+                        scratch.dist[u] = timer;
+                        scratch.low[u] = timer;
+                        timer += 1;
+                        if v == root {
+                            root_children += 1;
+                        }
+                        scratch.frames.push(DfsFrame {
+                            v: u,
+                            parent: v,
+                            cursor: self.starts[u],
+                        });
+                    } else {
+                        // Back edge: pull low[v] down to u's discovery.
+                        let du = scratch.dist[u];
+                        if du < scratch.low[v] {
+                            scratch.low[v] = du;
+                        }
+                    }
+                } else {
+                    // v's row is exhausted: pop and propagate its low
+                    // value into the parent, marking the parent when the
+                    // subtree under v cannot reach above it.
+                    let low_v = scratch.low[v];
+                    scratch.frames.pop();
+                    if let Some(pf) = scratch.frames.last() {
+                        let p = pf.v;
+                        if low_v < scratch.low[p] {
+                            scratch.low[p] = low_v;
+                        }
+                        if p != root && low_v >= scratch.dist[p] {
+                            scratch.mark[p] = true;
+                        }
+                    }
+                }
+            }
+            if root_children >= 2 {
+                scratch.mark[root] = true;
+            }
+        }
+        for (v, &m) in scratch.mark.iter().enumerate() {
+            if m {
                 out.push(v);
             }
         }
@@ -688,9 +783,21 @@ impl CommGraph {
 
     /// Eccentricity of `src` (max BFS distance over live vertices), or
     /// `None` if some live vertex is unreachable from `src`.
+    ///
+    /// Allocates BFS state per call — loops should use
+    /// [`CommGraph::eccentricity_with`].
     pub fn eccentricity(&self, src: usize) -> Option<u32> {
-        let dist = self.bfs(src);
-        let max = dist
+        let mut scratch = GraphScratch::new();
+        self.eccentricity_with(src, &mut scratch)
+    }
+
+    /// As [`CommGraph::eccentricity`], reusing `scratch`'s buffers: zero
+    /// heap allocations once the scratch has grown to the graph size
+    /// (pinned by `crates/phy/tests/oracle_alloc.rs`).
+    pub fn eccentricity_with(&self, src: usize, scratch: &mut GraphScratch) -> Option<u32> {
+        self.bfs_with(src, scratch);
+        let max = scratch
+            .dist
             .iter()
             .zip(&self.present)
             .filter(|&(_, &p)| p)
@@ -712,12 +819,13 @@ impl CommGraph {
         if self.num_present == 0 {
             return Some(0);
         }
+        let mut scratch = GraphScratch::new();
         let mut diam = 0;
         for v in 0..self.len() {
             if !self.present[v] {
                 continue;
             }
-            diam = diam.max(self.eccentricity(v)?);
+            diam = diam.max(self.eccentricity_with(v, &mut scratch)?);
         }
         Some(diam)
     }
@@ -733,7 +841,8 @@ impl CommGraph {
         if !self.present[start] {
             return None;
         }
-        let d1 = self.bfs(start);
+        let mut scratch = GraphScratch::new();
+        let d1 = self.bfs_with(start, &mut scratch);
         let mut far = start;
         for (v, (&d, &p)) in d1.iter().zip(&self.present).enumerate() {
             if !p {
@@ -746,7 +855,7 @@ impl CommGraph {
                 far = v;
             }
         }
-        self.eccentricity(far)
+        self.eccentricity_with(far, &mut scratch)
     }
 
     /// A shortest path from `src` to `dst` (inclusive), or `None` if

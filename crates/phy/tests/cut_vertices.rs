@@ -1,0 +1,174 @@
+//! Differential battery for the Tarjan articulation-point sweep:
+//! [`CommGraph::cut_vertices_into`] must agree, vertex for vertex, with
+//! the old remove-one-and-recount probe on seeded uniform, cluster and
+//! line graphs — with and without liveness masks — and the probe is
+//! re-implemented here over the public API so the comparison stays
+//! independent of the production code path.
+
+use sinr_geometry::Point2;
+use sinr_phy::{CommGraph, GraphScratch, UNREACHABLE};
+
+/// Minimal deterministic LCG (Numerical Recipes constants) so the
+/// battery depends on nothing but the seed literals below.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        // 53 high bits -> [0, 1).
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The pre-Tarjan implementation: count live components, then re-count
+/// with each live degree-positive vertex excluded and report the ones
+/// whose removal increases the count. `O(n·(n+m))` — fine at test sizes.
+fn probe_cut_vertices(g: &CommGraph) -> Vec<usize> {
+    fn component_count(g: &CommGraph, excluded: Option<usize>) -> usize {
+        let mut dist = vec![UNREACHABLE; g.len()];
+        let mut queue = std::collections::VecDeque::new();
+        let mut count = 0;
+        for src in 0..g.len() {
+            if !g.is_present(src) || Some(src) == excluded || dist[src] != UNREACHABLE {
+                continue;
+            }
+            count += 1;
+            dist[src] = 0;
+            queue.push_back(src);
+            while let Some(v) = queue.pop_front() {
+                for &u in g.neighbors(v) {
+                    if Some(u) != excluded && dist[u] == UNREACHABLE {
+                        dist[u] = dist[v] + 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    if g.num_present() < 3 {
+        return Vec::new();
+    }
+    let base = component_count(g, None);
+    (0..g.len())
+        .filter(|&v| g.is_present(v) && g.degree(v) > 0)
+        .filter(|&v| component_count(g, Some(v)) > base)
+        .collect()
+}
+
+fn assert_matches_probe(g: &CommGraph, label: &str) {
+    let mut scratch = GraphScratch::new();
+    let mut tarjan = Vec::new();
+    g.cut_vertices_into(&mut scratch, &mut tarjan);
+    let expected = probe_cut_vertices(g);
+    assert_eq!(tarjan, expected, "cut-vertex mismatch on {label}");
+    assert!(
+        tarjan.windows(2).all(|w| w[0] < w[1]),
+        "output not strictly ascending on {label}"
+    );
+}
+
+fn uniform_points(n: usize, side: f64, rng: &mut Lcg) -> Vec<Point2> {
+    (0..n)
+        .map(|_| Point2::new(rng.unit_f64() * side, rng.unit_f64() * side))
+        .collect()
+}
+
+/// `k` tight blobs strung along a line — rich in bridges between blobs,
+/// so the battery exercises deep non-trivial articulation structure.
+fn cluster_points(k: usize, per_cluster: usize, rng: &mut Lcg) -> Vec<Point2> {
+    let mut pts = Vec::with_capacity(k * per_cluster);
+    for c in 0..k {
+        let cx = c as f64 * 0.9;
+        for _ in 0..per_cluster {
+            pts.push(Point2::new(
+                cx + (rng.unit_f64() - 0.5) * 0.4,
+                (rng.unit_f64() - 0.5) * 0.4,
+            ));
+        }
+    }
+    pts
+}
+
+/// A line with seed-jittered gaps: gaps near the radius make and break
+/// edges, producing long chains of articulation points.
+fn line_points(n: usize, rng: &mut Lcg) -> Vec<Point2> {
+    let mut x = 0.0;
+    (0..n)
+        .map(|_| {
+            x += 0.3 + rng.unit_f64() * 0.5;
+            Point2::new(x, 0.0)
+        })
+        .collect()
+}
+
+fn mask(n: usize, dead_fraction: f64, rng: &mut Lcg) -> Vec<bool> {
+    (0..n).map(|_| rng.unit_f64() >= dead_fraction).collect()
+}
+
+#[test]
+fn differential_uniform_graphs() {
+    for seed in [1u64, 2014, 77, 0xDEAD] {
+        let mut rng = Lcg(seed);
+        // Sparse through dense: side 6 at n=120 gives many components
+        // and bridges; side 2.5 is near-clique.
+        for side in [6.0, 4.0, 2.5] {
+            let pts = uniform_points(120, side, &mut rng);
+            let g = CommGraph::build(&pts, 0.9);
+            assert_matches_probe(&g, &format!("uniform seed={seed} side={side}"));
+            let alive = mask(pts.len(), 0.3, &mut rng);
+            let gm = CommGraph::build_masked(&pts, &alive, 0.9);
+            assert_matches_probe(&gm, &format!("uniform-masked seed={seed} side={side}"));
+        }
+    }
+}
+
+#[test]
+fn differential_cluster_graphs() {
+    for seed in [3u64, 41, 9000] {
+        let mut rng = Lcg(seed);
+        let pts = cluster_points(6, 12, &mut rng);
+        let g = CommGraph::build(&pts, 0.55);
+        assert_matches_probe(&g, &format!("cluster seed={seed}"));
+        let alive = mask(pts.len(), 0.25, &mut rng);
+        let gm = CommGraph::build_masked(&pts, &alive, 0.55);
+        assert_matches_probe(&gm, &format!("cluster-masked seed={seed}"));
+    }
+}
+
+#[test]
+fn differential_line_graphs() {
+    for seed in [5u64, 123, 0xBEEF] {
+        let mut rng = Lcg(seed);
+        let pts = line_points(80, &mut rng);
+        let g = CommGraph::build(&pts, 0.6);
+        assert_matches_probe(&g, &format!("line seed={seed}"));
+        let alive = mask(pts.len(), 0.2, &mut rng);
+        let gm = CommGraph::build_masked(&pts, &alive, 0.6);
+        assert_matches_probe(&gm, &format!("line-masked seed={seed}"));
+    }
+}
+
+#[test]
+fn scratch_reuse_across_shapes() {
+    // One scratch driven across graphs of different sizes and shapes
+    // must keep producing probe-identical answers (the per-epoch reuse
+    // pattern of the adversary planner).
+    let mut scratch = GraphScratch::new();
+    let mut out = Vec::new();
+    let mut rng = Lcg(42);
+    for n in [5usize, 60, 200, 30] {
+        let pts = uniform_points(n, (n as f64).sqrt() * 0.6, &mut rng);
+        let g = CommGraph::build(&pts, 0.9);
+        g.cut_vertices_into(&mut scratch, &mut out);
+        assert_eq!(out, probe_cut_vertices(&g), "reuse mismatch at n={n}");
+    }
+}

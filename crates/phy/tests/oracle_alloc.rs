@@ -191,14 +191,20 @@ fn steady_state_round_resolution_allocates_nothing() {
     // graph refresh + BFS + connectivity performs zero heap allocations.
     let mut graph = CommGraph::build(&pts, params.comm_radius());
     let mut scratch = GraphScratch::new();
+    // Cut-vertex output buffer: grown to worst case up front, so the
+    // Tarjan sweep's push loop cannot trigger a capacity doubling.
+    let mut cuts = Vec::with_capacity(n);
     for phase in [1.0, 0.0] {
         place(&mut pts, phase);
         graph.rebuild_from(&pts, None);
         let _ = graph.is_connected_with(&mut scratch);
         let _ = graph.bfs_with(0, &mut scratch);
+        let _ = graph.eccentricity_with(0, &mut scratch);
+        graph.cut_vertices_into(&mut scratch, &mut cuts);
     }
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let mut connected_votes = 0usize;
+    let mut cut_total = 0usize;
     for _cycle in 0..10 {
         for phase in [1.0, 0.0] {
             place(&mut pts, phase);
@@ -207,6 +213,11 @@ fn steady_state_round_resolution_allocates_nothing() {
                 connected_votes += 1;
             }
             let _ = graph.bfs_with(0, &mut scratch);
+            // The adversary planner's per-epoch pair: eccentricity and
+            // the Tarjan cut-vertex sweep, both over the same scratch.
+            let _ = graph.eccentricity_with(0, &mut scratch);
+            graph.cut_vertices_into(&mut scratch, &mut cuts);
+            cut_total += cuts.len();
         }
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);
@@ -220,5 +231,6 @@ fn steady_state_round_resolution_allocates_nothing() {
     // not disconnect the graph; either answer is fine — what this test
     // pins is that computing it allocates nothing).
     assert!(connected_votes <= 20);
+    assert!(cut_total <= 20 * n);
     assert_eq!(graph.len(), n);
 }

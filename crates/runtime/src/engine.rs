@@ -9,6 +9,44 @@ use crate::protocol::{NodeCtx, Protocol, TopologyChange};
 use crate::rng::node_rng;
 use crate::trace::{RoundStats, Trace};
 
+/// Reusable cross-trial scratch: the network-size-independent engine
+/// buffers ([`ReceptionOracle`], [`KernelPool`], [`RoundOutcome`],
+/// [`GraphScratch`]) that a long-running host — the `sinr-serve` worker
+/// pool — keeps warm across jobs instead of reallocating per trial.
+///
+/// An arena never influences results: every buffer it carries is fully
+/// overwritten before it is read (the oracle and outcome resize per
+/// round, the graph scratch per traversal), so
+/// [`Engine::new_reusing`]-built engines produce reports byte-identical
+/// to [`Engine::new`]-built ones. The pool is the big win: recycling it
+/// keeps physics worker threads alive across trials
+/// ([`Engine::set_physics_threads`] only respawns on a count change).
+pub struct EngineArena {
+    oracle: ReceptionOracle,
+    pool: KernelPool,
+    outcome: RoundOutcome,
+    graph_scratch: GraphScratch,
+}
+
+impl EngineArena {
+    /// A cold arena; buffers grow to their high-water marks over the
+    /// first trial recycled through it.
+    pub fn new() -> Self {
+        EngineArena {
+            oracle: ReceptionOracle::new(),
+            pool: KernelPool::serial(),
+            outcome: RoundOutcome::empty(),
+            graph_scratch: GraphScratch::new(),
+        }
+    }
+}
+
+impl Default for EngineArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Result of driving an engine until a predicate or a round budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunResult {
@@ -164,11 +202,55 @@ pub struct Engine<P: MetricPoint, Pr: Protocol> {
 impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
     /// Creates an engine; `make_node(id)` builds the state machine of each
     /// station, and per-node RNGs are derived from `seed`.
-    pub fn new(net: Network<P>, seed: u64, mut make_node: impl FnMut(usize) -> Pr) -> Self {
+    pub fn new(net: Network<P>, seed: u64, make_node: impl FnMut(usize) -> Pr) -> Self {
+        let oracle = net.new_oracle();
+        Self::with_buffers(
+            net,
+            seed,
+            make_node,
+            oracle,
+            KernelPool::serial(),
+            RoundOutcome::empty(),
+            GraphScratch::new(),
+        )
+    }
+
+    /// As [`Engine::new`], but stealing the reusable buffers from
+    /// `arena` instead of allocating fresh ones — the per-trial entry
+    /// point of long-running hosts. Return them with
+    /// [`Engine::recycle_into`] when the trial ends. Results are
+    /// byte-identical to [`Engine::new`]: every recycled buffer is
+    /// overwritten before first read.
+    pub fn new_reusing(
+        net: Network<P>,
+        seed: u64,
+        make_node: impl FnMut(usize) -> Pr,
+        arena: &mut EngineArena,
+    ) -> Self {
+        Self::with_buffers(
+            net,
+            seed,
+            make_node,
+            std::mem::replace(&mut arena.oracle, ReceptionOracle::new()),
+            std::mem::replace(&mut arena.pool, KernelPool::serial()),
+            std::mem::replace(&mut arena.outcome, RoundOutcome::empty()),
+            std::mem::take(&mut arena.graph_scratch),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn with_buffers(
+        net: Network<P>,
+        seed: u64,
+        mut make_node: impl FnMut(usize) -> Pr,
+        oracle: ReceptionOracle,
+        pool: KernelPool,
+        outcome: RoundOutcome,
+        graph_scratch: GraphScratch,
+    ) -> Self {
         let n = net.len();
         let nodes = (0..n).map(&mut make_node).collect();
         let rngs = (0..n).map(|i| node_rng(seed, i as u64, 0)).collect();
-        let oracle = net.new_oracle();
         Engine {
             net,
             nodes,
@@ -180,8 +262,8 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
             tx_ids: Vec::with_capacity(n),
             tx_msgs: Vec::new(),
             oracle,
-            pool: KernelPool::serial(),
-            outcome: RoundOutcome::empty(),
+            pool,
+            outcome,
             mobility: None,
             churn: None,
             adversary: None,
@@ -189,7 +271,7 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
             num_jammed: 0,
             fault_stats: FaultStats::default(),
             delta: ChurnDelta::new(),
-            graph_scratch: GraphScratch::new(),
+            graph_scratch,
             seed,
         }
     }
@@ -724,6 +806,17 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
     /// Consumes the engine, returning the node state machines (for
     /// post-run inspection of colors, decisions, …).
     pub fn into_nodes(self) -> Vec<Pr> {
+        self.nodes
+    }
+
+    /// As [`Engine::into_nodes`], additionally handing the warm reusable
+    /// buffers back to `arena` for the next trial (the counterpart of
+    /// [`Engine::new_reusing`]).
+    pub fn recycle_into(self, arena: &mut EngineArena) -> Vec<Pr> {
+        arena.oracle = self.oracle;
+        arena.pool = self.pool;
+        arena.outcome = self.outcome;
+        arena.graph_scratch = self.graph_scratch;
         self.nodes
     }
 }

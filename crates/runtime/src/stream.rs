@@ -1,0 +1,112 @@
+//! Lossy bounded-channel streaming of round events.
+//!
+//! The building block of the `sinr-serve` subscriber fan-out: an engine
+//! host pushes one [`RoundEvent`] per round into a [`RoundSink`], whose
+//! bounded `std::sync::mpsc` channel gives **backpressure without
+//! blocking** — when a subscriber's reader falls behind and the channel
+//! fills, [`RoundSink::offer`] drops the event and counts it instead of
+//! stalling the engine. A slow reader therefore degrades to
+//! report-only: the final report always arrives (it travels outside the
+//! lossy channel), only intermediate round traces thin out.
+//!
+//! Dropping events can never affect results: a [`RoundEvent`] is a
+//! *view* of a round the engine already resolved, so the determinism
+//! contract (reports are pure functions of the seed) is untouched by
+//! any pattern of drops.
+
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+
+/// One resolved round, as streamed to subscribers: the per-round trace
+/// statistics plus the running coverage count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundEvent {
+    /// Seed of the run this round belongs to.
+    pub seed: u64,
+    /// Round number (1-based, as in [`crate::RoundStats`]).
+    pub round: u64,
+    /// Number of transmitting stations this round.
+    pub transmitters: usize,
+    /// Number of stations that decoded a message this round.
+    pub receptions: usize,
+    /// Stations informed (protocol-defined coverage) after this round.
+    pub informed: usize,
+}
+
+/// The lossy sending half of a bounded round-event channel.
+///
+/// `offer` never blocks: a full channel (slow reader) or a hung-up
+/// receiver counts the event as dropped and moves on. The host reads
+/// [`RoundSink::dropped`] / [`RoundSink::is_degraded`] after the run to
+/// tell the subscriber how much of the trace it lost.
+#[derive(Debug)]
+pub struct RoundSink<T> {
+    tx: SyncSender<T>,
+    dropped: u64,
+}
+
+impl<T> RoundSink<T> {
+    /// Wraps an existing bounded sender.
+    pub fn new(tx: SyncSender<T>) -> Self {
+        RoundSink { tx, dropped: 0 }
+    }
+
+    /// Creates a bounded channel of `capacity` events and returns the
+    /// lossy sink plus the receiving half.
+    pub fn bounded(capacity: usize) -> (Self, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+        (Self::new(tx), rx)
+    }
+
+    /// Offers one event: `true` if enqueued, `false` if dropped (channel
+    /// full or receiver gone). Never blocks.
+    pub fn offer(&mut self, event: T) -> bool {
+        match self.tx.try_send(event) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.dropped += 1;
+                false
+            }
+        }
+    }
+
+    /// Number of events dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether any event has been dropped (the subscriber's trace is
+    /// incomplete; its final report is unaffected).
+    pub fn is_degraded(&self) -> bool {
+        self.dropped > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offer_is_lossy_not_blocking() {
+        let (mut sink, rx) = RoundSink::bounded(2);
+        assert!(sink.offer(1u32));
+        assert!(sink.offer(2));
+        // Channel full: dropped, not blocked.
+        assert!(!sink.offer(3));
+        assert!(!sink.offer(4));
+        assert_eq!(sink.dropped(), 2);
+        assert!(sink.is_degraded());
+        // Reader catches up; capacity frees.
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(sink.offer(5));
+        let rest: Vec<u32> = rx.try_iter().collect();
+        assert_eq!(rest, vec![2, 5]);
+    }
+
+    #[test]
+    fn hung_up_receiver_counts_as_drop() {
+        let (mut sink, rx) = RoundSink::bounded(1);
+        drop(rx);
+        assert!(!sink.offer(7u32));
+        assert!(sink.is_degraded());
+    }
+}

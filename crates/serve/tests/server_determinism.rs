@@ -1,0 +1,139 @@
+//! The server-side determinism contract: reports read off the socket
+//! are byte-identical to in-process runs, for any number of concurrent
+//! clients and subscribers.
+
+use std::thread;
+
+use sinr_core::sim::{ProtocolSpec, ScenarioSpec, TopologySpec};
+use sinr_serve::{reference_report, request_shutdown, Client, Server};
+
+fn test_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        TopologySpec::UniformSquare { n: 30, side: 2.0 },
+        ProtocolSpec::ReFloodBroadcast {
+            source: 0,
+            p: 0.25,
+            burst_rounds: 24,
+        },
+    );
+    spec.budget = Some(300);
+    spec.record = true;
+    spec
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_reports() {
+    let server = Server::bind("127.0.0.1:0", 2).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let server_thread = thread::spawn(move || server.run().expect("server run"));
+
+    let spec = test_spec();
+    let seeds: [u64; 2] = [11, 2014];
+    let reference: Vec<String> = seeds
+        .iter()
+        .map(|&s| reference_report(&spec, s).expect("in-process run"))
+        .collect();
+
+    // Three clients submit the same spec concurrently; trials from all
+    // three jobs interleave on the two shared arena-reusing workers.
+    thread::scope(|scope| {
+        for client_idx in 0..3 {
+            let spec = &spec;
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Every other client declines round streaming: report-only
+                // subscribers must see identical bytes too.
+                let stream = client_idx % 2 == 0;
+                client.submit(spec, &seeds, stream).expect("submit");
+                let job = client.expect_accepted().expect("accepted");
+                let result = client.collect_job(job).expect("collect");
+                assert_eq!(result.reports.len(), seeds.len());
+                for (i, &seed) in seeds.iter().enumerate() {
+                    assert_eq!(
+                        result.report_for(seed).expect("report for seed"),
+                        reference[i],
+                        "client {client_idx}: server bytes differ from in-process run"
+                    );
+                }
+                if !stream {
+                    assert_eq!(result.rounds_seen, 0, "report-only client saw rounds");
+                }
+            });
+        }
+    });
+
+    request_shutdown(addr).expect("shutdown");
+    server_thread.join().expect("server thread");
+}
+
+#[test]
+fn attached_subscriber_sees_the_same_reports() {
+    let server = Server::bind("127.0.0.1:0", 1).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let server_thread = thread::spawn(move || server.run().expect("server run"));
+
+    let spec = test_spec();
+    let seeds: [u64; 3] = [1, 2, 3];
+
+    let mut submitter = Client::connect(addr).expect("connect submitter");
+    submitter.submit(&spec, &seeds, true).expect("submit");
+    let job = submitter.expect_accepted().expect("accepted");
+
+    // Second subscriber on the same job from a separate connection —
+    // whether it attaches mid-run or after completion, it must end up
+    // with the same report bytes (late attaches replay from the log).
+    let mut watcher = Client::connect(addr).expect("connect watcher");
+    watcher.attach(job).expect("attach");
+    watcher.expect_accepted().expect("attach accepted");
+
+    let submitted = submitter.collect_job(job).expect("submitter collect");
+    let watched = watcher.collect_job(job).expect("watcher collect");
+
+    assert_eq!(submitted.reports.len(), seeds.len());
+    assert_eq!(watched.reports.len(), seeds.len());
+    for &seed in &seeds {
+        let a = submitted.report_for(seed).expect("submitter report");
+        let b = watched.report_for(seed).expect("watcher report");
+        assert_eq!(a, b, "subscribers disagree on seed {seed}");
+        let reference = reference_report(&spec, seed).expect("in-process run");
+        assert_eq!(a, reference, "server bytes differ from in-process run");
+    }
+
+    request_shutdown(addr).expect("shutdown");
+    server_thread.join().expect("server thread");
+}
+
+#[test]
+fn bad_submissions_fail_fast_with_error_events() {
+    let server = Server::bind("127.0.0.1:0", 1).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let server_thread = thread::spawn(move || server.run().expect("server run"));
+
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Malformed line → error event, connection stays usable.
+    client.send_line("this is not json").expect("send");
+    let event = client.next_event().expect("read").expect("event");
+    assert_eq!(event.kind, "error");
+
+    // Spec that fails validation (no budget for a budgeted protocol).
+    let spec = ScenarioSpec::new(
+        TopologySpec::UniformSquare { n: 10, side: 1.5 },
+        ProtocolSpec::FloodBroadcast { source: 0, p: 0.5 },
+    );
+    client.submit(&spec, &[1], false).expect("submit");
+    let event = client.next_event().expect("read").expect("event");
+    assert_eq!(
+        event.kind, "error",
+        "invalid spec must be rejected at submit"
+    );
+
+    // And the connection still works afterwards.
+    client.send_line("{\"op\":\"ping\"}").expect("ping");
+    let event = client.next_event().expect("read").expect("event");
+    assert_eq!(event.kind, "pong");
+
+    request_shutdown(addr).expect("shutdown");
+    server_thread.join().expect("server thread");
+}

@@ -1,0 +1,70 @@
+//! Simulation as a service: boot the `sinr-serve` server in-process,
+//! submit a scenario over TCP, watch live round events, and check the
+//! reports against local runs — byte for byte.
+//!
+//! ```text
+//! cargo run --release --example serve_demo
+//! ```
+//!
+//! The same client code works against a long-lived server on another
+//! machine: everything on the wire is line-delimited canonical JSON
+//! (grammar in the `sim` module docs under "Simulation as a service").
+
+use std::thread;
+
+use sinr_broadcast::sim::{ProtocolSpec, ScenarioSpec, TopologySpec};
+use sinr_serve::{reference_report, request_shutdown, Client, Server};
+
+fn main() {
+    // A server would normally be its own process: `Server::bind` on a
+    // fixed port, then `run()`. Here it shares ours on a loopback port.
+    let server = Server::bind("127.0.0.1:0", 2).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let server_thread = thread::spawn(move || server.run().expect("server run"));
+    println!("server listening on {addr}");
+
+    // A ScenarioSpec is the Scenario builder as data — same topology
+    // families, protocols and knobs, but encodable.
+    let mut spec = ScenarioSpec::new(
+        TopologySpec::UniformSquare { n: 60, side: 2.2 },
+        ProtocolSpec::ReFloodBroadcast {
+            source: 0,
+            p: 0.25,
+            burst_rounds: 24,
+        },
+    );
+    spec.budget = Some(500);
+    println!("submitting: {}", spec.encode());
+
+    let seeds: [u64; 3] = [7, 42, 2014];
+    let mut client = Client::connect(addr).expect("connect");
+    client.submit(&spec, &seeds, true).expect("submit");
+    let job = client.expect_accepted().expect("accepted");
+    println!(
+        "job {job}: {} trials scheduled on the worker pool",
+        seeds.len()
+    );
+
+    // collect_job counts round events and gathers the canonical report
+    // bytes per seed; dropped rounds (slow-reader backpressure) are
+    // reported in the final done event.
+    let result = client.collect_job(job).expect("job events");
+    println!(
+        "streamed {} live round events ({} dropped — drops degrade the trace, never the report)",
+        result.rounds_seen, result.dropped_rounds
+    );
+
+    for &seed in &seeds {
+        let from_server = result.report_for(seed).expect("report for seed");
+        let local = reference_report(&spec, seed).expect("local run");
+        assert_eq!(from_server, local, "wire bytes must equal the local run");
+        println!(
+            "seed {seed}: server report byte-identical to local run ({} bytes)",
+            from_server.len()
+        );
+    }
+
+    request_shutdown(addr).expect("shutdown");
+    server_thread.join().expect("server thread");
+    println!("server shut down cleanly");
+}
