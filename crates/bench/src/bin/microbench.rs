@@ -29,7 +29,7 @@
 use sinr_bench::microbench::Session;
 use sinr_bench::{
     broadcast_suite, churn_suite, coloring_suite, degradation_suite, mobility_suite, phy_suite,
-    repair_suite,
+    repair_suite, simd_suite,
 };
 
 fn main() {
@@ -41,6 +41,7 @@ fn main() {
         [
             "all",
             "phy",
+            "simd",
             "broadcast",
             "coloring",
             "mobility",
@@ -49,7 +50,7 @@ fn main() {
             "repair"
         ]
         .contains(&suite.as_str()),
-        "unknown --suite {suite}; expected all, phy, broadcast, coloring, mobility, churn, degradation or repair"
+        "unknown --suite {suite}; expected all, phy, simd, broadcast, coloring, mobility, churn, degradation or repair"
     );
     if want("phy") {
         phy_suite::run(&mut session);
@@ -64,6 +65,9 @@ fn main() {
                 r.name.starts_with("legacy/") || r.name.starts_with("oracle/")
             })
             .unwrap_or_else(|e| panic!("write {}: {e}", alias.display()));
+    }
+    if want("simd") {
+        simd_suite::run(&mut session);
     }
     if want("broadcast") {
         broadcast_suite::run(&mut session);

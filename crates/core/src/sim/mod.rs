@@ -233,8 +233,11 @@ pub use wire::{decode_run_report, encode_run_report, ScenarioSpec, WireError};
 // The motion and lifecycle models the dynamic specs name, re-exported so
 // scenario code needs no direct `sinr_netgen` import.
 pub use sinr_geometry::RepairPolicy;
+// The kernel knobs the scenario builder takes, re-exported so scenario
+// code needs no direct `sinr_phy` import.
 pub use sinr_netgen::churn::ChurnModel;
 pub use sinr_netgen::mobility::MobilityModel;
+pub use sinr_phy::{Accumulation, KernelDispatch};
 
 // The streaming seam `StreamObserver` plugs into, re-exported so server
 // code reaches the whole observer/sink pair through one crate.

@@ -1,0 +1,161 @@
+//! AVX2 f64 kernels (4 lanes), x86_64 only.
+//!
+//! Bit-exactness note: although the dispatch tier requires FMA (so the
+//! tier label is honest about the machine class), these kernels **never
+//! issue a fused multiply-add**. The scalar reference computes
+//! `dx*dx + dy*dy` as two roundings (multiply, then add) and Rust does
+//! not contract float expressions, so fusing here would change low bits.
+//! Every lane op below — sub, mul, add, compare — is correctly rounded
+//! per IEEE 754 and applied in the same association order as the scalar
+//! loop, and remainder elements run the shared scalar code verbatim.
+
+use core::arch::x86_64::{
+    __m256d, _mm256_add_pd, _mm256_cmp_pd, _mm256_loadu_pd, _mm256_movemask_pd, _mm256_mul_pd,
+    _mm256_set1_pd, _mm256_storeu_pd, _mm256_sub_pd, _CMP_LE_OQ,
+};
+
+use super::scalar;
+
+const LANES: usize = 4;
+
+/// One-axis squared distance, 4 lanes at a time.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and FMA (the dispatcher
+/// checks `hardware_tier()` before selecting this path).
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `unsafe fn` only because of `#[target_feature]`; callers must
+// hold an AVX2+FMA proof (the dispatch layer checks the cached CPUID tier).
+pub(super) unsafe fn distance_sq_1(xs: &[f64], cx: f64, out: &mut [f64]) {
+    let n = xs.len();
+    let chunks = n / LANES * LANES;
+    // SAFETY: all loads/stores below read/write `LANES` f64s starting at
+    // `i <= chunks - LANES`, in bounds of `xs`/`out` (both length `n`);
+    // `loadu`/`storeu` have no alignment requirement.
+    unsafe {
+        let cxv = _mm256_set1_pd(cx);
+        let mut i = 0;
+        while i < chunks {
+            let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+            let dx = _mm256_sub_pd(x, cxv);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_mul_pd(dx, dx));
+            i += LANES;
+        }
+    }
+    scalar::distance_sq_1(&xs[chunks..], cx, &mut out[chunks..]);
+}
+
+/// Two-axis squared distance; the add keeps the scalar association
+/// order `dx·dx + dy·dy`.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and FMA.
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `unsafe fn` only because of `#[target_feature]`; callers must
+// hold an AVX2+FMA proof (the dispatch layer checks the cached CPUID tier).
+pub(super) unsafe fn distance_sq_2(xs: &[f64], ys: &[f64], cx: f64, cy: f64, out: &mut [f64]) {
+    let n = xs.len();
+    let chunks = n / LANES * LANES;
+    // SAFETY: `xs`, `ys` and `out` all have length `n`; every load/store
+    // touches `LANES` f64s at `i <= chunks - LANES`, in bounds; unaligned
+    // intrinsics are used throughout.
+    unsafe {
+        let cxv = _mm256_set1_pd(cx);
+        let cyv = _mm256_set1_pd(cy);
+        let mut i = 0;
+        while i < chunks {
+            let dx = _mm256_sub_pd(_mm256_loadu_pd(xs.as_ptr().add(i)), cxv);
+            let dy = _mm256_sub_pd(_mm256_loadu_pd(ys.as_ptr().add(i)), cyv);
+            // No FMA: mul, mul, add — the scalar rounding sequence.
+            let sum = _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), sum);
+            i += LANES;
+        }
+    }
+    scalar::distance_sq_2(&xs[chunks..], &ys[chunks..], cx, cy, &mut out[chunks..]);
+}
+
+/// Three-axis squared distance, association `(dx² + dy²) + dz²`.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and FMA.
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `unsafe fn` only because of `#[target_feature]`; callers must
+// hold an AVX2+FMA proof (the dispatch layer checks the cached CPUID tier).
+pub(super) unsafe fn distance_sq_3(
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    cx: f64,
+    cy: f64,
+    cz: f64,
+    out: &mut [f64],
+) {
+    let n = xs.len();
+    let chunks = n / LANES * LANES;
+    // SAFETY: `xs`, `ys`, `zs` and `out` all have length `n`; every
+    // load/store touches `LANES` f64s at `i <= chunks - LANES`, in
+    // bounds; unaligned intrinsics are used throughout.
+    unsafe {
+        let cxv = _mm256_set1_pd(cx);
+        let cyv = _mm256_set1_pd(cy);
+        let czv = _mm256_set1_pd(cz);
+        let mut i = 0;
+        while i < chunks {
+            let dx = _mm256_sub_pd(_mm256_loadu_pd(xs.as_ptr().add(i)), cxv);
+            let dy = _mm256_sub_pd(_mm256_loadu_pd(ys.as_ptr().add(i)), cyv);
+            let dz = _mm256_sub_pd(_mm256_loadu_pd(zs.as_ptr().add(i)), czv);
+            let sum = _mm256_add_pd(
+                _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+                _mm256_mul_pd(dz, dz),
+            );
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), sum);
+            i += LANES;
+        }
+    }
+    scalar::distance_sq_3(
+        &xs[chunks..],
+        &ys[chunks..],
+        &zs[chunks..],
+        cx,
+        cy,
+        cz,
+        &mut out[chunks..],
+    );
+}
+
+/// Bit `i` set iff `vals[i] <= bound`. `_CMP_LE_OQ` is ordered-quiet:
+/// NaN compares false, exactly like the scalar `<=`.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and FMA. `vals.len() <= 64`.
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `unsafe fn` only because of `#[target_feature]`; callers must
+// hold an AVX2+FMA proof (the dispatch layer checks the cached CPUID tier).
+pub(super) unsafe fn le_mask(vals: &[f64], bound: f64) -> u64 {
+    debug_assert!(vals.len() <= 64);
+    let n = vals.len();
+    let chunks = n / LANES * LANES;
+    let mut mask = 0u64;
+    // SAFETY: each load reads `LANES` f64s at `i <= chunks - LANES`,
+    // in bounds of `vals`; `movemask` extracts lane sign bits into the
+    // low 4 bits, shifted to the lane's element index (< 64).
+    unsafe {
+        let bv = _mm256_set1_pd(bound);
+        let mut i = 0;
+        while i < chunks {
+            let v: __m256d = _mm256_loadu_pd(vals.as_ptr().add(i));
+            let le = _mm256_cmp_pd::<_CMP_LE_OQ>(v, bv);
+            mask |= (_mm256_movemask_pd(le) as u64) << i;
+            i += LANES;
+        }
+    }
+    if chunks < n {
+        mask |= scalar::le_mask(&vals[chunks..], bound) << chunks;
+    }
+    mask
+}

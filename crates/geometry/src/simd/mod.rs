@@ -1,0 +1,438 @@
+//! Runtime-dispatched explicit SIMD for the batched distance kernels.
+//!
+//! The SoA hot path ([`crate::PositionStore::distance_sq_batch`] and the
+//! radius tests behind [`crate::GridIndex::for_each_in_ball`]) has relied
+//! on LLVM autovectorization; this module makes the vector shape explicit
+//! and dispatches it at runtime, without weakening the workspace's
+//! bitwise-determinism guarantee.
+//!
+//! # Dispatch table
+//!
+//! | Target | Detected tier | f64 lanes | Kernel module |
+//! |---|---|---|---|
+//! | `x86_64` with AVX2 **and** FMA | [`SimdTier::Avx2Fma`] (`avx2+fma`) | 4 | `simd::avx2` |
+//! | `aarch64` (NEON is baseline)   | [`SimdTier::Neon`] (`neon`)       | 2 | `simd::neon` |
+//! | everything else                | [`SimdTier::Scalar`] (`scalar`)   | 1 | scalar loops |
+//!
+//! Feature detection runs **once** per process (cached in a `OnceLock`);
+//! setting the environment variable `SINR_KERNELS=scalar` before the
+//! first kernel call forces the scalar tier process-wide (the CI leg that
+//! keeps the reference path exercised). A per-run override rides on
+//! [`KernelDispatch`], which the reception oracle and the `Scenario`
+//! builder plumb through so a single run can force `Scalar` for
+//! differential testing without touching the environment.
+//!
+//! # Bit-exactness contract
+//!
+//! Every SIMD kernel here is an **element-wise map** restricted to lane
+//! operations that IEEE 754 defines as correctly rounded — multiply, add,
+//! subtract, divide, square root — plus `max` with operand order matching
+//! `f64::max`. No reduction is vectorized and the remainder elements go
+//! through the very same scalar code the `Scalar` tier runs, so each
+//! output element is **bit-identical** to the scalar path. This is pinned
+//! by `tests/simd_equivalence.rs` across deployment families, axis
+//! counts, batch lengths around the lane width, and the clamp boundary.
+//!
+//! The radius test is vectorized without its per-candidate `sqrt`:
+//! [`radius_criterion`] precomputes the largest squared distance whose
+//! correctly-rounded root still passes, so the lane test collapses to an
+//! exact comparison (see that function's docs for the equivalence proof).
+
+use std::sync::OnceLock;
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon;
+
+/// The kernel implementation class the running CPU supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdTier {
+    /// x86_64 with AVX2 and FMA available: 4 × f64 lanes.
+    Avx2Fma,
+    /// aarch64 NEON: 2 × f64 lanes.
+    Neon,
+    /// Portable scalar loops (also the forced reference path).
+    Scalar,
+}
+
+impl SimdTier {
+    /// The stable label used in bench metadata (`BENCH.json` rows) and
+    /// diagnostics: `avx2+fma`, `neon` or `scalar`.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdTier::Avx2Fma => "avx2+fma",
+            SimdTier::Neon => "neon",
+            SimdTier::Scalar => "scalar",
+        }
+    }
+
+    /// Number of f64 lanes per vector register at this tier (1 for
+    /// scalar) — the granularity `tests/simd_equivalence.rs` probes
+    /// batch lengths around.
+    pub fn f64_lanes(self) -> usize {
+        match self {
+            SimdTier::Avx2Fma => 4,
+            SimdTier::Neon => 2,
+            SimdTier::Scalar => 1,
+        }
+    }
+}
+
+/// Per-run kernel dispatch override, plumbed through the reception
+/// oracle and the `Scenario` builder.
+///
+/// `Auto` resolves to the cached hardware tier (honoring the
+/// `SINR_KERNELS=scalar` environment override); `ForceScalar` pins the
+/// scalar reference path for this run only — the differential-testing
+/// hook, since both paths are bit-identical by contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelDispatch {
+    /// Use the best tier the CPU supports (the default).
+    #[default]
+    Auto,
+    /// Run the scalar reference kernels regardless of the CPU.
+    ForceScalar,
+}
+
+impl KernelDispatch {
+    /// The tier this dispatch actually runs on this machine/process.
+    pub fn resolve(self) -> SimdTier {
+        match self {
+            KernelDispatch::Auto => auto_tier(),
+            KernelDispatch::ForceScalar => SimdTier::Scalar,
+        }
+    }
+
+    /// Stable wire/diagnostic label: `auto` or `scalar`.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelDispatch::Auto => "auto",
+            KernelDispatch::ForceScalar => "scalar",
+        }
+    }
+}
+
+/// The tier the hardware supports, ignoring any environment override —
+/// what bench metadata records as the machine's feature tier. Detection
+/// runs once and is cached for the life of the process.
+pub fn hardware_tier() -> SimdTier {
+    static HW: OnceLock<SimdTier> = OnceLock::new();
+    *HW.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return SimdTier::Avx2Fma;
+            }
+            SimdTier::Scalar
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            // NEON (Advanced SIMD) is mandatory in the aarch64 baseline.
+            SimdTier::Neon
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            SimdTier::Scalar
+        }
+    })
+}
+
+/// The tier [`KernelDispatch::Auto`] resolves to: the hardware tier,
+/// unless `SINR_KERNELS=scalar` was set when the first kernel ran (read
+/// once and cached — the override cannot change mid-process, so results
+/// stay a pure function of the seed and the process environment).
+pub fn auto_tier() -> SimdTier {
+    static AUTO: OnceLock<SimdTier> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        if std::env::var_os("SINR_KERNELS").is_some_and(|v| v == *"scalar") {
+            SimdTier::Scalar
+        } else {
+            hardware_tier()
+        }
+    })
+}
+
+/// The largest squared distance whose **correctly-rounded** square root
+/// is still `<= radius` — the lane-precomputed criterion behind
+/// [`crate::PositionStore::for_each_within_sq`].
+///
+/// Equivalence proof: `x ↦ x.sqrt()` is monotone non-decreasing on
+/// `[0, +∞]` (the exact root is strictly monotone and round-to-nearest
+/// is monotone), so the predicate `x.sqrt() <= radius` is downward
+/// closed in `x`. This function binary-searches the non-negative f64 bit
+/// patterns — whose integer order equals their numeric order — for the
+/// greatest `x` satisfying it, hence for every non-NaN `d2 >= 0`:
+/// `d2 <= radius_criterion(radius)` ⇔ `d2.sqrt() <= radius`, **bitwise
+/// the same decision** at every boundary (pinned exhaustively around the
+/// criterion in `tests/simd_equivalence.rs`). NaN distances fail both
+/// tests. Note `d2 <= radius * radius` is *not* equivalent: when
+/// `radius²` rounds down, squared distances just above the rounded
+/// product can still root to `<= radius`.
+///
+/// A non-finite or negative `radius` yields `-∞` (nothing passes, like
+/// the NaN-propagating scalar test); `+∞` passes everything non-NaN.
+pub fn radius_criterion(radius: f64) -> f64 {
+    if radius.is_nan() || radius < 0.0 {
+        // NaN or negative: `d2.sqrt() <= radius` is false for every d2.
+        return f64::NEG_INFINITY;
+    }
+    if radius == f64::INFINITY {
+        return f64::INFINITY;
+    }
+    // Invariant: pred(lo) holds, pred(hi) fails. Non-negative f64 bit
+    // patterns sort numerically, and every pattern in [0, inf_bits) is a
+    // finite number (NaNs sit strictly above the infinity pattern), so
+    // each probe is a valid float. ~63 sqrt probes, once per ball query.
+    let mut lo: u64 = 0; // 0.0f64.sqrt() == 0.0 <= radius
+    let mut hi: u64 = f64::INFINITY.to_bits(); // inf.sqrt() == inf > radius
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if f64::from_bits(mid).sqrt() <= radius {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    f64::from_bits(lo)
+}
+
+/// Scalar reference kernels — the `Scalar` tier, and the remainder path
+/// of every vector tier. These are the exact loops
+/// [`crate::PositionStore::distance_sq_batch`] historically ran.
+pub(crate) mod scalar {
+    /// `out[i] = (xs[i] - cx)²`.
+    pub fn distance_sq_1(xs: &[f64], cx: f64, out: &mut [f64]) {
+        for (o, &x) in out.iter_mut().zip(xs) {
+            let dx = x - cx;
+            *o = dx * dx;
+        }
+    }
+
+    /// `out[i] = (xs[i] - cx)² + (ys[i] - cy)²`, added in axis order.
+    pub fn distance_sq_2(xs: &[f64], ys: &[f64], cx: f64, cy: f64, out: &mut [f64]) {
+        for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+            let dx = x - cx;
+            let dy = y - cy;
+            *o = dx * dx + dy * dy;
+        }
+    }
+
+    /// Three-axis squared distance, added in axis order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn distance_sq_3(
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        cx: f64,
+        cy: f64,
+        cz: f64,
+        out: &mut [f64],
+    ) {
+        for (((o, &x), &y), &z) in out.iter_mut().zip(xs).zip(ys).zip(zs) {
+            let dx = x - cx;
+            let dy = y - cy;
+            let dz = z - cz;
+            *o = dx * dx + dy * dy + dz * dz;
+        }
+    }
+
+    /// Bit `i` of the result is set iff `vals[i] <= bound` (NaN fails).
+    pub fn le_mask(vals: &[f64], bound: f64) -> u64 {
+        debug_assert!(vals.len() <= 64);
+        let mut mask = 0u64;
+        for (i, &v) in vals.iter().enumerate() {
+            if v <= bound {
+                mask |= 1u64 << i;
+            }
+        }
+        mask
+    }
+}
+
+/// Dispatched one-axis squared distance: `out[i] = (xs[i] - cx)²`.
+#[allow(unsafe_code)]
+pub(crate) fn distance_sq_1(xs: &[f64], cx: f64, out: &mut [f64], tier: SimdTier) {
+    debug_assert_eq!(xs.len(), out.len());
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier == Avx2Fma` only when `hardware_tier()` detected
+        // AVX2 and FMA on this CPU, the features the callee enables.
+        SimdTier::Avx2Fma => unsafe { avx2::distance_sq_1(xs, cx, out) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64, the feature the callee enables.
+        SimdTier::Neon => unsafe { neon::distance_sq_1(xs, cx, out) },
+        _ => scalar::distance_sq_1(xs, cx, out),
+    }
+}
+
+/// Dispatched two-axis squared distance (axis-order association).
+#[allow(unsafe_code)]
+pub(crate) fn distance_sq_2(
+    xs: &[f64],
+    ys: &[f64],
+    cx: f64,
+    cy: f64,
+    out: &mut [f64],
+    tier: SimdTier,
+) {
+    debug_assert_eq!(xs.len(), out.len());
+    debug_assert_eq!(ys.len(), out.len());
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier == Avx2Fma` only when `hardware_tier()` detected
+        // AVX2 and FMA on this CPU, the features the callee enables.
+        SimdTier::Avx2Fma => unsafe { avx2::distance_sq_2(xs, ys, cx, cy, out) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64, the feature the callee enables.
+        SimdTier::Neon => unsafe { neon::distance_sq_2(xs, ys, cx, cy, out) },
+        _ => scalar::distance_sq_2(xs, ys, cx, cy, out),
+    }
+}
+
+/// Dispatched three-axis squared distance (axis-order association).
+#[allow(clippy::too_many_arguments)]
+#[allow(unsafe_code)]
+pub(crate) fn distance_sq_3(
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    cx: f64,
+    cy: f64,
+    cz: f64,
+    out: &mut [f64],
+    tier: SimdTier,
+) {
+    debug_assert_eq!(xs.len(), out.len());
+    debug_assert_eq!(ys.len(), out.len());
+    debug_assert_eq!(zs.len(), out.len());
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier == Avx2Fma` only when `hardware_tier()` detected
+        // AVX2 and FMA on this CPU, the features the callee enables.
+        SimdTier::Avx2Fma => unsafe { avx2::distance_sq_3(xs, ys, zs, cx, cy, cz, out) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64, the feature the callee enables.
+        SimdTier::Neon => unsafe { neon::distance_sq_3(xs, ys, zs, cx, cy, cz, out) },
+        _ => scalar::distance_sq_3(xs, ys, zs, cx, cy, cz, out),
+    }
+}
+
+/// Dispatched radius-test inner loop: bit `i` set iff `vals[i] <= bound`
+/// (an exact comparison — identical decisions at every tier). `vals` is
+/// at most one 64-element chunk.
+#[allow(unsafe_code)]
+pub(crate) fn le_mask(vals: &[f64], bound: f64, tier: SimdTier) -> u64 {
+    debug_assert!(vals.len() <= 64);
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier == Avx2Fma` only when `hardware_tier()` detected
+        // AVX2 and FMA on this CPU, the features the callee enables.
+        SimdTier::Avx2Fma => unsafe { avx2::le_mask(vals, bound) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64, the feature the callee enables.
+        SimdTier::Neon => unsafe { neon::le_mask(vals, bound) },
+        _ => scalar::le_mask(vals, bound),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_lanes_are_stable() {
+        assert_eq!(SimdTier::Avx2Fma.label(), "avx2+fma");
+        assert_eq!(SimdTier::Neon.label(), "neon");
+        assert_eq!(SimdTier::Scalar.label(), "scalar");
+        assert_eq!(SimdTier::Avx2Fma.f64_lanes(), 4);
+        assert_eq!(SimdTier::Neon.f64_lanes(), 2);
+        assert_eq!(SimdTier::Scalar.f64_lanes(), 1);
+        assert_eq!(KernelDispatch::Auto.label(), "auto");
+        assert_eq!(KernelDispatch::ForceScalar.label(), "scalar");
+    }
+
+    #[test]
+    fn force_scalar_resolves_to_scalar_everywhere() {
+        assert_eq!(KernelDispatch::ForceScalar.resolve(), SimdTier::Scalar);
+        // Auto resolves to the cached tier; both calls agree.
+        assert_eq!(KernelDispatch::Auto.resolve(), auto_tier());
+    }
+
+    #[test]
+    fn detected_tiers_are_cached_and_consistent() {
+        assert_eq!(hardware_tier(), hardware_tier());
+        assert_eq!(auto_tier(), auto_tier());
+        // The env override can only narrow to scalar, never invent a tier.
+        assert!(auto_tier() == hardware_tier() || auto_tier() == SimdTier::Scalar);
+    }
+
+    #[test]
+    fn vector_tiers_match_scalar_bitwise() {
+        let tier = auto_tier();
+        let n = 4 * tier.f64_lanes() + 3;
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        let ys: Vec<f64> = (0..n).map(|i| (i as f64 * 0.59).cos() * 5.0).collect();
+        let zs: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        let (cx, cy, cz) = (0.21, -0.7, 3.1);
+        for len in [
+            0,
+            1,
+            tier.f64_lanes() - 1,
+            tier.f64_lanes(),
+            tier.f64_lanes() + 1,
+            n,
+        ] {
+            let mut want = vec![0.0; len];
+            let mut got = vec![0.0; len];
+            scalar::distance_sq_1(&xs[..len], cx, &mut want);
+            distance_sq_1(&xs[..len], cx, &mut got, tier);
+            assert_eq!(bits(&want), bits(&got), "axis 1, len {len}");
+            scalar::distance_sq_2(&xs[..len], &ys[..len], cx, cy, &mut want);
+            distance_sq_2(&xs[..len], &ys[..len], cx, cy, &mut got, tier);
+            assert_eq!(bits(&want), bits(&got), "axis 2, len {len}");
+            scalar::distance_sq_3(&xs[..len], &ys[..len], &zs[..len], cx, cy, cz, &mut want);
+            distance_sq_3(
+                &xs[..len],
+                &ys[..len],
+                &zs[..len],
+                cx,
+                cy,
+                cz,
+                &mut got,
+                tier,
+            );
+            assert_eq!(bits(&want), bits(&got), "axis 3, len {len}");
+            let bound = 9.0;
+            assert_eq!(
+                scalar::le_mask(&want[..len], bound),
+                le_mask(&want[..len], bound, tier),
+                "mask, len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn radius_criterion_is_the_exact_boundary() {
+        for radius in [0.0, 1e-9, 0.5, 1.0, 2.0, 1e9, 1e154, 1e200] {
+            let crit = radius_criterion(radius);
+            assert!(crit.sqrt() <= radius, "criterion passes at r={radius}");
+            let above = f64::from_bits(crit.to_bits() + 1);
+            assert!(
+                above.sqrt() > radius,
+                "next float above criterion fails at r={radius}"
+            );
+        }
+        assert_eq!(radius_criterion(f64::INFINITY), f64::INFINITY);
+        assert_eq!(radius_criterion(-1.0), f64::NEG_INFINITY);
+        assert_eq!(radius_criterion(f64::NAN), f64::NEG_INFINITY);
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+}

@@ -1,0 +1,151 @@
+//! NEON f64 kernels (2 lanes), aarch64 only.
+//!
+//! Same contract as the AVX2 module: sub/mul/add only (no fused
+//! multiply-add — `vfmaq_f64` would change low bits vs the scalar
+//! two-rounding sequence), scalar association order, and remainder
+//! elements through the shared scalar code. `vcleq_f64` compares
+//! NaN as false, matching the scalar `<=`.
+
+use core::arch::aarch64::{
+    vaddq_f64, vcleq_f64, vdupq_n_f64, vgetq_lane_u64, vld1q_f64, vmulq_f64, vst1q_f64, vsubq_f64,
+};
+
+use super::scalar;
+
+const LANES: usize = 2;
+
+/// One-axis squared distance, 2 lanes at a time.
+///
+/// # Safety
+///
+/// NEON is baseline on aarch64; caller reaches this only via the
+/// dispatcher on that target.
+#[target_feature(enable = "neon")]
+// SAFETY: `unsafe fn` only because of `#[target_feature]`; callers must
+// hold a NEON proof (the dispatch layer checks the cached detection tier).
+pub(super) unsafe fn distance_sq_1(xs: &[f64], cx: f64, out: &mut [f64]) {
+    let n = xs.len();
+    let chunks = n / LANES * LANES;
+    // SAFETY: all loads/stores touch `LANES` f64s at `i <= chunks -
+    // LANES`, in bounds of `xs`/`out` (both length `n`).
+    unsafe {
+        let cxv = vdupq_n_f64(cx);
+        let mut i = 0;
+        while i < chunks {
+            let dx = vsubq_f64(vld1q_f64(xs.as_ptr().add(i)), cxv);
+            vst1q_f64(out.as_mut_ptr().add(i), vmulq_f64(dx, dx));
+            i += LANES;
+        }
+    }
+    scalar::distance_sq_1(&xs[chunks..], cx, &mut out[chunks..]);
+}
+
+/// Two-axis squared distance, association `dx·dx + dy·dy`.
+///
+/// # Safety
+///
+/// NEON is baseline on aarch64; reached only via the dispatcher.
+#[target_feature(enable = "neon")]
+// SAFETY: `unsafe fn` only because of `#[target_feature]`; callers must
+// hold a NEON proof (the dispatch layer checks the cached detection tier).
+pub(super) unsafe fn distance_sq_2(xs: &[f64], ys: &[f64], cx: f64, cy: f64, out: &mut [f64]) {
+    let n = xs.len();
+    let chunks = n / LANES * LANES;
+    // SAFETY: `xs`, `ys`, `out` all have length `n`; every load/store
+    // touches `LANES` f64s at `i <= chunks - LANES`, in bounds.
+    unsafe {
+        let cxv = vdupq_n_f64(cx);
+        let cyv = vdupq_n_f64(cy);
+        let mut i = 0;
+        while i < chunks {
+            let dx = vsubq_f64(vld1q_f64(xs.as_ptr().add(i)), cxv);
+            let dy = vsubq_f64(vld1q_f64(ys.as_ptr().add(i)), cyv);
+            let sum = vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy));
+            vst1q_f64(out.as_mut_ptr().add(i), sum);
+            i += LANES;
+        }
+    }
+    scalar::distance_sq_2(&xs[chunks..], &ys[chunks..], cx, cy, &mut out[chunks..]);
+}
+
+/// Three-axis squared distance, association `(dx² + dy²) + dz²`.
+///
+/// # Safety
+///
+/// NEON is baseline on aarch64; reached only via the dispatcher.
+#[target_feature(enable = "neon")]
+// SAFETY: `unsafe fn` only because of `#[target_feature]`; callers must
+// hold a NEON proof (the dispatch layer checks the cached detection tier).
+pub(super) unsafe fn distance_sq_3(
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    cx: f64,
+    cy: f64,
+    cz: f64,
+    out: &mut [f64],
+) {
+    let n = xs.len();
+    let chunks = n / LANES * LANES;
+    // SAFETY: `xs`, `ys`, `zs`, `out` all have length `n`; every
+    // load/store touches `LANES` f64s at `i <= chunks - LANES`, in bounds.
+    unsafe {
+        let cxv = vdupq_n_f64(cx);
+        let cyv = vdupq_n_f64(cy);
+        let czv = vdupq_n_f64(cz);
+        let mut i = 0;
+        while i < chunks {
+            let dx = vsubq_f64(vld1q_f64(xs.as_ptr().add(i)), cxv);
+            let dy = vsubq_f64(vld1q_f64(ys.as_ptr().add(i)), cyv);
+            let dz = vsubq_f64(vld1q_f64(zs.as_ptr().add(i)), czv);
+            let sum = vaddq_f64(
+                vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy)),
+                vmulq_f64(dz, dz),
+            );
+            vst1q_f64(out.as_mut_ptr().add(i), sum);
+            i += LANES;
+        }
+    }
+    scalar::distance_sq_3(
+        &xs[chunks..],
+        &ys[chunks..],
+        &zs[chunks..],
+        cx,
+        cy,
+        cz,
+        &mut out[chunks..],
+    );
+}
+
+/// Bit `i` set iff `vals[i] <= bound` (NaN fails, like scalar `<=`).
+///
+/// # Safety
+///
+/// NEON is baseline on aarch64; reached only via the dispatcher.
+/// `vals.len() <= 64`.
+#[target_feature(enable = "neon")]
+// SAFETY: `unsafe fn` only because of `#[target_feature]`; callers must
+// hold a NEON proof (the dispatch layer checks the cached detection tier).
+pub(super) unsafe fn le_mask(vals: &[f64], bound: f64) -> u64 {
+    debug_assert!(vals.len() <= 64);
+    let n = vals.len();
+    let chunks = n / LANES * LANES;
+    let mut mask = 0u64;
+    // SAFETY: each load reads `LANES` f64s at `i <= chunks - LANES`, in
+    // bounds of `vals`; `vcleq_f64` yields all-ones/all-zeros lanes whose
+    // low bit is extracted per lane.
+    unsafe {
+        let bv = vdupq_n_f64(bound);
+        let mut i = 0;
+        while i < chunks {
+            let le = vcleq_f64(vld1q_f64(vals.as_ptr().add(i)), bv);
+            mask |= (vgetq_lane_u64::<0>(le) & 1) << i;
+            mask |= (vgetq_lane_u64::<1>(le) & 1) << (i + 1);
+            i += LANES;
+        }
+    }
+    if chunks < n {
+        mask |= scalar::le_mask(&vals[chunks..], bound) << chunks;
+    }
+    mask
+}

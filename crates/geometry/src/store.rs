@@ -22,6 +22,7 @@
 //! identical floating-point values to the scalar loop it replaces.
 
 use crate::point::MetricPoint;
+use crate::simd::{self, SimdTier};
 
 /// Maximum number of coordinate axes supported (matches [`crate::CellKey`]).
 pub const MAX_AXES: usize = 3;
@@ -213,36 +214,39 @@ impl PositionStore {
         center: &[f64; MAX_AXES],
         out: &mut [f64],
     ) {
+        self.distance_sq_batch_with(slots, center, out, simd::auto_tier());
+    }
+
+    /// [`PositionStore::distance_sq_batch`] pinned to an explicit kernel
+    /// tier — the seam the reception oracle uses to honor a run's
+    /// [`crate::KernelDispatch`]. Every tier produces bit-identical
+    /// output (see [`crate::simd`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the slot range or the range is out
+    /// of bounds.
+    pub fn distance_sq_batch_with(
+        &self,
+        slots: std::ops::Range<usize>,
+        center: &[f64; MAX_AXES],
+        out: &mut [f64],
+        tier: SimdTier,
+    ) {
         let len = slots.len();
         let out = &mut out[..len];
         let xs = &self.coords[0][slots.clone()];
         let cx = center[0];
         match self.axes {
-            1 => {
-                for (o, &x) in out.iter_mut().zip(xs) {
-                    let dx = x - cx;
-                    *o = dx * dx;
-                }
-            }
+            1 => simd::distance_sq_1(xs, cx, out, tier),
             2 => {
                 let ys = &self.coords[1][slots];
-                let cy = center[1];
-                for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
-                    let dx = x - cx;
-                    let dy = y - cy;
-                    *o = dx * dx + dy * dy;
-                }
+                simd::distance_sq_2(xs, ys, cx, center[1], out, tier);
             }
             _ => {
                 let ys = &self.coords[1][slots.clone()];
                 let zs = &self.coords[2][slots];
-                let (cy, cz) = (center[1], center[2]);
-                for (((o, &x), &y), &z) in out.iter_mut().zip(xs).zip(ys).zip(zs) {
-                    let dx = x - cx;
-                    let dy = y - cy;
-                    let dz = z - cz;
-                    *o = dx * dx + dy * dy + dz * dz;
-                }
+                simd::distance_sq_3(xs, ys, zs, cx, center[1], center[2], out, tier);
             }
         }
     }
@@ -270,6 +274,55 @@ impl PositionStore {
                 if v.sqrt() <= radius {
                     f(start + k);
                 }
+            }
+            start += len;
+        }
+    }
+
+    /// Sqrt-free variant of [`PositionStore::for_each_within`]: calls
+    /// `f(slot)` for every slot whose squared distance to `center` is
+    /// `<= criterion`, in ascending slot order.
+    ///
+    /// With `criterion = `[`crate::radius_criterion`]`(radius)` the
+    /// decisions are **bitwise identical** to
+    /// `distance_sq.sqrt() <= radius` at every slot (see that function's
+    /// monotonicity proof; the boundary is pinned exhaustively in
+    /// `tests/simd_equivalence.rs`), while skipping the per-candidate
+    /// `sqrt` — the one comparison per element then vectorizes on the
+    /// dispatched tier. [`crate::GridIndex`] ball queries compute the
+    /// criterion once per query and use this path per cell range.
+    pub fn for_each_within_sq(
+        &self,
+        slots: std::ops::Range<usize>,
+        center: &[f64; MAX_AXES],
+        criterion: f64,
+        f: impl FnMut(usize),
+    ) {
+        self.for_each_within_sq_with(slots, center, criterion, simd::auto_tier(), f)
+    }
+
+    /// [`PositionStore::for_each_within_sq`] pinned to an explicit kernel
+    /// tier.
+    pub fn for_each_within_sq_with(
+        &self,
+        slots: std::ops::Range<usize>,
+        center: &[f64; MAX_AXES],
+        criterion: f64,
+        tier: SimdTier,
+        mut f: impl FnMut(usize),
+    ) {
+        const CHUNK: usize = 64;
+        let mut d2 = [0.0f64; CHUNK];
+        let mut start = slots.start;
+        while start < slots.end {
+            let len = CHUNK.min(slots.end - start);
+            self.distance_sq_batch_with(start..start + len, center, &mut d2[..len], tier);
+            let mut mask = simd::le_mask(&d2[..len], criterion, tier);
+            // Iterating set bits low-to-high preserves ascending slot order.
+            while mask != 0 {
+                let k = mask.trailing_zeros() as usize;
+                f(start + k);
+                mask &= mask - 1;
             }
             start += len;
         }
@@ -355,6 +408,23 @@ mod tests {
                 .filter(|(_, p)| p.distance(&center) <= radius)
                 .map(|(i, _)| i)
                 .collect();
+            assert_eq!(got, want, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn for_each_within_sq_matches_sqrt_predicate() {
+        let pts: Vec<Point2> = (0..150)
+            .map(|i| Point2::new((i as f64 * 0.7).sin() * 4.0, (i as f64 * 0.3).cos() * 4.0))
+            .collect();
+        let store = PositionStore::from_points(&pts);
+        let center = [0.5, -0.25, 0.0];
+        for radius in [0.0, 0.8, 2.5, 50.0] {
+            let mut want = Vec::new();
+            store.for_each_within(0..pts.len(), &center, radius, |s| want.push(s));
+            let mut got = Vec::new();
+            let crit = crate::simd::radius_criterion(radius);
+            store.for_each_within_sq(0..pts.len(), &center, crit, |s| got.push(s));
             assert_eq!(got, want, "radius {radius}");
         }
     }

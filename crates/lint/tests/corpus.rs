@@ -19,13 +19,17 @@ fn zero_baseline() -> Ratchet {
             .into_iter()
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
+        unsafe_counts: [("geometry", 0), ("phy", 0)]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
     }
 }
 
 #[test]
 fn every_bad_snippet_flagged_at_its_line() {
     let ws = Workspace::load(&fixture_root()).unwrap();
-    assert_eq!(ws.files.len(), 8, "fixture corpus drifted: {ws:?}");
+    assert_eq!(ws.files.len(), 9, "fixture corpus drifted: {ws:?}");
     let report = lint_files(&ws.files, &Config::default(), Some(&zero_baseline()));
 
     let got: Vec<(&str, usize, Rule)> = report
@@ -39,14 +43,22 @@ fn every_bad_snippet_flagged_at_its_line() {
         ("crates/phy/src/noisy.rs", 5, Rule::QuietLibraries),
         ("crates/phy/src/noisy.rs", 6, Rule::QuietLibraries),
         ("crates/phy/src/parallel.rs", 4, Rule::ParallelismResolver),
+        // Under an allowed SIMD path the missing-SAFETY contract applies.
+        ("crates/phy/src/simd/kernel.rs", 5, Rule::ForbidUnsafe),
         ("crates/phy/src/unordered.rs", 4, Rule::UnorderedCollections),
-        ("crates/phy/src/unsound.rs", 3, Rule::ForbidUnsafe),
+        // Outside the allowlist, location is the violation — twice, and
+        // the SAFETY comment on line 8 does not excuse line 9.
+        ("crates/phy/src/unsound.rs", 4, Rule::ForbidUnsafe),
+        ("crates/phy/src/unsound.rs", 9, Rule::ForbidUnsafe),
         ("crates/phy/src/wallclock.rs", 4, Rule::WallClock),
         ("crates/phy/src/wallclock.rs", 5, Rule::WallClock),
         ("crates/phy/src/wallclock.rs", 6, Rule::WallClock),
         // The seeded unwrap in panicky.rs (1) exceeds the zero baseline;
         // line 8 is phy's entry in the canonical baseline rendering.
         ("lint-ratchet.toml", 8, Rule::PanicRatchet),
+        // The seeded unsafe in simd/kernel.rs (1) exceeds the zero
+        // `[unsafe-blocks]` baseline; line 15 is phy's entry there.
+        ("lint-ratchet.toml", 15, Rule::ForbidUnsafe),
     ];
     assert_eq!(got, expected, "full diagnostics: {:#?}", report.diagnostics);
 }
@@ -74,16 +86,18 @@ fn correct_baseline_clears_the_ratchet() {
     let ws = Workspace::load(&fixture_root()).unwrap();
     let mut baseline = zero_baseline();
     baseline.counts.insert("phy".to_string(), 1);
+    baseline.unsafe_counts.insert("phy".to_string(), 1);
     let report = lint_files(&ws.files, &Config::default(), Some(&baseline));
     assert!(
         !report
             .diagnostics
             .iter()
-            .any(|d| d.rule == Rule::PanicRatchet),
+            .any(|d| d.path == "lint-ratchet.toml"),
         "{:#?}",
         report.diagnostics
     );
     assert_eq!(report.panic_counts.get("phy"), Some(&1));
+    assert_eq!(report.unsafe_counts.get("phy"), Some(&1));
 }
 
 #[test]
@@ -129,7 +143,9 @@ fn cli_check_exits_nonzero_on_fixtures_with_file_line_output() {
         "crates/phy/src/wallclock.rs:4: [wall-clock]",
         "crates/phy/src/noisy.rs:4: [quiet-libraries]",
         "crates/phy/src/parallel.rs:4: [parallelism-resolver]",
-        "crates/phy/src/unsound.rs:3: [forbid-unsafe]",
+        "crates/phy/src/unsound.rs:4: [forbid-unsafe]",
+        "crates/phy/src/simd/kernel.rs:5: [forbid-unsafe]",
+        "outside the SIMD allowlist",
         "crates/phy/src/lib.rs:1: [forbid-unsafe]",
         "[panic-ratchet]",
     ] {

@@ -1,5 +1,11 @@
-//! Fixture: rule 2b — `unsafe` needs `// SAFETY:` (line 3).
+//! Fixture: `unsafe` outside the SIMD allowlist (lines 4 and 9); the
+//! SAFETY comment on the second fn cannot excuse the location.
 
 pub unsafe fn read(ptr: *const u8) -> u8 {
+    *ptr
+}
+
+// SAFETY: looks justified, but this file is not under a simd/ path.
+pub unsafe fn annotated(ptr: *const u8) -> u8 {
     *ptr
 }

@@ -68,6 +68,65 @@ fn committed_ratchet_rejects_a_seeded_unwrap_in_phy() {
 }
 
 #[test]
+fn committed_ratchet_rejects_a_seeded_unsafe_block_in_the_simd_tree() {
+    let root = repo_root();
+    let mut files = Workspace::load(&root).unwrap().files;
+    // Correctly SAFETY-annotated and under an allowed path — but one
+    // token over the committed `[unsafe-blocks]` ceiling.
+    files.push(SourceFile {
+        rel_path: "crates/phy/src/simd/seeded_unsafe.rs".to_string(),
+        text: "// SAFETY: seeded fixture; the count still ratchets.\n\
+               pub fn f() { unsafe { core::hint::unreachable_unchecked() } }\n"
+            .to_string(),
+    });
+    let baseline_text =
+        std::fs::read_to_string(root.join("lint-ratchet.toml")).expect("committed baseline");
+    let baseline = Ratchet::parse(&baseline_text).unwrap();
+    let report = lint_files(&files, &Config::default(), Some(&baseline));
+    let hits: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.path == "lint-ratchet.toml")
+        .collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "exactly the seeded unsafe must trip the ratchet: {:#?}",
+        report.diagnostics
+    );
+    assert!(hits[0].message.contains("`phy`"), "{:?}", hits[0]);
+    assert!(hits[0].message.contains("unsafe"), "{:?}", hits[0]);
+}
+
+#[test]
+fn seeded_unsafe_outside_the_allowlist_is_flagged() {
+    let root = repo_root();
+    let mut files = Workspace::load(&root).unwrap().files;
+    // A SAFETY comment does not excuse unsafe outside the SIMD paths.
+    files.push(SourceFile {
+        rel_path: "crates/runtime/src/seeded_unsafe.rs".to_string(),
+        text: "// SAFETY: the location, not the comment, is the violation.\n\
+               pub fn f() { unsafe { core::hint::unreachable_unchecked() } }\n"
+            .to_string(),
+    });
+    let baseline_text =
+        std::fs::read_to_string(root.join("lint-ratchet.toml")).expect("committed baseline");
+    let baseline = Ratchet::parse(&baseline_text).unwrap();
+    let report = lint_files(&files, &Config::default(), Some(&baseline));
+    let hits: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == Rule::ForbidUnsafe)
+        .collect();
+    assert_eq!(hits.len(), 1, "{:#?}", report.diagnostics);
+    assert!(
+        hits[0].message.contains("outside the SIMD allowlist"),
+        "{:?}",
+        hits[0]
+    );
+}
+
+#[test]
 fn seeded_hashmap_in_deterministic_crate_is_flagged() {
     // End-to-end regression guard for the founding bug class: a fresh
     // `HashMap` import in `runtime` must be caught even with the rest of

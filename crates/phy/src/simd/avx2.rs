@@ -1,0 +1,96 @@
+//! AVX2 f64 signal kernels (4 lanes), x86_64 only.
+//!
+//! No fused multiply-adds (the scalar reference rounds every mul and
+//! add separately); `_mm256_max_pd(v, min2)` has `v` first so a NaN
+//! lane yields `min2`, exactly like `f64::max`; `sqrt`/`div`/`mul` are
+//! correctly rounded, so every lane matches the scalar loop bit for bit.
+
+use core::arch::x86_64::{
+    _mm256_div_pd, _mm256_loadu_pd, _mm256_max_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_sqrt_pd,
+    _mm256_storeu_pd,
+};
+
+use super::scalar;
+
+const LANES: usize = 4;
+
+/// α = 2: `v = p / v.max(min2)`, 4 lanes at a time.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and FMA (the dispatcher
+/// checks the detected tier before selecting this path).
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `unsafe fn` only because of `#[target_feature]`; callers must
+// hold an AVX2+FMA proof (the dispatch layer checks the cached CPUID tier).
+pub(super) unsafe fn signal_alpha2(d2: &mut [f64], p: f64, min2: f64) {
+    let n = d2.len();
+    let chunks = n / LANES * LANES;
+    // SAFETY: every load/store touches `LANES` f64s at `i <= chunks -
+    // LANES`, in bounds of `d2`; unaligned intrinsics throughout.
+    unsafe {
+        let pv = _mm256_set1_pd(p);
+        let mv = _mm256_set1_pd(min2);
+        let mut i = 0;
+        while i < chunks {
+            let c = _mm256_max_pd(_mm256_loadu_pd(d2.as_ptr().add(i)), mv);
+            _mm256_storeu_pd(d2.as_mut_ptr().add(i), _mm256_div_pd(pv, c));
+            i += LANES;
+        }
+    }
+    scalar::signal_alpha2(&mut d2[chunks..], p, min2);
+}
+
+/// α = 3: `c = v.max(min2); v = p / (c · √c)`.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and FMA.
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `unsafe fn` only because of `#[target_feature]`; callers must
+// hold an AVX2+FMA proof (the dispatch layer checks the cached CPUID tier).
+pub(super) unsafe fn signal_alpha3(d2: &mut [f64], p: f64, min2: f64) {
+    let n = d2.len();
+    let chunks = n / LANES * LANES;
+    // SAFETY: every load/store touches `LANES` f64s at `i <= chunks -
+    // LANES`, in bounds of `d2`; unaligned intrinsics throughout.
+    unsafe {
+        let pv = _mm256_set1_pd(p);
+        let mv = _mm256_set1_pd(min2);
+        let mut i = 0;
+        while i < chunks {
+            let c = _mm256_max_pd(_mm256_loadu_pd(d2.as_ptr().add(i)), mv);
+            let den = _mm256_mul_pd(c, _mm256_sqrt_pd(c));
+            _mm256_storeu_pd(d2.as_mut_ptr().add(i), _mm256_div_pd(pv, den));
+            i += LANES;
+        }
+    }
+    scalar::signal_alpha3(&mut d2[chunks..], p, min2);
+}
+
+/// α = 4: `c = v.max(min2); v = p / (c · c)`.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and FMA.
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `unsafe fn` only because of `#[target_feature]`; callers must
+// hold an AVX2+FMA proof (the dispatch layer checks the cached CPUID tier).
+pub(super) unsafe fn signal_alpha4(d2: &mut [f64], p: f64, min2: f64) {
+    let n = d2.len();
+    let chunks = n / LANES * LANES;
+    // SAFETY: every load/store touches `LANES` f64s at `i <= chunks -
+    // LANES`, in bounds of `d2`; unaligned intrinsics throughout.
+    unsafe {
+        let pv = _mm256_set1_pd(p);
+        let mv = _mm256_set1_pd(min2);
+        let mut i = 0;
+        while i < chunks {
+            let c = _mm256_max_pd(_mm256_loadu_pd(d2.as_ptr().add(i)), mv);
+            let den = _mm256_mul_pd(c, c);
+            _mm256_storeu_pd(d2.as_mut_ptr().add(i), _mm256_div_pd(pv, den));
+            i += LANES;
+        }
+    }
+    scalar::signal_alpha4(&mut d2[chunks..], p, min2);
+}

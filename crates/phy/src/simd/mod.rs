@@ -1,0 +1,146 @@
+//! Runtime-dispatched explicit SIMD for the batched signal kernels.
+//!
+//! Companion of [`sinr_geometry::simd`] (which owns tier detection and
+//! the [`sinr_geometry::SimdTier`] / [`sinr_geometry::KernelDispatch`]
+//! types): this module vectorizes the path-loss map of
+//! [`crate::SinrParams::signal_at_sq_batch`] for the integer exponents
+//! α ∈ {2, 3, 4}. Each is an element-wise composition of correctly
+//! rounded lane ops —
+//!
+//! | α | per element |
+//! |---|---|
+//! | 2 | `max`, `div` |
+//! | 3 | `max`, `sqrt`, `mul`, `div` |
+//! | 4 | `max`, `mul`, `div` |
+//!
+//! — applied in the exact association order of the scalar loop, with
+//! remainder elements running the shared scalar code, so every tier is
+//! **bit-identical** per element. Generic α needs `powf`, which has no
+//! correctly-rounded vector form; it always runs the scalar loop
+//! regardless of tier.
+//!
+//! The `max(MIN2)` clamp matches `f64::max` semantics on every tier: a
+//! NaN input yields `MIN2` (AVX2's `max_pd` returns its second operand
+//! on an unordered compare; NEON uses `vmaxnmq_f64`, the IEEE maxNum).
+
+use sinr_geometry::SimdTier;
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon;
+
+/// Scalar reference kernels — the `Scalar` tier and every vector tier's
+/// remainder path. These are the exact loops
+/// [`crate::SinrParams::signal_at_sq_batch`] historically ran.
+pub(crate) mod scalar {
+    /// α = 2: `v = p / v.max(min2)`.
+    pub fn signal_alpha2(d2: &mut [f64], p: f64, min2: f64) {
+        for v in d2 {
+            *v = p / (*v).max(min2);
+        }
+    }
+
+    /// α = 3: `c = v.max(min2); v = p / (c · √c)`.
+    pub fn signal_alpha3(d2: &mut [f64], p: f64, min2: f64) {
+        for v in d2 {
+            let c = (*v).max(min2);
+            *v = p / (c * c.sqrt());
+        }
+    }
+
+    /// α = 4: `c = v.max(min2); v = p / (c · c)`.
+    pub fn signal_alpha4(d2: &mut [f64], p: f64, min2: f64) {
+        for v in d2 {
+            let c = (*v).max(min2);
+            *v = p / (c * c);
+        }
+    }
+}
+
+/// Dispatched α = 2 signal map, in place over `d2`.
+#[allow(unsafe_code)]
+pub(crate) fn signal_alpha2(d2: &mut [f64], p: f64, min2: f64, tier: SimdTier) {
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier == Avx2Fma` only when feature detection confirmed
+        // AVX2 and FMA on this CPU, the features the callee enables.
+        SimdTier::Avx2Fma => unsafe { avx2::signal_alpha2(d2, p, min2) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64, the feature the callee enables.
+        SimdTier::Neon => unsafe { neon::signal_alpha2(d2, p, min2) },
+        _ => scalar::signal_alpha2(d2, p, min2),
+    }
+}
+
+/// Dispatched α = 3 signal map, in place over `d2`.
+#[allow(unsafe_code)]
+pub(crate) fn signal_alpha3(d2: &mut [f64], p: f64, min2: f64, tier: SimdTier) {
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier == Avx2Fma` only when feature detection confirmed
+        // AVX2 and FMA on this CPU, the features the callee enables.
+        SimdTier::Avx2Fma => unsafe { avx2::signal_alpha3(d2, p, min2) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64, the feature the callee enables.
+        SimdTier::Neon => unsafe { neon::signal_alpha3(d2, p, min2) },
+        _ => scalar::signal_alpha3(d2, p, min2),
+    }
+}
+
+/// Dispatched α = 4 signal map, in place over `d2`.
+#[allow(unsafe_code)]
+pub(crate) fn signal_alpha4(d2: &mut [f64], p: f64, min2: f64, tier: SimdTier) {
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier == Avx2Fma` only when feature detection confirmed
+        // AVX2 and FMA on this CPU, the features the callee enables.
+        SimdTier::Avx2Fma => unsafe { avx2::signal_alpha4(d2, p, min2) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64, the feature the callee enables.
+        SimdTier::Neon => unsafe { neon::signal_alpha4(d2, p, min2) },
+        _ => scalar::signal_alpha4(d2, p, min2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::auto_tier;
+
+    #[test]
+    fn vector_tiers_match_scalar_bitwise() {
+        let tier = auto_tier();
+        let n = 4 * tier.f64_lanes() + 3;
+        let min2 = 1e-18;
+        let p = 2.5;
+        let base: Vec<f64> = (0..n)
+            .map(|i| ((i as f64 * 0.43).sin().abs() * 10.0).powi(2))
+            .collect();
+        for len in [0, 1, tier.f64_lanes(), tier.f64_lanes() + 1, n] {
+            for (dispatched, reference) in [
+                (
+                    signal_alpha2 as fn(&mut [f64], f64, f64, SimdTier),
+                    scalar::signal_alpha2 as fn(&mut [f64], f64, f64),
+                ),
+                (signal_alpha3, scalar::signal_alpha3),
+                (signal_alpha4, scalar::signal_alpha4),
+            ] {
+                let mut want = base[..len].to_vec();
+                let mut got = base[..len].to_vec();
+                // Include a sub-clamp value to pin the MIN2 boundary.
+                if len > 0 {
+                    want[0] = min2 / 4.0;
+                    got[0] = min2 / 4.0;
+                }
+                reference(&mut want, p, min2);
+                dispatched(&mut got, p, min2, tier);
+                let wb: Vec<u64> = want.iter().map(|x| x.to_bits()).collect();
+                let gb: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(wb, gb, "len {len}");
+            }
+        }
+    }
+}

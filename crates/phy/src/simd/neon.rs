@@ -1,0 +1,94 @@
+//! NEON f64 signal kernels (2 lanes), aarch64 only.
+//!
+//! `vmaxnmq_f64` is IEEE maxNum — a NaN lane yields the other operand,
+//! matching `f64::max` with a non-NaN `min2`; `vsqrtq`/`vdivq`/`vmulq`
+//! are correctly rounded and no fused multiply-add is issued, so every
+//! lane matches the scalar loop bit for bit.
+
+use core::arch::aarch64::{
+    vdivq_f64, vdupq_n_f64, vld1q_f64, vmaxnmq_f64, vmulq_f64, vsqrtq_f64, vst1q_f64,
+};
+
+use super::scalar;
+
+const LANES: usize = 2;
+
+/// α = 2: `v = p / v.max(min2)`, 2 lanes at a time.
+///
+/// # Safety
+///
+/// NEON is baseline on aarch64; reached only via the dispatcher.
+#[target_feature(enable = "neon")]
+// SAFETY: `unsafe fn` only because of `#[target_feature]`; callers must
+// hold a NEON proof (the dispatch layer checks the cached detection tier).
+pub(super) unsafe fn signal_alpha2(d2: &mut [f64], p: f64, min2: f64) {
+    let n = d2.len();
+    let chunks = n / LANES * LANES;
+    // SAFETY: every load/store touches `LANES` f64s at `i <= chunks -
+    // LANES`, in bounds of `d2`.
+    unsafe {
+        let pv = vdupq_n_f64(p);
+        let mv = vdupq_n_f64(min2);
+        let mut i = 0;
+        while i < chunks {
+            let c = vmaxnmq_f64(vld1q_f64(d2.as_ptr().add(i)), mv);
+            vst1q_f64(d2.as_mut_ptr().add(i), vdivq_f64(pv, c));
+            i += LANES;
+        }
+    }
+    scalar::signal_alpha2(&mut d2[chunks..], p, min2);
+}
+
+/// α = 3: `c = v.max(min2); v = p / (c · √c)`.
+///
+/// # Safety
+///
+/// NEON is baseline on aarch64; reached only via the dispatcher.
+#[target_feature(enable = "neon")]
+// SAFETY: `unsafe fn` only because of `#[target_feature]`; callers must
+// hold a NEON proof (the dispatch layer checks the cached detection tier).
+pub(super) unsafe fn signal_alpha3(d2: &mut [f64], p: f64, min2: f64) {
+    let n = d2.len();
+    let chunks = n / LANES * LANES;
+    // SAFETY: every load/store touches `LANES` f64s at `i <= chunks -
+    // LANES`, in bounds of `d2`.
+    unsafe {
+        let pv = vdupq_n_f64(p);
+        let mv = vdupq_n_f64(min2);
+        let mut i = 0;
+        while i < chunks {
+            let c = vmaxnmq_f64(vld1q_f64(d2.as_ptr().add(i)), mv);
+            let den = vmulq_f64(c, vsqrtq_f64(c));
+            vst1q_f64(d2.as_mut_ptr().add(i), vdivq_f64(pv, den));
+            i += LANES;
+        }
+    }
+    scalar::signal_alpha3(&mut d2[chunks..], p, min2);
+}
+
+/// α = 4: `c = v.max(min2); v = p / (c · c)`.
+///
+/// # Safety
+///
+/// NEON is baseline on aarch64; reached only via the dispatcher.
+#[target_feature(enable = "neon")]
+// SAFETY: `unsafe fn` only because of `#[target_feature]`; callers must
+// hold a NEON proof (the dispatch layer checks the cached detection tier).
+pub(super) unsafe fn signal_alpha4(d2: &mut [f64], p: f64, min2: f64) {
+    let n = d2.len();
+    let chunks = n / LANES * LANES;
+    // SAFETY: every load/store touches `LANES` f64s at `i <= chunks -
+    // LANES`, in bounds of `d2`.
+    unsafe {
+        let pv = vdupq_n_f64(p);
+        let mv = vdupq_n_f64(min2);
+        let mut i = 0;
+        while i < chunks {
+            let c = vmaxnmq_f64(vld1q_f64(d2.as_ptr().add(i)), mv);
+            let den = vmulq_f64(c, c);
+            vst1q_f64(d2.as_mut_ptr().add(i), vdivq_f64(pv, den));
+            i += LANES;
+        }
+    }
+    scalar::signal_alpha4(&mut d2[chunks..], p, min2);
+}

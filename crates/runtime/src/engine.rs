@@ -243,11 +243,15 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
         net: Network<P>,
         seed: u64,
         mut make_node: impl FnMut(usize) -> Pr,
-        oracle: ReceptionOracle,
+        mut oracle: ReceptionOracle,
         pool: KernelPool,
         outcome: RoundOutcome,
         graph_scratch: GraphScratch,
     ) -> Self {
+        // A recycled oracle must not leak the previous trial's kernel
+        // knobs into this one (the arena's results-neutrality contract).
+        oracle.set_dispatch(sinr_phy::KernelDispatch::default());
+        oracle.set_accumulation(sinr_phy::Accumulation::default());
         let n = net.len();
         let nodes = (0..n).map(&mut make_node).collect();
         let rngs = (0..n).map(|i| node_rng(seed, i as u64, 0)).collect();
@@ -413,6 +417,33 @@ impl<P: MetricPoint, Pr: Protocol> Engine<P, Pr> {
     /// either way; the policy only selects the work spent.
     pub fn set_repair_policy(&mut self, policy: sinr_geometry::RepairPolicy) {
         self.net.set_repair_policy(policy);
+    }
+
+    /// Pins the kernel tier of the batched physics kernels
+    /// ([`sinr_phy::ReceptionOracle::set_dispatch`]). `Auto` (the
+    /// default) dispatches to the best tier the CPU supports;
+    /// `ForceScalar` runs the scalar reference path. Results are
+    /// **bit-identical** either way — a speed/differential-testing knob.
+    pub fn set_kernel_dispatch(&mut self, dispatch: sinr_phy::KernelDispatch) {
+        self.oracle.set_dispatch(dispatch);
+    }
+
+    /// The configured kernel dispatch.
+    pub fn kernel_dispatch(&self) -> sinr_phy::KernelDispatch {
+        self.oracle.dispatch()
+    }
+
+    /// Sets the precision of the grid-native interference tail sum
+    /// ([`sinr_phy::ReceptionOracle::set_accumulation`]). `F32` changes
+    /// low bits of the interference totals; the `Scenario` builder
+    /// rejects it whenever bit-exact reporting is requested.
+    pub fn set_accumulation(&mut self, accumulation: sinr_phy::Accumulation) {
+        self.oracle.set_accumulation(accumulation);
+    }
+
+    /// The configured tail accumulation precision.
+    pub fn accumulation(&self) -> sinr_phy::Accumulation {
+        self.oracle.accumulation()
     }
 
     /// Per-node transmission counts so far — the standard energy proxy for

@@ -618,7 +618,13 @@ mod tests {
 
     #[test]
     fn floats_roundtrip_bit_exact() {
-        for x in [0.5, -1.25e-7, std::f64::consts::PI, 1e300, f64::MIN_POSITIVE] {
+        for x in [
+            0.5,
+            -1.25e-7,
+            std::f64::consts::PI,
+            1e300,
+            f64::MIN_POSITIVE,
+        ] {
             let text = Value::Float(x).encode();
             let back = Value::parse(&text).unwrap();
             let y = back.as_f64().unwrap();
